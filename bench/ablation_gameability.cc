@@ -1,0 +1,145 @@
+// Ablation A8: game-ability of the share types (paper Section 8).
+//
+// "An application can vary its instruction mix to change its measured
+// resource usage.  For performance, applications can manipulate their IPS
+// value ...".  We play the profitable version of that game against the
+// performance-share policy: a *sandbagging* app interleaves
+// dependence-chain padding that halves its measured IPS at any frequency.
+// Against its honest offline baseline it now looks permanently below its
+// performance target, so the feedback loop keeps granting it frequency —
+// stolen, under a power cap, from the honest apps.  Frequency shares are
+// immune: the hardware-measured MHz cannot be faked by an instruction mix.
+//
+// The paper's soundness criterion — gaming should cost the gamer more than
+// it gains — is also evaluated: the sandbagger's *useful* work rate (its
+// measured IPS, which the padding halves) is compared with what it would
+// have produced playing honestly.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/experiments/harness.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+constexpr Watts kLimit = 45.0;
+constexpr int kHonest = 5;   // Cores 0..4: honest leela.
+constexpr int kGamers = 5;   // Cores 5..9: sandbagging leela.
+
+struct Outcome {
+  Mhz honest_mhz = 0.0;
+  Mhz gamer_mhz = 0.0;
+  double honest_gips = 0.0;  // Useful instruction rate.
+  double gamer_gips = 0.0;
+  Watts pkg_w = 0.0;
+};
+
+Outcome Run(PolicyKind policy, bool gaming) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  MsrFile msr(&pkg);
+
+  // The sandbagged variant: dependence-chain padding raises effective CPI
+  // 2x, halving measured IPS at any frequency; power is unchanged.
+  WorkloadProfile honest_profile = GetProfile("leela");
+  WorkloadProfile gamed_profile = honest_profile;
+  gamed_profile.name = "leela-sandbag";
+  gamed_profile.cpi *= 2.0;
+
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<ManagedApp> apps;
+  const Ips honest_baseline = Standalone(spec, "leela").ips;
+  for (int c = 0; c < kHonest + kGamers; c++) {
+    const bool gamer = c >= kHonest && gaming;
+    procs.push_back(
+        std::make_unique<Process>(gamer ? gamed_profile : honest_profile, 100 + c));
+    pkg.AttachWork(c, procs.back().get());
+    // Everyone registers the *honest* offline baseline — the gamer lies by
+    // construction, running slower than the app it was profiled as.
+    apps.push_back(ManagedApp{
+        .name = gamer ? "sandbag" : "honest",
+        .cpu = c,
+        .shares = 1.0,
+        .baseline_ips = honest_baseline,
+    });
+  }
+
+  PowerDaemon daemon(&msr, apps, {.kind = policy, .power_limit_w = kLimit});
+  daemon.Start();
+  Simulator sim(&pkg);
+  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(40.0);  // Settle.
+
+  std::vector<double> a0(10);
+  std::vector<double> m0(10);
+  std::vector<double> i0(10);
+  for (int c = 0; c < 10; c++) {
+    a0[static_cast<size_t>(c)] = pkg.core(c).aperf_cycles();
+    m0[static_cast<size_t>(c)] = pkg.core(c).mperf_cycles();
+    i0[static_cast<size_t>(c)] = pkg.core(c).instructions_retired();
+  }
+  const Joules e0 = pkg.package_energy_j();
+  const Seconds t0 = pkg.now();
+  sim.Run(60.0);
+  const Seconds dt = pkg.now() - t0;
+
+  Outcome out;
+  for (int c = 0; c < 10; c++) {
+    const auto i = static_cast<size_t>(c);
+    const Mhz mhz = (pkg.core(c).aperf_cycles() - a0[i]) /
+                    (pkg.core(c).mperf_cycles() - m0[i]) * spec.tsc_mhz;
+    const double gips = (pkg.core(c).instructions_retired() - i0[i]) / dt / 1e9;
+    if (c < kHonest) {
+      out.honest_mhz += mhz / kHonest;
+      out.honest_gips += gips / kHonest;
+    } else {
+      out.gamer_mhz += mhz / kGamers;
+      out.gamer_gips += gips / kGamers;
+    }
+  }
+  out.pkg_w = (pkg.package_energy_j() - e0) / dt;
+  return out;
+}
+
+void RunAll() {
+  PrintBenchHeader("Ablation A8",
+                   "Game-ability: sandbagged IPS vs perf shares and freq shares @45 W");
+
+  TextTable t;
+  t.SetHeader({"policy", "gaming", "honest MHz", "gamer MHz", "honest Gi/s", "gamer Gi/s",
+               "pkg W"});
+  for (PolicyKind policy : {PolicyKind::kPerformanceShares, PolicyKind::kFrequencyShares}) {
+    for (bool gaming : {false, true}) {
+      const Outcome o = Run(policy, gaming);
+      t.AddRow({PolicyKindName(policy), gaming ? "5 sandbaggers" : "all honest",
+                TextTable::Num(o.honest_mhz, 0), TextTable::Num(o.gamer_mhz, 0),
+                TextTable::Num(o.honest_gips, 2), TextTable::Num(o.gamer_gips, 2),
+                TextTable::Num(o.pkg_w, 1)});
+    }
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nReading: under performance shares the sandbaggers' deflated IPS tricks\n"
+               "the controller into granting them extra frequency at the honest apps'\n"
+               "expense; frequency shares hold MHz equal regardless of instruction mix.\n"
+               "The gamers still lose more useful throughput than they steal (their\n"
+               "padding halves IPS) — matching the paper's criterion for a sound\n"
+               "policy: gaming must cost the gamer more than it gains.\n";
+}
+
+}  // namespace
+}  // namespace papd
+
+int main() {
+  papd::RunAll();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation A4: HWP-style "highest useful frequency" hints.
+//
+// Paper Section 4.4: policies "can be modified to try to run applications
+// at the highest useful frequency rather than the highest possible
+// frequency.  Hardware support such as Intel's HWP can help identify this
+// point."  This bench runs a mix containing an AVX-capped app (cam4) and a
+// memory-bound app (omnetpp) under frequency shares with saturation hints
+// off and on, at the same power limit.  With hints, frequency (and hence
+// power) that the saturated apps could not convert into performance is
+// redistributed to the apps that can — total throughput rises at equal
+// package power.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/experiments/harness.h"
+
+namespace papd {
+namespace {
+
+struct Row {
+  double total_perf = 0.0;
+  Watts pkg_w = 0.0;
+  ScenarioResult result;
+};
+
+Row Measure(bool hints, Watts limit) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = {
+      {.profile = "cam4", .shares = 1.0},     // AVX frequency-capped.
+      {.profile = "omnetpp", .shares = 1.0},  // Memory-bound (flat IPS).
+      {.profile = "leela", .shares = 1.0},
+      {.profile = "exchange2", .shares = 1.0},
+      {.profile = "gcc", .shares = 1.0},
+      {.profile = "deepsjeng", .shares = 1.0},
+  };
+  c.policy = PolicyKind::kFrequencyShares;
+  c.limit_w = limit;
+  c.warmup_s = 60;  // Probing needs periods to map the IPS/frequency curves.
+  c.measure_s = 60;
+  c.hwp_hints = hints;
+  Row row;
+  row.result = RunScenario(c);
+  row.pkg_w = row.result.avg_pkg_w;
+  for (const AppResult& app : row.result.apps) {
+    row.total_perf += app.norm_perf;
+  }
+  return row;
+}
+
+void Run() {
+  PrintBenchHeader("Ablation A4",
+                   "HWP hints: highest-useful-frequency caps under frequency shares");
+
+  for (double limit : {45.0, 55.0, 85.0}) {
+    const Row off = Measure(false, limit);
+    const Row on = Measure(true, limit);
+    PrintBanner(std::cout, "limit " + TextTable::Num(limit, 0) + " W");
+    TextTable t;
+    t.SetHeader({"app", "MHz (off)", "MHz (on)", "perf (off)", "perf (on)"});
+    for (size_t i = 0; i < off.result.apps.size(); i++) {
+      const AppResult& a = off.result.apps[i];
+      const AppResult& b = on.result.apps[i];
+      t.AddRow({a.name, TextTable::Num(a.avg_active_mhz, 0),
+                TextTable::Num(b.avg_active_mhz, 0), TextTable::Num(a.norm_perf, 2),
+                TextTable::Num(b.norm_perf, 2)});
+    }
+    t.AddRow({"TOTAL (sum perf / pkg W)", TextTable::Num(off.pkg_w, 1) + "W",
+              TextTable::Num(on.pkg_w, 1) + "W", TextTable::Num(off.total_perf, 2),
+              TextTable::Num(on.total_perf, 2)});
+    t.Print(std::cout);
+  }
+  std::cout << "\nReading: hints cap the AVX app (cam4) at its refused-grant frequency\n"
+               "and the memory-bound app (omnetpp) at the lowest frequency preserving\n"
+               "~92% of its peak IPS.  Unconstrained (85 W), that saves package power\n"
+               "at near-identical total performance; under tight limits the saved\n"
+               "power flows to the frequency-sensitive apps.\n";
+}
+
+}  // namespace
+}  // namespace papd
+
+int main() {
+  papd::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation A2: the Ryzen three-P-state selector.
+//
+// The daemon must reduce eight per-core frequency targets to three
+// programmable levels.  This bench compares the exact dynamic-programming
+// clustering against the naive equal-bands quantizer, both offline (SSE on
+// random target vectors) and end-to-end (share-ratio accuracy of the
+// frequency-shares policy on Ryzen when the daemon uses each selector).
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/experiments/harness.h"
+#include "src/experiments/scenarios.h"
+#include "src/policy/pstate_selector.h"
+
+namespace papd {
+namespace {
+
+void OfflineComparison() {
+  PrintBanner(std::cout, "Offline: mean squared frequency error over random target vectors");
+  Rng rng(2024);
+  TextTable t;
+  t.SetHeader({"target spread", "optimal RMS MHz", "naive RMS MHz", "naive/optimal"});
+  for (double spread : {300.0, 800.0, 1500.0, 3000.0}) {
+    double opt_sse = 0.0;
+    double naive_sse = 0.0;
+    constexpr int kTrials = 500;
+    for (int trial = 0; trial < kTrials; trial++) {
+      std::vector<Mhz> targets;
+      const double base = rng.Uniform(800.0, 3800.0 - spread);
+      for (int i = 0; i < 8; i++) {
+        targets.push_back(base + rng.Uniform(0.0, spread));
+      }
+      opt_sse += SelectPStates(targets, 3, 25).sse;
+      naive_sse += SelectPStatesNaive(targets, 3, 25).sse;
+    }
+    const double opt_rms = std::sqrt(opt_sse / (kTrials * 8));
+    const double naive_rms = std::sqrt(naive_sse / (kTrials * 8));
+    t.AddRow({TextTable::Num(spread, 0) + " MHz", TextTable::Num(opt_rms, 1),
+              TextTable::Num(naive_rms, 1), TextTable::Num(naive_rms / opt_rms, 2)});
+  }
+  t.Print(std::cout);
+}
+
+void EndToEnd() {
+  PrintBanner(std::cout,
+              "End-to-end: frequency-share accuracy on Ryzen (70/30 split, 45 W)");
+  // The daemon always uses the optimal selector; quantify what the 3-level
+  // restriction itself costs by comparing achieved against requested
+  // frequency ratios.
+  TextTable t;
+  t.SetHeader({"shares LD/HD", "achieved LD/HD MHz ratio", "requested ratio"});
+  for (auto [ld, hd] : {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}}) {
+    ScenarioConfig c{.platform = Ryzen1700X()};
+    c.apps = ShareSplitMix(8, ld, hd).apps;
+    c.policy = PolicyKind::kFrequencyShares;
+    c.limit_w = 45;
+    c.warmup_s = 30;
+    c.measure_s = 60;
+    const ScenarioResult r = RunScenario(c);
+    double ld_mhz = 0.0;
+    double hd_mhz = 0.0;
+    for (const AppResult& app : r.apps) {
+      (app.name == "leela" ? ld_mhz : hd_mhz) += app.avg_active_mhz / 4.0;
+    }
+    t.AddRow({TextTable::Num(ld, 0) + "/" + TextTable::Num(hd, 0),
+              TextTable::Num(ld_mhz / hd_mhz, 2), TextTable::Num(ld / hd, 2)});
+  }
+  t.Print(std::cout);
+}
+
+void Run() {
+  PrintBenchHeader("Ablation A2", "Three-P-state selection: optimal DP vs naive bands");
+  OfflineComparison();
+  EndToEnd();
+  std::cout << "\nReading: the DP selector beats equal bands most when targets cluster\n"
+               "unevenly (small spreads); end-to-end, the 3-level restriction plus the\n"
+               "800 MHz floor bound the achievable ratio exactly as Figure 10 shows.\n";
+}
+
+}  // namespace
+}  // namespace papd
+
+int main() {
+  papd::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation A7: thermal limiting — local DVFS vs global RAPL (thermald).
+//
+// Paper Section 2.2 notes thermald's mechanisms "can be both global (RAPL)
+// or local (clock cycle gating, DVFS)", and that local mechanisms "may be
+// helpful in building a per-application power delivery system."  This bench
+// quantifies the difference: a cpuburn hotspot next to well-behaved apps
+// under a 75 C limit, with thermald in each mode.  Local throttling
+// confines the penalty to the hot core; global RAPL taxes everyone.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/governor/thermald.h"
+#include "src/msr/msr.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+struct Outcome {
+  Celsius burn_temp = 0.0;
+  Celsius max_other_temp = 0.0;
+  Mhz burn_mhz = 0.0;
+  Mhz others_mhz = 0.0;
+  Watts pkg_w = 0.0;
+};
+
+Outcome Run(ThermalDaemon::Mode mode) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  MsrFile msr(&pkg);
+  Process burn(GetProfile("cpuburn"), 1);
+  pkg.AttachWork(0, &burn);
+  std::vector<std::unique_ptr<Process>> others;
+  for (int c = 1; c <= 5; c++) {
+    others.push_back(std::make_unique<Process>(GetProfile("leela"), 10 + c));
+    pkg.AttachWork(c, others.back().get());
+    msr.WritePerfTargetMhz(c, 3000);
+  }
+  msr.WritePerfTargetMhz(0, 3000);
+
+  ThermalDaemon daemon(&msr, {.limit_c = 75.0, .mode = mode});
+  Simulator sim(&pkg);
+  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(60.0);  // Settle.
+
+  std::vector<double> a0(6);
+  std::vector<double> m0(6);
+  for (int c = 0; c < 6; c++) {
+    a0[static_cast<size_t>(c)] = pkg.core(c).aperf_cycles();
+    m0[static_cast<size_t>(c)] = pkg.core(c).mperf_cycles();
+  }
+  const Joules e0 = pkg.package_energy_j();
+  const Seconds t0 = pkg.now();
+  sim.Run(120.0);
+
+  Outcome out;
+  out.burn_temp = pkg.thermal().core_temp_c(0);
+  out.burn_mhz = (pkg.core(0).aperf_cycles() - a0[0]) /
+                 (pkg.core(0).mperf_cycles() - m0[0]) * spec.tsc_mhz;
+  for (int c = 1; c <= 5; c++) {
+    const auto i = static_cast<size_t>(c);
+    out.max_other_temp = std::max(out.max_other_temp, pkg.thermal().core_temp_c(c));
+    out.others_mhz += (pkg.core(c).aperf_cycles() - a0[i]) /
+                      (pkg.core(c).mperf_cycles() - m0[i]) * spec.tsc_mhz / 5.0;
+  }
+  out.pkg_w = (pkg.package_energy_j() - e0) / (pkg.now() - t0);
+  return out;
+}
+
+void RunAll() {
+  PrintBenchHeader("Ablation A7",
+                   "thermald: local per-core DVFS vs global RAPL at a 75 C limit");
+
+  TextTable t;
+  t.SetHeader({"mode", "virus temp C", "virus MHz", "others MHz", "hottest other C",
+               "pkg W"});
+  const Outcome local = Run(ThermalDaemon::Mode::kPerCoreDvfs);
+  t.AddRow({"per-core DVFS (local)", TextTable::Num(local.burn_temp, 1),
+            TextTable::Num(local.burn_mhz, 0), TextTable::Num(local.others_mhz, 0),
+            TextTable::Num(local.max_other_temp, 1), TextTable::Num(local.pkg_w, 1)});
+  const Outcome global = Run(ThermalDaemon::Mode::kGlobalRapl);
+  t.AddRow({"RAPL (global)", TextTable::Num(global.burn_temp, 1),
+            TextTable::Num(global.burn_mhz, 0), TextTable::Num(global.others_mhz, 0),
+            TextTable::Num(global.max_other_temp, 1), TextTable::Num(global.pkg_w, 1)});
+  t.Print(std::cout);
+
+  std::cout << "\nReading: both modes hold the hotspot at the limit, but global RAPL\n"
+               "drags the five innocent leela cores down with the virus, while local\n"
+               "DVFS leaves them at full speed — the same local-vs-global distinction\n"
+               "that motivates per-application power delivery.\n";
+}
+
+}  // namespace
+}  // namespace papd
+
+int main() {
+  papd::RunAll();
+  return 0;
+}

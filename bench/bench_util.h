@@ -1,0 +1,32 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench prints (a) a header identifying the paper table/figure it
+// regenerates and (b) TextTables with the same rows/series the paper
+// reports.  Absolute values come from the simulator, so the expectation is
+// shape fidelity, not number fidelity (see EXPERIMENTS.md).
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/common/table.h"
+
+namespace papd {
+
+inline void PrintBenchHeader(const std::string& id, const std::string& title) {
+  std::cout << "==========================================================================\n";
+  std::cout << id << ": " << title << "\n";
+  std::cout << "(Per-Application Power Delivery, EuroSys'19 — simulator reproduction)\n";
+  std::cout << "==========================================================================\n";
+}
+
+inline std::string Pct(double fraction, int precision = 1) {
+  return TextTable::Num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace papd
+
+#endif  // BENCH_BENCH_UTIL_H_

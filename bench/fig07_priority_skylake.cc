@@ -1,0 +1,124 @@
+// Figure 7 (and Table 2): priority-policy experiments on Skylake.
+//
+// The Table 2 workload mixes (cactusBSSN = HD, leela = LD; 10H0L .. 1H9L)
+// run under the priority policy and under bare RAPL at 85/50/40 W.  For
+// each run we report, per priority class, the mean normalized performance
+// and mean active frequency — the two panels of Figure 7.  Shapes to
+// reproduce:
+//   - priority protects HP performance; RAPL treats both classes alike;
+//   - at 50/40 W with many HP apps, LP apps starve;
+//   - at 40 W with few HP apps they run *faster* than at 85 W thanks to
+//     opportunistic scaling over the offlined LP cores.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/experiments/harness.h"
+#include "src/experiments/scenarios.h"
+
+namespace papd {
+namespace {
+
+struct ClassStats {
+  double hp_perf = 0.0;
+  double lp_perf = 0.0;
+  Mhz hp_mhz = 0.0;
+  Mhz lp_mhz = 0.0;
+  int lp_starved = 0;
+  Watts pkg_w = 0.0;
+};
+
+ClassStats Measure(const WorkloadMix& mix, PolicyKind policy, Watts limit) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = mix.apps;
+  c.policy = policy;
+  c.limit_w = limit;
+  c.warmup_s = 30;
+  c.measure_s = 60;
+  const ScenarioResult r = RunScenario(c);
+
+  ClassStats s;
+  s.pkg_w = r.avg_pkg_w;
+  int hp_n = 0;
+  int lp_n = 0;
+  for (const AppResult& app : r.apps) {
+    if (app.high_priority) {
+      s.hp_perf += app.norm_perf;
+      s.hp_mhz += app.avg_active_mhz;
+      hp_n++;
+    } else {
+      s.lp_perf += app.norm_perf;
+      s.lp_mhz += app.avg_active_mhz;
+      lp_n++;
+      if (app.starved) {
+        s.lp_starved++;
+      }
+    }
+  }
+  if (hp_n > 0) {
+    s.hp_perf /= hp_n;
+    s.hp_mhz /= hp_n;
+  }
+  if (lp_n > 0) {
+    s.lp_perf /= lp_n;
+    s.lp_mhz /= lp_n;
+  }
+  return s;
+}
+
+void PrintTable2() {
+  PrintBanner(std::cout, "Table 2: workload mixes (columns: count of each app kind)");
+  TextTable t;
+  t.SetHeader({"mix", "cactusBSSN-HP", "leela-HP", "cactusBSSN-LP", "leela-LP"});
+  for (const WorkloadMix& mix : SkylakePriorityMixes()) {
+    int chp = 0;
+    int lhp = 0;
+    int clp = 0;
+    int llp = 0;
+    for (const AppSetup& a : mix.apps) {
+      if (a.profile == "cactusBSSN") {
+        (a.high_priority ? chp : clp)++;
+      } else {
+        (a.high_priority ? lhp : llp)++;
+      }
+    }
+    t.AddRow({mix.label, std::to_string(chp), std::to_string(lhp), std::to_string(clp),
+              std::to_string(llp)});
+  }
+  t.Print(std::cout);
+}
+
+void Run() {
+  PrintBenchHeader("Figure 7 / Table 2", "Priority policy vs RAPL on Skylake");
+  PrintTable2();
+
+  for (PolicyKind policy : {PolicyKind::kPriority, PolicyKind::kRaplOnly}) {
+    PrintBanner(std::cout, std::string("policy: ") + PolicyKindName(policy));
+    TextTable t;
+    t.SetHeader({"limit", "mix", "HP perf", "LP perf", "HP MHz", "LP MHz", "LP starved",
+                 "pkg W"});
+    for (double limit : {85.0, 50.0, 40.0}) {
+      for (const WorkloadMix& mix : SkylakePriorityMixes()) {
+        const ClassStats s = Measure(mix, policy, limit);
+        t.AddRow({TextTable::Num(limit, 0) + "W", mix.label, TextTable::Num(s.hp_perf, 2),
+                  TextTable::Num(s.lp_perf, 2), TextTable::Num(s.hp_mhz, 0),
+                  TextTable::Num(s.lp_mhz, 0), std::to_string(s.lp_starved),
+                  TextTable::Num(s.pkg_w, 1)});
+      }
+    }
+    t.Print(std::cout);
+  }
+  std::cout << "\nPaper shape check: under the priority policy HP perf stays near its 85 W\n"
+               "level at every limit (rising above it at 40 W for 3H7L/1H9L via turbo),\n"
+               "while LP apps starve when residual power runs out; under RAPL both\n"
+               "classes degrade together.\n";
+}
+
+}  // namespace
+}  // namespace papd
+
+int main() {
+  papd::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 12: latency-sensitive experiment with the share policies.
+//
+// The Figure 5 scenario re-run with the daemon policies: websearch on nine
+// cores with 90 shares per core (high priority), cpuburn on one core with
+// 10 shares.  For each limit we report p90 latency relative to websearch
+// running alone at the same limit (the paper's baseline, noted above its
+// bars), for bare RAPL and for frequency/performance shares.  Shape to
+// reproduce: the policies recover most of the loss RAPL inflicts,
+// approaching (sometimes matching) the alone baseline.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/experiments/harness.h"
+
+namespace papd {
+namespace {
+
+void Run() {
+  PrintBenchHeader("Figure 12",
+                   "websearch p90 with policies vs RAPL, relative to running alone");
+
+  TextTable t;
+  t.SetHeader({"limit", "alone p90 ms", "rapl rel.", "freq-shares rel.",
+               "perf-shares rel.", "priority rel."});
+  for (double limit : {65.0, 55.0, 50.0, 45.0, 40.0, 35.0}) {
+    WebsearchConfig base{.platform = SkylakeXeon4114()};
+    base.limit_w = limit;
+    base.warmup_s = 20;
+    base.measure_s = 240;
+
+    WebsearchConfig alone = base;
+    alone.policy = PolicyKind::kRaplOnly;
+    alone.with_cpuburn = false;
+    const WebsearchResult r_alone = RunWebsearch(alone);
+
+    auto rel = [&](PolicyKind policy) {
+      WebsearchConfig c = base;
+      c.policy = policy;
+      c.with_cpuburn = true;
+      const WebsearchResult r = RunWebsearch(c);
+      return r.p90_latency / r_alone.p90_latency;
+    };
+
+    t.AddRow({TextTable::Num(limit, 0) + "W",
+              TextTable::Num(r_alone.p90_latency * 1e3, 1),
+              TextTable::Num(rel(PolicyKind::kRaplOnly), 2),
+              TextTable::Num(rel(PolicyKind::kFrequencyShares), 2),
+              TextTable::Num(rel(PolicyKind::kPerformanceShares), 2),
+              TextTable::Num(rel(PolicyKind::kPriority), 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nPaper shape check: relative p90 under the policies stays near 1.0 at\n"
+               "every limit (occasionally below 1.0 within run-to-run variance), while\n"
+               "RAPL degrades sharply below 45 W.  Performance shares track frequency\n"
+               "shares closely, as the paper notes.\n";
+}
+
+}  // namespace
+}  // namespace papd
+
+int main() {
+  papd::Run();
+  return 0;
+}

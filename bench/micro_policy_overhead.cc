@@ -1,0 +1,231 @@
+// Micro-benchmarks: compute cost of the policy machinery.
+//
+// The paper notes its userspace daemon is not production-grade and that the
+// policy "should be implemented in hardware ... to provide a low sampling
+// overhead" (Section 5).  These google-benchmark measurements quantify the
+// per-iteration cost of each policy's redistribution, the 3-P-state
+// selector, a full daemon step (telemetry read + policy + MSR writes), and
+// a simulator tick.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/thermal.h"
+#include "src/governor/governor.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/policy/frequency_shares.h"
+#include "src/policy/hwp.h"
+#include "src/policy/min_funding.h"
+#include "src/policy/performance_shares.h"
+#include "src/policy/power_shares.h"
+#include "src/policy/priority_policy.h"
+#include "src/policy/pstate_selector.h"
+#include "src/policy/single_core.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/spinlock.h"
+#include "src/specsim/websearch.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+std::vector<ManagedApp> TenApps() {
+  std::vector<ManagedApp> apps;
+  for (int i = 0; i < 10; i++) {
+    apps.push_back(ManagedApp{.name = "app",
+                              .cpu = i,
+                              .shares = 10.0 + 9.0 * i,
+                              .high_priority = i % 2 == 0,
+                              .baseline_ips = 2e9});
+  }
+  return apps;
+}
+
+TelemetrySample FakeSample(int cores, bool per_core_power) {
+  TelemetrySample s;
+  s.t = 1.0;
+  s.dt = 1.0;
+  s.pkg_w = 52.0;
+  for (int i = 0; i < cores; i++) {
+    CoreTelemetry ct;
+    ct.cpu = i;
+    ct.active_mhz = 1500.0 + 100.0 * i;
+    ct.ips = 1.5e9;
+    ct.busy = 1.0;
+    if (per_core_power) {
+      ct.core_w = 4.0;
+    }
+    s.cores.push_back(ct);
+  }
+  return s;
+}
+
+PolicyPlatform Platform() { return MakePolicyPlatform(SkylakeXeon4114()); }
+
+void BM_MinFundingDistribute(benchmark::State& state) {
+  std::vector<ShareRequest> req;
+  for (int i = 0; i < 10; i++) {
+    req.push_back(ShareRequest{.shares = 1.0 + i, .minimum = 800, .maximum = 3000});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistributeProportional(18000.0, req));
+  }
+}
+BENCHMARK(BM_MinFundingDistribute);
+
+void BM_FrequencySharesRedistribute(benchmark::State& state) {
+  FrequencyShares policy(Platform());
+  const auto apps = TenApps();
+  policy.InitialDistribution(apps, 45.0);
+  const TelemetrySample sample = FakeSample(10, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+  }
+}
+BENCHMARK(BM_FrequencySharesRedistribute);
+
+void BM_PerformanceSharesRedistribute(benchmark::State& state) {
+  PerformanceShares policy(Platform());
+  const auto apps = TenApps();
+  policy.InitialDistribution(apps, 45.0);
+  const TelemetrySample sample = FakeSample(10, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+  }
+}
+BENCHMARK(BM_PerformanceSharesRedistribute);
+
+void BM_PowerSharesRedistribute(benchmark::State& state) {
+  PowerShares policy(Platform());
+  const auto apps = TenApps();
+  policy.InitialDistribution(apps, 45.0);
+  const TelemetrySample sample = FakeSample(10, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+  }
+}
+BENCHMARK(BM_PowerSharesRedistribute);
+
+void BM_PriorityRedistribute(benchmark::State& state) {
+  PriorityPolicy policy(Platform(), {});
+  const auto apps = TenApps();
+  policy.InitialDistribution(apps, 45.0);
+  const TelemetrySample sample = FakeSample(10, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+  }
+}
+BENCHMARK(BM_PriorityRedistribute);
+
+void BM_SelectPStates(benchmark::State& state) {
+  const std::vector<Mhz> targets = {3400, 3000, 2600, 2200, 1800, 1400, 1000, 800};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectPStates(targets, 3, 25));
+  }
+}
+BENCHMARK(BM_SelectPStates);
+
+void BM_SelectPStatesNaive(benchmark::State& state) {
+  const std::vector<Mhz> targets = {3400, 3000, 2600, 2200, 1800, 1400, 1000, 800};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectPStatesNaive(targets, 3, 25));
+  }
+}
+BENCHMARK(BM_SelectPStatesNaive);
+
+void BM_SaturationDetectorObserve(benchmark::State& state) {
+  SaturationDetector det(Platform(), 10);
+  const auto apps = TenApps();
+  const TelemetrySample sample = FakeSample(10, false);
+  const std::vector<Mhz> requested(10, 2600.0);
+  for (auto _ : state) {
+    det.Observe(apps, sample, requested);
+  }
+}
+BENCHMARK(BM_SaturationDetectorObserve);
+
+void BM_SingleCoreSharingStep(benchmark::State& state) {
+  SingleCoreSharing policy(Platform(), {{.name = "hd", .shares = 1.0, .demand = 1.4},
+                                        {.name = "ld", .shares = 1.0, .demand = 1.0}});
+  policy.Initial(6.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Step(6.0, 6.5));
+  }
+}
+BENCHMARK(BM_SingleCoreSharingStep);
+
+void BM_ThermalModelUpdate(benchmark::State& state) {
+  ThermalModel model(SkylakeXeon4114().thermal, 10);
+  const std::vector<Watts> power(10, 6.0);
+  for (auto _ : state) {
+    model.Update(power, 8.0, 0.001);
+  }
+}
+BENCHMARK(BM_ThermalModelUpdate);
+
+void BM_GovernorOndemandDecide(benchmark::State& state) {
+  OndemandGovernor gov(GovernorLimits{});
+  double util = 0.3;
+  for (auto _ : state) {
+    util = util < 0.9 ? util + 0.01 : 0.1;
+    benchmark::DoNotOptimize(gov.Decide(util, 2000.0));
+  }
+}
+BENCHMARK(BM_GovernorOndemandDecide);
+
+void BM_SpinLockTick(benchmark::State& state) {
+  SpinLockWork work({0, 1, 2, 3}, SpinLockWork::Params{});
+  const std::vector<Mhz> freqs = {3000, 3000, 3000, 800};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(work.Run(0.001, freqs));
+  }
+}
+BENCHMARK(BM_SpinLockTick);
+
+void BM_WebSearchTick(benchmark::State& state) {
+  WebSearch ws({0, 1, 2, 3, 4, 5, 6, 7, 8}, WebSearch::Params{}, 1);
+  const std::vector<Mhz> freqs(9, 2600.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.Run(0.001, freqs));
+  }
+}
+BENCHMARK(BM_WebSearchTick);
+
+void BM_PackageTick(benchmark::State& state) {
+  Package pkg(SkylakeXeon4114());
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+  }
+  for (auto _ : state) {
+    pkg.Tick(0.001);
+  }
+}
+BENCHMARK(BM_PackageTick);
+
+void BM_DaemonFullStep(benchmark::State& state) {
+  Package pkg(SkylakeXeon4114());
+  MsrFile msr(&pkg);
+  std::vector<std::unique_ptr<Process>> procs;
+  auto apps = TenApps();
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+  }
+  PowerDaemon daemon(&msr, apps,
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0});
+  daemon.Start();
+  for (auto _ : state) {
+    pkg.Tick(0.001);  // Advance so each sample covers a nonzero window.
+    daemon.Step();
+  }
+}
+BENCHMARK(BM_DaemonFullStep);
+
+}  // namespace
+}  // namespace papd

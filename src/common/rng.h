@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (websearch arrivals, workload
+// phase jitter, random experiment mixes) draws from a seeded Xoshiro256**
+// stream so that benches and tests are reproducible bit-for-bit.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace papd {
+
+// Xoshiro256** by Blackman & Vigna (public domain reference implementation
+// re-expressed here).  Seeded through SplitMix64 so that any 64-bit seed
+// yields a well-mixed initial state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).  n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normally distributed (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  // Creates an independent stream: skips the generator ahead by 2^128 draws.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  void Jump();
+};
+
+}  // namespace papd
+
+#endif  // SRC_COMMON_RNG_H_

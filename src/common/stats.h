@@ -1,0 +1,57 @@
+// Summary statistics used by the experiment harness and benches.
+//
+// The paper reports box plots (median, quartiles, 1st/99th percentiles) for
+// the DVFS sweeps and simple means elsewhere; this header provides both.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace papd {
+
+// Streaming accumulator (Welford) for mean/variance/min/max.
+class Accumulator {
+ public:
+  void Add(double x);
+  // Merges another accumulator into this one.
+  void Merge(const Accumulator& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // Population variance; 0 for < 2 samples.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linear-interpolated percentile of a sample set; p in [0, 100].
+// Returns 0 for an empty sample set.
+double Percentile(std::vector<double> samples, double p);
+
+// Box-plot summary matching the paper's figures: median, 1st and 3rd
+// quartiles, and 1st/99th percentiles as whiskers.
+struct BoxStats {
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double p1 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+
+BoxStats Summarize(const std::vector<double>& samples);
+
+}  // namespace papd
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,100 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace papd {
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::Print(std::ostream& os) const {
+  size_t ncols = header_.size();
+  for (const auto& row : rows_) {
+    ncols = std::max(ncols, row.size());
+  }
+  std::vector<size_t> width(ncols, 0);
+  auto widen = [&width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); i++) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < ncols; i++) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(width[i])) << cell;
+      if (i + 1 < ncols) {
+        os << "  ";
+      }
+    }
+    os << "\n";
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < ncols; i++) {
+      total += width[i] + (i + 1 < ncols ? 2 : 0);
+    }
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::WriteCsv(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i) {
+        os << ',';
+      }
+      os << CsvEscape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    write_row(header_);
+  }
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace papd

@@ -1,0 +1,41 @@
+// Unit conventions used throughout the library.
+//
+// All quantities are carried as doubles with the unit encoded in the name
+// (suffix or type alias).  The conventions are:
+//   - frequency:   MHz        (e.g. 2200.0 for 2.2 GHz)
+//   - power:       watts
+//   - energy:      joules
+//   - time:        seconds    (simulated time)
+//   - performance: instructions per second (IPS)
+//
+// Keeping plain doubles (rather than strong unit types) matches the style of
+// the hardware-facing code this library models: MSR values are raw integers
+// with documented unit multipliers, and the translation functions in the
+// policy layer deliberately mix units (power deltas into frequency deltas).
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+namespace papd {
+
+using Mhz = double;
+using Watts = double;
+using Joules = double;
+using Seconds = double;
+using Ips = double;  // Instructions per second.
+using Volts = double;
+
+inline constexpr double kMhzPerGhz = 1000.0;
+inline constexpr double kHzPerMhz = 1.0e6;
+inline constexpr double kNsPerSecond = 1.0e9;
+
+// RAPL energy-status-register granularity: 61 microjoules per tick, the
+// value used by Intel when the energy unit field reads 14 (2^-14 J).
+inline constexpr double kRaplEnergyUnitJoules = 6.103515625e-05;
+
+inline constexpr Mhz GhzToMhz(double ghz) { return ghz * kMhzPerGhz; }
+inline constexpr double MhzToGhz(Mhz mhz) { return mhz / kMhzPerGhz; }
+
+}  // namespace papd
+
+#endif  // SRC_COMMON_UNITS_H_

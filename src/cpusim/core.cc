@@ -1,0 +1,4 @@
+#include "src/cpusim/core.h"
+
+// Core is header-only state; this translation unit exists so the class has a
+// home object file and the header stays cheap to include.

@@ -1,0 +1,77 @@
+// One simulated core: DVFS request state, C-state, hardware counters.
+
+#ifndef SRC_CPUSIM_CORE_H_
+#define SRC_CPUSIM_CORE_H_
+
+#include "src/common/units.h"
+#include "src/specsim/core_work.h"
+
+namespace papd {
+
+class Core {
+ public:
+  Core(int id, Mhz initial_mhz) : id_(id), requested_mhz_(initial_mhz) {}
+
+  int id() const { return id_; }
+
+  // --- Software-visible control state -------------------------------------
+  // Requested (programmed) frequency; the package clamps it by turbo
+  // headroom, AVX caps, and the RAPL ceiling to get the effective frequency.
+  Mhz requested_mhz() const { return requested_mhz_; }
+  void set_requested_mhz(Mhz mhz) { requested_mhz_ = mhz; }
+
+  // Online = C0/C1; offline models a forced deep C-state (core idling,
+  // paper Section 2.1): the core does not execute and draws ~milliwatts.
+  bool online() const { return online_; }
+  void set_online(bool v) { online_ = v; }
+
+  // --- Work attachment -----------------------------------------------------
+  // Exactly one of: a single-core work, membership in a multi-core work
+  // (tracked by the package), or nothing.
+  CoreWork* work() const { return work_; }
+  void set_work(CoreWork* work) { work_ = work; }
+
+  // --- Per-tick results (set by Package::Tick) -----------------------------
+  Mhz effective_mhz() const { return effective_mhz_; }
+  const WorkSlice& last_slice() const { return last_slice_; }
+  Watts power_w() const { return power_w_; }
+
+  void SetTickResults(Mhz effective_mhz, const WorkSlice& slice, Watts power_w) {
+    effective_mhz_ = effective_mhz;
+    last_slice_ = slice;
+    power_w_ = power_w;
+  }
+
+  // --- Hardware counters (monotonic; read via MsrFile) ---------------------
+  double aperf_cycles() const { return aperf_cycles_; }
+  double mperf_cycles() const { return mperf_cycles_; }
+  double instructions_retired() const { return instructions_retired_; }
+  Joules energy_j() const { return energy_j_; }
+
+  void AdvanceCounters(Seconds dt, Mhz tsc_mhz) {
+    const double busy = last_slice_.busy_fraction;
+    aperf_cycles_ += effective_mhz_ * kHzPerMhz * dt * busy;
+    mperf_cycles_ += tsc_mhz * kHzPerMhz * dt * busy;
+    instructions_retired_ += last_slice_.instructions;
+    energy_j_ += power_w_ * dt;
+  }
+
+ private:
+  int id_;
+  Mhz requested_mhz_;
+  bool online_ = true;
+  CoreWork* work_ = nullptr;
+
+  Mhz effective_mhz_ = 0.0;
+  WorkSlice last_slice_;
+  Watts power_w_ = 0.0;
+
+  double aperf_cycles_ = 0.0;
+  double mperf_cycles_ = 0.0;
+  double instructions_retired_ = 0.0;
+  Joules energy_j_ = 0.0;
+};
+
+}  // namespace papd
+
+#endif  // SRC_CPUSIM_CORE_H_

@@ -1,0 +1,191 @@
+#include "src/cpusim/package.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace papd {
+
+Package::Package(PlatformSpec spec)
+    : spec_(std::move(spec)),
+      pstates_(spec_.min_mhz, spec_.turbo_max_mhz, spec_.step_mhz),
+      power_model_(&spec_),
+      rapl_(&spec_),
+      thermal_(spec_.thermal, spec_.num_cores) {
+  cores_.reserve(static_cast<size_t>(spec_.num_cores));
+  for (int i = 0; i < spec_.num_cores; i++) {
+    cores_.emplace_back(i, spec_.base_max_mhz);
+  }
+}
+
+void Package::AttachWork(int core, CoreWork* work) {
+  cores_[static_cast<size_t>(core)].set_work(work);
+}
+
+void Package::DetachWork(int core) { cores_[static_cast<size_t>(core)].set_work(nullptr); }
+
+void Package::AttachMultiWork(MultiCoreWork* work) {
+  for (int c : work->Cores()) {
+    (void)c;
+    assert(c >= 0 && c < num_cores());
+    assert(cores_[static_cast<size_t>(c)].work() == nullptr);
+  }
+  multi_works_.push_back(work);
+}
+
+void Package::SetRequestedMhz(int core, Mhz mhz) {
+  cores_[static_cast<size_t>(core)].set_requested_mhz(pstates_.QuantizeDown(mhz));
+}
+
+void Package::SetOnline(int core, bool online) {
+  cores_[static_cast<size_t>(core)].set_online(online);
+}
+
+void Package::SetRaplLimit(Watts limit_w) {
+  if (!spec_.has_rapl_limit) {
+    PAPD_LOG_WARN("platform %s does not support RAPL limiting; ignored", spec_.name.c_str());
+    return;
+  }
+  rapl_.SetLimit(limit_w);
+}
+
+void Package::ClearRaplLimit() { rapl_.Disable(); }
+
+int Package::DistinctRequestedFrequencies() const {
+  std::set<long> distinct;
+  for (const Core& c : cores_) {
+    if (c.online()) {
+      distinct.insert(static_cast<long>(c.requested_mhz()));
+    }
+  }
+  return static_cast<int>(distinct.size());
+}
+
+namespace {
+
+// True if the core is occupied by any work (single-core or coupled).
+bool HasAnyWork(const Core& core, const std::vector<MultiCoreWork*>& multi) {
+  if (core.work() != nullptr) {
+    return true;
+  }
+  for (const MultiCoreWork* w : multi) {
+    for (int c : w->Cores()) {
+      if (c == core.id()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Package::Tick(Seconds dt) {
+  // 1. Census: cores counted "active" (C0) for the turbo ladder, and cores
+  // running AVX-heavy code for the AVX caps.
+  int active = 0;
+  int avx_active = 0;
+  for (const Core& c : cores_) {
+    if (!c.online() || !HasAnyWork(c, multi_works_)) {
+      continue;
+    }
+    active++;
+    if (c.work() != nullptr && c.work()->UsesAvx()) {
+      avx_active++;
+    }
+  }
+  for (const MultiCoreWork* w : multi_works_) {
+    if (w->UsesAvx()) {
+      avx_active += static_cast<int>(w->Cores().size());
+    }
+  }
+
+  const Mhz turbo_limit = spec_.TurboLimitMhz(active);
+  const Mhz avx_cap = spec_.AvxCapMhz(avx_active);
+
+  // 2. Effective frequencies.
+  std::vector<Mhz> effective(cores_.size(), 0.0);
+  for (size_t i = 0; i < cores_.size(); i++) {
+    const Core& c = cores_[i];
+    if (!c.online()) {
+      continue;
+    }
+    Mhz f = std::min(c.requested_mhz(), turbo_limit);
+    if (rapl_.enabled()) {
+      f = std::min(f, rapl_.ceiling_mhz());
+    }
+    if (c.work() != nullptr && c.work()->UsesAvx()) {
+      f = std::min(f, avx_cap);
+    }
+    if (thermal_.core_temp_c(static_cast<int>(i)) >= spec_.thermal.tj_max_c) {
+      // PROCHOT: the core hard-throttles to the floor until it cools.
+      f = spec_.min_mhz;
+    }
+    effective[i] = std::max(f, spec_.min_mhz);
+  }
+
+  // 3. Run workloads.
+  std::vector<WorkSlice> slices(cores_.size());
+  for (size_t i = 0; i < cores_.size(); i++) {
+    Core& c = cores_[i];
+    if (c.online() && c.work() != nullptr) {
+      slices[i] = c.work()->Run(dt, effective[i]);
+    }
+  }
+  for (MultiCoreWork* w : multi_works_) {
+    std::vector<Mhz> freqs;
+    freqs.reserve(w->Cores().size());
+    for (int c : w->Cores()) {
+      // An offlined member core contributes no cycles.
+      freqs.push_back(cores_[static_cast<size_t>(c)].online() ? effective[static_cast<size_t>(c)]
+                                                              : 0.0);
+    }
+    std::vector<WorkSlice> work_slices = w->Run(dt, freqs);
+    assert(work_slices.size() == w->Cores().size());
+    for (size_t j = 0; j < w->Cores().size(); j++) {
+      slices[static_cast<size_t>(w->Cores()[j])] = work_slices[j];
+    }
+  }
+
+  // 4. Power.
+  Watts total = 0.0;
+  int busy_cores = 0;
+  for (size_t i = 0; i < cores_.size(); i++) {
+    Core& c = cores_[i];
+    Watts p;
+    if (!c.online()) {
+      p = power_model_.OfflineCorePowerW();
+    } else {
+      p = power_model_.CorePowerW(effective[i], slices[i].busy_fraction, slices[i].activity);
+      if (slices[i].busy_fraction > 0.05) {
+        busy_cores++;
+      }
+    }
+    c.SetTickResults(c.online() ? effective[i] : 0.0, slices[i], p);
+    total += p;
+  }
+  const Watts uncore = power_model_.UncorePowerW(busy_cores);
+  total += uncore;
+
+  // 5. RAPL and the thermal model observe this tick's power.
+  rapl_.Update(total, dt);
+  std::vector<Watts> core_powers;
+  core_powers.reserve(cores_.size());
+  for (const Core& c : cores_) {
+    core_powers.push_back(c.power_w());
+  }
+  thermal_.Update(core_powers, uncore, dt);
+
+  // 6. Counters and bookkeeping.
+  for (Core& c : cores_) {
+    c.AdvanceCounters(dt, spec_.tsc_mhz);
+  }
+  last_package_power_w_ = total;
+  last_uncore_power_w_ = uncore;
+  package_energy_j_ += total * dt;
+  now_ += dt;
+}
+
+}  // namespace papd

@@ -1,0 +1,87 @@
+// The simulated processor package: cores, turbo, AVX caps, RAPL, power.
+//
+// Package::Tick advances one time step:
+//   1. effective per-core frequency = min(requested, turbo ladder limit,
+//      AVX cap if the core runs AVX code, RAPL ceiling);
+//   2. workloads run at those frequencies and report slices;
+//   3. the power model converts slices to per-core watts; uncore power is
+//      added; the RAPL controller observes package power and adjusts its
+//      ceiling for the next tick;
+//   4. hardware counters (APERF/MPERF, retired instructions, energy)
+//      advance.
+
+#ifndef SRC_CPUSIM_PACKAGE_H_
+#define SRC_CPUSIM_PACKAGE_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/cpusim/core.h"
+#include "src/cpusim/power_model.h"
+#include "src/cpusim/rapl.h"
+#include "src/cpusim/thermal.h"
+#include "src/platform/platform_spec.h"
+#include "src/specsim/core_work.h"
+
+namespace papd {
+
+class Package {
+ public:
+  explicit Package(PlatformSpec spec);
+
+  const PlatformSpec& spec() const { return spec_; }
+  const PowerModel& power_model() const { return power_model_; }
+  const PStateTable& pstates() const { return pstates_; }
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  Core& core(int i) { return cores_[static_cast<size_t>(i)]; }
+  const Core& core(int i) const { return cores_[static_cast<size_t>(i)]; }
+
+  // --- Work attachment (non-owning) ----------------------------------------
+  void AttachWork(int core, CoreWork* work);
+  void DetachWork(int core);
+  // Attaches a coupled multi-core work to the cores it reports.
+  void AttachMultiWork(MultiCoreWork* work);
+
+  // --- Software controls ----------------------------------------------------
+  // Programs a core's frequency; quantized down to the platform grid.
+  void SetRequestedMhz(int core, Mhz mhz);
+  // Forces a core into/out of a deep C-state.
+  void SetOnline(int core, bool online);
+  // Hardware RAPL limiting (Skylake only in the paper's platforms; a no-op
+  // guard rejects it when the platform lacks the feature).
+  void SetRaplLimit(Watts limit_w);
+  void ClearRaplLimit();
+  const RaplController& rapl() const { return rapl_; }
+  const ThermalModel& thermal() const { return thermal_; }
+
+  // --- Simulation ------------------------------------------------------------
+  void Tick(Seconds dt);
+
+  Seconds now() const { return now_; }
+  Watts last_package_power_w() const { return last_package_power_w_; }
+  Watts last_uncore_power_w() const { return last_uncore_power_w_; }
+  Joules package_energy_j() const { return package_energy_j_; }
+
+  // Number of distinct requested frequencies across online cores; the
+  // Ryzen MSR front-end keeps this <= 3 (spec.max_simultaneous_pstates).
+  int DistinctRequestedFrequencies() const;
+
+ private:
+  PlatformSpec spec_;
+  PStateTable pstates_;
+  PowerModel power_model_;
+  RaplController rapl_;
+  ThermalModel thermal_;
+  std::vector<Core> cores_;
+  std::vector<MultiCoreWork*> multi_works_;
+
+  Seconds now_ = 0.0;
+  Watts last_package_power_w_ = 0.0;
+  Watts last_uncore_power_w_ = 0.0;
+  Joules package_energy_j_ = 0.0;
+};
+
+}  // namespace papd
+
+#endif  // SRC_CPUSIM_PACKAGE_H_

@@ -1,0 +1,42 @@
+#include "src/cpusim/power_model.h"
+
+#include <algorithm>
+
+namespace papd {
+
+Watts PowerModel::CorePowerW(Mhz freq_mhz, double busy, double activity) const {
+  const PowerModelParams& p = spec_->power;
+  const Volts v = VoltsAt(freq_mhz);
+  const double v_ratio = v / p.leak_ref_volts;
+  const Watts leakage = p.leak_ref_w * v_ratio * v_ratio;
+  const Watts dynamic = p.ceff_w_per_v2ghz * activity * v * v * MhzToGhz(freq_mhz) * busy;
+  const Watts gate = p.clock_gate_w * (1.0 - busy);
+  return leakage + dynamic + gate;
+}
+
+Watts PowerModel::UncorePowerW(int busy_cores) const {
+  return spec_->power.uncore_base_w + spec_->power.uncore_per_active_w * busy_cores;
+}
+
+Mhz PowerModel::FrequencyForCorePowerW(Watts watts, double activity) const {
+  // The model is monotone in f (voltage rises with frequency); bisect.
+  Mhz lo = spec_->min_mhz;
+  Mhz hi = spec_->turbo_max_mhz;
+  if (CorePowerW(lo, 1.0, activity) >= watts) {
+    return lo;
+  }
+  if (CorePowerW(hi, 1.0, activity) <= watts) {
+    return hi;
+  }
+  for (int i = 0; i < 48; i++) {
+    const Mhz mid = 0.5 * (lo + hi);
+    if (CorePowerW(mid, 1.0, activity) < watts) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace papd

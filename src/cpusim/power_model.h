@@ -1,0 +1,50 @@
+// Analytic processor power model.
+//
+// Per-core power follows the standard DVFS relation the paper builds on
+// (Section 2.1: P_dyn proportional to V^2 * f):
+//
+//   P_core = leak_ref_w * (V / V_ref)^2                        (leakage)
+//          + ceff * activity * V^2 * f_ghz * busy              (dynamic)
+//          + clock_gate_w * (1 - busy)                         (idle C1)
+//
+// and an offlined (deep C-state) core draws cstate_idle_w.  Uncore power is
+// a base plus a small per-active-core term.  Coefficients live in
+// PlatformSpec::power and are calibrated per platform (DESIGN.md Section 5).
+
+#ifndef SRC_CPUSIM_POWER_MODEL_H_
+#define SRC_CPUSIM_POWER_MODEL_H_
+
+#include "src/common/units.h"
+#include "src/platform/platform_spec.h"
+
+namespace papd {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const PlatformSpec* spec) : spec_(spec) {}
+
+  // Operating voltage at the given frequency.
+  Volts VoltsAt(Mhz freq_mhz) const { return spec_->voltage.At(freq_mhz); }
+
+  // Power of one online core running at freq_mhz with the given activity
+  // factor for `busy` fraction of the time.
+  Watts CorePowerW(Mhz freq_mhz, double busy, double activity) const;
+
+  // Power of an offlined (deep C-state) core.
+  Watts OfflineCorePowerW() const { return spec_->power.cstate_idle_w; }
+
+  // Uncore power with the given number of busy cores.
+  Watts UncorePowerW(int busy_cores) const;
+
+  // Inverse model used by policy translation functions and tests: the
+  // frequency at which an always-busy core with the given activity draws
+  // approximately `watts`.  Clamped to the platform frequency range.
+  Mhz FrequencyForCorePowerW(Watts watts, double activity) const;
+
+ private:
+  const PlatformSpec* spec_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_CPUSIM_POWER_MODEL_H_

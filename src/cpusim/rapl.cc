@@ -1,0 +1,40 @@
+#include "src/cpusim/rapl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papd {
+
+RaplController::RaplController(const PlatformSpec* spec) : spec_(spec) {
+  ceiling_mhz_ = spec_->turbo_max_mhz;
+}
+
+void RaplController::SetLimit(Watts limit_w) {
+  enabled_ = true;
+  limit_w_ = std::clamp(limit_w, spec_->rapl_min_w, spec_->rapl_max_w);
+  ceiling_mhz_ = spec_->turbo_max_mhz;
+  have_avg_ = false;
+}
+
+void RaplController::Disable() {
+  enabled_ = false;
+  ceiling_mhz_ = spec_->turbo_max_mhz;
+}
+
+void RaplController::Update(Watts package_w, Seconds dt) {
+  if (!enabled_) {
+    return;
+  }
+  if (!have_avg_) {
+    avg_w_ = package_w;
+    have_avg_ = true;
+  } else {
+    const double alpha = 1.0 - std::exp(-dt / kWindowS);
+    avg_w_ += alpha * (package_w - avg_w_);
+  }
+  const double error_w = limit_w_ - avg_w_;
+  ceiling_mhz_ += kGainMhzPerWattSecond * error_w * dt;
+  ceiling_mhz_ = std::clamp(ceiling_mhz_, spec_->min_mhz, spec_->turbo_max_mhz);
+}
+
+}  // namespace papd

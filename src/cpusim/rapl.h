@@ -1,0 +1,60 @@
+// Running Average Power Limit (RAPL) controller model.
+//
+// Intel's RAPL keeps the exponentially weighted running average of package
+// power under a programmed limit by adjusting DVFS on fine (millisecond)
+// time scales (paper Section 2.2).  We model the firmware control law as an
+// integral controller on a *package-wide frequency ceiling*:
+//
+//   avg    <- EWMA of package power over ~a RAPL time window
+//   ceiling <- ceiling + gain * (limit - avg) * dt
+//
+// Every core's effective frequency is min(requested, ceiling).  This single
+// mechanism reproduces both behaviours the paper documents:
+//   - with uniform requests (global DVFS) all cores throttle together
+//     (Figure 1), and
+//   - with heterogeneous per-core requests the ceiling bites the *fastest*
+//     cores first while already-throttled cores are untouched (Figure 4:
+//     "RAPL only reduces the frequency of the unconstrained core").
+
+#ifndef SRC_CPUSIM_RAPL_H_
+#define SRC_CPUSIM_RAPL_H_
+
+#include "src/common/units.h"
+#include "src/platform/platform_spec.h"
+
+namespace papd {
+
+class RaplController {
+ public:
+  explicit RaplController(const PlatformSpec* spec);
+
+  // Programs a limit; clamped to the platform's RAPL range.  Enabling resets
+  // the ceiling to the maximum so the controller settles from above, like
+  // hardware re-arming after a limit write.
+  void SetLimit(Watts limit_w);
+  void Disable();
+
+  bool enabled() const { return enabled_; }
+  Watts limit_w() const { return limit_w_; }
+  Mhz ceiling_mhz() const { return ceiling_mhz_; }
+  Watts running_average_w() const { return avg_w_; }
+
+  // Feeds one tick of package power; updates the ceiling.
+  void Update(Watts package_w, Seconds dt);
+
+ private:
+  const PlatformSpec* spec_;
+  bool enabled_ = false;
+  Watts limit_w_ = 0.0;
+  Mhz ceiling_mhz_ = 0.0;
+  Watts avg_w_ = 0.0;
+  bool have_avg_ = false;
+
+  // EWMA time constant (RAPL window) and integral gain.
+  static constexpr Seconds kWindowS = 0.010;
+  static constexpr double kGainMhzPerWattSecond = 4000.0;
+};
+
+}  // namespace papd
+
+#endif  // SRC_CPUSIM_RAPL_H_

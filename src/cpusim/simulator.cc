@@ -1,0 +1,45 @@
+#include "src/cpusim/simulator.h"
+
+namespace papd {
+
+void Simulator::AddPeriodic(Seconds period_s, std::function<void(Seconds)> fn,
+                            Seconds first_at_s) {
+  Periodic p;
+  p.period_s = period_s;
+  p.next_due_s = first_at_s >= 0.0 ? first_at_s : package_->now() + period_s;
+  p.fn = std::move(fn);
+  periodics_.push_back(std::move(p));
+}
+
+void Simulator::StepOnce() {
+  package_->Tick(tick_s_);
+  const Seconds now = package_->now();
+  for (Periodic& p : periodics_) {
+    // A long tick may cross several due times; fire once per crossing so
+    // period accounting stays exact.
+    while (p.next_due_s <= now + 1e-12) {
+      p.fn(now);
+      p.next_due_s += p.period_s;
+    }
+  }
+}
+
+void Simulator::Run(Seconds duration_s) {
+  const Seconds end = package_->now() + duration_s;
+  while (package_->now() + 1e-12 < end) {
+    StepOnce();
+  }
+}
+
+bool Simulator::RunUntil(const std::function<bool()>& done, Seconds max_duration_s) {
+  const Seconds end = package_->now() + max_duration_s;
+  while (package_->now() + 1e-12 < end) {
+    if (done()) {
+      return true;
+    }
+    StepOnce();
+  }
+  return done();
+}
+
+}  // namespace papd

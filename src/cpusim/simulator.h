@@ -1,0 +1,57 @@
+// Discrete-time simulation driver.
+//
+// Advances a Package in fixed ticks (default 1 ms, the time scale on which
+// RAPL firmware acts) and fires registered periodic callbacks — most
+// importantly the policy daemon, which the paper runs at a 1-second period.
+
+#ifndef SRC_CPUSIM_SIMULATOR_H_
+#define SRC_CPUSIM_SIMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/cpusim/package.h"
+
+namespace papd {
+
+class Simulator {
+ public:
+  // The simulator borrows the package; the caller keeps ownership.
+  explicit Simulator(Package* package, Seconds tick_s = 0.001)
+      : package_(package), tick_s_(tick_s) {}
+
+  Package& package() { return *package_; }
+  Seconds now() const { return package_->now(); }
+  Seconds tick_s() const { return tick_s_; }
+
+  // Registers a callback fired every `period_s`, first at `first_at_s`
+  // (defaults to one period in).  Callbacks run after the tick that crosses
+  // their due time, in registration order.
+  void AddPeriodic(Seconds period_s, std::function<void(Seconds now)> fn,
+                   Seconds first_at_s = -1.0);
+
+  // Runs for `duration_s` of simulated time.
+  void Run(Seconds duration_s);
+
+  // Runs until the predicate returns true (checked once per tick) or until
+  // `max_duration_s` elapses.  Returns true if the predicate fired.
+  bool RunUntil(const std::function<bool()>& done, Seconds max_duration_s);
+
+ private:
+  struct Periodic {
+    Seconds period_s;
+    Seconds next_due_s;
+    std::function<void(Seconds)> fn;
+  };
+
+  void StepOnce();
+
+  Package* package_;
+  Seconds tick_s_;
+  std::vector<Periodic> periodics_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_CPUSIM_SIMULATOR_H_

@@ -1,0 +1,33 @@
+#include "src/cpusim/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papd {
+
+ThermalModel::ThermalModel(ThermalParams params, int num_cores)
+    : params_(params), temps_(static_cast<size_t>(num_cores), params.ambient_c) {}
+
+void ThermalModel::Update(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt) {
+  Watts total = uncore_w;
+  for (Watts w : core_w) {
+    total += w;
+  }
+  const double alpha = 1.0 - std::exp(-dt / params_.tau_s);
+  for (size_t i = 0; i < temps_.size(); i++) {
+    const Watts own = i < core_w.size() ? core_w[i] : 0.0;
+    const Watts effective = own + params_.spread_fraction * (total - own);
+    const Celsius steady = params_.ambient_c + params_.r_core_c_per_w * effective;
+    temps_[i] += alpha * (steady - temps_[i]);
+  }
+}
+
+Celsius ThermalModel::max_temp_c() const {
+  Celsius max = params_.ambient_c;
+  for (Celsius t : temps_) {
+    max = std::max(max, t);
+  }
+  return max;
+}
+
+}  // namespace papd

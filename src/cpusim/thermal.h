@@ -1,0 +1,58 @@
+// First-order RC thermal model.
+//
+// Paper Section 2.2 lists Linux's thermald among the mechanisms usable for
+// per-application power control: thermal limits can be enforced with
+// P-states, RAPL, C-states or clock gating, and "as these mechanisms can be
+// both global (RAPL) or local (clock cycle gating, DVFS), they may be
+// helpful in building a per-application power delivery system."  To
+// exercise that path the package carries a standard lumped RC model:
+//
+//   dT_i/dt = (T_amb + R * (P_i + spread) - T_i) / tau
+//
+// per core, where `spread` couples a share of the other cores' and the
+// uncore's heat through the heat spreader.  Steady state is
+// T = T_amb + R * P_effective; tau sets how fast throttling must react.
+
+#ifndef SRC_CPUSIM_THERMAL_H_
+#define SRC_CPUSIM_THERMAL_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/platform/platform_spec.h"
+
+namespace papd {
+
+using Celsius = double;
+
+// Parameter semantics (fields of PlatformThermal):
+//   ambient_c        — heatsink/ambient baseline temperature;
+//   r_core_c_per_w   — junction-to-ambient resistance of one core's stack;
+//   spread_fraction  — fraction of the *other* heat (remaining cores +
+//                      uncore) coupling into each core via the spreader;
+//   tau_s            — core thermal time constant;
+//   tj_max_c         — junction limit (PROCHOT threshold).
+using ThermalParams = PlatformThermal;
+
+class ThermalModel {
+ public:
+  ThermalModel(ThermalParams params, int num_cores);
+
+  // Advances the model one tick given per-core power and uncore power.
+  void Update(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt);
+
+  Celsius core_temp_c(int core) const { return temps_[static_cast<size_t>(core)]; }
+  Celsius max_temp_c() const;
+  const ThermalParams& params() const { return params_; }
+
+  // True if any core is at/above the junction limit.
+  bool OverLimit() const { return max_temp_c() >= params_.tj_max_c; }
+
+ private:
+  ThermalParams params_;
+  std::vector<Celsius> temps_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_CPUSIM_THERMAL_H_

@@ -1,0 +1,249 @@
+#include "src/experiments/harness.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/msr/msr.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/websearch.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+// Counter snapshot used to window statistics to [warmup, warmup+measure].
+struct CounterWindow {
+  std::vector<double> aperf;
+  std::vector<double> mperf;
+  std::vector<double> instructions;
+  std::vector<Joules> core_energy;
+  Joules pkg_energy = 0.0;
+  Seconds t = 0.0;
+
+  static CounterWindow Take(const Package& pkg) {
+    CounterWindow w;
+    const int n = pkg.num_cores();
+    for (int i = 0; i < n; i++) {
+      const Core& c = pkg.core(i);
+      w.aperf.push_back(c.aperf_cycles());
+      w.mperf.push_back(c.mperf_cycles());
+      w.instructions.push_back(c.instructions_retired());
+      w.core_energy.push_back(c.energy_j());
+    }
+    w.pkg_energy = pkg.package_energy_j();
+    w.t = pkg.now();
+    return w;
+  }
+};
+
+}  // namespace
+
+const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::string& profile) {
+  static std::map<std::pair<std::string, std::string>, StandaloneBaseline> cache;
+  const auto key = std::make_pair(platform.name, profile);
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+
+  Package pkg(platform);
+  Process proc(GetProfile(profile), /*seed=*/1);
+  pkg.AttachWork(0, &proc);
+  pkg.SetRequestedMhz(0, platform.turbo_max_mhz);
+  for (int c = 1; c < pkg.num_cores(); c++) {
+    pkg.SetRequestedMhz(c, platform.min_mhz);
+  }
+  Simulator sim(&pkg);
+  sim.Run(5.0);  // Warmup.
+  const CounterWindow start = CounterWindow::Take(pkg);
+  sim.Run(30.0);
+  const CounterWindow end = CounterWindow::Take(pkg);
+  const Seconds dt = end.t - start.t;
+
+  StandaloneBaseline b;
+  b.ips = (end.instructions[0] - start.instructions[0]) / dt;
+  const double dm = end.mperf[0] - start.mperf[0];
+  b.active_mhz = dm > 0.0 ? (end.aperf[0] - start.aperf[0]) / dm * platform.tsc_mhz : 0.0;
+  b.pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
+  b.core_w = (end.core_energy[0] - start.core_energy[0]) / dt;
+  return cache.emplace(key, b).first->second;
+}
+
+ScenarioResult RunScenario(const ScenarioConfig& config) {
+  assert(static_cast<int>(config.apps.size()) <= config.platform.num_cores);
+
+  Package pkg(config.platform);
+  MsrFile msr(&pkg);
+
+  // Instantiate and pin the workloads.
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<ManagedApp> managed;
+  for (size_t i = 0; i < config.apps.size(); i++) {
+    const AppSetup& setup = config.apps[i];
+    procs.push_back(
+        std::make_unique<Process>(GetProfile(setup.profile), config.seed + 1000 * i));
+    pkg.AttachWork(static_cast<int>(i), procs.back().get());
+    managed.push_back(ManagedApp{
+        .name = setup.profile,
+        .cpu = static_cast<int>(i),
+        .shares = setup.shares,
+        .high_priority = setup.high_priority,
+        .baseline_ips = Standalone(config.platform, setup.profile).ips,
+    });
+  }
+  // Unmanaged (empty) cores idle at the minimum P-state.
+  for (int c = static_cast<int>(config.apps.size()); c < pkg.num_cores(); c++) {
+    pkg.SetRequestedMhz(c, config.platform.min_mhz);
+  }
+
+  DaemonConfig dcfg;
+  dcfg.kind = config.policy;
+  dcfg.power_limit_w = config.limit_w;
+  dcfg.period_s = config.daemon_period_s;
+  dcfg.priority = config.priority;
+  dcfg.static_mhz = config.static_mhz;
+  dcfg.use_hwp_hints = config.hwp_hints;
+  PowerDaemon daemon(&msr, managed, dcfg);
+  daemon.Start();
+
+  Simulator sim(&pkg);
+  if (config.policy != PolicyKind::kStatic) {
+    sim.AddPeriodic(config.daemon_period_s, [&daemon](Seconds) { daemon.Step(); });
+  }
+
+  sim.Run(config.warmup_s);
+  const CounterWindow start = CounterWindow::Take(pkg);
+  sim.Run(config.measure_s);
+  const CounterWindow end = CounterWindow::Take(pkg);
+  const Seconds dt = end.t - start.t;
+
+  ScenarioResult result;
+  result.measured_s = dt;
+  result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
+  for (size_t i = 0; i < config.apps.size(); i++) {
+    const ManagedApp& app = managed[i];
+    AppResult r;
+    r.name = app.name;
+    r.cpu = app.cpu;
+    r.high_priority = app.high_priority;
+    r.shares = app.shares;
+    r.avg_ips = (end.instructions[i] - start.instructions[i]) / dt;
+    r.norm_perf = app.baseline_ips > 0.0 ? r.avg_ips / app.baseline_ips : 0.0;
+    const double dm = end.mperf[i] - start.mperf[i];
+    r.avg_active_mhz =
+        dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+    r.avg_busy = dm / (config.platform.tsc_mhz * kHzPerMhz * dt);
+    r.avg_core_w = (end.core_energy[i] - start.core_energy[i]) / dt;
+    r.starved = r.avg_busy < 0.01;
+    result.apps.push_back(r);
+  }
+  return result;
+}
+
+void AddResourceShares(ScenarioResult* result) {
+  double total_freq = 0.0;
+  double total_perf = 0.0;
+  double total_power = 0.0;
+  for (const AppResult& app : result->apps) {
+    total_freq += app.avg_active_mhz;
+    total_perf += app.norm_perf;
+    total_power += app.avg_core_w;
+  }
+  for (AppResult& app : result->apps) {
+    app.share_of_freq = total_freq > 0.0 ? app.avg_active_mhz / total_freq : 0.0;
+    app.share_of_perf = total_perf > 0.0 ? app.norm_perf / total_perf : 0.0;
+    app.share_of_power = total_power > 0.0 ? app.avg_core_w / total_power : 0.0;
+  }
+}
+
+WebsearchResult RunWebsearch(const WebsearchConfig& config) {
+  Package pkg(config.platform);
+  MsrFile msr(&pkg);
+
+  const int n = config.platform.num_cores;
+  const int burn_cpu = n - 1;
+  std::vector<int> ws_cores;
+  for (int c = 0; c < burn_cpu; c++) {
+    ws_cores.push_back(c);
+  }
+
+  WebSearch::Params params;
+  params.users = config.users;
+  WebSearch websearch(ws_cores, params, config.seed);
+  pkg.AttachMultiWork(&websearch);
+
+  std::unique_ptr<Process> burn;
+  if (config.with_cpuburn) {
+    burn = std::make_unique<Process>(GetProfile("cpuburn"), config.seed + 7);
+    pkg.AttachWork(burn_cpu, burn.get());
+  } else {
+    pkg.SetRequestedMhz(burn_cpu, config.platform.min_mhz);
+  }
+
+  // Managed-app list: one entry per websearch worker core (high shares,
+  // high priority) and one for the power virus.
+  std::vector<ManagedApp> managed;
+  // Baseline per-core IPS: websearch is open-ended, so use the per-core
+  // service capacity at max frequency as the normalization (only the
+  // performance-share policy consumes this).
+  const Ips ws_baseline = config.platform.turbo_max_mhz * kHzPerMhz * params.ipc;
+  for (int c : ws_cores) {
+    managed.push_back(ManagedApp{.name = "websearch",
+                                 .cpu = c,
+                                 .shares = config.websearch_shares,
+                                 .high_priority = true,
+                                 .baseline_ips = ws_baseline});
+  }
+  if (config.with_cpuburn) {
+    managed.push_back(ManagedApp{.name = "cpuburn",
+                                 .cpu = burn_cpu,
+                                 .shares = config.cpuburn_shares,
+                                 .high_priority = false,
+                                 .baseline_ips = Standalone(config.platform, "cpuburn").ips});
+  }
+
+  DaemonConfig dcfg;
+  dcfg.kind = config.policy;
+  dcfg.power_limit_w = config.limit_w;
+  PowerDaemon daemon(&msr, managed, dcfg);
+  daemon.Start();
+
+  Simulator sim(&pkg);
+  if (config.policy != PolicyKind::kStatic) {
+    sim.AddPeriodic(dcfg.period_s, [&daemon](Seconds) { daemon.Step(); });
+  }
+
+  sim.Run(config.warmup_s);
+  websearch.ResetStats();
+  const CounterWindow start = CounterWindow::Take(pkg);
+  sim.Run(config.measure_s);
+  const CounterWindow end = CounterWindow::Take(pkg);
+  const Seconds dt = end.t - start.t;
+
+  WebsearchResult result;
+  result.p50_latency = websearch.LatencyPercentile(50.0);
+  result.p90_latency = websearch.LatencyPercentile(90.0);
+  result.p99_latency = websearch.LatencyPercentile(99.0);
+  result.completed_requests = websearch.completed_requests();
+  result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
+
+  double ws_mhz = 0.0;
+  for (int c : ws_cores) {
+    const auto i = static_cast<size_t>(c);
+    const double dm = end.mperf[i] - start.mperf[i];
+    ws_mhz += dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+  }
+  result.websearch_avg_mhz = ws_mhz / static_cast<double>(ws_cores.size());
+  {
+    const auto i = static_cast<size_t>(burn_cpu);
+    const double dm = end.mperf[i] - start.mperf[i];
+    result.cpuburn_avg_mhz =
+        dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+  }
+  return result;
+}
+
+}  // namespace papd

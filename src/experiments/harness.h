@@ -1,0 +1,119 @@
+// Experiment harness: builds a platform, pins workloads, runs a policy (or
+// bare RAPL), and reduces the run to the statistics the paper reports.
+//
+// Every bench binary is a thin driver over RunScenario / RunWebsearch plus
+// table formatting; keeping the execution logic here guarantees all
+// experiments measure the same way (identical warmup handling, counter
+// windows, and normalization baselines).
+
+#ifndef SRC_EXPERIMENTS_HARNESS_H_
+#define SRC_EXPERIMENTS_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/platform/platform_spec.h"
+#include "src/policy/daemon.h"
+
+namespace papd {
+
+// One application slot in a scenario; pinned to cores 0..n-1 in order.
+struct AppSetup {
+  std::string profile;
+  double shares = 1.0;
+  bool high_priority = false;
+};
+
+struct ScenarioConfig {
+  PlatformSpec platform;
+  std::vector<AppSetup> apps;
+  PolicyKind policy = PolicyKind::kRaplOnly;
+  Watts limit_w = 85.0;
+  // Statistics are collected over [warmup_s, warmup_s + measure_s].
+  Seconds warmup_s = 20.0;
+  Seconds measure_s = 120.0;
+  Seconds daemon_period_s = 1.0;
+  Mhz static_mhz = 0.0;  // PolicyKind::kStatic.
+  PriorityPolicy::Options priority;
+  // HWP-style highest-useful-frequency hints (DaemonConfig::use_hwp_hints).
+  bool hwp_hints = false;
+  uint64_t seed = 42;
+};
+
+struct AppResult {
+  std::string name;
+  int cpu = 0;
+  bool high_priority = false;
+  double shares = 1.0;
+  Ips avg_ips = 0.0;
+  // Performance normalized to the app running alone, unconstrained, at the
+  // maximum P-state (the paper's "standalone at 85 W" baseline).
+  double norm_perf = 0.0;
+  Mhz avg_active_mhz = 0.0;
+  double avg_busy = 0.0;
+  Watts avg_core_w = 0.0;
+  bool starved = false;
+  // Fraction of the scenario total each app used; see AddResourceShares.
+  double share_of_freq = 0.0;
+  double share_of_perf = 0.0;
+  double share_of_power = 0.0;
+};
+
+struct ScenarioResult {
+  std::vector<AppResult> apps;
+  Watts avg_pkg_w = 0.0;
+  Seconds measured_s = 0.0;
+};
+
+// Runs a scenario to steady state and reports per-app averages over the
+// measurement window.
+ScenarioResult RunScenario(const ScenarioConfig& config);
+
+// Fills share_of_* from the scenario totals (the paper's "percent of total
+// resource used" visualization, Figures 10-11).
+void AddResourceShares(ScenarioResult* result);
+
+// Standalone baseline: the app alone on core 0 of the platform,
+// unconstrained, requesting the maximum P-state.  Cached per
+// (platform, profile).
+struct StandaloneBaseline {
+  Ips ips = 0.0;
+  Mhz active_mhz = 0.0;
+  Watts pkg_w = 0.0;
+  Watts core_w = 0.0;
+};
+const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::string& profile);
+
+// --- Latency-sensitive experiments (Figures 5, 12, 13) ----------------------
+
+struct WebsearchConfig {
+  PlatformSpec platform;
+  PolicyKind policy = PolicyKind::kRaplOnly;
+  Watts limit_w = 85.0;
+  bool with_cpuburn = true;
+  double websearch_shares = 90.0;
+  double cpuburn_shares = 10.0;
+  int users = 300;
+  Seconds warmup_s = 30.0;
+  Seconds measure_s = 600.0;  // The paper's 600 s transaction window.
+  uint64_t seed = 42;
+};
+
+struct WebsearchResult {
+  Seconds p50_latency = 0.0;
+  Seconds p90_latency = 0.0;
+  Seconds p99_latency = 0.0;
+  size_t completed_requests = 0;
+  Mhz websearch_avg_mhz = 0.0;
+  Mhz cpuburn_avg_mhz = 0.0;
+  Watts avg_pkg_w = 0.0;
+};
+
+// Websearch on all-but-one core (high priority / high shares), optionally a
+// cpuburn power virus on the last core, under the given policy and limit.
+WebsearchResult RunWebsearch(const WebsearchConfig& config);
+
+}  // namespace papd
+
+#endif  // SRC_EXPERIMENTS_HARNESS_H_

@@ -1,0 +1,94 @@
+#include "src/experiments/scenarios.h"
+
+namespace papd {
+namespace {
+
+AppSetup Hp(const std::string& profile) {
+  return AppSetup{.profile = profile, .shares = 1.0, .high_priority = true};
+}
+
+AppSetup Lp(const std::string& profile) {
+  return AppSetup{.profile = profile, .shares = 1.0, .high_priority = false};
+}
+
+void Repeat(std::vector<AppSetup>* out, const AppSetup& app, int count) {
+  for (int i = 0; i < count; i++) {
+    out->push_back(app);
+  }
+}
+
+}  // namespace
+
+std::vector<WorkloadMix> SkylakePriorityMixes() {
+  // Table 2 exactly: columns are cactusBSSN-HP, leela-HP, cactusBSSN-LP,
+  // leela-LP.
+  std::vector<WorkloadMix> mixes;
+  auto make = [](const std::string& label, int chp, int lhp, int clp, int llp) {
+    WorkloadMix mix;
+    mix.label = label;
+    Repeat(&mix.apps, Hp("cactusBSSN"), chp);
+    Repeat(&mix.apps, Hp("leela"), lhp);
+    Repeat(&mix.apps, Lp("cactusBSSN"), clp);
+    Repeat(&mix.apps, Lp("leela"), llp);
+    return mix;
+  };
+  mixes.push_back(make("10H0L", 5, 5, 0, 0));
+  mixes.push_back(make("7H3L", 4, 3, 1, 2));
+  mixes.push_back(make("5H5L", 5, 0, 0, 5));
+  mixes.push_back(make("3H7L", 2, 1, 3, 4));
+  mixes.push_back(make("1H9L", 1, 0, 4, 5));
+  return mixes;
+}
+
+std::vector<WorkloadMix> RyzenPriorityMixes() {
+  std::vector<WorkloadMix> mixes;
+  auto make = [](const std::string& label, int chp, int lhp, int clp, int llp) {
+    WorkloadMix mix;
+    mix.label = label;
+    Repeat(&mix.apps, Hp("cactusBSSN"), chp);
+    Repeat(&mix.apps, Hp("leela"), lhp);
+    Repeat(&mix.apps, Lp("cactusBSSN"), clp);
+    Repeat(&mix.apps, Lp("leela"), llp);
+    return mix;
+  };
+  // Figure 8: similar-demand HP (8H, 4H4L with all-HD HP) and mixed-demand
+  // HP (6H2L, 2H6L) variations; HD/LD counts stay balanced overall.
+  mixes.push_back(make("8H0L", 4, 4, 0, 0));
+  mixes.push_back(make("6H2L", 3, 3, 1, 1));
+  mixes.push_back(make("4H4L", 4, 0, 0, 4));
+  mixes.push_back(make("2H6L", 1, 1, 3, 3));
+  return mixes;
+}
+
+WorkloadMix ShareSplitMix(int num_cores, double ld_shares, double hd_shares) {
+  WorkloadMix mix;
+  mix.label = std::to_string(static_cast<int>(ld_shares)) + "/" +
+              std::to_string(static_cast<int>(hd_shares));
+  const int half = num_cores / 2;
+  Repeat(&mix.apps, AppSetup{.profile = "leela", .shares = ld_shares}, half);
+  Repeat(&mix.apps, AppSetup{.profile = "cactusBSSN", .shares = hd_shares}, half);
+  return mix;
+}
+
+std::vector<RandomSet> RandomSets() {
+  return {
+      RandomSet{.label = "A",
+                .apps = {"deepsjeng", "perlbench", "cactusBSSN", "exchange2", "gcc"}},
+      RandomSet{.label = "B", .apps = {"deepsjeng", "omnetpp", "perlbench", "cam4", "lbm"}},
+  };
+}
+
+std::vector<AppSetup> RandomSetApps(const RandomSet& set) {
+  // Share levels {20, 40, 60, 80, 100} by application index, two copies of
+  // each application, both copies at the same level.
+  std::vector<AppSetup> apps;
+  for (size_t i = 0; i < set.apps.size(); i++) {
+    const double shares = 20.0 * static_cast<double>(i + 1);
+    for (int copy = 0; copy < 2; copy++) {
+      apps.push_back(AppSetup{.profile = set.apps[i], .shares = shares});
+    }
+  }
+  return apps;
+}
+
+}  // namespace papd

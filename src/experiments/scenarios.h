@@ -1,0 +1,48 @@
+// Standard workload mixes from the paper's evaluation.
+//
+// Table 2 (Skylake priority mixes), the Ryzen priority mixes of Figure 8,
+// the leela/cactusBSSN share splits of Figures 9-10, and the random
+// application sets of Table 3 / Figure 11.
+
+#ifndef SRC_EXPERIMENTS_SCENARIOS_H_
+#define SRC_EXPERIMENTS_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/experiments/harness.h"
+
+namespace papd {
+
+struct WorkloadMix {
+  std::string label;
+  std::vector<AppSetup> apps;
+};
+
+// Table 2: the five Skylake priority mixes (10H0L ... 1H9L) built from
+// cactusBSSN (HD) and leela (LD).
+std::vector<WorkloadMix> SkylakePriorityMixes();
+
+// Figure 8: the four Ryzen priority mixes (8H0L, 6H2L, 4H4L, 2H6L).
+std::vector<WorkloadMix> RyzenPriorityMixes();
+
+// Figures 9-10: half the cores run leela (LD) at `ld_shares`, half run
+// cactusBSSN (HD) at `hd_shares`.
+WorkloadMix ShareSplitMix(int num_cores, double ld_shares, double hd_shares);
+
+// Table 3: the random application sets A and B (five apps each; the
+// scenario runs two copies of each app on the ten Skylake cores).  Share
+// levels are per the paper: {20, 40, 60, 80, 100} by app index.
+struct RandomSet {
+  std::string label;
+  std::vector<std::string> apps;  // apps[i] is application #i.
+};
+std::vector<RandomSet> RandomSets();
+
+// Builds the ten-app scenario for a random set: two copies of each app,
+// both copies at the same share level.
+std::vector<AppSetup> RandomSetApps(const RandomSet& set);
+
+}  // namespace papd
+
+#endif  // SRC_EXPERIMENTS_SCENARIOS_H_

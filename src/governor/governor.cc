@@ -1,0 +1,92 @@
+#include "src/governor/governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papd {
+namespace {
+
+Mhz Quantize(Mhz mhz, const GovernorLimits& limits) {
+  const double steps = std::round((mhz - limits.min_mhz) / limits.step_mhz);
+  return std::clamp(limits.min_mhz + steps * limits.step_mhz, limits.min_mhz, limits.max_mhz);
+}
+
+}  // namespace
+
+Mhz PerformanceGovernor::Decide(double utilization, Mhz current_mhz) {
+  (void)utilization;
+  (void)current_mhz;
+  return limits_.max_mhz;
+}
+
+Mhz PowersaveGovernor::Decide(double utilization, Mhz current_mhz) {
+  (void)utilization;
+  (void)current_mhz;
+  return limits_.min_mhz;
+}
+
+Mhz UserspaceGovernor::Decide(double utilization, Mhz current_mhz) {
+  (void)utilization;
+  (void)current_mhz;
+  return Quantize(target_mhz_, limits_);
+}
+
+OndemandGovernor::OndemandGovernor(GovernorLimits limits)
+    : OndemandGovernor(limits, Params()) {}
+
+Mhz OndemandGovernor::Decide(double utilization, Mhz current_mhz) {
+  (void)current_mhz;
+  if (utilization >= params_.up_threshold) {
+    return limits_.max_mhz;
+  }
+  return Quantize(utilization * limits_.max_mhz / params_.headroom, limits_);
+}
+
+ConservativeGovernor::ConservativeGovernor(GovernorLimits limits)
+    : ConservativeGovernor(limits, Params()) {}
+
+Mhz ConservativeGovernor::Decide(double utilization, Mhz current_mhz) {
+  const Mhz step =
+      std::max(limits_.step_mhz, params_.freq_step * (limits_.max_mhz - limits_.min_mhz));
+  if (utilization >= params_.up_threshold) {
+    return Quantize(current_mhz + step, limits_);
+  }
+  if (utilization <= params_.down_threshold) {
+    return Quantize(current_mhz - step, limits_);
+  }
+  return Quantize(current_mhz, limits_);
+}
+
+const char* GovernorKindName(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kPerformance:
+      return "performance";
+    case GovernorKind::kPowersave:
+      return "powersave";
+    case GovernorKind::kUserspace:
+      return "userspace";
+    case GovernorKind::kOndemand:
+      return "ondemand";
+    case GovernorKind::kConservative:
+      return "conservative";
+  }
+  return "?";
+}
+
+std::unique_ptr<FreqGovernor> MakeGovernor(GovernorKind kind, GovernorLimits limits) {
+  switch (kind) {
+    case GovernorKind::kPerformance:
+      return std::make_unique<PerformanceGovernor>(limits);
+    case GovernorKind::kPowersave:
+      return std::make_unique<PowersaveGovernor>(limits);
+    case GovernorKind::kUserspace:
+      return std::make_unique<UserspaceGovernor>(limits, limits.max_mhz);
+    case GovernorKind::kOndemand:
+      return std::make_unique<OndemandGovernor>(limits);
+    case GovernorKind::kConservative:
+      return std::make_unique<ConservativeGovernor>(limits);
+  }
+  return nullptr;
+}
+
+}  // namespace papd

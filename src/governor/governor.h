@@ -1,0 +1,129 @@
+// OS frequency governors (paper Section 2.2).
+//
+// Before per-application power policies, the standard software consumers of
+// DVFS were per-core utilization-driven governors: Linux cpufreq's
+// `performance`, `powersave`, `userspace`, `ondemand` and `conservative`.
+// The paper's experiments use the userspace governor so the daemon can set
+// P-states directly; the others are implemented here both as substrate
+// (they are the incumbent mechanism the policies replace) and as baselines
+// for the governor-comparison bench: a utilization governor has no notion
+// of shares or priority, so it cannot provide differential power delivery.
+//
+// Each governor is a pure decision function from the previous decision and
+// the core's measured C0 utilization to the next frequency request.
+
+#ifndef SRC_GOVERNOR_GOVERNOR_H_
+#define SRC_GOVERNOR_GOVERNOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace papd {
+
+struct GovernorLimits {
+  Mhz min_mhz = 800;
+  Mhz max_mhz = 3000;
+  Mhz step_mhz = 100;
+};
+
+class FreqGovernor {
+ public:
+  virtual ~FreqGovernor() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Next frequency request given the core's utilization (C0 fraction, 0..1)
+  // over the last sample period and the current request.
+  virtual Mhz Decide(double utilization, Mhz current_mhz) = 0;
+};
+
+// Always the maximum frequency.
+class PerformanceGovernor : public FreqGovernor {
+ public:
+  explicit PerformanceGovernor(GovernorLimits limits) : limits_(limits) {}
+  std::string Name() const override { return "performance"; }
+  Mhz Decide(double utilization, Mhz current_mhz) override;
+
+ private:
+  GovernorLimits limits_;
+};
+
+// Always the minimum frequency.
+class PowersaveGovernor : public FreqGovernor {
+ public:
+  explicit PowersaveGovernor(GovernorLimits limits) : limits_(limits) {}
+  std::string Name() const override { return "powersave"; }
+  Mhz Decide(double utilization, Mhz current_mhz) override;
+
+ private:
+  GovernorLimits limits_;
+};
+
+// Holds whatever frequency was programmed through set_mhz (the governor the
+// paper's daemon uses on real hardware).
+class UserspaceGovernor : public FreqGovernor {
+ public:
+  UserspaceGovernor(GovernorLimits limits, Mhz initial_mhz)
+      : limits_(limits), target_mhz_(initial_mhz) {}
+  std::string Name() const override { return "userspace"; }
+  Mhz Decide(double utilization, Mhz current_mhz) override;
+  void set_mhz(Mhz mhz) { target_mhz_ = mhz; }
+
+ private:
+  GovernorLimits limits_;
+  Mhz target_mhz_;
+};
+
+// Linux ondemand: jump to max above the up-threshold, otherwise request
+// proportional-to-utilization with headroom.
+class OndemandGovernor : public FreqGovernor {
+ public:
+  struct Params {
+    double up_threshold = 0.80;
+    // Proportional target = util * max / this factor, i.e. keep some
+    // headroom so bursts don't immediately saturate.
+    double headroom = 0.80;
+  };
+  explicit OndemandGovernor(GovernorLimits limits);
+  OndemandGovernor(GovernorLimits limits, Params params)
+      : limits_(limits), params_(params) {}
+  std::string Name() const override { return "ondemand"; }
+  Mhz Decide(double utilization, Mhz current_mhz) override;
+
+ private:
+  GovernorLimits limits_;
+  Params params_;
+};
+
+// Linux conservative: like ondemand but moves in steps instead of jumping.
+class ConservativeGovernor : public FreqGovernor {
+ public:
+  struct Params {
+    double up_threshold = 0.80;
+    double down_threshold = 0.20;
+    // Step per decision as a fraction of the frequency range.
+    double freq_step = 0.05;
+  };
+  explicit ConservativeGovernor(GovernorLimits limits);
+  ConservativeGovernor(GovernorLimits limits, Params params)
+      : limits_(limits), params_(params) {}
+  std::string Name() const override { return "conservative"; }
+  Mhz Decide(double utilization, Mhz current_mhz) override;
+
+ private:
+  GovernorLimits limits_;
+  Params params_;
+};
+
+enum class GovernorKind { kPerformance, kPowersave, kUserspace, kOndemand, kConservative };
+
+const char* GovernorKindName(GovernorKind kind);
+
+// Factory; userspace starts at max_mhz.
+std::unique_ptr<FreqGovernor> MakeGovernor(GovernorKind kind, GovernorLimits limits);
+
+}  // namespace papd
+
+#endif  // SRC_GOVERNOR_GOVERNOR_H_

@@ -1,0 +1,37 @@
+#include "src/governor/governor_daemon.h"
+
+namespace papd {
+
+GovernorDaemon::GovernorDaemon(MsrFile* msr, GovernorKind kind)
+    : msr_(msr), turbostat_(msr) {
+  const PlatformSpec& spec = msr->spec();
+  const GovernorLimits limits{
+      .min_mhz = spec.min_mhz, .max_mhz = spec.turbo_max_mhz, .step_mhz = spec.step_mhz};
+  for (int c = 0; c < msr->num_cores(); c++) {
+    governors_.push_back(MakeGovernor(kind, limits));
+    requests_.push_back(spec.base_max_mhz);
+  }
+}
+
+void GovernorDaemon::Step() {
+  const TelemetrySample sample = turbostat_.Sample();
+  if (sample.dt <= 0.0) {
+    return;
+  }
+  for (int c = 0; c < msr_->num_cores(); c++) {
+    const auto i = static_cast<size_t>(c);
+    if (!sample.cores[i].online) {
+      continue;
+    }
+    requests_[i] = governors_[i]->Decide(sample.cores[i].busy, requests_[i]);
+    if (msr_->spec().max_simultaneous_pstates == 0) {
+      msr_->WritePerfTargetMhz(c, requests_[i]);
+    }
+    // On a 3-P-state platform a per-core governor cannot program arbitrary
+    // per-core values; the bench only runs governors on Skylake.  (A Ryzen
+    // governor would need the daemon's selector; Linux's acpi-cpufreq has
+    // the same restriction on these parts.)
+  }
+}
+
+}  // namespace papd

@@ -1,0 +1,45 @@
+// Per-core governor loop: the cpufreq-style counterpart of PowerDaemon.
+//
+// Samples per-core utilization through turbostat and lets one governor
+// instance per core pick the next P-state request.  Used by the governor
+// baseline bench to show that utilization-driven DVFS, even combined with a
+// RAPL cap, provides no differential power delivery: a power virus is 100%
+// utilized and therefore always asks for (and receives) the maximum
+// frequency.
+
+#ifndef SRC_GOVERNOR_GOVERNOR_DAEMON_H_
+#define SRC_GOVERNOR_GOVERNOR_DAEMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/governor/governor.h"
+#include "src/msr/msr.h"
+#include "src/msr/turbostat.h"
+
+namespace papd {
+
+class GovernorDaemon {
+ public:
+  // One governor of `kind` per core; limits default to the platform range.
+  GovernorDaemon(MsrFile* msr, GovernorKind kind);
+
+  // One sampling + decision iteration; call once per period (Linux cpufreq
+  // uses tens of milliseconds; the bench uses 100 ms).
+  void Step();
+
+  // Last decisions, per core.
+  const std::vector<Mhz>& requests() const { return requests_; }
+
+  FreqGovernor& governor(int cpu) { return *governors_[static_cast<size_t>(cpu)]; }
+
+ private:
+  MsrFile* msr_;
+  Turbostat turbostat_;
+  std::vector<std::unique_ptr<FreqGovernor>> governors_;
+  std::vector<Mhz> requests_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_GOVERNOR_GOVERNOR_DAEMON_H_

@@ -1,0 +1,72 @@
+#include "src/msr/turbostat.h"
+
+namespace papd {
+
+uint64_t WrappingDelta32(uint64_t now, uint64_t before) {
+  return (now - before) & 0xFFFFFFFFULL;
+}
+
+Turbostat::Turbostat(MsrFile* msr) : msr_(msr) { prev_ = Take(); }
+
+Turbostat::Snapshot Turbostat::Take() const {
+  Snapshot s;
+  s.t = msr_->NowSeconds();
+  s.pkg_energy = msr_->Read(kMsrPkgEnergyStatus, 0);
+  const int n = msr_->num_cores();
+  s.aperf.resize(static_cast<size_t>(n));
+  s.mperf.resize(static_cast<size_t>(n));
+  s.instructions.resize(static_cast<size_t>(n));
+  if (msr_->spec().has_per_core_power) {
+    s.core_energy.resize(static_cast<size_t>(n));
+  }
+  for (int c = 0; c < n; c++) {
+    const auto i = static_cast<size_t>(c);
+    s.aperf[i] = msr_->Read(kMsrIa32Aperf, c);
+    s.mperf[i] = msr_->Read(kMsrIa32Mperf, c);
+    s.instructions[i] = msr_->Read(kMsrFixedCtr0, c);
+    if (msr_->spec().has_per_core_power) {
+      s.core_energy[i] = msr_->Read(kMsrAmdCoreEnergy, c);
+    }
+  }
+  return s;
+}
+
+TelemetrySample Turbostat::Sample() {
+  const Snapshot now = Take();
+  TelemetrySample sample;
+  sample.t = now.t;
+  sample.dt = now.t - prev_.t;
+  sample.cores.resize(now.aperf.size());
+  if (sample.dt <= 0.0) {
+    prev_ = now;
+    return sample;
+  }
+
+  sample.pkg_w =
+      static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
+      kRaplEnergyUnitJoules / sample.dt;
+
+  const Mhz tsc_mhz = msr_->spec().tsc_mhz;
+  for (size_t i = 0; i < now.aperf.size(); i++) {
+    CoreTelemetry& ct = sample.cores[i];
+    ct.cpu = static_cast<int>(i);
+    ct.online = msr_->CoreOnline(static_cast<int>(i));
+    const double da = static_cast<double>(now.aperf[i] - prev_.aperf[i]);
+    const double dm = static_cast<double>(now.mperf[i] - prev_.mperf[i]);
+    // Active (C0) frequency: APERF/MPERF scaled by the TSC rate.
+    ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : 0.0;
+    ct.busy = dm / (tsc_mhz * kHzPerMhz * sample.dt);
+    ct.ips = static_cast<double>(now.instructions[i] - prev_.instructions[i]) / sample.dt;
+    const uint64_t readout =
+        (msr_->Read(kMsrIa32ThermStatus, static_cast<int>(i)) >> 16) & 0x7F;
+    ct.temp_c = msr_->spec().thermal.tj_max_c - static_cast<double>(readout);
+    if (!now.core_energy.empty()) {
+      ct.core_w = static_cast<double>(WrappingDelta32(now.core_energy[i], prev_.core_energy[i])) *
+                  kRaplEnergyUnitJoules / sample.dt;
+    }
+  }
+  prev_ = now;
+  return sample;
+}
+
+}  // namespace papd

@@ -1,0 +1,73 @@
+// Turbostat-like telemetry sampler.
+//
+// The paper's daemon collects per-second statistics with a modified
+// turbostat: package power (RAPL energy counter deltas), per-core power on
+// Ryzen, active frequency (APERF/MPERF), and performance (retired
+// instructions per second).  Turbostat reproduces that: it snapshots the
+// MSR counters and turns successive snapshots into rates, including the
+// 32-bit wrap handling real RAPL energy counters require.
+
+#ifndef SRC_MSR_TURBOSTAT_H_
+#define SRC_MSR_TURBOSTAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/msr/msr.h"
+
+namespace papd {
+
+struct CoreTelemetry {
+  int cpu = 0;
+  bool online = true;
+  // Average frequency while in C0 ("active frequency" in the paper).
+  Mhz active_mhz = 0.0;
+  // C0 residency fraction.
+  double busy = 0.0;
+  // Retired instructions per second.
+  Ips ips = 0.0;
+  // Per-core power; present only on platforms with per-core telemetry.
+  std::optional<Watts> core_w;
+  // Junction temperature from the digital thermometer.
+  double temp_c = 0.0;
+};
+
+struct TelemetrySample {
+  Seconds t = 0.0;   // Sample timestamp.
+  Seconds dt = 0.0;  // Interval covered.
+  Watts pkg_w = 0.0;
+  std::vector<CoreTelemetry> cores;
+};
+
+class Turbostat {
+ public:
+  // Borrows the MSR file; takes the initial counter snapshot.
+  explicit Turbostat(MsrFile* msr);
+
+  // Produces rates over the interval since the previous Sample() (or since
+  // construction).  Returns an all-zero sample if no time has passed.
+  TelemetrySample Sample();
+
+ private:
+  struct Snapshot {
+    Seconds t = 0.0;
+    uint64_t pkg_energy = 0;
+    std::vector<uint64_t> aperf;
+    std::vector<uint64_t> mperf;
+    std::vector<uint64_t> instructions;
+    std::vector<uint64_t> core_energy;
+  };
+
+  Snapshot Take() const;
+
+  MsrFile* msr_;
+  Snapshot prev_;
+};
+
+// Delta of a 32-bit wrapping counter.
+uint64_t WrappingDelta32(uint64_t now, uint64_t before);
+
+}  // namespace papd
+
+#endif  // SRC_MSR_TURBOSTAT_H_

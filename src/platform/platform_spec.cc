@@ -1,0 +1,105 @@
+#include "src/platform/platform_spec.h"
+
+namespace papd {
+
+Mhz PlatformSpec::TurboLimitMhz(int active_cores) const {
+  for (const TurboStep& step : turbo_ladder) {
+    if (active_cores <= step.max_active_cores) {
+      return step.mhz;
+    }
+  }
+  // More active cores than the ladder covers: all-core limit.
+  return turbo_ladder.empty() ? base_max_mhz : turbo_ladder.back().mhz;
+}
+
+Mhz PlatformSpec::AvxCapMhz(int avx_active_cores) const {
+  if (avx_active_cores <= 0) {
+    return turbo_max_mhz;
+  }
+  return avx_active_cores <= avx_light_cores ? avx_max_mhz_light : avx_max_mhz_heavy;
+}
+
+PlatformSpec SkylakeXeon4114() {
+  PlatformSpec spec{
+      .name = "Skylake (Xeon SP 4114)",
+      .num_cores = 10,
+      .min_mhz = 800,
+      .base_max_mhz = 2200,
+      .step_mhz = 100,
+      .turbo_max_mhz = 3000,
+      // Single/dual core turbo 3.0 GHz, stepping down to the 2.6 GHz
+      // all-core limit (the paper's Figure 4 observes ~2.5-2.65 GHz with all
+      // ten cores active).
+      .turbo_ladder = {{2, 3000}, {4, 2900}, {8, 2800}, {10, 2600}},
+      .avx_max_mhz_light = 1900,
+      .avx_max_mhz_heavy = 1700,
+      .avx_light_cores = 2,
+      .tdp_w = 85,
+      .rapl_min_w = 20,
+      .rapl_max_w = 85,
+      .has_rapl_limit = true,
+      .has_per_core_power = false,
+      .max_simultaneous_pstates = 0,
+      .voltage = VoltageCurve({{800, 0.65}, {2200, 1.00}, {3000, 1.15}}),
+      .power =
+          {
+              .ceff_w_per_v2ghz = 2.2,
+              .leak_ref_w = 1.0,
+              .leak_ref_volts = 1.0,
+              .clock_gate_w = 0.30,
+              .cstate_idle_w = 0.05,
+              .uncore_base_w = 7.0,
+              .uncore_per_active_w = 0.30,
+          },
+      .tsc_mhz = 2200,
+      .thermal = {.ambient_c = 40.0,
+                  .r_core_c_per_w = 2.2,
+                  .spread_fraction = 0.08,
+                  .tau_s = 3.0,
+                  .tj_max_c = 95.0},
+  };
+  return spec;
+}
+
+PlatformSpec Ryzen1700X() {
+  PlatformSpec spec{
+      .name = "Ryzen 1700X",
+      .num_cores = 8,
+      .min_mhz = 800,
+      .base_max_mhz = 3400,
+      .step_mhz = 25,
+      .turbo_max_mhz = 3800,
+      // Precision Boost to 3.8 GHz (XFR) on up to two cores, 3.5 GHz on
+      // four, 3.4 GHz all-core.
+      .turbo_ladder = {{2, 3800}, {4, 3500}, {8, 3400}},
+      .avx_max_mhz_light = 3400,
+      .avx_max_mhz_heavy = 3200,
+      .avx_light_cores = 2,
+      .tdp_w = 95,
+      .rapl_min_w = 0,
+      .rapl_max_w = 0,
+      .has_rapl_limit = false,
+      .has_per_core_power = true,
+      .max_simultaneous_pstates = 3,
+      .voltage = VoltageCurve({{800, 0.75}, {2200, 1.00}, {3400, 1.35}, {3800, 1.45}}),
+      .power =
+          {
+              .ceff_w_per_v2ghz = 1.5,
+              .leak_ref_w = 1.2,
+              .leak_ref_volts = 1.35,
+              .clock_gate_w = 0.25,
+              .cstate_idle_w = 0.04,
+              .uncore_base_w = 6.0,
+              .uncore_per_active_w = 0.20,
+          },
+      .tsc_mhz = 3400,
+      .thermal = {.ambient_c = 40.0,
+                  .r_core_c_per_w = 2.0,
+                  .spread_fraction = 0.10,
+                  .tau_s = 2.5,
+                  .tj_max_c = 95.0},
+  };
+  return spec;
+}
+
+}  // namespace papd

@@ -1,0 +1,67 @@
+#include "src/platform/pstate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace papd {
+
+PStateTable::PStateTable(Mhz min_mhz, Mhz max_mhz, Mhz step_mhz) : step_mhz_(step_mhz) {
+  assert(step_mhz > 0.0);
+  assert(min_mhz > 0.0);
+  assert(max_mhz >= min_mhz);
+  // Build descending so index 0 == P0 == fastest.
+  const int steps = static_cast<int>(std::round((max_mhz - min_mhz) / step_mhz));
+  for (int i = steps; i >= 0; i--) {
+    freqs_.push_back(min_mhz + step_mhz * i);
+  }
+}
+
+Mhz PStateTable::QuantizeDown(Mhz mhz) const {
+  if (mhz <= min_mhz()) {
+    return min_mhz();
+  }
+  if (mhz >= max_mhz()) {
+    return max_mhz();
+  }
+  const double steps = std::floor((mhz - min_mhz()) / step_mhz_ + 1e-9);
+  return min_mhz() + steps * step_mhz_;
+}
+
+Mhz PStateTable::QuantizeUp(Mhz mhz) const {
+  if (mhz <= min_mhz()) {
+    return min_mhz();
+  }
+  if (mhz >= max_mhz()) {
+    return max_mhz();
+  }
+  const double steps = std::ceil((mhz - min_mhz()) / step_mhz_ - 1e-9);
+  return min_mhz() + steps * step_mhz_;
+}
+
+Mhz PStateTable::QuantizeNearest(Mhz mhz) const {
+  if (mhz <= min_mhz()) {
+    return min_mhz();
+  }
+  if (mhz >= max_mhz()) {
+    return max_mhz();
+  }
+  const double steps = std::round((mhz - min_mhz()) / step_mhz_);
+  return min_mhz() + steps * step_mhz_;
+}
+
+size_t PStateTable::IndexOf(Mhz mhz) const {
+  const Mhz q = QuantizeNearest(mhz);
+  const double from_top = (max_mhz() - q) / step_mhz_;
+  return static_cast<size_t>(std::round(from_top));
+}
+
+bool PStateTable::OnGrid(Mhz mhz) const {
+  if (mhz < min_mhz() - 1e-6 || mhz > max_mhz() + 1e-6) {
+    return false;
+  }
+  const double steps = (mhz - min_mhz()) / step_mhz_;
+  return std::abs(steps - std::round(steps)) < 1e-6;
+}
+
+}  // namespace papd

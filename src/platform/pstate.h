@@ -1,0 +1,54 @@
+// P-state tables: the discrete frequency grid software can program.
+//
+// Modeled after the two interfaces the paper uses (Section 2.1): Intel
+// exposes 100 MHz frequency steps through PERF_CTL ratios, AMD Ryzen exposes
+// 25 MHz steps through its P-state definition MSRs.
+
+#ifndef SRC_PLATFORM_PSTATE_H_
+#define SRC_PLATFORM_PSTATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace papd {
+
+// A discrete, evenly spaced frequency grid from min_mhz to max_mhz
+// (inclusive) in step_mhz increments.  Index 0 is the *highest* frequency,
+// matching ACPI P-state numbering where P0 is the fastest state.
+class PStateTable {
+ public:
+  PStateTable(Mhz min_mhz, Mhz max_mhz, Mhz step_mhz);
+
+  size_t size() const { return freqs_.size(); }
+  // Frequency of P-state `index`; index 0 is the fastest.
+  Mhz FrequencyOf(size_t index) const { return freqs_[index]; }
+
+  Mhz min_mhz() const { return freqs_.back(); }
+  Mhz max_mhz() const { return freqs_.front(); }
+  Mhz step_mhz() const { return step_mhz_; }
+
+  // Largest grid frequency <= mhz; returns min_mhz when mhz is below range.
+  Mhz QuantizeDown(Mhz mhz) const;
+
+  // Smallest grid frequency >= mhz; returns max_mhz when mhz is above range.
+  Mhz QuantizeUp(Mhz mhz) const;
+
+  // Closest grid frequency.
+  Mhz QuantizeNearest(Mhz mhz) const;
+
+  // P-state index whose frequency is QuantizeNearest(mhz).
+  size_t IndexOf(Mhz mhz) const;
+
+  // True if mhz lies exactly on the grid (within floating-point slop).
+  bool OnGrid(Mhz mhz) const;
+
+ private:
+  std::vector<Mhz> freqs_;  // Descending.
+  Mhz step_mhz_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_PLATFORM_PSTATE_H_

@@ -1,0 +1,199 @@
+#include "src/policy/daemon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/policy/frequency_shares.h"
+#include "src/policy/performance_shares.h"
+#include "src/policy/power_shares.h"
+#include "src/policy/pstate_selector.h"
+
+namespace papd {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRaplOnly:
+      return "rapl";
+    case PolicyKind::kStatic:
+      return "static";
+    case PolicyKind::kPriority:
+      return "priority";
+    case PolicyKind::kFrequencyShares:
+      return "freq-shares";
+    case PolicyKind::kPerformanceShares:
+      return "perf-shares";
+    case PolicyKind::kPowerShares:
+      return "power-shares";
+  }
+  return "?";
+}
+
+PolicyPlatform MakePolicyPlatform(const PlatformSpec& spec) {
+  PolicyPlatform p;
+  p.min_mhz = spec.min_mhz;
+  p.max_mhz = spec.turbo_max_mhz;
+  p.step_mhz = spec.step_mhz;
+  p.num_cores = spec.num_cores;
+  p.max_power_w = spec.tdp_w;
+  // Datasheet-grade estimates; the feedback loops absorb the error.
+  p.uncore_estimate_w = spec.power.uncore_base_w + 1.0;
+  p.core_min_w = 1.0;
+  p.core_max_w = std::max(2.0, (spec.tdp_w - p.uncore_estimate_w) / spec.num_cores * 1.3);
+  return p;
+}
+
+PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfig config)
+    : msr_(msr),
+      apps_(std::move(apps)),
+      config_(config),
+      platform_(MakePolicyPlatform(msr->spec())),
+      turbostat_(msr) {
+  switch (config_.kind) {
+    case PolicyKind::kFrequencyShares:
+      share_policy_ = std::make_unique<FrequencyShares>(platform_);
+      break;
+    case PolicyKind::kPerformanceShares:
+      share_policy_ = std::make_unique<PerformanceShares>(platform_);
+      break;
+    case PolicyKind::kPowerShares:
+      assert(msr_->spec().has_per_core_power &&
+             "power shares require per-core power telemetry");
+      share_policy_ = std::make_unique<PowerShares>(platform_);
+      break;
+    case PolicyKind::kPriority:
+      priority_policy_ = std::make_unique<PriorityPolicy>(platform_, config_.priority);
+      break;
+    case PolicyKind::kRaplOnly:
+    case PolicyKind::kStatic:
+      break;
+  }
+}
+
+PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfig config,
+                         std::unique_ptr<ShareResource> custom_policy)
+    : msr_(msr),
+      apps_(std::move(apps)),
+      config_(config),
+      platform_(MakePolicyPlatform(msr->spec())),
+      turbostat_(msr),
+      share_policy_(std::move(custom_policy)) {
+  assert(share_policy_ != nullptr);
+  // Route the Start/Step dispatch through the share-policy path.
+  if (config_.kind == PolicyKind::kRaplOnly || config_.kind == PolicyKind::kStatic ||
+      config_.kind == PolicyKind::kPriority) {
+    config_.kind = PolicyKind::kFrequencyShares;
+  }
+}
+
+PowerDaemon::~PowerDaemon() = default;
+
+void PowerDaemon::SetPowerLimit(Watts limit_w) {
+  config_.power_limit_w = limit_w;
+  if (config_.program_rapl || config_.kind == PolicyKind::kRaplOnly) {
+    msr_->WriteRaplLimitW(limit_w);
+  }
+}
+
+void PowerDaemon::Start() {
+  if (config_.program_rapl || config_.kind == PolicyKind::kRaplOnly) {
+    msr_->WriteRaplLimitW(config_.power_limit_w);
+  }
+  switch (config_.kind) {
+    case PolicyKind::kRaplOnly:
+      // All cores request the maximum; RAPL alone throttles.
+      targets_.assign(apps_.size(), platform_.max_mhz);
+      break;
+    case PolicyKind::kStatic:
+      targets_.assign(apps_.size(),
+                      config_.static_mhz > 0.0 ? config_.static_mhz : platform_.max_mhz);
+      break;
+    case PolicyKind::kPriority:
+      targets_ = priority_policy_->InitialDistribution(apps_, config_.power_limit_w);
+      break;
+    default:
+      targets_ = share_policy_->InitialDistribution(apps_, config_.power_limit_w);
+      break;
+  }
+  ProgramTargets();
+}
+
+void PowerDaemon::Step() {
+  TelemetrySample sample = turbostat_.Sample();
+  if (config_.use_hwp_hints) {
+    if (!saturation_) {
+      saturation_ = std::make_unique<SaturationDetector>(platform_, apps_.size());
+    }
+    saturation_->Observe(apps_, sample, targets_);
+    for (size_t i = 0; i < apps_.size(); i++) {
+      apps_[i].max_useful_mhz = saturation_->UsefulMaxMhz(i);
+    }
+  }
+  switch (config_.kind) {
+    case PolicyKind::kRaplOnly:
+    case PolicyKind::kStatic:
+      break;  // Monitoring only.
+    case PolicyKind::kPriority:
+      targets_ = priority_policy_->Redistribute(apps_, sample, config_.power_limit_w);
+      break;
+    default:
+      targets_ = share_policy_->Redistribute(apps_, sample, config_.power_limit_w);
+      break;
+  }
+  if (saturation_ != nullptr) {
+    // HWP-style exploration: occasionally run one app a notch slower for a
+    // period to map its IPS-vs-frequency response.
+    targets_ = saturation_->ApplyProbes(apps_, targets_);
+  }
+  ProgramTargets();
+  history_.push_back(Record{.sample = std::move(sample), .targets = targets_});
+}
+
+void PowerDaemon::ProgramTargets() {
+  const PlatformSpec& spec = msr_->spec();
+  const PStateTable grid(spec.min_mhz, spec.turbo_max_mhz, spec.step_mhz);
+
+  // Core online/offline transitions first (stopped apps release power).
+  for (size_t i = 0; i < apps_.size(); i++) {
+    const bool want_online = targets_[i] != PriorityPolicy::kStopped;
+    if (msr_->CoreOnline(apps_[i].cpu) != want_online) {
+      msr_->SetCoreOnline(apps_[i].cpu, want_online);
+    }
+  }
+
+  if (spec.max_simultaneous_pstates > 0) {
+    // Ryzen path: reduce running apps' targets to <= 3 levels.
+    std::vector<Mhz> running_targets;
+    std::vector<size_t> running_apps;
+    for (size_t i = 0; i < apps_.size(); i++) {
+      if (targets_[i] != PriorityPolicy::kStopped) {
+        running_targets.push_back(grid.QuantizeDown(targets_[i]));
+        running_apps.push_back(i);
+      }
+    }
+    if (running_targets.empty()) {
+      return;
+    }
+    const PStateSelection sel =
+        SelectPStates(running_targets, spec.max_simultaneous_pstates, spec.step_mhz);
+    for (size_t s = 0; s < sel.levels.size(); s++) {
+      msr_->WritePstateDefMhz(static_cast<int>(s),
+                              std::clamp(sel.levels[s], spec.min_mhz, spec.turbo_max_mhz));
+    }
+    for (size_t j = 0; j < running_apps.size(); j++) {
+      msr_->SelectPstate(apps_[running_apps[j]].cpu, sel.assignment[j]);
+    }
+    return;
+  }
+
+  // Skylake path: per-core ratios.
+  for (size_t i = 0; i < apps_.size(); i++) {
+    if (targets_[i] == PriorityPolicy::kStopped) {
+      continue;
+    }
+    msr_->WritePerfTargetMhz(apps_[i].cpu, grid.QuantizeDown(targets_[i]));
+  }
+}
+
+}  // namespace papd

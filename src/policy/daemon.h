@@ -1,0 +1,129 @@
+// The userspace power-delivery daemon (paper Section 5).
+//
+// The daemon pins applications to cores, selects their initial P-states
+// from the configured policy, then runs a monitoring loop (1 second in the
+// paper and by default here): read processor statistics through turbostat,
+// let the policy redistribute the managed resource, and translate the new
+// targets into hardware P-state writes.
+//
+// Translation is platform specific and lives in the daemon:
+//   - Skylake: quantize each target down to the 100 MHz grid and write the
+//     per-core PERF_CTL ratio;
+//   - Ryzen: reduce the targets to at most three levels with the
+//     three-P-state selector, program the P-state definition MSRs, and
+//     point each core at its slot (25 MHz grid).
+// Stopped apps (priority policy starvation) have their cores put into a
+// deep C-state.
+
+#ifndef SRC_POLICY_DAEMON_H_
+#define SRC_POLICY_DAEMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/msr/msr.h"
+#include "src/msr/turbostat.h"
+#include "src/policy/app_model.h"
+#include "src/policy/hwp.h"
+#include "src/policy/priority_policy.h"
+#include "src/policy/share_policy.h"
+
+namespace papd {
+
+enum class PolicyKind {
+  // No daemon control: hardware RAPL capping alone (the paper's baseline).
+  kRaplOnly,
+  // Fixed frequencies programmed once at start; no control loop.
+  kStatic,
+  kPriority,
+  kFrequencyShares,
+  kPerformanceShares,
+  kPowerShares,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+struct DaemonConfig {
+  PolicyKind kind = PolicyKind::kFrequencyShares;
+  Watts power_limit_w = 85.0;
+  Seconds period_s = 1.0;
+  PriorityPolicy::Options priority;
+  // kStatic: the frequency every managed core is pinned to.
+  Mhz static_mhz = 0.0;
+  // When true (kRaplOnly or on request), the hardware RAPL limit register
+  // is programmed with power_limit_w.
+  bool program_rapl = false;
+  // Enable HWP-style saturation hints (paper Section 4.4): the daemon
+  // detects each app's highest useful frequency at runtime and the policies
+  // stop allocating beyond it, redistributing the excess.
+  bool use_hwp_hints = false;
+};
+
+class PowerDaemon {
+ public:
+  // Borrows the MSR file (and with it the platform).
+  PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfig config);
+
+  // Runs a caller-provided share policy instead of one of the built-in
+  // kinds (config.kind is ignored for policy selection but still controls
+  // RAPL programming).  This is the extension point for custom policies;
+  // see examples/custom_policy.cc.
+  PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfig config,
+              std::unique_ptr<ShareResource> custom_policy);
+
+  ~PowerDaemon();
+
+  PowerDaemon(const PowerDaemon&) = delete;
+  PowerDaemon& operator=(const PowerDaemon&) = delete;
+
+  // Programs the initial distribution (and the RAPL register if requested).
+  void Start();
+
+  // One control iteration; call once per period.
+  void Step();
+
+  // Changes the power limit at runtime (cluster managers adjust node caps
+  // while jobs run, e.g. Facebook's Dynamo cited in the paper).  Takes
+  // effect at the next Step(); reprograms the RAPL register immediately
+  // when hardware capping is in use.
+  void SetPowerLimit(Watts limit_w);
+
+  // Per-app frequency targets after the last iteration;
+  // PriorityPolicy::kStopped for starved apps.
+  const std::vector<Mhz>& targets() const { return targets_; }
+  const std::vector<ManagedApp>& apps() const { return apps_; }
+  const DaemonConfig& config() const { return config_; }
+
+  struct Record {
+    TelemetrySample sample;
+    std::vector<Mhz> targets;
+  };
+  const std::vector<Record>& history() const { return history_; }
+
+  // Platform constants handed to the policies (exposed for tests).
+  const PolicyPlatform& policy_platform() const { return platform_; }
+
+ private:
+  void ProgramTargets();
+
+  MsrFile* msr_;
+  std::vector<ManagedApp> apps_;
+  DaemonConfig config_;
+  PolicyPlatform platform_;
+  Turbostat turbostat_;
+
+  std::unique_ptr<ShareResource> share_policy_;
+  std::unique_ptr<PriorityPolicy> priority_policy_;
+  std::unique_ptr<SaturationDetector> saturation_;
+
+  std::vector<Mhz> targets_;
+  std::vector<Record> history_;
+};
+
+// Derives the policy-visible platform constants from a platform spec (the
+// datasheet facts an operator would configure the daemon with).
+PolicyPlatform MakePolicyPlatform(const PlatformSpec& spec);
+
+}  // namespace papd
+
+#endif  // SRC_POLICY_DAEMON_H_

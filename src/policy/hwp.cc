@@ -1,0 +1,177 @@
+#include "src/policy/hwp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papd {
+
+SaturationDetector::SaturationDetector(PolicyPlatform platform, size_t num_apps)
+    : SaturationDetector(platform, num_apps, Params()) {}
+
+SaturationDetector::SaturationDetector(PolicyPlatform platform, size_t num_apps, Params params)
+    : platform_(platform), params_(params), apps_(num_apps) {}
+
+int SaturationDetector::BucketOf(Mhz mhz) const {
+  return static_cast<int>(std::lround(mhz / params_.bucket_mhz));
+}
+
+void SaturationDetector::UpdatePerfCap(AppState* state) {
+  // Anchor: the best IPS observed at any frequency.
+  double best_ips = 0.0;
+  Mhz best_mhz = 0.0;
+  for (const auto& [bucket, ips] : state->ips_by_bucket) {
+    if (ips > best_ips) {
+      best_ips = ips;
+      best_mhz = bucket * params_.bucket_mhz;
+    }
+  }
+  if (best_ips <= 0.0) {
+    state->perf_cap_mhz = 0.0;
+    return;
+  }
+  // Useful max: the lowest observed frequency keeping (1 - budget) of the
+  // anchor IPS.
+  const double floor_ips = (1.0 - params_.perf_loss_budget) * best_ips;
+  Mhz cap = best_mhz;
+  for (const auto& [bucket, ips] : state->ips_by_bucket) {
+    const Mhz f = bucket * params_.bucket_mhz;
+    if (f < cap && ips >= floor_ips) {
+      cap = f;
+    }
+  }
+  Mhz candidate = 0.0;
+  // Only worth declaring if it saves a meaningful slice of frequency.
+  if (best_mhz - cap >= params_.min_saving_mhz) {
+    candidate = std::max(cap, platform_.min_mhz);
+  }
+  // Hysteresis: once capped, the app runs *at* the cap, so only the cap
+  // bucket's EWMA refreshes and phase noise can push it just under the
+  // floor.  Keep an established cap while its bucket stays within the
+  // relaxed floor.
+  if (state->perf_cap_mhz > 0.0 && (candidate == 0.0 || candidate > state->perf_cap_mhz)) {
+    const auto it = state->ips_by_bucket.find(BucketOf(state->perf_cap_mhz));
+    const double keep_floor =
+        (1.0 - params_.perf_loss_budget - params_.clear_hysteresis) * best_ips;
+    if (it != state->ips_by_bucket.end() && it->second >= keep_floor) {
+      return;  // Keep the existing cap.
+    }
+  }
+  state->perf_cap_mhz = candidate;
+}
+
+void SaturationDetector::Observe(const std::vector<ManagedApp>& apps,
+                                 const TelemetrySample& sample,
+                                 const std::vector<Mhz>& requested) {
+  periods_++;
+  // Package-wide clamps (RAPL, turbo ladder) depress every core's
+  // active/requested ratio at once; an app-specific refusal shows as a gap
+  // much deeper than the best ratio achieved by anyone this period.
+  double best_ratio = 0.0;
+  for (size_t i = 0; i < apps.size(); i++) {
+    const auto& core = sample.cores[static_cast<size_t>(apps[i].cpu)];
+    if (i < requested.size() && requested[i] > 0.0 && core.busy > 0.5) {
+      best_ratio = std::max(best_ratio, core.active_mhz / requested[i]);
+    }
+  }
+
+  for (size_t i = 0; i < apps.size(); i++) {
+    AppState& state = apps_[i];
+    const auto& core = sample.cores[static_cast<size_t>(apps[i].cpu)];
+    if (i >= requested.size() || requested[i] <= 0.0 || core.busy <= 0.5) {
+      state.gap_streak = 0;
+      continue;
+    }
+
+    state.last_active_mhz = core.active_mhz;
+
+    // --- Rule 1: refused frequency grants -----------------------------
+    // Compare against the best ratio achieved by anyone: package-wide
+    // clamps (turbo ladder, RAPL) depress every ratio together, while an
+    // app-specific refusal (AVX cap) leaves this app well below its peers.
+    const double ratio = core.active_mhz / requested[i];
+    const bool app_specific_gap =
+        best_ratio > 0.0 && ratio < params_.grant_ratio * best_ratio;
+    if (app_specific_gap) {
+      state.gap_streak++;
+      if (state.gap_streak >= params_.grant_periods) {
+        // Round up to the grid so the cap never under-grants.
+        const double steps = std::ceil(core.active_mhz / platform_.step_mhz - 1e-9);
+        state.gap_cap_mhz = std::min(platform_.max_mhz, steps * platform_.step_mhz);
+      }
+    } else {
+      state.gap_streak = 0;
+      // If the app now achieves frequencies above a rule-1 cap, the cap was
+      // stale (e.g. the AVX phase ended): clear it.
+      if (state.gap_cap_mhz > 0.0 &&
+          core.active_mhz > state.gap_cap_mhz + platform_.step_mhz) {
+        state.gap_cap_mhz = 0.0;
+      }
+    }
+
+    // --- Rule 2: lowest frequency preserving near-peak IPS --------------
+    const int bucket = BucketOf(core.active_mhz);
+    auto [it, inserted] = state.ips_by_bucket.emplace(bucket, core.ips);
+    if (!inserted) {
+      it->second += params_.ewma_alpha * (core.ips - it->second);
+    }
+    UpdatePerfCap(&state);
+  }
+}
+
+std::vector<Mhz> SaturationDetector::ApplyProbes(const std::vector<ManagedApp>& apps,
+                                                 const std::vector<Mhz>& targets) {
+  probe_app_ = -1;
+  if (params_.probe_interval <= 0 || periods_ % params_.probe_interval != 0) {
+    return targets;
+  }
+  // Round-robin over apps; probe the first with unexplored curve below its
+  // operating point.  Exploration walks downward from the lowest mapped
+  // bucket and stops once a bucket falls outside the performance budget —
+  // at that point the useful-max estimate is bounded on both sides.
+  std::vector<Mhz> out = targets;
+  const size_t n = apps.size();
+  for (size_t k = 0; k < n; k++) {
+    const size_t i = (static_cast<size_t>(periods_) / params_.probe_interval + k) % n;
+    if (i >= targets.size() || targets[i] <= 0.0) {
+      continue;  // Stopped app.
+    }
+    const AppState& state = apps_[i];
+    // Probe below the achieved operating point (the target may be
+    // unreachable under package-wide clamps).
+    const Mhz base = state.last_active_mhz > 0.0
+                         ? std::min(targets[i], state.last_active_mhz)
+                         : targets[i];
+    Mhz probe;
+    if (state.ips_by_bucket.empty()) {
+      probe = base - params_.probe_step_mhz;
+    } else {
+      double best_ips = 0.0;
+      for (const auto& [bucket, ips] : state.ips_by_bucket) {
+        best_ips = std::max(best_ips, ips);
+      }
+      const auto lowest = state.ips_by_bucket.begin();
+      if (lowest->second < (1.0 - params_.perf_loss_budget) * best_ips) {
+        continue;  // Curve mapped past the knee; nothing left to learn.
+      }
+      probe = lowest->first * params_.bucket_mhz - params_.probe_step_mhz;
+    }
+    if (probe < platform_.min_mhz || probe >= base ||
+        state.ips_by_bucket.count(BucketOf(probe)) != 0) {
+      continue;
+    }
+    out[i] = probe;
+    probe_app_ = static_cast<int>(i);
+    break;
+  }
+  return out;
+}
+
+Mhz SaturationDetector::UsefulMaxMhz(size_t app_index) const {
+  const AppState& state = apps_[app_index];
+  if (state.gap_cap_mhz > 0.0 && state.perf_cap_mhz > 0.0) {
+    return std::min(state.gap_cap_mhz, state.perf_cap_mhz);
+  }
+  return std::max(state.gap_cap_mhz, state.perf_cap_mhz);
+}
+
+}  // namespace papd

@@ -1,0 +1,139 @@
+#include "src/policy/min_funding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace papd {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::vector<double> DistributeProportional(double total, const std::vector<ShareRequest>& req) {
+  // Pure proportionality with clamping: the target is alloc_i proportional
+  // to shares_i (paper Section 4.2: 3 shares next to 1 share means 3/4ths
+  // of the resource).  Entries whose proportional grant violates a bound
+  // are pinned there ("saturated") and the remaining total is re-split
+  // across the rest — min-funding revocation.  Terminates in <= n rounds
+  // because each round pins at least one entry.
+  const size_t n = req.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0) {
+    return alloc;
+  }
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (size_t i = 0; i < n; i++) {
+    assert(req[i].maximum >= req[i].minimum);
+    min_sum += req[i].minimum;
+    max_sum += req[i].maximum;
+  }
+  total = std::clamp(total, min_sum, max_sum);
+
+  std::vector<int> pinned(n, 0);  // 0 = active, 1 = pinned at a bound.
+  double remaining = total;
+  for (size_t round = 0; round < n + 1; round++) {
+    double active_shares = 0.0;
+    for (size_t i = 0; i < n; i++) {
+      if (!pinned[i]) {
+        active_shares += req[i].shares;
+      }
+    }
+    if (active_shares <= kEps) {
+      break;
+    }
+    bool pinned_any = false;
+    for (size_t i = 0; i < n; i++) {
+      if (pinned[i]) {
+        continue;
+      }
+      const double prop = remaining * req[i].shares / active_shares;
+      if (prop < req[i].minimum - kEps) {
+        alloc[i] = req[i].minimum;
+        pinned[i] = 1;
+        remaining -= alloc[i];
+        pinned_any = true;
+      } else if (prop > req[i].maximum + kEps) {
+        alloc[i] = req[i].maximum;
+        pinned[i] = 1;
+        remaining -= alloc[i];
+        pinned_any = true;
+      }
+    }
+    if (!pinned_any) {
+      // No violations: the proportional split stands for all active entries.
+      for (size_t i = 0; i < n; i++) {
+        if (!pinned[i]) {
+          alloc[i] = remaining * req[i].shares / active_shares;
+        }
+      }
+      return alloc;
+    }
+  }
+  // Every entry pinned.  Pin decisions within one round share a stale
+  // `remaining`, so the pinned sum may miss `total`; repair by spreading
+  // the leftover across entries with headroom.
+  double leftover = total;
+  for (double a : alloc) {
+    leftover -= a;
+  }
+  if (std::abs(leftover) > kEps) {
+    alloc = DistributeDelta(leftover, alloc, req);
+  }
+  return alloc;
+}
+
+std::vector<double> DistributeDelta(double delta, const std::vector<double>& current,
+                                    const std::vector<ShareRequest>& req) {
+  assert(current.size() == req.size());
+  const size_t n = req.size();
+  std::vector<double> alloc = current;
+  // Clamp starting point into bounds so a drifted measurement cannot wedge
+  // the algorithm.
+  for (size_t i = 0; i < n; i++) {
+    alloc[i] = std::clamp(alloc[i], req[i].minimum, req[i].maximum);
+  }
+  if (n == 0 || std::abs(delta) <= kEps) {
+    return alloc;
+  }
+
+  const bool adding = delta > 0.0;
+  double remaining = std::abs(delta);
+  std::vector<bool> saturated(n, false);
+  for (int round = 0; round < static_cast<int>(n) + 1 && remaining > kEps; round++) {
+    double active_shares = 0.0;
+    for (size_t i = 0; i < n; i++) {
+      const double headroom = adding ? req[i].maximum - alloc[i] : alloc[i] - req[i].minimum;
+      if (headroom <= kEps) {
+        saturated[i] = true;
+      }
+      if (!saturated[i]) {
+        active_shares += req[i].shares;
+      }
+    }
+    if (active_shares <= kEps) {
+      break;
+    }
+    double leftover = 0.0;
+    for (size_t i = 0; i < n; i++) {
+      if (saturated[i]) {
+        continue;
+      }
+      const double grant = remaining * req[i].shares / active_shares;
+      const double headroom = adding ? req[i].maximum - alloc[i] : alloc[i] - req[i].minimum;
+      if (grant >= headroom - kEps) {
+        alloc[i] = adding ? req[i].maximum : req[i].minimum;
+        leftover += grant - headroom;
+        saturated[i] = true;
+      } else {
+        alloc[i] += adding ? grant : -grant;
+      }
+    }
+    remaining = leftover;
+  }
+  return alloc;
+}
+
+}  // namespace papd

@@ -1,0 +1,39 @@
+// Proportional distribution with min-funding revocation.
+//
+// Waldspurger's min-funding revocation (paper Section 5.2): when a
+// proportional distribution would push some recipient past its minimum or
+// maximum, that recipient is pinned at the bound ("saturated"), removed
+// from the mix, and the remainder is re-distributed across the rest — the
+// paper applies this whenever power/frequency/performance is redistributed
+// and some cores have hit the top or bottom of their range.
+
+#ifndef SRC_POLICY_MIN_FUNDING_H_
+#define SRC_POLICY_MIN_FUNDING_H_
+
+#include <vector>
+
+namespace papd {
+
+struct ShareRequest {
+  double shares = 1.0;
+  double minimum = 0.0;
+  double maximum = 0.0;
+};
+
+// Splits `total` across the entries proportionally to shares, subject to
+// per-entry [minimum, maximum] bounds.  If total is below the sum of
+// minimums every entry gets its minimum; above the sum of maximums every
+// entry gets its maximum.  Otherwise the result sums to `total` (within
+// floating-point tolerance).
+std::vector<double> DistributeProportional(double total, const std::vector<ShareRequest>& req);
+
+// Applies a (possibly negative) delta to existing allocations,
+// proportionally to shares, respecting bounds.  Entries that saturate are
+// pinned and the leftover delta is re-distributed across the rest
+// (min-funding revocation).  Returns the new allocations.
+std::vector<double> DistributeDelta(double delta, const std::vector<double>& current,
+                                    const std::vector<ShareRequest>& req);
+
+}  // namespace papd
+
+#endif  // SRC_POLICY_MIN_FUNDING_H_

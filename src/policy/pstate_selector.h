@@ -1,0 +1,44 @@
+// Three-P-state selection for Ryzen.
+//
+// The Ryzen 1700X supports only three simultaneous voltage/frequency
+// combinations across its eight cores (paper Sections 2.1 and 5: "we built
+// an additional selection utility that dynamically reduces the target
+// frequencies to three valid P-states").  Given per-core frequency targets,
+// SelectPStates picks at most k levels and an assignment of each core to a
+// level, minimizing the total squared frequency error.
+//
+// Because the targets are scalar, the optimal clustering uses contiguous
+// ranges of the sorted targets, so an O(n^2 * k) dynamic program finds the
+// exact optimum (n = 8, k = 3 here).  Levels are then rounded to the
+// platform's frequency grid.  A naive alternative (quantize to
+// low/mid/high thirds of the range) is provided for the ablation bench.
+
+#ifndef SRC_POLICY_PSTATE_SELECTOR_H_
+#define SRC_POLICY_PSTATE_SELECTOR_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace papd {
+
+struct PStateSelection {
+  // Distinct levels, highest first; size <= k (fewer when fewer distinct
+  // targets exist).
+  std::vector<Mhz> levels;
+  // Index into `levels` for each input target.
+  std::vector<int> assignment;
+  // Sum of squared (target - level) errors.
+  double sse = 0.0;
+};
+
+// Optimal (min-SSE) selection of at most `k` levels.
+PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_mhz);
+
+// Naive baseline: splits [min_target, max_target] into k equal bands and
+// uses each band's midpoint (grid-rounded) as its level.
+PStateSelection SelectPStatesNaive(const std::vector<Mhz>& targets, int k, Mhz step_mhz);
+
+}  // namespace papd
+
+#endif  // SRC_POLICY_PSTATE_SELECTOR_H_

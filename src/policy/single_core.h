@@ -1,0 +1,87 @@
+// Single-core sharing policy (paper Section 4.3).
+//
+// When applications time-share one core, the power mechanism has two knobs:
+// the core's P-state and the applications' CPU shares (cgroups cpusets /
+// docker --cpu-shares in the paper).  The paper enumerates three scenarios;
+// this policy implements all of them behind one control interface:
+//
+//  1. Equal demands: power is the same whichever app runs, so set the
+//     P-state to the highest level that fits the limit and split residency
+//     by shares.
+//  2. Mixed demands, equal shares: a power limit forces a frequency chosen
+//     for the high-demand app, which unnecessarily throttles the low-demand
+//     app; the scheduler compensates by growing the low-demand app's
+//     residency in proportion to the throttling (its throughput is
+//     residency x frequency).
+//  3. Mixed demands, mixed priorities: the core runs at the highest
+//     frequency the HP app can use within the limit.  If the HP app is the
+//     high-demand one, the LP app simply rides along at the same frequency;
+//     if the HP app is low-demand, the high-demand LP app is evicted
+//     (residency 0) whenever its presence would force the core below the
+//     HP app's attainable frequency.
+//
+// Control model: the caller owns a TimeSharedCore-style mechanism and a
+// per-core power reading; each period it feeds the measured core power and
+// receives a frequency target plus per-app residencies.
+
+#ifndef SRC_POLICY_SINGLE_CORE_H_
+#define SRC_POLICY_SINGLE_CORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/policy/app_model.h"
+
+namespace papd {
+
+class SingleCoreSharing {
+ public:
+  struct Member {
+    std::string name;
+    double shares = 1.0;
+    bool high_priority = false;
+    // Relative power demand (activity factor); the HD/LD classification
+    // uses the ratio between members.
+    double demand = 1.0;
+  };
+
+  struct Decision {
+    Mhz freq_mhz = 0.0;
+    // Residency fraction per member, summing to <= 1.  Zero = evicted.
+    std::vector<double> residencies;
+  };
+
+  SingleCoreSharing(PolicyPlatform platform, std::vector<Member> members);
+
+  // Initial decision for a given per-core power budget.
+  Decision Initial(Watts core_limit_w);
+
+  // One control iteration: measured core power versus the budget adjusts
+  // the frequency (integral control); residencies are recomputed for the
+  // new frequency.
+  Decision Step(Watts core_limit_w, Watts measured_core_w);
+
+  // Scenario classification (exposed for tests/benches).
+  enum class Scenario { kEqualDemand, kMixedDemandEqualPriority, kMixedDemandMixedPriority };
+  Scenario ClassifyScenario() const;
+
+  const Decision& decision() const { return decision_; }
+
+ private:
+  Decision Recompute();
+
+  // Members are considered equal-demand when within this ratio.
+  static constexpr double kDemandTolerance = 1.15;
+  // Frequency adjustment per watt of power error, per period.
+  static constexpr double kGainMhzPerWatt = 250.0;
+
+  PolicyPlatform platform_;
+  std::vector<Member> members_;
+  Mhz freq_mhz_;
+  Decision decision_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_POLICY_SINGLE_CORE_H_

@@ -1,0 +1,69 @@
+// Interfaces between workloads and the processor simulator.
+//
+// A CoreWork occupies one core; the simulator asks it to run for a time
+// slice at the core's current effective frequency and it reports what it
+// did: instructions retired, the fraction of the slice the core was busy
+// (C0), and the power-relevant characteristics of the executed instruction
+// mix (activity factor, AVX fraction).
+//
+// A MultiCoreWork spans several cores whose behaviour is coupled (the
+// websearch queueing model: a request queued on one core affects latency
+// seen by all); the simulator advances it once per tick with the effective
+// frequencies of all its cores.
+
+#ifndef SRC_SPECSIM_CORE_WORK_H_
+#define SRC_SPECSIM_CORE_WORK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace papd {
+
+// What a workload did during one simulation slice on one core.
+struct WorkSlice {
+  // Instructions retired during the slice.
+  double instructions = 0.0;
+  // Fraction of the slice the core spent in C0 (0..1).
+  double busy_fraction = 0.0;
+  // Dynamic-power activity factor of the executed mix (1.0 = the reference
+  // integer workload; AVX-heavy code is higher).
+  double activity = 0.0;
+  // Fraction of instructions that are AVX; drives AVX frequency caps.
+  double avx_fraction = 0.0;
+};
+
+class CoreWork {
+ public:
+  virtual ~CoreWork() = default;
+
+  // Advances the workload by dt seconds with the core running at freq_mhz.
+  virtual WorkSlice Run(Seconds dt, Mhz freq_mhz) = 0;
+
+  // True if the workload executes enough AVX code to be subject to the
+  // platform's AVX frequency caps.
+  virtual bool UsesAvx() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+class MultiCoreWork {
+ public:
+  virtual ~MultiCoreWork() = default;
+
+  // Core ids (package-local) this work occupies; fixed for its lifetime.
+  virtual const std::vector<int>& Cores() const = 0;
+
+  // Advances by dt with freqs_mhz[i] the effective frequency of Cores()[i].
+  // Returns one slice per core, in Cores() order.
+  virtual std::vector<WorkSlice> Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) = 0;
+
+  virtual bool UsesAvx() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace papd
+
+#endif  // SRC_SPECSIM_CORE_WORK_H_

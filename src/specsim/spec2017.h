@@ -1,0 +1,38 @@
+// Profile registry for the paper's benchmark set.
+//
+// The paper evaluates a recommended subset of 11 SPEC CPU2017 benchmarks
+// (lbm, cactusBSSN, povray, imagick, cam4, gcc, exchange2, deepsjeng, leela,
+// perlbench, omnetpp), the cpuburn power virus, and CloudSuite websearch.
+// The profile parameters below are calibrated against the paper's Figures
+// 2-3 (DVFS response spread, AVX power outliers, HD/LD demand split); see
+// DESIGN.md Section 5.
+
+#ifndef SRC_SPECSIM_SPEC2017_H_
+#define SRC_SPECSIM_SPEC2017_H_
+
+#include <string>
+#include <vector>
+
+#include "src/specsim/workload.h"
+
+namespace papd {
+
+// Looks up a profile by benchmark name ("gcc", "cam4", "cpuburn", ...).
+// Aborts on unknown names (these are compiled-in experiment inputs).
+const WorkloadProfile& GetProfile(const std::string& name);
+
+// True if `name` is a known profile.
+bool HasProfile(const std::string& name);
+
+// The 11 SPEC CPU2017 benchmarks used in the paper's evaluation, in the
+// order the paper lists them.
+const std::vector<std::string>& SpecBenchmarkNames();
+
+// High-demand / low-demand classification used by the paper: a benchmark is
+// high demand (HD) if it draws more power than the median benchmark at a
+// given P-state (activity factor above 1.2 in our calibration).
+bool IsHighDemand(const WorkloadProfile& profile);
+
+}  // namespace papd
+
+#endif  // SRC_SPECSIM_SPEC2017_H_

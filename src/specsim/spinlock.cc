@@ -1,0 +1,107 @@
+#include "src/specsim/spinlock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace papd {
+
+SpinLockWork::SpinLockWork(std::vector<int> cores, Params params)
+    : cores_(std::move(cores)), params_(params) {
+  assert(!cores_.empty());
+  threads_.resize(cores_.size());
+  iterations_.assign(cores_.size(), 0.0);
+  for (Thread& t : threads_) {
+    t.phase = Phase::kLocal;
+    t.remaining_cycles = params_.local_cycles;
+  }
+}
+
+std::vector<WorkSlice> SpinLockWork::Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) {
+  assert(freqs_mhz.size() == cores_.size());
+  const size_t n = threads_.size();
+
+  // Per-slice accounting.
+  std::vector<double> work_cycles(n, 0.0);
+  std::vector<double> spin_cycles(n, 0.0);
+
+  // Event-driven: repeatedly advance to the next phase completion.  A
+  // thread in kLocal or kCritical finishes after remaining/f seconds; a
+  // waiting thread spins until the lock reaches it.
+  Seconds remaining_s = dt;
+  for (int guard = 0; guard < 100000 && remaining_s > 1e-12; guard++) {
+    // Next completion among running threads.
+    Seconds next = remaining_s;
+    for (size_t i = 0; i < n; i++) {
+      const Thread& t = threads_[i];
+      if (t.phase == Phase::kWaiting || freqs_mhz[i] <= 0.0) {
+        continue;
+      }
+      next = std::min(next, t.remaining_cycles / (freqs_mhz[i] * kHzPerMhz));
+    }
+
+    // Advance all threads by `next` seconds.
+    for (size_t i = 0; i < n; i++) {
+      Thread& t = threads_[i];
+      const double cycles = freqs_mhz[i] * kHzPerMhz * next;
+      switch (t.phase) {
+        case Phase::kWaiting:
+          spin_cycles[i] += cycles;
+          break;
+        case Phase::kLocal:
+        case Phase::kCritical:
+          work_cycles[i] += std::min(cycles, t.remaining_cycles);
+          t.remaining_cycles -= cycles;
+          break;
+      }
+    }
+    remaining_s -= next;
+
+    // Process completions (remaining <= 0).
+    for (size_t i = 0; i < n; i++) {
+      Thread& t = threads_[i];
+      if (t.phase == Phase::kLocal && t.remaining_cycles <= 1e-9) {
+        t.phase = Phase::kWaiting;
+        wait_queue_.push_back(i);
+      } else if (t.phase == Phase::kCritical && t.remaining_cycles <= 1e-9) {
+        t.phase = Phase::kLocal;
+        t.remaining_cycles = params_.local_cycles;
+        iterations_[i] += 1.0;
+        holder_ = -1;
+      }
+    }
+    // FIFO lock handoff.
+    if (holder_ < 0 && !wait_queue_.empty()) {
+      const size_t next_holder = wait_queue_.front();
+      wait_queue_.pop_front();
+      holder_ = static_cast<int>(next_holder);
+      threads_[next_holder].phase = Phase::kCritical;
+      threads_[next_holder].remaining_cycles = params_.critical_cycles;
+    }
+  }
+
+  std::vector<WorkSlice> slices(n);
+  for (size_t i = 0; i < n; i++) {
+    const double total = work_cycles[i] + spin_cycles[i];
+    const double capacity = freqs_mhz[i] * kHzPerMhz * dt;
+    WorkSlice& s = slices[i];
+    s.instructions = work_cycles[i] * params_.ipc + spin_cycles[i] * params_.spin_ipc;
+    s.busy_fraction = capacity > 0.0 ? std::min(1.0, total / capacity) : 0.0;
+    if (total > 0.0) {
+      s.activity = (params_.activity * work_cycles[i] + params_.spin_activity * spin_cycles[i]) /
+                   total;
+    }
+    s.avx_fraction = 0.0;
+  }
+  return slices;
+}
+
+double SpinLockWork::total_iterations() const {
+  double sum = 0.0;
+  for (double it : iterations_) {
+    sum += it;
+  }
+  return sum;
+}
+
+}  // namespace papd

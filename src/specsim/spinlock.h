@@ -1,0 +1,82 @@
+// Lock-contended multithreaded workload.
+//
+// Paper Section 5.2 warns that IPS is only a usable performance proxy for
+// single-threaded workloads: "for multithreaded workloads with lock
+// contention, where spinlocks may artificially inflate instruction counts,
+// hardware mechanisms such as Intel's HWP with its abstract performance
+// metric may be a better choice."  SpinLockWork makes that failure mode
+// concrete: k threads on k cores iterate
+//
+//     local work (w cycles)  ->  acquire global lock  ->
+//     critical section (h cycles)  ->  release  ->  ...
+//
+// with FIFO handoff and *spin waiting* — a waiting core burns cycles
+// retiring spin-loop instructions at full rate.  Two properties follow:
+//
+//   - Convoy effect: throttling one core stretches every critical section
+//     it executes, so the *system* iteration rate falls far more than the
+//     one core's frequency share would suggest.
+//   - IPS inflation: the other cores' retired-instruction counters stay
+//     high (they spin), so an IPS-driven policy sees healthy "performance"
+//     on exactly the cores whose useful work is collapsing.
+//
+// Useful progress is exposed separately as completed iterations.
+
+#ifndef SRC_SPECSIM_SPINLOCK_H_
+#define SRC_SPECSIM_SPINLOCK_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/specsim/core_work.h"
+
+namespace papd {
+
+class SpinLockWork : public MultiCoreWork {
+ public:
+  struct Params {
+    // Cycles of uncontended local work per iteration.
+    double local_cycles = 40000.0;
+    // Cycles holding the global lock per iteration.
+    double critical_cycles = 20000.0;
+    // Retired instructions per cycle in local/critical code.
+    double ipc = 1.0;
+    // Retired instructions per cycle while spin-waiting (pause loops retire
+    // fast).
+    double spin_ipc = 1.0;
+    // Dynamic-power activity while working / spinning.
+    double activity = 1.0;
+    double spin_activity = 0.8;
+  };
+
+  SpinLockWork(std::vector<int> cores, Params params);
+
+  const std::vector<int>& Cores() const override { return cores_; }
+  std::vector<WorkSlice> Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) override;
+  bool UsesAvx() const override { return false; }
+  std::string Name() const override { return "spinlock"; }
+
+  // Completed iterations per thread (useful progress).
+  const std::vector<double>& iterations() const { return iterations_; }
+  double total_iterations() const;
+
+ private:
+  enum class Phase { kLocal, kWaiting, kCritical };
+  struct Thread {
+    Phase phase = Phase::kLocal;
+    double remaining_cycles = 0.0;  // In the current local/critical stretch.
+  };
+
+  std::vector<int> cores_;
+  Params params_;
+  std::vector<Thread> threads_;
+  std::deque<size_t> wait_queue_;  // FIFO of threads waiting for the lock.
+  int holder_ = -1;                // Thread index holding the lock; -1 free.
+  std::vector<double> iterations_;
+};
+
+}  // namespace papd
+
+#endif  // SRC_SPECSIM_SPINLOCK_H_

@@ -1,0 +1,97 @@
+#include "src/specsim/websearch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/stats.h"
+
+namespace papd {
+
+WebSearch::WebSearch(std::vector<int> cores, Params params, uint64_t seed)
+    : cores_(std::move(cores)), params_(params), rng_(seed) {
+  assert(!cores_.empty());
+  queues_.resize(cores_.size());
+  backlog_cycles_.assign(cores_.size(), 0.0);
+  // Users start thinking with independent phases so load ramps smoothly.
+  for (int u = 0; u < params_.users; u++) {
+    think_expiry_.push(rng_.Exponential(params_.think_mean_s));
+  }
+}
+
+void WebSearch::Dispatch(Seconds t) {
+  // Join-shortest-backlog (cycles, not queue length, so one long request
+  // does not attract more work).
+  size_t best = 0;
+  for (size_t i = 1; i < queues_.size(); i++) {
+    if (backlog_cycles_[i] < backlog_cycles_[best]) {
+      best = i;
+    }
+  }
+  const double demand = rng_.Exponential(params_.service_mcycles_mean) * 1e6;
+  queues_[best].push_back(Request{.submit_time = t, .remaining_cycles = demand});
+  backlog_cycles_[best] += demand;
+}
+
+std::vector<WorkSlice> WebSearch::Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) {
+  assert(freqs_mhz.size() == cores_.size());
+  const Seconds end = now_ + dt;
+
+  // Admit every request whose think timer expires in this slice.  Arrival
+  // times are preserved exactly; service begins at tick granularity, which
+  // is fine for dt (1 ms) << mean service time (~15 ms).
+  while (!think_expiry_.empty() && think_expiry_.top() <= end) {
+    const Seconds t = think_expiry_.top();
+    think_expiry_.pop();
+    Dispatch(t);
+  }
+
+  std::vector<WorkSlice> slices(cores_.size());
+  double util_sum = 0.0;
+  for (size_t i = 0; i < cores_.size(); i++) {
+    double available = freqs_mhz[i] * kHzPerMhz * dt;  // Cycles this slice.
+    const double budget = available;
+    auto& queue = queues_[i];
+    double used = 0.0;
+
+    while (!queue.empty() && available > 0.0) {
+      Request& req = queue.front();
+      const double consumed = std::min(req.remaining_cycles, available);
+      req.remaining_cycles -= consumed;
+      available -= consumed;
+      used += consumed;
+      backlog_cycles_[i] -= consumed;
+      if (req.remaining_cycles <= 0.0) {
+        // Completion at the exact fractional point of the slice.
+        const Seconds finish = now_ + (budget - available) / (freqs_mhz[i] * kHzPerMhz);
+        const Seconds latency = (finish - req.submit_time) + params_.fixed_latency_s;
+        latencies_.push_back(latency);
+        completed_++;
+        // The user sees the response, then thinks before the next request.
+        think_expiry_.push(finish + params_.fixed_latency_s +
+                           rng_.Exponential(params_.think_mean_s));
+        queue.pop_front();
+      }
+    }
+
+    const double busy = budget > 0.0 ? used / budget : 0.0;
+    util_sum += busy;
+    slices[i] = WorkSlice{
+        .instructions = used * params_.ipc,
+        .busy_fraction = busy,
+        .activity = busy > 0.0 ? params_.activity : 0.0,
+        .avx_fraction = 0.0,
+    };
+  }
+  last_mean_util_ = util_sum / static_cast<double>(cores_.size());
+  now_ = end;
+  return slices;
+}
+
+void WebSearch::ResetStats() {
+  latencies_.clear();
+  completed_ = 0;
+}
+
+Seconds WebSearch::LatencyPercentile(double p) const { return Percentile(latencies_, p); }
+
+}  // namespace papd

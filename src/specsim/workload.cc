@@ -1,0 +1,69 @@
+#include "src/specsim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papd {
+
+Ips WorkloadProfile::NominalIps(Mhz freq_mhz) const {
+  const double core_s = cpi / (freq_mhz * kHzPerMhz);
+  const double mem_s = mem_ns_per_instr / kNsPerSecond;
+  return 1.0 / (core_s + mem_s);
+}
+
+bool WorkloadProfile::UsesAvx() const { return avx_fraction >= kAvxThreshold; }
+
+Process::Process(WorkloadProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+WorkSlice Process::Run(Seconds dt, Mhz freq_mhz) {
+  WorkSlice slice;
+  slice.activity = profile_.activity;
+  slice.avx_fraction = profile_.avx_fraction;
+  if (finished_ && run_to_completion_) {
+    wall_time_ += dt;
+    slice.busy_fraction = 0.0;
+    slice.activity = 0.0;
+    slice.avx_fraction = 0.0;
+    return slice;
+  }
+
+  // Phase modulation: CPI swings sinusoidally around its mean, so IPS (and
+  // thus measured "performance") drifts even at fixed frequency.
+  double phase_mult = 1.0;
+  if (profile_.phase_amplitude > 0.0 && profile_.phase_period_s > 0.0) {
+    phase_mult +=
+        profile_.phase_amplitude * std::sin(2.0 * M_PI * wall_time_ / profile_.phase_period_s);
+  }
+  double jitter_mult = 1.0;
+  if (profile_.jitter > 0.0) {
+    jitter_mult = std::max(0.5, rng_.Normal(1.0, profile_.jitter));
+  }
+
+  const Ips ips = profile_.NominalIps(freq_mhz) / phase_mult * jitter_mult;
+  double instr = ips * dt;
+  double busy = 1.0;
+  Seconds used = dt;
+
+  if (run_to_completion_) {
+    const double remaining = profile_.total_ginstr * 1e9 - instructions_retired_;
+    if (instr >= remaining) {
+      // Finishes within this slice.
+      used = remaining / ips;
+      instr = remaining;
+      busy = used / dt;
+      finished_ = true;
+      completion_time_ = wall_time_ + used;
+    }
+  }
+
+  instructions_retired_ += instr;
+  cpu_time_ += used;
+  wall_time_ += dt;
+
+  slice.instructions = instr;
+  slice.busy_fraction = busy;
+  return slice;
+}
+
+}  // namespace papd

@@ -1,0 +1,99 @@
+// Analytic workload profiles and the Process execution model.
+//
+// Each profile is a compact frequency-response model of one benchmark:
+//
+//   IPS(f) = 1 / (cpi / (f_mhz * 1e6) + mem_ns_per_instr * 1e-9)
+//
+// The first term is core time (scales with frequency), the second is
+// memory-stall time (does not).  Compute-bound codes (leela, exchange2)
+// have mem_ns ~ 0 and scale linearly with frequency; memory-bound codes
+// (omnetpp, lbm) saturate — exactly the spread the paper's Figures 2-3 show
+// across SPEC CPU2017.
+//
+// `activity` is the dynamic-power activity factor relative to the reference
+// integer workload (gcc = 1.0): the "high demand" (HD) vs "low demand" (LD)
+// axis of the paper's policy analysis.  `avx_fraction` marks the AVX-heavy
+// outliers (lbm, imagick, cam4) that draw extra power and are frequency
+// capped.
+//
+// Phases: real benchmarks drift between program phases, which is what makes
+// performance shares noisier than frequency shares (paper Section 6.2).  A
+// profile modulates its CPI sinusoidally with amplitude `phase_amplitude`
+// and period `phase_period_s`, plus seeded per-slice jitter.
+
+#ifndef SRC_SPECSIM_WORKLOAD_H_
+#define SRC_SPECSIM_WORKLOAD_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/specsim/core_work.h"
+
+namespace papd {
+
+struct WorkloadProfile {
+  std::string name;
+  // Cycles per instruction of the core-bound part.
+  double cpi = 1.0;
+  // Frequency-independent stall time per instruction (memory/IO).
+  double mem_ns_per_instr = 0.0;
+  // Dynamic-power activity factor (gcc = 1.0).
+  double activity = 1.0;
+  // Fraction of AVX instructions (>= kAvxThreshold => AVX-capped).
+  double avx_fraction = 0.0;
+  // Phase behaviour.
+  double phase_amplitude = 0.0;  // Fractional CPI modulation (0..~0.2).
+  Seconds phase_period_s = 30.0;
+  double jitter = 0.0;  // Per-slice multiplicative IPS noise (stddev).
+  // Total instruction count of one complete run (in billions), used when a
+  // benchmark is run to completion (DVFS sweep experiments).
+  double total_ginstr = 1000.0;
+
+  // Instructions per second at the given frequency, without phase effects.
+  Ips NominalIps(Mhz freq_mhz) const;
+
+  // True if subject to AVX frequency caps.
+  bool UsesAvx() const;
+
+  static constexpr double kAvxThreshold = 0.25;
+};
+
+// A running instance of a profile pinned to one core.  Loops forever by
+// default (co-location experiments measure steady-state rates); in
+// run-to-completion mode it goes idle after retiring total_ginstr * 1e9
+// instructions.
+class Process : public CoreWork {
+ public:
+  // `seed` makes phase jitter deterministic per process.
+  Process(WorkloadProfile profile, uint64_t seed);
+
+  // When enabled the process stops (busy 0) after one complete run.
+  void set_run_to_completion(bool v) { run_to_completion_ = v; }
+
+  WorkSlice Run(Seconds dt, Mhz freq_mhz) override;
+  bool UsesAvx() const override { return profile_.UsesAvx(); }
+  std::string Name() const override { return profile_.name; }
+
+  const WorkloadProfile& profile() const { return profile_; }
+  double instructions_retired() const { return instructions_retired_; }
+  Seconds cpu_time() const { return cpu_time_; }
+  bool finished() const { return finished_; }
+  // Wall-clock seconds at which the first complete run finished (valid when
+  // finished() is true and run_to_completion was set).
+  Seconds completion_time() const { return completion_time_; }
+
+ private:
+  WorkloadProfile profile_;
+  Rng rng_;
+  bool run_to_completion_ = false;
+  bool finished_ = false;
+  double instructions_retired_ = 0.0;
+  Seconds cpu_time_ = 0.0;   // Total busy time.
+  Seconds wall_time_ = 0.0;  // Total time including idle-after-finish.
+  Seconds completion_time_ = 0.0;
+};
+
+}  // namespace papd
+
+#endif  // SRC_SPECSIM_WORKLOAD_H_

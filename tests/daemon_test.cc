@@ -1,0 +1,276 @@
+// Unit tests for the PowerDaemon: MSR programming, Ryzen 3-P-state
+// invariant, closed-loop convergence.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+struct Rig {
+  explicit Rig(PlatformSpec spec) : pkg(std::move(spec)), msr(&pkg) {}
+
+  void AddApp(const std::string& profile, double shares, bool hp = false) {
+    const int cpu = static_cast<int>(procs.size());
+    procs.push_back(std::make_unique<Process>(GetProfile(profile), 100 + cpu));
+    pkg.AttachWork(cpu, procs.back().get());
+    apps.push_back(ManagedApp{.name = profile,
+                              .cpu = cpu,
+                              .shares = shares,
+                              .high_priority = hp,
+                              .baseline_ips = GetProfile(profile).NominalIps(3000)});
+  }
+
+  // Runs the daemon closed-loop for `seconds`.
+  void Run(PowerDaemon* daemon, Seconds seconds) {
+    Simulator sim(&pkg);
+    sim.AddPeriodic(daemon->config().period_s, [daemon](Seconds) { daemon->Step(); });
+    sim.Run(seconds);
+  }
+
+  Package pkg;
+  MsrFile msr;
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<ManagedApp> apps;
+};
+
+TEST(DaemonSkylake, StartProgramsInitialDistribution) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("leela", 100);
+  rig.AddApp("cactusBSSN", 50);
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
+                                          .power_limit_w = 50});
+  daemon.Start();
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 3000.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1500.0);
+}
+
+TEST(DaemonSkylake, ConvergesToPowerLimit) {
+  Rig rig(SkylakeXeon4114());
+  for (int i = 0; i < 10; i++) {
+    rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
+                                          .power_limit_w = 45});
+  daemon.Start();
+  rig.Run(&daemon, 60.0);
+  // Average package power over the last samples near the limit.
+  double avg = 0.0;
+  int n = 0;
+  for (size_t i = daemon.history().size() - 10; i < daemon.history().size(); i++) {
+    avg += daemon.history()[i].sample.pkg_w;
+    n++;
+  }
+  avg /= n;
+  EXPECT_NEAR(avg, 45.0, 2.0);
+}
+
+TEST(DaemonSkylake, RaplOnlyProgramsLimitRegister) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kRaplOnly, .power_limit_w = 40});
+  daemon.Start();
+  EXPECT_TRUE(rig.pkg.rapl().enabled());
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 40.0);
+  // Cores request maximum; RAPL does the throttling.
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 3000.0);
+}
+
+TEST(DaemonSkylake, StaticPinsFrequencies) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  rig.AddApp("gcc", 1.0);
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kStatic, .static_mhz = 1300});
+  daemon.Start();
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 1300.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1300.0);
+}
+
+TEST(DaemonSkylake, PriorityStarvationOfflinesCores) {
+  Rig rig(SkylakeXeon4114());
+  for (int i = 0; i < 5; i++) {
+    rig.AddApp("cactusBSSN", 1.0, /*hp=*/true);
+  }
+  for (int i = 0; i < 5; i++) {
+    rig.AddApp("cactusBSSN", 1.0, /*hp=*/false);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPriority, .power_limit_w = 40});
+  daemon.Start();
+  // LP cores start offline (starvation mode).
+  for (int i = 5; i < 10; i++) {
+    EXPECT_FALSE(rig.msr.CoreOnline(i));
+  }
+  rig.Run(&daemon, 30.0);
+  // 5 HD HP apps cannot leave room for all LP apps at 40 W: at least some
+  // LP cores remain offline.
+  int offline = 0;
+  for (int i = 5; i < 10; i++) {
+    offline += rig.msr.CoreOnline(i) ? 0 : 1;
+  }
+  EXPECT_GT(offline, 0);
+}
+
+TEST(DaemonSkylake, HistoryRecordsSamplesAndTargets) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
+                                          .power_limit_w = 40});
+  daemon.Start();
+  rig.Run(&daemon, 5.0);
+  ASSERT_EQ(daemon.history().size(), 5u);
+  for (const auto& rec : daemon.history()) {
+    EXPECT_GT(rec.sample.pkg_w, 0.0);
+    EXPECT_EQ(rec.targets.size(), 1u);
+  }
+}
+
+TEST(DaemonRyzen, ThreePstateInvariantHolds) {
+  Rig rig(Ryzen1700X());
+  // Eight apps at eight different share levels want eight frequencies; the
+  // selector must keep the hardware at <= 3 distinct values every period.
+  for (int i = 0; i < 8; i++) {
+    rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 10.0 + 12.0 * i);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
+                                          .power_limit_w = 45});
+  daemon.Start();
+  EXPECT_LE(rig.pkg.DistinctRequestedFrequencies(), 3);
+  Simulator sim(&rig.pkg);
+  sim.AddPeriodic(1.0, [&daemon, &rig](Seconds) {
+    daemon.Step();
+    ASSERT_LE(rig.pkg.DistinctRequestedFrequencies(), 3);
+  });
+  sim.Run(40.0);
+}
+
+TEST(DaemonRyzen, PowerSharesConvergesToLimit) {
+  Rig rig(Ryzen1700X());
+  for (int i = 0; i < 8; i++) {
+    rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPowerShares,
+                                          .power_limit_w = 40});
+  daemon.Start();
+  rig.Run(&daemon, 60.0);
+  double avg = 0.0;
+  for (size_t i = daemon.history().size() - 10; i < daemon.history().size(); i++) {
+    avg += daemon.history()[i].sample.pkg_w;
+  }
+  avg /= 10.0;
+  EXPECT_NEAR(avg, 40.0, 2.5);
+}
+
+TEST(DaemonRyzen, PowerSharesProportionalCorePower) {
+  Rig rig(Ryzen1700X());
+  rig.AddApp("leela", 75.0);
+  rig.AddApp("leela", 25.0);
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPowerShares,
+                                          .power_limit_w = 22});
+  daemon.Start();
+  rig.Run(&daemon, 90.0);
+  // Compare measured per-core power over the last sample.
+  const auto& rec = daemon.history().back();
+  ASSERT_TRUE(rec.sample.cores[0].core_w.has_value());
+  const double w0 = *rec.sample.cores[0].core_w;
+  const double w1 = *rec.sample.cores[1].core_w;
+  // 3:1 power split, within the tolerance the frequency floor allows.
+  EXPECT_GT(w0 / w1, 1.8);
+}
+
+TEST(DaemonSkylake, SetPowerLimitTakesEffect) {
+  Rig rig(SkylakeXeon4114());
+  for (int i = 0; i < 10; i++) {
+    rig.AddApp("cactusBSSN", 1.0);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 60});
+  daemon.Start();
+  rig.Run(&daemon, 30.0);
+  EXPECT_NEAR(daemon.history().back().sample.pkg_w, 60.0, 4.0);
+  daemon.SetPowerLimit(40.0);
+  rig.Run(&daemon, 30.0);
+  EXPECT_NEAR(daemon.history().back().sample.pkg_w, 40.0, 3.0);
+}
+
+TEST(DaemonSkylake, SetPowerLimitReprogramsRaplRegister) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kRaplOnly, .power_limit_w = 60});
+  daemon.Start();
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 60.0);
+  daemon.SetPowerLimit(45.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 45.0);
+}
+
+// A trivial custom policy: always request the same frequency everywhere.
+class FixedPolicy : public ShareResource {
+ public:
+  explicit FixedPolicy(Mhz mhz) : mhz_(mhz) {}
+  std::string Name() const override { return "fixed"; }
+  std::vector<Mhz> InitialDistribution(const std::vector<ManagedApp>& apps, Watts) override {
+    return std::vector<Mhz>(apps.size(), mhz_);
+  }
+  std::vector<Mhz> Redistribute(const std::vector<ManagedApp>& apps, const TelemetrySample&,
+                                Watts) override {
+    return std::vector<Mhz>(apps.size(), mhz_);
+  }
+
+ private:
+  Mhz mhz_;
+};
+
+TEST(DaemonCustomPolicy, CustomShareResourceDrivesTargets) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  rig.AddApp("leela", 1.0);
+  DaemonConfig dcfg;
+  dcfg.power_limit_w = 50.0;
+  PowerDaemon daemon(&rig.msr, rig.apps, dcfg, std::make_unique<FixedPolicy>(1500.0));
+  daemon.Start();
+  rig.Run(&daemon, 5.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 1500.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1500.0);
+}
+
+TEST(DaemonCustomPolicy, WorksOnRyzenThroughSelector) {
+  Rig rig(Ryzen1700X());
+  rig.AddApp("gcc", 1.0);
+  DaemonConfig dcfg;
+  dcfg.power_limit_w = 40.0;
+  PowerDaemon daemon(&rig.msr, rig.apps, dcfg, std::make_unique<FixedPolicy>(2000.0));
+  daemon.Start();
+  rig.Run(&daemon, 5.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 2000.0);
+  EXPECT_LE(rig.pkg.DistinctRequestedFrequencies(), 3);
+}
+
+TEST(DaemonConfig, PolicyKindNames) {
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kRaplOnly), "rapl");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kPriority), "priority");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kFrequencyShares), "freq-shares");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kPerformanceShares), "perf-shares");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kPowerShares), "power-shares");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kStatic), "static");
+}
+
+TEST(MakePolicyPlatformTest, DerivesDatasheetFacts) {
+  const PolicyPlatform p = MakePolicyPlatform(SkylakeXeon4114());
+  EXPECT_DOUBLE_EQ(p.min_mhz, 800.0);
+  EXPECT_DOUBLE_EQ(p.max_mhz, 3000.0);
+  EXPECT_DOUBLE_EQ(p.max_power_w, 85.0);
+  EXPECT_EQ(p.num_cores, 10);
+  EXPECT_GT(p.core_max_w, p.core_min_w);
+}
+
+}  // namespace
+}  // namespace papd

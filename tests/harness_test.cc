@@ -1,0 +1,193 @@
+// Unit tests for the experiment harness and scenario builders.
+
+#include <gtest/gtest.h>
+
+#include "src/experiments/harness.h"
+#include "src/experiments/scenarios.h"
+
+namespace papd {
+namespace {
+
+TEST(Standalone, BaselinesAreSane) {
+  const auto& gcc = Standalone(SkylakeXeon4114(), "gcc");
+  EXPECT_GT(gcc.ips, 1e9);
+  EXPECT_GT(gcc.active_mhz, 2500.0);  // Single core turbos.
+  EXPECT_GT(gcc.pkg_w, 10.0);
+  EXPECT_LT(gcc.pkg_w, 85.0);
+}
+
+TEST(Standalone, CachedResultsStable) {
+  const auto& a = Standalone(SkylakeXeon4114(), "leela");
+  const auto& b = Standalone(SkylakeXeon4114(), "leela");
+  EXPECT_EQ(&a, &b);  // Same cached object.
+}
+
+TEST(Standalone, AvxAppCappedBelowTurbo) {
+  const auto& cam4 = Standalone(SkylakeXeon4114(), "cam4");
+  EXPECT_LE(cam4.active_mhz, SkylakeXeon4114().avx_max_mhz_light + 1.0);
+}
+
+TEST(RunScenario, BasicStaticRun) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = {{.profile = "gcc"}, {.profile = "leela"}};
+  c.policy = PolicyKind::kStatic;
+  c.static_mhz = 2000;
+  c.warmup_s = 2;
+  c.measure_s = 10;
+  const ScenarioResult r = RunScenario(c);
+  ASSERT_EQ(r.apps.size(), 2u);
+  EXPECT_NEAR(r.apps[0].avg_active_mhz, 2000.0, 5.0);
+  EXPECT_NEAR(r.apps[1].avg_active_mhz, 2000.0, 5.0);
+  EXPECT_GT(r.apps[0].avg_ips, 0.0);
+  EXPECT_GT(r.avg_pkg_w, 10.0);
+  EXPECT_FALSE(r.apps[0].starved);
+  EXPECT_NEAR(r.measured_s, 10.0, 0.01);  // Tick-quantized window.
+}
+
+TEST(RunScenario, NormalizedPerformanceAgainstStandalone) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = {{.profile = "leela"}};
+  c.policy = PolicyKind::kStatic;
+  c.static_mhz = 3000;
+  c.warmup_s = 2;
+  c.measure_s = 10;
+  const ScenarioResult r = RunScenario(c);
+  // Alone at max request == the standalone baseline. Normalized perf ~ 1.
+  EXPECT_NEAR(r.apps[0].norm_perf, 1.0, 0.03);
+}
+
+TEST(RunScenario, RaplLimitEnforced) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  for (int i = 0; i < 10; i++) {
+    c.apps.push_back({.profile = "cactusBSSN"});
+  }
+  c.policy = PolicyKind::kRaplOnly;
+  c.limit_w = 40;
+  c.warmup_s = 5;
+  c.measure_s = 20;
+  const ScenarioResult r = RunScenario(c);
+  EXPECT_NEAR(r.avg_pkg_w, 40.0, 1.5);
+}
+
+TEST(RunScenario, DeterministicForSameSeed) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = {{.profile = "gcc"}, {.profile = "cam4"}};
+  c.policy = PolicyKind::kRaplOnly;
+  c.limit_w = 30;
+  c.warmup_s = 2;
+  c.measure_s = 10;
+  const ScenarioResult a = RunScenario(c);
+  const ScenarioResult b = RunScenario(c);
+  EXPECT_DOUBLE_EQ(a.avg_pkg_w, b.avg_pkg_w);
+  EXPECT_DOUBLE_EQ(a.apps[0].avg_ips, b.apps[0].avg_ips);
+}
+
+TEST(AddResourceShares, SharesSumToOne) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = {{.profile = "gcc"}, {.profile = "leela"}, {.profile = "cactusBSSN"}};
+  c.policy = PolicyKind::kStatic;
+  c.static_mhz = 1800;
+  c.warmup_s = 2;
+  c.measure_s = 10;
+  ScenarioResult r = RunScenario(c);
+  AddResourceShares(&r);
+  double f = 0.0;
+  double p = 0.0;
+  double w = 0.0;
+  for (const AppResult& app : r.apps) {
+    f += app.share_of_freq;
+    p += app.share_of_perf;
+    w += app.share_of_power;
+  }
+  EXPECT_NEAR(f, 1.0, 1e-9);
+  EXPECT_NEAR(p, 1.0, 1e-9);
+  EXPECT_NEAR(w, 1.0, 1e-9);
+}
+
+TEST(RunWebsearch, BaselineRunsCleanly) {
+  WebsearchConfig c{.platform = SkylakeXeon4114()};
+  c.policy = PolicyKind::kRaplOnly;
+  c.limit_w = 85;
+  c.with_cpuburn = false;
+  c.warmup_s = 10;
+  c.measure_s = 60;
+  const WebsearchResult r = RunWebsearch(c);
+  EXPECT_GT(r.completed_requests, 3000u);
+  EXPECT_GT(r.p90_latency, 0.0);
+  EXPECT_GE(r.p99_latency, r.p90_latency);
+  EXPECT_GE(r.p90_latency, r.p50_latency);
+  EXPECT_GT(r.websearch_avg_mhz, 2000.0);
+}
+
+TEST(RunWebsearch, CpuburnUnderRaplHurtsLatency) {
+  WebsearchConfig alone{.platform = SkylakeXeon4114()};
+  alone.policy = PolicyKind::kRaplOnly;
+  alone.limit_w = 40;
+  alone.with_cpuburn = false;
+  alone.warmup_s = 10;
+  alone.measure_s = 90;
+  WebsearchConfig burdened = alone;
+  burdened.with_cpuburn = true;
+  const WebsearchResult a = RunWebsearch(alone);
+  const WebsearchResult b = RunWebsearch(burdened);
+  EXPECT_GT(b.p90_latency, 1.5 * a.p90_latency);
+}
+
+TEST(Scenarios, Table2MixesMatchPaper) {
+  const auto mixes = SkylakePriorityMixes();
+  ASSERT_EQ(mixes.size(), 5u);
+  EXPECT_EQ(mixes[0].label, "10H0L");
+  EXPECT_EQ(mixes[0].apps.size(), 10u);
+  // Table 2 row "7H3L": 4 cactus-HP, 3 leela-HP, 1 cactus-LP, 2 leela-LP.
+  const auto& m7 = mixes[1];
+  int chp = 0;
+  int lhp = 0;
+  int clp = 0;
+  int llp = 0;
+  for (const AppSetup& a : m7.apps) {
+    if (a.profile == "cactusBSSN") {
+      (a.high_priority ? chp : clp)++;
+    } else {
+      (a.high_priority ? lhp : llp)++;
+    }
+  }
+  EXPECT_EQ(chp, 4);
+  EXPECT_EQ(lhp, 3);
+  EXPECT_EQ(clp, 1);
+  EXPECT_EQ(llp, 2);
+  for (const auto& mix : mixes) {
+    EXPECT_EQ(mix.apps.size(), 10u) << mix.label;
+  }
+}
+
+TEST(Scenarios, RyzenMixesFillAllCores) {
+  for (const auto& mix : RyzenPriorityMixes()) {
+    EXPECT_EQ(mix.apps.size(), 8u) << mix.label;
+  }
+}
+
+TEST(Scenarios, ShareSplitMix) {
+  const WorkloadMix mix = ShareSplitMix(10, 90, 10);
+  ASSERT_EQ(mix.apps.size(), 10u);
+  EXPECT_EQ(mix.apps[0].profile, "leela");
+  EXPECT_DOUBLE_EQ(mix.apps[0].shares, 90.0);
+  EXPECT_EQ(mix.apps[5].profile, "cactusBSSN");
+  EXPECT_DOUBLE_EQ(mix.apps[5].shares, 10.0);
+}
+
+TEST(Scenarios, RandomSetsMatchTable3) {
+  const auto sets = RandomSets();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].apps[2], "cactusBSSN");
+  EXPECT_EQ(sets[1].apps[4], "lbm");
+  const auto apps = RandomSetApps(sets[0]);
+  ASSERT_EQ(apps.size(), 10u);
+  // Two copies of each, same share; shares rise with app index.
+  EXPECT_EQ(apps[0].profile, apps[1].profile);
+  EXPECT_DOUBLE_EQ(apps[0].shares, apps[1].shares);
+  EXPECT_DOUBLE_EQ(apps[0].shares, 20.0);
+  EXPECT_DOUBLE_EQ(apps[8].shares, 100.0);
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,194 @@
+// Unit and property tests for proportional distribution with min-funding
+// revocation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/policy/min_funding.h"
+
+namespace papd {
+namespace {
+
+double Sum(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+TEST(DistributeProportional, EmptyInput) {
+  EXPECT_TRUE(DistributeProportional(10.0, {}).empty());
+}
+
+TEST(DistributeProportional, UnconstrainedSplitFollowsShares) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 3.0, .minimum = 0.0, .maximum = 100.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 100.0},
+  };
+  const auto alloc = DistributeProportional(40.0, req);
+  EXPECT_NEAR(alloc[0], 30.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 10.0, 1e-9);
+}
+
+TEST(DistributeProportional, BelowMinimumsGivesMinimums) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 1.0, .minimum = 5.0, .maximum = 100.0},
+      {.shares = 1.0, .minimum = 5.0, .maximum = 100.0},
+  };
+  const auto alloc = DistributeProportional(3.0, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 5.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 5.0);
+}
+
+TEST(DistributeProportional, AboveMaximumsGivesMaximums) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 1.0, .minimum = 0.0, .maximum = 7.0},
+      {.shares = 9.0, .minimum = 0.0, .maximum = 8.0},
+  };
+  const auto alloc = DistributeProportional(100.0, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 7.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 8.0);
+}
+
+TEST(DistributeProportional, RevocationSpillsToUnsaturated) {
+  // The 9:1 split would give app0 36, above its max of 20; the excess goes
+  // to app1.
+  const std::vector<ShareRequest> req = {
+      {.shares = 9.0, .minimum = 0.0, .maximum = 20.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 100.0},
+  };
+  const auto alloc = DistributeProportional(40.0, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 20.0);
+  EXPECT_NEAR(alloc[1], 20.0, 1e-9);
+}
+
+TEST(DistributeProportional, MinimumFloorBreaksPureProportionality) {
+  // Paper Section 5.2: a 99:1 ratio cannot be honored — the low-share app
+  // holds its minimum, i.e. more than its proportional share.
+  const std::vector<ShareRequest> req = {
+      {.shares = 99.0, .minimum = 8.0, .maximum = 30.0},
+      {.shares = 1.0, .minimum = 8.0, .maximum = 30.0},
+  };
+  const auto alloc = DistributeProportional(24.0, req);
+  EXPECT_NEAR(Sum(alloc), 24.0, 1e-6);
+  EXPECT_GE(alloc[1], 8.0);
+  EXPECT_GT(alloc[1] / Sum(alloc), 0.01);  // Far above 1%.
+}
+
+TEST(DistributeDelta, PositiveDeltaProportional) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 3.0, .minimum = 0.0, .maximum = 100.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 100.0},
+  };
+  const auto alloc = DistributeDelta(8.0, {10.0, 10.0}, req);
+  EXPECT_NEAR(alloc[0], 16.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 12.0, 1e-9);
+}
+
+TEST(DistributeDelta, NegativeDeltaRespectsMinimum) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 1.0, .minimum = 8.0, .maximum = 100.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 100.0},
+  };
+  const auto alloc = DistributeDelta(-10.0, {10.0, 10.0}, req);
+  EXPECT_GE(alloc[0], 8.0);
+  EXPECT_NEAR(Sum(alloc), 10.0, 1e-6);
+}
+
+TEST(DistributeDelta, SaturatedEntriesSkipped) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 1.0, .minimum = 0.0, .maximum = 10.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 100.0},
+  };
+  // app0 is already at its maximum; the whole delta goes to app1.
+  const auto alloc = DistributeDelta(6.0, {10.0, 10.0}, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 10.0);
+  EXPECT_NEAR(alloc[1], 16.0, 1e-9);
+}
+
+TEST(DistributeDelta, OutOfBoundsInputClamped) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 1.0, .minimum = 5.0, .maximum = 10.0},
+  };
+  const auto alloc = DistributeDelta(0.0, {50.0}, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 10.0);
+}
+
+TEST(DistributeDelta, ZeroDeltaIsIdentityWithinBounds) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 2.0, .minimum = 0.0, .maximum = 100.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 100.0},
+  };
+  const auto alloc = DistributeDelta(0.0, {33.0, 44.0}, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 33.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 44.0);
+}
+
+// ---- Property sweep: conservation, bounds, and share monotonicity over
+// ---- randomized instances.
+
+class MinFundingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinFundingProperty, RandomizedInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 200; iter++) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(10));
+    std::vector<ShareRequest> req;
+    double min_sum = 0.0;
+    double max_sum = 0.0;
+    for (int i = 0; i < n; i++) {
+      const double lo = rng.Uniform(0.0, 10.0);
+      const double hi = lo + rng.Uniform(0.0, 30.0);
+      req.push_back(
+          ShareRequest{.shares = rng.Uniform(0.1, 100.0), .minimum = lo, .maximum = hi});
+      min_sum += lo;
+      max_sum += hi;
+    }
+    const double total = rng.Uniform(0.0, max_sum * 1.2);
+    const auto alloc = DistributeProportional(total, req);
+    ASSERT_EQ(alloc.size(), req.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < alloc.size(); i++) {
+      // Bounds always hold.
+      ASSERT_GE(alloc[i], req[i].minimum - 1e-6);
+      ASSERT_LE(alloc[i], req[i].maximum + 1e-6);
+      sum += alloc[i];
+    }
+    // Conservation: the sum equals total clamped to the feasible range.
+    const double expect = std::clamp(total, min_sum, max_sum);
+    ASSERT_NEAR(sum, expect, 1e-5);
+  }
+}
+
+TEST_P(MinFundingProperty, DeltaInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  for (int iter = 0; iter < 200; iter++) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(8));
+    std::vector<ShareRequest> req;
+    std::vector<double> current;
+    for (int i = 0; i < n; i++) {
+      const double lo = rng.Uniform(0.0, 5.0);
+      const double hi = lo + rng.Uniform(1.0, 20.0);
+      req.push_back(
+          ShareRequest{.shares = rng.Uniform(0.1, 50.0), .minimum = lo, .maximum = hi});
+      current.push_back(rng.Uniform(lo, hi));
+    }
+    const double delta = rng.Uniform(-30.0, 30.0);
+    const auto alloc = DistributeDelta(delta, current, req);
+    double max_deliverable = 0.0;
+    for (size_t i = 0; i < req.size(); i++) {
+      max_deliverable +=
+          delta > 0 ? req[i].maximum - current[i] : current[i] - req[i].minimum;
+      ASSERT_GE(alloc[i], req[i].minimum - 1e-6);
+      ASSERT_LE(alloc[i], req[i].maximum + 1e-6);
+    }
+    const double applied = Sum(alloc) - Sum(current);
+    const double expect =
+        delta > 0 ? std::min(delta, max_deliverable) : -std::min(-delta, max_deliverable);
+    ASSERT_NEAR(applied, expect, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinFundingProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace papd

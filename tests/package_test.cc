@@ -1,0 +1,270 @@
+// Unit tests for the Package simulator: effective frequencies, turbo, AVX
+// caps, RAPL interaction, counters and power accounting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+std::unique_ptr<Process> MakeProcess(const std::string& profile, uint64_t seed = 1) {
+  return std::make_unique<Process>(GetProfile(profile), seed);
+}
+
+TEST(Package, InitialState) {
+  Package pkg(SkylakeXeon4114());
+  EXPECT_EQ(pkg.num_cores(), 10);
+  EXPECT_DOUBLE_EQ(pkg.now(), 0.0);
+  for (int i = 0; i < pkg.num_cores(); i++) {
+    EXPECT_TRUE(pkg.core(i).online());
+    EXPECT_DOUBLE_EQ(pkg.core(i).requested_mhz(), 2200.0);
+  }
+}
+
+TEST(Package, SetRequestedMhzQuantizesToGrid) {
+  Package pkg(SkylakeXeon4114());
+  pkg.SetRequestedMhz(0, 1234.0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 1200.0);
+  Package ryzen(Ryzen1700X());
+  ryzen.SetRequestedMhz(0, 1234.0);
+  EXPECT_DOUBLE_EQ(ryzen.core(0).requested_mhz(), 1225.0);
+}
+
+TEST(Package, SingleCoreReachesMaxTurbo) {
+  Package pkg(SkylakeXeon4114());
+  auto proc = MakeProcess("leela");
+  pkg.AttachWork(0, proc.get());
+  pkg.SetRequestedMhz(0, 3000);
+  pkg.Tick(0.001);
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), 3000.0);
+}
+
+TEST(Package, AllCoresClampedToAllCoreTurbo) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(MakeProcess("leela", 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+    pkg.SetRequestedMhz(i, 3000);
+  }
+  pkg.Tick(0.001);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz(), spec.TurboLimitMhz(10));
+  }
+}
+
+TEST(Package, OffliningCoresFreesTurboHeadroom) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(MakeProcess("leela", 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+    pkg.SetRequestedMhz(i, 3000);
+  }
+  for (int i = 2; i < 10; i++) {
+    pkg.SetOnline(i, false);
+  }
+  pkg.Tick(0.001);
+  // Two active cores: full turbo.
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), 3000.0);
+}
+
+TEST(Package, AvxWorkloadIsFrequencyCapped) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  auto avx = MakeProcess("cam4");
+  auto plain = MakeProcess("gcc");
+  pkg.AttachWork(0, avx.get());
+  pkg.AttachWork(1, plain.get());
+  pkg.SetRequestedMhz(0, 3000);
+  pkg.SetRequestedMhz(1, 3000);
+  pkg.Tick(0.001);
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), spec.avx_max_mhz_light);
+  EXPECT_DOUBLE_EQ(pkg.core(1).effective_mhz(), 3000.0);
+}
+
+TEST(Package, ManyAvxCoresGetHeavierCap) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 5; i++) {
+    procs.push_back(MakeProcess("cam4", 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+    pkg.SetRequestedMhz(i, 3000);
+  }
+  pkg.Tick(0.001);
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), spec.avx_max_mhz_heavy);
+}
+
+TEST(Package, OfflineCoreDrawsIdlePowerAndDoesNotRun) {
+  Package pkg(SkylakeXeon4114());
+  auto proc = MakeProcess("gcc");
+  pkg.AttachWork(0, proc.get());
+  pkg.SetOnline(0, false);
+  pkg.Tick(0.001);
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), 0.0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).last_slice().instructions, 0.0);
+  EXPECT_LT(pkg.core(0).power_w(), 0.1);
+  EXPECT_DOUBLE_EQ(proc->instructions_retired(), 0.0);
+}
+
+TEST(Package, PowerAccountingConsistent) {
+  Package pkg(SkylakeXeon4114());
+  auto proc = MakeProcess("gcc");
+  pkg.AttachWork(0, proc.get());
+  Simulator sim(&pkg);
+  sim.Run(1.0);
+  // Package energy equals the integral of package power: re-derive average
+  // power from energy and compare with the last instantaneous value (the
+  // workload is steady).
+  const Watts avg = pkg.package_energy_j() / pkg.now();
+  EXPECT_NEAR(avg, pkg.last_package_power_w(), 0.5);
+  // Package power strictly exceeds the sum of core powers by the uncore.
+  double core_sum = 0.0;
+  for (int i = 0; i < pkg.num_cores(); i++) {
+    core_sum += pkg.core(i).power_w();
+  }
+  EXPECT_NEAR(pkg.last_package_power_w() - core_sum, pkg.last_uncore_power_w(), 1e-9);
+}
+
+TEST(Package, CountersMonotone) {
+  Package pkg(SkylakeXeon4114());
+  auto proc = MakeProcess("gcc");
+  pkg.AttachWork(0, proc.get());
+  double prev_aperf = 0.0;
+  double prev_energy = 0.0;
+  for (int i = 0; i < 100; i++) {
+    pkg.Tick(0.001);
+    EXPECT_GE(pkg.core(0).aperf_cycles(), prev_aperf);
+    EXPECT_GT(pkg.core(0).energy_j(), prev_energy);
+    prev_aperf = pkg.core(0).aperf_cycles();
+    prev_energy = pkg.core(0).energy_j();
+  }
+}
+
+TEST(Package, AperfMperfRatioRecoversFrequency) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  auto proc = MakeProcess("gcc");
+  pkg.AttachWork(0, proc.get());
+  pkg.SetRequestedMhz(0, 1500);
+  Simulator sim(&pkg);
+  sim.Run(0.5);
+  const Core& c = pkg.core(0);
+  EXPECT_NEAR(c.aperf_cycles() / c.mperf_cycles() * spec.tsc_mhz, 1500.0, 1.0);
+}
+
+TEST(Package, RaplThrottlesAllCoresUniformly) {
+  // Figure 1 mechanism: under global-style uniform requests, RAPL clamps
+  // everyone to the same ceiling.
+  Package pkg(SkylakeXeon4114());
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(MakeProcess("gcc", 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+    pkg.SetRequestedMhz(i, 3000);
+  }
+  pkg.SetRaplLimit(40.0);
+  Simulator sim(&pkg);
+  sim.Run(2.0);
+  EXPECT_NEAR(pkg.last_package_power_w(), 40.0, 1.5);
+  const Mhz f0 = pkg.core(0).effective_mhz();
+  EXPECT_LT(f0, 2000.0);
+  for (int i = 1; i < 10; i++) {
+    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz(), f0);
+  }
+}
+
+TEST(Package, RaplThrottlesFastestCoresFirst) {
+  // Figure 4 mechanism: cores already throttled below the ceiling are
+  // untouched; only unconstrained cores slow down.
+  Package pkg(SkylakeXeon4114());
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(MakeProcess("gcc", 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+    pkg.SetRequestedMhz(i, i < 5 ? 3000 : 800);
+  }
+  pkg.SetRaplLimit(50.0);
+  Simulator sim(&pkg);
+  sim.Run(2.0);
+  for (int i = 5; i < 10; i++) {
+    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz(), 800.0);
+  }
+  EXPECT_LT(pkg.core(0).effective_mhz(), 3000.0);
+  EXPECT_GT(pkg.core(0).effective_mhz(), 800.0);
+}
+
+TEST(Package, RaplRejectedOnRyzen) {
+  Package pkg(Ryzen1700X());
+  pkg.SetRaplLimit(50.0);  // Logged and ignored.
+  EXPECT_FALSE(pkg.rapl().enabled());
+}
+
+TEST(Package, DistinctRequestedFrequenciesCountsOnlineCores) {
+  Package pkg(Ryzen1700X());
+  for (int i = 0; i < 8; i++) {
+    pkg.SetRequestedMhz(i, 800.0 + 100.0 * i);
+  }
+  EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 8);
+  for (int i = 4; i < 8; i++) {
+    pkg.SetOnline(i, false);
+  }
+  EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 4);
+}
+
+TEST(Package, HigherDemandWorkloadDrawsMorePower) {
+  Package lo(SkylakeXeon4114());
+  Package hi(SkylakeXeon4114());
+  auto leela = MakeProcess("leela");
+  auto cactus = MakeProcess("cactusBSSN");
+  lo.AttachWork(0, leela.get());
+  hi.AttachWork(0, cactus.get());
+  lo.SetRequestedMhz(0, 2200);
+  hi.SetRequestedMhz(0, 2200);
+  lo.Tick(0.001);
+  hi.Tick(0.001);
+  EXPECT_GT(hi.core(0).power_w(), lo.core(0).power_w());
+}
+
+TEST(Package, MultiWorkMembersCountForTurboCensus) {
+  // Nine websearch cores plus one single-core app: all ten are active, so
+  // the all-core turbo limit applies.
+  const PlatformSpec spec = SkylakeXeon4114();
+  Package pkg(spec);
+  // A tiny stand-in multi-core work occupying cores 0..8.
+  class Fixed : public MultiCoreWork {
+   public:
+    Fixed() : cores_{0, 1, 2, 3, 4, 5, 6, 7, 8} {}
+    const std::vector<int>& Cores() const override { return cores_; }
+    std::vector<WorkSlice> Run(Seconds, const std::vector<Mhz>&) override {
+      return std::vector<WorkSlice>(
+          9, WorkSlice{.instructions = 1, .busy_fraction = 1.0, .activity = 1.0});
+    }
+    bool UsesAvx() const override { return false; }
+    std::string Name() const override { return "fixed"; }
+
+   private:
+    std::vector<int> cores_;
+  } multi;
+  pkg.AttachMultiWork(&multi);
+  auto proc = MakeProcess("gcc");
+  pkg.AttachWork(9, proc.get());
+  for (int i = 0; i < 10; i++) {
+    pkg.SetRequestedMhz(i, 3000);
+  }
+  pkg.Tick(0.001);
+  EXPECT_DOUBLE_EQ(pkg.core(9).effective_mhz(), spec.TurboLimitMhz(10));
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,161 @@
+// Unit tests for src/platform: P-state tables, voltage curves, platform
+// descriptors.
+
+#include <gtest/gtest.h>
+
+#include "src/platform/platform_spec.h"
+#include "src/platform/pstate.h"
+#include "src/platform/voltage_curve.h"
+
+namespace papd {
+namespace {
+
+TEST(PStateTable, SizeAndOrdering) {
+  const PStateTable t(800, 2200, 100);
+  EXPECT_EQ(t.size(), 15u);
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(0), 2200.0);  // P0 fastest.
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(14), 800.0);
+  EXPECT_DOUBLE_EQ(t.min_mhz(), 800.0);
+  EXPECT_DOUBLE_EQ(t.max_mhz(), 2200.0);
+}
+
+TEST(PStateTable, QuantizeDown) {
+  const PStateTable t(800, 2200, 100);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(1234), 1200.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(1200), 1200.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(799), 800.0);   // Clamp low.
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(9999), 2200.0);  // Clamp high.
+}
+
+TEST(PStateTable, QuantizeUp) {
+  const PStateTable t(800, 2200, 100);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(1201), 1300.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(1300), 1300.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(100), 800.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(5000), 2200.0);
+}
+
+TEST(PStateTable, QuantizeNearest) {
+  const PStateTable t(800, 2200, 100);
+  EXPECT_DOUBLE_EQ(t.QuantizeNearest(1249), 1200.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeNearest(1251), 1300.0);
+}
+
+TEST(PStateTable, IndexRoundTrip) {
+  const PStateTable t(800, 2200, 100);
+  for (size_t i = 0; i < t.size(); i++) {
+    EXPECT_EQ(t.IndexOf(t.FrequencyOf(i)), i);
+  }
+}
+
+TEST(PStateTable, OnGrid) {
+  const PStateTable t(800, 3400, 25);
+  EXPECT_TRUE(t.OnGrid(825));
+  EXPECT_TRUE(t.OnGrid(3400));
+  EXPECT_FALSE(t.OnGrid(812));
+  EXPECT_FALSE(t.OnGrid(3500));
+}
+
+TEST(PStateTable, Ryzen25MhzGridIsFine) {
+  const PStateTable t(800, 3800, 25);
+  EXPECT_EQ(t.size(), 121u);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(3333), 3325.0);
+}
+
+TEST(VoltageCurve, InterpolatesAndClamps) {
+  const VoltageCurve curve({{800, 0.65}, {2200, 1.00}, {3000, 1.15}});
+  EXPECT_DOUBLE_EQ(curve.At(800), 0.65);
+  EXPECT_DOUBLE_EQ(curve.At(2200), 1.00);
+  EXPECT_DOUBLE_EQ(curve.At(3000), 1.15);
+  EXPECT_NEAR(curve.At(1500), 0.65 + 0.35 * 700.0 / 1400.0, 1e-12);
+  // Clamped outside the range.
+  EXPECT_DOUBLE_EQ(curve.At(100), 0.65);
+  EXPECT_DOUBLE_EQ(curve.At(9000), 1.15);
+  EXPECT_DOUBLE_EQ(curve.min_volts(), 0.65);
+  EXPECT_DOUBLE_EQ(curve.max_volts(), 1.15);
+}
+
+TEST(VoltageCurve, MonotoneOverRange) {
+  const PlatformSpec spec = SkylakeXeon4114();
+  Volts prev = 0.0;
+  for (Mhz f = spec.min_mhz; f <= spec.turbo_max_mhz; f += 50) {
+    const Volts v = spec.voltage.At(f);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(PlatformSpec, SkylakeMatchesTable1) {
+  const PlatformSpec s = SkylakeXeon4114();
+  EXPECT_EQ(s.num_cores, 10);
+  EXPECT_DOUBLE_EQ(s.min_mhz, 800.0);
+  EXPECT_DOUBLE_EQ(s.base_max_mhz, 2200.0);
+  EXPECT_DOUBLE_EQ(s.turbo_max_mhz, 3000.0);
+  EXPECT_DOUBLE_EQ(s.step_mhz, 100.0);
+  EXPECT_DOUBLE_EQ(s.rapl_min_w, 20.0);
+  EXPECT_DOUBLE_EQ(s.rapl_max_w, 85.0);
+  EXPECT_TRUE(s.has_rapl_limit);
+  EXPECT_FALSE(s.has_per_core_power);
+  EXPECT_EQ(s.max_simultaneous_pstates, 0);
+}
+
+TEST(PlatformSpec, RyzenMatchesTable1) {
+  const PlatformSpec r = Ryzen1700X();
+  EXPECT_EQ(r.num_cores, 8);
+  EXPECT_DOUBLE_EQ(r.step_mhz, 25.0);
+  EXPECT_DOUBLE_EQ(r.turbo_max_mhz, 3800.0);
+  EXPECT_FALSE(r.has_rapl_limit);
+  EXPECT_TRUE(r.has_per_core_power);
+  EXPECT_EQ(r.max_simultaneous_pstates, 3);
+}
+
+TEST(PlatformSpec, TurboLadderMonotone) {
+  for (const PlatformSpec& spec : {SkylakeXeon4114(), Ryzen1700X()}) {
+    Mhz prev = spec.turbo_max_mhz + 1;
+    for (int active = 1; active <= spec.num_cores; active++) {
+      const Mhz limit = spec.TurboLimitMhz(active);
+      EXPECT_LE(limit, prev) << spec.name << " active=" << active;
+      EXPECT_GE(limit, spec.base_max_mhz);
+      prev = limit;
+    }
+    // Few active cores reach max turbo.
+    EXPECT_DOUBLE_EQ(spec.TurboLimitMhz(1), spec.turbo_max_mhz);
+  }
+}
+
+TEST(PlatformSpec, SkylakeAllCoreTurboAbove2500) {
+  // Figure 4 of the paper observes ~2.5-2.65 GHz with all 10 cores active.
+  const PlatformSpec s = SkylakeXeon4114();
+  EXPECT_GE(s.TurboLimitMhz(10), 2500.0);
+  EXPECT_LT(s.TurboLimitMhz(10), s.turbo_max_mhz);
+}
+
+TEST(PlatformSpec, AvxCaps) {
+  const PlatformSpec s = SkylakeXeon4114();
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(0), s.turbo_max_mhz);  // No AVX work: no cap.
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(1), s.avx_max_mhz_light);
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(2), s.avx_max_mhz_light);
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(5), s.avx_max_mhz_heavy);
+  EXPECT_LT(s.avx_max_mhz_heavy, s.avx_max_mhz_light);
+  EXPECT_LT(s.avx_max_mhz_light, s.base_max_mhz);
+}
+
+TEST(PlatformSpec, PStatesCoverFullRange) {
+  for (const PlatformSpec& spec : {SkylakeXeon4114(), Ryzen1700X()}) {
+    const PStateTable t = spec.PStates();
+    EXPECT_DOUBLE_EQ(t.min_mhz(), spec.min_mhz);
+    EXPECT_DOUBLE_EQ(t.max_mhz(), spec.turbo_max_mhz);
+  }
+}
+
+// Paper Section 5.2: "frequency only varies by a factor of 3-4".
+TEST(PlatformSpec, FrequencyDynamicRange) {
+  for (const PlatformSpec& spec : {SkylakeXeon4114(), Ryzen1700X()}) {
+    const double range = spec.turbo_max_mhz / spec.min_mhz;
+    EXPECT_GE(range, 3.0) << spec.name;
+    EXPECT_LE(range, 5.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,173 @@
+// Unit and property tests for the three-P-state selector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/policy/pstate_selector.h"
+
+namespace papd {
+namespace {
+
+// Exhaustive reference: tries every assignment of targets to every possible
+// set of up to k grid levels drawn from segment means.  For small n this is
+// tractable via trying all contiguous partitions of the sorted targets
+// (optimal clusters of 1-D points are contiguous).
+double BruteForceSse(std::vector<Mhz> targets, int k, Mhz step) {
+  std::sort(targets.begin(), targets.end());
+  const size_t n = targets.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate cut positions: choose k-1 cut points among n-1 gaps.
+  std::vector<size_t> cuts;
+  auto eval = [&]() {
+    double sse = 0.0;
+    size_t start = 0;
+    std::vector<size_t> bounds = cuts;
+    bounds.push_back(n);
+    for (size_t b : bounds) {
+      double mean = 0.0;
+      for (size_t i = start; i < b; i++) {
+        mean += targets[i];
+      }
+      mean /= static_cast<double>(b - start);
+      const Mhz level = std::round(mean / step) * step;
+      for (size_t i = start; i < b; i++) {
+        sse += (targets[i] - level) * (targets[i] - level);
+      }
+      start = b;
+    }
+    best = std::min(best, sse);
+  };
+  // Recursive enumeration of up to k-1 cuts.
+  std::function<void(size_t, int)> rec = [&](size_t from, int remaining) {
+    eval();
+    if (remaining == 0) {
+      return;
+    }
+    for (size_t c = std::max<size_t>(from, 1); c < n; c++) {
+      cuts.push_back(c);
+      rec(c + 1, remaining - 1);
+      cuts.pop_back();
+    }
+  };
+  rec(0, k - 1);
+  return best;
+}
+
+TEST(SelectPStates, EmptyInput) {
+  const PStateSelection sel = SelectPStates({}, 3, 25);
+  EXPECT_TRUE(sel.levels.empty());
+  EXPECT_TRUE(sel.assignment.empty());
+}
+
+TEST(SelectPStates, FewerTargetsThanLevels) {
+  const PStateSelection sel = SelectPStates({1000, 2000}, 3, 25);
+  EXPECT_LE(sel.levels.size(), 2u);
+  EXPECT_NEAR(sel.sse, 0.0, 1e-9);
+}
+
+TEST(SelectPStates, IdenticalTargetsCollapseToOneLevel) {
+  const PStateSelection sel = SelectPStates({1500, 1500, 1500, 1500}, 3, 25);
+  ASSERT_EQ(sel.levels.size(), 1u);
+  EXPECT_DOUBLE_EQ(sel.levels[0], 1500.0);
+  for (int a : sel.assignment) {
+    EXPECT_EQ(a, 0);
+  }
+}
+
+TEST(SelectPStates, ThreeNaturalClusters) {
+  const std::vector<Mhz> targets = {3400, 3375, 2200, 2225, 800, 825, 800, 850};
+  const PStateSelection sel = SelectPStates(targets, 3, 25);
+  ASSERT_EQ(sel.levels.size(), 3u);
+  // Levels sorted high-to-low like a P-state table.
+  EXPECT_GT(sel.levels[0], sel.levels[1]);
+  EXPECT_GT(sel.levels[1], sel.levels[2]);
+  EXPECT_NEAR(sel.levels[0], 3400, 50);
+  EXPECT_NEAR(sel.levels[1], 2200, 50);
+  EXPECT_NEAR(sel.levels[2], 825, 50);
+  // High targets map to the high level.
+  EXPECT_EQ(sel.assignment[0], 0);
+  EXPECT_EQ(sel.assignment[2], 1);
+  EXPECT_EQ(sel.assignment[4], 2);
+}
+
+TEST(SelectPStates, LevelsOnGrid) {
+  Rng rng(5);
+  for (int iter = 0; iter < 50; iter++) {
+    std::vector<Mhz> targets;
+    for (int i = 0; i < 8; i++) {
+      targets.push_back(rng.Uniform(800, 3800));
+    }
+    const PStateSelection sel = SelectPStates(targets, 3, 25);
+    for (Mhz level : sel.levels) {
+      EXPECT_NEAR(std::fmod(level, 25.0), 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(SelectPStates, AssignmentIndicesValid) {
+  Rng rng(6);
+  for (int iter = 0; iter < 50; iter++) {
+    std::vector<Mhz> targets;
+    for (int i = 0; i < 8; i++) {
+      targets.push_back(rng.Uniform(800, 3800));
+    }
+    const PStateSelection sel = SelectPStates(targets, 3, 25);
+    ASSERT_EQ(sel.assignment.size(), targets.size());
+    EXPECT_LE(sel.levels.size(), 3u);
+    for (int a : sel.assignment) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, static_cast<int>(sel.levels.size()));
+    }
+  }
+}
+
+class SelectorOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorOptimality, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 30; iter++) {
+    std::vector<Mhz> targets;
+    const int n = 3 + static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < n; i++) {
+      // Grid-aligned targets keep the rounding interaction out of the
+      // optimality comparison.
+      targets.push_back(800.0 + 25.0 * static_cast<double>(rng.NextBelow(121)));
+    }
+    const PStateSelection sel = SelectPStates(targets, 3, 25);
+    const double brute = BruteForceSse(targets, 3, 25);
+    // The DP partitions optimally; grid rounding of cluster means is applied
+    // identically in both, so costs agree.
+    EXPECT_NEAR(sel.sse, brute, 1e-6) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorOptimality, ::testing::Values(11, 22, 33));
+
+TEST(SelectPStatesNaive, NeverBeatsOptimal) {
+  Rng rng(77);
+  for (int iter = 0; iter < 100; iter++) {
+    std::vector<Mhz> targets;
+    for (int i = 0; i < 8; i++) {
+      targets.push_back(rng.Uniform(800, 3800));
+    }
+    const PStateSelection opt = SelectPStates(targets, 3, 25);
+    const PStateSelection naive = SelectPStatesNaive(targets, 3, 25);
+    EXPECT_LE(opt.sse, naive.sse + 1e-6);
+  }
+}
+
+TEST(SelectPStatesNaive, BasicShape) {
+  const PStateSelection sel = SelectPStatesNaive({800, 2000, 3400}, 3, 25);
+  EXPECT_LE(sel.levels.size(), 3u);
+  EXPECT_EQ(sel.assignment.size(), 3u);
+}
+
+}  // namespace
+}  // namespace papd

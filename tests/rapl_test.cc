@@ -1,0 +1,117 @@
+// Unit tests for the RAPL running-average power-limit controller.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cpusim/rapl.h"
+#include "src/platform/platform_spec.h"
+
+namespace papd {
+namespace {
+
+class RaplTest : public ::testing::Test {
+ protected:
+  PlatformSpec spec_ = SkylakeXeon4114();
+};
+
+// A crude closed-loop plant: package power is an affine function of the
+// ceiling.  Checks the controller settles onto the limit.
+TEST_F(RaplTest, ConvergesToLimit) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(50.0);
+  auto plant = [](Mhz ceiling) { return 10.0 + ceiling * 0.025; };  // 85 W at 3 GHz.
+  Watts power = plant(rapl.ceiling_mhz());
+  for (int i = 0; i < 2000; i++) {  // 2 simulated seconds at 1 ms ticks.
+    rapl.Update(power, 0.001);
+    power = plant(rapl.ceiling_mhz());
+  }
+  EXPECT_NEAR(power, 50.0, 1.0);
+  EXPECT_NEAR(rapl.running_average_w(), 50.0, 1.0);
+}
+
+TEST_F(RaplTest, SettlesWithinTensOfMilliseconds) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(50.0);
+  auto plant = [](Mhz ceiling) { return 10.0 + ceiling * 0.025; };
+  Watts power = plant(rapl.ceiling_mhz());
+  int ticks = 0;
+  while (std::abs(power - 50.0) > 2.0 && ticks < 2000) {
+    rapl.Update(power, 0.001);
+    power = plant(rapl.ceiling_mhz());
+    ticks++;
+  }
+  // Past work (cited in Section 3.2) reports fast RAPL settling; our
+  // controller gets within 2 W in under 300 ms.
+  EXPECT_LT(ticks, 300);
+}
+
+TEST_F(RaplTest, CeilingClampedToPlatformRange) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(20.0);
+  for (int i = 0; i < 10000; i++) {
+    rapl.Update(200.0, 0.001);  // Persistent massive overload.
+  }
+  EXPECT_GE(rapl.ceiling_mhz(), spec_.min_mhz);
+  rapl.SetLimit(85.0);
+  for (int i = 0; i < 10000; i++) {
+    rapl.Update(1.0, 0.001);  // Persistent underload.
+  }
+  EXPECT_LE(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+}
+
+TEST_F(RaplTest, LimitClampedToPlatformRange) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(5.0);  // Below the 20 W floor.
+  EXPECT_DOUBLE_EQ(rapl.limit_w(), spec_.rapl_min_w);
+  rapl.SetLimit(500.0);
+  EXPECT_DOUBLE_EQ(rapl.limit_w(), spec_.rapl_max_w);
+}
+
+TEST_F(RaplTest, DisableRestoresFullCeiling) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(30.0);
+  for (int i = 0; i < 1000; i++) {
+    rapl.Update(80.0, 0.001);
+  }
+  EXPECT_LT(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+  rapl.Disable();
+  EXPECT_FALSE(rapl.enabled());
+  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+}
+
+TEST_F(RaplTest, DisabledControllerIgnoresUpdates) {
+  RaplController rapl(&spec_);
+  for (int i = 0; i < 100; i++) {
+    rapl.Update(500.0, 0.001);
+  }
+  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+}
+
+TEST_F(RaplTest, ReprogrammingResetsCeiling) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(25.0);
+  for (int i = 0; i < 2000; i++) {
+    rapl.Update(80.0, 0.001);
+  }
+  const Mhz throttled = rapl.ceiling_mhz();
+  EXPECT_LT(throttled, 2000.0);
+  rapl.SetLimit(85.0);
+  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+}
+
+TEST_F(RaplTest, RunningAverageSmoothsSpikes) {
+  RaplController rapl(&spec_);
+  rapl.SetLimit(50.0);
+  rapl.Update(50.0, 0.001);
+  const Mhz before = rapl.ceiling_mhz();
+  rapl.Update(300.0, 0.001);  // One-tick spike.
+  // The EWMA admits only part of the spike; the ceiling moves but far less
+  // than a proportional controller on the instantaneous error would.
+  const Mhz drop_one_tick = before - rapl.ceiling_mhz();
+  EXPECT_GT(drop_one_tick, 0.0);
+  EXPECT_LT(drop_one_tick, 0.001 * 4000.0 * 250.0 * 0.2);
+}
+
+}  // namespace
+}  // namespace papd

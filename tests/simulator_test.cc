@@ -1,0 +1,97 @@
+// Unit tests for the discrete-time Simulator driver.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+TEST(Simulator, RunAdvancesTime) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg);
+  sim.Run(0.5);
+  EXPECT_NEAR(sim.now(), 0.5, 1e-9);
+  sim.Run(0.25);
+  EXPECT_NEAR(sim.now(), 0.75, 1e-9);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg);
+  std::vector<Seconds> fired;
+  sim.AddPeriodic(0.1, [&fired](Seconds now) { fired.push_back(now); });
+  sim.Run(1.0);
+  ASSERT_EQ(fired.size(), 10u);
+  EXPECT_NEAR(fired[0], 0.1, 1e-6);
+  EXPECT_NEAR(fired[9], 1.0, 1e-6);
+}
+
+TEST(Simulator, PeriodicFirstAtOverride) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg);
+  std::vector<Seconds> fired;
+  sim.AddPeriodic(1.0, [&fired](Seconds now) { fired.push_back(now); },
+                  /*first_at_s=*/0.25);
+  sim.Run(2.5);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_NEAR(fired[0], 0.25, 1e-6);
+  EXPECT_NEAR(fired[1], 1.25, 1e-6);
+}
+
+TEST(Simulator, MultiplePeriodicsFireInRegistrationOrder) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg);
+  std::vector<int> order;
+  sim.AddPeriodic(0.5, [&order](Seconds) { order.push_back(1); });
+  sim.AddPeriodic(0.5, [&order](Seconds) { order.push_back(2); });
+  sim.Run(0.5);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate) {
+  Package pkg(SkylakeXeon4114());
+  Process proc(GetProfile("gcc"), 1);
+  pkg.AttachWork(0, &proc);
+  Simulator sim(&pkg);
+  const bool hit =
+      sim.RunUntil([&proc] { return proc.instructions_retired() > 1e8; }, 10.0);
+  EXPECT_TRUE(hit);
+  EXPECT_LT(sim.now(), 1.0);  // ~50 ms of work at >1 GIPS.
+}
+
+TEST(Simulator, RunUntilTimesOut) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg);
+  const bool hit = sim.RunUntil([] { return false; }, 0.2);
+  EXPECT_FALSE(hit);
+  EXPECT_NEAR(sim.now(), 0.2, 1e-6);
+}
+
+TEST(Simulator, CustomTickSize) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg, /*tick_s=*/0.01);
+  std::vector<Seconds> fired;
+  sim.AddPeriodic(0.1, [&fired](Seconds now) { fired.push_back(now); });
+  sim.Run(0.3);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, LongTickCrossesMultipleDueTimes) {
+  Package pkg(SkylakeXeon4114());
+  Simulator sim(&pkg, /*tick_s=*/1.0);  // Tick longer than the period.
+  int count = 0;
+  sim.AddPeriodic(0.25, [&count](Seconds) { count++; });
+  sim.Run(1.0);
+  EXPECT_EQ(count, 4);  // Fires once per crossed due time.
+}
+
+}  // namespace
+}  // namespace papd

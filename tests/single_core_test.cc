@@ -1,0 +1,182 @@
+// Unit and closed-loop tests for the single-core sharing policy
+// (paper Section 4.3).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/cpusim/timeshare.h"
+#include "src/policy/daemon.h"
+#include "src/policy/single_core.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+PolicyPlatform RyzenLike() {
+  PolicyPlatform p;
+  p.min_mhz = 800;
+  p.max_mhz = 3400;
+  p.step_mhz = 25;
+  p.num_cores = 8;
+  p.max_power_w = 95;
+  p.core_min_w = 1.0;
+  p.core_max_w = 14.0;
+  return p;
+}
+
+double Sum(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+TEST(SingleCoreSharing, ScenarioClassification) {
+  using S = SingleCoreSharing;
+  S equal(RyzenLike(), {{.name = "a", .demand = 1.0}, {.name = "b", .demand = 1.05}});
+  EXPECT_EQ(equal.ClassifyScenario(), S::Scenario::kEqualDemand);
+
+  S mixed(RyzenLike(), {{.name = "hd", .demand = 1.5}, {.name = "ld", .demand = 0.9}});
+  EXPECT_EQ(mixed.ClassifyScenario(), S::Scenario::kMixedDemandEqualPriority);
+
+  S prio(RyzenLike(), {{.name = "hd", .demand = 1.5},
+                       {.name = "ld", .high_priority = true, .demand = 0.9}});
+  EXPECT_EQ(prio.ClassifyScenario(), S::Scenario::kMixedDemandMixedPriority);
+}
+
+TEST(SingleCoreSharing, EqualDemandResidencyFollowsShares) {
+  SingleCoreSharing policy(
+      RyzenLike(),
+      {{.name = "a", .shares = 3.0, .demand = 1.0}, {.name = "b", .shares = 1.0, .demand = 1.0}});
+  const auto d = policy.Initial(10.0);
+  ASSERT_EQ(d.residencies.size(), 2u);
+  EXPECT_NEAR(d.residencies[0], 0.75, 1e-9);
+  EXPECT_NEAR(d.residencies[1], 0.25, 1e-9);
+  EXPECT_NEAR(Sum(d.residencies), 1.0, 1e-9);
+}
+
+TEST(SingleCoreSharing, PowerFeedbackMovesFrequency) {
+  SingleCoreSharing policy(RyzenLike(), {{.name = "a", .demand = 1.0}});
+  const auto d0 = policy.Initial(8.0);
+  // Measured above budget -> frequency drops.
+  const auto d1 = policy.Step(8.0, 12.0);
+  EXPECT_LT(d1.freq_mhz, d0.freq_mhz);
+  // Measured below budget -> frequency rises.
+  const auto d2 = policy.Step(8.0, 4.0);
+  EXPECT_GT(d2.freq_mhz, d1.freq_mhz);
+}
+
+TEST(SingleCoreSharing, FrequencyClampedToPlatform) {
+  SingleCoreSharing policy(RyzenLike(), {{.name = "a", .demand = 1.0}});
+  policy.Initial(8.0);
+  for (int i = 0; i < 100; i++) {
+    policy.Step(8.0, 50.0);
+  }
+  EXPECT_DOUBLE_EQ(policy.decision().freq_mhz, 800.0);
+  for (int i = 0; i < 100; i++) {
+    policy.Step(8.0, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(policy.decision().freq_mhz, 3400.0);
+}
+
+TEST(SingleCoreSharing, MixedDemandCompensatesLowDemandApp) {
+  // Scenario 2: under throttling, the LD member's residency grows beyond
+  // its share-proportional value.
+  SingleCoreSharing policy(
+      RyzenLike(),
+      {{.name = "hd", .shares = 1.0, .demand = 1.5}, {.name = "ld", .shares = 1.0, .demand = 0.9}});
+  policy.Initial(14.0);
+  // Drive the frequency down with an over-budget reading.
+  SingleCoreSharing::Decision d;
+  for (int i = 0; i < 30; i++) {
+    d = policy.Step(5.0, 12.0);
+  }
+  ASSERT_LT(d.freq_mhz, 2000.0);
+  EXPECT_GT(d.residencies[1], 0.5);   // LD compensated above its 50% share.
+  EXPECT_LT(d.residencies[0], 0.5);   // HD pays for it.
+  EXPECT_NEAR(Sum(d.residencies), 1.0, 1e-9);
+}
+
+TEST(SingleCoreSharing, NoCompensationAtFullFrequency) {
+  SingleCoreSharing policy(
+      RyzenLike(),
+      {{.name = "hd", .shares = 1.0, .demand = 1.5}, {.name = "ld", .shares = 1.0, .demand = 0.9}});
+  SingleCoreSharing::Decision d = policy.Initial(14.0);
+  for (int i = 0; i < 30; i++) {
+    d = policy.Step(14.0, 2.0);  // Plenty of budget: full frequency.
+  }
+  EXPECT_DOUBLE_EQ(d.freq_mhz, 3400.0);
+  EXPECT_NEAR(d.residencies[0], 0.5, 1e-6);  // No throttling: no compensation.
+}
+
+TEST(SingleCoreSharing, LdhpEvictsHdlpUnderPressure) {
+  // Scenario 3 with a low-demand high-priority app: the high-demand LP app
+  // is evicted once the budget cannot hold the maximum frequency.
+  SingleCoreSharing policy(RyzenLike(), {{.name = "hdlp", .shares = 1.0, .demand = 1.6},
+                                         {.name = "ldhp",
+                                          .shares = 1.0,
+                                          .high_priority = true,
+                                          .demand = 0.9}});
+  SingleCoreSharing::Decision d = policy.Initial(6.0);
+  for (int i = 0; i < 30; i++) {
+    d = policy.Step(6.0, 9.0);  // Over budget.
+  }
+  EXPECT_DOUBLE_EQ(d.residencies[0], 0.0);  // HDLP evicted.
+  EXPECT_NEAR(d.residencies[1], 1.0, 1e-9);
+}
+
+TEST(SingleCoreSharing, HdhpKeepsLdlpRunning) {
+  // Scenario 3 with a high-demand high-priority app: the LDLP app rides
+  // along at the HP app's frequency.
+  SingleCoreSharing policy(RyzenLike(), {{.name = "hdhp",
+                                          .shares = 1.0,
+                                          .high_priority = true,
+                                          .demand = 1.6},
+                                         {.name = "ldlp", .shares = 1.0, .demand = 0.9}});
+  SingleCoreSharing::Decision d = policy.Initial(6.0);
+  for (int i = 0; i < 30; i++) {
+    d = policy.Step(6.0, 9.0);
+  }
+  EXPECT_GT(d.residencies[1], 0.0);  // Not evicted.
+}
+
+// Closed loop against the simulator: scenario 2 end-to-end.  The policy
+// drives a real TimeSharedCore on a Ryzen core under a core power budget
+// and the LD app's throughput is verified to beat the uncompensated split.
+TEST(SingleCoreSharing, ClosedLoopCompensationImprovesLdThroughput) {
+  auto run = [](bool compensate) {
+    Package pkg(Ryzen1700X());
+    Process hd(GetProfile("cactusBSSN"), 1);
+    Process ld(GetProfile("gcc"), 2);
+    TimeSharedCore shared(
+        {{.work = &hd, .residency = 0.5}, {.work = &ld, .residency = 0.5}});
+    pkg.AttachWork(0, &shared);
+
+    SingleCoreSharing policy(MakePolicyPlatform(Ryzen1700X()),
+                             {{.name = "cactusBSSN", .shares = 1.0, .demand = 1.4},
+                              {.name = "gcc", .shares = 1.0, .demand = 1.0}});
+    auto d = policy.Initial(5.0);
+    pkg.SetRequestedMhz(0, d.freq_mhz);
+
+    Simulator sim(&pkg);
+    Joules last_energy = 0.0;
+    sim.AddPeriodic(1.0, [&](Seconds) {
+      const Watts core_w = pkg.core(0).energy_j() - last_energy;
+      last_energy = pkg.core(0).energy_j();
+      d = policy.Step(5.0, core_w);
+      pkg.SetRequestedMhz(0, d.freq_mhz);
+      if (compensate) {
+        shared.SetResidency(0, d.residencies[0]);
+        shared.SetResidency(1, d.residencies[1]);
+      }
+    });
+    sim.Run(60.0);
+    return shared.member_instructions()[1];  // LD instructions.
+  };
+
+  const double with_compensation = run(true);
+  const double without = run(false);
+  EXPECT_GT(with_compensation, without * 1.15);
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,120 @@
+// Tests for the lock-contended multithreaded workload.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/specsim/spinlock.h"
+
+namespace papd {
+namespace {
+
+SpinLockWork::Params DefaultParams() { return SpinLockWork::Params{}; }
+
+std::vector<int> FourCores() { return {0, 1, 2, 3}; }
+
+TEST(SpinLock, SingleThreadUncontended) {
+  // One thread never waits: iteration time = (local + critical) / f.
+  SpinLockWork work({0}, DefaultParams());
+  const std::vector<Mhz> freqs = {2000.0};
+  for (int i = 0; i < 1000; i++) {
+    work.Run(0.001, freqs);
+  }
+  const double expected = 1.0 /* s */ * 2000e6 / (40000.0 + 20000.0);
+  EXPECT_NEAR(work.total_iterations(), expected, expected * 0.02);
+}
+
+TEST(SpinLock, ContendedThroughputBoundByLock) {
+  // Four threads, equal frequency: with critical_cycles = c and the lock
+  // serial, system throughput <= f / c.
+  SpinLockWork work(FourCores(), DefaultParams());
+  const std::vector<Mhz> freqs(4, 2000.0);
+  for (int i = 0; i < 1000; i++) {
+    work.Run(0.001, freqs);
+  }
+  const double lock_bound = 1.0 * 2000e6 / 20000.0;
+  EXPECT_LE(work.total_iterations(), lock_bound * 1.02);
+  EXPECT_GT(work.total_iterations(), lock_bound * 0.5);
+}
+
+TEST(SpinLock, FairFifoHandoff) {
+  SpinLockWork work(FourCores(), DefaultParams());
+  const std::vector<Mhz> freqs(4, 2000.0);
+  for (int i = 0; i < 2000; i++) {
+    work.Run(0.001, freqs);
+  }
+  const auto& its = work.iterations();
+  for (size_t i = 1; i < its.size(); i++) {
+    EXPECT_NEAR(its[i], its[0], its[0] * 0.05 + 2.0);
+  }
+}
+
+TEST(SpinLock, ConvoyEffect) {
+  // Throttling ONE core drags the whole system down by far more than a
+  // quarter of the frequency loss: every fourth critical section runs at
+  // the slow core's speed and everyone else queues behind it.
+  SpinLockWork uniform(FourCores(), DefaultParams());
+  SpinLockWork convoy(FourCores(), DefaultParams());
+  const std::vector<Mhz> fast(4, 3000.0);
+  std::vector<Mhz> skewed(4, 3000.0);
+  skewed[0] = 800.0;
+  for (int i = 0; i < 2000; i++) {
+    uniform.Run(0.001, fast);
+    convoy.Run(0.001, skewed);
+  }
+  const double uniform_rate = uniform.total_iterations();
+  const double convoy_rate = convoy.total_iterations();
+  // One of four cores lost 2200 of the 12000 total MHz (18.3%); purely
+  // proportional scaling would leave 81.7% of the throughput.  The convoy
+  // (fast threads queueing behind the slow core's stretched critical
+  // sections) costs measurably more than that.
+  EXPECT_LT(convoy_rate, uniform_rate * 0.80);
+  EXPECT_GT(convoy_rate, uniform_rate * 0.55);  // But it is not a collapse.
+}
+
+TEST(SpinLock, SpinningInflatesIps) {
+  // The paper's warning: the fast cores' retired-instruction rate stays
+  // high while their useful progress collapses.
+  SpinLockWork work(FourCores(), DefaultParams());
+  std::vector<Mhz> skewed(4, 3000.0);
+  skewed[0] = 800.0;
+  double fast_core_instr = 0.0;
+  for (int i = 0; i < 2000; i++) {
+    const auto slices = work.Run(0.001, skewed);
+    fast_core_instr += slices[1].instructions;
+  }
+  const double fast_core_ips = fast_core_instr / 2.0;
+  // Core 1 retires near its full rate (3e9) thanks to spinning...
+  EXPECT_GT(fast_core_ips, 2.4e9);
+  // ...but completes far fewer iterations than its IPS suggests: the
+  // useful rate per thread is bounded by the convoyed lock.
+  const double useful_fraction =
+      work.iterations()[1] * (40000.0 + 20000.0) / (fast_core_ips * 2.0);
+  EXPECT_LT(useful_fraction, 0.75);
+}
+
+TEST(SpinLock, BusyFractionFullWhenSpinning) {
+  SpinLockWork work(FourCores(), DefaultParams());
+  std::vector<Mhz> skewed(4, 3000.0);
+  skewed[0] = 800.0;
+  for (int i = 0; i < 500; i++) {
+    work.Run(0.001, skewed);
+  }
+  const auto slices = work.Run(0.001, skewed);
+  for (const WorkSlice& s : slices) {
+    EXPECT_GT(s.busy_fraction, 0.95);  // Spinners look 100% busy.
+  }
+}
+
+TEST(SpinLock, ZeroFrequencyCoreStalls) {
+  SpinLockWork work({0, 1}, DefaultParams());
+  const std::vector<Mhz> freqs = {2000.0, 0.0};
+  for (int i = 0; i < 500; i++) {
+    work.Run(0.001, freqs);
+  }
+  EXPECT_GT(work.iterations()[0], 0.0);
+  EXPECT_DOUBLE_EQ(work.iterations()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace papd

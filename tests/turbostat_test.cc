@@ -1,0 +1,127 @@
+// Unit tests for the turbostat-like telemetry sampler.
+
+#include <gtest/gtest.h>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/msr/turbostat.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+TEST(WrappingDelta, Handles32BitWrap) {
+  EXPECT_EQ(WrappingDelta32(100, 50), 50u);
+  EXPECT_EQ(WrappingDelta32(10, 0xFFFFFFF0ull), 26u);
+  EXPECT_EQ(WrappingDelta32(0, 0), 0u);
+}
+
+class TurbostatTest : public ::testing::Test {
+ protected:
+  TurbostatTest() : pkg_(SkylakeXeon4114()), msr_(&pkg_), proc_(GetProfile("gcc"), 1) {
+    pkg_.AttachWork(0, &proc_);
+  }
+  Package pkg_;
+  MsrFile msr_;
+  Process proc_;
+};
+
+TEST_F(TurbostatTest, PackagePowerMatchesSimTruth) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  const Joules e0 = pkg_.package_energy_j();
+  const Seconds t0 = pkg_.now();
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  const Watts truth = (pkg_.package_energy_j() - e0) / (pkg_.now() - t0);
+  EXPECT_NEAR(s.pkg_w, truth, 0.05);
+  EXPECT_NEAR(s.dt, 1.0, 1e-9);
+}
+
+TEST_F(TurbostatTest, ActiveFrequencyMatchesRequested) {
+  pkg_.SetRequestedMhz(0, 1700);
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_NEAR(s.cores[0].active_mhz, 1700.0, 2.0);
+}
+
+TEST_F(TurbostatTest, IpsMatchesProcessRate) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  const double i0 = proc_.instructions_retired();
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_NEAR(s.cores[0].ips, proc_.instructions_retired() - i0, 2e6);
+}
+
+TEST_F(TurbostatTest, BusyFractionReflectsLoad) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_NEAR(s.cores[0].busy, 1.0, 0.01);  // Fully-loaded core.
+  EXPECT_NEAR(s.cores[1].busy, 0.0, 0.01);  // Idle core.
+}
+
+TEST_F(TurbostatTest, NoPerCorePowerOnSkylake) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(0.5);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_FALSE(s.cores[0].core_w.has_value());
+}
+
+TEST_F(TurbostatTest, ZeroElapsedGivesZeroSample) {
+  Turbostat ts(&msr_);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_DOUBLE_EQ(s.pkg_w, 0.0);
+  EXPECT_DOUBLE_EQ(s.dt, 0.0);
+}
+
+TEST_F(TurbostatTest, SuccessiveSamplesAreWindowed) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  const TelemetrySample s1 = ts.Sample();
+  pkg_.SetRequestedMhz(0, 900);
+  sim.Run(1.0);
+  const TelemetrySample s2 = ts.Sample();
+  // The second sample must only see the throttled second.
+  EXPECT_NEAR(s2.cores[0].active_mhz, 900.0, 2.0);
+  EXPECT_LT(s2.pkg_w, s1.pkg_w);
+}
+
+TEST(TurbostatRyzen, PerCorePowerPresent) {
+  Package pkg(Ryzen1700X());
+  MsrFile msr(&pkg);
+  Process proc(GetProfile("cactusBSSN"), 1);
+  pkg.AttachWork(2, &proc);
+  Turbostat ts(&msr);
+  Simulator sim(&pkg);
+  const Joules e0 = pkg.core(2).energy_j();
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  ASSERT_TRUE(s.cores[2].core_w.has_value());
+  EXPECT_NEAR(*s.cores[2].core_w, pkg.core(2).energy_j() - e0, 0.05);
+  // The busy core draws clearly more than an idle one.
+  ASSERT_TRUE(s.cores[0].core_w.has_value());
+  EXPECT_GT(*s.cores[2].core_w, *s.cores[0].core_w);
+}
+
+TEST(TurbostatRyzen, OfflineCoreReported) {
+  Package pkg(Ryzen1700X());
+  MsrFile msr(&pkg);
+  msr.SetCoreOnline(3, false);
+  Turbostat ts(&msr);
+  Simulator sim(&pkg);
+  sim.Run(0.5);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_FALSE(s.cores[3].online);
+  EXPECT_DOUBLE_EQ(s.cores[3].active_mhz, 0.0);
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,132 @@
+// Unit tests for the websearch closed-loop queueing model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/specsim/websearch.h"
+
+namespace papd {
+namespace {
+
+std::vector<int> NineCores() { return {0, 1, 2, 3, 4, 5, 6, 7, 8}; }
+
+// Advances the model `seconds` at a uniform frequency; returns p90 latency
+// over the post-warmup window.
+Seconds RunAt(WebSearch* ws, Mhz freq, Seconds warmup, Seconds seconds) {
+  const std::vector<Mhz> freqs(ws->Cores().size(), freq);
+  for (Seconds t = 0; t < warmup; t += 0.001) {
+    ws->Run(0.001, freqs);
+  }
+  ws->ResetStats();
+  for (Seconds t = 0; t < seconds; t += 0.001) {
+    ws->Run(0.001, freqs);
+  }
+  return ws->LatencyPercentile(90);
+}
+
+TEST(WebSearch, CompletesRequestsAtFullSpeed) {
+  WebSearch ws(NineCores(), WebSearch::Params{}, 1);
+  RunAt(&ws, 2600, 10, 60);
+  // 300 users with ~2 s think time and sub-second responses complete on the
+  // order of 100+ requests per second.
+  EXPECT_GT(ws.completed_requests(), 4000u);
+}
+
+TEST(WebSearch, LatencyPositiveAndAboveFixedFloor) {
+  WebSearch::Params params;
+  WebSearch ws(NineCores(), params, 1);
+  const Seconds p90 = RunAt(&ws, 2600, 10, 60);
+  EXPECT_GT(p90, params.fixed_latency_s);
+}
+
+TEST(WebSearch, ThrottlingInflatesTailLatency) {
+  WebSearch fast(NineCores(), WebSearch::Params{}, 1);
+  WebSearch slow(NineCores(), WebSearch::Params{}, 1);
+  const Seconds p90_fast = RunAt(&fast, 2600, 20, 120);
+  const Seconds p90_slow = RunAt(&slow, 1300, 20, 120);
+  // Figure 5's central effect: halved frequency near capacity blows up p90.
+  EXPECT_GT(p90_slow, 2.0 * p90_fast);
+}
+
+TEST(WebSearch, DeterministicForSameSeed) {
+  WebSearch a(NineCores(), WebSearch::Params{}, 7);
+  WebSearch b(NineCores(), WebSearch::Params{}, 7);
+  EXPECT_DOUBLE_EQ(RunAt(&a, 2000, 5, 30), RunAt(&b, 2000, 5, 30));
+  EXPECT_EQ(a.completed_requests(), b.completed_requests());
+}
+
+TEST(WebSearch, ClosedLoopBoundsOutstandingRequests) {
+  // Even at a crawl, a closed-loop system cannot have more outstanding
+  // requests than users; completions continue (no livelock).
+  WebSearch::Params params;
+  params.users = 50;
+  WebSearch ws(NineCores(), params, 3);
+  RunAt(&ws, 800, 30, 120);
+  EXPECT_GT(ws.completed_requests(), 100u);
+}
+
+TEST(WebSearch, UtilizationRisesWhenThrottled) {
+  WebSearch fast(NineCores(), WebSearch::Params{}, 1);
+  WebSearch slow(NineCores(), WebSearch::Params{}, 1);
+  const std::vector<Mhz> f_fast(9, 2600.0);
+  const std::vector<Mhz> f_slow(9, 1000.0);
+  double fast_util = 0.0;
+  double slow_util = 0.0;
+  for (int i = 0; i < 60000; i++) {
+    fast.Run(0.001, f_fast);
+    slow.Run(0.001, f_slow);
+    fast_util += fast.last_mean_utilization();
+    slow_util += slow.last_mean_utilization();
+  }
+  EXPECT_GT(slow_util, fast_util);
+}
+
+TEST(WebSearch, SlicesReportWorkCharacteristics) {
+  WebSearch::Params params;
+  WebSearch ws(NineCores(), params, 1);
+  const std::vector<Mhz> freqs(9, 2600.0);
+  // Warm up until requests flow.
+  for (int i = 0; i < 5000; i++) {
+    ws.Run(0.001, freqs);
+  }
+  const std::vector<WorkSlice> slices = ws.Run(0.001, freqs);
+  ASSERT_EQ(slices.size(), 9u);
+  bool any_busy = false;
+  for (const WorkSlice& s : slices) {
+    EXPECT_GE(s.busy_fraction, 0.0);
+    EXPECT_LE(s.busy_fraction, 1.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(s.avx_fraction, 0.0);
+    if (s.busy_fraction > 0.0) {
+      any_busy = true;
+      EXPECT_DOUBLE_EQ(s.activity, params.activity);
+      EXPECT_NEAR(s.instructions,
+                  s.busy_fraction * freqs[0] * 1e6 * 0.001 * params.ipc, 1.0);
+    }
+  }
+  EXPECT_TRUE(any_busy);
+}
+
+TEST(WebSearch, ZeroFrequencyCoreServesNothing) {
+  WebSearch ws(NineCores(), WebSearch::Params{}, 1);
+  std::vector<Mhz> freqs(9, 2600.0);
+  freqs[4] = 0.0;  // Offlined member.
+  for (int i = 0; i < 20000; i++) {
+    const auto slices = ws.Run(0.001, freqs);
+    EXPECT_DOUBLE_EQ(slices[4].instructions, 0.0);
+  }
+  // The system still completes requests on the other 8 cores.
+  EXPECT_GT(ws.completed_requests(), 500u);
+}
+
+TEST(WebSearch, ResetStatsClearsWindow) {
+  WebSearch ws(NineCores(), WebSearch::Params{}, 1);
+  RunAt(&ws, 2600, 0, 30);
+  EXPECT_GT(ws.completed_requests(), 0u);
+  ws.ResetStats();
+  EXPECT_EQ(ws.completed_requests(), 0u);
+  EXPECT_DOUBLE_EQ(ws.LatencyPercentile(90), 0.0);
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,185 @@
+// Unit tests for src/specsim: workload profiles and the Process model.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+WorkloadProfile ComputeBound() {
+  WorkloadProfile p;
+  p.name = "compute";
+  p.cpi = 1.0;
+  p.mem_ns_per_instr = 0.0;
+  p.total_ginstr = 10.0;
+  return p;
+}
+
+WorkloadProfile MemoryBound() {
+  WorkloadProfile p;
+  p.name = "membound";
+  p.cpi = 1.0;
+  p.mem_ns_per_instr = 1.0;
+  p.total_ginstr = 10.0;
+  return p;
+}
+
+TEST(WorkloadProfile, ComputeBoundScalesLinearly) {
+  const WorkloadProfile p = ComputeBound();
+  EXPECT_NEAR(p.NominalIps(2000) / p.NominalIps(1000), 2.0, 1e-9);
+}
+
+TEST(WorkloadProfile, MemoryBoundSaturates) {
+  const WorkloadProfile p = MemoryBound();
+  const double speedup = p.NominalIps(3000) / p.NominalIps(1000);
+  EXPECT_LT(speedup, 1.6);  // Far sublinear.
+  EXPECT_GT(speedup, 1.0);  // Still monotone.
+}
+
+TEST(WorkloadProfile, IpsMonotoneInFrequency) {
+  for (const std::string& name : SpecBenchmarkNames()) {
+    const WorkloadProfile& p = GetProfile(name);
+    double prev = 0.0;
+    for (Mhz f = 800; f <= 3000; f += 100) {
+      const Ips ips = p.NominalIps(f);
+      EXPECT_GT(ips, prev) << name << " at " << f;
+      prev = ips;
+    }
+  }
+}
+
+TEST(WorkloadProfile, AvxThreshold) {
+  WorkloadProfile p;
+  p.avx_fraction = 0.24;
+  EXPECT_FALSE(p.UsesAvx());
+  p.avx_fraction = 0.26;
+  EXPECT_TRUE(p.UsesAvx());
+}
+
+TEST(Spec2017, RegistryHasAllPaperBenchmarks) {
+  EXPECT_EQ(SpecBenchmarkNames().size(), 11u);
+  for (const std::string& name : SpecBenchmarkNames()) {
+    EXPECT_TRUE(HasProfile(name)) << name;
+    EXPECT_EQ(GetProfile(name).name, name);
+  }
+  EXPECT_TRUE(HasProfile("cpuburn"));
+  EXPECT_FALSE(HasProfile("no-such-benchmark"));
+}
+
+TEST(Spec2017, AvxOutliersArePaperApps) {
+  // Figure 2: lbm, imagick and cam4 are the AVX power outliers.
+  EXPECT_TRUE(GetProfile("lbm").UsesAvx());
+  EXPECT_TRUE(GetProfile("imagick").UsesAvx());
+  EXPECT_TRUE(GetProfile("cam4").UsesAvx());
+  EXPECT_FALSE(GetProfile("gcc").UsesAvx());
+  EXPECT_FALSE(GetProfile("leela").UsesAvx());
+  EXPECT_FALSE(GetProfile("cpuburn").UsesAvx());  // Runs at 3 GHz in Sec. 3.
+}
+
+TEST(Spec2017, DemandClassification) {
+  // The paper's canonical HD/LD pair (Section 6): cactusBSSN vs leela, and
+  // the motivating pair of Figure 1: cam4 (HD) vs gcc (LD).
+  EXPECT_TRUE(IsHighDemand(GetProfile("cactusBSSN")));
+  EXPECT_FALSE(IsHighDemand(GetProfile("leela")));
+  EXPECT_TRUE(IsHighDemand(GetProfile("cam4")));
+  EXPECT_FALSE(IsHighDemand(GetProfile("gcc")));
+}
+
+TEST(Process, RetiresAtNominalRate) {
+  WorkloadProfile p = ComputeBound();
+  p.phase_amplitude = 0.0;
+  p.jitter = 0.0;
+  Process proc(p, 1);
+  WorkSlice s = proc.Run(1.0, 2000);
+  EXPECT_NEAR(s.instructions, 2e9, 1e6);
+  EXPECT_DOUBLE_EQ(s.busy_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(proc.instructions_retired(), s.instructions);
+}
+
+TEST(Process, SliceCarriesProfileCharacteristics) {
+  WorkloadProfile p = ComputeBound();
+  p.activity = 1.7;
+  p.avx_fraction = 0.6;
+  Process proc(p, 1);
+  const WorkSlice s = proc.Run(0.001, 1000);
+  EXPECT_DOUBLE_EQ(s.activity, 1.7);
+  EXPECT_DOUBLE_EQ(s.avx_fraction, 0.6);
+  EXPECT_TRUE(proc.UsesAvx());
+}
+
+TEST(Process, RunToCompletionStops) {
+  WorkloadProfile p = ComputeBound();
+  p.phase_amplitude = 0.0;
+  p.jitter = 0.0;
+  p.total_ginstr = 1.0;  // 1e9 instructions.
+  Process proc(p, 1);
+  proc.set_run_to_completion(true);
+  // At 1000 MHz = 1e9 IPS this takes exactly 1 second.
+  double total_instr = 0.0;
+  for (int i = 0; i < 2000; i++) {
+    total_instr += proc.Run(0.001, 1000).instructions;
+  }
+  EXPECT_TRUE(proc.finished());
+  EXPECT_NEAR(total_instr, 1e9, 1.0);
+  EXPECT_NEAR(proc.completion_time(), 1.0, 0.002);
+  // After finishing the process idles.
+  const WorkSlice s = proc.Run(0.001, 1000);
+  EXPECT_DOUBLE_EQ(s.busy_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.instructions, 0.0);
+}
+
+TEST(Process, CompletionMidSliceHasPartialBusy) {
+  WorkloadProfile p = ComputeBound();
+  p.phase_amplitude = 0.0;
+  p.jitter = 0.0;
+  p.total_ginstr = 0.5e-3;  // 0.5e6 instructions.
+  Process proc(p, 1);
+  proc.set_run_to_completion(true);
+  // 1 ms at 1000 MHz retires 1e6 instructions; the run ends halfway.
+  const WorkSlice s = proc.Run(0.001, 1000);
+  EXPECT_NEAR(s.busy_fraction, 0.5, 1e-6);
+  EXPECT_NEAR(s.instructions, 0.5e6, 1.0);
+}
+
+TEST(Process, PhasesModulateThroughput) {
+  WorkloadProfile p = ComputeBound();
+  p.phase_amplitude = 0.10;
+  p.phase_period_s = 10.0;
+  p.jitter = 0.0;
+  Process proc(p, 1);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; i++) {  // 10 s = one full phase period.
+    const WorkSlice s = proc.Run(0.001, 1000);
+    lo = std::min(lo, s.instructions);
+    hi = std::max(hi, s.instructions);
+  }
+  // ~ +/-10% CPI modulation around nominal.
+  EXPECT_LT(lo, 0.93e6);
+  EXPECT_GT(hi, 1.07e6);
+}
+
+TEST(Process, DeterministicForSameSeed) {
+  const WorkloadProfile& p = GetProfile("gcc");
+  Process a(p, 99);
+  Process b(p, 99);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_DOUBLE_EQ(a.Run(0.001, 1500).instructions, b.Run(0.001, 1500).instructions);
+  }
+}
+
+TEST(Process, CpuTimeTracksBusyTime) {
+  WorkloadProfile p = ComputeBound();
+  Process proc(p, 1);
+  for (int i = 0; i < 100; i++) {
+    proc.Run(0.001, 2000);
+  }
+  EXPECT_NEAR(proc.cpu_time(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace papd

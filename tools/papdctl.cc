@@ -1,0 +1,285 @@
+// papdctl — command-line front end for the power-delivery daemon.
+//
+// The paper ships its userspace daemon and scripts; papdctl is the
+// equivalent operator tool for the simulated platforms: describe a set of
+// applications with shares/priorities, pick a policy and a power limit, and
+// watch the control loop run.
+//
+// Usage:
+//   papdctl [--platform skylake|ryzen] [--policy POLICY] [--limit W]
+//           [--duration S] [--period S] [--static-mhz MHZ] [--hwp]
+//           [--no-starve] [--trace] [--csv FILE]
+//           --app NAME[:shares=X][:hp|:lp] [--app ...]
+//
+// Policies: rapl, static, priority, freq-shares, perf-shares, power-shares.
+//
+// Examples:
+//   papdctl --policy freq-shares --limit 45
+//       --app leela:shares=90 --app cpuburn:shares=10
+//   papdctl --platform ryzen --policy priority --limit 40
+//       --app cactusBSSN:hp --app cactusBSSN:hp --app leela:lp --app leela:lp
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/experiments/harness.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+struct AppArg {
+  std::string name;
+  double shares = 1.0;
+  bool high_priority = false;
+};
+
+struct Options {
+  PlatformSpec platform = SkylakeXeon4114();
+  PolicyKind policy = PolicyKind::kFrequencyShares;
+  Watts limit_w = 45.0;
+  Seconds duration_s = 60.0;
+  Seconds period_s = 1.0;
+  Mhz static_mhz = 0.0;
+  bool hwp = false;
+  bool starve_lp = true;
+  bool trace = false;
+  std::string csv_path;
+  std::vector<AppArg> apps;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--platform skylake|ryzen] [--policy POLICY] [--limit W]\n"
+               "          [--duration S] [--period S] [--static-mhz MHZ] [--hwp]\n"
+               "          [--no-starve] [--trace] [--csv FILE]\n"
+               "          --app NAME[:shares=X][:hp|:lp] [--app ...]\n"
+               "policies: rapl static priority freq-shares perf-shares power-shares\n",
+               argv0);
+  std::exit(2);
+}
+
+PolicyKind ParsePolicy(const std::string& s, const char* argv0) {
+  if (s == "rapl") {
+    return PolicyKind::kRaplOnly;
+  }
+  if (s == "static") {
+    return PolicyKind::kStatic;
+  }
+  if (s == "priority") {
+    return PolicyKind::kPriority;
+  }
+  if (s == "freq-shares") {
+    return PolicyKind::kFrequencyShares;
+  }
+  if (s == "perf-shares") {
+    return PolicyKind::kPerformanceShares;
+  }
+  if (s == "power-shares") {
+    return PolicyKind::kPowerShares;
+  }
+  std::fprintf(stderr, "unknown policy: %s\n", s.c_str());
+  Usage(argv0);
+}
+
+AppArg ParseApp(const std::string& spec, const char* argv0) {
+  AppArg app;
+  size_t pos = 0;
+  size_t colon = spec.find(':');
+  app.name = spec.substr(0, colon);
+  if (!HasProfile(app.name)) {
+    std::fprintf(stderr, "unknown workload profile: %s\n", app.name.c_str());
+    Usage(argv0);
+  }
+  while (colon != std::string::npos) {
+    pos = colon + 1;
+    colon = spec.find(':', pos);
+    const std::string field = spec.substr(pos, colon == std::string::npos ? colon : colon - pos);
+    if (field.rfind("shares=", 0) == 0) {
+      app.shares = std::atof(field.c_str() + 7);
+    } else if (field == "hp") {
+      app.high_priority = true;
+    } else if (field == "lp") {
+      app.high_priority = false;
+    } else {
+      std::fprintf(stderr, "bad app field: %s\n", field.c_str());
+      Usage(argv0);
+    }
+  }
+  return app;
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--platform") {
+      const std::string v = value();
+      if (v == "skylake") {
+        opt.platform = SkylakeXeon4114();
+      } else if (v == "ryzen") {
+        opt.platform = Ryzen1700X();
+      } else {
+        std::fprintf(stderr, "unknown platform: %s\n", v.c_str());
+        Usage(argv[0]);
+      }
+    } else if (arg == "--policy") {
+      opt.policy = ParsePolicy(value(), argv[0]);
+    } else if (arg == "--limit") {
+      opt.limit_w = std::atof(value().c_str());
+    } else if (arg == "--duration") {
+      opt.duration_s = std::atof(value().c_str());
+    } else if (arg == "--period") {
+      opt.period_s = std::atof(value().c_str());
+    } else if (arg == "--static-mhz") {
+      opt.static_mhz = std::atof(value().c_str());
+    } else if (arg == "--hwp") {
+      opt.hwp = true;
+    } else if (arg == "--no-starve") {
+      opt.starve_lp = false;
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--csv") {
+      opt.csv_path = value();
+    } else if (arg == "--app") {
+      opt.apps.push_back(ParseApp(value(), argv[0]));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (opt.apps.empty()) {
+    std::fprintf(stderr, "at least one --app is required\n");
+    Usage(argv[0]);
+  }
+  if (static_cast<int>(opt.apps.size()) > opt.platform.num_cores) {
+    std::fprintf(stderr, "%zu apps but only %d cores\n", opt.apps.size(),
+                 opt.platform.num_cores);
+    std::exit(2);
+  }
+  return opt;
+}
+
+int Run(const Options& opt) {
+  Package pkg(opt.platform);
+  MsrFile msr(&pkg);
+
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<ManagedApp> managed;
+  for (size_t i = 0; i < opt.apps.size(); i++) {
+    const AppArg& app = opt.apps[i];
+    procs.push_back(std::make_unique<Process>(GetProfile(app.name), 1000 + i));
+    pkg.AttachWork(static_cast<int>(i), procs.back().get());
+    managed.push_back(ManagedApp{
+        .name = app.name,
+        .cpu = static_cast<int>(i),
+        .shares = app.shares,
+        .high_priority = app.high_priority,
+        .baseline_ips = Standalone(opt.platform, app.name).ips,
+    });
+  }
+  for (int c = static_cast<int>(opt.apps.size()); c < pkg.num_cores(); c++) {
+    pkg.SetRequestedMhz(c, opt.platform.min_mhz);
+  }
+
+  DaemonConfig dcfg;
+  dcfg.kind = opt.policy;
+  dcfg.power_limit_w = opt.limit_w;
+  dcfg.period_s = opt.period_s;
+  dcfg.static_mhz = opt.static_mhz;
+  dcfg.priority.starve_lp = opt.starve_lp;
+  dcfg.use_hwp_hints = opt.hwp;
+  PowerDaemon daemon(&msr, managed, dcfg);
+  daemon.Start();
+
+  std::printf("papdctl: %s, policy %s, limit %.0f W, %zu apps, %.0f s\n",
+              opt.platform.name.c_str(), PolicyKindName(opt.policy), opt.limit_w,
+              opt.apps.size(), opt.duration_s);
+
+  Simulator sim(&pkg);
+  if (opt.policy != PolicyKind::kStatic) {
+    sim.AddPeriodic(opt.period_s, [&daemon](Seconds) { daemon.Step(); });
+  }
+  if (opt.trace) {
+    sim.AddPeriodic(5.0, [&daemon](Seconds now) {
+      if (daemon.history().empty()) {
+        return;
+      }
+      const auto& rec = daemon.history().back();
+      std::printf("t=%5.0fs pkg=%5.1fW |", now, rec.sample.pkg_w);
+      for (const ManagedApp& app : daemon.apps()) {
+        const auto& core = rec.sample.cores[static_cast<size_t>(app.cpu)];
+        std::printf(" %s=%4.0fMHz", app.name.c_str(), core.active_mhz);
+      }
+      std::printf("\n");
+    });
+  }
+  sim.Run(opt.duration_s);
+
+  // Final report.
+  TextTable t;
+  t.SetHeader({"app", "cpu", "shares", "prio", "MHz", "Ginstr/s", "norm perf", "temp C"});
+  const auto& rec = daemon.history().empty() ? PowerDaemon::Record{} : daemon.history().back();
+  for (const ManagedApp& app : daemon.apps()) {
+    const auto& core = rec.sample.cores.empty()
+                           ? CoreTelemetry{}
+                           : rec.sample.cores[static_cast<size_t>(app.cpu)];
+    t.AddRow({app.name, std::to_string(app.cpu), TextTable::Num(app.shares, 0),
+              app.high_priority ? "HP" : "LP", TextTable::Num(core.active_mhz, 0),
+              TextTable::Num(core.ips / 1e9, 2),
+              TextTable::Num(app.baseline_ips > 0 ? core.ips / app.baseline_ips : 0, 2),
+              TextTable::Num(core.temp_c, 1)});
+  }
+  std::printf("\nfinal second of telemetry (pkg %.1f W):\n", rec.sample.pkg_w);
+  t.Print(std::cout);
+
+  if (!opt.csv_path.empty()) {
+    std::ofstream csv(opt.csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
+      return 1;
+    }
+    csv << "t,pkg_w";
+    for (const ManagedApp& app : daemon.apps()) {
+      csv << "," << app.name << "_mhz," << app.name << "_ips";
+    }
+    csv << "\n";
+    for (const auto& record : daemon.history()) {
+      csv << record.sample.t << "," << record.sample.pkg_w;
+      for (const ManagedApp& app : daemon.apps()) {
+        const auto& core = record.sample.cores[static_cast<size_t>(app.cpu)];
+        csv << "," << core.active_mhz << "," << core.ips;
+      }
+      csv << "\n";
+    }
+    std::printf("wrote per-period trace: %s\n", opt.csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace papd
+
+int main(int argc, char** argv) {
+  return papd::Run(papd::Parse(argc, argv));
+}
