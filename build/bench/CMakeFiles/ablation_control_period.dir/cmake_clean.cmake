@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_period.dir/ablation_control_period.cc.o"
+  "CMakeFiles/ablation_control_period.dir/ablation_control_period.cc.o.d"
+  "ablation_control_period"
+  "ablation_control_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gameability.dir/ablation_gameability.cc.o"
+  "CMakeFiles/ablation_gameability.dir/ablation_gameability.cc.o.d"
+  "ablation_gameability"
+  "ablation_gameability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gameability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hwp_hints.dir/ablation_hwp_hints.cc.o"
+  "CMakeFiles/ablation_hwp_hints.dir/ablation_hwp_hints.cc.o.d"
+  "ablation_hwp_hints"
+  "ablation_hwp_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hwp_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

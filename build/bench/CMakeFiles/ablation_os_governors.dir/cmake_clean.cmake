@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_os_governors.dir/ablation_os_governors.cc.o"
+  "CMakeFiles/ablation_os_governors.dir/ablation_os_governors.cc.o.d"
+  "ablation_os_governors"
+  "ablation_os_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_os_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority_starvation.dir/ablation_priority_starvation.cc.o"
+  "CMakeFiles/ablation_priority_starvation.dir/ablation_priority_starvation.cc.o.d"
+  "ablation_priority_starvation"
+  "ablation_priority_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pstate_selector.dir/ablation_pstate_selector.cc.o"
+  "CMakeFiles/ablation_pstate_selector.dir/ablation_pstate_selector.cc.o.d"
+  "ablation_pstate_selector"
+  "ablation_pstate_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pstate_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

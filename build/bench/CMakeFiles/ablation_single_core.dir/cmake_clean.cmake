@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_single_core.dir/ablation_single_core.cc.o"
+  "CMakeFiles/ablation_single_core.dir/ablation_single_core.cc.o.d"
+  "ablation_single_core"
+  "ablation_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

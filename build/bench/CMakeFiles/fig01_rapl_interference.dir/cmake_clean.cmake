@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_rapl_interference.dir/fig01_rapl_interference.cc.o"
+  "CMakeFiles/fig01_rapl_interference.dir/fig01_rapl_interference.cc.o.d"
+  "fig01_rapl_interference"
+  "fig01_rapl_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rapl_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_rapl_interference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dvfs_sweep_skylake.dir/fig02_dvfs_sweep_skylake.cc.o"
+  "CMakeFiles/fig02_dvfs_sweep_skylake.dir/fig02_dvfs_sweep_skylake.cc.o.d"
+  "fig02_dvfs_sweep_skylake"
+  "fig02_dvfs_sweep_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dvfs_sweep_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

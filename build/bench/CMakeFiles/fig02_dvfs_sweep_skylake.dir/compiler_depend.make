@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_dvfs_sweep_skylake.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dvfs_sweep_ryzen.dir/fig03_dvfs_sweep_ryzen.cc.o"
+  "CMakeFiles/fig03_dvfs_sweep_ryzen.dir/fig03_dvfs_sweep_ryzen.cc.o.d"
+  "fig03_dvfs_sweep_ryzen"
+  "fig03_dvfs_sweep_ryzen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dvfs_sweep_ryzen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

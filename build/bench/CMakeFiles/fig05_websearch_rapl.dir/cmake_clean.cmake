@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_websearch_rapl.dir/fig05_websearch_rapl.cc.o"
+  "CMakeFiles/fig05_websearch_rapl.dir/fig05_websearch_rapl.cc.o.d"
+  "fig05_websearch_rapl"
+  "fig05_websearch_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_websearch_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

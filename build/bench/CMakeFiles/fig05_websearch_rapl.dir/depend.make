@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_websearch_rapl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_priority_skylake.dir/fig07_priority_skylake.cc.o"
+  "CMakeFiles/fig07_priority_skylake.dir/fig07_priority_skylake.cc.o.d"
+  "fig07_priority_skylake"
+  "fig07_priority_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_priority_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

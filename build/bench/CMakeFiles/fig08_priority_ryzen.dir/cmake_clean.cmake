@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_priority_ryzen.dir/fig08_priority_ryzen.cc.o"
+  "CMakeFiles/fig08_priority_ryzen.dir/fig08_priority_ryzen.cc.o.d"
+  "fig08_priority_ryzen"
+  "fig08_priority_ryzen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_priority_ryzen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

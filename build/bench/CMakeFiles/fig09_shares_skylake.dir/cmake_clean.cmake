@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_shares_skylake.dir/fig09_shares_skylake.cc.o"
+  "CMakeFiles/fig09_shares_skylake.dir/fig09_shares_skylake.cc.o.d"
+  "fig09_shares_skylake"
+  "fig09_shares_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_shares_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

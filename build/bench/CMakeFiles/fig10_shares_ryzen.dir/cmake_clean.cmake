@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shares_ryzen.dir/fig10_shares_ryzen.cc.o"
+  "CMakeFiles/fig10_shares_ryzen.dir/fig10_shares_ryzen.cc.o.d"
+  "fig10_shares_ryzen"
+  "fig10_shares_ryzen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shares_ryzen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_shares_ryzen.
+# This may be replaced when dependencies are built.

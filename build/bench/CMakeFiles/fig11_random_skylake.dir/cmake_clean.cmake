@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_random_skylake.dir/fig11_random_skylake.cc.o"
+  "CMakeFiles/fig11_random_skylake.dir/fig11_random_skylake.cc.o.d"
+  "fig11_random_skylake"
+  "fig11_random_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_random_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_websearch_policies.dir/fig12_websearch_policies.cc.o"
+  "CMakeFiles/fig12_websearch_policies.dir/fig12_websearch_policies.cc.o.d"
+  "fig12_websearch_policies"
+  "fig12_websearch_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_websearch_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_websearch_frequency.dir/fig13_websearch_frequency.cc.o"
+  "CMakeFiles/fig13_websearch_frequency.dir/fig13_websearch_frequency.cc.o.d"
+  "fig13_websearch_frequency"
+  "fig13_websearch_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_websearch_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_platform_features.dir/table01_platform_features.cc.o"
+  "CMakeFiles/table01_platform_features.dir/table01_platform_features.cc.o.d"
+  "table01_platform_features"
+  "table01_platform_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_platform_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocate_latency_batch.dir/colocate_latency_batch.cpp.o"
+  "CMakeFiles/colocate_latency_batch.dir/colocate_latency_batch.cpp.o.d"
+  "colocate_latency_batch"
+  "colocate_latency_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocate_latency_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

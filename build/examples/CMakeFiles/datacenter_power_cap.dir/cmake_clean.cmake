@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_power_cap.dir/datacenter_power_cap.cpp.o"
+  "CMakeFiles/datacenter_power_cap.dir/datacenter_power_cap.cpp.o.d"
+  "datacenter_power_cap"
+  "datacenter_power_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_power_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_timeslicing.dir/lp_timeslicing.cpp.o"
+  "CMakeFiles/lp_timeslicing.dir/lp_timeslicing.cpp.o.d"
+  "lp_timeslicing"
+  "lp_timeslicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_timeslicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

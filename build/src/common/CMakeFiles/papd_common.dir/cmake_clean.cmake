@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_common.dir/logging.cc.o"
+  "CMakeFiles/papd_common.dir/logging.cc.o.d"
+  "CMakeFiles/papd_common.dir/rng.cc.o"
+  "CMakeFiles/papd_common.dir/rng.cc.o.d"
+  "CMakeFiles/papd_common.dir/stats.cc.o"
+  "CMakeFiles/papd_common.dir/stats.cc.o.d"
+  "CMakeFiles/papd_common.dir/table.cc.o"
+  "CMakeFiles/papd_common.dir/table.cc.o.d"
+  "libpapd_common.a"
+  "libpapd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpusim/core.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/core.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/core.cc.o.d"
+  "/root/repo/src/cpusim/package.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/package.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/package.cc.o.d"
+  "/root/repo/src/cpusim/power_model.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/power_model.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/power_model.cc.o.d"
+  "/root/repo/src/cpusim/rapl.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/rapl.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/rapl.cc.o.d"
+  "/root/repo/src/cpusim/simulator.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/simulator.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/simulator.cc.o.d"
+  "/root/repo/src/cpusim/thermal.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/thermal.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/thermal.cc.o.d"
+  "/root/repo/src/cpusim/timeshare.cc" "src/cpusim/CMakeFiles/papd_cpusim.dir/timeshare.cc.o" "gcc" "src/cpusim/CMakeFiles/papd_cpusim.dir/timeshare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/papd_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/specsim/CMakeFiles/papd_specsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_cpusim.dir/core.cc.o"
+  "CMakeFiles/papd_cpusim.dir/core.cc.o.d"
+  "CMakeFiles/papd_cpusim.dir/package.cc.o"
+  "CMakeFiles/papd_cpusim.dir/package.cc.o.d"
+  "CMakeFiles/papd_cpusim.dir/power_model.cc.o"
+  "CMakeFiles/papd_cpusim.dir/power_model.cc.o.d"
+  "CMakeFiles/papd_cpusim.dir/rapl.cc.o"
+  "CMakeFiles/papd_cpusim.dir/rapl.cc.o.d"
+  "CMakeFiles/papd_cpusim.dir/simulator.cc.o"
+  "CMakeFiles/papd_cpusim.dir/simulator.cc.o.d"
+  "CMakeFiles/papd_cpusim.dir/thermal.cc.o"
+  "CMakeFiles/papd_cpusim.dir/thermal.cc.o.d"
+  "CMakeFiles/papd_cpusim.dir/timeshare.cc.o"
+  "CMakeFiles/papd_cpusim.dir/timeshare.cc.o.d"
+  "libpapd_cpusim.a"
+  "libpapd_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

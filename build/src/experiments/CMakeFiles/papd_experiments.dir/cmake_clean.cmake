@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_experiments.dir/harness.cc.o"
+  "CMakeFiles/papd_experiments.dir/harness.cc.o.d"
+  "CMakeFiles/papd_experiments.dir/scenarios.cc.o"
+  "CMakeFiles/papd_experiments.dir/scenarios.cc.o.d"
+  "libpapd_experiments.a"
+  "libpapd_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

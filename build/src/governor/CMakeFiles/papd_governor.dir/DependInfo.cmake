@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/governor/governor.cc" "src/governor/CMakeFiles/papd_governor.dir/governor.cc.o" "gcc" "src/governor/CMakeFiles/papd_governor.dir/governor.cc.o.d"
+  "/root/repo/src/governor/governor_daemon.cc" "src/governor/CMakeFiles/papd_governor.dir/governor_daemon.cc.o" "gcc" "src/governor/CMakeFiles/papd_governor.dir/governor_daemon.cc.o.d"
+  "/root/repo/src/governor/thermald.cc" "src/governor/CMakeFiles/papd_governor.dir/thermald.cc.o" "gcc" "src/governor/CMakeFiles/papd_governor.dir/thermald.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/papd_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/papd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/specsim/CMakeFiles/papd_specsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/papd_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_governor.dir/governor.cc.o"
+  "CMakeFiles/papd_governor.dir/governor.cc.o.d"
+  "CMakeFiles/papd_governor.dir/governor_daemon.cc.o"
+  "CMakeFiles/papd_governor.dir/governor_daemon.cc.o.d"
+  "CMakeFiles/papd_governor.dir/thermald.cc.o"
+  "CMakeFiles/papd_governor.dir/thermald.cc.o.d"
+  "libpapd_governor.a"
+  "libpapd_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpapd_governor.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_msr.dir/msr.cc.o"
+  "CMakeFiles/papd_msr.dir/msr.cc.o.d"
+  "CMakeFiles/papd_msr.dir/turbostat.cc.o"
+  "CMakeFiles/papd_msr.dir/turbostat.cc.o.d"
+  "libpapd_msr.a"
+  "libpapd_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

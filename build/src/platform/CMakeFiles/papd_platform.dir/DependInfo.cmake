@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/platform_spec.cc" "src/platform/CMakeFiles/papd_platform.dir/platform_spec.cc.o" "gcc" "src/platform/CMakeFiles/papd_platform.dir/platform_spec.cc.o.d"
+  "/root/repo/src/platform/pstate.cc" "src/platform/CMakeFiles/papd_platform.dir/pstate.cc.o" "gcc" "src/platform/CMakeFiles/papd_platform.dir/pstate.cc.o.d"
+  "/root/repo/src/platform/voltage_curve.cc" "src/platform/CMakeFiles/papd_platform.dir/voltage_curve.cc.o" "gcc" "src/platform/CMakeFiles/papd_platform.dir/voltage_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_platform.dir/platform_spec.cc.o"
+  "CMakeFiles/papd_platform.dir/platform_spec.cc.o.d"
+  "CMakeFiles/papd_platform.dir/pstate.cc.o"
+  "CMakeFiles/papd_platform.dir/pstate.cc.o.d"
+  "CMakeFiles/papd_platform.dir/voltage_curve.cc.o"
+  "CMakeFiles/papd_platform.dir/voltage_curve.cc.o.d"
+  "libpapd_platform.a"
+  "libpapd_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/daemon.cc" "src/policy/CMakeFiles/papd_policy.dir/daemon.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/daemon.cc.o.d"
+  "/root/repo/src/policy/frequency_shares.cc" "src/policy/CMakeFiles/papd_policy.dir/frequency_shares.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/frequency_shares.cc.o.d"
+  "/root/repo/src/policy/hwp.cc" "src/policy/CMakeFiles/papd_policy.dir/hwp.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/hwp.cc.o.d"
+  "/root/repo/src/policy/min_funding.cc" "src/policy/CMakeFiles/papd_policy.dir/min_funding.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/min_funding.cc.o.d"
+  "/root/repo/src/policy/performance_shares.cc" "src/policy/CMakeFiles/papd_policy.dir/performance_shares.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/performance_shares.cc.o.d"
+  "/root/repo/src/policy/power_shares.cc" "src/policy/CMakeFiles/papd_policy.dir/power_shares.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/power_shares.cc.o.d"
+  "/root/repo/src/policy/priority_policy.cc" "src/policy/CMakeFiles/papd_policy.dir/priority_policy.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/priority_policy.cc.o.d"
+  "/root/repo/src/policy/pstate_selector.cc" "src/policy/CMakeFiles/papd_policy.dir/pstate_selector.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/pstate_selector.cc.o.d"
+  "/root/repo/src/policy/single_core.cc" "src/policy/CMakeFiles/papd_policy.dir/single_core.cc.o" "gcc" "src/policy/CMakeFiles/papd_policy.dir/single_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/papd_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/papd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/specsim/CMakeFiles/papd_specsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/papd_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_policy.dir/daemon.cc.o"
+  "CMakeFiles/papd_policy.dir/daemon.cc.o.d"
+  "CMakeFiles/papd_policy.dir/frequency_shares.cc.o"
+  "CMakeFiles/papd_policy.dir/frequency_shares.cc.o.d"
+  "CMakeFiles/papd_policy.dir/hwp.cc.o"
+  "CMakeFiles/papd_policy.dir/hwp.cc.o.d"
+  "CMakeFiles/papd_policy.dir/min_funding.cc.o"
+  "CMakeFiles/papd_policy.dir/min_funding.cc.o.d"
+  "CMakeFiles/papd_policy.dir/performance_shares.cc.o"
+  "CMakeFiles/papd_policy.dir/performance_shares.cc.o.d"
+  "CMakeFiles/papd_policy.dir/power_shares.cc.o"
+  "CMakeFiles/papd_policy.dir/power_shares.cc.o.d"
+  "CMakeFiles/papd_policy.dir/priority_policy.cc.o"
+  "CMakeFiles/papd_policy.dir/priority_policy.cc.o.d"
+  "CMakeFiles/papd_policy.dir/pstate_selector.cc.o"
+  "CMakeFiles/papd_policy.dir/pstate_selector.cc.o.d"
+  "CMakeFiles/papd_policy.dir/single_core.cc.o"
+  "CMakeFiles/papd_policy.dir/single_core.cc.o.d"
+  "libpapd_policy.a"
+  "libpapd_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

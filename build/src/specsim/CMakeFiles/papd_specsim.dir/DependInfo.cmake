@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specsim/spec2017.cc" "src/specsim/CMakeFiles/papd_specsim.dir/spec2017.cc.o" "gcc" "src/specsim/CMakeFiles/papd_specsim.dir/spec2017.cc.o.d"
+  "/root/repo/src/specsim/spinlock.cc" "src/specsim/CMakeFiles/papd_specsim.dir/spinlock.cc.o" "gcc" "src/specsim/CMakeFiles/papd_specsim.dir/spinlock.cc.o.d"
+  "/root/repo/src/specsim/websearch.cc" "src/specsim/CMakeFiles/papd_specsim.dir/websearch.cc.o" "gcc" "src/specsim/CMakeFiles/papd_specsim.dir/websearch.cc.o.d"
+  "/root/repo/src/specsim/workload.cc" "src/specsim/CMakeFiles/papd_specsim.dir/workload.cc.o" "gcc" "src/specsim/CMakeFiles/papd_specsim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/papd_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papd_specsim.dir/spec2017.cc.o"
+  "CMakeFiles/papd_specsim.dir/spec2017.cc.o.d"
+  "CMakeFiles/papd_specsim.dir/spinlock.cc.o"
+  "CMakeFiles/papd_specsim.dir/spinlock.cc.o.d"
+  "CMakeFiles/papd_specsim.dir/websearch.cc.o"
+  "CMakeFiles/papd_specsim.dir/websearch.cc.o.d"
+  "CMakeFiles/papd_specsim.dir/workload.cc.o"
+  "CMakeFiles/papd_specsim.dir/workload.cc.o.d"
+  "libpapd_specsim.a"
+  "libpapd_specsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papd_specsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for papd_specsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_test.dir/hwp_test.cc.o"
+  "CMakeFiles/hwp_test.dir/hwp_test.cc.o.d"
+  "hwp_test"
+  "hwp_test.pdb"
+  "hwp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_funding_test.dir/min_funding_test.cc.o"
+  "CMakeFiles/min_funding_test.dir/min_funding_test.cc.o.d"
+  "min_funding_test"
+  "min_funding_test.pdb"
+  "min_funding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_funding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

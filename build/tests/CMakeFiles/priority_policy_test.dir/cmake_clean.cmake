@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_policy_test.dir/priority_policy_test.cc.o"
+  "CMakeFiles/priority_policy_test.dir/priority_policy_test.cc.o.d"
+  "priority_policy_test"
+  "priority_policy_test.pdb"
+  "priority_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstate_selector_test.dir/pstate_selector_test.cc.o"
+  "CMakeFiles/pstate_selector_test.dir/pstate_selector_test.cc.o.d"
+  "pstate_selector_test"
+  "pstate_selector_test.pdb"
+  "pstate_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstate_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

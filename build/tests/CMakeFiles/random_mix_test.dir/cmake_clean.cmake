@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_mix_test.dir/random_mix_test.cc.o"
+  "CMakeFiles/random_mix_test.dir/random_mix_test.cc.o.d"
+  "random_mix_test"
+  "random_mix_test.pdb"
+  "random_mix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapl_test.dir/rapl_test.cc.o"
+  "CMakeFiles/rapl_test.dir/rapl_test.cc.o.d"
+  "rapl_test"
+  "rapl_test.pdb"
+  "rapl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

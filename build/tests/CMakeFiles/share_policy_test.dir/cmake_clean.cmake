@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/share_policy_test.dir/share_policy_test.cc.o"
+  "CMakeFiles/share_policy_test.dir/share_policy_test.cc.o.d"
+  "share_policy_test"
+  "share_policy_test.pdb"
+  "share_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/share_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_core_test.dir/single_core_test.cc.o"
+  "CMakeFiles/single_core_test.dir/single_core_test.cc.o.d"
+  "single_core_test"
+  "single_core_test.pdb"
+  "single_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeshare_test.dir/timeshare_test.cc.o"
+  "CMakeFiles/timeshare_test.dir/timeshare_test.cc.o.d"
+  "timeshare_test"
+  "timeshare_test.pdb"
+  "timeshare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbostat_test.dir/turbostat_test.cc.o"
+  "CMakeFiles/turbostat_test.dir/turbostat_test.cc.o.d"
+  "turbostat_test"
+  "turbostat_test.pdb"
+  "turbostat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbostat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websearch_test.dir/websearch_test.cc.o"
+  "CMakeFiles/websearch_test.dir/websearch_test.cc.o.d"
+  "websearch_test"
+  "websearch_test.pdb"
+  "websearch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websearch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

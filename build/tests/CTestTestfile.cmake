@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/websearch_test[1]_include.cmake")
+include("/root/repo/build/tests/power_model_test[1]_include.cmake")
+include("/root/repo/build/tests/rapl_test[1]_include.cmake")
+include("/root/repo/build/tests/package_test[1]_include.cmake")
+include("/root/repo/build/tests/timeshare_test[1]_include.cmake")
+include("/root/repo/build/tests/msr_test[1]_include.cmake")
+include("/root/repo/build/tests/turbostat_test[1]_include.cmake")
+include("/root/repo/build/tests/min_funding_test[1]_include.cmake")
+include("/root/repo/build/tests/pstate_selector_test[1]_include.cmake")
+include("/root/repo/build/tests/share_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/governor_test[1]_include.cmake")
+include("/root/repo/build/tests/hwp_test[1]_include.cmake")
+include("/root/repo/build/tests/single_core_test[1]_include.cmake")
+include("/root/repo/build/tests/thermal_test[1]_include.cmake")
+include("/root/repo/build/tests/spinlock_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/random_mix_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

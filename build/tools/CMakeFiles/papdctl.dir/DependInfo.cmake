@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/papdctl.cc" "tools/CMakeFiles/papdctl.dir/papdctl.cc.o" "gcc" "tools/CMakeFiles/papdctl.dir/papdctl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/papd_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/papd_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/governor/CMakeFiles/papd_governor.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/papd_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/papd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/specsim/CMakeFiles/papd_specsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/papd_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/papd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

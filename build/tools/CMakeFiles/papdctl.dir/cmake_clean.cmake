@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papdctl.dir/papdctl.cc.o"
+  "CMakeFiles/papdctl.dir/papdctl.cc.o.d"
+  "papdctl"
+  "papdctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papdctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

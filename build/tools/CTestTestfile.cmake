@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(papdctl_freq_shares "/root/repo/build/tools/papdctl" "--policy" "freq-shares" "--limit" "40" "--duration" "20" "--app" "leela:shares=90" "--app" "cpuburn:shares=10")
+set_tests_properties(papdctl_freq_shares PROPERTIES  PASS_REGULAR_EXPRESSION "final second of telemetry" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(papdctl_priority_ryzen "/root/repo/build/tools/papdctl" "--platform" "ryzen" "--policy" "priority" "--limit" "40" "--duration" "20" "--app" "cactusBSSN:hp" "--app" "leela:hp" "--app" "cactusBSSN:lp" "--app" "leela:lp")
+set_tests_properties(papdctl_priority_ryzen PROPERTIES  PASS_REGULAR_EXPRESSION "final second of telemetry" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(papdctl_rejects_bad_profile "/root/repo/build/tools/papdctl" "--app" "no-such-benchmark")
+set_tests_properties(papdctl_rejects_bad_profile PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
