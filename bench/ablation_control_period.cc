@@ -27,7 +27,7 @@ namespace {
 
 struct PeriodResult {
   Seconds convergence_s = -1.0;  // First time power stays within 1.5 W.
-  double steady_err_w = 0.0;     // RMS power error after convergence.
+  Watts steady_err_w = 0.0;     // RMS power error after convergence.
   double steady_ratio = 0.0;     // Achieved LD/HD frequency ratio.
 };
 
@@ -77,8 +77,8 @@ PeriodResult Measure(Seconds period) {
   sim.Run(120.0);
 
   result.steady_err_w = std::sqrt(steady_sq_err.mean());
-  double ld_mhz = 0.0;
-  double hd_mhz = 0.0;
+  Mhz ld_mhz = 0.0;
+  Mhz hd_mhz = 0.0;
   const auto& last = daemon.history().back();
   for (size_t i = 0; i < apps.size(); i++) {
     (apps[i].name == "leela" ? ld_mhz : hd_mhz) +=

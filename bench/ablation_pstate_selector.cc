@@ -63,8 +63,8 @@ void EndToEnd() {
     c.warmup_s = 30;
     c.measure_s = 60;
     const ScenarioResult r = RunScenario(c);
-    double ld_mhz = 0.0;
-    double hd_mhz = 0.0;
+    Mhz ld_mhz = 0.0;
+    Mhz hd_mhz = 0.0;
     for (const AppResult& app : r.apps) {
       (app.name == "leela" ? ld_mhz : hd_mhz) += app.avg_active_mhz / 4.0;
     }

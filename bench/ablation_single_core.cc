@@ -27,8 +27,8 @@ struct Outcome {
   Mhz freq = 0.0;
   double hd_residency = 0.0;
   double ld_residency = 0.0;
-  double hd_ginstr_s = 0.0;
-  double ld_ginstr_s = 0.0;
+  double hd_gips = 0.0;
+  double ld_gips = 0.0;
   Watts core_w = 0.0;
 };
 
@@ -65,16 +65,16 @@ Outcome Run(Watts budget, bool compensate, bool ld_high_priority) {
   out.freq = pkg.core(0).effective_mhz();
   out.hd_residency = shared.residency(0);
   out.ld_residency = shared.residency(1);
-  out.hd_ginstr_s = shared.member_instructions()[0] / duration / 1e9;
-  out.ld_ginstr_s = shared.member_instructions()[1] / duration / 1e9;
+  out.hd_gips = shared.member_instructions()[0] / duration / 1e9;
+  out.ld_gips = shared.member_instructions()[1] / duration / 1e9;
   out.core_w = pkg.core(0).energy_j() / pkg.now();
   return out;
 }
 
 void Print(TextTable* t, const std::string& label, const Outcome& o) {
   t->AddRow({label, TextTable::Num(o.freq, 0), TextTable::Num(o.hd_residency, 2),
-             TextTable::Num(o.ld_residency, 2), TextTable::Num(o.hd_ginstr_s, 2),
-             TextTable::Num(o.ld_ginstr_s, 2), TextTable::Num(o.core_w, 1)});
+             TextTable::Num(o.ld_residency, 2), TextTable::Num(o.hd_gips, 2),
+             TextTable::Num(o.ld_gips, 2), TextTable::Num(o.core_w, 1)});
 }
 
 void RunAll() {

@@ -40,9 +40,9 @@ void Run() {
     c.measure_s = 60;
     const ScenarioResult r = RunScenario(c);
 
-    double gcc_mhz = 0.0;
+    Mhz gcc_mhz = 0.0;
     double gcc_perf = 0.0;
-    double cam_mhz = 0.0;
+    Mhz cam_mhz = 0.0;
     double cam_perf = 0.0;
     for (const AppResult& app : r.apps) {
       if (app.name == "gcc") {

@@ -33,10 +33,10 @@ void Run() {
 
       double hp_perf = 0.0;
       double lp_perf = 0.0;
-      double hp_w = 0.0;
-      double lp_w = 0.0;
-      double hp_mhz = 0.0;
-      double lp_mhz = 0.0;
+      Watts hp_w = 0.0;
+      Watts lp_w = 0.0;
+      Mhz hp_mhz = 0.0;
+      Mhz lp_mhz = 0.0;
       int hp_n = 0;
       int lp_n = 0;
       int starved = 0;

@@ -41,8 +41,8 @@ void Run() {
         ScenarioResult r = RunScenario(c);
         AddResourceShares(&r);
 
-        double ld_mhz = 0.0;
-        double hd_mhz = 0.0;
+        Mhz ld_mhz = 0.0;
+        Mhz hd_mhz = 0.0;
         double ld_perf = 0.0;
         double hd_perf = 0.0;
         double ld_fshare = 0.0;

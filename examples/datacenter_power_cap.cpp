@@ -72,8 +72,8 @@ int main() {
     sim.Run(10.0);
 
     const auto& rec = daemon.history().back();
-    double hp_mhz = 0.0;
-    double lp_mhz = 0.0;
+    Mhz hp_mhz = 0.0;
+    Mhz lp_mhz = 0.0;
     int hp_n = 0;
     int lp_running = 0;
     for (size_t i = 0; i < apps.size(); i++) {

@@ -1,0 +1,131 @@
+// Runtime invariant checking: CHECK / DCHECK macro family.
+//
+// The policy stack encodes correctness conditions the compiler cannot see
+// (budget conservation, revocation termination, the Ryzen 3-P-state limit).
+// These macros make violations loud: a failed check prints the failing
+// condition, its operands, the source location and any streamed context to
+// stderr, then aborts.  Unlike assert(), PAPD_CHECK is active in every
+// build type — an invariant violation in a RelWithDebInfo bench run is a
+// bug, not an acceptable fast path.  PAPD_DCHECK compiles away under
+// NDEBUG like assert() and is meant for hot-loop postconditions.
+//
+// Usage:
+//   PAPD_CHECK(total >= 0.0) << "budget went negative after revocation";
+//   PAPD_CHECK_LE(sum_w, limit_w + eps) << "policy " << name;
+//   PAPD_DCHECK_EQ(alloc.size(), req.size());
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace papd {
+namespace internal {
+
+// Accumulates the failure message and aborts in the destructor, so callers
+// can stream extra context onto a failed check before the process dies.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  CheckFailure(const char* file, int line, const char* condition, const std::string& operands) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition << " ("
+            << operands << ")";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the macro form an expression of type void on both branches of the
+// ternary (the classic glog voidify trick).
+struct Voidify {
+  // const& binds both a bare CheckFailure temporary and the lvalue returned
+  // by a chain of operator<< calls.
+  void operator&(const CheckFailure&) {}
+};
+
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream os;
+  os << a << " vs. " << b;
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace papd
+
+#define PAPD_CHECK(condition)                 \
+  (condition) ? (void)0                       \
+              : ::papd::internal::Voidify() & \
+                    ::papd::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define PAPD_CHECK_OP(op, a, b)                                                 \
+  ((a)op(b)) ? (void)0                                                          \
+             : ::papd::internal::Voidify() &                                    \
+                   ::papd::internal::CheckFailure(                              \
+                       __FILE__, __LINE__, #a " " #op " " #b,                   \
+                       ::papd::internal::FormatOperands((a), (b)))
+
+#define PAPD_CHECK_EQ(a, b) PAPD_CHECK_OP(==, a, b)
+#define PAPD_CHECK_NE(a, b) PAPD_CHECK_OP(!=, a, b)
+#define PAPD_CHECK_LT(a, b) PAPD_CHECK_OP(<, a, b)
+#define PAPD_CHECK_LE(a, b) PAPD_CHECK_OP(<=, a, b)
+#define PAPD_CHECK_GT(a, b) PAPD_CHECK_OP(>, a, b)
+#define PAPD_CHECK_GE(a, b) PAPD_CHECK_OP(>=, a, b)
+
+// |a - b| <= tolerance, with the operands in the failure message.
+#define PAPD_CHECK_NEAR(a, b, tolerance)                                        \
+  (((a) >= (b) ? (a) - (b) : (b) - (a)) <= (tolerance))                         \
+      ? (void)0                                                                 \
+      : ::papd::internal::Voidify() &                                           \
+            ::papd::internal::CheckFailure(                                     \
+                __FILE__, __LINE__, "|" #a " - " #b "| <= " #tolerance,         \
+                ::papd::internal::FormatOperands((a), (b)))
+
+#ifdef NDEBUG
+// Dead-code form: still type-checks the condition and any streamed message,
+// but never evaluates either at runtime (same trick glog uses).
+#define PAPD_DCHECK(condition) \
+  while (false) PAPD_CHECK(condition)
+#define PAPD_DCHECK_EQ(a, b) \
+  while (false) PAPD_CHECK_EQ(a, b)
+#define PAPD_DCHECK_NE(a, b) \
+  while (false) PAPD_CHECK_NE(a, b)
+#define PAPD_DCHECK_LT(a, b) \
+  while (false) PAPD_CHECK_LT(a, b)
+#define PAPD_DCHECK_LE(a, b) \
+  while (false) PAPD_CHECK_LE(a, b)
+#define PAPD_DCHECK_GT(a, b) \
+  while (false) PAPD_CHECK_GT(a, b)
+#define PAPD_DCHECK_GE(a, b) \
+  while (false) PAPD_CHECK_GE(a, b)
+#define PAPD_DCHECK_NEAR(a, b, tolerance) \
+  while (false) PAPD_CHECK_NEAR(a, b, tolerance)
+#else
+#define PAPD_DCHECK(condition) PAPD_CHECK(condition)
+#define PAPD_DCHECK_EQ(a, b) PAPD_CHECK_EQ(a, b)
+#define PAPD_DCHECK_NE(a, b) PAPD_CHECK_NE(a, b)
+#define PAPD_DCHECK_LT(a, b) PAPD_CHECK_LT(a, b)
+#define PAPD_DCHECK_LE(a, b) PAPD_CHECK_LE(a, b)
+#define PAPD_DCHECK_GT(a, b) PAPD_CHECK_GT(a, b)
+#define PAPD_DCHECK_GE(a, b) PAPD_CHECK_GE(a, b)
+#define PAPD_DCHECK_NEAR(a, b, tolerance) PAPD_CHECK_NEAR(a, b, tolerance)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

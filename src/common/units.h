@@ -16,6 +16,8 @@
 #ifndef SRC_COMMON_UNITS_H_
 #define SRC_COMMON_UNITS_H_
 
+#include <cmath>
+
 namespace papd {
 
 using Mhz = double;
@@ -35,6 +37,39 @@ inline constexpr double kRaplEnergyUnitJoules = 6.103515625e-05;
 
 inline constexpr Mhz GhzToMhz(double ghz) { return ghz * kMhzPerGhz; }
 inline constexpr double MhzToGhz(Mhz mhz) { return mhz / kMhzPerGhz; }
+
+// --- Frequency-grid quantization ---------------------------------------------
+//
+// Both platforms program frequencies on an evenly spaced grid (Skylake:
+// 100 MHz PERF_CTL ratios; Ryzen: 25 MHz P-state definitions) whose
+// endpoints are themselves grid multiples, so every quantization in the
+// tree reduces to rounding against multiples of the step.  These are the
+// single implementation; PStateTable and the translation layers build on
+// them.  The small epsilon keeps values an ulp below a grid point (from
+// accumulated float error) from being knocked down a whole step.
+
+inline constexpr double kGridSlop = 1e-9;
+
+// Largest multiple of step_mhz that is <= mhz (within kGridSlop).
+inline Mhz QuantizeDownToGrid(Mhz mhz, Mhz step_mhz) {
+  return std::floor(mhz / step_mhz + kGridSlop) * step_mhz;
+}
+
+// Smallest multiple of step_mhz that is >= mhz (within kGridSlop).
+inline Mhz QuantizeUpToGrid(Mhz mhz, Mhz step_mhz) {
+  return std::ceil(mhz / step_mhz - kGridSlop) * step_mhz;
+}
+
+// Closest multiple of step_mhz.
+inline Mhz QuantizeNearestToGrid(Mhz mhz, Mhz step_mhz) {
+  return std::round(mhz / step_mhz) * step_mhz;
+}
+
+// True if mhz is a multiple of step_mhz within floating-point slop.
+inline bool OnFrequencyGrid(Mhz mhz, Mhz step_mhz) {
+  const double steps = mhz / step_mhz;
+  return std::abs(steps - std::round(steps)) < 1e-6;
+}
 
 }  // namespace papd
 

@@ -32,7 +32,7 @@ void RaplController::Update(Watts package_w, Seconds dt) {
     const double alpha = 1.0 - std::exp(-dt / kWindowS);
     avg_w_ += alpha * (package_w - avg_w_);
   }
-  const double error_w = limit_w_ - avg_w_;
+  const Watts error_w = limit_w_ - avg_w_;
   ceiling_mhz_ += kGainMhzPerWattSecond * error_w * dt;
   ceiling_mhz_ = std::clamp(ceiling_mhz_, spec_->min_mhz, spec_->turbo_max_mhz);
 }

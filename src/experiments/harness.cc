@@ -1,9 +1,9 @@
 #include "src/experiments/harness.h"
 
-#include <cassert>
 #include <map>
 #include <memory>
 
+#include "src/common/check.h"
 #include "src/cpusim/package.h"
 #include "src/cpusim/simulator.h"
 #include "src/msr/msr.h"
@@ -73,7 +73,7 @@ const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::st
 }
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
-  assert(static_cast<int>(config.apps.size()) <= config.platform.num_cores);
+  PAPD_CHECK_LE(static_cast<int>(config.apps.size()), config.platform.num_cores);
 
   Package pkg(config.platform);
   MsrFile msr(&pkg);
@@ -106,6 +106,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   dcfg.priority = config.priority;
   dcfg.static_mhz = config.static_mhz;
   dcfg.use_hwp_hints = config.hwp_hints;
+  dcfg.audit = config.audit;
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -208,6 +209,7 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   DaemonConfig dcfg;
   dcfg.kind = config.policy;
   dcfg.power_limit_w = config.limit_w;
+  dcfg.audit = config.audit;
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -230,7 +232,7 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   result.completed_requests = websearch.completed_requests();
   result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
 
-  double ws_mhz = 0.0;
+  Mhz ws_mhz = 0.0;
   for (int c : ws_cores) {
     const auto i = static_cast<size_t>(c);
     const double dm = end.mperf[i] - start.mperf[i];

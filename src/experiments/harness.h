@@ -38,6 +38,8 @@ struct ScenarioConfig {
   PriorityPolicy::Options priority;
   // HWP-style highest-useful-frequency hints (DaemonConfig::use_hwp_hints).
   bool hwp_hints = false;
+  // Run the daemon's invariant auditor (DaemonConfig::audit).
+  bool audit = true;
   uint64_t seed = 42;
 };
 
@@ -97,6 +99,8 @@ struct WebsearchConfig {
   int users = 300;
   Seconds warmup_s = 30.0;
   Seconds measure_s = 600.0;  // The paper's 600 s transaction window.
+  // Run the daemon's invariant auditor (DaemonConfig::audit).
+  bool audit = true;
   uint64_t seed = 42;
 };
 

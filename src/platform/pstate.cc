@@ -17,6 +17,9 @@ PStateTable::PStateTable(Mhz min_mhz, Mhz max_mhz, Mhz step_mhz) : step_mhz_(ste
   }
 }
 
+// The table's grid is anchored at min_mhz, so quantization delegates to the
+// zero-anchored helpers in src/common/units.h on the offset from min_mhz.
+
 Mhz PStateTable::QuantizeDown(Mhz mhz) const {
   if (mhz <= min_mhz()) {
     return min_mhz();
@@ -24,8 +27,7 @@ Mhz PStateTable::QuantizeDown(Mhz mhz) const {
   if (mhz >= max_mhz()) {
     return max_mhz();
   }
-  const double steps = std::floor((mhz - min_mhz()) / step_mhz_ + 1e-9);
-  return min_mhz() + steps * step_mhz_;
+  return min_mhz() + QuantizeDownToGrid(mhz - min_mhz(), step_mhz_);
 }
 
 Mhz PStateTable::QuantizeUp(Mhz mhz) const {
@@ -35,8 +37,7 @@ Mhz PStateTable::QuantizeUp(Mhz mhz) const {
   if (mhz >= max_mhz()) {
     return max_mhz();
   }
-  const double steps = std::ceil((mhz - min_mhz()) / step_mhz_ - 1e-9);
-  return min_mhz() + steps * step_mhz_;
+  return min_mhz() + QuantizeUpToGrid(mhz - min_mhz(), step_mhz_);
 }
 
 Mhz PStateTable::QuantizeNearest(Mhz mhz) const {
@@ -46,8 +47,7 @@ Mhz PStateTable::QuantizeNearest(Mhz mhz) const {
   if (mhz >= max_mhz()) {
     return max_mhz();
   }
-  const double steps = std::round((mhz - min_mhz()) / step_mhz_);
-  return min_mhz() + steps * step_mhz_;
+  return min_mhz() + QuantizeNearestToGrid(mhz - min_mhz(), step_mhz_);
 }
 
 size_t PStateTable::IndexOf(Mhz mhz) const {
@@ -60,8 +60,7 @@ bool PStateTable::OnGrid(Mhz mhz) const {
   if (mhz < min_mhz() - 1e-6 || mhz > max_mhz() + 1e-6) {
     return false;
   }
-  const double steps = (mhz - min_mhz()) / step_mhz_;
-  return std::abs(steps - std::round(steps)) < 1e-6;
+  return OnFrequencyGrid(mhz - min_mhz(), step_mhz_);
 }
 
 }  // namespace papd

@@ -1,11 +1,12 @@
 #include "src/policy/daemon.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/policy/frequency_shares.h"
+#include "src/policy/invariants.h"
 #include "src/policy/performance_shares.h"
 #include "src/policy/power_shares.h"
 #include "src/policy/pstate_selector.h"
@@ -58,8 +59,8 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
       share_policy_ = std::make_unique<PerformanceShares>(platform_);
       break;
     case PolicyKind::kPowerShares:
-      assert(msr_->spec().has_per_core_power &&
-             "power shares require per-core power telemetry");
+      PAPD_CHECK(msr_->spec().has_per_core_power)
+          << " power shares require per-core power telemetry";
       share_policy_ = std::make_unique<PowerShares>(platform_);
       break;
     case PolicyKind::kPriority:
@@ -68,6 +69,12 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
     case PolicyKind::kRaplOnly:
     case PolicyKind::kStatic:
       break;
+  }
+  if (config_.audit) {
+    auditor_ = std::make_unique<PolicyAuditor>(platform_, msr_->spec().max_simultaneous_pstates);
+    if (share_policy_ != nullptr) {
+      share_policy_ = std::make_unique<AuditedPolicy>(std::move(share_policy_), auditor_.get());
+    }
   }
 }
 
@@ -79,11 +86,15 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
       platform_(MakePolicyPlatform(msr->spec())),
       turbostat_(msr),
       share_policy_(std::move(custom_policy)) {
-  assert(share_policy_ != nullptr);
+  PAPD_CHECK(share_policy_ != nullptr);
   // Route the Start/Step dispatch through the share-policy path.
   if (config_.kind == PolicyKind::kRaplOnly || config_.kind == PolicyKind::kStatic ||
       config_.kind == PolicyKind::kPriority) {
     config_.kind = PolicyKind::kFrequencyShares;
+  }
+  if (config_.audit) {
+    auditor_ = std::make_unique<PolicyAuditor>(platform_, msr_->spec().max_simultaneous_pstates);
+    share_policy_ = std::make_unique<AuditedPolicy>(std::move(share_policy_), auditor_.get());
   }
 }
 
@@ -111,6 +122,10 @@ void PowerDaemon::Start() {
       break;
     case PolicyKind::kPriority:
       targets_ = priority_policy_->InitialDistribution(apps_, config_.power_limit_w);
+      if (auditor_ != nullptr) {
+        auditor_->CheckPriorityInitialDistribution(config_.priority, apps_,
+                                                   config_.power_limit_w, targets_);
+      }
       break;
     default:
       targets_ = share_policy_->InitialDistribution(apps_, config_.power_limit_w);
@@ -136,6 +151,10 @@ void PowerDaemon::Step() {
       break;  // Monitoring only.
     case PolicyKind::kPriority:
       targets_ = priority_policy_->Redistribute(apps_, sample, config_.power_limit_w);
+      if (auditor_ != nullptr) {
+        auditor_->CheckPriorityRedistribution(config_.priority, apps_, sample,
+                                              config_.power_limit_w, targets_);
+      }
       break;
     default:
       targets_ = share_policy_->Redistribute(apps_, sample, config_.power_limit_w);
@@ -162,6 +181,10 @@ void PowerDaemon::ProgramTargets() {
     }
   }
 
+  // Frequencies actually written to hardware this period, for the
+  // translation audit (grid alignment, simultaneous-P-state limit).
+  std::vector<Mhz> programmed;
+
   if (spec.max_simultaneous_pstates > 0) {
     // Ryzen path: reduce running apps' targets to <= 3 levels.
     std::vector<Mhz> running_targets;
@@ -172,27 +195,33 @@ void PowerDaemon::ProgramTargets() {
         running_apps.push_back(i);
       }
     }
-    if (running_targets.empty()) {
-      return;
+    if (!running_targets.empty()) {
+      const PStateSelection sel =
+          SelectPStates(running_targets, spec.max_simultaneous_pstates, spec.step_mhz);
+      std::vector<Mhz> slot_mhz(sel.levels.size());
+      for (size_t s = 0; s < sel.levels.size(); s++) {
+        slot_mhz[s] = std::clamp(sel.levels[s], spec.min_mhz, spec.turbo_max_mhz);
+        msr_->WritePstateDefMhz(static_cast<int>(s), slot_mhz[s]);
+      }
+      for (size_t j = 0; j < running_apps.size(); j++) {
+        msr_->SelectPstate(apps_[running_apps[j]].cpu, sel.assignment[j]);
+        programmed.push_back(slot_mhz[static_cast<size_t>(sel.assignment[j])]);
+      }
     }
-    const PStateSelection sel =
-        SelectPStates(running_targets, spec.max_simultaneous_pstates, spec.step_mhz);
-    for (size_t s = 0; s < sel.levels.size(); s++) {
-      msr_->WritePstateDefMhz(static_cast<int>(s),
-                              std::clamp(sel.levels[s], spec.min_mhz, spec.turbo_max_mhz));
+  } else {
+    // Skylake path: per-core ratios.
+    for (size_t i = 0; i < apps_.size(); i++) {
+      if (targets_[i] == PriorityPolicy::kStopped) {
+        continue;
+      }
+      const Mhz quantized = grid.QuantizeDown(targets_[i]);
+      msr_->WritePerfTargetMhz(apps_[i].cpu, quantized);
+      programmed.push_back(quantized);
     }
-    for (size_t j = 0; j < running_apps.size(); j++) {
-      msr_->SelectPstate(apps_[running_apps[j]].cpu, sel.assignment[j]);
-    }
-    return;
   }
 
-  // Skylake path: per-core ratios.
-  for (size_t i = 0; i < apps_.size(); i++) {
-    if (targets_[i] == PriorityPolicy::kStopped) {
-      continue;
-    }
-    msr_->WritePerfTargetMhz(apps_[i].cpu, grid.QuantizeDown(targets_[i]));
+  if (auditor_ != nullptr) {
+    auditor_->CheckTranslation(programmed);
   }
 }
 

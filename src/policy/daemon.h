@@ -57,7 +57,14 @@ struct DaemonConfig {
   // detects each app's highest useful frequency at runtime and the policies
   // stop allocating beyond it, redistributing the excess.
   bool use_hwp_hints = false;
+  // Audit every initial-distribution, redistribution and translation step
+  // with the PolicyAuditor (src/policy/invariants.h): budget conservation,
+  // share monotonicity, grid alignment, the simultaneous-P-state limit.  A
+  // violation aborts with a formatted CHECK failure.
+  bool audit = true;
 };
+
+class PolicyAuditor;
 
 class PowerDaemon {
  public:
@@ -103,6 +110,9 @@ class PowerDaemon {
   // Platform constants handed to the policies (exposed for tests).
   const PolicyPlatform& policy_platform() const { return platform_; }
 
+  // The invariant auditor, or nullptr when config.audit is false.
+  PolicyAuditor* auditor() { return auditor_.get(); }
+
  private:
   void ProgramTargets();
 
@@ -115,6 +125,7 @@ class PowerDaemon {
   std::unique_ptr<ShareResource> share_policy_;
   std::unique_ptr<PriorityPolicy> priority_policy_;
   std::unique_ptr<SaturationDetector> saturation_;
+  std::unique_ptr<PolicyAuditor> auditor_;
 
   std::vector<Mhz> targets_;
   std::vector<Record> history_;

@@ -1,17 +1,23 @@
 #include "src/policy/min_funding.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/policy/invariants.h"
 
 namespace papd {
 namespace {
 
 constexpr double kEps = 1e-9;
 
-}  // namespace
+std::vector<double> DistributeDeltaImpl(double delta, const std::vector<double>& current,
+                                        const std::vector<ShareRequest>& req);
 
-std::vector<double> DistributeProportional(double total, const std::vector<ShareRequest>& req) {
+std::vector<double> DistributeProportionalImpl(double total,
+                                               const std::vector<ShareRequest>& req) {
   // Pure proportionality with clamping: the target is alloc_i proportional
   // to shares_i (paper Section 4.2: 3 shares next to 1 share means 3/4ths
   // of the resource).  Entries whose proportional grant violates a bound
@@ -26,7 +32,7 @@ std::vector<double> DistributeProportional(double total, const std::vector<Share
   double min_sum = 0.0;
   double max_sum = 0.0;
   for (size_t i = 0; i < n; i++) {
-    assert(req[i].maximum >= req[i].minimum);
+    PAPD_DCHECK_GE(req[i].maximum, req[i].minimum) << " for request " << i;
     min_sum += req[i].minimum;
     max_sum += req[i].maximum;
   }
@@ -80,14 +86,14 @@ std::vector<double> DistributeProportional(double total, const std::vector<Share
     leftover -= a;
   }
   if (std::abs(leftover) > kEps) {
-    alloc = DistributeDelta(leftover, alloc, req);
+    alloc = DistributeDeltaImpl(leftover, alloc, req);
   }
   return alloc;
 }
 
-std::vector<double> DistributeDelta(double delta, const std::vector<double>& current,
-                                    const std::vector<ShareRequest>& req) {
-  assert(current.size() == req.size());
+std::vector<double> DistributeDeltaImpl(double delta, const std::vector<double>& current,
+                                        const std::vector<ShareRequest>& req) {
+  PAPD_CHECK_EQ(current.size(), req.size());
   const size_t n = req.size();
   std::vector<double> alloc = current;
   // Clamp starting point into bounds so a drifted measurement cannot wedge
@@ -133,6 +139,31 @@ std::vector<double> DistributeDelta(double delta, const std::vector<double>& cur
     }
     remaining = leftover;
   }
+  return alloc;
+}
+
+}  // namespace
+
+// The public entry points run the invariant audit from
+// src/policy/invariants.h as an always-on postcondition: bounds respected,
+// termination reached (min-funding revocation pinned every saturated entry
+// and distributed the rest).  Both audits are allocation-free when clean.
+
+std::vector<ResourceUnits> DistributeProportional(ResourceUnits total,
+                                                  const std::vector<ShareRequest>& req) {
+  std::vector<ResourceUnits> alloc = DistributeProportionalImpl(total, req);
+  const std::vector<std::string> audit = AuditProportionalSplit(total, req, alloc);
+  PAPD_CHECK(audit.empty()) << "min-funding proportional-split postcondition: "
+                            << audit.front();
+  return alloc;
+}
+
+std::vector<ResourceUnits> DistributeDelta(ResourceUnits delta,
+                                           const std::vector<ResourceUnits>& current,
+                                           const std::vector<ShareRequest>& req) {
+  std::vector<ResourceUnits> alloc = DistributeDeltaImpl(delta, current, req);
+  const std::vector<std::string> audit = AuditDeltaSplit(delta, current, req, alloc);
+  PAPD_CHECK(audit.empty()) << "min-funding delta-split postcondition: " << audit.front();
   return alloc;
 }
 

@@ -14,10 +14,15 @@
 
 namespace papd {
 
+// The distributor is unit-agnostic: callers split watts, megahertz or
+// normalized performance through the same code.  The alias marks every
+// quantity measured in the caller's resource unit.
+using ResourceUnits = double;
+
 struct ShareRequest {
   double shares = 1.0;
-  double minimum = 0.0;
-  double maximum = 0.0;
+  ResourceUnits minimum = 0.0;
+  ResourceUnits maximum = 0.0;
 };
 
 // Splits `total` across the entries proportionally to shares, subject to
@@ -25,14 +30,16 @@ struct ShareRequest {
 // minimums every entry gets its minimum; above the sum of maximums every
 // entry gets its maximum.  Otherwise the result sums to `total` (within
 // floating-point tolerance).
-std::vector<double> DistributeProportional(double total, const std::vector<ShareRequest>& req);
+std::vector<ResourceUnits> DistributeProportional(ResourceUnits total,
+                                                  const std::vector<ShareRequest>& req);
 
 // Applies a (possibly negative) delta to existing allocations,
 // proportionally to shares, respecting bounds.  Entries that saturate are
 // pinned and the leftover delta is re-distributed across the rest
 // (min-funding revocation).  Returns the new allocations.
-std::vector<double> DistributeDelta(double delta, const std::vector<double>& current,
-                                    const std::vector<ShareRequest>& req);
+std::vector<ResourceUnits> DistributeDelta(ResourceUnits delta,
+                                           const std::vector<ResourceUnits>& current,
+                                           const std::vector<ShareRequest>& req);
 
 }  // namespace papd
 

@@ -7,13 +7,6 @@
 #include <numeric>
 
 namespace papd {
-namespace {
-
-Mhz RoundToGrid(Mhz mhz, Mhz step_mhz) {
-  return std::round(mhz / step_mhz) * step_mhz;
-}
-
-}  // namespace
 
 PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_mhz) {
   PStateSelection out;
@@ -99,7 +92,7 @@ PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_m
   for (size_t s = 0; s < segments.size(); s++) {
     const auto [i, jj] = segments[s];
     const double mean = (ps[jj + 1] - ps[i]) / static_cast<double>(jj - i + 1);
-    levels.push_back(RoundToGrid(mean, step_mhz));
+    levels.push_back(QuantizeNearestToGrid(mean, step_mhz));
   }
   // Merge duplicate grid-rounded levels.
   std::vector<Mhz> unique_levels;
@@ -150,7 +143,7 @@ PStateSelection SelectPStatesNaive(const std::vector<Mhz>& targets, int k, Mhz s
 
   std::vector<Mhz> band_level(static_cast<size_t>(k));
   for (int b = 0; b < k; b++) {
-    band_level[static_cast<size_t>(b)] = RoundToGrid(lo + band * (b + 0.5), step_mhz);
+    band_level[static_cast<size_t>(b)] = QuantizeNearestToGrid(lo + band * (b + 0.5), step_mhz);
   }
 
   // Deduplicate levels, keep descending order for slot semantics.

@@ -6,8 +6,8 @@
 namespace papd {
 
 Ips WorkloadProfile::NominalIps(Mhz freq_mhz) const {
-  const double core_s = cpi / (freq_mhz * kHzPerMhz);
-  const double mem_s = mem_ns_per_instr / kNsPerSecond;
+  const Seconds core_s = cpi / (freq_mhz * kHzPerMhz);
+  const Seconds mem_s = mem_ns_per_instr / kNsPerSecond;
   return 1.0 / (core_s + mem_s);
 }
 

@@ -1,0 +1,66 @@
+// Tests for the PAPD_CHECK / PAPD_DCHECK macro family.
+
+#include "src/common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace papd {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  PAPD_CHECK(1 + 1 == 2);
+  PAPD_CHECK(true) << "never evaluated";
+  PAPD_CHECK_EQ(4, 4);
+  PAPD_CHECK_NE(4, 5);
+  PAPD_CHECK_LT(1, 2);
+  PAPD_CHECK_LE(2, 2);
+  PAPD_CHECK_GT(2, 1);
+  PAPD_CHECK_GE(2, 2);
+  PAPD_CHECK_NEAR(1.0, 1.0 + 1e-9, 1e-6);
+  PAPD_DCHECK(true);
+  PAPD_DCHECK_EQ(7, 7);
+  PAPD_DCHECK_NEAR(2.0, 2.0, 0.0);
+  SUCCEED();
+}
+
+TEST(CheckTest, ChecksAreUsableInBranches) {
+  // The voidify/ternary expansion must parse as a single statement.
+  if (true)
+    PAPD_CHECK(true);
+  else
+    PAPD_CHECK(true);
+  for (int i = 0; i < 2; i++) PAPD_CHECK_GE(i, 0);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailedCheckPrintsConditionAndContext) {
+  EXPECT_DEATH(PAPD_CHECK(2 + 2 == 5) << "arithmetic drift " << 42,
+               "CHECK failed at .*check_test.*: 2 \\+ 2 == 5.*arithmetic drift.*42");
+}
+
+TEST(CheckDeathTest, FailedCheckOpPrintsOperands) {
+  const int lhs = 1;
+  const int rhs = 2;
+  EXPECT_DEATH(PAPD_CHECK_EQ(lhs, rhs), "lhs == rhs.*1 vs\\. 2");
+}
+
+TEST(CheckDeathTest, FailedCheckNearPrintsOperands) {
+  EXPECT_DEATH(PAPD_CHECK_NEAR(1.0, 2.0, 0.5), "1 vs\\. 2");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckActiveInDebugBuilds) {
+  EXPECT_DEATH(PAPD_DCHECK_LT(3, 2), "3 vs\\. 2");
+}
+#else
+TEST(CheckTest, DcheckCompiledOutUnderNdebug) {
+  // Operands must not be evaluated in the dead-code form.
+  int evaluations = 0;
+  auto count = [&evaluations]() { return ++evaluations; };
+  PAPD_DCHECK_GT(count(), 100);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace papd

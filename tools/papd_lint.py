@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Project lint for the papd tree.
+
+Three rules the compiler cannot enforce:
+
+  unit-suffix     A double/float declaration whose name carries a unit
+                  suffix must use the matching alias from
+                  src/common/units.h: *_w -> Watts, *_mhz -> Mhz,
+                  *_s -> Seconds.  Rate names (anything with `_per_`)
+                  are compound units with no alias and are exempt.
+
+  include-guard   Header guards follow the full-path style
+                  SRC_<DIR>_<FILE>_H_ (tests/..., bench/... likewise).
+
+  naked-double    Public policy headers (src/policy/*.h) must not take
+                  naked `double` parameters: every quantity crossing the
+                  policy API carries its unit in the type (Watts, Mhz,
+                  Ips, ResourceUnits, ...).  Plain `double` is fine for
+                  genuinely dimensionless internals (fields, locals).
+
+Usage: papd_lint.py [repo_root]
+Exits non-zero and prints file:line diagnostics when violations exist;
+registered as the `papd_lint` ctest target.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+UNIT_ALIAS = {"w": "Watts", "mhz": "Mhz", "s": "Seconds"}
+
+# `double name` or `float name` where the declaration survives to runtime
+# (not inside a comment or string; crude but effective for this tree).
+DECL_RE = re.compile(r"\b(double|float)\s+(&?\s*)([A-Za-z_][A-Za-z0-9_]*)")
+
+# Parameter lists of function declarations in policy headers; matched
+# per-declaration so struct fields and local variables stay exempt.
+PARAM_DOUBLE_RE = re.compile(r"\bdouble\s+[A-Za-z_]")
+
+LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+
+def strip_comments(line: str) -> str:
+    line = re.sub(r"//.*$", "", line)
+    line = re.sub(r"\".*?\"", '""', line)
+    return line
+
+
+def unit_suffix(name: str) -> str | None:
+    """The unit component of a name, if it has one: last underscore-separated
+    component (ignoring a trailing member underscore)."""
+    name = name.rstrip("_")
+    if "_per_" in name:  # Compound rate (e.g. degrees C per watt): no alias.
+        return None
+    parts = name.split("_")
+    if len(parts) < 2:
+        return None
+    return parts[-1] if parts[-1] in UNIT_ALIAS else None
+
+
+def check_unit_suffixes(path: Path, lines: list[str], errors: list[str]) -> None:
+    for lineno, raw in enumerate(lines, start=1):
+        line = strip_comments(raw)
+        for match in DECL_RE.finditer(line):
+            base_type, _, name = match.groups()
+            suffix = unit_suffix(name)
+            if suffix is not None:
+                errors.append(
+                    f"{path}:{lineno}: unit-suffix: `{base_type} {name}` should be "
+                    f"`{UNIT_ALIAS[suffix]} {name}` (alias in src/common/units.h)"
+                )
+
+
+def expected_guard(path: Path, root: Path) -> str:
+    rel = path.relative_to(root)
+    return re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper() + "_"
+
+
+def check_include_guard(path: Path, root: Path, lines: list[str], errors: list[str]) -> None:
+    want = expected_guard(path, root)
+    ifndef = None
+    define = None
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if ifndef is None:
+            m = re.match(r"#ifndef\s+(\S+)", stripped)
+            if m:
+                ifndef = (lineno, m.group(1))
+            continue
+        m = re.match(r"#define\s+(\S+)", stripped)
+        if m:
+            define = (lineno, m.group(1))
+        break
+    if ifndef is None or define is None:
+        errors.append(f"{path}:1: include-guard: missing #ifndef/#define guard (want {want})")
+        return
+    for lineno, got in (ifndef, define):
+        if got != want:
+            errors.append(f"{path}:{lineno}: include-guard: `{got}` should be `{want}`")
+
+
+def check_policy_params(path: Path, text: str, errors: list[str]) -> None:
+    clean_lines = [strip_comments(l) for l in text.splitlines()]
+    clean = "\n".join(clean_lines)
+    # Function parameter lists: an identifier directly before `(...)`,
+    # terminated by `;`, `{` or `=`.  Nested parens don't occur in this
+    # tree's declarations.
+    for m in re.finditer(r"[A-Za-z_][A-Za-z0-9_]*\s*\(([^()]*)\)", clean):
+        params = m.group(1)
+        if PARAM_DOUBLE_RE.search(params):
+            lineno = clean[: m.start()].count("\n") + 1
+            errors.append(
+                f"{path}:{lineno}: naked-double: parameter list `({params.strip()})` uses a "
+                f"bare `double`; use a unit alias (Watts, Mhz, Ips, ResourceUnits, ...)"
+            )
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    errors: list[str] = []
+    scanned = 0
+    for top in LINT_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            scanned += 1
+            text = path.read_text(encoding="utf-8", errors="replace")
+            lines = text.splitlines()
+            check_unit_suffixes(path, lines, errors)
+            if path.suffix == ".h":
+                check_include_guard(path, root, lines, errors)
+                if path.parent == root / "src" / "policy":
+                    check_policy_params(path, text, errors)
+    if scanned == 0:
+        # A lint run that saw no sources is a misconfiguration (typo'd
+        # root in CI), not a clean tree.
+        print(f"papd_lint: no sources found under {root}")
+        return 2
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"papd_lint: {len(errors)} violation(s)")
+        return 1
+    print(f"papd_lint: clean ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
