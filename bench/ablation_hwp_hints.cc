@@ -11,9 +11,12 @@
 // package power.
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 
 namespace papd {
@@ -25,7 +28,7 @@ struct Row {
   ScenarioResult result;
 };
 
-Row Measure(bool hints, Watts limit) {
+ScenarioConfig MakeConfig(bool hints, Watts limit) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {
       {.profile = "cam4", .shares = 1.0},     // AVX frequency-capped.
@@ -40,8 +43,12 @@ Row Measure(bool hints, Watts limit) {
   c.warmup_s = 60;  // Probing needs periods to map the IPS/frequency curves.
   c.measure_s = 60;
   c.hwp_hints = hints;
+  return c;
+}
+
+Row ToRow(ScenarioResult result) {
   Row row;
-  row.result = RunScenario(c);
+  row.result = std::move(result);
   row.pkg_w = row.result.avg_pkg_w;
   for (const AppResult& app : row.result.apps) {
     row.total_perf += app.norm_perf;
@@ -53,9 +60,18 @@ void Run() {
   PrintBenchHeader("Ablation A4",
                    "HWP hints: highest-useful-frequency caps under frequency shares");
 
-  for (double limit : {45.0, 55.0, 85.0}) {
-    const Row off = Measure(false, limit);
-    const Row on = Measure(true, limit);
+  const std::vector<double> limits = {45.0, 55.0, 85.0};
+  std::vector<ScenarioConfig> configs;
+  for (double limit : limits) {
+    configs.push_back(MakeConfig(false, limit));
+    configs.push_back(MakeConfig(true, limit));
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  for (size_t li = 0; li < limits.size(); li++) {
+    const double limit = limits[li];
+    const Row off = ToRow(results[2 * li]);
+    const Row on = ToRow(results[2 * li + 1]);
     PrintBanner(std::cout, "limit " + TextTable::Num(limit, 0) + " W");
     TextTable t;
     t.SetHeader({"app", "MHz (off)", "MHz (on)", "perf (off)", "perf (on)"});

@@ -8,9 +8,11 @@
 // at the cost of LP progress.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -21,8 +23,7 @@ void Run() {
   PrintBenchHeader("Ablation A1",
                    "Priority policy: starve LP apps vs guarantee minimum P-state");
 
-  TextTable t;
-  t.SetHeader({"limit", "mix", "variant", "HP perf", "LP perf", "LP starved", "pkg W"});
+  std::vector<ScenarioConfig> configs;
   for (double limit : {50.0, 40.0}) {
     for (const WorkloadMix& mix : SkylakePriorityMixes()) {
       for (bool starve : {true, false}) {
@@ -33,7 +34,19 @@ void Run() {
         c.priority.starve_lp = starve;
         c.warmup_s = 30;
         c.measure_s = 60;
-        const ScenarioResult r = RunScenario(c);
+        configs.push_back(c);
+      }
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  TextTable t;
+  t.SetHeader({"limit", "mix", "variant", "HP perf", "LP perf", "LP starved", "pkg W"});
+  size_t idx = 0;
+  for (double limit : {50.0, 40.0}) {
+    for (const WorkloadMix& mix : SkylakePriorityMixes()) {
+      for (bool starve : {true, false}) {
+        const ScenarioResult& r = results[idx++];
 
         double hp_perf = 0.0;
         double lp_perf = 0.0;

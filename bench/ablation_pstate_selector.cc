@@ -14,6 +14,7 @@
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 #include "src/policy/pstate_selector.h"
@@ -53,8 +54,7 @@ void EndToEnd() {
   // The daemon always uses the optimal selector; quantify what the 3-level
   // restriction itself costs by comparing achieved against requested
   // frequency ratios.
-  TextTable t;
-  t.SetHeader({"shares LD/HD", "achieved LD/HD MHz ratio", "requested ratio"});
+  std::vector<ScenarioConfig> configs;
   for (auto [ld, hd] : {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}}) {
     ScenarioConfig c{.platform = Ryzen1700X()};
     c.apps = ShareSplitMix(8, ld, hd).apps;
@@ -62,7 +62,15 @@ void EndToEnd() {
     c.limit_w = 45;
     c.warmup_s = 30;
     c.measure_s = 60;
-    const ScenarioResult r = RunScenario(c);
+    configs.push_back(c);
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  TextTable t;
+  t.SetHeader({"shares LD/HD", "achieved LD/HD MHz ratio", "requested ratio"});
+  size_t idx = 0;
+  for (auto [ld, hd] : {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}}) {
+    const ScenarioResult& r = results[idx++];
     Mhz ld_mhz = 0.0;
     Mhz hd_mhz = 0.0;
     for (const AppResult& app : r.apps) {

@@ -11,9 +11,11 @@
 //     far larger fraction of its standalone performance.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 
 namespace papd {
@@ -23,10 +25,9 @@ void Run() {
   PrintBenchHeader("Figure 1",
                    "RAPL interference: 5x gcc (LD) + 5x cam4 (HD/AVX) on Skylake");
 
-  TextTable t;
-  t.SetHeader({"limit", "pkg W", "gcc MHz", "gcc perf", "cam4 MHz", "cam4 perf",
-               "gcc loss", "cam4 loss"});
-  for (double limit : {85.0, 60.0, 50.0, 40.0}) {
+  const std::vector<double> limits = {85.0, 60.0, 50.0, 40.0};
+  std::vector<ScenarioConfig> configs;
+  for (double limit : limits) {
     ScenarioConfig c{.platform = SkylakeXeon4114()};
     for (int i = 0; i < 5; i++) {
       c.apps.push_back({.profile = "gcc"});
@@ -38,7 +39,16 @@ void Run() {
     c.limit_w = limit;
     c.warmup_s = 20;
     c.measure_s = 60;
-    const ScenarioResult r = RunScenario(c);
+    configs.push_back(c);
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  TextTable t;
+  t.SetHeader({"limit", "pkg W", "gcc MHz", "gcc perf", "cam4 MHz", "cam4 perf",
+               "gcc loss", "cam4 loss"});
+  for (size_t i = 0; i < limits.size(); i++) {
+    const double limit = limits[i];
+    const ScenarioResult& r = results[i];
 
     Mhz gcc_mhz = 0.0;
     double gcc_perf = 0.0;

@@ -15,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/specsim/spec2017.h"
 
@@ -27,17 +28,14 @@ struct SweepPoint {
   Mhz active_mhz = 0.0;
 };
 
-SweepPoint MeasureAt(const PlatformSpec& platform, const std::string& profile, Mhz freq) {
+ScenarioConfig ConfigAt(const PlatformSpec& platform, const std::string& profile, Mhz freq) {
   ScenarioConfig c{.platform = platform};
   c.apps = {{.profile = profile}};
   c.policy = PolicyKind::kStatic;
   c.static_mhz = freq;
   c.warmup_s = 5;
   c.measure_s = 20;
-  const ScenarioResult r = RunScenario(c);
-  return SweepPoint{.norm_perf = r.apps[0].avg_ips,  // Normalized later.
-                    .pkg_w = r.avg_pkg_w,
-                    .active_mhz = r.apps[0].avg_active_mhz};
+  return c;
 }
 
 void Run() {
@@ -50,11 +48,24 @@ void Run() {
     freqs.push_back(f);
   }
 
-  // benchmark -> freq -> point.
-  std::map<std::string, std::map<double, SweepPoint>> sweep;
+  // The full 11-benchmark x 23-frequency grid fans out across the pool.
+  std::vector<ScenarioConfig> configs;
   for (const std::string& name : SpecBenchmarkNames()) {
     for (Mhz f : freqs) {
-      sweep[name][f] = MeasureAt(platform, name, f);
+      configs.push_back(ConfigAt(platform, name, f));
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  // benchmark -> freq -> point.
+  std::map<std::string, std::map<double, SweepPoint>> sweep;
+  size_t idx = 0;
+  for (const std::string& name : SpecBenchmarkNames()) {
+    for (Mhz f : freqs) {
+      const ScenarioResult& r = results[idx++];
+      sweep[name][f] = SweepPoint{.norm_perf = r.apps[0].avg_ips,  // Normalized later.
+                                  .pkg_w = r.avg_pkg_w,
+                                  .active_mhz = r.apps[0].avg_active_mhz};
     }
   }
 

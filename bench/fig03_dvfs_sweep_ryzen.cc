@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/specsim/spec2017.h"
 
@@ -24,14 +25,17 @@ struct SweepPoint {
   Mhz active_mhz = 0.0;
 };
 
-SweepPoint MeasureAt(const PlatformSpec& platform, const std::string& profile, Mhz freq) {
+ScenarioConfig ConfigAt(const PlatformSpec& platform, const std::string& profile, Mhz freq) {
   ScenarioConfig c{.platform = platform};
   c.apps = {{.profile = profile}};
   c.policy = PolicyKind::kStatic;
   c.static_mhz = freq;
   c.warmup_s = 5;
   c.measure_s = 20;
-  const ScenarioResult r = RunScenario(c);
+  return c;
+}
+
+SweepPoint ToPoint(const ScenarioResult& r) {
   return SweepPoint{
       .ips = r.apps[0].avg_ips, .pkg_w = r.avg_pkg_w, .active_mhz = r.apps[0].avg_active_mhz};
 }
@@ -49,12 +53,22 @@ void Run() {
     freqs.push_back(3800);
   }
 
-  std::map<std::string, std::map<double, SweepPoint>> sweep;
+  std::vector<ScenarioConfig> configs;
   for (const std::string& name : SpecBenchmarkNames()) {
     for (Mhz f : freqs) {
-      sweep[name][f] = MeasureAt(platform, name, f);
+      configs.push_back(ConfigAt(platform, name, f));
     }
-    sweep[name][ref_freq] = MeasureAt(platform, name, ref_freq);
+    configs.push_back(ConfigAt(platform, name, ref_freq));
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  std::map<std::string, std::map<double, SweepPoint>> sweep;
+  size_t idx = 0;
+  for (const std::string& name : SpecBenchmarkNames()) {
+    for (Mhz f : freqs) {
+      sweep[name][f] = ToPoint(results[idx++]);
+    }
+    sweep[name][ref_freq] = ToPoint(results[idx++]);
   }
 
   PrintBanner(std::cout, "(a) Performance normalized to 3.0 GHz (box stats over benchmarks)");

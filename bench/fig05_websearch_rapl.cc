@@ -10,9 +10,11 @@
 // down.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 
 namespace papd {
@@ -22,10 +24,9 @@ void Run() {
   PrintBenchHeader("Figure 5",
                    "websearch p90 latency with/without cpuburn under RAPL (Skylake)");
 
-  TextTable t;
-  t.SetHeader({"limit", "alone p90 ms", "colocated p90 ms", "alone=1.0 rel.",
-               "alone pkg W", "colo pkg W"});
-  for (double limit : {85.0, 65.0, 55.0, 50.0, 45.0, 40.0, 35.0}) {
+  const std::vector<double> limits = {85.0, 65.0, 55.0, 50.0, 45.0, 40.0, 35.0};
+  std::vector<WebsearchConfig> configs;
+  for (double limit : limits) {
     WebsearchConfig alone{.platform = SkylakeXeon4114()};
     alone.policy = PolicyKind::kRaplOnly;
     alone.limit_w = limit;
@@ -34,9 +35,18 @@ void Run() {
     alone.measure_s = 240;
     WebsearchConfig colo = alone;
     colo.with_cpuburn = true;
+    configs.push_back(alone);
+    configs.push_back(colo);
+  }
+  const std::vector<WebsearchResult> results = RunWebsearches(configs);
 
-    const WebsearchResult a = RunWebsearch(alone);
-    const WebsearchResult c = RunWebsearch(colo);
+  TextTable t;
+  t.SetHeader({"limit", "alone p90 ms", "colocated p90 ms", "alone=1.0 rel.",
+               "alone pkg W", "colo pkg W"});
+  for (size_t i = 0; i < limits.size(); i++) {
+    const double limit = limits[i];
+    const WebsearchResult& a = results[2 * i];
+    const WebsearchResult& c = results[2 * i + 1];
     t.AddRow({TextTable::Num(limit, 0) + "W", TextTable::Num(a.p90_latency * 1e3, 1),
               TextTable::Num(c.p90_latency * 1e3, 1),
               TextTable::Num(c.p90_latency / a.p90_latency, 2),

@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -29,15 +30,17 @@ struct ClassStats {
   Watts pkg_w = 0.0;
 };
 
-ClassStats Measure(const WorkloadMix& mix, PolicyKind policy, Watts limit) {
+ScenarioConfig MakeConfig(const WorkloadMix& mix, PolicyKind policy, Watts limit) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = mix.apps;
   c.policy = policy;
   c.limit_w = limit;
   c.warmup_s = 30;
   c.measure_s = 60;
-  const ScenarioResult r = RunScenario(c);
+  return c;
+}
 
+ClassStats Reduce(const ScenarioResult& r) {
   ClassStats s;
   s.pkg_w = r.avg_pkg_w;
   int hp_n = 0;
@@ -95,12 +98,21 @@ void Run() {
 
   for (PolicyKind policy : {PolicyKind::kPriority, PolicyKind::kRaplOnly}) {
     PrintBanner(std::cout, std::string("policy: ") + PolicyKindName(policy));
+    std::vector<ScenarioConfig> configs;
+    for (double limit : {85.0, 50.0, 40.0}) {
+      for (const WorkloadMix& mix : SkylakePriorityMixes()) {
+        configs.push_back(MakeConfig(mix, policy, limit));
+      }
+    }
+    const std::vector<ScenarioResult> results = RunScenarios(configs);
+
     TextTable t;
     t.SetHeader({"limit", "mix", "HP perf", "LP perf", "HP MHz", "LP MHz", "LP starved",
                  "pkg W"});
+    size_t idx = 0;
     for (double limit : {85.0, 50.0, 40.0}) {
       for (const WorkloadMix& mix : SkylakePriorityMixes()) {
-        const ClassStats s = Measure(mix, policy, limit);
+        const ClassStats s = Reduce(results[idx++]);
         t.AddRow({TextTable::Num(limit, 0) + "W", mix.label, TextTable::Num(s.hp_perf, 2),
                   TextTable::Num(s.lp_perf, 2), TextTable::Num(s.hp_mhz, 0),
                   TextTable::Num(s.lp_mhz, 0), std::to_string(s.lp_starved),

@@ -6,9 +6,11 @@
 // energy counters.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -18,9 +20,7 @@ namespace {
 void Run() {
   PrintBenchHeader("Figure 8", "Priority policy on Ryzen (8 cores, per-core power)");
 
-  TextTable t;
-  t.SetHeader({"limit", "mix", "HP perf", "LP perf", "HP core W", "LP core W", "HP MHz",
-               "LP MHz", "LP starved", "pkg W"});
+  std::vector<ScenarioConfig> configs;
   for (double limit : {85.0, 50.0, 40.0}) {
     for (const WorkloadMix& mix : RyzenPriorityMixes()) {
       ScenarioConfig c{.platform = Ryzen1700X()};
@@ -29,7 +29,18 @@ void Run() {
       c.limit_w = limit;
       c.warmup_s = 30;
       c.measure_s = 60;
-      const ScenarioResult r = RunScenario(c);
+      configs.push_back(c);
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+
+  TextTable t;
+  t.SetHeader({"limit", "mix", "HP perf", "LP perf", "HP core W", "LP core W", "HP MHz",
+               "LP MHz", "LP starved", "pkg W"});
+  size_t idx = 0;
+  for (double limit : {85.0, 50.0, 40.0}) {
+    for (const WorkloadMix& mix : RyzenPriorityMixes()) {
+      const ScenarioResult& r = results[idx++];
 
       double hp_perf = 0.0;
       double lp_perf = 0.0;

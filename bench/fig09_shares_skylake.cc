@@ -11,9 +11,11 @@
 //     at the ceiling and cactusBSSN's higher IPC-per-MHz demand shows).
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -27,9 +29,7 @@ void Run() {
   for (PolicyKind policy : {PolicyKind::kFrequencyShares, PolicyKind::kPerformanceShares,
                             PolicyKind::kRaplOnly}) {
     PrintBanner(std::cout, std::string("policy: ") + PolicyKindName(policy));
-    TextTable t;
-    t.SetHeader({"limit", "shares LD/HD", "LD MHz", "HD MHz", "LD perf", "HD perf",
-                 "LD freq%", "HD freq%", "pkg W"});
+    std::vector<ScenarioConfig> configs;
     for (double limit : {40.0, 50.0}) {
       for (auto [ld, hd] : {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}}) {
         ScenarioConfig c{.platform = SkylakeXeon4114()};
@@ -38,7 +38,18 @@ void Run() {
         c.limit_w = limit;
         c.warmup_s = 30;
         c.measure_s = 60;
-        ScenarioResult r = RunScenario(c);
+        configs.push_back(c);
+      }
+    }
+    std::vector<ScenarioResult> results = RunScenarios(configs);
+
+    TextTable t;
+    t.SetHeader({"limit", "shares LD/HD", "LD MHz", "HD MHz", "LD perf", "HD perf",
+                 "LD freq%", "HD freq%", "pkg W"});
+    size_t idx = 0;
+    for (double limit : {40.0, 50.0}) {
+      for (auto [ld, hd] : {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}}) {
+        ScenarioResult& r = results[idx++];
         AddResourceShares(&r);
 
         Mhz ld_mhz = 0.0;

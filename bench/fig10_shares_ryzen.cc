@@ -12,9 +12,11 @@
 //   - power shares equalize power but isolate performance poorly.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -28,9 +30,7 @@ void Run() {
   for (PolicyKind policy : {PolicyKind::kFrequencyShares, PolicyKind::kPerformanceShares,
                             PolicyKind::kPowerShares}) {
     PrintBanner(std::cout, std::string("policy: ") + PolicyKindName(policy));
-    TextTable t;
-    t.SetHeader({"limit", "shares LD/HD", "LD freq%", "HD freq%", "LD perf%", "HD perf%",
-                 "LD power%", "HD power%", "pkg W"});
+    std::vector<ScenarioConfig> configs;
     for (double limit : {40.0, 50.0}) {
       for (auto [ld, hd] :
            {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}, {30.0, 70.0}}) {
@@ -40,7 +40,19 @@ void Run() {
         c.limit_w = limit;
         c.warmup_s = 30;
         c.measure_s = 60;
-        ScenarioResult r = RunScenario(c);
+        configs.push_back(c);
+      }
+    }
+    std::vector<ScenarioResult> results = RunScenarios(configs);
+
+    TextTable t;
+    t.SetHeader({"limit", "shares LD/HD", "LD freq%", "HD freq%", "LD perf%", "HD perf%",
+                 "LD power%", "HD power%", "pkg W"});
+    size_t idx = 0;
+    for (double limit : {40.0, 50.0}) {
+      for (auto [ld, hd] :
+           {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}, {30.0, 70.0}}) {
+        ScenarioResult& r = results[idx++];
         AddResourceShares(&r);
 
         double fshare[2] = {0, 0};

@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -55,6 +56,7 @@ void Run() {
       header.push_back("pkg W");
       t.SetHeader(header);
 
+      std::vector<ScenarioConfig> configs;
       for (double limit : {40.0, 50.0, 85.0}) {
         ScenarioConfig c{.platform = SkylakeXeon4114()};
         c.apps = RandomSetApps(set);
@@ -62,7 +64,13 @@ void Run() {
         c.limit_w = limit;
         c.warmup_s = 30;
         c.measure_s = 60;
-        ScenarioResult r = RunScenario(c);
+        configs.push_back(c);
+      }
+      std::vector<ScenarioResult> results = RunScenarios(configs);
+
+      size_t idx = 0;
+      for (double limit : {40.0, 50.0, 85.0}) {
+        ScenarioResult& r = results[idx++];
         AddResourceShares(&r);
 
         std::vector<std::string> row = {TextTable::Num(limit, 0) + "W"};

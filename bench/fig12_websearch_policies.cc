@@ -9,9 +9,11 @@
 // approaching (sometimes matching) the alone baseline.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 
 namespace papd {
@@ -21,10 +23,12 @@ void Run() {
   PrintBenchHeader("Figure 12",
                    "websearch p90 with policies vs RAPL, relative to running alone");
 
-  TextTable t;
-  t.SetHeader({"limit", "alone p90 ms", "rapl rel.", "freq-shares rel.",
-               "perf-shares rel.", "priority rel."});
-  for (double limit : {65.0, 55.0, 50.0, 45.0, 40.0, 35.0}) {
+  const std::vector<double> limits = {65.0, 55.0, 50.0, 45.0, 40.0, 35.0};
+  const PolicyKind kColocated[] = {PolicyKind::kRaplOnly, PolicyKind::kFrequencyShares,
+                                   PolicyKind::kPerformanceShares, PolicyKind::kPriority};
+  // Per limit: the alone baseline followed by the four co-located policies.
+  std::vector<WebsearchConfig> configs;
+  for (double limit : limits) {
     WebsearchConfig base{.platform = SkylakeXeon4114()};
     base.limit_w = limit;
     base.warmup_s = 20;
@@ -33,22 +37,29 @@ void Run() {
     WebsearchConfig alone = base;
     alone.policy = PolicyKind::kRaplOnly;
     alone.with_cpuburn = false;
-    const WebsearchResult r_alone = RunWebsearch(alone);
-
-    auto rel = [&](PolicyKind policy) {
+    configs.push_back(alone);
+    for (PolicyKind policy : kColocated) {
       WebsearchConfig c = base;
       c.policy = policy;
       c.with_cpuburn = true;
-      const WebsearchResult r = RunWebsearch(c);
-      return r.p90_latency / r_alone.p90_latency;
-    };
+      configs.push_back(c);
+    }
+  }
+  const std::vector<WebsearchResult> results = RunWebsearches(configs);
 
-    t.AddRow({TextTable::Num(limit, 0) + "W",
-              TextTable::Num(r_alone.p90_latency * 1e3, 1),
-              TextTable::Num(rel(PolicyKind::kRaplOnly), 2),
-              TextTable::Num(rel(PolicyKind::kFrequencyShares), 2),
-              TextTable::Num(rel(PolicyKind::kPerformanceShares), 2),
-              TextTable::Num(rel(PolicyKind::kPriority), 2)});
+  TextTable t;
+  t.SetHeader({"limit", "alone p90 ms", "rapl rel.", "freq-shares rel.",
+               "perf-shares rel.", "priority rel."});
+  const size_t stride = 1 + std::size(kColocated);
+  for (size_t i = 0; i < limits.size(); i++) {
+    const WebsearchResult& r_alone = results[stride * i];
+    auto rel = [&](size_t k) {
+      return results[stride * i + 1 + k].p90_latency / r_alone.p90_latency;
+    };
+    t.AddRow({TextTable::Num(limits[i], 0) + "W",
+              TextTable::Num(r_alone.p90_latency * 1e3, 1), TextTable::Num(rel(0), 2),
+              TextTable::Num(rel(1), 2), TextTable::Num(rel(2), 2),
+              TextTable::Num(rel(3), 2)});
   }
   t.Print(std::cout);
   std::cout << "\nPaper shape check: relative p90 under the policies stays near 1.0 at\n"

@@ -10,9 +10,11 @@
 // latency gain).
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 
 namespace papd {
@@ -22,10 +24,10 @@ void Run() {
   PrintBenchHeader("Figure 13",
                    "Active frequencies for the latency-sensitive experiment");
 
-  TextTable t;
-  t.SetHeader({"limit", "policy ws MHz", "policy burn MHz", "rapl ws MHz", "rapl burn MHz",
-               "alone ws MHz"});
-  for (double limit : {65.0, 55.0, 50.0, 45.0, 40.0, 35.0}) {
+  const std::vector<double> limits = {65.0, 55.0, 50.0, 45.0, 40.0, 35.0};
+  // Per limit: frequency shares, RAPL co-located, RAPL alone.
+  std::vector<WebsearchConfig> configs;
+  for (double limit : limits) {
     WebsearchConfig base{.platform = SkylakeXeon4114()};
     base.limit_w = limit;
     base.warmup_s = 20;
@@ -33,18 +35,28 @@ void Run() {
 
     WebsearchConfig share = base;
     share.policy = PolicyKind::kFrequencyShares;
-    const WebsearchResult r_share = RunWebsearch(share);
+    configs.push_back(share);
 
     WebsearchConfig rapl = base;
     rapl.policy = PolicyKind::kRaplOnly;
-    const WebsearchResult r_rapl = RunWebsearch(rapl);
+    configs.push_back(rapl);
 
     WebsearchConfig alone = base;
     alone.policy = PolicyKind::kRaplOnly;
     alone.with_cpuburn = false;
-    const WebsearchResult r_alone = RunWebsearch(alone);
+    configs.push_back(alone);
+  }
+  const std::vector<WebsearchResult> results = RunWebsearches(configs);
 
-    t.AddRow({TextTable::Num(limit, 0) + "W", TextTable::Num(r_share.websearch_avg_mhz, 0),
+  TextTable t;
+  t.SetHeader({"limit", "policy ws MHz", "policy burn MHz", "rapl ws MHz", "rapl burn MHz",
+               "alone ws MHz"});
+  for (size_t i = 0; i < limits.size(); i++) {
+    const WebsearchResult& r_share = results[3 * i];
+    const WebsearchResult& r_rapl = results[3 * i + 1];
+    const WebsearchResult& r_alone = results[3 * i + 2];
+
+    t.AddRow({TextTable::Num(limits[i], 0) + "W", TextTable::Num(r_share.websearch_avg_mhz, 0),
               TextTable::Num(r_share.cpuburn_avg_mhz, 0),
               TextTable::Num(r_rapl.websearch_avg_mhz, 0),
               TextTable::Num(r_rapl.cpuburn_avg_mhz, 0),

@@ -2,12 +2,13 @@
 //
 // The paper notes its userspace daemon is not production-grade and that the
 // policy "should be implemented in hardware ... to provide a low sampling
-// overhead" (Section 5).  These google-benchmark measurements quantify the
+// overhead" (Section 5).  These measurements quantify the
 // per-iteration cost of each policy's redistribution, the 3-P-state
 // selector, a full daemon step (telemetry read + policy + MSR writes), and
-// a simulator tick.
+// a simulator tick.  Timing uses the perf_util calibration/warmup
+// discipline shared with bench/perf_harness.
 
-#include <benchmark/benchmark.h>
+#include "bench/perf_util.h"
 
 #include <memory>
 #include <vector>
@@ -66,78 +67,78 @@ TelemetrySample FakeSample(int cores, bool per_core_power) {
 
 PolicyPlatform Platform() { return MakePolicyPlatform(SkylakeXeon4114()); }
 
-void BM_MinFundingDistribute(benchmark::State& state) {
+void BM_MinFundingDistribute(perf::State& state) {
   std::vector<ShareRequest> req;
   for (int i = 0; i < 10; i++) {
     req.push_back(ShareRequest{.shares = 1.0 + i, .minimum = 800, .maximum = 3000});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(DistributeProportional(18000.0, req));
+    perf::DoNotOptimize(DistributeProportional(18000.0, req));
   }
 }
-BENCHMARK(BM_MinFundingDistribute);
+PAPD_PERF_BENCH(BM_MinFundingDistribute);
 
-void BM_FrequencySharesRedistribute(benchmark::State& state) {
+void BM_FrequencySharesRedistribute(perf::State& state) {
   FrequencyShares policy(Platform());
   const auto apps = TenApps();
   policy.InitialDistribution(apps, 45.0);
   const TelemetrySample sample = FakeSample(10, false);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
   }
 }
-BENCHMARK(BM_FrequencySharesRedistribute);
+PAPD_PERF_BENCH(BM_FrequencySharesRedistribute);
 
-void BM_PerformanceSharesRedistribute(benchmark::State& state) {
+void BM_PerformanceSharesRedistribute(perf::State& state) {
   PerformanceShares policy(Platform());
   const auto apps = TenApps();
   policy.InitialDistribution(apps, 45.0);
   const TelemetrySample sample = FakeSample(10, false);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
   }
 }
-BENCHMARK(BM_PerformanceSharesRedistribute);
+PAPD_PERF_BENCH(BM_PerformanceSharesRedistribute);
 
-void BM_PowerSharesRedistribute(benchmark::State& state) {
+void BM_PowerSharesRedistribute(perf::State& state) {
   PowerShares policy(Platform());
   const auto apps = TenApps();
   policy.InitialDistribution(apps, 45.0);
   const TelemetrySample sample = FakeSample(10, true);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
   }
 }
-BENCHMARK(BM_PowerSharesRedistribute);
+PAPD_PERF_BENCH(BM_PowerSharesRedistribute);
 
-void BM_PriorityRedistribute(benchmark::State& state) {
+void BM_PriorityRedistribute(perf::State& state) {
   PriorityPolicy policy(Platform(), {});
   const auto apps = TenApps();
   policy.InitialDistribution(apps, 45.0);
   const TelemetrySample sample = FakeSample(10, false);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
   }
 }
-BENCHMARK(BM_PriorityRedistribute);
+PAPD_PERF_BENCH(BM_PriorityRedistribute);
 
-void BM_SelectPStates(benchmark::State& state) {
+void BM_SelectPStates(perf::State& state) {
   const std::vector<Mhz> targets = {3400, 3000, 2600, 2200, 1800, 1400, 1000, 800};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SelectPStates(targets, 3, 25));
+    perf::DoNotOptimize(SelectPStates(targets, 3, 25));
   }
 }
-BENCHMARK(BM_SelectPStates);
+PAPD_PERF_BENCH(BM_SelectPStates);
 
-void BM_SelectPStatesNaive(benchmark::State& state) {
+void BM_SelectPStatesNaive(perf::State& state) {
   const std::vector<Mhz> targets = {3400, 3000, 2600, 2200, 1800, 1400, 1000, 800};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SelectPStatesNaive(targets, 3, 25));
+    perf::DoNotOptimize(SelectPStatesNaive(targets, 3, 25));
   }
 }
-BENCHMARK(BM_SelectPStatesNaive);
+PAPD_PERF_BENCH(BM_SelectPStatesNaive);
 
-void BM_SaturationDetectorObserve(benchmark::State& state) {
+void BM_SaturationDetectorObserve(perf::State& state) {
   SaturationDetector det(Platform(), 10);
   const auto apps = TenApps();
   const TelemetrySample sample = FakeSample(10, false);
@@ -146,56 +147,56 @@ void BM_SaturationDetectorObserve(benchmark::State& state) {
     det.Observe(apps, sample, requested);
   }
 }
-BENCHMARK(BM_SaturationDetectorObserve);
+PAPD_PERF_BENCH(BM_SaturationDetectorObserve);
 
-void BM_SingleCoreSharingStep(benchmark::State& state) {
+void BM_SingleCoreSharingStep(perf::State& state) {
   SingleCoreSharing policy(Platform(), {{.name = "hd", .shares = 1.0, .demand = 1.4},
                                         {.name = "ld", .shares = 1.0, .demand = 1.0}});
   policy.Initial(6.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.Step(6.0, 6.5));
+    perf::DoNotOptimize(policy.Step(6.0, 6.5));
   }
 }
-BENCHMARK(BM_SingleCoreSharingStep);
+PAPD_PERF_BENCH(BM_SingleCoreSharingStep);
 
-void BM_ThermalModelUpdate(benchmark::State& state) {
+void BM_ThermalModelUpdate(perf::State& state) {
   ThermalModel model(SkylakeXeon4114().thermal, 10);
   const std::vector<Watts> power(10, 6.0);
   for (auto _ : state) {
     model.Update(power, 8.0, 0.001);
   }
 }
-BENCHMARK(BM_ThermalModelUpdate);
+PAPD_PERF_BENCH(BM_ThermalModelUpdate);
 
-void BM_GovernorOndemandDecide(benchmark::State& state) {
+void BM_GovernorOndemandDecide(perf::State& state) {
   OndemandGovernor gov(GovernorLimits{});
   double util = 0.3;
   for (auto _ : state) {
     util = util < 0.9 ? util + 0.01 : 0.1;
-    benchmark::DoNotOptimize(gov.Decide(util, 2000.0));
+    perf::DoNotOptimize(gov.Decide(util, 2000.0));
   }
 }
-BENCHMARK(BM_GovernorOndemandDecide);
+PAPD_PERF_BENCH(BM_GovernorOndemandDecide);
 
-void BM_SpinLockTick(benchmark::State& state) {
+void BM_SpinLockTick(perf::State& state) {
   SpinLockWork work({0, 1, 2, 3}, SpinLockWork::Params{});
   const std::vector<Mhz> freqs = {3000, 3000, 3000, 800};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(work.Run(0.001, freqs));
+    perf::DoNotOptimize(work.Run(0.001, freqs));
   }
 }
-BENCHMARK(BM_SpinLockTick);
+PAPD_PERF_BENCH(BM_SpinLockTick);
 
-void BM_WebSearchTick(benchmark::State& state) {
+void BM_WebSearchTick(perf::State& state) {
   WebSearch ws({0, 1, 2, 3, 4, 5, 6, 7, 8}, WebSearch::Params{}, 1);
   const std::vector<Mhz> freqs(9, 2600.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ws.Run(0.001, freqs));
+    perf::DoNotOptimize(ws.Run(0.001, freqs));
   }
 }
-BENCHMARK(BM_WebSearchTick);
+PAPD_PERF_BENCH(BM_WebSearchTick);
 
-void BM_PackageTick(benchmark::State& state) {
+void BM_PackageTick(perf::State& state) {
   Package pkg(SkylakeXeon4114());
   std::vector<std::unique_ptr<Process>> procs;
   for (int i = 0; i < 10; i++) {
@@ -206,9 +207,9 @@ void BM_PackageTick(benchmark::State& state) {
     pkg.Tick(0.001);
   }
 }
-BENCHMARK(BM_PackageTick);
+PAPD_PERF_BENCH(BM_PackageTick);
 
-void BM_DaemonFullStep(benchmark::State& state) {
+void BM_DaemonFullStep(perf::State& state) {
   Package pkg(SkylakeXeon4114());
   MsrFile msr(&pkg);
   std::vector<std::unique_ptr<Process>> procs;
@@ -225,7 +226,9 @@ void BM_DaemonFullStep(benchmark::State& state) {
     daemon.Step();
   }
 }
-BENCHMARK(BM_DaemonFullStep);
+PAPD_PERF_BENCH(BM_DaemonFullStep);
 
 }  // namespace
 }  // namespace papd
+
+int main(int argc, char** argv) { return papd::perf::PerfMain(argc, argv); }

@@ -1,0 +1,249 @@
+// Perf-tracking harness: times representative scenarios serially and in
+// parallel and emits machine-readable BENCH_scenarios.json for CI trending.
+//
+// Three sections:
+//   - micro:     hot-loop timings (Package::Tick, full daemon step) using
+//                the perf_util calibration discipline;
+//   - scenarios: wall time of one representative scenario per policy, with
+//                simulated-seconds-per-wall-second as the figure of merit;
+//   - batch:     the same scenario list run serially (loop over
+//                RunScenario) and through RunScenarios on a thread pool;
+//                reports the speedup.
+//
+// Timing numbers are environment-dependent; CI validates the JSON shape and
+// archives the numbers rather than asserting on them (see
+// tools/check_bench_json.py).
+//
+// Flags:
+//   --quick       short measurement windows (CI smoke)
+//   --jobs=N      worker count for the parallel section (default:
+//                 ThreadPool::DefaultJobs(), i.e. PAPD_JOBS or hardware)
+//   --out=PATH    JSON output path (default: BENCH_scenarios.json)
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/perf_util.h"
+#include "src/common/thread_pool.h"
+#include "src/cpusim/package.h"
+#include "src/experiments/batch.h"
+#include "src/experiments/harness.h"
+#include "src/experiments/scenarios.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+struct Options {
+  bool quick = false;
+  int jobs = 0;  // 0 = ThreadPool::DefaultJobs().
+  std::string out = "BENCH_scenarios.json";
+};
+
+struct MicroResult {
+  std::string name;
+  double ns_per_iter = 0.0;
+};
+
+struct ScenarioTiming {
+  std::string policy;
+  Seconds wall_s = 0.0;
+  Seconds sim_s = 0.0;
+};
+
+// The representative scenario: the paper's middle priority mix, which
+// exercises every layer (all cores busy, RAPL, thermal, policy daemon).
+// Power shares needs per-core power telemetry, so it runs on Ryzen.
+ScenarioConfig RepresentativeConfig(PolicyKind policy, bool quick) {
+  const bool ryzen = policy == PolicyKind::kPowerShares;
+  const auto mixes = ryzen ? RyzenPriorityMixes() : SkylakePriorityMixes();
+  ScenarioConfig c{.platform = ryzen ? Ryzen1700X() : SkylakeXeon4114()};
+  c.apps = mixes[mixes.size() / 2].apps;
+  c.policy = policy;
+  c.limit_w = 50.0;
+  c.warmup_s = quick ? 2.0 : 10.0;
+  c.measure_s = quick ? 4.0 : 30.0;
+  c.seed = 42;
+  return c;
+}
+
+std::vector<MicroResult> RunMicro(bool quick) {
+  const double min_time = quick ? 0.05 : 0.3;
+  std::vector<MicroResult> out;
+
+  {
+    Package pkg(SkylakeXeon4114());
+    std::vector<std::unique_ptr<Process>> procs;
+    for (int i = 0; i < 10; i++) {
+      procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + i));
+      pkg.AttachWork(i, procs.back().get());
+    }
+    const perf::Result r = perf::MeasureLoop([&pkg] { pkg.Tick(0.001); }, min_time);
+    out.push_back({"package_tick_10core_gcc", r.ns_per_iter});
+  }
+
+  {
+    Package pkg(SkylakeXeon4114());
+    MsrFile msr(&pkg);
+    std::vector<std::unique_ptr<Process>> procs;
+    std::vector<ManagedApp> apps;
+    for (int i = 0; i < 10; i++) {
+      procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + i));
+      pkg.AttachWork(i, procs.back().get());
+      apps.push_back(ManagedApp{.name = "gcc",
+                                .cpu = i,
+                                .shares = 10.0 + 9.0 * i,
+                                .high_priority = i % 2 == 0,
+                                .baseline_ips = 2e9});
+    }
+    PowerDaemon daemon(&msr, apps,
+                       {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0});
+    daemon.Start();
+    const perf::Result r = perf::MeasureLoop(
+        [&pkg, &daemon] {
+          pkg.Tick(0.001);
+          daemon.Step();
+        },
+        min_time);
+    out.push_back({"daemon_full_step", r.ns_per_iter});
+  }
+
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micro,
+              const std::vector<ScenarioTiming>& scenarios, size_t batch_count,
+              Seconds serial_s, Seconds parallel_s) {
+  FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"host\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"jobs\": %d,\n", jobs);
+  std::fprintf(f, "    \"quick\": %s\n", opt.quick ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"micro\": [\n");
+  for (size_t i = 0; i < micro.size(); i++) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_iter\": %.1f}%s\n",
+                 JsonEscape(micro[i].name).c_str(), micro[i].ns_per_iter,
+                 i + 1 < micro.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < scenarios.size(); i++) {
+    const ScenarioTiming& s = scenarios[i];
+    const double rate = s.wall_s > 0.0 ? s.sim_s / s.wall_s : 0.0;
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"wall_s\": %.4f, \"sim_s\": %.1f, "
+                 "\"sim_s_per_wall_s\": %.1f}%s\n",
+                 JsonEscape(s.policy).c_str(), s.wall_s, s.sim_s, rate,
+                 i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"batch\": {\n");
+  std::fprintf(f, "    \"count\": %zu,\n", batch_count);
+  std::fprintf(f, "    \"serial_wall_s\": %.4f,\n", serial_s);
+  std::fprintf(f, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
+  std::fprintf(f, "    \"speedup\": %.2f\n", parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      opt.jobs = static_cast<int>(std::strtol(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opt.out = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: perf_harness [--quick] [--jobs=N] [--out=PATH]\n");
+      return 2;
+    }
+  }
+  const int jobs = opt.jobs > 0 ? opt.jobs : ThreadPool::DefaultJobs();
+
+  std::printf("perf_harness: micro timings\n");
+  const std::vector<MicroResult> micro = RunMicro(opt.quick);
+  for (const MicroResult& m : micro) {
+    std::printf("  %-28s %10.1f ns\n", m.name.c_str(), m.ns_per_iter);
+  }
+
+  const PolicyKind kPolicies[] = {PolicyKind::kRaplOnly, PolicyKind::kPriority,
+                                  PolicyKind::kFrequencyShares, PolicyKind::kPerformanceShares,
+                                  PolicyKind::kPowerShares};
+
+  // Warm the Standalone() baseline cache so per-policy wall times measure the
+  // scenario itself, not the shared one-time baselines.
+  (void)RunScenario(RepresentativeConfig(PolicyKind::kStatic, /*quick=*/true));
+
+  std::printf("perf_harness: per-policy scenarios\n");
+  std::vector<ScenarioTiming> scenarios;
+  std::vector<ScenarioConfig> batch_configs;
+  for (PolicyKind policy : kPolicies) {
+    const ScenarioConfig config = RepresentativeConfig(policy, opt.quick);
+    const double start = perf::NowS();
+    const ScenarioResult result = RunScenario(config);
+    const double wall = perf::NowS() - start;
+    perf::DoNotOptimize(result);
+    scenarios.push_back(
+        {PolicyKindName(policy), wall, config.warmup_s + config.measure_s});
+    std::printf("  %-20s %8.3f s wall for %5.1f sim-s\n", PolicyKindName(policy), wall,
+                config.warmup_s + config.measure_s);
+    batch_configs.push_back(config);
+    batch_configs.push_back(config);  // Two per policy so the batch has depth.
+  }
+
+  std::printf("perf_harness: batch of %zu scenarios, jobs=%d\n", batch_configs.size(), jobs);
+  Seconds serial_s = 0.0;
+  {
+    const double start = perf::NowS();
+    for (const ScenarioConfig& config : batch_configs) {
+      perf::DoNotOptimize(RunScenario(config));
+    }
+    serial_s = perf::NowS() - start;
+  }
+  Seconds parallel_s = 0.0;
+  {
+    ThreadPool pool(jobs);
+    const double start = perf::NowS();
+    perf::DoNotOptimize(RunScenarios(batch_configs, &pool));
+    parallel_s = perf::NowS() - start;
+  }
+  std::printf("  serial %.3f s, parallel %.3f s, speedup %.2fx\n", serial_s, parallel_s,
+              parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+
+  return WriteJson(opt, jobs, micro, scenarios, batch_configs.size(), serial_s, parallel_s);
+}
+
+}  // namespace
+}  // namespace papd
+
+int main(int argc, char** argv) { return papd::Main(argc, argv); }

@@ -63,14 +63,22 @@ double Rng::Exponential(double mean) {
 }
 
 double Rng::Normal(double mean, double stddev) {
-  // Box-Muller; one value per call is sufficient for our use.
+  if (have_spare_) {
+    have_spare_ = false;
+    return mean + stddev * spare_z_;
+  }
+  // Box-Muller yields two independent variates per uniform pair; keep the
+  // sine one for the next call.
   double u1 = NextDouble();
   double u2 = NextDouble();
   if (u1 <= 0.0) {
     u1 = 0x1.0p-53;
   }
   const double r = std::sqrt(-2.0 * std::log(u1));
-  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+  const double theta = 2.0 * M_PI * u2;
+  spare_z_ = r * std::sin(theta);
+  have_spare_ = true;
+  return mean + stddev * r * std::cos(theta);
 }
 
 void Rng::Jump() {
@@ -99,6 +107,8 @@ void Rng::Jump() {
 
 Rng Rng::Split() {
   Rng child = *this;
+  // Don't let both streams replay the same pending Box-Muller spare.
+  child.have_spare_ = false;
   child.Jump();
   // Advance ourselves as well so repeated Split() calls yield distinct streams.
   NextU64();

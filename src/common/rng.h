@@ -33,7 +33,10 @@ class Rng {
   // Exponentially distributed with the given mean (> 0).
   double Exponential(double mean);
 
-  // Normally distributed (Box-Muller).
+  // Normally distributed (Box-Muller).  Each uniform pair yields two
+  // variates; the second is cached and returned by the next call, halving
+  // the amortized cost on hot paths (workload jitter draws one per core per
+  // tick).
   double Normal(double mean, double stddev);
 
   // Creates an independent stream: skips the generator ahead by 2^128 draws.
@@ -41,6 +44,9 @@ class Rng {
 
  private:
   uint64_t s_[4];
+  // Spare standard-normal variate from the last Box-Muller pair.
+  bool have_spare_ = false;
+  double spare_z_ = 0.0;
   void Jump();
 };
 

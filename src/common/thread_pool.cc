@@ -1,0 +1,148 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace papd {
+namespace {
+
+// Pool whose workers are currently executing a task on this thread; used to
+// reject nested submission (which can deadlock a fixed-size pool).
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = DefaultJobs();
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+int ThreadPool::DefaultJobs() {
+  if (const char* env = std::getenv("PAPD_JOBS")) {
+    char* end = nullptr;
+    const long jobs = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && jobs > 0) {
+      return static_cast<int>(jobs);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained.
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::CheckNotWorker(const char* what) const {
+  if (tls_current_pool == this) {
+    throw std::logic_error(std::string(what) +
+                           " called from a worker of the same ThreadPool "
+                           "(nested submission deadlocks a fixed-size pool)");
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  CheckNotWorker("ThreadPool::Submit");
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> result = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  CheckNotWorker("ThreadPool::ParallelFor");
+  if (n == 0) {
+    return;
+  }
+  if (n == 1 || num_threads() == 1) {
+    // Inline serial path: identical results by the no-shared-state
+    // contract, and no cross-thread hop for trivial batches.
+    for (size_t i = 0; i < n; i++) {
+      fn(i);
+    }
+    return;
+  }
+
+  // `state` lives on the caller's stack: workers must never touch it after
+  // the caller's wait returns, so the counter is decremented and the
+  // completion notified *under* done_mu — the waiter cannot observe
+  // remaining == 0 until the last worker has released the mutex.
+  struct BatchState {
+    std::vector<std::exception_ptr> errors;
+    size_t remaining;  // Guarded by done_mu.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  BatchState state;
+  state.errors.resize(n);
+  state.remaining = n;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; i++) {
+      queue_.push([&state, &fn, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          state.errors[i] = std::current_exception();
+        }
+        std::lock_guard<std::mutex> done_lock(state.done_mu);
+        if (--state.remaining == 0) {
+          state.done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> done_lock(state.done_mu);
+  state.done_cv.wait(done_lock, [&state] { return state.remaining == 0; });
+
+  for (std::exception_ptr& e : state.errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(ThreadPool::DefaultJobs());
+  return pool;
+}
+
+}  // namespace papd

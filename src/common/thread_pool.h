@@ -1,0 +1,78 @@
+// Fixed-size worker pool for scenario-level parallelism.
+//
+// The experiment stack replays dozens of *independent* simulated scenarios
+// (each owns its Package / Simulator / RNG), so the natural unit of
+// parallelism is a whole scenario.  The pool is deliberately minimal: a
+// fixed worker count chosen at construction, a task queue, and ParallelFor.
+// Determinism is the caller's contract — tasks must not share mutable
+// state — and the pool guarantees only scheduling, never ordering.
+//
+// Worker count resolution (ThreadPool::DefaultJobs): the PAPD_JOBS
+// environment variable if set to a positive integer, otherwise
+// std::thread::hardware_concurrency().  PAPD_JOBS=1 forces serial
+// execution (ParallelFor then runs inline on the caller).
+//
+// Nested submission is rejected: a task running on a pool worker may not
+// submit to (or ParallelFor on) the same pool, because with a fixed worker
+// count that deadlocks once all workers block on children.  Submit/
+// ParallelFor throw std::logic_error in that case.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace papd {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 resolves via DefaultJobs().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // PAPD_JOBS env override if positive, else hardware_concurrency (min 1).
+  static int DefaultJobs();
+
+  // Enqueues a task; the future completes when it finishes (exceptions are
+  // captured into the future).  Throws std::logic_error when called from a
+  // worker of this pool.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Runs fn(0..n-1) across the pool and blocks until all complete.  The
+  // first exception (by lowest index) is rethrown on the caller.  Runs
+  // inline on the caller when n <= 1 or the pool has a single worker —
+  // bit-identical to a plain serial loop either way, provided the body only
+  // touches state owned by its index.  Throws std::logic_error when called
+  // from a worker of this pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void CheckNotWorker(const char* what) const;
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Process-wide pool, constructed on first use with DefaultJobs() workers.
+// Intended for the batch experiment APIs; tests build their own pools.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace papd
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -14,10 +14,18 @@ Package::Package(PlatformSpec spec)
       power_model_(&spec_),
       rapl_(&spec_),
       thermal_(spec_.thermal, spec_.num_cores) {
-  cores_.reserve(static_cast<size_t>(spec_.num_cores));
+  const auto n = static_cast<size_t>(spec_.num_cores);
+  cores_.reserve(n);
   for (int i = 0; i < spec_.num_cores; i++) {
     cores_.emplace_back(i, spec_.base_max_mhz);
   }
+  multi_member_.assign(n, 0);
+  scratch_effective_.assign(n, 0.0);
+  scratch_slices_.assign(n, WorkSlice{});
+  scratch_core_powers_.assign(n, 0.0);
+  scratch_avx_.assign(n, 0);
+  volts_cache_mhz_.assign(n, -1.0);
+  volts_cache_v_.assign(n, 0.0);
 }
 
 void Package::AttachWork(int core, CoreWork* work) {
@@ -28,9 +36,9 @@ void Package::DetachWork(int core) { cores_[static_cast<size_t>(core)].set_work(
 
 void Package::AttachMultiWork(MultiCoreWork* work) {
   for (int c : work->Cores()) {
-    (void)c;
     assert(c >= 0 && c < num_cores());
     assert(cores_[static_cast<size_t>(c)].work() == nullptr);
+    multi_member_[static_cast<size_t>(c)] = 1;
   }
   multi_works_.push_back(work);
 }
@@ -63,38 +71,23 @@ int Package::DistinctRequestedFrequencies() const {
   return static_cast<int>(distinct.size());
 }
 
-namespace {
-
-// True if the core is occupied by any work (single-core or coupled).
-bool HasAnyWork(const Core& core, const std::vector<MultiCoreWork*>& multi) {
-  if (core.work() != nullptr) {
-    return true;
-  }
-  for (const MultiCoreWork* w : multi) {
-    for (int c : w->Cores()) {
-      if (c == core.id()) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
 void Package::Tick(Seconds dt) {
+  const size_t n = cores_.size();
+
   // 1. Census: cores counted "active" (C0) for the turbo ladder, and cores
-  // running AVX-heavy code for the AVX caps.
+  // running AVX-heavy code for the AVX caps.  The (virtual) UsesAvx query is
+  // made once per core here and the answer reused below.
   int active = 0;
   int avx_active = 0;
-  for (const Core& c : cores_) {
-    if (!c.online() || !HasAnyWork(c, multi_works_)) {
+  for (size_t i = 0; i < n; i++) {
+    const Core& c = cores_[i];
+    const bool online_with_single = c.online() && c.work() != nullptr;
+    scratch_avx_[i] = online_with_single && c.work()->UsesAvx() ? 1 : 0;
+    if (!c.online() || (c.work() == nullptr && !multi_member_[i])) {
       continue;
     }
     active++;
-    if (c.work() != nullptr && c.work()->UsesAvx()) {
-      avx_active++;
-    }
+    avx_active += scratch_avx_[i];
   }
   for (const MultiCoreWork* w : multi_works_) {
     if (w->UsesAvx()) {
@@ -104,66 +97,78 @@ void Package::Tick(Seconds dt) {
 
   const Mhz turbo_limit = spec_.TurboLimitMhz(active);
   const Mhz avx_cap = spec_.AvxCapMhz(avx_active);
+  const bool rapl_on = rapl_.enabled();
+  const Mhz rapl_ceiling = rapl_.ceiling_mhz();
 
   // 2. Effective frequencies.
-  std::vector<Mhz> effective(cores_.size(), 0.0);
-  for (size_t i = 0; i < cores_.size(); i++) {
+  for (size_t i = 0; i < n; i++) {
     const Core& c = cores_[i];
     if (!c.online()) {
+      scratch_effective_[i] = 0.0;
       continue;
     }
     Mhz f = std::min(c.requested_mhz(), turbo_limit);
-    if (rapl_.enabled()) {
-      f = std::min(f, rapl_.ceiling_mhz());
+    if (rapl_on) {
+      f = std::min(f, rapl_ceiling);
     }
-    if (c.work() != nullptr && c.work()->UsesAvx()) {
+    if (scratch_avx_[i]) {
       f = std::min(f, avx_cap);
     }
     if (thermal_.core_temp_c(static_cast<int>(i)) >= spec_.thermal.tj_max_c) {
       // PROCHOT: the core hard-throttles to the floor until it cools.
       f = spec_.min_mhz;
     }
-    effective[i] = std::max(f, spec_.min_mhz);
+    scratch_effective_[i] = std::max(f, spec_.min_mhz);
   }
 
   // 3. Run workloads.
-  std::vector<WorkSlice> slices(cores_.size());
-  for (size_t i = 0; i < cores_.size(); i++) {
+  for (size_t i = 0; i < n; i++) {
     Core& c = cores_[i];
     if (c.online() && c.work() != nullptr) {
-      slices[i] = c.work()->Run(dt, effective[i]);
+      scratch_slices_[i] = c.work()->Run(dt, scratch_effective_[i]);
+    } else {
+      scratch_slices_[i] = WorkSlice{};
     }
   }
   for (MultiCoreWork* w : multi_works_) {
-    std::vector<Mhz> freqs;
-    freqs.reserve(w->Cores().size());
+    scratch_multi_freqs_.clear();
+    scratch_multi_freqs_.reserve(w->Cores().size());
     for (int c : w->Cores()) {
       // An offlined member core contributes no cycles.
-      freqs.push_back(cores_[static_cast<size_t>(c)].online() ? effective[static_cast<size_t>(c)]
-                                                              : 0.0);
+      scratch_multi_freqs_.push_back(
+          cores_[static_cast<size_t>(c)].online() ? scratch_effective_[static_cast<size_t>(c)]
+                                                  : 0.0);
     }
-    std::vector<WorkSlice> work_slices = w->Run(dt, freqs);
+    std::vector<WorkSlice> work_slices = w->Run(dt, scratch_multi_freqs_);
     assert(work_slices.size() == w->Cores().size());
     for (size_t j = 0; j < w->Cores().size(); j++) {
-      slices[static_cast<size_t>(w->Cores()[j])] = work_slices[j];
+      scratch_slices_[static_cast<size_t>(w->Cores()[j])] = work_slices[j];
     }
   }
 
-  // 4. Power.
+  // 4. Power, per-tick core results, and hardware counters in one pass.
   Watts total = 0.0;
   int busy_cores = 0;
-  for (size_t i = 0; i < cores_.size(); i++) {
+  for (size_t i = 0; i < n; i++) {
     Core& c = cores_[i];
     Watts p;
     if (!c.online()) {
       p = power_model_.OfflineCorePowerW();
     } else {
-      p = power_model_.CorePowerW(effective[i], slices[i].busy_fraction, slices[i].activity);
-      if (slices[i].busy_fraction > 0.05) {
+      const Mhz f = scratch_effective_[i];
+      if (f != volts_cache_mhz_[i]) {
+        volts_cache_mhz_[i] = f;
+        volts_cache_v_[i] = power_model_.VoltsAt(f);
+      }
+      p = power_model_.CorePowerW(f, scratch_slices_[i].busy_fraction,
+                                  scratch_slices_[i].activity, volts_cache_v_[i]);
+      if (scratch_slices_[i].busy_fraction > 0.05) {
         busy_cores++;
       }
     }
-    c.SetTickResults(c.online() ? effective[i] : 0.0, slices[i], p);
+    c.SetTickResults(c.online() ? scratch_effective_[i] : 0.0, scratch_slices_[i], p);
+    c.AdvanceCounters(dt, spec_.tsc_mhz);
+    scratch_core_powers_[i] = p;
     total += p;
   }
   const Watts uncore = power_model_.UncorePowerW(busy_cores);
@@ -171,17 +176,9 @@ void Package::Tick(Seconds dt) {
 
   // 5. RAPL and the thermal model observe this tick's power.
   rapl_.Update(total, dt);
-  std::vector<Watts> core_powers;
-  core_powers.reserve(cores_.size());
-  for (const Core& c : cores_) {
-    core_powers.push_back(c.power_w());
-  }
-  thermal_.Update(core_powers, uncore, dt);
+  thermal_.Update(scratch_core_powers_, uncore, dt);
 
-  // 6. Counters and bookkeeping.
-  for (Core& c : cores_) {
-    c.AdvanceCounters(dt, spec_.tsc_mhz);
-  }
+  // 6. Bookkeeping.
   last_package_power_w_ = total;
   last_uncore_power_w_ = uncore;
   package_energy_j_ += total * dt;

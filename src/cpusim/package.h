@@ -75,6 +75,20 @@ class Package {
   ThermalModel thermal_;
   std::vector<Core> cores_;
   std::vector<MultiCoreWork*> multi_works_;
+  // multi_member_[i] != 0 iff core i belongs to an attached MultiCoreWork;
+  // maintained by AttachMultiWork so Tick never scans the work list.
+  std::vector<uint8_t> multi_member_;
+
+  // Per-core scratch reused every tick — the tick loop must not allocate.
+  std::vector<Mhz> scratch_effective_;
+  std::vector<WorkSlice> scratch_slices_;
+  std::vector<Watts> scratch_core_powers_;
+  std::vector<uint8_t> scratch_avx_;  // This tick: online single work using AVX.
+  std::vector<Mhz> scratch_multi_freqs_;
+  // Memoized voltage-curve lookups: effective frequency rarely changes
+  // between ticks, so the piecewise-linear interpolation is cached per core.
+  std::vector<Mhz> volts_cache_mhz_;
+  std::vector<Volts> volts_cache_v_;
 
   Seconds now_ = 0.0;
   Watts last_package_power_w_ = 0.0;

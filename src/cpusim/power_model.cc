@@ -5,8 +5,11 @@
 namespace papd {
 
 Watts PowerModel::CorePowerW(Mhz freq_mhz, double busy, double activity) const {
+  return CorePowerW(freq_mhz, busy, activity, VoltsAt(freq_mhz));
+}
+
+Watts PowerModel::CorePowerW(Mhz freq_mhz, double busy, double activity, Volts v) const {
   const PowerModelParams& p = spec_->power;
-  const Volts v = VoltsAt(freq_mhz);
   const double v_ratio = v / p.leak_ref_volts;
   const Watts leakage = p.leak_ref_w * v_ratio * v_ratio;
   const Watts dynamic = p.ceff_w_per_v2ghz * activity * v * v * MhzToGhz(freq_mhz) * busy;

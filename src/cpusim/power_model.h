@@ -30,6 +30,11 @@ class PowerModel {
   // factor for `busy` fraction of the time.
   Watts CorePowerW(Mhz freq_mhz, double busy, double activity) const;
 
+  // Same, with the voltage lookup hoisted out: callers in the per-tick hot
+  // path memoize VoltsAt (frequency rarely changes between ticks) and pass
+  // the cached value.  `volts` must equal VoltsAt(freq_mhz).
+  Watts CorePowerW(Mhz freq_mhz, double busy, double activity, Volts volts) const;
+
   // Power of an offlined (deep C-state) core.
   Watts OfflineCorePowerW() const { return spec_->power.cstate_idle_w; }
 

@@ -29,8 +29,12 @@ void RaplController::Update(Watts package_w, Seconds dt) {
     avg_w_ = package_w;
     have_avg_ = true;
   } else {
-    const double alpha = 1.0 - std::exp(-dt / kWindowS);
-    avg_w_ += alpha * (package_w - avg_w_);
+    // dt is the fixed simulator tick in practice; memoize the exp().
+    if (dt != alpha_dt_) {
+      alpha_dt_ = dt;
+      alpha_ = 1.0 - std::exp(-dt / kWindowS);
+    }
+    avg_w_ += alpha_ * (package_w - avg_w_);
   }
   const Watts error_w = limit_w_ - avg_w_;
   ceiling_mhz_ += kGainMhzPerWattSecond * error_w * dt;

@@ -49,6 +49,9 @@ class RaplController {
   Mhz ceiling_mhz_ = 0.0;
   Watts avg_w_ = 0.0;
   bool have_avg_ = false;
+  // Memoized EWMA coefficient for the (fixed) tick length.
+  Seconds alpha_dt_ = -1.0;
+  double alpha_ = 0.0;
 
   // EWMA time constant (RAPL window) and integral gain.
   static constexpr Seconds kWindowS = 0.010;

@@ -1,5 +1,7 @@
 #include "src/cpusim/simulator.h"
 
+#include <algorithm>
+
 namespace papd {
 
 void Simulator::AddPeriodic(Seconds period_s, std::function<void(Seconds)> fn,
@@ -8,12 +10,20 @@ void Simulator::AddPeriodic(Seconds period_s, std::function<void(Seconds)> fn,
   p.period_s = period_s;
   p.next_due_s = first_at_s >= 0.0 ? first_at_s : package_->now() + period_s;
   p.fn = std::move(fn);
+  next_due_s_ = std::min(next_due_s_, p.next_due_s);
   periodics_.push_back(std::move(p));
 }
 
 void Simulator::StepOnce() {
   package_->Tick(tick_s_);
   const Seconds now = package_->now();
+  if (now + 1e-12 >= next_due_s_) {
+    FirePeriodics(now);
+  }
+}
+
+void Simulator::FirePeriodics(Seconds now) {
+  Seconds next = kNeverDue;
   for (Periodic& p : periodics_) {
     // A long tick may cross several due times; fire once per crossing so
     // period accounting stays exact.
@@ -21,7 +31,9 @@ void Simulator::StepOnce() {
       p.fn(now);
       p.next_due_s += p.period_s;
     }
+    next = std::min(next, p.next_due_s);
   }
+  next_due_s_ = next;
 }
 
 void Simulator::Run(Seconds duration_s) {
@@ -31,11 +43,16 @@ void Simulator::Run(Seconds duration_s) {
   }
 }
 
-bool Simulator::RunUntil(const std::function<bool()>& done, Seconds max_duration_s) {
+bool Simulator::RunUntil(const std::function<bool()>& done, Seconds max_duration_s,
+                         Seconds check_period_s) {
   const Seconds end = package_->now() + max_duration_s;
+  Seconds next_check_s = package_->now();  // Always check before the first tick.
   while (package_->now() + 1e-12 < end) {
-    if (done()) {
-      return true;
+    if (package_->now() + 1e-12 >= next_check_s) {
+      if (done()) {
+        return true;
+      }
+      next_check_s = package_->now() + check_period_s;
     }
     StepOnce();
   }

@@ -13,7 +13,12 @@ void ThermalModel::Update(const std::vector<Watts>& core_w, Watts uncore_w, Seco
   for (Watts w : core_w) {
     total += w;
   }
-  const double alpha = 1.0 - std::exp(-dt / params_.tau_s);
+  // dt is the fixed simulator tick in practice; memoize the exp().
+  if (dt != alpha_dt_) {
+    alpha_dt_ = dt;
+    alpha_ = 1.0 - std::exp(-dt / params_.tau_s);
+  }
+  const double alpha = alpha_;
   for (size_t i = 0; i < temps_.size(); i++) {
     const Watts own = i < core_w.size() ? core_w[i] : 0.0;
     const Watts effective = own + params_.spread_fraction * (total - own);

@@ -51,6 +51,9 @@ class ThermalModel {
  private:
   ThermalParams params_;
   std::vector<Celsius> temps_;
+  // Memoized RC coefficient for the (fixed) tick length.
+  Seconds alpha_dt_ = -1.0;
+  double alpha_ = 0.0;
 };
 
 }  // namespace papd

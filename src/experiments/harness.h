@@ -99,6 +99,10 @@ struct WebsearchConfig {
   int users = 300;
   Seconds warmup_s = 30.0;
   Seconds measure_s = 600.0;  // The paper's 600 s transaction window.
+  // When > 0 the measurement window ends as soon as this many requests have
+  // completed (checked at a coarse period), with measure_s as the deadline.
+  // Lets quick runs stop early without changing per-tick results.
+  size_t target_requests = 0;
   // Run the daemon's invariant auditor (DaemonConfig::audit).
   bool audit = true;
   uint64_t seed = 42;

@@ -32,15 +32,32 @@ WorkSlice Process::Run(Seconds dt, Mhz freq_mhz) {
   // thus measured "performance") drifts even at fixed frequency.
   double phase_mult = 1.0;
   if (profile_.phase_amplitude > 0.0 && profile_.phase_period_s > 0.0) {
-    phase_mult +=
-        profile_.phase_amplitude * std::sin(2.0 * M_PI * wall_time_ / profile_.phase_period_s);
+    if (dt != phase_dt_) {
+      // (Re)seed the oscillator at the current wall time; dt is the fixed
+      // simulator tick in practice so this runs once per process.
+      phase_dt_ = dt;
+      const double w = 2.0 * M_PI / profile_.phase_period_s;
+      rot_sin_ = std::sin(w * dt);
+      rot_cos_ = std::cos(w * dt);
+      phase_sin_ = std::sin(w * wall_time_);
+      phase_cos_ = std::cos(w * wall_time_);
+    }
+    phase_mult += profile_.phase_amplitude * phase_sin_;
+    const double s = phase_sin_ * rot_cos_ + phase_cos_ * rot_sin_;
+    const double c = phase_cos_ * rot_cos_ - phase_sin_ * rot_sin_;
+    phase_sin_ = s;
+    phase_cos_ = c;
   }
   double jitter_mult = 1.0;
   if (profile_.jitter > 0.0) {
     jitter_mult = std::max(0.5, rng_.Normal(1.0, profile_.jitter));
   }
 
-  const Ips ips = profile_.NominalIps(freq_mhz) / phase_mult * jitter_mult;
+  if (freq_mhz != ips_cache_mhz_) {
+    ips_cache_mhz_ = freq_mhz;
+    ips_cache_ips_ = profile_.NominalIps(freq_mhz);
+  }
+  const Ips ips = ips_cache_ips_ / phase_mult * jitter_mult;
   double instr = ips * dt;
   double busy = 1.0;
   Seconds used = dt;

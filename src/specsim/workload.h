@@ -86,6 +86,18 @@ class Process : public CoreWork {
  private:
   WorkloadProfile profile_;
   Rng rng_;
+  // NominalIps memo: frequency only changes when a policy daemon acts
+  // (every ~1000 ticks), so cache the last translation.
+  Mhz ips_cache_mhz_ = -1.0;
+  Ips ips_cache_ips_ = 0.0;
+  // Phase oscillator: sin(w * wall_time_) advanced by a fixed per-tick
+  // rotation instead of a libm call per tick.  Multiplicative drift is
+  // ~1 ulp per step, i.e. ~1e-11 relative over a 140 s run.
+  Seconds phase_dt_ = -1.0;
+  double phase_sin_ = 0.0;
+  double phase_cos_ = 1.0;
+  double rot_sin_ = 0.0;
+  double rot_cos_ = 1.0;
   bool run_to_completion_ = false;
   bool finished_ = false;
   double instructions_retired_ = 0.0;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 
@@ -20,6 +24,34 @@ TEST(Standalone, CachedResultsStable) {
   const auto& a = Standalone(SkylakeXeon4114(), "leela");
   const auto& b = Standalone(SkylakeXeon4114(), "leela");
   EXPECT_EQ(&a, &b);  // Same cached object.
+}
+
+// Regression test for the Standalone() cache data race: concurrent callers
+// (as issued by RunScenarios worker threads) must be safe, both when racing
+// to fill the same key and when inserting different keys.  The sanitizer
+// matrix runs this under TSan, which is what actually checks the locking.
+TEST(Standalone, ConcurrentCallsAreSafe) {
+  const std::vector<std::string> profiles = {"gcc", "leela", "cactusBSSN", "omnetpp"};
+  std::vector<std::thread> threads;
+  std::vector<StandaloneBaseline> seen(8);
+  for (size_t t = 0; t < seen.size(); t++) {
+    threads.emplace_back([t, &profiles, &seen] {
+      // Every thread hits every key; pairs of threads share a first key so
+      // the fill race itself is exercised too.
+      for (size_t i = 0; i < profiles.size(); i++) {
+        seen[t] = Standalone(SkylakeXeon4114(), profiles[(t / 2 + i) % profiles.size()]);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  // All threads ended on a key from the same rotation; whatever the
+  // interleaving, each baseline must match a fresh lookup.
+  for (size_t t = 0; t < seen.size(); t++) {
+    const std::string& last = profiles[(t / 2 + profiles.size() - 1) % profiles.size()];
+    EXPECT_EQ(seen[t].ips, Standalone(SkylakeXeon4114(), last).ips);
+  }
 }
 
 TEST(Standalone, AvxAppCappedBelowTurbo) {

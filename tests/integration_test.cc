@@ -9,6 +9,7 @@
 
 #include "src/cpusim/package.h"
 #include "src/cpusim/simulator.h"
+#include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
 #include "src/msr/msr.h"
@@ -124,11 +125,11 @@ TEST(PriorityVsRapl, HpAppsProtectedAtLowLimit) {
   rapl.policy = PolicyKind::kRaplOnly;
   rapl.limit_w = 40;
   rapl.apps = SkylakePriorityMixes()[2].apps;  // 5H5L.
-  const ScenarioResult r_rapl = RunScenario(rapl);
-
   ScenarioConfig prio = rapl;
   prio.policy = PolicyKind::kPriority;
-  const ScenarioResult r_prio = RunScenario(prio);
+  const std::vector<ScenarioResult> results = RunScenarios({rapl, prio});
+  const ScenarioResult& r_rapl = results[0];
+  const ScenarioResult& r_prio = results[1];
 
   double rapl_hp = 0.0;
   double prio_hp = 0.0;
@@ -176,11 +177,11 @@ TEST(Priority, OpportunisticBoostWhenLpStarved) {
   low.policy = PolicyKind::kPriority;
   low.limit_w = 40;
   low.apps = SkylakePriorityMixes()[3].apps;  // 3H7L.
-  const ScenarioResult r_low = RunScenario(low);
-
   ScenarioConfig high = low;
   high.limit_w = 85;
-  const ScenarioResult r_high = RunScenario(high);
+  const std::vector<ScenarioResult> results = RunScenarios({low, high});
+  const ScenarioResult& r_low = results[0];
+  const ScenarioResult& r_high = results[1];
 
   double hp_low = 0.0;
   double hp_high = 0.0;
@@ -239,11 +240,11 @@ TEST(ShareIsolation, FrequencySharesIsolateFromPowerVirus) {
   rapl.policy = PolicyKind::kRaplOnly;
   rapl.limit_w = 40;
   rapl.apps = {{.profile = "leela", .shares = 90.0}, {.profile = "cpuburn", .shares = 10.0}};
-  const ScenarioResult r_rapl = RunScenario(rapl);
-
   ScenarioConfig share = rapl;
   share.policy = PolicyKind::kFrequencyShares;
-  const ScenarioResult r_share = RunScenario(share);
+  const std::vector<ScenarioResult> results = RunScenarios({rapl, share});
+  const ScenarioResult& r_rapl = results[0];
+  const ScenarioResult& r_share = results[1];
 
   EXPECT_GT(r_share.apps[0].norm_perf, r_rapl.apps[0].norm_perf);
 }
@@ -278,9 +279,11 @@ TEST(PowerVsFrequencyShares, PowerSharesWorseIsolationOfPerformance) {
   c.apps = ShareSplitMix(8, 50, 50).apps;
 
   c.policy = PolicyKind::kPowerShares;
-  ScenarioResult r_power = RunScenario(c);
-  c.policy = PolicyKind::kFrequencyShares;
-  ScenarioResult r_freq = RunScenario(c);
+  ScenarioConfig freq = c;
+  freq.policy = PolicyKind::kFrequencyShares;
+  const std::vector<ScenarioResult> results = RunScenarios({c, freq});
+  const ScenarioResult& r_power = results[0];
+  const ScenarioResult& r_freq = results[1];
 
   auto perf_gap = [](const ScenarioResult& r) {
     double ld = 0.0;
@@ -303,11 +306,11 @@ TEST(Websearch, PolicyRecoversLatencyLostToRapl) {
 
   WebsearchConfig rapl = base;
   rapl.policy = PolicyKind::kRaplOnly;
-  const WebsearchResult r_rapl = RunWebsearch(rapl);
-
   WebsearchConfig share = base;
   share.policy = PolicyKind::kFrequencyShares;
-  const WebsearchResult r_share = RunWebsearch(share);
+  const std::vector<WebsearchResult> results = RunWebsearches({rapl, share});
+  const WebsearchResult& r_rapl = results[0];
+  const WebsearchResult& r_share = results[1];
 
   // The policy pins the virus near the minimum P-state and returns the
   // power to websearch.
@@ -345,7 +348,10 @@ TEST(DemandDrop, CompletionRedistributesPowerToRemainingApps) {
   Simulator sim(&pkg);
   sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
 
-  sim.RunUntil([&finishing] { return finishing.finished(); }, 120.0);
+  // Coarse completion checks: evaluating the predicate every 0.1 s keeps it
+  // off the per-tick fast path without changing the simulated trajectory.
+  sim.RunUntil([&finishing] { return finishing.finished(); }, 120.0,
+               /*check_period_s=*/0.1);
   ASSERT_TRUE(finishing.finished());
   const Mhz before = daemon.history().back().sample.cores[1].active_mhz;
   sim.Run(20.0);  // Let the controller absorb the freed power.

@@ -1,0 +1,151 @@
+// ThreadPool / ParallelFor contract tests.  The sanitizer matrix runs this
+// suite under TSan, which is the real test for the completion-signalling
+// and queue locking.
+
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace papd {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; i++) {
+    futures.push_back(pool.Submit([&count] { count++; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleTaskRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(1, [&seen](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [](size_t i) {
+      if (i == 17 || i == 63) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 17");
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbortOtherTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(50,
+                                [&completed](size_t i) {
+                                  if (i == 0) {
+                                    throw std::runtime_error("first");
+                                  }
+                                  completed++;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerIsRejected) {
+  ThreadPool pool(2);
+  std::future<void> f = pool.Submit([&pool] {
+    // A fixed-size pool deadlocks once workers block on children, so nested
+    // use must throw rather than hang.
+    pool.Submit([] {}).get();
+  });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerIsRejected) {
+  ThreadPool pool(2);
+  bool threw = false;
+  pool.ParallelFor(4, [&pool, &threw](size_t i) {
+    if (i == 0) {
+      try {
+        pool.ParallelFor(4, [](size_t) {});
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST(ThreadPool, SubmitToDifferentPoolFromWorkerIsAllowed) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer
+      .ParallelFor(4, [&inner, &count](size_t) {
+        inner.Submit([&count] { count++; }).get();
+      });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolJobs, EnvOverrideParsing) {
+  // Positive values are honored.
+  setenv("PAPD_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultJobs(), 3);
+  // Garbage and non-positive values fall back to the hardware.
+  setenv("PAPD_JOBS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1);
+  setenv("PAPD_JOBS", "-2", 1);
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1);
+  setenv("PAPD_JOBS", "banana", 1);
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1);
+  unsetenv("PAPD_JOBS");
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1);
+}
+
+TEST(ThreadPoolJobs, ConstructorUsesDefaultWhenNonPositive) {
+  setenv("PAPD_JOBS", "2", 1);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 2);
+  unsetenv("PAPD_JOBS");
+}
+
+}  // namespace
+}  // namespace papd

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Schema check for perf_harness output (BENCH_scenarios.json).
+
+CI's perf-smoke job runs `perf_harness --quick` and validates the emitted
+JSON with this script.  The check is structural only: presence, types, and
+basic sanity (positive timings, non-empty sections).  It deliberately does
+NOT assert timing thresholds — CI runners are too noisy for that; regression
+triage reads the uploaded artifact instead.
+
+Usage: check_bench_json.py BENCH_scenarios.json
+Exits non-zero with file:field diagnostics when the schema is violated.
+"""
+
+import json
+import sys
+
+ERRORS = []
+
+
+def fail(path, msg):
+    ERRORS.append(f"{path}: {msg}")
+
+
+def require(obj, path, key, kind):
+    """Returns obj[key] if present and of type kind, else records an error."""
+    if not isinstance(obj, dict) or key not in obj:
+        fail(path, f"missing key '{key}'")
+        return None
+    value = obj[key]
+    # bool is an int subclass in Python; keep the check strict.
+    if kind in (int, float) and isinstance(value, bool):
+        fail(f"{path}.{key}", f"expected {kind.__name__}, got bool")
+        return None
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind):
+        fail(f"{path}.{key}", f"expected {kind.__name__}, got {type(value).__name__}")
+        return None
+    return value
+
+
+def check(doc):
+    if require(doc, "$", "schema_version", int) != 1:
+        fail("$.schema_version", "expected 1")
+
+    host = require(doc, "$", "host", dict)
+    if host is not None:
+        hc = require(host, "$.host", "hardware_concurrency", int)
+        if hc is not None and hc < 1:
+            fail("$.host.hardware_concurrency", f"expected >= 1, got {hc}")
+        jobs = require(host, "$.host", "jobs", int)
+        if jobs is not None and jobs < 1:
+            fail("$.host.jobs", f"expected >= 1, got {jobs}")
+        require(host, "$.host", "quick", bool)
+
+    micro = require(doc, "$", "micro", list)
+    if micro is not None:
+        if not micro:
+            fail("$.micro", "expected at least one benchmark")
+        for i, m in enumerate(micro):
+            require(m, f"$.micro[{i}]", "name", str)
+            ns = require(m, f"$.micro[{i}]", "ns_per_iter", float)
+            if ns is not None and ns <= 0:
+                fail(f"$.micro[{i}].ns_per_iter", f"expected > 0, got {ns}")
+
+    scenarios = require(doc, "$", "scenarios", list)
+    if scenarios is not None:
+        if not scenarios:
+            fail("$.scenarios", "expected at least one scenario")
+        for i, s in enumerate(scenarios):
+            require(s, f"$.scenarios[{i}]", "policy", str)
+            for key in ("wall_s", "sim_s", "sim_s_per_wall_s"):
+                v = require(s, f"$.scenarios[{i}]", key, float)
+                if v is not None and v <= 0:
+                    fail(f"$.scenarios[{i}].{key}", f"expected > 0, got {v}")
+
+    batch = require(doc, "$", "batch", dict)
+    if batch is not None:
+        count = require(batch, "$.batch", "count", int)
+        if count is not None and count < 2:
+            fail("$.batch.count", f"expected >= 2, got {count}")
+        for key in ("serial_wall_s", "parallel_wall_s", "speedup"):
+            v = require(batch, "$.batch", key, float)
+            if v is not None and v <= 0:
+                fail(f"$.batch.{key}", f"expected > 0, got {v}")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_bench_json.py BENCH_scenarios.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{argv[1]}: {e}", file=sys.stderr)
+        return 1
+
+    check(doc)
+    for err in ERRORS:
+        print(err, file=sys.stderr)
+    if ERRORS:
+        return 1
+    print(f"{argv[1]}: schema OK "
+          f"({len(doc['micro'])} micro, {len(doc['scenarios'])} scenarios, "
+          f"batch speedup {doc['batch']['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
