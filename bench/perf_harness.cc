@@ -1,14 +1,20 @@
 // Perf-tracking harness: times representative scenarios serially and in
 // parallel and emits machine-readable BENCH_scenarios.json for CI trending.
 //
-// Three sections:
-//   - micro:     hot-loop timings (Package::Tick, full daemon step) using
-//                the perf_util calibration discipline;
-//   - scenarios: wall time of one representative scenario per policy, with
-//                simulated-seconds-per-wall-second as the figure of merit;
-//   - batch:     the same scenario list run serially (loop over
-//                RunScenario) and through RunScenarios on a thread pool;
-//                reports the speedup.
+// Four sections:
+//   - micro:           hot-loop timings (Package::Tick, full daemon step)
+//                      using the perf_util calibration discipline;
+//   - scenarios:       wall time of one representative scenario per policy,
+//                      with simulated-seconds-per-wall-second as the figure
+//                      of merit;
+//   - batch:           the same scenario list run serially (loop over
+//                      RunScenario) and through RunScenarios on a thread
+//                      pool; reports the speedup;
+//   - fault_tolerance: representative fault schedules (telemetry faults,
+//                      dropped writes) run naive vs hardened — ground-truth
+//                      power overshoot and degradation counters, so CI
+//                      archives the fault-robustness numbers alongside the
+//                      timings.
 //
 // Timing numbers are environment-dependent; CI validates the JSON shape and
 // archives the numbers rather than asserting on them (see
@@ -20,6 +26,7 @@
 //                 ThreadPool::DefaultJobs(), i.e. PAPD_JOBS or hardware)
 //   --out=PATH    JSON output path (default: BENCH_scenarios.json)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -118,6 +125,66 @@ std::vector<MicroResult> RunMicro(bool quick) {
   return out;
 }
 
+struct FaultRow {
+  std::string schedule;
+  bool hardened = false;
+  Watts avg_pkg_w = 0.0;
+  Watts max_pkg_w = 0.0;
+  Watts overshoot_w = 0.0;
+  int invalid_samples = 0;
+  int fallback_periods = 0;
+  int failed_programs = 0;
+  int dropped_writes = 0;
+};
+
+std::vector<FaultRow> RunFaultTolerance(bool quick) {
+  constexpr Watts kLimitW = 55.0;
+  ScenarioConfig base{.platform = SkylakeXeon4114()};
+  base.apps = SkylakePriorityMixes()[2].apps;
+  base.policy = PolicyKind::kFrequencyShares;
+  base.limit_w = kLimitW;
+  base.warmup_s = quick ? 5.0 : 20.0;
+  base.measure_s = quick ? 30.0 : 90.0;
+  base.seed = 42;
+
+  std::vector<FaultScenario> schedules =
+      FaultSchedules(base.warmup_s + 4.0, base.warmup_s + base.measure_s - 4.0, /*seed=*/1234);
+  // Representative subset: the schedule the naive daemon fails hardest on,
+  // the garbage-power storm, and the everything-at-once mix.
+  const char* kKeep[] = {"stale-burst", "wrap-storm", "mixed-storm"};
+  std::vector<ScenarioConfig> configs;
+  std::vector<FaultRow> rows;
+  for (const char* keep : kKeep) {
+    for (const FaultScenario& s : schedules) {
+      if (s.label != keep) {
+        continue;
+      }
+      for (bool hardened : {false, true}) {
+        ScenarioConfig c = base;
+        c.faults = s.plan;
+        c.degrade = hardened;
+        // The naive baseline violates the power ceiling by design; only the
+        // hardened runs keep the fatal auditor on.
+        c.audit = hardened;
+        configs.push_back(c);
+        rows.push_back(FaultRow{.schedule = s.label, .hardened = hardened});
+      }
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(configs);
+  for (size_t i = 0; i < rows.size(); i++) {
+    const ScenarioResult& r = results[i];
+    rows[i].avg_pkg_w = r.avg_pkg_w;
+    rows[i].max_pkg_w = r.max_pkg_w;
+    rows[i].overshoot_w = std::max(0.0, r.max_pkg_w - kLimitW);
+    rows[i].invalid_samples = r.fault_stats.invalid_samples;
+    rows[i].fallback_periods = r.fault_stats.fallback_periods;
+    rows[i].failed_programs = r.fault_stats.failed_programs;
+    rows[i].dropped_writes = r.fault_counts.dropped_writes;
+  }
+  return rows;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -131,7 +198,7 @@ std::string JsonEscape(const std::string& s) {
 
 int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micro,
               const std::vector<ScenarioTiming>& scenarios, size_t batch_count,
-              Seconds serial_s, Seconds parallel_s) {
+              Seconds serial_s, Seconds parallel_s, const std::vector<FaultRow>& faults) {
   FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -167,7 +234,19 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
   std::fprintf(f, "    \"serial_wall_s\": %.4f,\n", serial_s);
   std::fprintf(f, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
   std::fprintf(f, "    \"speedup\": %.2f\n", parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fault_tolerance\": [\n");
+  for (size_t i = 0; i < faults.size(); i++) {
+    const FaultRow& r = faults[i];
+    std::fprintf(f,
+                 "    {\"schedule\": \"%s\", \"mode\": \"%s\", \"avg_pkg_w\": %.2f, "
+                 "\"max_pkg_w\": %.2f, \"overshoot_w\": %.2f, \"invalid_samples\": %d, "
+                 "\"fallback_periods\": %d, \"failed_programs\": %d, \"dropped_writes\": %d}%s\n",
+                 JsonEscape(r.schedule).c_str(), r.hardened ? "hardened" : "naive", r.avg_pkg_w,
+                 r.max_pkg_w, r.overshoot_w, r.invalid_samples, r.fallback_periods,
+                 r.failed_programs, r.dropped_writes, i + 1 < faults.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   return 0;
@@ -240,7 +319,16 @@ int Main(int argc, char** argv) {
   std::printf("  serial %.3f s, parallel %.3f s, speedup %.2fx\n", serial_s, parallel_s,
               parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
 
-  return WriteJson(opt, jobs, micro, scenarios, batch_configs.size(), serial_s, parallel_s);
+  std::printf("perf_harness: fault-tolerance schedules\n");
+  const std::vector<FaultRow> faults = RunFaultTolerance(opt.quick);
+  for (const FaultRow& r : faults) {
+    std::printf("  %-12s %-8s max %5.1f W overshoot %4.1f W invalid %3d fallback %3d\n",
+                r.schedule.c_str(), r.hardened ? "hardened" : "naive", r.max_pkg_w, r.overshoot_w,
+                r.invalid_samples, r.fallback_periods);
+  }
+
+  return WriteJson(opt, jobs, micro, scenarios, batch_configs.size(), serial_s, parallel_s,
+                   faults);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "src/experiments/harness.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -116,6 +117,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     pkg.SetRequestedMhz(c, config.platform.min_mhz);
   }
 
+  if (config.faults.Any()) {
+    msr.EnableFaults(config.faults);
+  }
+
   DaemonConfig dcfg;
   dcfg.kind = config.policy;
   dcfg.power_limit_w = config.limit_w;
@@ -124,6 +129,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   dcfg.static_mhz = config.static_mhz;
   dcfg.use_hwp_hints = config.hwp_hints;
   dcfg.audit = config.audit;
+  dcfg.degradation.enabled = config.degrade;
+  // The naive baseline also consumes raw turbostat output, reproducing the
+  // pre-hardening daemon end to end.
+  dcfg.raw_telemetry = !config.degrade;
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -131,6 +140,20 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   if (config.policy != PolicyKind::kStatic) {
     sim.AddPeriodic(config.daemon_period_s, [&daemon](Seconds) { daemon.Step(); });
   }
+  // Ground-truth worst-1-second package power, read straight from the
+  // package energy counter so corrupted telemetry cannot hide overshoot.
+  Watts max_pkg_w = 0.0;
+  Joules prev_energy_j = 0.0;
+  Seconds prev_energy_t = 0.0;
+  sim.AddPeriodic(1.0, [&](Seconds now) {
+    const Joules e = pkg.package_energy_j();
+    const Watts w = (e - prev_energy_j) / (now - prev_energy_t);
+    if (now > config.warmup_s) {
+      max_pkg_w = std::max(max_pkg_w, w);
+    }
+    prev_energy_j = e;
+    prev_energy_t = now;
+  });
 
   sim.Run(config.warmup_s);
   const CounterWindow start = CounterWindow::Take(pkg);
@@ -141,6 +164,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   ScenarioResult result;
   result.measured_s = dt;
   result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
+  result.max_pkg_w = max_pkg_w;
+  result.fault_stats = daemon.fault_stats();
+  if (msr.faults() != nullptr) {
+    result.fault_counts = msr.faults()->counts();
+  }
   for (size_t i = 0; i < config.apps.size(); i++) {
     const ManagedApp& app = managed[i];
     AppResult r;

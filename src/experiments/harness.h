@@ -41,6 +41,12 @@ struct ScenarioConfig {
   // Run the daemon's invariant auditor (DaemonConfig::audit).
   bool audit = true;
   uint64_t seed = 42;
+  // Telemetry/write fault schedule (MsrFile::EnableFaults); inactive when
+  // no probability is set.
+  FaultPlan faults;
+  // Daemon degradation ladder.  false = the naive pre-hardening daemon (raw
+  // telemetry, unconditional rewrites) — the fault ablation's baseline.
+  bool degrade = true;
 };
 
 struct AppResult {
@@ -65,7 +71,15 @@ struct AppResult {
 struct ScenarioResult {
   std::vector<AppResult> apps;
   Watts avg_pkg_w = 0.0;
+  // Worst 1-second average package power inside the measurement window,
+  // computed from ground-truth energy counters (not daemon telemetry) so
+  // fault runs report the real overshoot even when samples are corrupted.
+  Watts max_pkg_w = 0.0;
   Seconds measured_s = 0.0;
+  // Degradation bookkeeping from the daemon and injection counts from the
+  // fault plan (all zero for clean runs).
+  DaemonFaultStats fault_stats;
+  FaultCounts fault_counts;
 };
 
 // Runs a scenario to steady state and reports per-app averages over the

@@ -91,4 +91,51 @@ std::vector<AppSetup> RandomSetApps(const RandomSet& set) {
   return apps;
 }
 
+std::vector<FaultScenario> FaultSchedules(Seconds start_s, Seconds end_s, uint64_t seed) {
+  auto plan = [&](uint64_t salt) {
+    FaultPlan p;
+    p.seed = seed + salt;
+    p.start_s = start_s;
+    p.end_s = end_s;
+    return p;
+  };
+  std::vector<FaultScenario> schedules;
+  {
+    // Telemetry mostly dark: the daemon must hold, then fall back.
+    FaultPlan p = plan(1);
+    p.stale_sample_p = 0.7;
+    schedules.push_back(FaultScenario{.label = "stale-burst", .plan = p});
+  }
+  {
+    FaultPlan p = plan(2);
+    p.counter_reset_p = 0.25;
+    schedules.push_back(FaultScenario{.label = "counter-reset", .plan = p});
+  }
+  {
+    FaultPlan p = plan(3);
+    p.energy_wrap_p = 0.5;
+    schedules.push_back(FaultScenario{.label = "wrap-storm", .plan = p});
+  }
+  {
+    FaultPlan p = plan(4);
+    p.read_spike_p = 0.2;
+    schedules.push_back(FaultScenario{.label = "read-spikes", .plan = p});
+  }
+  {
+    FaultPlan p = plan(5);
+    p.write_fail_p = 0.6;
+    schedules.push_back(FaultScenario{.label = "write-fail", .plan = p});
+  }
+  {
+    FaultPlan p = plan(6);
+    p.stale_sample_p = 0.3;
+    p.counter_reset_p = 0.1;
+    p.energy_wrap_p = 0.2;
+    p.read_spike_p = 0.1;
+    p.write_fail_p = 0.3;
+    schedules.push_back(FaultScenario{.label = "mixed-storm", .plan = p});
+  }
+  return schedules;
+}
+
 }  // namespace papd

@@ -43,6 +43,17 @@ std::vector<RandomSet> RandomSets();
 // both copies at the same share level.
 std::vector<AppSetup> RandomSetApps(const RandomSet& set);
 
+// --- Fault schedules ---------------------------------------------------------
+// Standard telemetry/write fault schedules for the fault-tolerance ablation
+// and its regression tests.  Each schedule exercises one fault class hard
+// (plus one mixed storm) inside [start_s, end_s); `seed` keeps the injected
+// sequence reproducible per scenario.
+struct FaultScenario {
+  std::string label;
+  FaultPlan plan;
+};
+std::vector<FaultScenario> FaultSchedules(Seconds start_s, Seconds end_s, uint64_t seed);
+
 }  // namespace papd
 
 #endif  // SRC_EXPERIMENTS_SCENARIOS_H_

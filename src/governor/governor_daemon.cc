@@ -20,13 +20,27 @@ GovernorDaemon::GovernorDaemon(MsrFile* msr, GovernorKind kind, bool audit)
 
 void GovernorDaemon::Step() {
   const TelemetrySample sample = turbostat_.Sample();
-  if (sample.dt <= 0.0) {
+  if (!sample.valid || sample.dt <= 0.0) {
+    invalid_streak_++;
+    if (invalid_streak_ == kFallbackAfter && msr_->spec().max_simultaneous_pstates == 0) {
+      // Telemetry has been dark long enough: a utilization governor flying
+      // blind must not keep cores at a possibly-stale high request.
+      for (int c = 0; c < msr_->num_cores(); c++) {
+        const auto i = static_cast<size_t>(c);
+        requests_[i] = msr_->spec().min_mhz;
+        msr_->WritePerfTargetMhz(c, requests_[i]);
+      }
+    }
     return;
   }
+  invalid_streak_ = 0;
   for (int c = 0; c < msr_->num_cores(); c++) {
     const auto i = static_cast<size_t>(c);
     if (!sample.cores[i].online) {
       continue;
+    }
+    if (!sample.cores[i].plausible) {
+      continue;  // Hold this core; its busy reading is last period's.
     }
     requests_[i] = governors_[i]->Decide(sample.cores[i].busy, requests_[i]);
     if (audit_) {

@@ -29,12 +29,25 @@ class GovernorDaemon {
 
   // One sampling + decision iteration; call once per period (Linux cpufreq
   // uses tens of milliseconds; the bench uses 100 ms).
+  //
+  // Degrades gracefully on bad telemetry: an invalid sample holds the
+  // current requests; kFallbackAfter consecutive invalid samples drop every
+  // core to the platform minimum until telemetry recovers.  Cores whose
+  // rates individually failed plausibility (CoreTelemetry::plausible) are
+  // held even within a valid sample.
   void Step();
+
+  // Consecutive invalid samples before falling back to the minimum.
+  static constexpr int kFallbackAfter = 3;
 
   // Last decisions, per core.
   const std::vector<Mhz>& requests() const { return requests_; }
 
   FreqGovernor& governor(int cpu) { return *governors_[static_cast<size_t>(cpu)]; }
+
+  // Current run of consecutive invalid samples (0 = telemetry healthy).
+  int invalid_streak() const { return invalid_streak_; }
+  bool in_fallback() const { return invalid_streak_ >= kFallbackAfter; }
 
  private:
   MsrFile* msr_;
@@ -42,6 +55,7 @@ class GovernorDaemon {
   bool audit_;
   std::vector<std::unique_ptr<FreqGovernor>> governors_;
   std::vector<Mhz> requests_;
+  int invalid_streak_ = 0;
 };
 
 }  // namespace papd

@@ -1,0 +1,106 @@
+#include "src/msr/fault_plan.h"
+
+namespace papd {
+namespace {
+
+// Backward jump injected into a wrapping 32-bit energy counter: half the
+// range, so both the faulted delta and the first post-fault delta are
+// implausibly large (the second read's delta spans the other half).
+constexpr uint64_t kEnergyWrapJump = 1ULL << 31;
+
+// A reset counter restarts near zero; keep a small remainder so deltas
+// after the reset stay exact.
+uint64_t ResetOffset(uint64_t raw) { return raw - (raw % 977); }
+
+void ApplyOffset(std::vector<uint64_t>* values, std::vector<uint64_t>* offsets) {
+  offsets->resize(values->size(), 0);
+  for (size_t i = 0; i < values->size(); i++) {
+    const uint64_t off = (*offsets)[i];
+    (*values)[i] = (*values)[i] > off ? (*values)[i] - off : 0;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), sample_rng_(plan.seed), write_rng_(plan.seed) {
+  write_rng_ = sample_rng_.Split();
+}
+
+FaultInjector::SampleFaults FaultInjector::CorruptSnapshot(
+    Seconds now_s, std::vector<uint64_t>* aperf, std::vector<uint64_t>* mperf,
+    std::vector<uint64_t>* instructions, uint64_t* pkg_energy,
+    std::vector<uint64_t>* core_energy) {
+  SampleFaults out;
+
+  // Offsets from earlier resets apply even outside the fault window: a
+  // counter that reset stays reset.
+  ApplyOffset(aperf, &aperf_off_);
+  ApplyOffset(mperf, &mperf_off_);
+  ApplyOffset(instructions, &instr_off_);
+  if (!core_energy->empty()) {
+    ApplyOffset(core_energy, &core_energy_off_);
+  }
+  *pkg_energy = (*pkg_energy - pkg_energy_off_) & 0xFFFFFFFFULL;
+  if (!core_energy->empty()) {
+    for (uint64_t& e : *core_energy) {
+      e &= 0xFFFFFFFFULL;
+    }
+  }
+
+  if (!Active(now_s)) {
+    return out;
+  }
+
+  if (plan_.stale_sample_p > 0.0 && sample_rng_.NextDouble() < plan_.stale_sample_p) {
+    out.stale = true;
+    counts_.stale_samples++;
+    return out;  // The snapshot is discarded; nothing else to corrupt.
+  }
+
+  if (plan_.energy_wrap_p > 0.0 && sample_rng_.NextDouble() < plan_.energy_wrap_p) {
+    out.energy_wrap = true;
+    counts_.energy_wraps++;
+    pkg_energy_off_ = (pkg_energy_off_ + kEnergyWrapJump) & 0xFFFFFFFFULL;
+    *pkg_energy = (*pkg_energy - kEnergyWrapJump) & 0xFFFFFFFFULL;
+    for (size_t i = 0; i < core_energy->size(); i++) {
+      core_energy_off_[i] = (core_energy_off_[i] + kEnergyWrapJump) & 0xFFFFFFFFULL;
+      (*core_energy)[i] = ((*core_energy)[i] - kEnergyWrapJump) & 0xFFFFFFFFULL;
+    }
+  }
+
+  for (size_t i = 0; i < instructions->size(); i++) {
+    if (plan_.counter_reset_p > 0.0 && sample_rng_.NextDouble() < plan_.counter_reset_p) {
+      out.counter_resets++;
+      counts_.counter_resets++;
+      aperf_off_[i] += ResetOffset((*aperf)[i]);
+      mperf_off_[i] += ResetOffset((*mperf)[i]);
+      instr_off_[i] += ResetOffset((*instructions)[i]);
+      (*aperf)[i] %= 977;
+      (*mperf)[i] %= 977;
+      (*instructions)[i] %= 977;
+    }
+    if (plan_.read_spike_p > 0.0 && sample_rng_.NextDouble() < plan_.read_spike_p) {
+      out.read_spikes++;
+      counts_.read_spikes++;
+      // Transient garbage: this read alone returns an absurd value.  The
+      // snapshot is stored as-is, so the following sample sees a backward
+      // jump — exactly what a real one-shot misread produces.
+      (*instructions)[i] += 1ULL << 50;
+    }
+  }
+  return out;
+}
+
+bool FaultInjector::DropPstateWrite(Seconds now_s) {
+  if (!Active(now_s) || plan_.write_fail_p <= 0.0) {
+    return false;
+  }
+  if (write_rng_.NextDouble() < plan_.write_fail_p) {
+    counts_.dropped_writes++;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace papd

@@ -1,0 +1,118 @@
+// Deterministic MSR telemetry fault injection.
+//
+// Real /dev/cpu/*/msr telemetry is noisy in ways the paper's daemon never
+// sees in a clean simulation: energy counters wrap or reset, fixed counters
+// jump backward across hotplug transitions, reads return transient garbage,
+// and P-state writes are occasionally dropped by firmware.  FaultPlan
+// describes a schedule of such faults; FaultInjector realizes it
+// deterministically from the plan's seed so every scenario (and its
+// regression tests) replays the exact same fault sequence.
+//
+// Injection happens at the boundary the faults occur on real hardware:
+//   - Turbostat::Sample() asks the injector to corrupt each raw counter
+//     snapshot (stale samples, counter resets, energy wraps, read spikes);
+//   - MsrFile::Write() asks it whether a P-state write is silently dropped.
+
+#ifndef SRC_MSR_FAULT_PLAN_H_
+#define SRC_MSR_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace papd {
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Faults are only injected while the simulated clock is inside
+  // [start_s, end_s); outside the window telemetry and writes are clean.
+  Seconds start_s = 0.0;
+  Seconds end_s = std::numeric_limits<Seconds>::infinity();
+
+  // Per-sample probability that the whole snapshot is stale: the reader
+  // sees the previous sample again (zero dt, repeated counters).
+  double stale_sample_p = 0.0;
+  // Per-core per-sample probability that the fixed counters (instructions,
+  // APERF, MPERF) reset to near zero, as across a hotplug transition.
+  double counter_reset_p = 0.0;
+  // Per-sample probability that the package (and per-core) energy counters
+  // jump backward by half the 32-bit range — a wrap storm: the naive
+  // wrapping delta explodes to ~2^32 RAPL units.
+  double energy_wrap_p = 0.0;
+  // Per-core per-sample probability of a transient garbage read on the
+  // instruction counter (a huge forward spike that vanishes next read).
+  double read_spike_p = 0.0;
+  // Per-write probability that a P-state MSR write (PERF_CTL, P-state
+  // definition, P-state selector) is silently ignored.
+  double write_fail_p = 0.0;
+
+  bool Any() const {
+    return stale_sample_p > 0.0 || counter_reset_p > 0.0 || energy_wrap_p > 0.0 ||
+           read_spike_p > 0.0 || write_fail_p > 0.0;
+  }
+};
+
+// Injection counts, for tests and bench reporting.
+struct FaultCounts {
+  int stale_samples = 0;
+  int counter_resets = 0;
+  int energy_wraps = 0;
+  int read_spikes = 0;
+  int dropped_writes = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // Outcome of corrupting one snapshot (all false/zero when clean).
+  struct SampleFaults {
+    bool stale = false;
+    bool energy_wrap = false;
+    int counter_resets = 0;
+    int read_spikes = 0;
+  };
+
+  // Draws this sample's faults and applies them in place to the raw counter
+  // snapshot.  Counter resets persist (the counter restarts near zero and
+  // keeps counting, modeled as a constant offset on later reads); energy
+  // wraps persist the same way; read spikes corrupt only this snapshot's
+  // values — the *next* read returns sane values again, so the consumer
+  // sees one backward jump.  When `stale` is returned the caller should
+  // discard the snapshot and re-serve the previous sample.
+  SampleFaults CorruptSnapshot(Seconds now_s, std::vector<uint64_t>* aperf,
+                               std::vector<uint64_t>* mperf,
+                               std::vector<uint64_t>* instructions, uint64_t* pkg_energy,
+                               std::vector<uint64_t>* core_energy);
+
+  // Whether the P-state write issued at `now_s` is silently dropped.
+  bool DropPstateWrite(Seconds now_s);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounts& counts() const { return counts_; }
+
+ private:
+  bool Active(Seconds now_s) const {
+    return now_s >= plan_.start_s && now_s < plan_.end_s;
+  }
+
+  FaultPlan plan_;
+  // Independent streams so the number of P-state writes (which depends on
+  // daemon behavior) cannot shift the sampling fault sequence.
+  Rng sample_rng_;
+  Rng write_rng_;
+  FaultCounts counts_;
+  // Persistent post-reset offsets: observed counter = raw - offset.
+  std::vector<uint64_t> aperf_off_;
+  std::vector<uint64_t> mperf_off_;
+  std::vector<uint64_t> instr_off_;
+  std::vector<uint64_t> core_energy_off_;
+  uint64_t pkg_energy_off_ = 0;
+};
+
+}  // namespace papd
+
+#endif  // SRC_MSR_FAULT_PLAN_H_

@@ -87,11 +87,15 @@ uint64_t MsrFile::Read(uint32_t reg, int cpu) const {
 }
 
 void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
+  write_count_++;
   switch (reg) {
     case kMsrIa32PerfCtl: {
       if (spec().max_simultaneous_pstates != 0) {
         // Ryzen path must use P-state definitions, not per-core ratios.
         GeneralProtectionFault(reg);
+      }
+      if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
+        return;  // Silently ignored; the register keeps its old value.
       }
       const Mhz mhz = static_cast<double>((value >> 8) & 0xFF) * 100.0;
       package_->SetRequestedMhz(cpu, mhz);
@@ -113,6 +117,9 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
       if (spec().max_simultaneous_pstates == 0) {
         GeneralProtectionFault(reg);
       }
+      if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
+        return;
+      }
       const int slot = static_cast<int>(value & 0x7);
       assert(slot >= 0 && slot < 3);
       pstate_select_[static_cast<size_t>(cpu)] = slot;
@@ -123,6 +130,9 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
       if (reg >= kMsrAmdPstateDef0 && reg < kMsrAmdPstateDef0 + 3) {
         if (spec().max_simultaneous_pstates == 0) {
           GeneralProtectionFault(reg);
+        }
+        if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
+          return;
         }
         const size_t slot = reg - kMsrAmdPstateDef0;
         pstate_def_mhz_[slot] = static_cast<double>(value) * 25.0;
@@ -165,5 +175,9 @@ void MsrFile::WriteRaplLimitW(Watts limit_w) {
 void MsrFile::DisableRaplLimit() { Write(kMsrPkgPowerLimit, 0, 0); }
 
 void MsrFile::SetCoreOnline(int cpu, bool online) { package_->SetOnline(cpu, online); }
+
+void MsrFile::EnableFaults(const FaultPlan& plan) {
+  faults_ = std::make_unique<FaultInjector>(plan);
+}
 
 }  // namespace papd

@@ -20,9 +20,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "src/common/units.h"
 #include "src/cpusim/package.h"
+#include "src/msr/fault_plan.h"
 
 namespace papd {
 
@@ -74,11 +76,25 @@ class MsrFile {
   // Wall clock, as a TSC read would provide.
   Seconds NowSeconds() const { return package_->now(); }
 
+  // --- Fault injection --------------------------------------------------------
+  // Attaches a deterministic fault schedule: telemetry reads get corrupted
+  // through Turbostat and P-state writes inside the plan's window may be
+  // silently dropped (the register keeps its old value, as firmware-NAKed
+  // writes do on real parts).  Replaces any previously enabled plan.
+  void EnableFaults(const FaultPlan& plan);
+  FaultInjector* faults() const { return faults_.get(); }
+
+  // Total Write() calls issued (dropped or not); lets tests assert the
+  // daemon does not rewrite P-state registers when targets are unchanged.
+  int write_count() const { return write_count_; }
+
  private:
   Package* package_;
   std::array<Mhz, 3> pstate_def_mhz_;
   // Which slot each core currently selects (Ryzen path).
   std::vector<int> pstate_select_;
+  std::unique_ptr<FaultInjector> faults_;
+  int write_count_ = 0;
 };
 
 }  // namespace papd

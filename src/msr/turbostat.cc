@@ -1,12 +1,25 @@
 #include "src/msr/turbostat.h"
 
+#include <algorithm>
+
+#include "src/msr/fault_plan.h"
+
 namespace papd {
 
 uint64_t WrappingDelta32(uint64_t now, uint64_t before) {
   return (now - before) & 0xFFFFFFFFULL;
 }
 
-Turbostat::Turbostat(MsrFile* msr) : msr_(msr) { prev_ = Take(); }
+Turbostat::Turbostat(MsrFile* msr) : msr_(msr) {
+  prev_ = Take();
+  const PlatformSpec& spec = msr_->spec();
+  // Generous physical ceilings: anything beyond them is a measurement
+  // fault (wrap storm, reset, garbage read), not a hot package.
+  max_plausible_pkg_w_ = 4.0 * spec.tdp_w + 25.0;
+  max_plausible_core_w_ = 2.0 * spec.tdp_w;
+  max_plausible_mhz_ = 1.5 * spec.turbo_max_mhz;
+  max_plausible_ips_ = spec.turbo_max_mhz * kHzPerMhz * 32.0;  // IPC far above any core.
+}
 
 Turbostat::Snapshot Turbostat::Take() const {
   Snapshot s;
@@ -31,8 +44,18 @@ Turbostat::Snapshot Turbostat::Take() const {
   return s;
 }
 
-TelemetrySample Turbostat::Sample() {
-  const Snapshot now = Take();
+double Turbostat::ClampedDelta(uint64_t now, uint64_t before, bool* regressed) {
+  if (now < before) {
+    *regressed = true;
+    return 0.0;
+  }
+  return static_cast<double>(now - before);
+}
+
+TelemetrySample Turbostat::RawSample(const Snapshot& now) {
+  // Pre-hardening semantics, kept verbatim for the naive-daemon baseline:
+  // zero dt produces an all-zero (but "valid") sample and counter deltas
+  // wrap unsigned.
   TelemetrySample sample;
   sample.t = now.t;
   sample.dt = now.t - prev_.t;
@@ -41,11 +64,9 @@ TelemetrySample Turbostat::Sample() {
     prev_ = now;
     return sample;
   }
-
   sample.pkg_w =
       static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
       kRaplEnergyUnitJoules / sample.dt;
-
   const Mhz tsc_mhz = msr_->spec().tsc_mhz;
   for (size_t i = 0; i < now.aperf.size(); i++) {
     CoreTelemetry& ct = sample.cores[i];
@@ -53,7 +74,6 @@ TelemetrySample Turbostat::Sample() {
     ct.online = msr_->CoreOnline(static_cast<int>(i));
     const double da = static_cast<double>(now.aperf[i] - prev_.aperf[i]);
     const double dm = static_cast<double>(now.mperf[i] - prev_.mperf[i]);
-    // Active (C0) frequency: APERF/MPERF scaled by the TSC rate.
     ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : 0.0;
     ct.busy = dm / (tsc_mhz * kHzPerMhz * sample.dt);
     ct.ips = static_cast<double>(now.instructions[i] - prev_.instructions[i]) / sample.dt;
@@ -66,6 +86,138 @@ TelemetrySample Turbostat::Sample() {
     }
   }
   prev_ = now;
+  return sample;
+}
+
+TelemetrySample Turbostat::StaleSample() {
+  TelemetrySample sample;
+  sample.t = prev_.t;
+  sample.dt = 0.0;
+  sample.valid = false;
+  sample.fault_flags = kSampleStale;
+  invalid_samples_++;
+  if (has_last_good_) {
+    // Re-serve the last good rates so consumers that ignore `valid` see a
+    // plausible world instead of "zero power" (which the priority policy
+    // would read as limit_w of headroom and ramp every core to maximum).
+    sample.pkg_w = last_good_.pkg_w;
+    sample.cores = last_good_.cores;
+    for (CoreTelemetry& ct : sample.cores) {
+      ct.plausible = false;
+    }
+  } else {
+    sample.cores.resize(static_cast<size_t>(msr_->num_cores()));
+    for (size_t i = 0; i < sample.cores.size(); i++) {
+      sample.cores[i].cpu = static_cast<int>(i);
+      sample.cores[i].online = msr_->CoreOnline(static_cast<int>(i));
+      sample.cores[i].plausible = false;
+    }
+  }
+  return sample;
+}
+
+TelemetrySample Turbostat::Sample() {
+  Snapshot now = Take();
+  FaultInjector* injector = msr_->faults();
+  FaultInjector::SampleFaults injected;
+  if (injector != nullptr) {
+    injected = injector->CorruptSnapshot(now.t, &now.aperf, &now.mperf, &now.instructions,
+                                         &now.pkg_energy, &now.core_energy);
+  }
+  if (!validate_) {
+    // Naive mode still honors an injected stale read (the reader got the
+    // old data again — with the old timestamp, hence dt == 0).
+    if (injected.stale) {
+      Snapshot repeat = prev_;
+      return RawSample(repeat);
+    }
+    return RawSample(now);
+  }
+
+  if (injected.stale) {
+    // Dropped read: prev_ is kept, so the next good sample covers the gap.
+    return StaleSample();
+  }
+
+  TelemetrySample sample;
+  sample.t = now.t;
+  sample.dt = now.t - prev_.t;
+  if (sample.dt <= 0.0) {
+    return StaleSample();
+  }
+
+  sample.cores.resize(now.aperf.size());
+  sample.pkg_w =
+      static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
+      kRaplEnergyUnitJoules / sample.dt;
+  if (sample.pkg_w > max_plausible_pkg_w_) {
+    // Energy counter reset/wrap storm: the 32-bit delta is garbage, and
+    // with it the package-power ground the control loops stand on.
+    sample.fault_flags |= kSampleEnergyImplausible;
+    sample.pkg_w = has_last_good_ ? last_good_.pkg_w : 0.0;
+  }
+
+  const Mhz tsc_mhz = msr_->spec().tsc_mhz;
+  for (size_t i = 0; i < now.aperf.size(); i++) {
+    CoreTelemetry& ct = sample.cores[i];
+    ct.cpu = static_cast<int>(i);
+    ct.online = msr_->CoreOnline(static_cast<int>(i));
+    bool regressed = false;
+    const double da = ClampedDelta(now.aperf[i], prev_.aperf[i], &regressed);
+    const double dm = ClampedDelta(now.mperf[i], prev_.mperf[i], &regressed);
+    const double di = ClampedDelta(now.instructions[i], prev_.instructions[i], &regressed);
+    ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : 0.0;
+    ct.busy = dm / (tsc_mhz * kHzPerMhz * sample.dt);
+    ct.ips = di / sample.dt;
+    const uint64_t readout =
+        (msr_->Read(kMsrIa32ThermStatus, static_cast<int>(i)) >> 16) & 0x7F;
+    ct.temp_c = msr_->spec().thermal.tj_max_c - static_cast<double>(readout);
+    if (!now.core_energy.empty()) {
+      ct.core_w = static_cast<double>(WrappingDelta32(now.core_energy[i], prev_.core_energy[i])) *
+                  kRaplEnergyUnitJoules / sample.dt;
+      if (*ct.core_w > max_plausible_core_w_) {
+        // Core-scope fault: flagged as a rate problem, not an energy one —
+        // package power (what the budget check runs on) is still sound.
+        sample.fault_flags |= kSampleRateImplausible;
+        ct.plausible = false;
+        ct.core_w = has_last_good_ && i < last_good_.cores.size()
+                        ? last_good_.cores[i].core_w
+                        : std::optional<Watts>(0.0);
+      }
+    }
+    if (regressed) {
+      sample.fault_flags |= kSampleCounterReset;
+      ct.plausible = false;
+    }
+    if (ct.busy > 1.1 || ct.active_mhz > max_plausible_mhz_ || ct.ips > max_plausible_ips_) {
+      sample.fault_flags |= kSampleRateImplausible;
+      ct.plausible = false;
+    }
+    if (!ct.plausible && has_last_good_ && i < last_good_.cores.size()) {
+      const CoreTelemetry& good = last_good_.cores[i];
+      ct.active_mhz = good.active_mhz;
+      ct.busy = good.busy;
+      ct.ips = good.ips;
+      if (good.core_w.has_value()) {
+        ct.core_w = good.core_w;
+      }
+    }
+  }
+
+  prev_ = now;
+  // Core-scope faults (counter reset, rate/core-power implausibility) have
+  // their rates substituted with last-good values and the affected cores
+  // marked implausible; package power is still trustworthy, so the sample
+  // remains safe to control on.  Only package-scope faults — a stale read
+  // or garbage package energy — make the whole sample invalid.
+  sample.valid = (sample.fault_flags & (kSampleStale | kSampleEnergyImplausible)) == 0;
+  if (sample.fault_flags == 0) {
+    last_good_ = sample;
+    has_last_good_ = true;
+  }
+  if (!sample.valid) {
+    invalid_samples_++;
+  }
   return sample;
 }
 

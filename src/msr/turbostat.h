@@ -6,10 +6,20 @@
 // instructions per second).  Turbostat reproduces that: it snapshots the
 // MSR counters and turns successive snapshots into rates, including the
 // 32-bit wrap handling real RAPL energy counters require.
+//
+// Real MSR telemetry is noisy, so Sample() also *validates*: a sample with
+// no elapsed time, a counter that jumped backward (reset), or a rate beyond
+// physical plausibility (energy-counter wrap storm, transient read spike)
+// is flagged invalid, its fault bits recorded, and the affected rates are
+// replaced with the last known-good values so naive consumers never see
+// "zero power = infinite headroom" or 1.8e19 instructions per second.
+// Consumers that can degrade gracefully (PowerDaemon, GovernorDaemon) key
+// off TelemetrySample::valid instead of the substituted rates.
 
 #ifndef SRC_MSR_TURBOSTAT_H_
 #define SRC_MSR_TURBOSTAT_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -18,9 +28,22 @@
 
 namespace papd {
 
+// TelemetrySample::fault_flags bits.  The first two are package-scope and
+// invalidate the sample; the last two are core-scope — the affected cores
+// are marked implausible and their rates substituted, but the sample stays
+// valid (package power is still sound).
+inline constexpr uint32_t kSampleStale = 1u << 0;             // No time elapsed / repeat.
+inline constexpr uint32_t kSampleEnergyImplausible = 1u << 1; // Pkg energy wrap/reset storm.
+inline constexpr uint32_t kSampleCounterReset = 1u << 2;      // Fixed counter went backward.
+inline constexpr uint32_t kSampleRateImplausible = 1u << 3;   // Core rate/power implausible.
+
 struct CoreTelemetry {
   int cpu = 0;
   bool online = true;
+  // False when this core's counters regressed or its rates failed the
+  // plausibility checks this period (rates below are then the last good
+  // readings, not this period's garbage).
+  bool plausible = true;
   // Average frequency while in C0 ("active frequency" in the paper).
   Mhz active_mhz = 0.0;
   // C0 residency fraction.
@@ -37,6 +60,11 @@ struct TelemetrySample {
   Seconds t = 0.0;   // Sample timestamp.
   Seconds dt = 0.0;  // Interval covered.
   Watts pkg_w = 0.0;
+  // False when a package-scope validity check failed (stale read, garbage
+  // package energy); fault_flags says which.  Control loops must not treat
+  // an invalid sample as fresh truth.
+  bool valid = true;
+  uint32_t fault_flags = 0;
   std::vector<CoreTelemetry> cores;
 };
 
@@ -46,8 +74,18 @@ class Turbostat {
   explicit Turbostat(MsrFile* msr);
 
   // Produces rates over the interval since the previous Sample() (or since
-  // construction).  Returns an all-zero sample if no time has passed.
+  // construction), validated and flagged as described above.  With
+  // validation disabled (set_validation(false)) the raw pre-hardening
+  // behavior is reproduced: zero elapsed time yields an all-zero sample
+  // marked valid and counter deltas wrap unsigned — the mode the fault-
+  // tolerance ablation uses as its "naive daemon" baseline.
   TelemetrySample Sample();
+
+  void set_validation(bool on) { validate_ = on; }
+  bool validation() const { return validate_; }
+
+  // Samples rejected by validation since construction.
+  int invalid_samples() const { return invalid_samples_; }
 
  private:
   struct Snapshot {
@@ -60,9 +98,27 @@ class Turbostat {
   };
 
   Snapshot Take() const;
+  TelemetrySample RawSample(const Snapshot& now);
+  // Serves a stale/zero-dt sample: invalid, rates re-served from the last
+  // known-good sample.
+  TelemetrySample StaleSample();
+
+  // Signed counter delta clamped at zero: a backward jump (counter reset)
+  // must not wrap to ~1.8e19.  Sets *regressed when clamping happened.
+  static double ClampedDelta(uint64_t now, uint64_t before, bool* regressed);
 
   MsrFile* msr_;
   Snapshot prev_;
+  bool validate_ = true;
+  int invalid_samples_ = 0;
+  // Plausibility ceilings, derived from the platform spec.
+  Watts max_plausible_pkg_w_ = 0.0;
+  Watts max_plausible_core_w_ = 0.0;
+  Ips max_plausible_ips_ = 0.0;
+  Mhz max_plausible_mhz_ = 0.0;
+  // Last sample that passed validation, re-served while telemetry is bad.
+  TelemetrySample last_good_;
+  bool has_last_good_ = false;
 };
 
 // Delta of a 32-bit wrapping counter.

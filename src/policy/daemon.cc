@@ -13,6 +13,18 @@
 
 namespace papd {
 
+const char* DegradationStateName(DegradationState state) {
+  switch (state) {
+    case DegradationState::kNominal:
+      return "nominal";
+    case DegradationState::kHold:
+      return "hold";
+    case DegradationState::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
 const char* PolicyKindName(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kRaplOnly:
@@ -76,6 +88,9 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
       share_policy_ = std::make_unique<AuditedPolicy>(std::move(share_policy_), auditor_.get());
     }
   }
+  if (config_.raw_telemetry) {
+    turbostat_.set_validation(false);
+  }
 }
 
 PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfig config,
@@ -95,6 +110,9 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
   if (config_.audit) {
     auditor_ = std::make_unique<PolicyAuditor>(platform_, msr_->spec().max_simultaneous_pstates);
     share_policy_ = std::make_unique<AuditedPolicy>(std::move(share_policy_), auditor_.get());
+  }
+  if (config_.raw_telemetry) {
+    turbostat_.set_validation(false);
   }
 }
 
@@ -131,11 +149,66 @@ void PowerDaemon::Start() {
       targets_ = share_policy_->InitialDistribution(apps_, config_.power_limit_w);
       break;
   }
-  ProgramTargets();
+  Program(targets_);
 }
 
 void PowerDaemon::Step() {
   TelemetrySample sample = turbostat_.Sample();
+
+  if (config_.degradation.enabled && !sample.valid) {
+    // Degradation ladder, invalid rung: the policy's internal state is
+    // deliberately frozen — no Redistribute call — so the first valid
+    // sample resumes from the pre-fault targets.
+    fault_stats_.invalid_samples++;
+    bad_sample_streak_++;
+    if (bad_sample_streak_ >= config_.degradation.fallback_after) {
+      if (state_ != DegradationState::kFallback) {
+        PAPD_LOG_INFO("daemon: %d consecutive invalid samples, entering fallback",
+                      bad_sample_streak_);
+        state_ = DegradationState::kFallback;
+        if (config_.degradation.rapl_safety_net) {
+          ArmRaplSafetyNet();
+        }
+      }
+      fault_stats_.fallback_periods++;
+      Program(FallbackTargets());
+    } else {
+      state_ = DegradationState::kHold;
+      fault_stats_.held_periods++;
+      // Hold: last-known-good targets stay programmed; touch nothing.
+    }
+    history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
+    return;
+  }
+
+  if (state_ != DegradationState::kNominal) {
+    // Recovery, resync period: restore the frozen nominal targets but do
+    // not redistribute yet — this first sample is smeared over the outage
+    // (stale gaps, a fallback interval at the floor), and controlling on
+    // its averaged-down power would over-grant for a period.  The next
+    // sample covers one clean period at nominal targets.
+    PAPD_LOG_INFO("daemon: telemetry recovered after %d bad periods (%s)", bad_sample_streak_,
+                  DegradationStateName(state_));
+    state_ = DegradationState::kNominal;
+    bad_sample_streak_ = 0;
+    Program(targets_);
+    history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
+    return;
+  }
+  bad_sample_streak_ = 0;
+
+  if (config_.degradation.enabled && !last_program_ok_ && !last_programmed_want_.empty()) {
+    // The last program never verified: hardware is not in the state the
+    // policy believes it commanded, so this sample describes an
+    // un-actuated world.  Feeding it to the policy would mistake a dropped
+    // ramp-down for headroom (or a dropped ramp-up for saturation).
+    // Retry the pending program (subject to backoff) and control resumes
+    // once a read-back confirms it landed.
+    Program(last_programmed_want_);
+    history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
+    return;
+  }
+
   if (config_.use_hwp_hints) {
     if (!saturation_) {
       saturation_ = std::make_unique<SaturationDetector>(platform_, apps_.size());
@@ -165,33 +238,137 @@ void PowerDaemon::Step() {
     // period to map its IPS-vs-frequency response.
     targets_ = saturation_->ApplyProbes(apps_, targets_);
   }
-  ProgramTargets();
-  history_.push_back(Record{.sample = std::move(sample), .targets = targets_});
+  Program(targets_);
+  if (auditor_ != nullptr && ActivelyControlling()) {
+    auditor_->CheckPowerCeiling(sample, config_.power_limit_w, targets_);
+  }
+  history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
 }
 
-void PowerDaemon::ProgramTargets() {
+bool PowerDaemon::ActivelyControlling() const {
+  return config_.kind != PolicyKind::kRaplOnly && config_.kind != PolicyKind::kStatic;
+}
+
+std::vector<Mhz> PowerDaemon::FallbackTargets() const {
+  const Mhz floor_mhz =
+      config_.degradation.floor_mhz > 0.0 ? config_.degradation.floor_mhz : platform_.min_mhz;
+  std::vector<Mhz> want = targets_;
+  for (Mhz& t : want) {
+    if (t != PriorityPolicy::kStopped) {
+      t = floor_mhz;
+    }
+  }
+  return want;
+}
+
+void PowerDaemon::ArmRaplSafetyNet() {
+  if (rapl_net_armed_ || !msr_->spec().has_rapl_limit) {
+    return;
+  }
+  msr_->WriteRaplLimitW(config_.power_limit_w);
+  rapl_net_armed_ = true;
+}
+
+void PowerDaemon::DisarmRaplSafetyNet() {
+  if (!rapl_net_armed_) {
+    return;
+  }
+  // Never turn off a limit the configuration itself asked for.
+  if (!config_.program_rapl && config_.kind != PolicyKind::kRaplOnly) {
+    msr_->DisableRaplLimit();
+  }
+  rapl_net_armed_ = false;
+}
+
+bool PowerDaemon::VerifyProgrammed(const std::vector<Mhz>& want) const {
+  const bool ryzen = msr_->spec().max_simultaneous_pstates > 0;
+  for (size_t i = 0; i < apps_.size(); i++) {
+    if (i >= last_expected_mhz_.size() || want[i] == PriorityPolicy::kStopped) {
+      continue;
+    }
+    Mhz readback_mhz;
+    if (ryzen) {
+      const int slot = static_cast<int>(msr_->Read(kMsrAmdPstateCtl, apps_[i].cpu));
+      readback_mhz = msr_->ReadPstateDefMhz(slot);
+    } else {
+      readback_mhz =
+          static_cast<double>((msr_->Read(kMsrIa32PerfCtl, apps_[i].cpu) >> 8) & 0xFF) * 100.0;
+    }
+    if (readback_mhz != last_expected_mhz_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PowerDaemon::Program(const std::vector<Mhz>& want) {
+  if (!config_.degradation.enabled) {
+    // Naive baseline: rewrite every period, never look back.
+    ProgramTargets(want);
+    return;
+  }
+  if (last_program_ok_ && want == last_programmed_want_) {
+    // Identical state already verified in hardware: skip the rewrite.
+    // This is what keeps monitoring-only policies (kRaplOnly, kStatic)
+    // from reprogramming untouched registers every period.
+    fault_stats_.reprogram_skips++;
+    return;
+  }
+  if (retry_wait_ > 0 && want == last_programmed_want_) {
+    // Still backing off after a failed attempt at this same state.
+    retry_wait_--;
+    fault_stats_.backoff_skips++;
+    return;
+  }
+  ProgramTargets(want);
+  last_programmed_want_ = want;
+  last_program_ok_ = VerifyProgrammed(want);
+  if (last_program_ok_) {
+    write_fail_streak_ = 0;
+    backoff_ = 1;
+    retry_wait_ = 0;
+    if (state_ == DegradationState::kNominal) {
+      DisarmRaplSafetyNet();
+    }
+  } else {
+    fault_stats_.failed_programs++;
+    write_fail_streak_++;
+    retry_wait_ = backoff_;
+    backoff_ = std::min(backoff_ * 2, config_.degradation.max_backoff_periods);
+    PAPD_LOG_INFO("daemon: P-state program failed read-back (streak %d), backing off %d periods",
+                  write_fail_streak_, retry_wait_);
+    if (write_fail_streak_ >= config_.degradation.write_retry_limit &&
+        config_.degradation.rapl_safety_net) {
+      ArmRaplSafetyNet();
+    }
+  }
+}
+
+void PowerDaemon::ProgramTargets(const std::vector<Mhz>& want) {
   const PlatformSpec& spec = msr_->spec();
   const PStateTable grid(spec.min_mhz, spec.turbo_max_mhz, spec.step_mhz);
 
   // Core online/offline transitions first (stopped apps release power).
   for (size_t i = 0; i < apps_.size(); i++) {
-    const bool want_online = targets_[i] != PriorityPolicy::kStopped;
+    const bool want_online = want[i] != PriorityPolicy::kStopped;
     if (msr_->CoreOnline(apps_[i].cpu) != want_online) {
       msr_->SetCoreOnline(apps_[i].cpu, want_online);
     }
   }
 
   // Frequencies actually written to hardware this period, for the
-  // translation audit (grid alignment, simultaneous-P-state limit).
+  // translation audit (grid alignment, simultaneous-P-state limit) and for
+  // the read-back verification in Program().
   std::vector<Mhz> programmed;
+  last_expected_mhz_.assign(apps_.size(), PriorityPolicy::kStopped);
 
   if (spec.max_simultaneous_pstates > 0) {
     // Ryzen path: reduce running apps' targets to <= 3 levels.
     std::vector<Mhz> running_targets;
     std::vector<size_t> running_apps;
     for (size_t i = 0; i < apps_.size(); i++) {
-      if (targets_[i] != PriorityPolicy::kStopped) {
-        running_targets.push_back(grid.QuantizeDown(targets_[i]));
+      if (want[i] != PriorityPolicy::kStopped) {
+        running_targets.push_back(grid.QuantizeDown(want[i]));
         running_apps.push_back(i);
       }
     }
@@ -206,17 +383,19 @@ void PowerDaemon::ProgramTargets() {
       for (size_t j = 0; j < running_apps.size(); j++) {
         msr_->SelectPstate(apps_[running_apps[j]].cpu, sel.assignment[j]);
         programmed.push_back(slot_mhz[static_cast<size_t>(sel.assignment[j])]);
+        last_expected_mhz_[running_apps[j]] = programmed.back();
       }
     }
   } else {
     // Skylake path: per-core ratios.
     for (size_t i = 0; i < apps_.size(); i++) {
-      if (targets_[i] == PriorityPolicy::kStopped) {
+      if (want[i] == PriorityPolicy::kStopped) {
         continue;
       }
-      const Mhz quantized = grid.QuantizeDown(targets_[i]);
+      const Mhz quantized = grid.QuantizeDown(want[i]);
       msr_->WritePerfTargetMhz(apps_[i].cpu, quantized);
       programmed.push_back(quantized);
+      last_expected_mhz_[i] = quantized;
     }
   }
 

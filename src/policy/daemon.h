@@ -14,6 +14,27 @@
 //     point each core at its slot (25 MHz grid).
 // Stopped apps (priority policy starvation) have their cores put into a
 // deep C-state.
+//
+// Telemetry is not trusted blindly.  Turbostat validates every sample, and
+// the daemon walks a degradation ladder on bad input:
+//
+//   nominal   valid sample: redistribute, translate, program (skipping the
+//             hardware writes entirely when the programmed state would not
+//             change — monitoring-only policies never rewrite registers);
+//   hold      invalid sample: keep the last-known-good targets, touch
+//             nothing, wait for telemetry to come back;
+//   fallback  `fallback_after` consecutive invalid samples: program every
+//             running core to a conservative static floor (the platform
+//             minimum by default) and, where the platform has one, arm the
+//             hardware RAPL limit — power can no longer exceed the budget
+//             no matter how long telemetry stays dark.
+//
+// Recovery is immediate: the first valid sample returns the daemon to
+// nominal, and because the policy's internal state was frozen during the
+// fault the next redistribution resumes from the pre-fault targets.
+// P-state writes are verified by read-back; failed programming is retried
+// with bounded exponential backoff, and `write_retry_limit` consecutive
+// failures arm the same RAPL safety net.
 
 #ifndef SRC_POLICY_DAEMON_H_
 #define SRC_POLICY_DAEMON_H_
@@ -43,6 +64,45 @@ enum class PolicyKind {
 
 const char* PolicyKindName(PolicyKind kind);
 
+// Where the daemon currently sits on the degradation ladder.
+enum class DegradationState {
+  kNominal,   // Valid telemetry; normal control loop.
+  kHold,      // Invalid sample(s); last-known-good targets held.
+  kFallback,  // Too many bad periods; conservative static/RAPL floor.
+};
+
+const char* DegradationStateName(DegradationState state);
+
+struct DegradationConfig {
+  // Master switch.  Off reproduces the pre-hardening daemon (raw telemetry
+  // consumed as-is, unconditional reprogramming, no write verification) —
+  // the fault-tolerance ablation's "naive" baseline.
+  bool enabled = true;
+  // Consecutive invalid samples before falling back to the static floor.
+  int fallback_after = 3;
+  // Consecutive failed (verification mismatch) programming attempts before
+  // the RAPL safety net is armed.
+  int write_retry_limit = 3;
+  // Exponential backoff cap, in control periods, between programming
+  // retries while writes keep failing.
+  int max_backoff_periods = 4;
+  // Static floor programmed in fallback; 0 = the platform minimum.
+  Mhz floor_mhz = 0.0;
+  // Arm the hardware RAPL limit (platforms that have one) while in
+  // fallback or under persistent write failure; disarmed on recovery.
+  bool rapl_safety_net = true;
+};
+
+// Degradation/fault bookkeeping, exposed for tests and benches.
+struct DaemonFaultStats {
+  int invalid_samples = 0;   // Samples rejected by telemetry validation.
+  int held_periods = 0;      // Periods spent holding last-known-good targets.
+  int fallback_periods = 0;  // Periods spent at the conservative floor.
+  int failed_programs = 0;   // Programming attempts whose read-back mismatched.
+  int backoff_skips = 0;     // Periods skipped while backing off after failure.
+  int reprogram_skips = 0;   // Rewrites skipped because targets were unchanged.
+};
+
 struct DaemonConfig {
   PolicyKind kind = PolicyKind::kFrequencyShares;
   Watts power_limit_w = 85.0;
@@ -59,9 +119,16 @@ struct DaemonConfig {
   bool use_hwp_hints = false;
   // Audit every initial-distribution, redistribution and translation step
   // with the PolicyAuditor (src/policy/invariants.h): budget conservation,
-  // share monotonicity, grid alignment, the simultaneous-P-state limit.  A
-  // violation aborts with a formatted CHECK failure.
+  // share monotonicity, grid alignment, the simultaneous-P-state limit —
+  // and, for controlling policies, the power ceiling (package power never
+  // exceeds the limit plus slack once converged).  A violation aborts with
+  // a formatted CHECK failure.
   bool audit = true;
+  // Graceful-degradation ladder (see the file comment).
+  DegradationConfig degradation;
+  // Consume raw, unvalidated telemetry (Turbostat::set_validation(false)).
+  // Only the fault-tolerance ablation's naive baseline sets this.
+  bool raw_telemetry = false;
 };
 
 class PolicyAuditor;
@@ -104,6 +171,7 @@ class PowerDaemon {
   struct Record {
     TelemetrySample sample;
     std::vector<Mhz> targets;
+    DegradationState state = DegradationState::kNominal;
   };
   const std::vector<Record>& history() const { return history_; }
 
@@ -113,8 +181,29 @@ class PowerDaemon {
   // The invariant auditor, or nullptr when config.audit is false.
   PolicyAuditor* auditor() { return auditor_.get(); }
 
+  // --- Degradation introspection ---------------------------------------------
+  DegradationState degradation_state() const { return state_; }
+  const DaemonFaultStats& fault_stats() const { return fault_stats_; }
+  int bad_sample_streak() const { return bad_sample_streak_; }
+  int write_fail_streak() const { return write_fail_streak_; }
+
  private:
-  void ProgramTargets();
+  // Translates `want` into hardware writes (online transitions, Ryzen slot
+  // selection or Skylake per-core ratios) and runs the translation audit.
+  void ProgramTargets(const std::vector<Mhz>& want);
+  // ProgramTargets plus the hardening wrapper: skip when nothing changed,
+  // verify by read-back, back off exponentially on persistent failure and
+  // arm the RAPL safety net past the retry limit.
+  void Program(const std::vector<Mhz>& want);
+  // Reads back the effective per-app request and compares against `want`.
+  bool VerifyProgrammed(const std::vector<Mhz>& want) const;
+  // Per-app conservative floor used in fallback.
+  std::vector<Mhz> FallbackTargets() const;
+  void ArmRaplSafetyNet();
+  void DisarmRaplSafetyNet();
+  // True for kinds that actively control P-states every period (the power
+  // ceiling audit only makes sense for them).
+  bool ActivelyControlling() const;
 
   MsrFile* msr_;
   std::vector<ManagedApp> apps_;
@@ -129,6 +218,25 @@ class PowerDaemon {
 
   std::vector<Mhz> targets_;
   std::vector<Record> history_;
+
+  // --- Degradation-ladder state ----------------------------------------------
+  DegradationState state_ = DegradationState::kNominal;
+  DaemonFaultStats fault_stats_;
+  int bad_sample_streak_ = 0;
+  int write_fail_streak_ = 0;
+  // Periods left to wait before the next programming retry, and the current
+  // backoff width it was reset from.
+  int retry_wait_ = 0;
+  int backoff_ = 1;
+  // Last target vector handed to ProgramTargets, and whether its read-back
+  // verified; rewrites are skipped only when the last program stuck.
+  std::vector<Mhz> last_programmed_want_;
+  // What translation actually wrote per app (post-quantization, post-slot
+  // reduction; PriorityPolicy::kStopped for stopped apps) — the expectation
+  // VerifyProgrammed reads hardware back against.
+  std::vector<Mhz> last_expected_mhz_;
+  bool last_program_ok_ = false;
+  bool rapl_net_armed_ = false;
 };
 
 // Derives the policy-visible platform constants from a platform spec (the

@@ -345,6 +345,48 @@ void PolicyAuditor::CheckTranslation(const std::vector<Mhz>& programmed_mhz) {
   }
 }
 
+void PolicyAuditor::CheckPowerCeiling(const TelemetrySample& sample, Watts limit_w,
+                                      const std::vector<Mhz>& targets) {
+  if (limit_w != ceiling_limit_w_) {
+    // New (or first) budget: restart the convergence grace window.
+    ceiling_limit_w_ = limit_w;
+    ceiling_grace_left_ = options_.power_ceiling_grace_periods;
+    ceiling_over_streak_ = 0;
+  }
+  if (ceiling_grace_left_ > 0) {
+    ceiling_grace_left_--;
+    return;
+  }
+  const Watts ceiling_w = limit_w + options_.power_ceiling_slack_w;
+  if (sample.pkg_w <= ceiling_w) {
+    ceiling_over_streak_ = 0;
+    return;
+  }
+  // Floor saturation: every running core already at the platform minimum
+  // means the limit is unreachable for this workload; frequency scaling has
+  // no correction left to apply, so over-limit power is not a policy bug.
+  const double tol = options_.epsilon * platform_.max_mhz;
+  bool all_at_floor = true;
+  for (Mhz t : targets) {
+    if (!IsStopped(t) && t > platform_.min_mhz + tol) {
+      all_at_floor = false;
+      break;
+    }
+  }
+  if (all_at_floor) {
+    return;
+  }
+  ceiling_over_streak_++;
+  if (ceiling_over_streak_ >= options_.power_ceiling_patience) {
+    std::ostringstream os;
+    os << " package power " << sample.pkg_w << " W above the ceiling " << ceiling_w
+       << " W (limit " << limit_w << " W + slack " << options_.power_ceiling_slack_w
+       << " W) for " << ceiling_over_streak_ << " consecutive periods";
+    Fail("power-ceiling", os.str());
+    ceiling_over_streak_ = 0;
+  }
+}
+
 AuditedPolicy::AuditedPolicy(std::unique_ptr<ShareResource> inner, PolicyAuditor* auditor)
     : inner_(std::move(inner)), auditor_(auditor) {
   PAPD_CHECK(inner_ != nullptr);

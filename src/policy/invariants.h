@@ -16,7 +16,11 @@
 //   * grid alignment — translation only emits frequencies the platform can
 //     program (100 MHz Skylake, 25 MHz Ryzen; Section 2.1);
 //   * the Ryzen P-state constraint — never more than three distinct
-//     simultaneous frequencies (Sections 2.1 and 5).
+//     simultaneous frequencies (Sections 2.1 and 5);
+//   * the power ceiling — once converged, package power never sits above
+//     the configured limit plus slack while the policy still has downward
+//     actuation left (the safety property the fault-injection suite
+//     stresses: no fault schedule may defeat the budget).
 //
 // PolicyAuditor verifies all of these on every initial-distribution,
 // redistribution and translation step.  The daemon owns one behind
@@ -53,6 +57,17 @@ struct AuditOptions {
   Watts conservation_deadband_w = 1.0;
   // Relative slack for floating-point comparisons.
   double epsilon = 1e-6;
+  // --- Power ceiling (CheckPowerCeiling) -------------------------------------
+  // Package power may exceed the limit by at most this much once converged.
+  // Covers RAPL quantization, EWMA smoothing and the sim's power-model
+  // transients; fault schedules that defeat degradation blow well past it.
+  Watts power_ceiling_slack_w = 8.0;
+  // Control periods ignored after Start()/SetPowerLimit before the ceiling
+  // is enforced — the control loop needs time to converge on a new budget.
+  int power_ceiling_grace_periods = 20;
+  // Consecutive over-ceiling periods (past grace) before failing; a single
+  // workload-phase spike the controller corrects is not a violation.
+  int power_ceiling_patience = 6;
 };
 
 class PolicyAuditor {
@@ -87,6 +102,18 @@ class PolicyAuditor {
                                    const std::vector<ManagedApp>& apps,
                                    const TelemetrySample& sample, Watts limit_w,
                                    const std::vector<Mhz>& targets);
+
+  // --- Power ceiling ---------------------------------------------------------
+  // Called by the daemon once per valid-sample control period for actively
+  // controlling policies: package power must not sit above
+  // limit_w + power_ceiling_slack_w for power_ceiling_patience consecutive
+  // periods once power_ceiling_grace_periods have elapsed since the limit
+  // was (re)set.  Escape hatch: when every running target is already at the
+  // platform floor the policy has no actuation left (the limit is simply
+  // unreachable) and the period is not counted.  Invalid samples must not
+  // be passed in (their substituted rates are not this period's truth).
+  void CheckPowerCeiling(const TelemetrySample& sample, Watts limit_w,
+                         const std::vector<Mhz>& targets);
 
   // --- Translation -----------------------------------------------------------
   // `programmed_mhz` holds the frequency actually written to hardware for
@@ -128,6 +155,12 @@ class PolicyAuditor {
   std::vector<double> prev_native_;
   double prev_native_scale_ = 1.0;
   std::vector<Mhz> prev_priority_;
+
+  // Power-ceiling state: the limit last seen (a change restarts grace),
+  // grace periods left, and the current over-ceiling streak.
+  Watts ceiling_limit_w_ = -1.0;
+  int ceiling_grace_left_ = 0;
+  int ceiling_over_streak_ = 0;
 };
 
 // Decorator: audits a wrapped ShareResource on every call.  This is how

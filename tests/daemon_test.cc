@@ -212,6 +212,51 @@ TEST(DaemonSkylake, SetPowerLimitReprogramsRaplRegister) {
   EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 45.0);
 }
 
+TEST(DaemonSkylake, FallbackUsesConfiguredFloor) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  rig.AddApp("leela", 1.0);
+  DaemonConfig cfg;
+  cfg.kind = PolicyKind::kFrequencyShares;
+  cfg.power_limit_w = 40.0;
+  cfg.degradation.floor_mhz = 1200.0;
+  PowerDaemon daemon(&rig.msr, rig.apps, cfg);
+  daemon.Start();
+  rig.Run(&daemon, 5.0);
+  FaultPlan storm;
+  storm.stale_sample_p = 1.0;
+  rig.msr.EnableFaults(storm);
+  rig.Run(&daemon, 5.0);
+  ASSERT_EQ(daemon.degradation_state(), DegradationState::kFallback);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 1200.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1200.0);
+}
+
+TEST(DaemonRyzen, DroppedWriteDetectedByReadBack) {
+  // Ryzen programming goes through P-state definitions and per-core
+  // selectors; verification must read those back (there is no RAPL register
+  // to fall back on, so the net stays unarmed — no crash, just retries).
+  Rig rig(Ryzen1700X());
+  for (int i = 0; i < 4; i++) {
+    rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 40});
+  daemon.Start();
+  rig.Run(&daemon, 10.0);
+  FaultPlan drops;
+  drops.write_fail_p = 1.0;
+  rig.msr.EnableFaults(drops);
+  daemon.SetPowerLimit(30.0);
+  rig.Run(&daemon, 10.0);
+  EXPECT_GE(daemon.fault_stats().failed_programs, 2);
+  EXPECT_GE(daemon.write_fail_streak(), 1);
+  rig.msr.EnableFaults(FaultPlan{});
+  rig.Run(&daemon, 10.0);
+  EXPECT_EQ(daemon.write_fail_streak(), 0);
+  EXPECT_EQ(daemon.degradation_state(), DegradationState::kNominal);
+}
+
 // A trivial custom policy: always request the same frequency everywhere.
 class FixedPolicy : public ShareResource {
  public:

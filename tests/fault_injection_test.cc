@@ -1,0 +1,379 @@
+// Integration tests for telemetry fault injection and the daemon's
+// graceful-degradation ladder: deterministic replay, hold/fallback/recovery,
+// the naive-baseline regression (stale telemetry must not read as free
+// headroom), write-failure retry with backoff and the RAPL safety net, the
+// governor's fallback, and the acceptance sweep over every standard fault
+// schedule.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/experiments/harness.h"
+#include "src/experiments/scenarios.h"
+#include "src/governor/governor_daemon.h"
+#include "src/msr/fault_plan.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+// Same closed-loop rig as daemon_test.cc.
+struct Rig {
+  explicit Rig(PlatformSpec spec) : pkg(std::move(spec)), msr(&pkg) {}
+
+  void AddApp(const std::string& profile, double shares, bool hp = false) {
+    const int cpu = static_cast<int>(procs.size());
+    procs.push_back(std::make_unique<Process>(GetProfile(profile), 100 + cpu));
+    pkg.AttachWork(cpu, procs.back().get());
+    apps.push_back(ManagedApp{.name = profile,
+                              .cpu = cpu,
+                              .shares = shares,
+                              .high_priority = hp,
+                              .baseline_ips = GetProfile(profile).NominalIps(3000)});
+  }
+
+  void Run(PowerDaemon* daemon, Seconds seconds) {
+    Simulator sim(&pkg);
+    sim.AddPeriodic(daemon->config().period_s, [daemon](Seconds) { daemon->Step(); });
+    sim.Run(seconds);
+  }
+
+  Package pkg;
+  MsrFile msr;
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<ManagedApp> apps;
+};
+
+// The naive pre-hardening daemon: raw telemetry, no degradation ladder.  The
+// auditor is off because this configuration violates the power ceiling by
+// design — that is the bug being demonstrated.
+DaemonConfig NaiveConfig(PolicyKind kind, Watts limit_w) {
+  DaemonConfig cfg;
+  cfg.kind = kind;
+  cfg.power_limit_w = limit_w;
+  cfg.degradation.enabled = false;
+  cfg.raw_telemetry = true;
+  cfg.audit = false;
+  return cfg;
+}
+
+FaultPlan StaleStorm() {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.stale_sample_p = 1.0;
+  return plan;
+}
+
+// --- Deterministic replay ----------------------------------------------------
+
+TEST(FaultInjection, ScenarioReplayIsBitIdentical) {
+  ScenarioConfig c{.platform = SkylakeXeon4114()};
+  c.apps = {{"cactusBSSN", 2.0}, {"leela", 1.0}, {"gcc", 1.0}, {"omnetpp", 1.0}};
+  c.policy = PolicyKind::kFrequencyShares;
+  c.limit_w = 45.0;
+  c.warmup_s = 5.0;
+  c.measure_s = 25.0;
+  c.faults.seed = 99;
+  c.faults.start_s = 8.0;
+  c.faults.end_s = 24.0;
+  c.faults.stale_sample_p = 0.3;
+  c.faults.counter_reset_p = 0.1;
+  c.faults.energy_wrap_p = 0.2;
+  c.faults.write_fail_p = 0.3;
+
+  const ScenarioResult a = RunScenario(c);
+  const ScenarioResult b = RunScenario(c);
+  EXPECT_DOUBLE_EQ(a.avg_pkg_w, b.avg_pkg_w);
+  EXPECT_DOUBLE_EQ(a.max_pkg_w, b.max_pkg_w);
+  EXPECT_EQ(a.fault_counts.stale_samples, b.fault_counts.stale_samples);
+  EXPECT_EQ(a.fault_counts.counter_resets, b.fault_counts.counter_resets);
+  EXPECT_EQ(a.fault_counts.energy_wraps, b.fault_counts.energy_wraps);
+  EXPECT_EQ(a.fault_counts.dropped_writes, b.fault_counts.dropped_writes);
+  EXPECT_EQ(a.fault_stats.invalid_samples, b.fault_stats.invalid_samples);
+  EXPECT_EQ(a.fault_stats.fallback_periods, b.fault_stats.fallback_periods);
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (size_t i = 0; i < a.apps.size(); i++) {
+    EXPECT_DOUBLE_EQ(a.apps[i].avg_ips, b.apps[i].avg_ips);
+  }
+  // The schedule injected something; otherwise the test is vacuous.
+  EXPECT_GT(a.fault_counts.stale_samples, 0);
+  EXPECT_GT(a.fault_stats.invalid_samples, 0);
+}
+
+// --- Degradation ladder: hold, fallback, recovery ----------------------------
+
+TEST(FaultInjection, StaleStormHoldsThenFallsBackThenRecovers) {
+  Rig rig(SkylakeXeon4114());
+  for (int i = 0; i < 6; i++) {
+    rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45});
+  daemon.Start();
+  rig.Run(&daemon, 20.0);
+  ASSERT_EQ(daemon.degradation_state(), DegradationState::kNominal);
+  const std::vector<Mhz> pre_fault = daemon.targets();
+  std::vector<Mhz> pre_requested;
+  for (int i = 0; i < 6; i++) {
+    pre_requested.push_back(rig.pkg.core(i).requested_mhz());
+  }
+
+  rig.msr.EnableFaults(StaleStorm());
+  // Two invalid periods: hold — targets and hardware untouched.
+  rig.Run(&daemon, 2.0);
+  EXPECT_EQ(daemon.degradation_state(), DegradationState::kHold);
+  EXPECT_EQ(daemon.bad_sample_streak(), 2);
+  EXPECT_EQ(daemon.fault_stats().held_periods, 2);
+  EXPECT_EQ(daemon.targets(), pre_fault);
+  for (int i = 0; i < 6; i++) {
+    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz(), pre_requested[i]);
+  }
+
+  // Third consecutive invalid period: fallback — every running core at the
+  // platform floor, RAPL safety net armed.
+  rig.Run(&daemon, 3.0);
+  EXPECT_EQ(daemon.degradation_state(), DegradationState::kFallback);
+  EXPECT_GE(daemon.fault_stats().fallback_periods, 1);
+  for (int i = 0; i < 6; i++) {
+    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz(), 800.0);
+  }
+  EXPECT_TRUE(rig.pkg.rapl().enabled());
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 45.0);
+  // The policy's view of the targets is frozen, not floored.
+  EXPECT_EQ(daemon.targets(), pre_fault);
+
+  // Telemetry returns: nominal targets must be restored within 3 periods,
+  // and the safety net (which the daemon armed, not the operator) disarmed.
+  rig.msr.EnableFaults(FaultPlan{});
+  rig.Run(&daemon, 3.0);
+  EXPECT_EQ(daemon.degradation_state(), DegradationState::kNominal);
+  EXPECT_EQ(daemon.bad_sample_streak(), 0);
+  for (int i = 0; i < 6; i++) {
+    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz(), pre_requested[i]);
+  }
+  EXPECT_FALSE(rig.pkg.rapl().enabled());
+}
+
+TEST(FaultInjection, HistoryRecordsLadderStates) {
+  Rig rig(SkylakeXeon4114());
+  rig.AddApp("gcc", 1.0);
+  rig.AddApp("leela", 1.0);
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 40});
+  daemon.Start();
+  rig.Run(&daemon, 5.0);
+  rig.msr.EnableFaults(StaleStorm());
+  rig.Run(&daemon, 5.0);
+  const auto& h = daemon.history();
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[4].state, DegradationState::kNominal);
+  EXPECT_EQ(h[5].state, DegradationState::kHold);
+  EXPECT_EQ(h[6].state, DegradationState::kHold);
+  for (size_t i = 7; i < 10; i++) {
+    EXPECT_EQ(h[i].state, DegradationState::kFallback);
+  }
+}
+
+// --- The seed bug, demonstrated and fixed ------------------------------------
+
+// Pre-hardening, a stale read produced a *valid* all-zero sample; the policy
+// read zero package power as limit_w of free headroom and ramped everything
+// to the maximum — exactly while it was blind.  The hardened daemon must
+// never raise a request on invalid telemetry.
+TEST(FaultInjection, NaiveDaemonRampsOnStaleTelemetryHardenedHolds) {
+  Rig naive_rig(SkylakeXeon4114());
+  Rig hard_rig(SkylakeXeon4114());
+  for (int i = 0; i < 10; i++) {
+    naive_rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+    hard_rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+  }
+  PowerDaemon naive(&naive_rig.msr, naive_rig.apps,
+                    NaiveConfig(PolicyKind::kFrequencyShares, 45.0));
+  DaemonConfig hcfg;
+  hcfg.kind = PolicyKind::kFrequencyShares;
+  hcfg.power_limit_w = 45.0;
+  PowerDaemon hardened(&hard_rig.msr, hard_rig.apps, hcfg);
+  naive.Start();
+  hardened.Start();
+  naive_rig.Run(&naive, 30.0);
+  hard_rig.Run(&hardened, 30.0);
+
+  // Converged well below the maximum P-state at 45 W over 10 cores.
+  const Mhz naive_pre = naive_rig.pkg.core(0).requested_mhz();
+  const Mhz hard_pre = hard_rig.pkg.core(0).requested_mhz();
+  ASSERT_LT(naive_pre, 2500.0);
+  ASSERT_LT(hard_pre, 2500.0);
+
+  naive_rig.msr.EnableFaults(StaleStorm());
+  hard_rig.msr.EnableFaults(StaleStorm());
+  naive_rig.Run(&naive, 10.0);
+  hard_rig.Run(&hardened, 10.0);
+
+  // Naive: zero-power samples look like headroom; requests climb to max.
+  EXPECT_DOUBLE_EQ(naive_rig.pkg.core(0).requested_mhz(), 3000.0);
+  // Hardened: requests never rise while blind (hold, then the 800 floor).
+  for (int i = 0; i < 10; i++) {
+    EXPECT_LE(hard_rig.pkg.core(i).requested_mhz(), hard_pre + 1.0);
+  }
+  EXPECT_EQ(hardened.degradation_state(), DegradationState::kFallback);
+}
+
+TEST(FaultInjection, PriorityPolicyDoesNotUnstarveOnStaleTelemetry) {
+  // Same bug through the priority policy: zero power would un-starve
+  // low-priority cores while telemetry is dark.  Hardened must keep the
+  // starved set exactly as it was.
+  Rig rig(SkylakeXeon4114());
+  for (int i = 0; i < 5; i++) {
+    rig.AddApp("cactusBSSN", 1.0, /*hp=*/true);
+  }
+  for (int i = 0; i < 5; i++) {
+    rig.AddApp("cactusBSSN", 1.0, /*hp=*/false);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kPriority, .power_limit_w = 40});
+  daemon.Start();
+  rig.Run(&daemon, 30.0);
+  std::vector<bool> pre_online;
+  for (int i = 0; i < 10; i++) {
+    pre_online.push_back(rig.msr.CoreOnline(i));
+  }
+  int pre_offline = 0;
+  for (int i = 5; i < 10; i++) {
+    pre_offline += rig.msr.CoreOnline(i) ? 0 : 1;
+  }
+  ASSERT_GT(pre_offline, 0);
+
+  rig.msr.EnableFaults(StaleStorm());
+  rig.Run(&daemon, 10.0);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(rig.msr.CoreOnline(i), pre_online[i]) << "core " << i;
+  }
+}
+
+// --- Write verification, backoff, RAPL safety net ----------------------------
+
+TEST(FaultInjection, DroppedWritesRetryWithBackoffAndArmSafetyNet) {
+  Rig rig(SkylakeXeon4114());
+  for (int i = 0; i < 6; i++) {
+    rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
+  }
+  PowerDaemon daemon(&rig.msr, rig.apps,
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 50});
+  daemon.Start();
+  rig.Run(&daemon, 20.0);
+  ASSERT_FALSE(rig.pkg.rapl().enabled());
+
+  // Every P-state write is now dropped; a limit change forces the daemon to
+  // reprogram into the failure.
+  FaultPlan drops;
+  drops.seed = 3;
+  drops.write_fail_p = 1.0;
+  rig.msr.EnableFaults(drops);
+  daemon.SetPowerLimit(40.0);
+  rig.Run(&daemon, 15.0);
+
+  const DaemonFaultStats& stats = daemon.fault_stats();
+  EXPECT_GE(stats.failed_programs, 3);
+  EXPECT_GE(stats.backoff_skips, 3);  // Exponential backoff between retries.
+  EXPECT_GE(daemon.write_fail_streak(), 3);
+  // write_retry_limit consecutive failures: hardware takes over.
+  EXPECT_TRUE(rig.pkg.rapl().enabled());
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 40.0);
+
+  // Writes work again: the pending program lands, the streak clears, and
+  // the daemon-armed net is disarmed.
+  rig.msr.EnableFaults(FaultPlan{});
+  rig.Run(&daemon, 10.0);
+  EXPECT_EQ(daemon.write_fail_streak(), 0);
+  EXPECT_EQ(daemon.degradation_state(), DegradationState::kNominal);
+  EXPECT_FALSE(rig.pkg.rapl().enabled());
+}
+
+TEST(FaultInjection, MonitoringPoliciesStopRewritingUnchangedTargets) {
+  // kRaplOnly and kStatic program once at Start; with targets never
+  // changing, the hardened daemon must not touch the registers again.
+  for (const PolicyKind kind : {PolicyKind::kRaplOnly, PolicyKind::kStatic}) {
+    Rig rig(SkylakeXeon4114());
+    rig.AddApp("gcc", 1.0);
+    rig.AddApp("leela", 1.0);
+    DaemonConfig cfg;
+    cfg.kind = kind;
+    cfg.power_limit_w = 45.0;
+    cfg.static_mhz = 1800.0;
+    PowerDaemon daemon(&rig.msr, rig.apps, cfg);
+    daemon.Start();
+    const int writes_after_start = rig.msr.write_count();
+    rig.Run(&daemon, 10.0);
+    EXPECT_EQ(rig.msr.write_count(), writes_after_start)
+        << PolicyKindName(kind) << " kept rewriting unchanged targets";
+    EXPECT_EQ(daemon.fault_stats().reprogram_skips, 10);
+  }
+}
+
+// --- Governor degradation ----------------------------------------------------
+
+TEST(FaultInjection, GovernorHoldsThenFallsBackToMinimum) {
+  Package pkg(SkylakeXeon4114());
+  MsrFile msr(&pkg);
+  Process proc(GetProfile("cpuburn"), 1);
+  pkg.AttachWork(0, &proc);
+  GovernorDaemon daemon(&msr, GovernorKind::kOndemand);
+
+  Simulator sim(&pkg);
+  sim.AddPeriodic(0.1, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(2.0);
+  ASSERT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);  // 100% util.
+  ASSERT_EQ(daemon.invalid_streak(), 0);
+
+  msr.EnableFaults(StaleStorm());
+  sim.Run(0.2);  // Two invalid samples: hold.
+  EXPECT_EQ(daemon.invalid_streak(), 2);
+  EXPECT_FALSE(daemon.in_fallback());
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);
+
+  sim.Run(0.2);  // Third invalid sample: everything to the platform minimum.
+  EXPECT_TRUE(daemon.in_fallback());
+  for (int i = 0; i < pkg.num_cores(); i++) {
+    EXPECT_DOUBLE_EQ(pkg.core(i).requested_mhz(), 800.0);
+  }
+
+  msr.EnableFaults(FaultPlan{});
+  sim.Run(1.0);  // Telemetry back: the busy core ramps again.
+  EXPECT_EQ(daemon.invalid_streak(), 0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);
+}
+
+// --- Acceptance sweep --------------------------------------------------------
+
+// Under every standard fault schedule the hardened, audited daemon keeps the
+// ground-truth package power within the configured slack of the limit.  The
+// auditor itself (power-ceiling invariant) aborts the test on a daemon-
+// visible violation; max_pkg_w checks the energy-counter truth the daemon
+// cannot see.
+TEST(FaultInjection, HardenedDaemonHoldsCeilingUnderEverySchedule) {
+  for (const FaultScenario& fs : FaultSchedules(20.0, 50.0, /*seed=*/5)) {
+    ScenarioConfig c{.platform = SkylakeXeon4114()};
+    c.apps = {{"cactusBSSN", 2.0}, {"leela", 1.0},     {"gcc", 1.0},
+              {"deepsjeng", 1.0},  {"exchange2", 1.0}, {"omnetpp", 1.0}};
+    c.policy = PolicyKind::kFrequencyShares;
+    c.limit_w = 50.0;
+    c.warmup_s = 10.0;
+    c.measure_s = 60.0;
+    c.audit = true;
+    c.faults = fs.plan;
+    c.degrade = true;
+    const ScenarioResult r = RunScenario(c);
+    EXPECT_LE(r.max_pkg_w, c.limit_w + 8.0) << fs.label;
+    EXPECT_GT(r.avg_pkg_w, 0.0) << fs.label;
+  }
+}
+
+}  // namespace
+}  // namespace papd

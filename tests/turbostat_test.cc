@@ -74,11 +74,44 @@ TEST_F(TurbostatTest, NoPerCorePowerOnSkylake) {
   EXPECT_FALSE(s.cores[0].core_w.has_value());
 }
 
-TEST_F(TurbostatTest, ZeroElapsedGivesZeroSample) {
+TEST_F(TurbostatTest, ZeroElapsedIsInvalidNotZeroPower) {
+  // The seed's bug: a zero-dt sample used to come back as valid all-zero
+  // rates, which the priority policy read as limit_w of free headroom.  It
+  // must be flagged stale instead.
   Turbostat ts(&msr_);
   const TelemetrySample s = ts.Sample();
+  EXPECT_FALSE(s.valid);
+  EXPECT_EQ(s.fault_flags, kSampleStale);
+  EXPECT_DOUBLE_EQ(s.dt, 0.0);
+  EXPECT_EQ(ts.invalid_samples(), 1);
+}
+
+TEST_F(TurbostatTest, ZeroElapsedReservesLastGoodRates) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  const TelemetrySample good = ts.Sample();
+  ASSERT_TRUE(good.valid);
+  const TelemetrySample stale = ts.Sample();  // No time elapsed since.
+  EXPECT_FALSE(stale.valid);
+  // Consumers that ignore `valid` see the last good rates, not zeros.
+  EXPECT_DOUBLE_EQ(stale.pkg_w, good.pkg_w);
+  ASSERT_EQ(stale.cores.size(), good.cores.size());
+  EXPECT_DOUBLE_EQ(stale.cores[0].active_mhz, good.cores[0].active_mhz);
+  EXPECT_DOUBLE_EQ(stale.cores[0].ips, good.cores[0].ips);
+  EXPECT_FALSE(stale.cores[0].plausible);
+}
+
+TEST_F(TurbostatTest, RawModeKeepsPreHardeningZeroSample) {
+  // The naive-baseline mode reproduces the seed behavior exactly: valid
+  // all-zero sample on zero dt.
+  Turbostat ts(&msr_);
+  ts.set_validation(false);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_TRUE(s.valid);
   EXPECT_DOUBLE_EQ(s.pkg_w, 0.0);
   EXPECT_DOUBLE_EQ(s.dt, 0.0);
+  EXPECT_EQ(ts.invalid_samples(), 0);
 }
 
 TEST_F(TurbostatTest, SuccessiveSamplesAreWindowed) {
@@ -92,6 +125,106 @@ TEST_F(TurbostatTest, SuccessiveSamplesAreWindowed) {
   // The second sample must only see the throttled second.
   EXPECT_NEAR(s2.cores[0].active_mhz, 900.0, 2.0);
   EXPECT_LT(s2.pkg_w, s1.pkg_w);
+}
+
+// --- Fault-injected validation ----------------------------------------------
+
+class TurbostatFaultTest : public TurbostatTest {
+ protected:
+  // A plan injecting exactly one fault class with certainty.
+  static FaultPlan Certain(double FaultPlan::*knob) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.*knob = 1.0;
+    return plan;
+  }
+};
+
+TEST_F(TurbostatFaultTest, CounterResetClampedNotWrapped) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  const TelemetrySample good = ts.Sample();
+  ASSERT_TRUE(good.valid);
+  msr_.EnableFaults(Certain(&FaultPlan::counter_reset_p));
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  // Core-scope fault: flagged, core marked implausible, rates substituted
+  // from the last good sample — but the sample stays controllable.
+  EXPECT_TRUE(s.valid);
+  EXPECT_TRUE(s.fault_flags & kSampleCounterReset);
+  EXPECT_FALSE(s.cores[0].plausible);
+  EXPECT_DOUBLE_EQ(s.cores[0].ips, good.cores[0].ips);
+  EXPECT_LT(s.cores[0].ips, 1e12);  // Never the ~1.8e19 unsigned wrap.
+}
+
+TEST_F(TurbostatFaultTest, RawModeCounterResetWrapsUnsigned) {
+  // The seed's other bug, demonstrated: without the clamp a counter reset
+  // wraps the unsigned delta to ~2^64 and the IPS reading explodes.
+  Turbostat ts(&msr_);
+  ts.set_validation(false);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  (void)ts.Sample();
+  msr_.EnableFaults(Certain(&FaultPlan::counter_reset_p));
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_TRUE(s.valid);  // Raw mode does not even notice.
+  EXPECT_GT(s.cores[0].ips, 1e18);
+}
+
+TEST_F(TurbostatFaultTest, EnergyWrapStormInvalidatesSample) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  const TelemetrySample good = ts.Sample();
+  ASSERT_TRUE(good.valid);
+  msr_.EnableFaults(Certain(&FaultPlan::energy_wrap_p));
+  sim.Run(1.0);
+  const TelemetrySample s = ts.Sample();
+  EXPECT_FALSE(s.valid);
+  EXPECT_TRUE(s.fault_flags & kSampleEnergyImplausible);
+  // Garbage delta replaced by the last good power, not ~2^32 RAPL units.
+  EXPECT_DOUBLE_EQ(s.pkg_w, good.pkg_w);
+}
+
+TEST_F(TurbostatFaultTest, ReadSpikeFlaggedThenClampedNextPeriod) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  ASSERT_TRUE(ts.Sample().valid);
+  msr_.EnableFaults(Certain(&FaultPlan::read_spike_p));
+  sim.Run(1.0);
+  const TelemetrySample spike = ts.Sample();
+  // The spiked instruction counter fails the IPS plausibility ceiling.
+  EXPECT_TRUE(spike.fault_flags & kSampleRateImplausible);
+  EXPECT_FALSE(spike.cores[0].plausible);
+  EXPECT_LT(spike.cores[0].ips, 1e12);
+  // The spike was transient, so the next (clean) read regresses: the clamp
+  // (not an unsigned wrap) must catch it.
+  msr_.EnableFaults(FaultPlan{});
+  sim.Run(1.0);
+  const TelemetrySample after = ts.Sample();
+  EXPECT_TRUE(after.fault_flags & kSampleCounterReset);
+  EXPECT_LT(after.cores[0].ips, 1e12);
+}
+
+TEST_F(TurbostatFaultTest, InjectedStaleSampleKeepsWindow) {
+  Turbostat ts(&msr_);
+  Simulator sim(&pkg_);
+  sim.Run(1.0);
+  ASSERT_TRUE(ts.Sample().valid);
+  msr_.EnableFaults(Certain(&FaultPlan::stale_sample_p));
+  sim.Run(1.0);
+  const TelemetrySample stale = ts.Sample();
+  EXPECT_FALSE(stale.valid);
+  EXPECT_TRUE(stale.fault_flags & kSampleStale);
+  // Clear the faults; the next good sample covers the whole gap.
+  msr_.EnableFaults(FaultPlan{});
+  sim.Run(1.0);
+  const TelemetrySample good = ts.Sample();
+  EXPECT_TRUE(good.valid);
+  EXPECT_NEAR(good.dt, 2.0, 1e-9);
 }
 
 TEST(TurbostatRyzen, PerCorePowerPresent) {

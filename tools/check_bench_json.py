@@ -84,6 +84,33 @@ def check(doc):
             if v is not None and v <= 0:
                 fail(f"$.batch.{key}", f"expected > 0, got {v}")
 
+    faults = require(doc, "$", "fault_tolerance", list)
+    if faults is not None:
+        if not faults:
+            fail("$.fault_tolerance", "expected at least one fault ablation entry")
+        hardened_seen = False
+        for i, entry in enumerate(faults):
+            path = f"$.fault_tolerance[{i}]"
+            require(entry, path, "schedule", str)
+            mode = require(entry, path, "mode", str)
+            if mode is not None and mode not in ("naive", "hardened"):
+                fail(f"{path}.mode", f"expected 'naive' or 'hardened', got '{mode}'")
+            hardened_seen = hardened_seen or mode == "hardened"
+            for key in ("avg_pkg_w", "max_pkg_w"):
+                v = require(entry, path, key, float)
+                if v is not None and v <= 0:
+                    fail(f"{path}.{key}", f"expected > 0, got {v}")
+            v = require(entry, path, "overshoot_w", float)
+            if v is not None and v < 0:
+                fail(f"{path}.overshoot_w", f"expected >= 0, got {v}")
+            for key in ("invalid_samples", "fallback_periods", "failed_programs",
+                        "dropped_writes"):
+                v = require(entry, path, key, int)
+                if v is not None and v < 0:
+                    fail(f"{path}.{key}", f"expected >= 0, got {v}")
+        if not hardened_seen:
+            fail("$.fault_tolerance", "expected at least one hardened entry")
+
 
 def main(argv):
     if len(argv) != 2:
@@ -103,6 +130,7 @@ def main(argv):
         return 1
     print(f"{argv[1]}: schema OK "
           f"({len(doc['micro'])} micro, {len(doc['scenarios'])} scenarios, "
+          f"{len(doc['fault_tolerance'])} fault entries, "
           f"batch speedup {doc['batch']['speedup']:.2f}x)")
     return 0
 
