@@ -1,9 +1,13 @@
 // Perf-tracking harness: times representative scenarios serially and in
 // parallel and emits machine-readable BENCH_scenarios.json for CI trending.
 //
-// Four sections:
+// Five sections:
 //   - micro:           hot-loop timings (Package::Tick, full daemon step)
 //                      using the perf_util calibration discipline;
+//   - scaling:         Package::Tick at 8/64/128 cores (SoA tick engine
+//                      cost growth), one 4-socket Rack control period, and
+//                      the steady-state allocations-per-tick count, which
+//                      must be zero — the harness exits non-zero otherwise;
 //   - scenarios:       wall time of one representative scenario per policy,
 //                      with simulated-seconds-per-wall-second as the figure
 //                      of merit;
@@ -34,7 +38,12 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "bench/perf_util.h"
+#include "src/cluster/rack.h"
 #include "src/common/thread_pool.h"
 #include "src/cpusim/package.h"
 #include "src/experiments/batch.h"
@@ -44,6 +53,28 @@
 #include "src/policy/daemon.h"
 #include "src/specsim/spec2017.h"
 #include "src/specsim/workload.h"
+
+// Global allocation counter for the steady-state zero-alloc assertion.
+// Counting is cheap enough to leave on for the whole binary; only the
+// scaling section reads deltas.
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace papd {
 namespace {
@@ -125,6 +156,91 @@ std::vector<MicroResult> RunMicro(bool quick) {
   return out;
 }
 
+// --- Scaling section ---------------------------------------------------------
+
+struct ScalingRow {
+  int cores = 0;
+  double ns_per_iter = 0.0;
+  double ns_per_core = 0.0;
+};
+
+struct RackTiming {
+  int sockets = 0;
+  // Wall seconds for one control period (1 simulated second across all
+  // sockets) and the resulting simulated core-ticks per wall second.
+  double wall_s_per_step = 0.0;
+  double sim_core_ticks_per_s = 0.0;
+};
+
+struct ScalingResult {
+  std::vector<ScalingRow> package_tick;
+  RackTiming rack_tick;
+  long steady_allocs_per_tick = 0;
+};
+
+ScalingResult RunScaling(bool quick) {
+  const double min_time = quick ? 0.05 : 0.3;
+  ScalingResult out;
+
+  // BM_PackageTick at 8 / 64 / 128 cores, every core running gcc.
+  PlatformSpec eight = SkylakeXeon4114();
+  eight.num_cores = 8;
+  const PlatformSpec specs[] = {eight, ManyCoreXeon64(), ManyCoreEpyc128()};
+  for (const PlatformSpec& spec : specs) {
+    Package pkg(spec);
+    std::vector<std::unique_ptr<Process>> procs;
+    for (int i = 0; i < spec.num_cores; i++) {
+      procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + static_cast<uint64_t>(i)));
+      pkg.AttachWork(i, procs.back().get());
+    }
+    const perf::Result r = perf::MeasureLoop([&pkg] { pkg.Tick(0.001); }, min_time);
+    out.package_tick.push_back(
+        {spec.num_cores, r.ns_per_iter, r.ns_per_iter / spec.num_cores});
+
+    // The steady-state tick must not allocate (checked on the 8-core
+    // package; the loop above doubles as warmup for caches and memos).
+    if (spec.num_cores == 8) {
+      const long before = g_alloc_count.load(std::memory_order_relaxed);
+      for (int t = 0; t < 1000; t++) {
+        pkg.Tick(0.001);
+      }
+      out.steady_allocs_per_tick =
+          (g_alloc_count.load(std::memory_order_relaxed) - before + 999) / 1000;
+    }
+  }
+
+  // BM_RackTick: one arbiter period of a 4-socket Skylake rack.
+  {
+    RackConfig cfg;
+    for (int s = 0; s < 4; s++) {
+      RackSocketConfig socket{.platform = SkylakeXeon4114()};
+      socket.apps = ManyCoreSpreadMix(socket.platform.num_cores, s).apps;
+      socket.policy = PolicyKind::kFrequencyShares;
+      socket.shares = 1.0;
+      socket.seed = 42 + 100 * static_cast<uint64_t>(s);
+      socket.use_baseline_ips = false;
+      cfg.sockets.push_back(socket);
+    }
+    cfg.budget_w = 200.0;
+    Rack rack(cfg);
+    rack.Step();  // Warmup period.
+    const int steps = quick ? 3 : 10;
+    const double start = perf::NowS();
+    for (int s = 0; s < steps; s++) {
+      rack.Step();
+    }
+    const double wall = perf::NowS() - start;
+    out.rack_tick.sockets = 4;
+    out.rack_tick.wall_s_per_step = wall / steps;
+    const double core_ticks_per_step =
+        4.0 * 10.0 * (cfg.control_period_s / cfg.tick_s);
+    out.rack_tick.sim_core_ticks_per_s =
+        wall > 0.0 ? steps * core_ticks_per_step / wall : 0.0;
+  }
+
+  return out;
+}
+
 struct FaultRow {
   std::string schedule;
   bool hardened = false;
@@ -197,8 +313,9 @@ std::string JsonEscape(const std::string& s) {
 }
 
 int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micro,
-              const std::vector<ScenarioTiming>& scenarios, size_t batch_count,
-              Seconds serial_s, Seconds parallel_s, const std::vector<FaultRow>& faults) {
+              const ScalingResult& scaling, const std::vector<ScenarioTiming>& scenarios,
+              size_t batch_count, Seconds serial_s, Seconds parallel_s,
+              const std::vector<FaultRow>& faults) {
   FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -218,6 +335,23 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
                  i + 1 < micro.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scaling\": {\n");
+  std::fprintf(f, "    \"package_tick\": [\n");
+  for (size_t i = 0; i < scaling.package_tick.size(); i++) {
+    const ScalingRow& r = scaling.package_tick[i];
+    std::fprintf(f,
+                 "      {\"cores\": %d, \"ns_per_iter\": %.1f, \"ns_per_core\": %.2f}%s\n",
+                 r.cores, r.ns_per_iter, r.ns_per_core,
+                 i + 1 < scaling.package_tick.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f,
+               "    \"rack_tick\": {\"sockets\": %d, \"wall_s_per_step\": %.4f, "
+               "\"sim_core_ticks_per_s\": %.0f},\n",
+               scaling.rack_tick.sockets, scaling.rack_tick.wall_s_per_step,
+               scaling.rack_tick.sim_core_ticks_per_s);
+  std::fprintf(f, "    \"steady_allocs_per_tick\": %ld\n", scaling.steady_allocs_per_tick);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (size_t i = 0; i < scenarios.size(); i++) {
     const ScenarioTiming& s = scenarios[i];
@@ -275,6 +409,24 @@ int Main(int argc, char** argv) {
     std::printf("  %-28s %10.1f ns\n", m.name.c_str(), m.ns_per_iter);
   }
 
+  std::printf("perf_harness: scaling (SoA tick engine)\n");
+  const ScalingResult scaling = RunScaling(opt.quick);
+  for (const ScalingRow& r : scaling.package_tick) {
+    std::printf("  package_tick %3d cores  %10.1f ns  (%6.2f ns/core)\n", r.cores, r.ns_per_iter,
+                r.ns_per_core);
+  }
+  std::printf("  rack_tick %d sockets    %8.4f s/step  (%.0f core-ticks/s)\n",
+              scaling.rack_tick.sockets, scaling.rack_tick.wall_s_per_step,
+              scaling.rack_tick.sim_core_ticks_per_s);
+  std::printf("  steady_allocs_per_tick %ld\n", scaling.steady_allocs_per_tick);
+  if (scaling.steady_allocs_per_tick != 0) {
+    std::fprintf(stderr,
+                 "perf_harness: FAIL — steady-state Package::Tick performed %ld allocations "
+                 "per tick (expected 0)\n",
+                 scaling.steady_allocs_per_tick);
+    return 1;
+  }
+
   const PolicyKind kPolicies[] = {PolicyKind::kRaplOnly, PolicyKind::kPriority,
                                   PolicyKind::kFrequencyShares, PolicyKind::kPerformanceShares,
                                   PolicyKind::kPowerShares};
@@ -327,8 +479,8 @@ int Main(int argc, char** argv) {
                 r.invalid_samples, r.fallback_periods);
   }
 
-  return WriteJson(opt, jobs, micro, scenarios, batch_configs.size(), serial_s, parallel_s,
-                   faults);
+  return WriteJson(opt, jobs, micro, scaling, scenarios, batch_configs.size(), serial_s,
+                   parallel_s, faults);
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+#include "src/cluster/rack.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/policy/min_funding.h"
+#include "src/specsim/spec2017.h"
+
+namespace papd {
+
+namespace {
+
+Watts FloorFor(const RackSocketConfig& cfg) {
+  if (cfg.min_budget_w > 0.0) {
+    return cfg.min_budget_w;
+  }
+  return cfg.platform.has_rapl_limit ? cfg.platform.rapl_min_w : cfg.platform.tdp_w / 4.0;
+}
+
+Watts CeilingFor(const RackSocketConfig& cfg) {
+  if (cfg.max_budget_w > 0.0) {
+    return cfg.max_budget_w;
+  }
+  return cfg.platform.has_rapl_limit ? cfg.platform.rapl_max_w : cfg.platform.tdp_w;
+}
+
+}  // namespace
+
+// The per-socket pipeline, mirroring RunScenario's stack: the package, its
+// MSR surface, the pinned processes, the policy daemon, and a simulator
+// driving ticks + periodic daemon steps.  Sockets share nothing mutable, so
+// the rack can advance them on worker threads without synchronization.
+struct Rack::Socket {
+  Socket(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s, Watts initial_budget_w)
+      : config(cfg), pkg(cfg.platform), msr(&pkg), sim(&pkg, tick_s) {
+    PAPD_CHECK_LE(static_cast<int>(cfg.apps.size()), cfg.platform.num_cores);
+    std::vector<ManagedApp> managed;
+    for (size_t i = 0; i < cfg.apps.size(); i++) {
+      const AppSetup& setup = cfg.apps[i];
+      procs.push_back(
+          std::make_unique<Process>(GetProfile(setup.profile), cfg.seed + 1000 * i));
+      pkg.AttachWork(static_cast<int>(i), procs.back().get());
+      managed.push_back(ManagedApp{
+          .name = setup.profile,
+          .cpu = static_cast<int>(i),
+          .shares = setup.shares,
+          .high_priority = setup.high_priority,
+          .baseline_ips = cfg.use_baseline_ips
+                              ? Standalone(cfg.platform, setup.profile).ips
+                              : 0.0,
+      });
+    }
+    for (int c = static_cast<int>(cfg.apps.size()); c < pkg.num_cores(); c++) {
+      pkg.SetRequestedMhz(c, cfg.platform.min_mhz);
+    }
+
+    DaemonConfig dcfg;
+    dcfg.kind = cfg.policy;
+    dcfg.power_limit_w = initial_budget_w;
+    dcfg.period_s = period_s;
+    dcfg.audit = cfg.audit;
+    daemon = std::make_unique<PowerDaemon>(&msr, std::move(managed), dcfg);
+    daemon->Start();
+    sim.AddPeriodic(period_s, [this](Seconds) { daemon->Step(); });
+  }
+
+  // Advances one control period and records the average power drawn in it.
+  void AdvancePeriod(Seconds period_s) {
+    const Joules start_j = pkg.package_energy_j();
+    sim.Run(period_s);
+    last_measured_w = (pkg.package_energy_j() - start_j) / period_s;
+  }
+
+  RackSocketConfig config;
+  Package pkg;
+  MsrFile msr;
+  std::vector<std::unique_ptr<Process>> procs;
+  std::unique_ptr<PowerDaemon> daemon;
+  Simulator sim;
+  Watts last_measured_w = 0.0;
+};
+
+Rack::Rack(RackConfig config) : config_(std::move(config)) {
+  PAPD_CHECK(!config_.sockets.empty());
+  const size_t n = config_.sockets.size();
+  budgets_w_.assign(n, 0.0);
+  measured_w_.assign(n, 0.0);
+
+  // Initial split: proportional to shares between each socket's floor and
+  // ceiling, before anything has been measured.
+  std::vector<ShareRequest> req(n);
+  for (size_t i = 0; i < n; i++) {
+    req[i] = ShareRequest{.shares = config_.sockets[i].shares,
+                          .minimum = FloorFor(config_.sockets[i]),
+                          .maximum = CeilingFor(config_.sockets[i])};
+  }
+  budgets_w_ = DistributeProportional(config_.budget_w, req);
+
+  sockets_.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    sockets_.push_back(std::make_unique<Socket>(config_.sockets[i], config_.control_period_s,
+                                                config_.tick_s, budgets_w_[i]));
+  }
+}
+
+Rack::~Rack() = default;
+
+Seconds Rack::now() const { return sockets_.front()->pkg.now(); }
+
+Watts Rack::budget_sum_w() const {
+  Watts sum = 0.0;
+  for (Watts b : budgets_w_) {
+    sum += b;
+  }
+  return sum;
+}
+
+Watts Rack::last_rack_power_w() const {
+  Watts sum = 0.0;
+  for (Watts w : measured_w_) {
+    sum += w;
+  }
+  return sum;
+}
+
+Package& Rack::package(int socket) { return sockets_[static_cast<size_t>(socket)]->pkg; }
+
+const PowerDaemon& Rack::daemon(int socket) const {
+  return *sockets_[static_cast<size_t>(socket)]->daemon;
+}
+
+void Rack::Step(ThreadPool* pool) {
+  const size_t n = sockets_.size();
+  // Fan the sockets out; the barrier at the end of ParallelFor means the
+  // arbiter below always sees a consistent rack state.
+  if (pool != nullptr) {
+    pool->ParallelFor(n, [this](size_t i) { sockets_[i]->AdvancePeriod(config_.control_period_s); });
+  } else {
+    for (size_t i = 0; i < n; i++) {
+      sockets_[i]->AdvancePeriod(config_.control_period_s);
+    }
+  }
+  for (size_t i = 0; i < n; i++) {
+    measured_w_[i] = sockets_[i]->last_measured_w;
+  }
+
+  history_.push_back(PeriodRecord{.end_s = now(), .budgets_w = budgets_w_, .measured_w = measured_w_});
+  Arbitrate();
+}
+
+void Rack::Arbitrate() {
+  const size_t n = sockets_.size();
+  std::vector<ShareRequest> req(n);
+  for (size_t i = 0; i < n; i++) {
+    const RackSocketConfig& cfg = config_.sockets[i];
+    const Watts floor = FloorFor(cfg);
+    Watts ceiling = CeilingFor(cfg);
+    if (config_.arbiter == RackArbiterKind::kDemand) {
+      // Claim only slightly more than the measured draw, so idle sockets
+      // release headroom; min-funding revocation hands it to busy ones.
+      const Watts demand = measured_w_[i] * 1.10 + 2.0;
+      ceiling = std::clamp(demand, floor, ceiling);
+    }
+    req[i] = ShareRequest{.shares = cfg.shares, .minimum = floor, .maximum = ceiling};
+  }
+  budgets_w_ = DistributeProportional(config_.budget_w, req);
+  for (size_t i = 0; i < n; i++) {
+    sockets_[i]->daemon->SetPowerLimit(budgets_w_[i]);
+  }
+}
+
+RackResult RunRack(const RackConfig& config, Seconds warmup_s, Seconds measure_s,
+                   ThreadPool* pool) {
+  Rack rack(config);
+  const auto periods = [&](Seconds span) {
+    return static_cast<int>(span / config.control_period_s + 0.5);
+  };
+  for (int p = 0; p < periods(warmup_s); p++) {
+    rack.Step(pool);
+  }
+
+  RackResult result;
+  result.socket_avg_w.assign(static_cast<size_t>(rack.num_sockets()), 0.0);
+  const int measure_periods = std::max(1, periods(measure_s));
+  const Seconds start_s = rack.now();
+  for (int p = 0; p < measure_periods; p++) {
+    result.max_budget_sum_w = std::max(result.max_budget_sum_w, rack.budget_sum_w());
+    rack.Step(pool);
+    for (int s = 0; s < rack.num_sockets(); s++) {
+      result.socket_avg_w[static_cast<size_t>(s)] += rack.measured_w()[static_cast<size_t>(s)];
+    }
+  }
+  result.measured_s = rack.now() - start_s;
+  for (Watts& w : result.socket_avg_w) {
+    w /= measure_periods;
+    result.avg_rack_w += w;
+  }
+  return result;
+}
+
+}  // namespace papd

@@ -1,0 +1,145 @@
+// Rack-scale sharded simulation: N packages, one budget.
+//
+// A Rack runs N independent sockets — each a full Package + MsrFile +
+// PowerDaemon + Simulator stack, exactly the per-socket pipeline the
+// experiment harness builds — and layers a rack-level power arbiter on top.
+// Each control period:
+//
+//   1. every socket advances one period of simulated time (fanned out on
+//      the ThreadPool; sockets share no mutable state, so results are
+//      bit-identical to a serial run);
+//   2. the arbiter reads each socket's measured power over the period and
+//      re-splits the rack budget across sockets with the same min-funding
+//      proportional distributor the per-socket policies use
+//      (DistributeProportional, paper Section 5.2);
+//   3. the new per-socket budgets land via PowerDaemon::SetPowerLimit — the
+//      runtime cap-change path cluster managers like Facebook's Dynamo use.
+//
+// The arbiter guarantees sum(per-socket budgets) <= rack budget whenever
+// the budget covers the per-socket floors (see Arbitrate()); rack_test.cc
+// asserts this invariant over every period of every run.
+
+#ifndef SRC_CLUSTER_RACK_H_
+#define SRC_CLUSTER_RACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/common/units.h"
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/experiments/harness.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+
+// How the arbiter sizes each socket's claim before distributing.
+enum class RackArbiterKind {
+  // Pure share-proportional split between each socket's floor and ceiling.
+  kShares,
+  // Demand-following: a socket's claim is capped just above its measured
+  // draw, so surplus from lightly loaded sockets flows to busy ones
+  // (min-funding revocation does the redistribution).
+  kDemand,
+};
+
+// One socket of the rack: a platform running a fixed app mix under its own
+// PowerDaemon.
+struct RackSocketConfig {
+  PlatformSpec platform;
+  std::vector<AppSetup> apps;
+  PolicyKind policy = PolicyKind::kFrequencyShares;
+  // Arbiter share weight for budget splits.
+  double shares = 1.0;
+  // Budget floor the arbiter guarantees this socket (>= the socket's idle
+  // draw, or the daemon would throttle forever); 0 derives a floor from the
+  // platform's RAPL minimum (or 1/4 TDP without RAPL).
+  Watts min_budget_w = 0.0;
+  // Budget ceiling; 0 derives it from rapl_max_w (or TDP without RAPL).
+  Watts max_budget_w = 0.0;
+  uint64_t seed = 42;
+  // Run the per-socket daemon's invariant auditor.
+  bool audit = true;
+  // Use measured standalone baselines (kPerformanceShares needs them; costs
+  // one cached standalone simulation per distinct profile).
+  bool use_baseline_ips = true;
+};
+
+struct RackConfig {
+  std::vector<RackSocketConfig> sockets;
+  // Rack-level power budget split across sockets each period.
+  Watts budget_w = 400.0;
+  // Arbiter + per-socket daemon control period.
+  Seconds control_period_s = 1.0;
+  RackArbiterKind arbiter = RackArbiterKind::kShares;
+  // Simulator tick.
+  Seconds tick_s = 0.001;
+};
+
+class Rack {
+ public:
+  explicit Rack(RackConfig config);
+  ~Rack();
+
+  Rack(const Rack&) = delete;
+  Rack& operator=(const Rack&) = delete;
+
+  int num_sockets() const { return static_cast<int>(sockets_.size()); }
+  Seconds now() const;
+
+  // Advances every socket one control period — on `pool` when given, else
+  // serially — then re-arbitrates the budget split.  Results are identical
+  // either way; the pool only changes wall-clock time.
+  void Step(ThreadPool* pool = nullptr);
+
+  // Current per-socket budget grants (set by the last arbitration).
+  const std::vector<Watts>& budgets_w() const { return budgets_w_; }
+  Watts budget_sum_w() const;
+  // Per-socket average power measured over the last period.
+  const std::vector<Watts>& measured_w() const { return measured_w_; }
+  // Whole-rack average power over the last period.
+  Watts last_rack_power_w() const;
+
+  Package& package(int socket);
+  const PowerDaemon& daemon(int socket) const;
+
+  // One row per completed Step(): the grants in force during the period and
+  // the power measured over it.
+  struct PeriodRecord {
+    Seconds end_s = 0.0;
+    std::vector<Watts> budgets_w;
+    std::vector<Watts> measured_w;
+  };
+  const std::vector<PeriodRecord>& history() const { return history_; }
+
+ private:
+  struct Socket;
+
+  void Arbitrate();
+
+  RackConfig config_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::vector<Watts> budgets_w_;
+  std::vector<Watts> measured_w_;
+  std::vector<PeriodRecord> history_;
+};
+
+// Summary statistics for a measured window of rack execution.
+struct RackResult {
+  Watts avg_rack_w = 0.0;
+  // Largest sum of simultaneous per-socket grants seen in the window.
+  Watts max_budget_sum_w = 0.0;
+  std::vector<Watts> socket_avg_w;
+  Seconds measured_s = 0.0;
+};
+
+// Runs warmup + measurement periods and reduces the window to averages.
+RackResult RunRack(const RackConfig& config, Seconds warmup_s, Seconds measure_s,
+                   ThreadPool* pool = nullptr);
+
+}  // namespace papd
+
+#endif  // SRC_CLUSTER_RACK_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 
 #include "src/common/logging.h"
 
@@ -13,42 +12,52 @@ Package::Package(PlatformSpec spec)
       pstates_(spec_.min_mhz, spec_.turbo_max_mhz, spec_.step_mhz),
       power_model_(&spec_),
       rapl_(&spec_),
-      thermal_(spec_.thermal, spec_.num_cores) {
+      thermal_(spec_.thermal, spec_.num_cores),
+      cores_(spec_.num_cores, spec_.base_max_mhz) {
   const auto n = static_cast<size_t>(spec_.num_cores);
-  cores_.reserve(n);
-  for (int i = 0; i < spec_.num_cores; i++) {
-    cores_.emplace_back(i, spec_.base_max_mhz);
-  }
   multi_member_.assign(n, 0);
-  scratch_effective_.assign(n, 0.0);
-  scratch_slices_.assign(n, WorkSlice{});
-  scratch_core_powers_.assign(n, 0.0);
   scratch_avx_.assign(n, 0);
-  volts_cache_mhz_.assign(n, -1.0);
-  volts_cache_v_.assign(n, 0.0);
+  scratch_pstate_marks_.assign(pstates_.size(), 0);
 }
 
 void Package::AttachWork(int core, CoreWork* work) {
-  cores_[static_cast<size_t>(core)].set_work(work);
+  const auto i = static_cast<size_t>(core);
+  cores_.work[i] = work;
+  // UsesAvx is contractually invariant while attached; cache it so the tick
+  // census makes no virtual calls.
+  cores_.work_avx[i] = (work != nullptr && work->UsesAvx()) ? 1 : 0;
 }
 
-void Package::DetachWork(int core) { cores_[static_cast<size_t>(core)].set_work(nullptr); }
+void Package::DetachWork(int core) {
+  const auto i = static_cast<size_t>(core);
+  cores_.work[i] = nullptr;
+  cores_.work_avx[i] = 0;
+}
 
 void Package::AttachMultiWork(MultiCoreWork* work) {
-  for (int c : work->Cores()) {
+  MultiWorkEntry entry;
+  entry.work = work;
+  entry.cores = &work->Cores();
+  entry.uses_avx = work->UsesAvx() ? 1 : 0;
+  for (int c : *entry.cores) {
     assert(c >= 0 && c < num_cores());
-    assert(cores_[static_cast<size_t>(c)].work() == nullptr);
+    assert(cores_.work[static_cast<size_t>(c)] == nullptr);
     multi_member_[static_cast<size_t>(c)] = 1;
   }
-  multi_works_.push_back(work);
+  multi_works_.push_back(entry);
+  const size_t m = entry.cores->size();
+  if (scratch_multi_freqs_.size() < m) {
+    scratch_multi_freqs_.resize(m);
+    scratch_multi_slices_.resize(m);
+  }
 }
 
 void Package::SetRequestedMhz(int core, Mhz mhz) {
-  cores_[static_cast<size_t>(core)].set_requested_mhz(pstates_.QuantizeDown(mhz));
+  cores_.requested_mhz[static_cast<size_t>(core)] = pstates_.QuantizeDown(mhz);
 }
 
 void Package::SetOnline(int core, bool online) {
-  cores_[static_cast<size_t>(core)].set_online(online);
+  cores_.online[static_cast<size_t>(core)] = online ? 1 : 0;
 }
 
 void Package::SetRaplLimit(Watts limit_w) {
@@ -62,36 +71,54 @@ void Package::SetRaplLimit(Watts limit_w) {
 void Package::ClearRaplLimit() { rapl_.Disable(); }
 
 int Package::DistinctRequestedFrequencies() const {
-  std::set<long> distinct;
-  for (const Core& c : cores_) {
-    if (c.online()) {
-      distinct.insert(static_cast<long>(c.requested_mhz()));
+  // Requested frequencies always sit on the P-state grid (SetRequestedMhz
+  // quantizes), so distinct values are counted by marking grid slots in a
+  // reusable bitmap instead of building a std::set per call.
+  const size_t n = cores_.size();
+  int distinct = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (!cores_.online[i]) {
+      continue;
+    }
+    const size_t slot = pstates_.IndexOf(cores_.requested_mhz[i]);
+    if (!scratch_pstate_marks_[slot]) {
+      scratch_pstate_marks_[slot] = 1;
+      distinct++;
     }
   }
-  return static_cast<int>(distinct.size());
+  for (size_t i = 0; i < n; i++) {
+    if (cores_.online[i]) {
+      scratch_pstate_marks_[pstates_.IndexOf(cores_.requested_mhz[i])] = 0;
+    }
+  }
+  return distinct;
 }
 
+// PAPD_HOT
 void Package::Tick(Seconds dt) {
   const size_t n = cores_.size();
+  const uint8_t* online = cores_.online.data();
+  CoreWork* const* work = cores_.work.data();
+  Mhz* effective = cores_.effective_mhz.data();
+  WorkSlice* slices = cores_.slice.data();
 
   // 1. Census: cores counted "active" (C0) for the turbo ladder, and cores
-  // running AVX-heavy code for the AVX caps.  The (virtual) UsesAvx query is
-  // made once per core here and the answer reused below.
+  // running AVX-heavy code for the AVX caps.  AVX flags were cached at
+  // attach time, so this pass touches only flat arrays.
   int active = 0;
   int avx_active = 0;
   for (size_t i = 0; i < n; i++) {
-    const Core& c = cores_[i];
-    const bool online_with_single = c.online() && c.work() != nullptr;
-    scratch_avx_[i] = online_with_single && c.work()->UsesAvx() ? 1 : 0;
-    if (!c.online() || (c.work() == nullptr && !multi_member_[i])) {
+    const bool has_work = work[i] != nullptr;
+    scratch_avx_[i] = (online[i] && has_work) ? cores_.work_avx[i] : 0;
+    if (!online[i] || (!has_work && !multi_member_[i])) {
       continue;
     }
     active++;
     avx_active += scratch_avx_[i];
   }
-  for (const MultiCoreWork* w : multi_works_) {
-    if (w->UsesAvx()) {
-      avx_active += static_cast<int>(w->Cores().size());
+  for (const MultiWorkEntry& w : multi_works_) {
+    if (w.uses_avx) {
+      avx_active += static_cast<int>(w.cores->size());
     }
   }
 
@@ -100,14 +127,14 @@ void Package::Tick(Seconds dt) {
   const bool rapl_on = rapl_.enabled();
   const Mhz rapl_ceiling = rapl_.ceiling_mhz();
 
-  // 2. Effective frequencies.
+  // 2. Effective frequencies, written straight into the results array
+  // (offline cores report 0).
   for (size_t i = 0; i < n; i++) {
-    const Core& c = cores_[i];
-    if (!c.online()) {
-      scratch_effective_[i] = 0.0;
+    if (!online[i]) {
+      effective[i] = 0.0;
       continue;
     }
-    Mhz f = std::min(c.requested_mhz(), turbo_limit);
+    Mhz f = std::min(cores_.requested_mhz[i], turbo_limit);
     if (rapl_on) {
       f = std::min(f, rapl_ceiling);
     }
@@ -118,57 +145,61 @@ void Package::Tick(Seconds dt) {
       // PROCHOT: the core hard-throttles to the floor until it cools.
       f = spec_.min_mhz;
     }
-    scratch_effective_[i] = std::max(f, spec_.min_mhz);
+    effective[i] = std::max(f, spec_.min_mhz);
   }
 
-  // 3. Run workloads.
+  // 3. Run workloads; slices land in place via the span API (no per-tick
+  // vector allocation and no result copies).
   for (size_t i = 0; i < n; i++) {
-    Core& c = cores_[i];
-    if (c.online() && c.work() != nullptr) {
-      scratch_slices_[i] = c.work()->Run(dt, scratch_effective_[i]);
-    } else {
-      scratch_slices_[i] = WorkSlice{};
+    if (online[i] && work[i] != nullptr) {
+      work[i]->RunBatch(dt, &effective[i], &slices[i], 1);
+    } else if (!multi_member_[i]) {
+      slices[i] = WorkSlice{};
     }
   }
-  for (MultiCoreWork* w : multi_works_) {
-    scratch_multi_freqs_.clear();
-    scratch_multi_freqs_.reserve(w->Cores().size());
-    for (int c : w->Cores()) {
+  for (const MultiWorkEntry& w : multi_works_) {
+    const std::vector<int>& members = *w.cores;
+    const size_t m = members.size();
+    for (size_t j = 0; j < m; j++) {
       // An offlined member core contributes no cycles.
-      scratch_multi_freqs_.push_back(
-          cores_[static_cast<size_t>(c)].online() ? scratch_effective_[static_cast<size_t>(c)]
-                                                  : 0.0);
+      const auto c = static_cast<size_t>(members[j]);
+      scratch_multi_freqs_[j] = online[c] ? effective[c] : 0.0;
     }
-    std::vector<WorkSlice> work_slices = w->Run(dt, scratch_multi_freqs_);
-    assert(work_slices.size() == w->Cores().size());
-    for (size_t j = 0; j < w->Cores().size(); j++) {
-      scratch_slices_[static_cast<size_t>(w->Cores()[j])] = work_slices[j];
+    w.work->RunBatch(dt, scratch_multi_freqs_.data(), scratch_multi_slices_.data(), m);
+    for (size_t j = 0; j < m; j++) {
+      slices[static_cast<size_t>(members[j])] = scratch_multi_slices_[j];
     }
   }
 
-  // 4. Power, per-tick core results, and hardware counters in one pass.
+  // 4. Power, per-tick core results, and hardware counters in one pass over
+  // the flat arrays.
   Watts total = 0.0;
   int busy_cores = 0;
   for (size_t i = 0; i < n; i++) {
-    Core& c = cores_[i];
     Watts p;
-    if (!c.online()) {
+    if (!online[i]) {
+      effective[i] = 0.0;  // Pass 2 already wrote 0; keep the invariant local.
       p = power_model_.OfflineCorePowerW();
     } else {
-      const Mhz f = scratch_effective_[i];
-      if (f != volts_cache_mhz_[i]) {
-        volts_cache_mhz_[i] = f;
-        volts_cache_v_[i] = power_model_.VoltsAt(f);
+      const Mhz f = effective[i];
+      if (f != cores_.volts_cache_mhz[i]) {
+        cores_.volts_cache_mhz[i] = f;
+        cores_.volts_cache_v[i] = power_model_.VoltsAt(f);
       }
-      p = power_model_.CorePowerW(f, scratch_slices_[i].busy_fraction,
-                                  scratch_slices_[i].activity, volts_cache_v_[i]);
-      if (scratch_slices_[i].busy_fraction > 0.05) {
+      p = power_model_.CorePowerW(f, slices[i].busy_fraction, slices[i].activity,
+                                  cores_.volts_cache_v[i]);
+      if (slices[i].busy_fraction > 0.05) {
         busy_cores++;
       }
     }
-    c.SetTickResults(c.online() ? scratch_effective_[i] : 0.0, scratch_slices_[i], p);
-    c.AdvanceCounters(dt, spec_.tsc_mhz);
-    scratch_core_powers_[i] = p;
+    cores_.power_w[i] = p;
+    // Hardware counters (formerly Core::AdvanceCounters), same expression
+    // order so results stay bit-identical.
+    const double busy = slices[i].busy_fraction;
+    cores_.aperf_cycles[i] += effective[i] * kHzPerMhz * dt * busy;
+    cores_.mperf_cycles[i] += spec_.tsc_mhz * kHzPerMhz * dt * busy;
+    cores_.instructions_retired[i] += slices[i].instructions;
+    cores_.energy_j[i] += p * dt;
     total += p;
   }
   const Watts uncore = power_model_.UncorePowerW(busy_cores);
@@ -176,7 +207,7 @@ void Package::Tick(Seconds dt) {
 
   // 5. RAPL and the thermal model observe this tick's power.
   rapl_.Update(total, dt);
-  thermal_.Update(scratch_core_powers_, uncore, dt);
+  thermal_.Update(cores_.power_w, uncore, dt);
 
   // 6. Bookkeeping.
   last_package_power_w_ = total;

@@ -9,10 +9,16 @@
 //      ceiling for the next tick;
 //   4. hardware counters (APERF/MPERF, retired instructions, energy)
 //      advance.
+//
+// Per-core state is structure-of-arrays (CoreArray, core.h): each tick pass
+// streams over contiguous vectors, workload slices are written in place via
+// the RunBatch span API, and the steady-state tick performs no heap
+// allocation.
 
 #ifndef SRC_CPUSIM_PACKAGE_H_
 #define SRC_CPUSIM_PACKAGE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/units.h"
@@ -34,8 +40,8 @@ class Package {
   const PStateTable& pstates() const { return pstates_; }
 
   int num_cores() const { return static_cast<int>(cores_.size()); }
-  Core& core(int i) { return cores_[static_cast<size_t>(i)]; }
-  const Core& core(int i) const { return cores_[static_cast<size_t>(i)]; }
+  // Read-only view of core i; mutations go through the Set* methods below.
+  Core core(int i) const { return Core(&cores_, i); }
 
   // --- Work attachment (non-owning) ----------------------------------------
   void AttachWork(int core, CoreWork* work);
@@ -68,27 +74,34 @@ class Package {
   int DistinctRequestedFrequencies() const;
 
  private:
+  // One attached MultiCoreWork with its per-attachment caches: the member
+  // core list and the AVX flag are virtual calls answered once at attach.
+  struct MultiWorkEntry {
+    MultiCoreWork* work = nullptr;
+    const std::vector<int>* cores = nullptr;
+    uint8_t uses_avx = 0;
+  };
+
   PlatformSpec spec_;
   PStateTable pstates_;
   PowerModel power_model_;
   RaplController rapl_;
   ThermalModel thermal_;
-  std::vector<Core> cores_;
-  std::vector<MultiCoreWork*> multi_works_;
+  CoreArray cores_;
+  std::vector<MultiWorkEntry> multi_works_;
   // multi_member_[i] != 0 iff core i belongs to an attached MultiCoreWork;
   // maintained by AttachMultiWork so Tick never scans the work list.
   std::vector<uint8_t> multi_member_;
 
-  // Per-core scratch reused every tick — the tick loop must not allocate.
-  std::vector<Mhz> scratch_effective_;
-  std::vector<WorkSlice> scratch_slices_;
-  std::vector<Watts> scratch_core_powers_;
+  // Per-tick scratch reused every tick — the tick loop must not allocate.
   std::vector<uint8_t> scratch_avx_;  // This tick: online single work using AVX.
+  // Gather/scatter staging for multi-core works (sized to the largest
+  // attached work's core count at attach time).
   std::vector<Mhz> scratch_multi_freqs_;
-  // Memoized voltage-curve lookups: effective frequency rarely changes
-  // between ticks, so the piecewise-linear interpolation is cached per core.
-  std::vector<Mhz> volts_cache_mhz_;
-  std::vector<Volts> volts_cache_v_;
+  std::vector<WorkSlice> scratch_multi_slices_;
+  // DistinctRequestedFrequencies marks P-state grid slots here; cleared
+  // after each call (mutable: the query is logically const).
+  mutable std::vector<uint8_t> scratch_pstate_marks_;
 
   Seconds now_ = 0.0;
   Watts last_package_power_w_ = 0.0;

@@ -91,6 +91,45 @@ std::vector<AppSetup> RandomSetApps(const RandomSet& set) {
   return apps;
 }
 
+std::vector<WorkloadMix> ManyCorePriorityMixes(int num_cores) {
+  // The paper's Table 2 shapes at 10 cores, generalized: each mix places
+  // `hp` high-priority apps (half cactusBSSN/half leela, HD/LD balanced)
+  // and fills the rest with low-priority apps of the same balance.
+  std::vector<WorkloadMix> mixes;
+  auto make = [num_cores](const std::string& label, int hp) {
+    WorkloadMix mix;
+    mix.label = label;
+    const int lp = num_cores - hp;
+    Repeat(&mix.apps, Hp("cactusBSSN"), hp - hp / 2);
+    Repeat(&mix.apps, Hp("leela"), hp / 2);
+    Repeat(&mix.apps, Lp("cactusBSSN"), lp - lp / 2);
+    Repeat(&mix.apps, Lp("leela"), lp / 2);
+    return mix;
+  };
+  const int n = num_cores;
+  mixes.push_back(make("allH", n));
+  mixes.push_back(make("3of4H", 3 * n / 4));
+  mixes.push_back(make("halfH", n / 2));
+  mixes.push_back(make("1of4H", n / 4));
+  return mixes;
+}
+
+WorkloadMix ManyCoreSpreadMix(int num_cores, int rotate) {
+  // The Table 3 pool (sets A and B merged, duplicates removed), cycled
+  // across the cores with the standard share ladder.
+  static const char* kPool[] = {"deepsjeng", "perlbench", "cactusBSSN", "exchange2",
+                                "gcc",       "omnetpp",   "cam4",       "lbm"};
+  constexpr int kPoolSize = static_cast<int>(sizeof(kPool) / sizeof(kPool[0]));
+  WorkloadMix mix;
+  mix.label = "spread-r" + std::to_string(rotate);
+  for (int i = 0; i < num_cores; i++) {
+    const int app = (i + rotate) % kPoolSize;
+    const double shares = 20.0 * static_cast<double>(app % 5 + 1);
+    mix.apps.push_back(AppSetup{.profile = kPool[app], .shares = shares});
+  }
+  return mix;
+}
+
 std::vector<FaultScenario> FaultSchedules(Seconds start_s, Seconds end_s, uint64_t seed) {
   auto plan = [&](uint64_t salt) {
     FaultPlan p;

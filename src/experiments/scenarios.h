@@ -43,6 +43,17 @@ std::vector<RandomSet> RandomSets();
 // both copies at the same share level.
 std::vector<AppSetup> RandomSetApps(const RandomSet& set);
 
+// --- Many-core scenarios (EXPERIMENTS.md A10) --------------------------------
+// Table-2-style priority mixes scaled to an arbitrary core count (for the
+// 64/128-core presets): all-HP, 3/4-HP, half-HP, and 1/4-HP splits with the
+// HD/LD (cactusBSSN/leela) balance of the paper's mixes.
+std::vector<WorkloadMix> ManyCorePriorityMixes(int num_cores);
+
+// A heterogeneous rack-socket mix: cycles the Table 3 application pool
+// across `num_cores` cores with share levels {20, 40, 60, 80, 100} by app
+// index; `rotate` offsets the pool so different sockets get different mixes.
+WorkloadMix ManyCoreSpreadMix(int num_cores, int rotate);
+
 // --- Fault schedules ---------------------------------------------------------
 // Standard telemetry/write fault schedules for the fault-tolerance ablation
 // and its regression tests.  Each schedule exercises one fault class hard

@@ -102,4 +102,88 @@ PlatformSpec Ryzen1700X() {
   return spec;
 }
 
+PlatformSpec ManyCoreXeon64() {
+  PlatformSpec spec{
+      .name = "ManyCore Xeon 64",
+      .num_cores = 64,
+      .min_mhz = 800,
+      .base_max_mhz = 2600,
+      .step_mhz = 100,
+      .turbo_max_mhz = 3700,
+      // Ladder extrapolated from the Skylake shape: a few hot cores reach
+      // 3.7 GHz, the all-core limit settles at 2.7 GHz.
+      .turbo_ladder = {{2, 3700}, {4, 3500}, {8, 3300}, {16, 3100}, {32, 2900}, {64, 2700}},
+      .avx_max_mhz_light = 2400,
+      .avx_max_mhz_heavy = 2000,
+      .avx_light_cores = 8,
+      .tdp_w = 270,
+      .rapl_min_w = 90,
+      .rapl_max_w = 350,
+      .has_rapl_limit = true,
+      .has_per_core_power = false,
+      .max_simultaneous_pstates = 0,
+      .voltage = VoltageCurve({{800, 0.65}, {2600, 1.00}, {3700, 1.20}}),
+      .power =
+          {
+              .ceff_w_per_v2ghz = 2.0,
+              .leak_ref_w = 0.9,
+              .leak_ref_volts = 1.0,
+              .clock_gate_w = 0.25,
+              .cstate_idle_w = 0.05,
+              // Mesh + memory controllers; grows noticeably with load.
+              .uncore_base_w = 25.0,
+              .uncore_per_active_w = 0.15,
+          },
+      .tsc_mhz = 2600,
+      .thermal = {.ambient_c = 40.0,
+                  .r_core_c_per_w = 1.8,
+                  .spread_fraction = 0.04,
+                  .tau_s = 4.0,
+                  .tj_max_c = 95.0},
+  };
+  return spec;
+}
+
+PlatformSpec ManyCoreEpyc128() {
+  PlatformSpec spec{
+      .name = "ManyCore EPYC 128",
+      .num_cores = 128,
+      .min_mhz = 800,
+      .base_max_mhz = 2400,
+      .step_mhz = 25,
+      .turbo_max_mhz = 3500,
+      .turbo_ladder = {{8, 3500}, {16, 3300}, {32, 3100}, {64, 2900}, {128, 2600}},
+      .avx_max_mhz_light = 2600,
+      .avx_max_mhz_heavy = 2200,
+      .avx_light_cores = 16,
+      .tdp_w = 360,
+      .rapl_min_w = 120,
+      .rapl_max_w = 450,
+      // Modern AMD parts support package power limiting and per-core energy
+      // telemetry, without the Zen-1 three-P-state front-end restriction.
+      .has_rapl_limit = true,
+      .has_per_core_power = true,
+      .max_simultaneous_pstates = 0,
+      .voltage = VoltageCurve({{800, 0.70}, {2400, 0.95}, {3500, 1.30}}),
+      .power =
+          {
+              .ceff_w_per_v2ghz = 1.2,
+              .leak_ref_w = 0.8,
+              .leak_ref_volts = 1.30,
+              .clock_gate_w = 0.20,
+              .cstate_idle_w = 0.04,
+              // The IO die dominates idle power on chiplet parts.
+              .uncore_base_w = 40.0,
+              .uncore_per_active_w = 0.10,
+          },
+      .tsc_mhz = 2400,
+      .thermal = {.ambient_c = 40.0,
+                  .r_core_c_per_w = 1.5,
+                  .spread_fraction = 0.03,
+                  .tau_s = 5.0,
+                  .tj_max_c = 95.0},
+  };
+  return spec;
+}
+
 }  // namespace papd

@@ -116,6 +116,16 @@ PlatformSpec SkylakeXeon4114();
 // per-core power telemetry, no RAPL limiting, only 3 simultaneous P-states.
 PlatformSpec Ryzen1700X();
 
+// Projected 64-core server part extrapolating the Skylake model to modern
+// core counts (Ice Lake-SP / Sapphire Rapids class): deeper turbo ladder,
+// wider RAPL range, larger uncore.  Not from the paper's Table 1; used for
+// the many-core and rack scaling studies (EXPERIMENTS.md A10).
+PlatformSpec ManyCoreXeon64();
+
+// Projected 128-core chiplet server part (EPYC class): 25 MHz grid,
+// per-core power telemetry, package-level power capping, big IO-die uncore.
+PlatformSpec ManyCoreEpyc128();
+
 }  // namespace papd
 
 #endif  // SRC_PLATFORM_PLATFORM_SPEC_H_

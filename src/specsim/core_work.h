@@ -10,10 +10,19 @@
 // websearch queueing model: a request queued on one core affects latency
 // seen by all); the simulator advances it once per tick with the effective
 // frequencies of all its cores.
+//
+// Both interfaces offer two entry points: the legacy per-call `Run` and the
+// span-based `RunBatch` used by the package tick engine.  Each has a default
+// implementation in terms of the other, so subclasses override whichever is
+// natural — but MUST override at least one or the pair recurses forever
+// (same contract as std::streambuf's overflow/xsputn pairing).  In-tree
+// workloads override RunBatch so the steady-state tick is allocation-free;
+// out-of-tree subclasses that only override Run keep compiling and working.
 
 #ifndef SRC_SPECSIM_CORE_WORK_H_
 #define SRC_SPECSIM_CORE_WORK_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -39,10 +48,20 @@ class CoreWork {
   virtual ~CoreWork() = default;
 
   // Advances the workload by dt seconds with the core running at freq_mhz.
-  virtual WorkSlice Run(Seconds dt, Mhz freq_mhz) = 0;
+  // Default implementation forwards to RunBatch with n == 1.
+  virtual WorkSlice Run(Seconds dt, Mhz freq_mhz);
+
+  // Advances the workload through n consecutive slices of dt seconds each;
+  // freqs_mhz[k] is the core's effective frequency during slice k and
+  // out_slices[k] receives that slice's results.  The package tick engine
+  // issues n == 1 calls on this path; larger spans let offline drivers batch
+  // ticks between control actions.  Default implementation loops Run.
+  virtual void RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
+                        int n);
 
   // True if the workload executes enough AVX code to be subject to the
-  // platform's AVX frequency caps.
+  // platform's AVX frequency caps.  Must be invariant while the work is
+  // attached to a Package: the tick engine caches the value at attach time.
   virtual bool UsesAvx() const = 0;
 
   virtual std::string Name() const = 0;
@@ -56,12 +75,28 @@ class MultiCoreWork {
   virtual const std::vector<int>& Cores() const = 0;
 
   // Advances by dt with freqs_mhz[i] the effective frequency of Cores()[i].
-  // Returns one slice per core, in Cores() order.
-  virtual std::vector<WorkSlice> Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) = 0;
+  // Returns one slice per core, in Cores() order.  Default implementation
+  // forwards to RunBatch (allocating the return vector; the tick engine
+  // never takes this path for works that override RunBatch).
+  virtual std::vector<WorkSlice> Run(Seconds dt,
+                                     const std::vector<Mhz>& freqs_mhz);
 
+  // Span form of Run: freqs_mhz[i] / out_slices[i] correspond to Cores()[i]
+  // and n must equal Cores().size().  Default implementation copies the
+  // span into scratch and forwards to the legacy Run (allocating only for
+  // out-of-tree subclasses that haven't overridden this).
+  virtual void RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
+                        size_t n);
+
+  // Must be invariant while attached to a Package (cached at attach time).
   virtual bool UsesAvx() const = 0;
 
   virtual std::string Name() const = 0;
+
+ private:
+  // Scratch for the default RunBatch -> Run bridge; unused when RunBatch is
+  // overridden.
+  std::vector<Mhz> shim_freqs_;
 };
 
 }  // namespace papd

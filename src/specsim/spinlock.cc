@@ -11,19 +11,39 @@ SpinLockWork::SpinLockWork(std::vector<int> cores, Params params)
   assert(!cores_.empty());
   threads_.resize(cores_.size());
   iterations_.assign(cores_.size(), 0.0);
+  wait_ring_.assign(cores_.size(), 0);
+  scratch_work_cycles_.assign(cores_.size(), 0.0);
+  scratch_spin_cycles_.assign(cores_.size(), 0.0);
   for (Thread& t : threads_) {
     t.phase = Phase::kLocal;
     t.remaining_cycles = params_.local_cycles;
   }
 }
 
-std::vector<WorkSlice> SpinLockWork::Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) {
-  assert(freqs_mhz.size() == cores_.size());
-  const size_t n = threads_.size();
+void SpinLockWork::WaitQueuePush(size_t thread) {
+  assert(wait_count_ < wait_ring_.size());
+  wait_ring_[(wait_head_ + wait_count_) % wait_ring_.size()] = thread;
+  wait_count_++;
+}
+
+size_t SpinLockWork::WaitQueuePop() {
+  assert(wait_count_ > 0);
+  const size_t thread = wait_ring_[wait_head_];
+  wait_head_ = (wait_head_ + 1) % wait_ring_.size();
+  wait_count_--;
+  return thread;
+}
+
+// PAPD_HOT
+void SpinLockWork::RunBatch(Seconds dt, const Mhz* freqs_mhz,
+                            WorkSlice* out_slices, size_t n) {
+  assert(n == cores_.size());
 
   // Per-slice accounting.
-  std::vector<double> work_cycles(n, 0.0);
-  std::vector<double> spin_cycles(n, 0.0);
+  double* work_cycles = scratch_work_cycles_.data();
+  double* spin_cycles = scratch_spin_cycles_.data();
+  std::fill(scratch_work_cycles_.begin(), scratch_work_cycles_.end(), 0.0);
+  std::fill(scratch_spin_cycles_.begin(), scratch_spin_cycles_.end(), 0.0);
 
   // Event-driven: repeatedly advance to the next phase completion.  A
   // thread in kLocal or kCritical finishes after remaining/f seconds; a
@@ -62,7 +82,7 @@ std::vector<WorkSlice> SpinLockWork::Run(Seconds dt, const std::vector<Mhz>& fre
       Thread& t = threads_[i];
       if (t.phase == Phase::kLocal && t.remaining_cycles <= 1e-9) {
         t.phase = Phase::kWaiting;
-        wait_queue_.push_back(i);
+        WaitQueuePush(i);
       } else if (t.phase == Phase::kCritical && t.remaining_cycles <= 1e-9) {
         t.phase = Phase::kLocal;
         t.remaining_cycles = params_.local_cycles;
@@ -71,29 +91,27 @@ std::vector<WorkSlice> SpinLockWork::Run(Seconds dt, const std::vector<Mhz>& fre
       }
     }
     // FIFO lock handoff.
-    if (holder_ < 0 && !wait_queue_.empty()) {
-      const size_t next_holder = wait_queue_.front();
-      wait_queue_.pop_front();
+    if (holder_ < 0 && wait_count_ > 0) {
+      const size_t next_holder = WaitQueuePop();
       holder_ = static_cast<int>(next_holder);
       threads_[next_holder].phase = Phase::kCritical;
       threads_[next_holder].remaining_cycles = params_.critical_cycles;
     }
   }
 
-  std::vector<WorkSlice> slices(n);
   for (size_t i = 0; i < n; i++) {
     const double total = work_cycles[i] + spin_cycles[i];
     const double capacity = freqs_mhz[i] * kHzPerMhz * dt;
-    WorkSlice& s = slices[i];
+    WorkSlice& s = out_slices[i];
     s.instructions = work_cycles[i] * params_.ipc + spin_cycles[i] * params_.spin_ipc;
     s.busy_fraction = capacity > 0.0 ? std::min(1.0, total / capacity) : 0.0;
+    s.activity = 0.0;
     if (total > 0.0) {
       s.activity = (params_.activity * work_cycles[i] + params_.spin_activity * spin_cycles[i]) /
                    total;
     }
     s.avx_fraction = 0.0;
   }
-  return slices;
 }
 
 double SpinLockWork::total_iterations() const {

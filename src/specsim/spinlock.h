@@ -25,7 +25,7 @@
 #ifndef SRC_SPECSIM_SPINLOCK_H_
 #define SRC_SPECSIM_SPINLOCK_H_
 
-#include <deque>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -54,7 +54,8 @@ class SpinLockWork : public MultiCoreWork {
   SpinLockWork(std::vector<int> cores, Params params);
 
   const std::vector<int>& Cores() const override { return cores_; }
-  std::vector<WorkSlice> Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) override;
+  void RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
+                size_t n) override;
   bool UsesAvx() const override { return false; }
   std::string Name() const override { return "spinlock"; }
 
@@ -69,12 +70,23 @@ class SpinLockWork : public MultiCoreWork {
     double remaining_cycles = 0.0;  // In the current local/critical stretch.
   };
 
+  // FIFO of threads waiting for the lock, as a fixed ring over the thread
+  // count (a deque reallocates block-by-block as entries cycle through it,
+  // which would break the zero-alloc steady-state tick).
+  void WaitQueuePush(size_t thread);
+  size_t WaitQueuePop();
+
   std::vector<int> cores_;
   Params params_;
   std::vector<Thread> threads_;
-  std::deque<size_t> wait_queue_;  // FIFO of threads waiting for the lock.
-  int holder_ = -1;                // Thread index holding the lock; -1 free.
+  std::vector<size_t> wait_ring_;  // Capacity == thread count.
+  size_t wait_head_ = 0;
+  size_t wait_count_ = 0;
+  int holder_ = -1;  // Thread index holding the lock; -1 free.
   std::vector<double> iterations_;
+  // Per-slice accounting scratch, sized once in the constructor.
+  std::vector<double> scratch_work_cycles_;
+  std::vector<double> scratch_spin_cycles_;
 };
 
 }  // namespace papd

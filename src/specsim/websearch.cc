@@ -32,8 +32,12 @@ void WebSearch::Dispatch(Seconds t) {
   backlog_cycles_[best] += demand;
 }
 
-std::vector<WorkSlice> WebSearch::Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) {
-  assert(freqs_mhz.size() == cores_.size());
+// PAPD_HOT — request bookkeeping (latency samples, think timers) grows
+// amortized containers; those lines carry PAPD_HOT_ALLOW.
+void WebSearch::RunBatch(Seconds dt, const Mhz* freqs_mhz,
+                         WorkSlice* out_slices, size_t n) {
+  assert(n == cores_.size());
+  (void)n;
   const Seconds end = now_ + dt;
 
   // Admit every request whose think timer expires in this slice.  Arrival
@@ -45,7 +49,6 @@ std::vector<WorkSlice> WebSearch::Run(Seconds dt, const std::vector<Mhz>& freqs_
     Dispatch(t);
   }
 
-  std::vector<WorkSlice> slices(cores_.size());
   double util_sum = 0.0;
   for (size_t i = 0; i < cores_.size(); i++) {
     double available = freqs_mhz[i] * kHzPerMhz * dt;  // Cycles this slice.
@@ -64,10 +67,10 @@ std::vector<WorkSlice> WebSearch::Run(Seconds dt, const std::vector<Mhz>& freqs_
         // Completion at the exact fractional point of the slice.
         const Seconds finish = now_ + (budget - available) / (freqs_mhz[i] * kHzPerMhz);
         const Seconds latency = (finish - req.submit_time) + params_.fixed_latency_s;
-        latencies_.push_back(latency);
+        latencies_.push_back(latency);  // PAPD_HOT_ALLOW: amortized stats log.
         completed_++;
         // The user sees the response, then thinks before the next request.
-        think_expiry_.push(finish + params_.fixed_latency_s +
+        think_expiry_.push(finish + params_.fixed_latency_s +  // PAPD_HOT_ALLOW
                            rng_.Exponential(params_.think_mean_s));
         queue.pop_front();
       }
@@ -75,7 +78,7 @@ std::vector<WorkSlice> WebSearch::Run(Seconds dt, const std::vector<Mhz>& freqs_
 
     const double busy = budget > 0.0 ? used / budget : 0.0;
     util_sum += busy;
-    slices[i] = WorkSlice{
+    out_slices[i] = WorkSlice{
         .instructions = used * params_.ipc,
         .busy_fraction = busy,
         .activity = busy > 0.0 ? params_.activity : 0.0,
@@ -84,7 +87,6 @@ std::vector<WorkSlice> WebSearch::Run(Seconds dt, const std::vector<Mhz>& freqs_
   }
   last_mean_util_ = util_sum / static_cast<double>(cores_.size());
   now_ = end;
-  return slices;
 }
 
 void WebSearch::ResetStats() {

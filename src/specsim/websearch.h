@@ -54,7 +54,8 @@ class WebSearch : public MultiCoreWork {
   WebSearch(std::vector<int> cores, Params params, uint64_t seed);
 
   const std::vector<int>& Cores() const override { return cores_; }
-  std::vector<WorkSlice> Run(Seconds dt, const std::vector<Mhz>& freqs_mhz) override;
+  void RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
+                size_t n) override;
   bool UsesAvx() const override { return false; }
   std::string Name() const override { return "websearch"; }
 

@@ -16,7 +16,18 @@ bool WorkloadProfile::UsesAvx() const { return avx_fraction >= kAvxThreshold; }
 Process::Process(WorkloadProfile profile, uint64_t seed)
     : profile_(std::move(profile)), rng_(seed) {}
 
-WorkSlice Process::Run(Seconds dt, Mhz freq_mhz) {
+WorkSlice Process::Run(Seconds dt, Mhz freq_mhz) { return RunOne(dt, freq_mhz); }
+
+// PAPD_HOT
+void Process::RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
+                       int n) {
+  for (int k = 0; k < n; ++k) {
+    out_slices[k] = RunOne(dt, freqs_mhz[k]);
+  }
+}
+
+// PAPD_HOT
+WorkSlice Process::RunOne(Seconds dt, Mhz freq_mhz) {
   WorkSlice slice;
   slice.activity = profile_.activity;
   slice.avx_fraction = profile_.avx_fraction;

@@ -72,6 +72,8 @@ class Process : public CoreWork {
   void set_run_to_completion(bool v) { run_to_completion_ = v; }
 
   WorkSlice Run(Seconds dt, Mhz freq_mhz) override;
+  void RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
+                int n) override;
   bool UsesAvx() const override { return profile_.UsesAvx(); }
   std::string Name() const override { return profile_.name; }
 
@@ -84,6 +86,9 @@ class Process : public CoreWork {
   Seconds completion_time() const { return completion_time_; }
 
  private:
+  // Shared body of Run / RunBatch; non-virtual so RunBatch inlines it.
+  WorkSlice RunOne(Seconds dt, Mhz freq_mhz);
+
   WorkloadProfile profile_;
   Rng rng_;
   // NominalIps memo: frequency only changes when a policy daemon acts

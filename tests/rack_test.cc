@@ -1,0 +1,194 @@
+// Rack arbiter and many-core preset tests.
+//
+// The load-bearing invariant: the arbiter's per-socket budgets must never
+// sum past the rack budget (whenever the budget covers the per-socket
+// floors) — checked at every control period of every run, for both arbiter
+// kinds.  Also covers determinism of the ThreadPool fan-out and basic
+// sanity of the 64/128-core platform presets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/rack.h"
+#include "src/common/thread_pool.h"
+#include "src/cpusim/simulator.h"
+#include "src/experiments/scenarios.h"
+#include "src/platform/platform_spec.h"
+#include "src/specsim/spec2017.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+namespace {
+
+RackSocketConfig MakeSocket(double shares, int rotate, uint64_t seed) {
+  RackSocketConfig cfg{.platform = SkylakeXeon4114()};
+  cfg.apps = ManyCoreSpreadMix(cfg.platform.num_cores, rotate).apps;
+  cfg.policy = PolicyKind::kFrequencyShares;
+  cfg.shares = shares;
+  cfg.seed = seed;
+  // Frequency shares do not need standalone baselines; skip the extra
+  // simulations to keep the test fast.
+  cfg.use_baseline_ips = false;
+  return cfg;
+}
+
+RackConfig MakeRack(int sockets, Watts budget_w) {
+  RackConfig cfg;
+  for (int s = 0; s < sockets; s++) {
+    cfg.sockets.push_back(MakeSocket(/*shares=*/1.0 + s, /*rotate=*/s, /*seed=*/42 + 100 * s));
+  }
+  cfg.budget_w = budget_w;
+  return cfg;
+}
+
+double FloorSum(const RackConfig& cfg) {
+  double sum = 0.0;
+  for (const RackSocketConfig& s : cfg.sockets) {
+    sum += s.min_budget_w > 0.0 ? s.min_budget_w : s.platform.rapl_min_w;
+  }
+  return sum;
+}
+
+TEST(Rack, BudgetsNeverExceedRackBudget) {
+  for (const RackArbiterKind kind : {RackArbiterKind::kShares, RackArbiterKind::kDemand}) {
+    RackConfig cfg = MakeRack(/*sockets=*/4, /*budget_w=*/160.0);
+    cfg.arbiter = kind;
+    ASSERT_GE(cfg.budget_w, FloorSum(cfg));
+    Rack rack(cfg);
+    for (int period = 0; period < 12; period++) {
+      EXPECT_LE(rack.budget_sum_w(), cfg.budget_w + 1e-9)
+          << "arbiter kind " << static_cast<int>(kind) << " period " << period;
+      for (int s = 0; s < rack.num_sockets(); s++) {
+        EXPECT_GE(rack.budgets_w()[static_cast<size_t>(s)],
+                  cfg.sockets[static_cast<size_t>(s)].platform.rapl_min_w - 1e-9);
+      }
+      rack.Step();
+    }
+    EXPECT_EQ(rack.history().size(), 12u);
+  }
+}
+
+TEST(Rack, UnconstrainedBudgetSplitsFully) {
+  // Between the floor and ceiling sums the proportional split uses the
+  // whole budget.
+  RackConfig cfg = MakeRack(/*sockets=*/3, /*budget_w=*/150.0);
+  Rack rack(cfg);
+  rack.Step();
+  EXPECT_NEAR(rack.budget_sum_w(), cfg.budget_w, 1e-6);
+  // Shares 1:2:3 => socket 2 gets the largest grant.
+  EXPECT_GT(rack.budgets_w()[2], rack.budgets_w()[0]);
+}
+
+TEST(Rack, DemandArbiterMovesSurplusToBusySockets) {
+  RackConfig cfg;
+  // Socket 0 idle (no apps), socket 1 fully loaded, equal shares.
+  RackSocketConfig idle = MakeSocket(/*shares=*/1.0, /*rotate=*/0, /*seed=*/1);
+  idle.apps.clear();
+  cfg.sockets.push_back(idle);
+  cfg.sockets.push_back(MakeSocket(/*shares=*/1.0, /*rotate=*/1, /*seed=*/2));
+  cfg.budget_w = 120.0;
+  cfg.arbiter = RackArbiterKind::kDemand;
+  Rack rack(cfg);
+  for (int period = 0; period < 6; period++) {
+    rack.Step();
+    EXPECT_LE(rack.budget_sum_w(), cfg.budget_w + 1e-9);
+  }
+  // The idle socket's claim collapses to just above its draw; the busy
+  // socket inherits the surplus.
+  EXPECT_GT(rack.budgets_w()[1], rack.budgets_w()[0] + 10.0);
+}
+
+TEST(Rack, ParallelStepMatchesSerial) {
+  RackResult serial = RunRack(MakeRack(/*sockets=*/3, /*budget_w=*/150.0),
+                              /*warmup_s=*/2.0, /*measure_s=*/3.0, /*pool=*/nullptr);
+  ThreadPool pool(2);
+  RackResult parallel = RunRack(MakeRack(/*sockets=*/3, /*budget_w=*/150.0),
+                                /*warmup_s=*/2.0, /*measure_s=*/3.0, &pool);
+  ASSERT_EQ(serial.socket_avg_w.size(), parallel.socket_avg_w.size());
+  for (size_t s = 0; s < serial.socket_avg_w.size(); s++) {
+    EXPECT_DOUBLE_EQ(serial.socket_avg_w[s], parallel.socket_avg_w[s]);
+  }
+  EXPECT_DOUBLE_EQ(serial.avg_rack_w, parallel.avg_rack_w);
+  EXPECT_DOUBLE_EQ(serial.max_budget_sum_w, parallel.max_budget_sum_w);
+}
+
+TEST(Rack, MeasuredPowerTracksBudgets) {
+  RackConfig cfg = MakeRack(/*sockets=*/2, /*budget_w=*/90.0);
+  RackResult result = RunRack(cfg, /*warmup_s=*/3.0, /*measure_s=*/5.0);
+  EXPECT_GT(result.avg_rack_w, 0.0);
+  EXPECT_LE(result.max_budget_sum_w, cfg.budget_w + 1e-9);
+  // Daemons enforce their grants within control tolerance; allow slack for
+  // the settling transient after re-arbitration.
+  EXPECT_LT(result.avg_rack_w, cfg.budget_w * 1.25);
+}
+
+// --- Many-core presets -------------------------------------------------------
+
+TEST(ManyCorePresets, LaddersAreMonotoneAndCoverAllCores) {
+  for (const PlatformSpec& spec : {ManyCoreXeon64(), ManyCoreEpyc128()}) {
+    ASSERT_FALSE(spec.turbo_ladder.empty()) << spec.name;
+    EXPECT_EQ(spec.turbo_ladder.back().max_active_cores, spec.num_cores) << spec.name;
+    for (size_t i = 1; i < spec.turbo_ladder.size(); i++) {
+      EXPECT_GT(spec.turbo_ladder[i].max_active_cores,
+                spec.turbo_ladder[i - 1].max_active_cores);
+      EXPECT_LE(spec.turbo_ladder[i].mhz, spec.turbo_ladder[i - 1].mhz);
+    }
+    EXPECT_EQ(spec.TurboLimitMhz(1), spec.turbo_max_mhz) << spec.name;
+    EXPECT_GE(spec.TurboLimitMhz(spec.num_cores), spec.base_max_mhz) << spec.name;
+    EXPECT_LE(spec.avx_max_mhz_heavy, spec.avx_max_mhz_light) << spec.name;
+  }
+}
+
+TEST(ManyCorePresets, FullyLoaded128CoreTickIsSane) {
+  const PlatformSpec spec = ManyCoreEpyc128();
+  Package pkg(spec);
+  std::vector<std::unique_ptr<Process>> procs;
+  const WorkloadMix mix = ManyCoreSpreadMix(spec.num_cores, /*rotate=*/0);
+  for (int i = 0; i < spec.num_cores; i++) {
+    procs.push_back(std::make_unique<Process>(GetProfile(mix.apps[static_cast<size_t>(i)].profile),
+                                              /*seed=*/42 + static_cast<uint64_t>(i)));
+    pkg.AttachWork(i, procs.back().get());
+  }
+  Simulator sim(&pkg);
+  sim.Run(1.0);
+  // All-core turbo limit respected, real power drawn, counters advanced.
+  for (int i = 0; i < spec.num_cores; i++) {
+    EXPECT_LE(pkg.core(i).effective_mhz(), spec.TurboLimitMhz(spec.num_cores));
+    EXPECT_GT(pkg.core(i).instructions_retired(), 0.0);
+  }
+  EXPECT_GT(pkg.last_package_power_w(), spec.power.uncore_base_w);
+  EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 1);
+}
+
+TEST(ManyCorePresets, ManyCorePriorityMixesFillEveryCore) {
+  for (const int cores : {64, 128}) {
+    for (const WorkloadMix& mix : ManyCorePriorityMixes(cores)) {
+      EXPECT_EQ(static_cast<int>(mix.apps.size()), cores) << mix.label;
+    }
+  }
+}
+
+TEST(ManyCorePresets, DistinctRequestedFrequenciesCountsGridSlots) {
+  const PlatformSpec spec = ManyCoreXeon64();
+  Package pkg(spec);
+  // Spread requests over 16 distinct grid frequencies, cycling.
+  for (int i = 0; i < spec.num_cores; i++) {
+    pkg.SetRequestedMhz(i, spec.min_mhz + spec.step_mhz * (i % 16));
+  }
+  EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 16);
+  // Offline cores drop out of the census.
+  for (int i = 0; i < spec.num_cores; i++) {
+    if (i % 16 != 0) {
+      pkg.SetOnline(i, false);
+    }
+  }
+  EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 1);
+  // Repeated calls are stable (the scratch bitmap is cleared each time).
+  EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 1);
+}
+
+}  // namespace
+}  // namespace papd

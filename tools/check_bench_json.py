@@ -63,6 +63,39 @@ def check(doc):
             if ns is not None and ns <= 0:
                 fail(f"$.micro[{i}].ns_per_iter", f"expected > 0, got {ns}")
 
+    scaling = require(doc, "$", "scaling", dict)
+    if scaling is not None:
+        ticks = require(scaling, "$.scaling", "package_tick", list)
+        if ticks is not None:
+            cores_seen = set()
+            for i, t in enumerate(ticks):
+                path = f"$.scaling.package_tick[{i}]"
+                cores = require(t, path, "cores", int)
+                if cores is not None:
+                    if cores < 1:
+                        fail(f"{path}.cores", f"expected >= 1, got {cores}")
+                    cores_seen.add(cores)
+                for key in ("ns_per_iter", "ns_per_core"):
+                    v = require(t, path, key, float)
+                    if v is not None and v <= 0:
+                        fail(f"{path}.{key}", f"expected > 0, got {v}")
+            for expected in (8, 64, 128):
+                if expected not in cores_seen:
+                    fail("$.scaling.package_tick", f"missing entry for {expected} cores")
+        rack = require(scaling, "$.scaling", "rack_tick", dict)
+        if rack is not None:
+            sockets = require(rack, "$.scaling.rack_tick", "sockets", int)
+            if sockets is not None and sockets < 2:
+                fail("$.scaling.rack_tick.sockets", f"expected >= 2, got {sockets}")
+            for key in ("wall_s_per_step", "sim_core_ticks_per_s"):
+                v = require(rack, "$.scaling.rack_tick", key, float)
+                if v is not None and v <= 0:
+                    fail(f"$.scaling.rack_tick.{key}", f"expected > 0, got {v}")
+        allocs = require(scaling, "$.scaling", "steady_allocs_per_tick", int)
+        if allocs is not None and allocs != 0:
+            fail("$.scaling.steady_allocs_per_tick",
+                 f"steady-state tick must be allocation-free, got {allocs}")
+
     scenarios = require(doc, "$", "scenarios", list)
     if scenarios is not None:
         if not scenarios:
@@ -129,7 +162,9 @@ def main(argv):
     if ERRORS:
         return 1
     print(f"{argv[1]}: schema OK "
-          f"({len(doc['micro'])} micro, {len(doc['scenarios'])} scenarios, "
+          f"({len(doc['micro'])} micro, "
+          f"{len(doc['scaling']['package_tick'])} scaling points, "
+          f"{len(doc['scenarios'])} scenarios, "
           f"{len(doc['fault_tolerance'])} fault entries, "
           f"batch speedup {doc['batch']['speedup']:.2f}x)")
     return 0

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint for the papd tree.
 
-Three rules the compiler cannot enforce:
+Four rules the compiler cannot enforce:
 
   unit-suffix     A double/float declaration whose name carries a unit
                   suffix must use the matching alias from
@@ -17,6 +17,14 @@ Three rules the compiler cannot enforce:
                   policy API carries its unit in the type (Watts, Mhz,
                   Ips, ResourceUnits, ...).  Plain `double` is fine for
                   genuinely dimensionless internals (fields, locals).
+
+  hot-alloc       A function marked with a `// PAPD_HOT` comment on the
+                  line above its definition must not allocate: no local
+                  container declarations (std::vector/string/map/...),
+                  no `new`, and no push_back/emplace_back/push except on
+                  members whose names contain `scratch` (pre-sized
+                  buffers).  A line-level `PAPD_HOT_ALLOW` comment exempts
+                  deliberate amortized growth (e.g. stats logs).
 
 Usage: papd_lint.py [repo_root]
 Exits non-zero and prints file:line diagnostics when violations exist;
@@ -115,6 +123,55 @@ def check_policy_params(path: Path, text: str, errors: list[str]) -> None:
             )
 
 
+# Local declarations of allocating standard containers.
+HOT_CONTAINER_RE = re.compile(
+    r"\bstd::(vector|deque|map|set|unordered_map|unordered_set|string|list|queue|priority_queue)\s*<"
+)
+# Growth calls; allowed only on *scratch* members (pre-sized) or with an
+# explicit PAPD_HOT_ALLOW.
+HOT_GROW_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_.\->]*)\s*\.\s*(push_back|emplace_back|push)\s*\(")
+HOT_NEW_RE = re.compile(r"\bnew\b")
+
+
+def check_hot_allocations(path: Path, lines: list[str], errors: list[str]) -> None:
+    """Scans the function body following each `// PAPD_HOT` marker."""
+    for idx, raw in enumerate(lines):
+        if "PAPD_HOT" not in raw or "PAPD_HOT_ALLOW" in raw:
+            continue
+        # Find the function body: first `{` at or after the marker, then
+        # brace-match to its close.
+        depth = 0
+        started = False
+        for lineno in range(idx + 1, len(lines)):
+            line = strip_comments(lines[lineno])
+            allowed = "PAPD_HOT_ALLOW" in lines[lineno]
+            if not started and "{" in line:
+                started = True
+            if started and not allowed:
+                if HOT_NEW_RE.search(line):
+                    errors.append(
+                        f"{path}:{lineno + 1}: hot-alloc: `new` inside a PAPD_HOT function"
+                    )
+                # Container *declarations* allocate; references/pointers to
+                # containers (`std::vector<T>&`) do not.
+                if HOT_CONTAINER_RE.search(line) and not re.search(r">\s*[&*]", line):
+                    errors.append(
+                        f"{path}:{lineno + 1}: hot-alloc: allocating container declared "
+                        f"inside a PAPD_HOT function (hoist to a pre-sized member)"
+                    )
+                for m in HOT_GROW_RE.finditer(line):
+                    target = m.group(1)
+                    if "scratch" not in target:
+                        errors.append(
+                            f"{path}:{lineno + 1}: hot-alloc: `{target}.{m.group(2)}()` grows a "
+                            f"non-scratch container inside a PAPD_HOT function "
+                            f"(add PAPD_HOT_ALLOW if growth is deliberately amortized)"
+                        )
+            depth += line.count("{") - line.count("}")
+            if started and depth <= 0:
+                break
+
+
 def main() -> int:
     root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
     errors: list[str] = []
@@ -130,6 +187,7 @@ def main() -> int:
             text = path.read_text(encoding="utf-8", errors="replace")
             lines = text.splitlines()
             check_unit_suffixes(path, lines, errors)
+            check_hot_allocations(path, lines, errors)
             if path.suffix == ".h":
                 check_include_guard(path, root, lines, errors)
                 if path.parent == root / "src" / "policy":
