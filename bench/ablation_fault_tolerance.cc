@@ -49,12 +49,12 @@ ScenarioConfig MakeConfig(const FaultPlan& faults, bool degrade) {
   c.limit_w = kLimitW;
   c.warmup_s = kWarmupS;
   c.measure_s = kMeasureS;
-  c.faults = faults;
-  c.degrade = degrade;
+  c.run.daemon.faults = faults;
+  c.run.daemon.degrade = degrade;
   // The naive baseline deliberately violates the power ceiling; the fatal
   // auditor would (correctly) abort it.  Hardened runs keep the audit on —
   // surviving it under every schedule is the point.
-  c.audit = degrade;
+  c.run.daemon.audit = degrade;
   return c;
 }
 

@@ -42,7 +42,7 @@ ScenarioConfig MakeConfig(bool hints, Watts limit) {
   c.limit_w = limit;
   c.warmup_s = 60;  // Probing needs periods to map the IPS/frequency curves.
   c.measure_s = 60;
-  c.hwp_hints = hints;
+  c.run.daemon.hwp_hints = hints;
   return c;
 }
 

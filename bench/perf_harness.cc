@@ -18,7 +18,11 @@
 //                      dropped writes) run naive vs hardened — ground-truth
 //                      power overshoot and degradation counters, so CI
 //                      archives the fault-robustness numbers alongside the
-//                      timings.
+//                      timings;
+//   - obs:             tracing overhead (daemon step with tracing off vs on,
+//                      overhead percent), the disabled-tracer zero-event
+//                      guarantee, and a sample of the metrics registry from
+//                      a traced scenario run.
 //
 // Timing numbers are environment-dependent; CI validates the JSON shape and
 // archives the numbers rather than asserting on them (see
@@ -36,6 +40,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <atomic>
@@ -44,6 +49,8 @@
 
 #include "bench/perf_util.h"
 #include "src/cluster/rack.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/common/thread_pool.h"
 #include "src/cpusim/package.h"
 #include "src/experiments/batch.h"
@@ -277,11 +284,11 @@ std::vector<FaultRow> RunFaultTolerance(bool quick) {
       }
       for (bool hardened : {false, true}) {
         ScenarioConfig c = base;
-        c.faults = s.plan;
-        c.degrade = hardened;
+        c.run.daemon.faults = s.plan;
+        c.run.daemon.degrade = hardened;
         // The naive baseline violates the power ceiling by design; only the
         // hardened runs keep the fatal auditor on.
-        c.audit = hardened;
+        c.run.daemon.audit = hardened;
         configs.push_back(c);
         rows.push_back(FaultRow{.schedule = s.label, .hardened = hardened});
       }
@@ -301,6 +308,78 @@ std::vector<FaultRow> RunFaultTolerance(bool quick) {
   return rows;
 }
 
+// --- Observability section ---------------------------------------------------
+
+struct ObsResult {
+  // Full daemon step (tick + Step) with no sink vs a bound TraceRecorder.
+  double step_off_ns = 0.0;
+  double step_on_ns = 0.0;
+  double overhead_pct = 0.0;
+  // Events recorded by the bound recorder (> 0) and by an unbound recorder
+  // alive during the tracing-off run (must stay 0 — the disabled-tracer
+  // guarantee the obs tests also assert).
+  uint64_t trace_events = 0;
+  uint64_t trace_disabled_events = 0;
+  // Scalar metrics (counters + gauges) from a traced scenario run.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+ObsResult RunObs(bool quick) {
+  const double min_time = quick ? 0.05 : 0.3;
+  ObsResult out;
+
+  auto step_ns = [&](ObsSink* sink, int16_t shard) {
+    Package pkg(SkylakeXeon4114());
+    MsrFile msr(&pkg);
+    std::vector<std::unique_ptr<Process>> procs;
+    std::vector<ManagedApp> apps;
+    for (int i = 0; i < 10; i++) {
+      procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + static_cast<uint64_t>(i)));
+      pkg.AttachWork(i, procs.back().get());
+      apps.push_back(ManagedApp{.name = "gcc",
+                                .cpu = i,
+                                .shares = 10.0 + 9.0 * i,
+                                .high_priority = i % 2 == 0,
+                                .baseline_ips = 2e9});
+    }
+    DaemonConfig dcfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0};
+    dcfg.obs = DaemonObs{.sink = sink, .shard = shard};
+    PowerDaemon daemon(&msr, apps, dcfg);
+    daemon.Start();
+    const perf::Result r = perf::MeasureLoop(
+        [&pkg, &daemon] {
+          pkg.Tick(0.001);
+          daemon.Step();
+        },
+        min_time);
+    return r.ns_per_iter;
+  };
+
+  // An unbound recorder stays alive through the tracing-off run; any event
+  // leaking into it would break the branch-on-null contract.
+  obs::TraceRecorder disabled_recorder;
+  out.step_off_ns = step_ns(nullptr, 0);
+  out.trace_disabled_events = disabled_recorder.recorded();
+
+  obs::TraceRecorder recorder;
+  out.step_on_ns = step_ns(&recorder, 0);
+  out.trace_events = recorder.recorded();
+  out.overhead_pct =
+      out.step_off_ns > 0.0 ? 100.0 * (out.step_on_ns - out.step_off_ns) / out.step_off_ns : 0.0;
+
+  // Scalar metrics from a short traced scenario, so CI archives the metric
+  // names the registry exports alongside the timings.
+  ScenarioConfig c = RepresentativeConfig(PolicyKind::kFrequencyShares, /*quick=*/true);
+  c.run.obs.trace = true;
+  const ScenarioResult r = RunScenario(c);
+  for (const obs::MetricValue& m : r.metrics) {
+    if (m.kind != obs::MetricValue::Kind::kHistogram) {
+      out.metrics.emplace_back(m.name, m.value);
+    }
+  }
+  return out;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -315,7 +394,7 @@ std::string JsonEscape(const std::string& s) {
 int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micro,
               const ScalingResult& scaling, const std::vector<ScenarioTiming>& scenarios,
               size_t batch_count, Seconds serial_s, Seconds parallel_s,
-              const std::vector<FaultRow>& faults) {
+              const std::vector<FaultRow>& faults, const ObsResult& obs) {
   FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -380,7 +459,22 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
                  r.max_pkg_w, r.overshoot_w, r.invalid_samples, r.fallback_periods,
                  r.failed_programs, r.dropped_writes, i + 1 < faults.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"obs\": {\n");
+  std::fprintf(f, "    \"daemon_step_off_ns\": %.1f,\n", obs.step_off_ns);
+  std::fprintf(f, "    \"daemon_step_on_ns\": %.1f,\n", obs.step_on_ns);
+  std::fprintf(f, "    \"overhead_pct\": %.2f,\n", obs.overhead_pct);
+  std::fprintf(f, "    \"trace_events\": %llu,\n",
+               static_cast<unsigned long long>(obs.trace_events));
+  std::fprintf(f, "    \"trace_disabled_events\": %llu,\n",
+               static_cast<unsigned long long>(obs.trace_disabled_events));
+  std::fprintf(f, "    \"metrics\": {\n");
+  for (size_t i = 0; i < obs.metrics.size(); i++) {
+    std::fprintf(f, "      \"%s\": %g%s\n", JsonEscape(obs.metrics[i].first).c_str(),
+                 obs.metrics[i].second, i + 1 < obs.metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "    }\n");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   return 0;
@@ -479,8 +573,22 @@ int Main(int argc, char** argv) {
                 r.invalid_samples, r.fallback_periods);
   }
 
+  std::printf("perf_harness: observability overhead\n");
+  const ObsResult obs = RunObs(opt.quick);
+  std::printf("  daemon_step tracing off %10.1f ns, on %10.1f ns  (%+.2f%%)\n", obs.step_off_ns,
+              obs.step_on_ns, obs.overhead_pct);
+  std::printf("  trace_events %llu, trace_disabled_events %llu\n",
+              static_cast<unsigned long long>(obs.trace_events),
+              static_cast<unsigned long long>(obs.trace_disabled_events));
+  if (obs.trace_disabled_events != 0) {
+    std::fprintf(stderr,
+                 "perf_harness: FAIL — %llu events recorded with tracing disabled (expected 0)\n",
+                 static_cast<unsigned long long>(obs.trace_disabled_events));
+    return 1;
+  }
+
   return WriteJson(opt, jobs, micro, scaling, scenarios, batch_configs.size(), serial_s,
-                   parallel_s, faults);
+                   parallel_s, faults, obs);
 }
 
 }  // namespace

@@ -31,7 +31,8 @@ Watts CeilingFor(const RackSocketConfig& cfg) {
 // driving ticks + periodic daemon steps.  Sockets share nothing mutable, so
 // the rack can advance them on worker threads without synchronization.
 struct Rack::Socket {
-  Socket(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s, Watts initial_budget_w)
+  Socket(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s, Watts initial_budget_w,
+         ObsSink* obs_sink, int16_t shard)
       : config(cfg), pkg(cfg.platform), msr(&pkg), sim(&pkg, tick_s) {
     PAPD_CHECK_LE(static_cast<int>(cfg.apps.size()), cfg.platform.num_cores);
     std::vector<ManagedApp> managed;
@@ -59,6 +60,9 @@ struct Rack::Socket {
     dcfg.power_limit_w = initial_budget_w;
     dcfg.period_s = period_s;
     dcfg.audit = cfg.audit;
+    // Shard-tagged events: each socket daemon stamps its own index, so a
+    // shared recorder can split the rack back into per-socket tracks.
+    dcfg.obs = DaemonObs{.sink = obs_sink, .shard = shard};
     daemon = std::make_unique<PowerDaemon>(&msr, std::move(managed), dcfg);
     daemon->Start();
     sim.AddPeriodic(period_s, [this](Seconds) { daemon->Step(); });
@@ -99,7 +103,8 @@ Rack::Rack(RackConfig config) : config_(std::move(config)) {
   sockets_.reserve(n);
   for (size_t i = 0; i < n; i++) {
     sockets_.push_back(std::make_unique<Socket>(config_.sockets[i], config_.control_period_s,
-                                                config_.tick_s, budgets_w_[i]));
+                                                config_.tick_s, budgets_w_[i], config_.obs,
+                                                static_cast<int16_t>(i)));
   }
 }
 
@@ -166,6 +171,17 @@ void Rack::Arbitrate() {
   budgets_w_ = DistributeProportional(config_.budget_w, req);
   for (size_t i = 0; i < n; i++) {
     sockets_[i]->daemon->SetPowerLimit(budgets_w_[i]);
+    if (config_.obs != nullptr) {
+      obs::TraceEvent event;
+      event.t = now();
+      event.type = obs::TraceEventType::kRackGrant;
+      event.shard = static_cast<int16_t>(i);
+      event.index = static_cast<int32_t>(i);
+      event.code = static_cast<int32_t>(config_.arbiter);
+      event.a = budgets_w_[i];
+      event.b = measured_w_[i];
+      config_.obs->OnEvent(event);
+    }
   }
 }
 

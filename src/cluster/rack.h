@@ -77,6 +77,11 @@ struct RackConfig {
   RackArbiterKind arbiter = RackArbiterKind::kShares;
   // Simulator tick.
   Seconds tick_s = 0.001;
+  // Trace-event sink shared by every socket daemon and the arbiter.  Events
+  // carry the socket index as their shard, so one Perfetto track per
+  // socket; the sink must be thread-safe (TraceRecorder is) because shards
+  // record concurrently when Step() is given a pool.
+  ObsSink* obs = nullptr;
 };
 
 class Rack {

@@ -90,8 +90,45 @@ const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::st
   return cache.emplace(key, b).first->second;
 }
 
+RunOptions EffectiveRun(const ScenarioConfig& config) {
+  RunOptions run = config.run;
+  // Fold in deprecated flat fields still set to a non-default value, so old
+  // callers keep their behavior during the shim release.
+  if (!config.audit) {
+    run.daemon.audit = false;
+  }
+  if (config.hwp_hints) {
+    run.daemon.hwp_hints = true;
+  }
+  if (!config.degrade) {
+    run.daemon.degrade = false;
+  }
+  if (config.faults.Any()) {
+    run.daemon.faults = config.faults;
+  }
+  return run;
+}
+
+DaemonConfig ToDaemonConfig(const ScenarioConfig& config) {
+  const RunOptions run = EffectiveRun(config);
+  DaemonConfig dcfg;
+  dcfg.kind = config.policy;
+  dcfg.power_limit_w = config.limit_w;
+  dcfg.period_s = config.daemon_period_s;
+  dcfg.priority = config.priority;
+  dcfg.static_mhz = config.static_mhz;
+  dcfg.use_hwp_hints = run.daemon.hwp_hints;
+  dcfg.audit = run.daemon.audit;
+  dcfg.degradation.enabled = run.daemon.degrade;
+  // The naive baseline also consumes raw turbostat output, reproducing the
+  // pre-hardening daemon end to end.
+  dcfg.raw_telemetry = !run.daemon.degrade;
+  return dcfg;
+}
+
 ScenarioResult RunScenario(const ScenarioConfig& config) {
   PAPD_CHECK_LE(static_cast<int>(config.apps.size()), config.platform.num_cores);
+  const RunOptions run = EffectiveRun(config);
 
   Package pkg(config.platform);
   MsrFile msr(&pkg);
@@ -117,22 +154,21 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     pkg.SetRequestedMhz(c, config.platform.min_mhz);
   }
 
-  if (config.faults.Any()) {
-    msr.EnableFaults(config.faults);
+  if (run.daemon.faults.Any()) {
+    msr.EnableFaults(run.daemon.faults);
   }
 
-  DaemonConfig dcfg;
-  dcfg.kind = config.policy;
-  dcfg.power_limit_w = config.limit_w;
-  dcfg.period_s = config.daemon_period_s;
-  dcfg.priority = config.priority;
-  dcfg.static_mhz = config.static_mhz;
-  dcfg.use_hwp_hints = config.hwp_hints;
-  dcfg.audit = config.audit;
-  dcfg.degradation.enabled = config.degrade;
-  // The naive baseline also consumes raw turbostat output, reproducing the
-  // pre-hardening daemon end to end.
-  dcfg.raw_telemetry = !config.degrade;
+  // Tracing: an external sink wins; otherwise run.obs.trace spins up an
+  // internal recorder whose events come back in the result.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  ObsSink* sink = run.obs.sink;
+  if (run.obs.trace && sink == nullptr) {
+    recorder = std::make_unique<obs::TraceRecorder>(run.obs.ring_capacity);
+    sink = recorder.get();
+  }
+
+  DaemonConfig dcfg = ToDaemonConfig(config);
+  dcfg.obs.sink = sink;
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -168,6 +204,16 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.fault_stats = daemon.fault_stats();
   if (msr.faults() != nullptr) {
     result.fault_counts = msr.faults()->counts();
+  }
+  result.metrics = daemon.metrics().Export();
+  if (recorder != nullptr) {
+    result.trace_events = recorder->Drain();
+  }
+  if (!run.obs.chrome_trace_path.empty()) {
+    obs::WriteFile(run.obs.chrome_trace_path, obs::ChromeTraceJson(result.trace_events));
+  }
+  if (!run.obs.metrics_csv_path.empty()) {
+    obs::WriteFile(run.obs.metrics_csv_path, obs::MetricsCsv(daemon.metrics()));
   }
   for (size_t i = 0; i < config.apps.size(); i++) {
     const ManagedApp& app = managed[i];
@@ -251,10 +297,23 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
                                  .baseline_ips = Standalone(config.platform, "cpuburn").ips});
   }
 
+  RunOptions run = config.run;
+  if (!config.audit) {  // Deprecated flat field, shimmed like ScenarioConfig's.
+    run.daemon.audit = false;
+  }
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  ObsSink* sink = run.obs.sink;
+  if (run.obs.trace && sink == nullptr) {
+    recorder = std::make_unique<obs::TraceRecorder>(run.obs.ring_capacity);
+    sink = recorder.get();
+  }
+
   DaemonConfig dcfg;
   dcfg.kind = config.policy;
   dcfg.power_limit_w = config.limit_w;
-  dcfg.audit = config.audit;
+  dcfg.audit = run.daemon.audit;
+  dcfg.use_hwp_hints = run.daemon.hwp_hints;
+  dcfg.obs.sink = sink;
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -297,6 +356,12 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
     const double dm = end.mperf[i] - start.mperf[i];
     result.cpuburn_avg_mhz =
         dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+  }
+  if (!run.obs.chrome_trace_path.empty() && recorder != nullptr) {
+    obs::WriteFile(run.obs.chrome_trace_path, obs::ChromeTraceJson(recorder->Drain()));
+  }
+  if (!run.obs.metrics_csv_path.empty()) {
+    obs::WriteFile(run.obs.metrics_csv_path, obs::MetricsCsv(daemon.metrics()));
   }
   return result;
 }

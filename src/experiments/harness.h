@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/platform/platform_spec.h"
 #include "src/policy/daemon.h"
 
@@ -23,6 +26,43 @@ struct AppSetup {
   std::string profile;
   double shares = 1.0;
   bool high_priority = false;
+};
+
+// Daemon-facing behavior knobs, grouped (these used to be loose flags
+// scattered across ScenarioConfig).
+struct DaemonOptions {
+  // Run the daemon's invariant auditor (DaemonConfig::audit).
+  bool audit = true;
+  // HWP-style highest-useful-frequency hints (DaemonConfig::use_hwp_hints).
+  bool hwp_hints = false;
+  // Daemon degradation ladder.  false = the naive pre-hardening daemon (raw
+  // telemetry, unconditional rewrites) — the fault ablation's baseline.
+  bool degrade = true;
+  // Telemetry/write fault schedule (MsrFile::EnableFaults); inactive when
+  // no probability is set.
+  FaultPlan faults;
+};
+
+// Observability for one run (src/obs).
+struct ObsOptions {
+  // Record trace events.  With no external `sink` the run creates its own
+  // TraceRecorder and returns the events in ScenarioResult::trace_events.
+  bool trace = false;
+  // Per-thread ring capacity of the internal recorder.
+  size_t ring_capacity = obs::kDefaultRingCapacity;
+  // External sink; when set, events go here instead of the internal
+  // recorder (tests assert on emitted events through this).
+  ObsSink* sink = nullptr;
+  // When non-empty, the run writes a Chrome trace_event JSON (internal
+  // recorder only) / metrics CSV to this path before returning.
+  std::string chrome_trace_path;
+  std::string metrics_csv_path;
+};
+
+// The grouped per-run options every experiment entry point takes.
+struct RunOptions {
+  DaemonOptions daemon;
+  ObsOptions obs;
 };
 
 struct ScenarioConfig {
@@ -36,18 +76,30 @@ struct ScenarioConfig {
   Seconds daemon_period_s = 1.0;
   Mhz static_mhz = 0.0;  // PolicyKind::kStatic.
   PriorityPolicy::Options priority;
-  // HWP-style highest-useful-frequency hints (DaemonConfig::use_hwp_hints).
+  // DEPRECATED: use run.daemon.hwp_hints.  Shimmed for one release;
+  // EffectiveRun() folds a non-default value into `run`.
   bool hwp_hints = false;
-  // Run the daemon's invariant auditor (DaemonConfig::audit).
+  // DEPRECATED: use run.daemon.audit.
   bool audit = true;
   uint64_t seed = 42;
-  // Telemetry/write fault schedule (MsrFile::EnableFaults); inactive when
-  // no probability is set.
+  // DEPRECATED: use run.daemon.faults.
   FaultPlan faults;
-  // Daemon degradation ladder.  false = the naive pre-hardening daemon (raw
-  // telemetry, unconditional rewrites) — the fault ablation's baseline.
+  // DEPRECATED: use run.daemon.degrade.
   bool degrade = true;
+  // Grouped daemon + observability options (appended last so existing
+  // designated initializers keep working).
+  RunOptions run;
 };
+
+// The options a scenario actually runs with: `config.run`, with any
+// non-default value still set through the deprecated flat fields folded in.
+// Remove together with the flat fields after one release.
+RunOptions EffectiveRun(const ScenarioConfig& config);
+
+// The one place ScenarioConfig maps onto the daemon's configuration
+// (callers that build their own PowerDaemon use this instead of copying
+// fields by hand).  The trace sink is left unset; RunScenario wires it.
+DaemonConfig ToDaemonConfig(const ScenarioConfig& config);
 
 struct AppResult {
   std::string name;
@@ -80,6 +132,12 @@ struct ScenarioResult {
   // fault plan (all zero for clean runs).
   DaemonFaultStats fault_stats;
   FaultCounts fault_counts;
+  // End-of-run snapshot of the daemon's metrics registry (counters, gauges,
+  // histograms; always filled).
+  obs::MetricsSnapshot metrics;
+  // Every trace event recorded, time-sorted.  Filled only when
+  // run.obs.trace is set without an external sink.
+  std::vector<obs::TraceEvent> trace_events;
 };
 
 // Runs a scenario to steady state and reports per-app averages over the
@@ -117,9 +175,12 @@ struct WebsearchConfig {
   // completed (checked at a coarse period), with measure_s as the deadline.
   // Lets quick runs stop early without changing per-tick results.
   size_t target_requests = 0;
-  // Run the daemon's invariant auditor (DaemonConfig::audit).
+  // DEPRECATED: use run.daemon.audit.
   bool audit = true;
   uint64_t seed = 42;
+  // Grouped daemon + observability options (appended last; the flat audit
+  // field above is shimmed for one release).
+  RunOptions run;
 };
 
 struct WebsearchResult {

@@ -16,6 +16,7 @@
 #include "src/governor/governor.h"
 #include "src/msr/msr.h"
 #include "src/msr/turbostat.h"
+#include "src/obs/trace.h"
 
 namespace papd {
 
@@ -49,13 +50,26 @@ class GovernorDaemon {
   int invalid_streak() const { return invalid_streak_; }
   bool in_fallback() const { return invalid_streak_ >= kFallbackAfter; }
 
+  // Routes per-period trace events (period begin/end, fallback transitions,
+  // P-state writes) to `sink`, stamped with `shard`; null disables tracing.
+  void BindObs(ObsSink* sink, int16_t shard = 0) {
+    obs_sink_ = sink;
+    obs_shard_ = shard;
+  }
+
  private:
+  void Emit(obs::TraceEventType type, int32_t index, int32_t code, double a, double b) const;
+
   MsrFile* msr_;
   Turbostat turbostat_;
   bool audit_;
   std::vector<std::unique_ptr<FreqGovernor>> governors_;
   std::vector<Mhz> requests_;
   int invalid_streak_ = 0;
+  ObsSink* obs_sink_ = nullptr;
+  int16_t obs_shard_ = 0;
+  int period_ = 0;
+  Seconds last_sample_t_ = 0.0;
 };
 
 }  // namespace papd

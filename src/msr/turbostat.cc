@@ -95,7 +95,7 @@ TelemetrySample Turbostat::StaleSample() {
   sample.dt = 0.0;
   sample.valid = false;
   sample.fault_flags = kSampleStale;
-  invalid_samples_++;
+  invalid_counter_->Increment();
   if (has_last_good_) {
     // Re-serve the last good rates so consumers that ignore `valid` see a
     // plausible world instead of "zero power" (which the priority policy
@@ -216,7 +216,7 @@ TelemetrySample Turbostat::Sample() {
     has_last_good_ = true;
   }
   if (!sample.valid) {
-    invalid_samples_++;
+    invalid_counter_->Increment();
   }
   return sample;
 }

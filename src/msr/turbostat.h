@@ -25,6 +25,7 @@
 
 #include "src/common/units.h"
 #include "src/msr/msr.h"
+#include "src/obs/metrics.h"
 
 namespace papd {
 
@@ -85,7 +86,16 @@ class Turbostat {
   bool validation() const { return validate_; }
 
   // Samples rejected by validation since construction.
-  int invalid_samples() const { return invalid_samples_; }
+  int invalid_samples() const { return static_cast<int>(invalid_counter_->value()); }
+
+  // Redirects the invalid-sample count into `counter` (typically a
+  // metrics-registry counter owned by the consuming daemon), making it the
+  // single source of truth for both sides.  Call before the first Sample();
+  // any count already accumulated on the previous counter is carried over.
+  void BindInvalidSampleCounter(obs::Counter* counter) {
+    counter->Increment(invalid_counter_->value());
+    invalid_counter_ = counter;
+  }
 
  private:
   struct Snapshot {
@@ -110,7 +120,10 @@ class Turbostat {
   MsrFile* msr_;
   Snapshot prev_;
   bool validate_ = true;
-  int invalid_samples_ = 0;
+  // Validation rejections; counts into own_invalid_counter_ until a
+  // consumer rebinds it (BindInvalidSampleCounter).
+  obs::Counter own_invalid_counter_;
+  obs::Counter* invalid_counter_ = &own_invalid_counter_;
   // Plausibility ceilings, derived from the platform spec.
   Watts max_plausible_pkg_w_ = 0.0;
   Watts max_plausible_core_w_ = 0.0;

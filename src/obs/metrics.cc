@@ -1,0 +1,116 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace papd {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : upper_bounds_(std::move(upper_bounds)) {
+  PAPD_CHECK(!upper_bounds_.empty());
+  PAPD_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()))
+      << " histogram bucket bounds must be ascending";
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  size_t b = 0;
+  while (b < upper_bounds_.size() && v > upper_bounds_[b]) {
+    b++;
+  }
+  counts_[b]++;
+  total_++;
+  sum_ += v;
+}
+
+MetricsRegistry::Scalar* MetricsRegistry::FindScalar(const std::string& name) {
+  for (Scalar& s : scalars_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Scalar* MetricsRegistry::FindScalar(const std::string& name) const {
+  for (const Scalar& s : scalars_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  if (Scalar* s = FindScalar(name)) {
+    PAPD_CHECK(s->counter != nullptr) << " metric '" << name << "' already registered as gauge";
+    return s->counter.get();
+  }
+  scalars_.push_back(Scalar{.name = name, .counter = std::make_unique<Counter>()});
+  scalar_names_.push_back(name);
+  return scalars_.back().counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  if (Scalar* s = FindScalar(name)) {
+    PAPD_CHECK(s->gauge != nullptr) << " metric '" << name << "' already registered as counter";
+    return s->gauge.get();
+  }
+  scalars_.push_back(Scalar{.name = name, .gauge = std::make_unique<Gauge>()});
+  scalar_names_.push_back(name);
+  return scalars_.back().gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  for (NamedHistogram& h : histograms_) {
+    if (h.name == name) {
+      return h.histogram.get();
+    }
+  }
+  histograms_.push_back(
+      NamedHistogram{name, std::make_unique<Histogram>(std::move(upper_bounds))});
+  return histograms_.back().histogram.get();
+}
+
+void MetricsRegistry::Snapshot(Seconds t) {
+  Row row;
+  row.t = t;
+  row.values.reserve(scalars_.size());
+  for (const Scalar& s : scalars_) {
+    row.values.push_back(s.value());
+  }
+  rows_.push_back(std::move(row));
+}
+
+MetricsSnapshot MetricsRegistry::Export() const {
+  MetricsSnapshot out;
+  out.reserve(scalars_.size() + histograms_.size());
+  for (const Scalar& s : scalars_) {
+    MetricValue v;
+    v.name = s.name;
+    v.kind = s.counter != nullptr ? MetricValue::Kind::kCounter : MetricValue::Kind::kGauge;
+    v.value = s.value();
+    out.push_back(std::move(v));
+  }
+  for (const NamedHistogram& h : histograms_) {
+    MetricValue v;
+    v.name = h.name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.value = h.histogram->sum();
+    v.count = h.histogram->total();
+    v.upper_bounds = h.histogram->upper_bounds();
+    v.bucket_counts = h.histogram->counts();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+double MetricsRegistry::ScalarValue(const std::string& name, double fallback) const {
+  const Scalar* s = FindScalar(name);
+  return s != nullptr ? s->value() : fallback;
+}
+
+}  // namespace obs
+}  // namespace papd

@@ -1,17 +1,21 @@
 #include "src/policy/daemon.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
-#include "src/policy/frequency_shares.h"
 #include "src/policy/invariants.h"
-#include "src/policy/performance_shares.h"
-#include "src/policy/power_shares.h"
 #include "src/policy/pstate_selector.h"
 
 namespace papd {
+
+// The Chrome-trace exporter renders TraceEvent ladder codes by this order.
+static_assert(static_cast<int>(DegradationState::kNominal) == 0 &&
+                  static_cast<int>(DegradationState::kHold) == 1 &&
+                  static_cast<int>(DegradationState::kFallback) == 2,
+              "obs exporter ladder-state names depend on this enum order");
 
 const char* DegradationStateName(DegradationState state) {
   switch (state) {
@@ -21,24 +25,6 @@ const char* DegradationStateName(DegradationState state) {
       return "hold";
     case DegradationState::kFallback:
       return "fallback";
-  }
-  return "?";
-}
-
-const char* PolicyKindName(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kRaplOnly:
-      return "rapl";
-    case PolicyKind::kStatic:
-      return "static";
-    case PolicyKind::kPriority:
-      return "priority";
-    case PolicyKind::kFrequencyShares:
-      return "freq-shares";
-    case PolicyKind::kPerformanceShares:
-      return "perf-shares";
-    case PolicyKind::kPowerShares:
-      return "power-shares";
   }
   return "?";
 }
@@ -63,24 +49,14 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
       config_(config),
       platform_(MakePolicyPlatform(msr->spec())),
       turbostat_(msr) {
-  switch (config_.kind) {
-    case PolicyKind::kFrequencyShares:
-      share_policy_ = std::make_unique<FrequencyShares>(platform_);
-      break;
-    case PolicyKind::kPerformanceShares:
-      share_policy_ = std::make_unique<PerformanceShares>(platform_);
-      break;
-    case PolicyKind::kPowerShares:
-      PAPD_CHECK(msr_->spec().has_per_core_power)
-          << " power shares require per-core power telemetry";
-      share_policy_ = std::make_unique<PowerShares>(platform_);
-      break;
-    case PolicyKind::kPriority:
-      priority_policy_ = std::make_unique<PriorityPolicy>(platform_, config_.priority);
-      break;
-    case PolicyKind::kRaplOnly:
-    case PolicyKind::kStatic:
-      break;
+  const PolicyInfo& info = GetPolicyInfo(config_.kind);
+  if (info.needs_per_core_power) {
+    PAPD_CHECK(msr_->spec().has_per_core_power)
+        << " " << info.name << " requires per-core power telemetry";
+  }
+  share_policy_ = MakePolicy(config_.kind, platform_);
+  if (info.is_priority) {
+    priority_policy_ = std::make_unique<PriorityPolicy>(platform_, config_.priority);
   }
   if (config_.audit) {
     auditor_ = std::make_unique<PolicyAuditor>(platform_, msr_->spec().max_simultaneous_pstates);
@@ -91,6 +67,7 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
   if (config_.raw_telemetry) {
     turbostat_.set_validation(false);
   }
+  InitObs();
 }
 
 PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfig config,
@@ -114,9 +91,63 @@ PowerDaemon::PowerDaemon(MsrFile* msr, std::vector<ManagedApp> apps, DaemonConfi
   if (config_.raw_telemetry) {
     turbostat_.set_validation(false);
   }
+  InitObs();
 }
 
 PowerDaemon::~PowerDaemon() = default;
+
+void PowerDaemon::InitObs() {
+  // Turbostat's validation rejections land directly in this registry —
+  // the one count both fault_stats() and the metrics exporters report.
+  turbostat_.BindInvalidSampleCounter(metrics_.GetCounter("telemetry.invalid_samples"));
+  c_held_periods_ = metrics_.GetCounter("daemon.held_periods");
+  c_fallback_periods_ = metrics_.GetCounter("daemon.fallback_periods");
+  c_failed_programs_ = metrics_.GetCounter("daemon.failed_programs");
+  c_backoff_skips_ = metrics_.GetCounter("daemon.backoff_skips");
+  c_reprogram_skips_ = metrics_.GetCounter("daemon.reprogram_skips");
+  g_pkg_w_ = metrics_.GetGauge("daemon.pkg_w");
+  g_ladder_ = metrics_.GetGauge("daemon.ladder_state");
+  h_redistribute_us_ = metrics_.GetHistogram("daemon.redistribute_latency_us",
+                                             {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0});
+  h_overshoot_w_ = metrics_.GetHistogram("daemon.overshoot_w",
+                                         {0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0});
+}
+
+DaemonFaultStats PowerDaemon::fault_stats() const {
+  DaemonFaultStats stats;
+  stats.invalid_samples = turbostat_.invalid_samples();
+  stats.held_periods = static_cast<int>(c_held_periods_->value());
+  stats.fallback_periods = static_cast<int>(c_fallback_periods_->value());
+  stats.failed_programs = static_cast<int>(c_failed_programs_->value());
+  stats.backoff_skips = static_cast<int>(c_backoff_skips_->value());
+  stats.reprogram_skips = static_cast<int>(c_reprogram_skips_->value());
+  return stats;
+}
+
+void PowerDaemon::Emit(obs::TraceEventType type, int32_t index, int32_t code,
+                       obs::TracePayload a, obs::TracePayload b) const {
+  if (config_.obs.sink == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.t = last_sample_t_;
+  event.type = type;
+  event.shard = config_.obs.shard;
+  event.index = index;
+  event.code = code;
+  event.a = a;
+  event.b = b;
+  config_.obs.sink->OnEvent(event);
+}
+
+void PowerDaemon::TransitionLadder(DegradationState to) {
+  if (state_ != to) {
+    Emit(obs::TraceEventType::kLadderTransition, static_cast<int32_t>(state_),
+         static_cast<int32_t>(to), bad_sample_streak_, 0.0);
+    state_ = to;
+  }
+  g_ladder_->Set(static_cast<double>(to));
+}
 
 void PowerDaemon::SetPowerLimit(Watts limit_w) {
   config_.power_limit_w = limit_w;
@@ -129,52 +160,69 @@ void PowerDaemon::Start() {
   if (config_.program_rapl || config_.kind == PolicyKind::kRaplOnly) {
     msr_->WriteRaplLimitW(config_.power_limit_w);
   }
-  switch (config_.kind) {
-    case PolicyKind::kRaplOnly:
-      // All cores request the maximum; RAPL alone throttles.
-      targets_.assign(apps_.size(), platform_.max_mhz);
-      break;
-    case PolicyKind::kStatic:
-      targets_.assign(apps_.size(),
-                      config_.static_mhz > 0.0 ? config_.static_mhz : platform_.max_mhz);
-      break;
-    case PolicyKind::kPriority:
-      targets_ = priority_policy_->InitialDistribution(apps_, config_.power_limit_w);
-      if (auditor_ != nullptr) {
-        auditor_->CheckPriorityInitialDistribution(config_.priority, apps_,
-                                                   config_.power_limit_w, targets_);
-      }
-      break;
-    default:
-      targets_ = share_policy_->InitialDistribution(apps_, config_.power_limit_w);
-      break;
+  if (priority_policy_ != nullptr) {
+    targets_ = priority_policy_->InitialDistribution(apps_, config_.power_limit_w);
+    if (auditor_ != nullptr) {
+      auditor_->CheckPriorityInitialDistribution(config_.priority, apps_, config_.power_limit_w,
+                                                 targets_);
+    }
+  } else if (share_policy_ != nullptr) {
+    targets_ = share_policy_->InitialDistribution(apps_, config_.power_limit_w);
+  } else if (config_.kind == PolicyKind::kStatic) {
+    targets_.assign(apps_.size(),
+                    config_.static_mhz > 0.0 ? config_.static_mhz : platform_.max_mhz);
+  } else {
+    // kRaplOnly: all cores request the maximum; RAPL alone throttles.
+    targets_.assign(apps_.size(), platform_.max_mhz);
   }
   Program(targets_);
 }
 
 void PowerDaemon::Step() {
+  const auto wall_start = std::chrono::steady_clock::now();
   TelemetrySample sample = turbostat_.Sample();
+  last_sample_t_ = sample.t;
+  const int period = period_;
+  period_++;
+  g_pkg_w_->Set(sample.pkg_w);
+  h_overshoot_w_->Observe(std::max(0.0, sample.pkg_w - config_.power_limit_w));
+  Emit(obs::TraceEventType::kPeriodBegin, period, static_cast<int32_t>(state_), sample.pkg_w,
+       config_.power_limit_w);
+  {
+    // Deep library code (min-funding revocation) traces through the
+    // thread-local context for the duration of the control body.
+    obs::ScopedThreadTrace trace_scope(config_.obs.sink, sample.t, config_.obs.shard);
+    StepWithSample(std::move(sample));
+  }
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  h_redistribute_us_->Observe(latency_us);
+  metrics_.Snapshot(last_sample_t_);
+  Emit(obs::TraceEventType::kPeriodEnd, period, static_cast<int32_t>(state_), latency_us, 0.0);
+}
 
+void PowerDaemon::StepWithSample(TelemetrySample sample) {
   if (config_.degradation.enabled && !sample.valid) {
     // Degradation ladder, invalid rung: the policy's internal state is
     // deliberately frozen — no Redistribute call — so the first valid
-    // sample resumes from the pre-fault targets.
-    fault_stats_.invalid_samples++;
+    // sample resumes from the pre-fault targets.  (Turbostat already
+    // counted the rejection in the metrics registry.)
     bad_sample_streak_++;
     if (bad_sample_streak_ >= config_.degradation.fallback_after) {
       if (state_ != DegradationState::kFallback) {
         PAPD_LOG_INFO("daemon: %d consecutive invalid samples, entering fallback",
                       bad_sample_streak_);
-        state_ = DegradationState::kFallback;
+        TransitionLadder(DegradationState::kFallback);
         if (config_.degradation.rapl_safety_net) {
           ArmRaplSafetyNet();
         }
       }
-      fault_stats_.fallback_periods++;
+      c_fallback_periods_->Increment();
       Program(FallbackTargets());
     } else {
-      state_ = DegradationState::kHold;
-      fault_stats_.held_periods++;
+      TransitionLadder(DegradationState::kHold);
+      c_held_periods_->Increment();
       // Hold: last-known-good targets stay programmed; touch nothing.
     }
     history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
@@ -189,7 +237,7 @@ void PowerDaemon::Step() {
     // sample covers one clean period at nominal targets.
     PAPD_LOG_INFO("daemon: telemetry recovered after %d bad periods (%s)", bad_sample_streak_,
                   DegradationStateName(state_));
-    state_ = DegradationState::kNominal;
+    TransitionLadder(DegradationState::kNominal);
     bad_sample_streak_ = 0;
     Program(targets_);
     history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
@@ -218,25 +266,40 @@ void PowerDaemon::Step() {
       apps_[i].max_useful_mhz = saturation_->UsefulMaxMhz(i);
     }
   }
-  switch (config_.kind) {
-    case PolicyKind::kRaplOnly:
-    case PolicyKind::kStatic:
-      break;  // Monitoring only.
-    case PolicyKind::kPriority:
-      targets_ = priority_policy_->Redistribute(apps_, sample, config_.power_limit_w);
-      if (auditor_ != nullptr) {
-        auditor_->CheckPriorityRedistribution(config_.priority, apps_, sample,
-                                              config_.power_limit_w, targets_);
-      }
-      break;
-    default:
-      targets_ = share_policy_->Redistribute(apps_, sample, config_.power_limit_w);
-      break;
+  const bool tracing = config_.obs.sink != nullptr;
+  std::vector<Mhz> before_targets;
+  if (tracing) {
+    before_targets = targets_;
   }
+  if (priority_policy_ != nullptr) {
+    targets_ = priority_policy_->Redistribute(apps_, sample, config_.power_limit_w);
+    if (auditor_ != nullptr) {
+      auditor_->CheckPriorityRedistribution(config_.priority, apps_, sample,
+                                            config_.power_limit_w, targets_);
+    }
+  } else if (share_policy_ != nullptr) {
+    targets_ = share_policy_->Redistribute(apps_, sample, config_.power_limit_w);
+  }
+  // kRaplOnly/kStatic: monitoring only, targets untouched.
   if (saturation_ != nullptr) {
     // HWP-style exploration: occasionally run one app a notch slower for a
     // period to map its IPS-vs-frequency response.
     targets_ = saturation_->ApplyProbes(apps_, targets_);
+  }
+  if (tracing && ActivelyControlling()) {
+    int32_t changed = 0;
+    for (size_t i = 0; i < targets_.size(); i++) {
+      if (i >= before_targets.size() || targets_[i] != before_targets[i]) {
+        changed++;
+      }
+    }
+    Emit(obs::TraceEventType::kRedistribute, static_cast<int32_t>(apps_.size()), changed,
+         sample.pkg_w - config_.power_limit_w, 0.0);
+    for (size_t i = 0; i < targets_.size(); i++) {
+      const Mhz before_i = i < before_targets.size() ? before_targets[i] : 0.0;
+      Emit(obs::TraceEventType::kAppTarget, static_cast<int32_t>(i),
+           targets_[i] != before_i ? 1 : 0, before_i, targets_[i]);
+    }
   }
   Program(targets_);
   if (auditor_ != nullptr && ActivelyControlling()) {
@@ -245,9 +308,7 @@ void PowerDaemon::Step() {
   history_.push_back(Record{.sample = std::move(sample), .targets = targets_, .state = state_});
 }
 
-bool PowerDaemon::ActivelyControlling() const {
-  return config_.kind != PolicyKind::kRaplOnly && config_.kind != PolicyKind::kStatic;
-}
+bool PowerDaemon::ActivelyControlling() const { return GetPolicyInfo(config_.kind).controls; }
 
 std::vector<Mhz> PowerDaemon::FallbackTargets() const {
   const Mhz floor_mhz =
@@ -303,26 +364,29 @@ bool PowerDaemon::VerifyProgrammed(const std::vector<Mhz>& want) const {
 
 void PowerDaemon::Program(const std::vector<Mhz>& want) {
   if (!config_.degradation.enabled) {
-    // Naive baseline: rewrite every period, never look back.
+    // Naive baseline: rewrite every period, never look back (and never
+    // verify — the trace reports the write as unverified success).
     ProgramTargets(want);
+    EmitPstateWrite(want, /*verified_ok=*/true);
     return;
   }
   if (last_program_ok_ && want == last_programmed_want_) {
     // Identical state already verified in hardware: skip the rewrite.
     // This is what keeps monitoring-only policies (kRaplOnly, kStatic)
     // from reprogramming untouched registers every period.
-    fault_stats_.reprogram_skips++;
+    c_reprogram_skips_->Increment();
     return;
   }
   if (retry_wait_ > 0 && want == last_programmed_want_) {
     // Still backing off after a failed attempt at this same state.
     retry_wait_--;
-    fault_stats_.backoff_skips++;
+    c_backoff_skips_->Increment();
     return;
   }
   ProgramTargets(want);
   last_programmed_want_ = want;
   last_program_ok_ = VerifyProgrammed(want);
+  EmitPstateWrite(want, last_program_ok_);
   if (last_program_ok_) {
     write_fail_streak_ = 0;
     backoff_ = 1;
@@ -331,7 +395,7 @@ void PowerDaemon::Program(const std::vector<Mhz>& want) {
       DisarmRaplSafetyNet();
     }
   } else {
-    fault_stats_.failed_programs++;
+    c_failed_programs_->Increment();
     write_fail_streak_++;
     retry_wait_ = backoff_;
     backoff_ = std::min(backoff_ * 2, config_.degradation.max_backoff_periods);
@@ -342,6 +406,25 @@ void PowerDaemon::Program(const std::vector<Mhz>& want) {
       ArmRaplSafetyNet();
     }
   }
+}
+
+void PowerDaemon::EmitPstateWrite(const std::vector<Mhz>& want, bool verified_ok) const {
+  if (config_.obs.sink == nullptr) {
+    return;
+  }
+  int32_t running = 0;
+  Mhz hi = 0.0;
+  Mhz lo = 0.0;
+  for (size_t i = 0; i < want.size() && i < last_expected_mhz_.size(); i++) {
+    if (want[i] == PriorityPolicy::kStopped) {
+      continue;
+    }
+    const Mhz programmed = last_expected_mhz_[i];
+    hi = running == 0 ? programmed : std::max(hi, programmed);
+    lo = running == 0 ? programmed : std::min(lo, programmed);
+    running++;
+  }
+  Emit(obs::TraceEventType::kPstateWrite, running, verified_ok ? 1 : 0, hi, lo);
 }
 
 void PowerDaemon::ProgramTargets(const std::vector<Mhz>& want) {

@@ -44,25 +44,15 @@
 
 #include "src/msr/msr.h"
 #include "src/msr/turbostat.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/policy/app_model.h"
 #include "src/policy/hwp.h"
+#include "src/policy/policy_registry.h"
 #include "src/policy/priority_policy.h"
 #include "src/policy/share_policy.h"
 
 namespace papd {
-
-enum class PolicyKind {
-  // No daemon control: hardware RAPL capping alone (the paper's baseline).
-  kRaplOnly,
-  // Fixed frequencies programmed once at start; no control loop.
-  kStatic,
-  kPriority,
-  kFrequencyShares,
-  kPerformanceShares,
-  kPowerShares,
-};
-
-const char* PolicyKindName(PolicyKind kind);
 
 // Where the daemon currently sits on the degradation ladder.
 enum class DegradationState {
@@ -93,7 +83,10 @@ struct DegradationConfig {
   bool rapl_safety_net = true;
 };
 
-// Degradation/fault bookkeeping, exposed for tests and benches.
+// Degradation/fault bookkeeping, exposed for tests and benches.  This is a
+// view assembled from the daemon's metrics registry — the registry counters
+// are the single source of truth (invalid_samples in particular is counted
+// by Turbostat itself, so the daemon can never disagree with its sampler).
 struct DaemonFaultStats {
   int invalid_samples = 0;   // Samples rejected by telemetry validation.
   int held_periods = 0;      // Periods spent holding last-known-good targets.
@@ -101,6 +94,15 @@ struct DaemonFaultStats {
   int failed_programs = 0;   // Programming attempts whose read-back mismatched.
   int backoff_skips = 0;     // Periods skipped while backing off after failure.
   int reprogram_skips = 0;   // Rewrites skipped because targets were unchanged.
+};
+
+// Observability hookup for one daemon (see src/obs/trace.h).
+struct DaemonObs {
+  // Receives one TraceEvent per decision point; null disables tracing (the
+  // emission sites then cost one branch each).
+  ObsSink* sink = nullptr;
+  // Rack shard id stamped on every event (0 for single-socket runs).
+  int16_t shard = 0;
 };
 
 struct DaemonConfig {
@@ -129,6 +131,9 @@ struct DaemonConfig {
   // Consume raw, unvalidated telemetry (Turbostat::set_validation(false)).
   // Only the fault-tolerance ablation's naive baseline sets this.
   bool raw_telemetry = false;
+  // Trace-event sink and shard tag (appended last: existing designated
+  // initializers keep working).
+  DaemonObs obs;
 };
 
 class PolicyAuditor;
@@ -183,11 +188,22 @@ class PowerDaemon {
 
   // --- Degradation introspection ---------------------------------------------
   DegradationState degradation_state() const { return state_; }
-  const DaemonFaultStats& fault_stats() const { return fault_stats_; }
+  // Assembled from the metrics registry (see DaemonFaultStats).
+  DaemonFaultStats fault_stats() const;
   int bad_sample_streak() const { return bad_sample_streak_; }
   int write_fail_streak() const { return write_fail_streak_; }
 
+  // --- Observability ----------------------------------------------------------
+  // The daemon's metrics registry: fault counters, per-period gauges
+  // (package power, overshoot), redistribute-latency histogram.  One row is
+  // snapshotted per Step(); export with obs::MetricsCsv / obs::MetricsJson.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
+  // The control-loop body; Step() wraps it with period begin/end tracing,
+  // the latency measurement and the per-period metrics snapshot.
+  void StepWithSample(TelemetrySample sample);
   // Translates `want` into hardware writes (online transitions, Ryzen slot
   // selection or Skylake per-core ratios) and runs the translation audit.
   void ProgramTargets(const std::vector<Mhz>& want);
@@ -197,6 +213,8 @@ class PowerDaemon {
   void Program(const std::vector<Mhz>& want);
   // Reads back the effective per-app request and compares against `want`.
   bool VerifyProgrammed(const std::vector<Mhz>& want) const;
+  // kPstateWrite trace event summarizing what translation just wrote.
+  void EmitPstateWrite(const std::vector<Mhz>& want, bool verified_ok) const;
   // Per-app conservative floor used in fallback.
   std::vector<Mhz> FallbackTargets() const;
   void ArmRaplSafetyNet();
@@ -204,6 +222,14 @@ class PowerDaemon {
   // True for kinds that actively control P-states every period (the power
   // ceiling audit only makes sense for them).
   bool ActivelyControlling() const;
+  // Registers the fault counters/gauges and binds turbostat's
+  // invalid-sample counter into the registry (called from both ctors).
+  void InitObs();
+  // Emits through config_.obs.sink when one is installed.
+  void Emit(obs::TraceEventType type, int32_t index, int32_t code, obs::TracePayload a,
+            obs::TracePayload b) const;
+  // Degradation-ladder move with trace event + gauge update.
+  void TransitionLadder(DegradationState to);
 
   MsrFile* msr_;
   std::vector<ManagedApp> apps_;
@@ -219,9 +245,25 @@ class PowerDaemon {
   std::vector<Mhz> targets_;
   std::vector<Record> history_;
 
+  // --- Observability state ----------------------------------------------------
+  obs::MetricsRegistry metrics_;
+  // Cached registry pointers bumped on the hot path (no name lookups).
+  obs::Counter* c_held_periods_ = nullptr;
+  obs::Counter* c_fallback_periods_ = nullptr;
+  obs::Counter* c_failed_programs_ = nullptr;
+  obs::Counter* c_backoff_skips_ = nullptr;
+  obs::Counter* c_reprogram_skips_ = nullptr;
+  obs::Gauge* g_pkg_w_ = nullptr;
+  obs::Gauge* g_ladder_ = nullptr;
+  obs::Histogram* h_redistribute_us_ = nullptr;
+  obs::Histogram* h_overshoot_w_ = nullptr;
+  // Control periods completed (trace-event index) and the simulated time of
+  // the last telemetry sample (trace-event timestamp).
+  int period_ = 0;
+  Seconds last_sample_t_ = 0.0;
+
   // --- Degradation-ladder state ----------------------------------------------
   DegradationState state_ = DegradationState::kNominal;
-  DaemonFaultStats fault_stats_;
   int bad_sample_streak_ = 0;
   int write_fail_streak_ = 0;
   // Periods left to wait before the next programming retry, and the current

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 #include "src/policy/invariants.h"
 
 namespace papd {
@@ -61,11 +62,13 @@ std::vector<double> DistributeProportionalImpl(double total,
         pinned[i] = 1;
         remaining -= alloc[i];
         pinned_any = true;
+        PAPD_TRACE_REVOKE(i, alloc[i], /*at_max=*/false);
       } else if (prop > req[i].maximum + kEps) {
         alloc[i] = req[i].maximum;
         pinned[i] = 1;
         remaining -= alloc[i];
         pinned_any = true;
+        PAPD_TRACE_REVOKE(i, alloc[i], /*at_max=*/true);
       }
     }
     if (!pinned_any) {
@@ -133,6 +136,7 @@ std::vector<double> DistributeDeltaImpl(double delta, const std::vector<double>&
         alloc[i] = adding ? req[i].maximum : req[i].minimum;
         leftover += grant - headroom;
         saturated[i] = true;
+        PAPD_TRACE_REVOKE(i, alloc[i], /*at_max=*/adding);
       } else {
         alloc[i] += adding ? grant : -grant;
       }

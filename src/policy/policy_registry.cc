@@ -1,0 +1,74 @@
+#include "src/policy/policy_registry.h"
+
+#include "src/common/check.h"
+#include "src/policy/frequency_shares.h"
+#include "src/policy/performance_shares.h"
+#include "src/policy/power_shares.h"
+
+namespace papd {
+namespace {
+
+template <typename Policy>
+std::unique_ptr<ShareResource> Make(const PolicyPlatform& platform) {
+  return std::make_unique<Policy>(platform);
+}
+
+constexpr PolicyInfo kRegistry[] = {
+    {.kind = PolicyKind::kRaplOnly, .name = "rapl"},
+    {.kind = PolicyKind::kStatic, .name = "static"},
+    {.kind = PolicyKind::kPriority, .name = "priority", .controls = true, .is_priority = true},
+    {.kind = PolicyKind::kFrequencyShares,
+     .name = "freq-shares",
+     .controls = true,
+     .make = &Make<FrequencyShares>},
+    {.kind = PolicyKind::kPerformanceShares,
+     .name = "perf-shares",
+     .controls = true,
+     .make = &Make<PerformanceShares>},
+    {.kind = PolicyKind::kPowerShares,
+     .name = "power-shares",
+     .controls = true,
+     .needs_per_core_power = true,
+     .make = &Make<PowerShares>},
+};
+
+}  // namespace
+
+const PolicyInfo& GetPolicyInfo(PolicyKind kind) {
+  for (const PolicyInfo& info : kRegistry) {
+    if (info.kind == kind) {
+      return info;
+    }
+  }
+  PAPD_CHECK(false) << " PolicyKind " << static_cast<int>(kind) << " not registered";
+  return kRegistry[0];
+}
+
+std::unique_ptr<ShareResource> MakePolicy(PolicyKind kind, const PolicyPlatform& platform) {
+  const PolicyInfo& info = GetPolicyInfo(kind);
+  return info.make != nullptr ? info.make(platform) : nullptr;
+}
+
+const char* PolicyKindName(PolicyKind kind) { return GetPolicyInfo(kind).name; }
+
+const PolicyInfo* FindPolicyByName(const std::string& name) {
+  for (const PolicyInfo& info : kRegistry) {
+    if (name == info.name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<PolicyKind>& AllPolicyKinds() {
+  static const std::vector<PolicyKind>* kinds = [] {
+    auto* v = new std::vector<PolicyKind>;
+    for (const PolicyInfo& info : kRegistry) {
+      v->push_back(info.kind);
+    }
+    return v;
+  }();
+  return *kinds;
+}
+
+}  // namespace papd

@@ -1,0 +1,67 @@
+// Policy registry: the one table describing every PolicyKind.
+//
+// The daemon, the experiment harness and papdctl all used to carry their
+// own switch over PolicyKind — one to construct the policy, one to name
+// it, one to parse a CLI string, one to decide whether the kind runs a
+// control loop.  Adding a policy meant finding every switch.  The registry
+// collapses them: each kind has one PolicyInfo row with its canonical
+// name, its behavioral traits and (for share-based kinds) a factory, and
+// everything else derives from the row.
+
+#ifndef SRC_POLICY_POLICY_REGISTRY_H_
+#define SRC_POLICY_POLICY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/policy/share_policy.h"
+
+namespace papd {
+
+enum class PolicyKind {
+  // No daemon control: hardware RAPL capping alone (the paper's baseline).
+  kRaplOnly,
+  // Fixed frequencies programmed once at start; no control loop.
+  kStatic,
+  kPriority,
+  kFrequencyShares,
+  kPerformanceShares,
+  kPowerShares,
+};
+
+struct PolicyInfo {
+  PolicyKind kind = PolicyKind::kRaplOnly;
+  // Canonical name, used by papdctl --policy, reports and bench JSON.
+  const char* name = "";
+  // True for kinds that actively redistribute every control period (false
+  // for the monitoring-only kRaplOnly and kStatic).
+  bool controls = false;
+  // True when the policy requires per-core power telemetry (kPowerShares).
+  bool needs_per_core_power = false;
+  // True for the priority policy, which the daemon constructs itself with
+  // PriorityPolicy::Options (it is not a ShareResource).
+  bool is_priority = false;
+  // Factory for share-based kinds; null for the others.
+  std::unique_ptr<ShareResource> (*make)(const PolicyPlatform& platform) = nullptr;
+};
+
+// The registry row for `kind`; every PolicyKind has one.
+const PolicyInfo& GetPolicyInfo(PolicyKind kind);
+
+// Constructs the share policy for `kind`, or nullptr for kinds without one
+// (kRaplOnly, kStatic, kPriority).
+std::unique_ptr<ShareResource> MakePolicy(PolicyKind kind, const PolicyPlatform& platform);
+
+// The canonical name ("freq-shares", ...).
+const char* PolicyKindName(PolicyKind kind);
+
+// Looks a kind up by its canonical name; nullptr when unknown.
+const PolicyInfo* FindPolicyByName(const std::string& name);
+
+// All registered kinds, registry order.
+const std::vector<PolicyKind>& AllPolicyKinds();
+
+}  // namespace papd
+
+#endif  // SRC_POLICY_POLICY_REGISTRY_H_

@@ -80,13 +80,13 @@ TEST(FaultInjection, ScenarioReplayIsBitIdentical) {
   c.limit_w = 45.0;
   c.warmup_s = 5.0;
   c.measure_s = 25.0;
-  c.faults.seed = 99;
-  c.faults.start_s = 8.0;
-  c.faults.end_s = 24.0;
-  c.faults.stale_sample_p = 0.3;
-  c.faults.counter_reset_p = 0.1;
-  c.faults.energy_wrap_p = 0.2;
-  c.faults.write_fail_p = 0.3;
+  c.run.daemon.faults.seed = 99;
+  c.run.daemon.faults.start_s = 8.0;
+  c.run.daemon.faults.end_s = 24.0;
+  c.run.daemon.faults.stale_sample_p = 0.3;
+  c.run.daemon.faults.counter_reset_p = 0.1;
+  c.run.daemon.faults.energy_wrap_p = 0.2;
+  c.run.daemon.faults.write_fail_p = 0.3;
 
   const ScenarioResult a = RunScenario(c);
   const ScenarioResult b = RunScenario(c);
@@ -366,9 +366,9 @@ TEST(FaultInjection, HardenedDaemonHoldsCeilingUnderEverySchedule) {
     c.limit_w = 50.0;
     c.warmup_s = 10.0;
     c.measure_s = 60.0;
-    c.audit = true;
-    c.faults = fs.plan;
-    c.degrade = true;
+    c.run.daemon.audit = true;
+    c.run.daemon.faults = fs.plan;
+    c.run.daemon.degrade = true;
     const ScenarioResult r = RunScenario(c);
     EXPECT_LE(r.max_pkg_w, c.limit_w + 8.0) << fs.label;
     EXPECT_GT(r.avg_pkg_w, 0.0) << fs.label;

@@ -7,10 +7,18 @@ basic sanity (positive timings, non-empty sections).  It deliberately does
 NOT assert timing thresholds — CI runners are too noisy for that; regression
 triage reads the uploaded artifact instead.
 
-Usage: check_bench_json.py BENCH_scenarios.json
+The one numeric assertion is opt-in: --baseline FILE compares the fresh
+micro `package_tick_10core_gcc` ns_per_iter against the baseline file's and
+fails on a regression beyond --max-regress-pct (default 3%).  The tracing
+macros compile to branch-on-null when disabled, so the hot tick must not
+move; this is the CI tripwire for that.
+
+Usage: check_bench_json.py BENCH_scenarios.json [--baseline FILE]
+                           [--max-regress-pct PCT]
 Exits non-zero with file:field diagnostics when the schema is violated.
 """
 
+import argparse
 import json
 import sys
 
@@ -144,28 +152,99 @@ def check(doc):
         if not hardened_seen:
             fail("$.fault_tolerance", "expected at least one hardened entry")
 
+    obs = require(doc, "$", "obs", dict)
+    if obs is not None:
+        for key in ("daemon_step_off_ns", "daemon_step_on_ns"):
+            v = require(obs, "$.obs", key, float)
+            if v is not None and v <= 0:
+                fail(f"$.obs.{key}", f"expected > 0, got {v}")
+        require(obs, "$.obs", "overhead_pct", float)
+        events = require(obs, "$.obs", "trace_events", int)
+        if events is not None and events <= 0:
+            fail("$.obs.trace_events", f"expected > 0 with tracing enabled, got {events}")
+        disabled = require(obs, "$.obs", "trace_disabled_events", int)
+        if disabled is not None and disabled != 0:
+            fail("$.obs.trace_disabled_events",
+                 f"disabled tracer must record nothing, got {disabled}")
+        metrics = require(obs, "$.obs", "metrics", dict)
+        if metrics is not None:
+            if not metrics:
+                fail("$.obs.metrics", "expected at least one metric")
+            for name, value in metrics.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    fail(f"$.obs.metrics.{name}",
+                         f"expected number, got {type(value).__name__}")
+            for expected in ("daemon.pkg_w", "telemetry.invalid_samples"):
+                if expected not in metrics:
+                    fail("$.obs.metrics", f"missing metric '{expected}'")
+
+
+MICRO_BASELINE_NAME = "package_tick_10core_gcc"
+
+
+def micro_ns(doc, name):
+    for entry in doc.get("micro", []):
+        if isinstance(entry, dict) and entry.get("name") == name:
+            value = entry.get("ns_per_iter")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+    return None
+
+
+def check_baseline(doc, baseline_path, max_regress_pct):
+    """Compares the hot-tick micro against a checked-in baseline run."""
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(baseline_path, str(e))
+        return
+    fresh = micro_ns(doc, MICRO_BASELINE_NAME)
+    ref = micro_ns(baseline, MICRO_BASELINE_NAME)
+    if fresh is None:
+        fail(f"$.micro.{MICRO_BASELINE_NAME}", "missing from fresh run")
+        return
+    if ref is None or ref <= 0:
+        fail(f"{baseline_path}: micro.{MICRO_BASELINE_NAME}", "missing or non-positive")
+        return
+    regress_pct = 100.0 * (fresh - ref) / ref
+    if regress_pct > max_regress_pct:
+        fail(f"$.micro.{MICRO_BASELINE_NAME}",
+             f"regressed {regress_pct:.1f}% vs baseline "
+             f"({fresh:.1f} ns vs {ref:.1f} ns, limit {max_regress_pct:.1f}%)")
+    else:
+        print(f"{MICRO_BASELINE_NAME}: {fresh:.1f} ns vs baseline {ref:.1f} ns "
+              f"({regress_pct:+.1f}%, limit {max_regress_pct:.1f}%)")
+
 
 def main(argv):
-    if len(argv) != 2:
-        print("usage: check_bench_json.py BENCH_scenarios.json", file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="prior BENCH_scenarios.json to compare the hot-tick micro against")
+    parser.add_argument("--max-regress-pct", type=float, default=3.0,
+                        help="maximum allowed ns_per_iter regression (default 3%%)")
+    args = parser.parse_args(argv[1:])
     try:
-        with open(argv[1]) as f:
+        with open(args.json_path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"{argv[1]}: {e}", file=sys.stderr)
+        print(f"{args.json_path}: {e}", file=sys.stderr)
         return 1
 
     check(doc)
+    if args.baseline:
+        check_baseline(doc, args.baseline, args.max_regress_pct)
     for err in ERRORS:
         print(err, file=sys.stderr)
     if ERRORS:
         return 1
-    print(f"{argv[1]}: schema OK "
+    print(f"{args.json_path}: schema OK "
           f"({len(doc['micro'])} micro, "
           f"{len(doc['scaling']['package_tick'])} scaling points, "
           f"{len(doc['scenarios'])} scenarios, "
           f"{len(doc['fault_tolerance'])} fault entries, "
+          f"{len(doc['obs']['metrics'])} obs metrics, "
           f"batch speedup {doc['batch']['speedup']:.2f}x)")
     return 0
 

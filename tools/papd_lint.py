@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint for the papd tree.
 
-Four rules the compiler cannot enforce:
+Five rules the compiler cannot enforce:
 
   unit-suffix     A double/float declaration whose name carries a unit
                   suffix must use the matching alias from
@@ -25,6 +25,13 @@ Four rules the compiler cannot enforce:
                   members whose names contain `scratch` (pre-sized
                   buffers).  A line-level `PAPD_HOT_ALLOW` comment exempts
                   deliberate amortized growth (e.g. stats logs).
+
+  hot-log         A PAPD_HOT function must not log: Logf / PAPD_LOG_*
+                  format and write on the caller's thread.  Hot code that
+                  needs visibility uses the trace macros (PAPD_TRACE_*,
+                  src/obs/trace.h), which compile to a branch-on-null when
+                  tracing is off.  PAPD_HOT_ALLOW exempts a line (e.g. a
+                  log on an unreachable-in-steady-state error path).
 
 Usage: papd_lint.py [repo_root]
 Exits non-zero and prints file:line diagnostics when violations exist;
@@ -131,6 +138,8 @@ HOT_CONTAINER_RE = re.compile(
 # explicit PAPD_HOT_ALLOW.
 HOT_GROW_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_.\->]*)\s*\.\s*(push_back|emplace_back|push)\s*\(")
 HOT_NEW_RE = re.compile(r"\bnew\b")
+# Logging calls: formatting + stdio on the hot path; use PAPD_TRACE_*.
+HOT_LOG_RE = re.compile(r"\b(Logf|PAPD_LOG_[A-Z]+)\s*\(")
 
 
 def check_hot_allocations(path: Path, lines: list[str], errors: list[str]) -> None:
@@ -167,6 +176,12 @@ def check_hot_allocations(path: Path, lines: list[str], errors: list[str]) -> No
                             f"non-scratch container inside a PAPD_HOT function "
                             f"(add PAPD_HOT_ALLOW if growth is deliberately amortized)"
                         )
+                for m in HOT_LOG_RE.finditer(line):
+                    errors.append(
+                        f"{path}:{lineno + 1}: hot-log: `{m.group(1)}` inside a PAPD_HOT "
+                        f"function; use PAPD_TRACE_* (src/obs/trace.h) or add "
+                        f"PAPD_HOT_ALLOW for a cold error path"
+                    )
             depth += line.count("{") - line.count("}")
             if started and depth <= 0:
                 break

@@ -71,23 +71,8 @@ struct Options {
 }
 
 PolicyKind ParsePolicy(const std::string& s, const char* argv0) {
-  if (s == "rapl") {
-    return PolicyKind::kRaplOnly;
-  }
-  if (s == "static") {
-    return PolicyKind::kStatic;
-  }
-  if (s == "priority") {
-    return PolicyKind::kPriority;
-  }
-  if (s == "freq-shares") {
-    return PolicyKind::kFrequencyShares;
-  }
-  if (s == "perf-shares") {
-    return PolicyKind::kPerformanceShares;
-  }
-  if (s == "power-shares") {
-    return PolicyKind::kPowerShares;
+  if (const PolicyInfo* info = FindPolicyByName(s)) {
+    return info->kind;
   }
   std::fprintf(stderr, "unknown policy: %s\n", s.c_str());
   Usage(argv0);
