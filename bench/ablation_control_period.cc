@@ -26,14 +26,14 @@ namespace papd {
 namespace {
 
 struct PeriodResult {
-  Seconds convergence_s = -1.0;  // First time power stays within 1.5 W.
-  Watts steady_err_w = 0.0;     // RMS power error after convergence.
+  Seconds convergence_s{-1.0};  // First time power stays within 1.5 W.
+  Watts steady_err_w{0.0};     // RMS power error after convergence.
   double steady_ratio = 0.0;     // Achieved LD/HD frequency ratio.
 };
 
 PeriodResult Measure(Seconds period) {
   const PlatformSpec spec = SkylakeXeon4114();
-  constexpr Watts kLimit = 45.0;
+  constexpr Watts kLimit{45.0};
   Package pkg(spec);
   MsrFile msr(&pkg);
 
@@ -60,31 +60,31 @@ PeriodResult Measure(Seconds period) {
   Simulator sim(&pkg);
   sim.AddPeriodic(period, [&](Seconds now) {
     daemon.Step();
-    const Watts pkg_w = daemon.history().back().sample.pkg_w;
-    const double err = pkg_w - kLimit;
+    const Watts pkg_w{daemon.history().back().sample.pkg_w};
+    const double err = (pkg_w - kLimit).value();
     if (std::abs(err) < 1.5) {
       within++;
-      if (within >= 3 && result.convergence_s < 0.0) {
+      if (within >= 3 && result.convergence_s < Seconds{0.0}) {
         result.convergence_s = now;
       }
-    } else if (result.convergence_s < 0.0) {
+    } else if (result.convergence_s < Seconds{0.0}) {
       within = 0;
     }
-    if (result.convergence_s >= 0.0) {
+    if (result.convergence_s >= Seconds{0.0}) {
       steady_sq_err.Add(err * err);
     }
   });
-  sim.Run(120.0);
+  sim.Run(Seconds{120.0});
 
-  result.steady_err_w = std::sqrt(steady_sq_err.mean());
-  Mhz ld_mhz = 0.0;
-  Mhz hd_mhz = 0.0;
+  result.steady_err_w = Watts{std::sqrt(steady_sq_err.mean())};
+  Mhz ld_mhz{0.0};
+  Mhz hd_mhz{0.0};
   const auto& last = daemon.history().back();
   for (size_t i = 0; i < apps.size(); i++) {
     (apps[i].name == "leela" ? ld_mhz : hd_mhz) +=
         last.sample.cores[static_cast<size_t>(apps[i].cpu)].active_mhz / 5.0;
   }
-  result.steady_ratio = hd_mhz > 0.0 ? ld_mhz / hd_mhz : 0.0;
+  result.steady_ratio = hd_mhz > Mhz{0.0} ? ld_mhz / hd_mhz : 0.0;
   return result;
 }
 
@@ -94,11 +94,11 @@ void Run() {
 
   TextTable t;
   t.SetHeader({"period", "convergence s", "steady RMS err W", "LD/HD MHz ratio"});
-  for (Seconds period : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+  for (Seconds period : {Seconds{0.1}, Seconds{0.25}, Seconds{0.5}, Seconds{1.0}, Seconds{2.0}, Seconds{4.0}}) {
     const PeriodResult r = Measure(period);
-    t.AddRow({TextTable::Num(period, 2) + "s",
-              r.convergence_s >= 0 ? TextTable::Num(r.convergence_s, 1) : "never",
-              TextTable::Num(r.steady_err_w, 2), TextTable::Num(r.steady_ratio, 2)});
+    t.AddRow({TextTable::Num(period.value(), 2) + "s",
+              r.convergence_s >= Seconds{0} ? TextTable::Num(r.convergence_s.value(), 1) : "never",
+              TextTable::Num(r.steady_err_w.value(), 2), TextTable::Num(r.steady_ratio, 2)});
   }
   t.Print(std::cout);
   std::cout << "\nReading: shorter periods converge proportionally faster with no\n"

@@ -31,9 +31,9 @@
 namespace papd {
 namespace {
 
-constexpr Watts kLimitW = 55.0;
-constexpr Seconds kWarmupS = 20.0;
-constexpr Seconds kMeasureS = 120.0;
+constexpr Watts kLimitW{55.0};
+constexpr Seconds kWarmupS{20.0};
+constexpr Seconds kMeasureS{120.0};
 
 ScenarioConfig MakeConfig(const FaultPlan& faults, bool degrade) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
@@ -72,7 +72,7 @@ void Run() {
 
   // Faults active for the middle of the measurement window.
   std::vector<FaultScenario> schedules = FaultSchedules(
-      /*start_s=*/kWarmupS + 20.0, /*end_s=*/kWarmupS + 80.0, /*seed=*/1234);
+      /*start_s=*/kWarmupS + Seconds{20.0}, /*end_s=*/kWarmupS + Seconds{80.0}, /*seed=*/1234);
   schedules.insert(schedules.begin(), FaultScenario{.label = "clean", .plan = {}});
 
   std::vector<ScenarioConfig> configs;
@@ -91,9 +91,9 @@ void Run() {
     for (const auto* mode : {&naive, &hard}) {
       const ScenarioResult& r = *mode;
       t.AddRow({schedules[i].label, mode == &naive ? "naive" : "hardened",
-                TextTable::Num(TotalPerf(r), 2), TextTable::Num(r.avg_pkg_w, 1),
-                TextTable::Num(r.max_pkg_w, 1),
-                TextTable::Num(std::max(0.0, r.max_pkg_w - kLimitW), 1),
+                TextTable::Num(TotalPerf(r), 2), TextTable::Num(r.avg_pkg_w.value(), 1),
+                TextTable::Num(r.max_pkg_w.value(), 1),
+                TextTable::Num(std::max(0.0, (r.max_pkg_w - kLimitW).value()), 1),
                 TextTable::Num(r.fault_stats.invalid_samples, 0),
                 TextTable::Num(r.fault_stats.held_periods, 0),
                 TextTable::Num(r.fault_stats.fallback_periods, 0),

@@ -31,16 +31,16 @@
 namespace papd {
 namespace {
 
-constexpr Watts kLimit = 45.0;
+constexpr Watts kLimit{45.0};
 constexpr int kHonest = 5;   // Cores 0..4: honest leela.
 constexpr int kGamers = 5;   // Cores 5..9: sandbagging leela.
 
 struct Outcome {
-  Mhz honest_mhz = 0.0;
-  Mhz gamer_mhz = 0.0;
+  Mhz honest_mhz{0.0};
+  Mhz gamer_mhz{0.0};
   double honest_gips = 0.0;  // Useful instruction rate.
   double gamer_gips = 0.0;
-  Watts pkg_w = 0.0;
+  Watts pkg_w{0.0};
 };
 
 Outcome Run(PolicyKind policy, bool gaming) {
@@ -76,8 +76,8 @@ Outcome Run(PolicyKind policy, bool gaming) {
   PowerDaemon daemon(&msr, apps, {.kind = policy, .power_limit_w = kLimit});
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(40.0);  // Settle.
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{40.0});  // Settle.
 
   std::vector<double> a0(10);
   std::vector<double> m0(10);
@@ -87,17 +87,17 @@ Outcome Run(PolicyKind policy, bool gaming) {
     m0[static_cast<size_t>(c)] = pkg.core(c).mperf_cycles();
     i0[static_cast<size_t>(c)] = pkg.core(c).instructions_retired();
   }
-  const Joules e0 = pkg.package_energy_j();
-  const Seconds t0 = pkg.now();
-  sim.Run(60.0);
-  const Seconds dt = pkg.now() - t0;
+  const Joules e0{pkg.package_energy_j()};
+  const Seconds t0{pkg.now()};
+  sim.Run(Seconds{60.0});
+  const Seconds dt{pkg.now() - t0};
 
   Outcome out;
   for (int c = 0; c < 10; c++) {
     const auto i = static_cast<size_t>(c);
     const Mhz mhz = (pkg.core(c).aperf_cycles() - a0[i]) /
                     (pkg.core(c).mperf_cycles() - m0[i]) * spec.tsc_mhz;
-    const double gips = (pkg.core(c).instructions_retired() - i0[i]) / dt / 1e9;
+    const double gips = (pkg.core(c).instructions_retired() - i0[i]) / dt.value() / 1e9;
     if (c < kHonest) {
       out.honest_mhz += mhz / kHonest;
       out.honest_gips += gips / kHonest;
@@ -121,9 +121,9 @@ void RunAll() {
     for (bool gaming : {false, true}) {
       const Outcome o = Run(policy, gaming);
       t.AddRow({PolicyKindName(policy), gaming ? "5 sandbaggers" : "all honest",
-                TextTable::Num(o.honest_mhz, 0), TextTable::Num(o.gamer_mhz, 0),
+                TextTable::Num(o.honest_mhz.value(), 0), TextTable::Num(o.gamer_mhz.value(), 0),
                 TextTable::Num(o.honest_gips, 2), TextTable::Num(o.gamer_gips, 2),
-                TextTable::Num(o.pkg_w, 1)});
+                TextTable::Num(o.pkg_w.value(), 1)});
     }
   }
   t.Print(std::cout);

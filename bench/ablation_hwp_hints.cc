@@ -24,7 +24,7 @@ namespace {
 
 struct Row {
   double total_perf = 0.0;
-  Watts pkg_w = 0.0;
+  Watts pkg_w{0.0};
   ScenarioResult result;
 };
 
@@ -40,8 +40,8 @@ ScenarioConfig MakeConfig(bool hints, Watts limit) {
   };
   c.policy = PolicyKind::kFrequencyShares;
   c.limit_w = limit;
-  c.warmup_s = 60;  // Probing needs periods to map the IPS/frequency curves.
-  c.measure_s = 60;
+  c.warmup_s = Seconds{60};  // Probing needs periods to map the IPS/frequency curves.
+  c.measure_s = Seconds{60};
   c.run.daemon.hwp_hints = hints;
   return c;
 }
@@ -63,8 +63,8 @@ void Run() {
   const std::vector<double> limits = {45.0, 55.0, 85.0};
   std::vector<ScenarioConfig> configs;
   for (double limit : limits) {
-    configs.push_back(MakeConfig(false, limit));
-    configs.push_back(MakeConfig(true, limit));
+    configs.push_back(MakeConfig(false, Watts{limit}));
+    configs.push_back(MakeConfig(true, Watts{limit}));
   }
   const std::vector<ScenarioResult> results = RunScenarios(configs);
 
@@ -78,12 +78,12 @@ void Run() {
     for (size_t i = 0; i < off.result.apps.size(); i++) {
       const AppResult& a = off.result.apps[i];
       const AppResult& b = on.result.apps[i];
-      t.AddRow({a.name, TextTable::Num(a.avg_active_mhz, 0),
-                TextTable::Num(b.avg_active_mhz, 0), TextTable::Num(a.norm_perf, 2),
+      t.AddRow({a.name, TextTable::Num(a.avg_active_mhz.value(), 0),
+                TextTable::Num(b.avg_active_mhz.value(), 0), TextTable::Num(a.norm_perf, 2),
                 TextTable::Num(b.norm_perf, 2)});
     }
-    t.AddRow({"TOTAL (sum perf / pkg W)", TextTable::Num(off.pkg_w, 1) + "W",
-              TextTable::Num(on.pkg_w, 1) + "W", TextTable::Num(off.total_perf, 2),
+    t.AddRow({"TOTAL (sum perf / pkg W)", TextTable::Num(off.pkg_w.value(), 1) + "W",
+              TextTable::Num(on.pkg_w.value(), 1) + "W", TextTable::Num(off.total_perf, 2),
               TextTable::Num(on.total_perf, 2)});
     t.Print(std::cout);
   }

@@ -26,10 +26,10 @@ namespace papd {
 namespace {
 
 struct Row {
-  Mhz app_mhz = 0.0;
-  Mhz virus_mhz = 0.0;
+  Mhz app_mhz{0.0};
+  Mhz virus_mhz{0.0};
   double app_perf = 0.0;  // Normalized to standalone.
-  Watts pkg_w = 0.0;
+  Watts pkg_w{0.0};
 };
 
 Row MeasureGovernor(GovernorKind kind, Watts limit) {
@@ -47,18 +47,18 @@ Row MeasureGovernor(GovernorKind kind, Watts limit) {
 
   GovernorDaemon governor(&msr, kind);
   Simulator sim(&pkg);
-  sim.AddPeriodic(0.1, [&governor](Seconds) { governor.Step(); });
-  sim.Run(20.0);  // Settle.
+  sim.AddPeriodic(Seconds{0.1}, [&governor](Seconds) { governor.Step(); });
+  sim.Run(Seconds{20.0});  // Settle.
 
   const double i0 = pkg.core(0).instructions_retired();
   const double a0 = pkg.core(0).aperf_cycles();
   const double m0 = pkg.core(0).mperf_cycles();
   const double av0 = pkg.core(1).aperf_cycles();
   const double mv0 = pkg.core(1).mperf_cycles();
-  const Joules e0 = pkg.package_energy_j();
-  const Seconds t0 = pkg.now();
-  sim.Run(60.0);
-  const Seconds dt = pkg.now() - t0;
+  const Joules e0{pkg.package_energy_j()};
+  const Seconds t0{pkg.now()};
+  sim.Run(Seconds{60.0});
+  const Seconds dt{pkg.now() - t0};
 
   Row row;
   row.app_mhz = (pkg.core(0).aperf_cycles() - a0) / (pkg.core(0).mperf_cycles() - m0) *
@@ -76,8 +76,8 @@ Row MeasureShares(Watts limit) {
   c.apps = {{.profile = "leela", .shares = 90.0}, {.profile = "cpuburn", .shares = 10.0}};
   c.policy = PolicyKind::kFrequencyShares;
   c.limit_w = limit;
-  c.warmup_s = 20;
-  c.measure_s = 60;
+  c.warmup_s = Seconds{20};
+  c.measure_s = Seconds{60};
   const ScenarioResult r = RunScenario(c);
   return Row{.app_mhz = r.apps[0].avg_active_mhz,
              .virus_mhz = r.apps[1].avg_active_mhz,
@@ -94,15 +94,15 @@ void Run() {
   for (GovernorKind kind :
        {GovernorKind::kPerformance, GovernorKind::kOndemand, GovernorKind::kConservative,
         GovernorKind::kPowersave}) {
-    const Row r = MeasureGovernor(kind, 40.0);
+    const Row r = MeasureGovernor(kind, Watts{40.0});
     t.AddRow({std::string(GovernorKindName(kind)) + " + RAPL",
-              TextTable::Num(r.app_mhz, 0), TextTable::Num(r.virus_mhz, 0),
-              TextTable::Num(r.app_perf, 2), TextTable::Num(r.pkg_w, 1)});
+              TextTable::Num(r.app_mhz.value(), 0), TextTable::Num(r.virus_mhz.value(), 0),
+              TextTable::Num(r.app_perf, 2), TextTable::Num(r.pkg_w.value(), 1)});
   }
-  const Row share = MeasureShares(40.0);
-  t.AddRow({"freq-shares 90/10", TextTable::Num(share.app_mhz, 0),
-            TextTable::Num(share.virus_mhz, 0), TextTable::Num(share.app_perf, 2),
-            TextTable::Num(share.pkg_w, 1)});
+  const Row share = MeasureShares(Watts{40.0});
+  t.AddRow({"freq-shares 90/10", TextTable::Num(share.app_mhz.value(), 0),
+            TextTable::Num(share.virus_mhz.value(), 0), TextTable::Num(share.app_perf, 2),
+            TextTable::Num(share.pkg_w.value(), 1)});
   t.Print(std::cout);
 
   std::cout << "\nReading: every utilization-driven governor gives the virus the same\n"

@@ -30,10 +30,10 @@ void Run() {
         ScenarioConfig c{.platform = SkylakeXeon4114()};
         c.apps = mix.apps;
         c.policy = PolicyKind::kPriority;
-        c.limit_w = limit;
+        c.limit_w = Watts{limit};
         c.priority.starve_lp = starve;
-        c.warmup_s = 30;
-        c.measure_s = 60;
+        c.warmup_s = Seconds{30};
+        c.measure_s = Seconds{60};
         configs.push_back(c);
       }
     }
@@ -67,7 +67,7 @@ void Run() {
                   starve ? "starve (paper)" : "min-pstate",
                   TextTable::Num(hp_n ? hp_perf / hp_n : 0, 2),
                   TextTable::Num(lp_n ? lp_perf / lp_n : 0, 2), std::to_string(starved),
-                  TextTable::Num(r.avg_pkg_w, 1)});
+                  TextTable::Num(r.avg_pkg_w.value(), 1)});
       }
     }
   }

@@ -35,10 +35,10 @@ void OfflineComparison() {
       std::vector<Mhz> targets;
       const double base = rng.Uniform(800.0, 3800.0 - spread);
       for (int i = 0; i < 8; i++) {
-        targets.push_back(base + rng.Uniform(0.0, spread));
+        targets.push_back(Mhz{base + rng.Uniform(0.0, spread)});
       }
-      opt_sse += SelectPStates(targets, 3, 25).sse;
-      naive_sse += SelectPStatesNaive(targets, 3, 25).sse;
+      opt_sse += SelectPStates(targets, 3, Mhz{25}).sse;
+      naive_sse += SelectPStatesNaive(targets, 3, Mhz{25}).sse;
     }
     const double opt_rms = std::sqrt(opt_sse / (kTrials * 8));
     const double naive_rms = std::sqrt(naive_sse / (kTrials * 8));
@@ -59,9 +59,9 @@ void EndToEnd() {
     ScenarioConfig c{.platform = Ryzen1700X()};
     c.apps = ShareSplitMix(8, ld, hd).apps;
     c.policy = PolicyKind::kFrequencyShares;
-    c.limit_w = 45;
-    c.warmup_s = 30;
-    c.measure_s = 60;
+    c.limit_w = Watts{45};
+    c.warmup_s = Seconds{30};
+    c.measure_s = Seconds{60};
     configs.push_back(c);
   }
   const std::vector<ScenarioResult> results = RunScenarios(configs);
@@ -71,8 +71,8 @@ void EndToEnd() {
   size_t idx = 0;
   for (auto [ld, hd] : {std::pair{90.0, 10.0}, {70.0, 30.0}, {50.0, 50.0}}) {
     const ScenarioResult& r = results[idx++];
-    Mhz ld_mhz = 0.0;
-    Mhz hd_mhz = 0.0;
+    Mhz ld_mhz{0.0};
+    Mhz hd_mhz{0.0};
     for (const AppResult& app : r.apps) {
       (app.name == "leela" ? ld_mhz : hd_mhz) += app.avg_active_mhz / 4.0;
     }

@@ -24,12 +24,12 @@ namespace papd {
 namespace {
 
 struct Outcome {
-  Mhz freq = 0.0;
+  Mhz freq{0.0};
   double hd_residency = 0.0;
   double ld_residency = 0.0;
   double hd_gips = 0.0;
   double ld_gips = 0.0;
-  Watts core_w = 0.0;
+  Watts core_w{0.0};
 };
 
 Outcome Run(Watts budget, bool compensate, bool ld_high_priority) {
@@ -47,9 +47,9 @@ Outcome Run(Watts budget, bool compensate, bool ld_high_priority) {
   pkg.SetRequestedMhz(0, d.freq_mhz);
 
   Simulator sim(&pkg);
-  Joules last_energy = 0.0;
-  sim.AddPeriodic(1.0, [&](Seconds) {
-    const Watts core_w = pkg.core(0).energy_j() - last_energy;
+  Joules last_energy{0.0};
+  sim.AddPeriodic(Seconds{1.0}, [&](Seconds) {
+    const Watts core_w = (pkg.core(0).energy_j() - last_energy) / Seconds{1.0};
     last_energy = pkg.core(0).energy_j();
     d = policy.Step(budget, core_w);
     pkg.SetRequestedMhz(0, d.freq_mhz);
@@ -58,31 +58,31 @@ Outcome Run(Watts budget, bool compensate, bool ld_high_priority) {
       shared.SetResidency(1, d.residencies[1]);
     }
   });
-  const Seconds duration = 90.0;
+  const Seconds duration{90.0};
   sim.Run(duration);
 
   Outcome out;
   out.freq = pkg.core(0).effective_mhz();
   out.hd_residency = shared.residency(0);
   out.ld_residency = shared.residency(1);
-  out.hd_gips = shared.member_instructions()[0] / duration / 1e9;
-  out.ld_gips = shared.member_instructions()[1] / duration / 1e9;
+  out.hd_gips = shared.member_instructions()[0] / duration.value() / 1e9;
+  out.ld_gips = shared.member_instructions()[1] / duration.value() / 1e9;
   out.core_w = pkg.core(0).energy_j() / pkg.now();
   return out;
 }
 
 void Print(TextTable* t, const std::string& label, const Outcome& o) {
-  t->AddRow({label, TextTable::Num(o.freq, 0), TextTable::Num(o.hd_residency, 2),
+  t->AddRow({label, TextTable::Num(o.freq.value(), 0), TextTable::Num(o.hd_residency, 2),
              TextTable::Num(o.ld_residency, 2), TextTable::Num(o.hd_gips, 2),
-             TextTable::Num(o.ld_gips, 2), TextTable::Num(o.core_w, 1)});
+             TextTable::Num(o.ld_gips, 2), TextTable::Num(o.core_w.value(), 1)});
 }
 
 void RunAll() {
   PrintBenchHeader("Ablation A6",
                    "Single-core sharing: cactusBSSN (HD) + gcc (LD) on one Ryzen core");
 
-  for (Watts budget : {4.0, 6.0, 9.0}) {
-    PrintBanner(std::cout, "core budget " + TextTable::Num(budget, 0) + " W");
+  for (Watts budget : {Watts{4.0}, Watts{6.0}, Watts{9.0}}) {
+    PrintBanner(std::cout, "core budget " + TextTable::Num(budget.value(), 0) + " W");
     TextTable t;
     t.SetHeader({"controller", "MHz", "HD res", "LD res", "HD Gi/s", "LD Gi/s", "core W"});
     Print(&t, "frequency only", Run(budget, false, false));

@@ -25,9 +25,9 @@ namespace {
 struct Outcome {
   Celsius burn_temp = 0.0;
   Celsius max_other_temp = 0.0;
-  Mhz burn_mhz = 0.0;
-  Mhz others_mhz = 0.0;
-  Watts pkg_w = 0.0;
+  Mhz burn_mhz{0.0};
+  Mhz others_mhz{0.0};
+  Watts pkg_w{0.0};
 };
 
 Outcome Run(ThermalDaemon::Mode mode) {
@@ -40,14 +40,14 @@ Outcome Run(ThermalDaemon::Mode mode) {
   for (int c = 1; c <= 5; c++) {
     others.push_back(std::make_unique<Process>(GetProfile("leela"), 10 + c));
     pkg.AttachWork(c, others.back().get());
-    msr.WritePerfTargetMhz(c, 3000);
+    msr.WritePerfTargetMhz(c, Mhz{3000});
   }
-  msr.WritePerfTargetMhz(0, 3000);
+  msr.WritePerfTargetMhz(0, Mhz{3000});
 
   ThermalDaemon daemon(&msr, {.limit_c = 75.0, .mode = mode});
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(60.0);  // Settle.
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{60.0});  // Settle.
 
   std::vector<double> a0(6);
   std::vector<double> m0(6);
@@ -55,9 +55,9 @@ Outcome Run(ThermalDaemon::Mode mode) {
     a0[static_cast<size_t>(c)] = pkg.core(c).aperf_cycles();
     m0[static_cast<size_t>(c)] = pkg.core(c).mperf_cycles();
   }
-  const Joules e0 = pkg.package_energy_j();
-  const Seconds t0 = pkg.now();
-  sim.Run(120.0);
+  const Joules e0{pkg.package_energy_j()};
+  const Seconds t0{pkg.now()};
+  sim.Run(Seconds{120.0});
 
   Outcome out;
   out.burn_temp = pkg.thermal().core_temp_c(0);
@@ -82,12 +82,12 @@ void RunAll() {
                "pkg W"});
   const Outcome local = Run(ThermalDaemon::Mode::kPerCoreDvfs);
   t.AddRow({"per-core DVFS (local)", TextTable::Num(local.burn_temp, 1),
-            TextTable::Num(local.burn_mhz, 0), TextTable::Num(local.others_mhz, 0),
-            TextTable::Num(local.max_other_temp, 1), TextTable::Num(local.pkg_w, 1)});
+            TextTable::Num(local.burn_mhz.value(), 0), TextTable::Num(local.others_mhz.value(), 0),
+            TextTable::Num(local.max_other_temp, 1), TextTable::Num(local.pkg_w.value(), 1)});
   const Outcome global = Run(ThermalDaemon::Mode::kGlobalRapl);
   t.AddRow({"RAPL (global)", TextTable::Num(global.burn_temp, 1),
-            TextTable::Num(global.burn_mhz, 0), TextTable::Num(global.others_mhz, 0),
-            TextTable::Num(global.max_other_temp, 1), TextTable::Num(global.pkg_w, 1)});
+            TextTable::Num(global.burn_mhz.value(), 0), TextTable::Num(global.others_mhz.value(), 0),
+            TextTable::Num(global.max_other_temp, 1), TextTable::Num(global.pkg_w.value(), 1)});
   t.Print(std::cout);
 
   std::cout << "\nReading: both modes hold the hotspot at the limit, but global RAPL\n"

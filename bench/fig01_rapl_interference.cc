@@ -36,9 +36,9 @@ void Run() {
       c.apps.push_back({.profile = "cam4"});
     }
     c.policy = PolicyKind::kRaplOnly;
-    c.limit_w = limit;
-    c.warmup_s = 20;
-    c.measure_s = 60;
+    c.limit_w = Watts{limit};
+    c.warmup_s = Seconds{20};
+    c.measure_s = Seconds{60};
     configs.push_back(c);
   }
   const std::vector<ScenarioResult> results = RunScenarios(configs);
@@ -50,9 +50,9 @@ void Run() {
     const double limit = limits[i];
     const ScenarioResult& r = results[i];
 
-    Mhz gcc_mhz = 0.0;
+    Mhz gcc_mhz{0.0};
     double gcc_perf = 0.0;
-    Mhz cam_mhz = 0.0;
+    Mhz cam_mhz{0.0};
     double cam_perf = 0.0;
     for (const AppResult& app : r.apps) {
       if (app.name == "gcc") {
@@ -63,9 +63,9 @@ void Run() {
         cam_perf += app.norm_perf / 5.0;
       }
     }
-    t.AddRow({TextTable::Num(limit, 0) + "W", TextTable::Num(r.avg_pkg_w, 1),
-              TextTable::Num(gcc_mhz, 0), TextTable::Num(gcc_perf, 2),
-              TextTable::Num(cam_mhz, 0), TextTable::Num(cam_perf, 2),
+    t.AddRow({TextTable::Num(limit, 0) + "W", TextTable::Num(r.avg_pkg_w.value(), 1),
+              TextTable::Num(gcc_mhz.value(), 0), TextTable::Num(gcc_perf, 2),
+              TextTable::Num(cam_mhz.value(), 0), TextTable::Num(cam_perf, 2),
               Pct(1.0 - gcc_perf), Pct(1.0 - cam_perf)});
   }
   t.Print(std::cout);

@@ -24,8 +24,8 @@ namespace {
 
 struct SweepPoint {
   double norm_perf = 0.0;
-  Watts pkg_w = 0.0;
-  Mhz active_mhz = 0.0;
+  Watts pkg_w{0.0};
+  Mhz active_mhz{0.0};
 };
 
 ScenarioConfig ConfigAt(const PlatformSpec& platform, const std::string& profile, Mhz freq) {
@@ -33,18 +33,18 @@ ScenarioConfig ConfigAt(const PlatformSpec& platform, const std::string& profile
   c.apps = {{.profile = profile}};
   c.policy = PolicyKind::kStatic;
   c.static_mhz = freq;
-  c.warmup_s = 5;
-  c.measure_s = 20;
+  c.warmup_s = Seconds{5};
+  c.measure_s = Seconds{20};
   return c;
 }
 
 void Run() {
   PrintBenchHeader("Figure 2", "Effects of DVFS on Skylake for SPEC CPU2017 workloads");
   const PlatformSpec platform = SkylakeXeon4114();
-  const Mhz ref_freq = 2200;  // Paper normalizes Skylake performance to 2.2 GHz.
+  const Mhz ref_freq{2200};  // Paper normalizes Skylake performance to 2.2 GHz.
 
   std::vector<Mhz> freqs;
-  for (Mhz f = 800; f <= 3000; f += 100) {
+  for (Mhz f{800}; f <= Mhz{3000}; f += Mhz{100}) {
     freqs.push_back(f);
   }
 
@@ -63,7 +63,7 @@ void Run() {
   for (const std::string& name : SpecBenchmarkNames()) {
     for (Mhz f : freqs) {
       const ScenarioResult& r = results[idx++];
-      sweep[name][f] = SweepPoint{.norm_perf = r.apps[0].avg_ips,  // Normalized later.
+      sweep[name][f.value()] = SweepPoint{.norm_perf = r.apps[0].avg_ips.value(),  // Normalized later.
                                   .pkg_w = r.avg_pkg_w,
                                   .active_mhz = r.apps[0].avg_active_mhz};
     }
@@ -75,10 +75,10 @@ void Run() {
   for (Mhz f : freqs) {
     std::vector<double> values;
     for (const std::string& name : SpecBenchmarkNames()) {
-      values.push_back(sweep[name][f].norm_perf / sweep[name][ref_freq].norm_perf);
+      values.push_back(sweep[name][f.value()].norm_perf / sweep[name][ref_freq.value()].norm_perf);
     }
     const BoxStats s = Summarize(values);
-    perf.AddRow({TextTable::Num(f, 0), TextTable::Num(s.p1, 2), TextTable::Num(s.q1, 2),
+    perf.AddRow({TextTable::Num(f.value(), 0), TextTable::Num(s.p1, 2), TextTable::Num(s.q1, 2),
                  TextTable::Num(s.median, 2), TextTable::Num(s.q3, 2),
                  TextTable::Num(s.p99, 2)});
   }
@@ -90,10 +90,10 @@ void Run() {
   for (Mhz f : freqs) {
     std::vector<double> values;
     for (const std::string& name : SpecBenchmarkNames()) {
-      values.push_back(sweep[name][f].pkg_w);
+      values.push_back(sweep[name][f.value()].pkg_w.value());
     }
     const BoxStats s = Summarize(values);
-    power.AddRow({TextTable::Num(f, 0), TextTable::Num(s.p1, 1), TextTable::Num(s.q1, 1),
+    power.AddRow({TextTable::Num(f.value(), 0), TextTable::Num(s.p1, 1), TextTable::Num(s.q1, 1),
                   TextTable::Num(s.median, 1), TextTable::Num(s.q3, 1),
                   TextTable::Num(s.p99, 1)});
   }
@@ -105,9 +105,9 @@ void Run() {
                     "AVX"});
   for (const std::string& name : SpecBenchmarkNames()) {
     const SweepPoint& hi = sweep[name][3000];
-    const SweepPoint& ref = sweep[name][ref_freq];
+    const SweepPoint& ref = sweep[name][ref_freq.value()];
     detail.AddRow({name, TextTable::Num(hi.norm_perf / ref.norm_perf, 2),
-                   TextTable::Num(hi.active_mhz, 0), TextTable::Num(hi.pkg_w, 1),
+                   TextTable::Num(hi.active_mhz.value(), 0), TextTable::Num(hi.pkg_w.value(), 1),
                    GetProfile(name).UsesAvx() ? "yes" : "no"});
   }
   detail.Print(std::cout);

@@ -20,9 +20,9 @@ namespace papd {
 namespace {
 
 struct SweepPoint {
-  Ips ips = 0.0;
-  Watts pkg_w = 0.0;
-  Mhz active_mhz = 0.0;
+  Ips ips{0.0};
+  Watts pkg_w{0.0};
+  Mhz active_mhz{0.0};
 };
 
 ScenarioConfig ConfigAt(const PlatformSpec& platform, const std::string& profile, Mhz freq) {
@@ -30,8 +30,8 @@ ScenarioConfig ConfigAt(const PlatformSpec& platform, const std::string& profile
   c.apps = {{.profile = profile}};
   c.policy = PolicyKind::kStatic;
   c.static_mhz = freq;
-  c.warmup_s = 5;
-  c.measure_s = 20;
+  c.warmup_s = Seconds{5};
+  c.measure_s = Seconds{20};
   return c;
 }
 
@@ -43,14 +43,14 @@ SweepPoint ToPoint(const ScenarioResult& r) {
 void Run() {
   PrintBenchHeader("Figure 3", "Effects of DVFS on Ryzen for SPEC CPU2017 workloads");
   const PlatformSpec platform = Ryzen1700X();
-  const Mhz ref_freq = 3000;  // Paper normalizes Ryzen performance to 3.0 GHz.
+  const Mhz ref_freq{3000};  // Paper normalizes Ryzen performance to 3.0 GHz.
 
   std::vector<Mhz> freqs;
-  for (Mhz f = 800; f <= 3800; f += 250) {
+  for (Mhz f{800}; f <= Mhz{3800}; f += Mhz{250}) {
     freqs.push_back(platform.PStates().QuantizeDown(f));
   }
-  if (freqs.back() != 3800) {
-    freqs.push_back(3800);
+  if (freqs.back() != Mhz{3800}) {
+    freqs.push_back(Mhz{3800});
   }
 
   std::vector<ScenarioConfig> configs;
@@ -66,9 +66,9 @@ void Run() {
   size_t idx = 0;
   for (const std::string& name : SpecBenchmarkNames()) {
     for (Mhz f : freqs) {
-      sweep[name][f] = ToPoint(results[idx++]);
+      sweep[name][f.value()] = ToPoint(results[idx++]);
     }
-    sweep[name][ref_freq] = ToPoint(results[idx++]);
+    sweep[name][ref_freq.value()] = ToPoint(results[idx++]);
   }
 
   PrintBanner(std::cout, "(a) Performance normalized to 3.0 GHz (box stats over benchmarks)");
@@ -77,10 +77,10 @@ void Run() {
   for (Mhz f : freqs) {
     std::vector<double> values;
     for (const std::string& name : SpecBenchmarkNames()) {
-      values.push_back(sweep[name][f].ips / sweep[name][ref_freq].ips);
+      values.push_back(sweep[name][f.value()].ips / sweep[name][ref_freq.value()].ips);
     }
     const BoxStats s = Summarize(values);
-    perf.AddRow({TextTable::Num(f, 0), TextTable::Num(s.p1, 2), TextTable::Num(s.q1, 2),
+    perf.AddRow({TextTable::Num(f.value(), 0), TextTable::Num(s.p1, 2), TextTable::Num(s.q1, 2),
                  TextTable::Num(s.median, 2), TextTable::Num(s.q3, 2),
                  TextTable::Num(s.p99, 2)});
   }
@@ -92,10 +92,10 @@ void Run() {
   for (Mhz f : freqs) {
     std::vector<double> values;
     for (const std::string& name : SpecBenchmarkNames()) {
-      values.push_back(sweep[name][f].pkg_w);
+      values.push_back(sweep[name][f.value()].pkg_w.value());
     }
     const BoxStats s = Summarize(values);
-    power.AddRow({TextTable::Num(f, 0), TextTable::Num(s.p1, 1), TextTable::Num(s.q1, 1),
+    power.AddRow({TextTable::Num(f.value(), 0), TextTable::Num(s.p1, 1), TextTable::Num(s.q1, 1),
                   TextTable::Num(s.median, 1), TextTable::Num(s.q3, 1),
                   TextTable::Num(s.p99, 1)});
   }

@@ -25,9 +25,9 @@ namespace {
 
 struct Point {
   double unconstrained_perf = 0.0;  // Mean IPS of the unconstrained half.
-  Mhz unconstrained_mhz = 0.0;
-  Mhz throttled_mhz = 0.0;
-  Watts pkg_w = 0.0;
+  Mhz unconstrained_mhz{0.0};
+  Mhz throttled_mhz{0.0};
+  Watts pkg_w{0.0};
 };
 
 // This experiment needs raw per-core frequency requests *plus* a hardware
@@ -45,7 +45,7 @@ Point MeasureDirect(Watts limit, Mhz throttle_mhz) {
   }
   pkg.SetRaplLimit(limit);
   Simulator sim(&pkg);
-  sim.Run(10.0);  // Warmup/settling.
+  sim.Run(Seconds{10.0});  // Warmup/settling.
   std::vector<double> instr0(10);
   std::vector<double> aperf0(10);
   std::vector<double> mperf0(10);
@@ -54,17 +54,17 @@ Point MeasureDirect(Watts limit, Mhz throttle_mhz) {
     aperf0[static_cast<size_t>(i)] = pkg.core(i).aperf_cycles();
     mperf0[static_cast<size_t>(i)] = pkg.core(i).mperf_cycles();
   }
-  const Joules e0 = pkg.package_energy_j();
-  const Seconds t0 = pkg.now();
-  sim.Run(40.0);
-  const Seconds dt = pkg.now() - t0;
+  const Joules e0{pkg.package_energy_j()};
+  const Seconds t0{pkg.now()};
+  sim.Run(Seconds{40.0});
+  const Seconds dt{pkg.now() - t0};
 
   Point p;
   for (int i = 0; i < 10; i++) {
     const auto idx = static_cast<size_t>(i);
-    const double ips = (pkg.core(i).instructions_retired() - instr0[idx]) / dt;
+    const double ips = (pkg.core(i).instructions_retired() - instr0[idx]) / dt.value();
     const double dm = pkg.core(i).mperf_cycles() - mperf0[idx];
-    const Mhz mhz = dm > 0 ? (pkg.core(i).aperf_cycles() - aperf0[idx]) / dm * spec.tsc_mhz : 0;
+    const Mhz mhz = dm > 0 ? (pkg.core(i).aperf_cycles() - aperf0[idx]) / dm * spec.tsc_mhz : Mhz{0};
     if (i < 5) {
       p.unconstrained_perf += ips / 5.0;
       p.unconstrained_mhz += mhz / 5.0;
@@ -82,19 +82,19 @@ void Run() {
 
   // Baseline: all limits satisfied, everything at the all-core turbo
   // ("2.5 GHz" in the paper); performance is normalized to this point.
-  const Point base = MeasureDirect(85.0, SkylakeXeon4114().turbo_max_mhz);
+  const Point base = MeasureDirect(Watts{85.0}, SkylakeXeon4114().turbo_max_mhz);
 
   for (double limit : {85.0, 60.0, 50.0, 40.0}) {
     PrintBanner(std::cout, "RAPL limit " + TextTable::Num(limit, 0) + " W");
     TextTable t;
     t.SetHeader({"throttled-to", "unconstrained MHz", "throttled MHz",
                  "unconstrained perf vs base", "pkg W"});
-    for (Mhz throttle : {2500.0, 2200.0, 1900.0, 1600.0, 1300.0, 1000.0, 800.0}) {
-      const Point p = MeasureDirect(limit, throttle);
-      t.AddRow({TextTable::Num(throttle, 0), TextTable::Num(p.unconstrained_mhz, 0),
-                TextTable::Num(p.throttled_mhz, 0),
+    for (Mhz throttle : {Mhz{2500.0}, Mhz{2200.0}, Mhz{1900.0}, Mhz{1600.0}, Mhz{1300.0}, Mhz{1000.0}, Mhz{800.0}}) {
+      const Point p = MeasureDirect(Watts{limit}, throttle);
+      t.AddRow({TextTable::Num(throttle.value(), 0), TextTable::Num(p.unconstrained_mhz.value(), 0),
+                TextTable::Num(p.throttled_mhz.value(), 0),
                 Pct(p.unconstrained_perf / base.unconstrained_perf),
-                TextTable::Num(p.pkg_w, 1)});
+                TextTable::Num(p.pkg_w.value(), 1)});
     }
     t.Print(std::cout);
   }

@@ -29,10 +29,10 @@ void Run() {
   for (double limit : limits) {
     WebsearchConfig alone{.platform = SkylakeXeon4114()};
     alone.policy = PolicyKind::kRaplOnly;
-    alone.limit_w = limit;
+    alone.limit_w = Watts{limit};
     alone.with_cpuburn = false;
-    alone.warmup_s = 20;
-    alone.measure_s = 240;
+    alone.warmup_s = Seconds{20};
+    alone.measure_s = Seconds{240};
     WebsearchConfig colo = alone;
     colo.with_cpuburn = true;
     configs.push_back(alone);
@@ -47,10 +47,10 @@ void Run() {
     const double limit = limits[i];
     const WebsearchResult& a = results[2 * i];
     const WebsearchResult& c = results[2 * i + 1];
-    t.AddRow({TextTable::Num(limit, 0) + "W", TextTable::Num(a.p90_latency * 1e3, 1),
-              TextTable::Num(c.p90_latency * 1e3, 1),
+    t.AddRow({TextTable::Num(limit, 0) + "W", TextTable::Num(a.p90_latency.value() * 1e3, 1),
+              TextTable::Num(c.p90_latency.value() * 1e3, 1),
               TextTable::Num(c.p90_latency / a.p90_latency, 2),
-              TextTable::Num(a.avg_pkg_w, 1), TextTable::Num(c.avg_pkg_w, 1)});
+              TextTable::Num(a.avg_pkg_w.value(), 1), TextTable::Num(c.avg_pkg_w.value(), 1)});
   }
   t.Print(std::cout);
   std::cout << "\nPaper shape check: co-location is nearly free at high limits, but below\n"

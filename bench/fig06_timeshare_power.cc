@@ -34,12 +34,12 @@ Watts CorePowerWithShares(double hd_share, double ld_share) {
   }
   TimeSharedCore shared(std::move(members));
   pkg.AttachWork(0, &shared);
-  pkg.SetRequestedMhz(0, 3400);
+  pkg.SetRequestedMhz(0, Mhz{3400});
   Simulator sim(&pkg);
-  sim.Run(5.0);
-  const Joules e0 = pkg.core(0).energy_j();
-  const Seconds t0 = pkg.now();
-  sim.Run(20.0);
+  sim.Run(Seconds{5.0});
+  const Joules e0{pkg.core(0).energy_j()};
+  const Seconds t0{pkg.now()};
+  sim.Run(Seconds{20.0});
   return (pkg.core(0).energy_j() - e0) / (pkg.now() - t0);
 }
 
@@ -47,18 +47,18 @@ void Run() {
   PrintBenchHeader("Figure 6",
                    "Time-shared core power, cactusBSSN (HD) / gcc (LD), Ryzen @3.4 GHz");
 
-  const Watts hd_alone = CorePowerWithShares(1.0, 0.0);
-  const Watts ld_alone = CorePowerWithShares(0.0, 1.0);
-  std::cout << "standalone @100% share:  cactusBSSN " << TextTable::Num(hd_alone, 2)
-            << " W,  gcc " << TextTable::Num(ld_alone, 2) << " W\n";
+  const Watts hd_alone{CorePowerWithShares(1.0, 0.0)};
+  const Watts ld_alone{CorePowerWithShares(0.0, 1.0)};
+  std::cout << "standalone @100% share:  cactusBSSN " << TextTable::Num(hd_alone.value(), 2)
+            << " W,  gcc " << TextTable::Num(ld_alone.value(), 2) << " W\n";
 
   PrintBanner(std::cout, "(a) HD fixed at 50%, LD share varied");
   TextTable a;
   a.SetHeader({"LD share", "core W", "residency-weighted model W"});
   for (double ld : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-    const Watts measured = CorePowerWithShares(0.5, ld);
-    const Watts modeled = 0.5 * hd_alone + ld * ld_alone;  // Idle remainder ~0 W.
-    a.AddRow({Pct(ld, 0), TextTable::Num(measured, 2), TextTable::Num(modeled, 2)});
+    const Watts measured{CorePowerWithShares(0.5, ld)};
+    const Watts modeled{0.5 * hd_alone + ld * ld_alone};  // Idle remainder ~0 W.
+    a.AddRow({Pct(ld, 0), TextTable::Num(measured.value(), 2), TextTable::Num(modeled.value(), 2)});
   }
   a.Print(std::cout);
 
@@ -66,9 +66,9 @@ void Run() {
   TextTable b;
   b.SetHeader({"HD share", "core W", "residency-weighted model W"});
   for (double hd : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-    const Watts measured = CorePowerWithShares(hd, 0.5);
-    const Watts modeled = hd * hd_alone + 0.5 * ld_alone;
-    b.AddRow({Pct(hd, 0), TextTable::Num(measured, 2), TextTable::Num(modeled, 2)});
+    const Watts measured{CorePowerWithShares(hd, 0.5)};
+    const Watts modeled{hd * hd_alone + 0.5 * ld_alone};
+    b.AddRow({Pct(hd, 0), TextTable::Num(measured.value(), 2), TextTable::Num(modeled.value(), 2)});
   }
   b.Print(std::cout);
   std::cout << "\nPaper shape check: core power rises linearly with the varied share and\n"

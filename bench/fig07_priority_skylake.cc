@@ -24,10 +24,10 @@ namespace {
 struct ClassStats {
   double hp_perf = 0.0;
   double lp_perf = 0.0;
-  Mhz hp_mhz = 0.0;
-  Mhz lp_mhz = 0.0;
+  Mhz hp_mhz{0.0};
+  Mhz lp_mhz{0.0};
   int lp_starved = 0;
-  Watts pkg_w = 0.0;
+  Watts pkg_w{0.0};
 };
 
 ScenarioConfig MakeConfig(const WorkloadMix& mix, PolicyKind policy, Watts limit) {
@@ -35,8 +35,8 @@ ScenarioConfig MakeConfig(const WorkloadMix& mix, PolicyKind policy, Watts limit
   c.apps = mix.apps;
   c.policy = policy;
   c.limit_w = limit;
-  c.warmup_s = 30;
-  c.measure_s = 60;
+  c.warmup_s = Seconds{30};
+  c.measure_s = Seconds{60};
   return c;
 }
 
@@ -101,7 +101,7 @@ void Run() {
     std::vector<ScenarioConfig> configs;
     for (double limit : {85.0, 50.0, 40.0}) {
       for (const WorkloadMix& mix : SkylakePriorityMixes()) {
-        configs.push_back(MakeConfig(mix, policy, limit));
+        configs.push_back(MakeConfig(mix, policy, Watts{limit}));
       }
     }
     const std::vector<ScenarioResult> results = RunScenarios(configs);
@@ -114,9 +114,9 @@ void Run() {
       for (const WorkloadMix& mix : SkylakePriorityMixes()) {
         const ClassStats s = Reduce(results[idx++]);
         t.AddRow({TextTable::Num(limit, 0) + "W", mix.label, TextTable::Num(s.hp_perf, 2),
-                  TextTable::Num(s.lp_perf, 2), TextTable::Num(s.hp_mhz, 0),
-                  TextTable::Num(s.lp_mhz, 0), std::to_string(s.lp_starved),
-                  TextTable::Num(s.pkg_w, 1)});
+                  TextTable::Num(s.lp_perf, 2), TextTable::Num(s.hp_mhz.value(), 0),
+                  TextTable::Num(s.lp_mhz.value(), 0), std::to_string(s.lp_starved),
+                  TextTable::Num(s.pkg_w.value(), 1)});
       }
     }
     t.Print(std::cout);

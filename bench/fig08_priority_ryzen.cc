@@ -26,9 +26,9 @@ void Run() {
       ScenarioConfig c{.platform = Ryzen1700X()};
       c.apps = mix.apps;
       c.policy = PolicyKind::kPriority;
-      c.limit_w = limit;
-      c.warmup_s = 30;
-      c.measure_s = 60;
+      c.limit_w = Watts{limit};
+      c.warmup_s = Seconds{30};
+      c.measure_s = Seconds{60};
       configs.push_back(c);
     }
   }
@@ -44,10 +44,10 @@ void Run() {
 
       double hp_perf = 0.0;
       double lp_perf = 0.0;
-      Watts hp_w = 0.0;
-      Watts lp_w = 0.0;
-      Mhz hp_mhz = 0.0;
-      Mhz lp_mhz = 0.0;
+      Watts hp_w{0.0};
+      Watts lp_w{0.0};
+      Mhz hp_mhz{0.0};
+      Mhz lp_mhz{0.0};
       int hp_n = 0;
       int lp_n = 0;
       int starved = 0;
@@ -68,11 +68,11 @@ void Run() {
       t.AddRow({TextTable::Num(limit, 0) + "W", mix.label,
                 TextTable::Num(hp_n ? hp_perf / hp_n : 0, 2),
                 TextTable::Num(lp_n ? lp_perf / lp_n : 0, 2),
-                TextTable::Num(hp_n ? hp_w / hp_n : 0, 2),
-                TextTable::Num(lp_n ? lp_w / lp_n : 0, 2),
-                TextTable::Num(hp_n ? hp_mhz / hp_n : 0, 0),
-                TextTable::Num(lp_n ? lp_mhz / lp_n : 0, 0), std::to_string(starved),
-                TextTable::Num(r.avg_pkg_w, 1)});
+                TextTable::Num(hp_n ? (hp_w / hp_n).value() : 0, 2),
+                TextTable::Num(lp_n ? (lp_w / lp_n).value() : 0, 2),
+                TextTable::Num(hp_n ? (hp_mhz / hp_n).value() : 0, 0),
+                TextTable::Num(lp_n ? (lp_mhz / lp_n).value() : 0, 0), std::to_string(starved),
+                TextTable::Num(r.avg_pkg_w.value(), 1)});
     }
   }
   t.Print(std::cout);

@@ -35,9 +35,9 @@ void Run() {
         ScenarioConfig c{.platform = SkylakeXeon4114()};
         c.apps = ShareSplitMix(10, ld, hd).apps;
         c.policy = policy;
-        c.limit_w = limit;
-        c.warmup_s = 30;
-        c.measure_s = 60;
+        c.limit_w = Watts{limit};
+        c.warmup_s = Seconds{30};
+        c.measure_s = Seconds{60};
         configs.push_back(c);
       }
     }
@@ -52,8 +52,8 @@ void Run() {
         ScenarioResult& r = results[idx++];
         AddResourceShares(&r);
 
-        Mhz ld_mhz = 0.0;
-        Mhz hd_mhz = 0.0;
+        Mhz ld_mhz{0.0};
+        Mhz hd_mhz{0.0};
         double ld_perf = 0.0;
         double hd_perf = 0.0;
         double ld_fshare = 0.0;
@@ -71,9 +71,9 @@ void Run() {
         }
         t.AddRow({TextTable::Num(limit, 0) + "W",
                   TextTable::Num(ld, 0) + "/" + TextTable::Num(hd, 0),
-                  TextTable::Num(ld_mhz, 0), TextTable::Num(hd_mhz, 0),
+                  TextTable::Num(ld_mhz.value(), 0), TextTable::Num(hd_mhz.value(), 0),
                   TextTable::Num(ld_perf, 2), TextTable::Num(hd_perf, 2), Pct(ld_fshare),
-                  Pct(hd_fshare), TextTable::Num(r.avg_pkg_w, 1)});
+                  Pct(hd_fshare), TextTable::Num(r.avg_pkg_w.value(), 1)});
       }
     }
     t.Print(std::cout);

@@ -37,9 +37,9 @@ void Run() {
         ScenarioConfig c{.platform = Ryzen1700X()};
         c.apps = ShareSplitMix(8, ld, hd).apps;
         c.policy = policy;
-        c.limit_w = limit;
-        c.warmup_s = 30;
-        c.measure_s = 60;
+        c.limit_w = Watts{limit};
+        c.warmup_s = Seconds{30};
+        c.measure_s = Seconds{60};
         configs.push_back(c);
       }
     }
@@ -67,7 +67,7 @@ void Run() {
         t.AddRow({TextTable::Num(limit, 0) + "W",
                   TextTable::Num(ld, 0) + "/" + TextTable::Num(hd, 0), Pct(fshare[0]),
                   Pct(fshare[1]), Pct(pshare[0]), Pct(pshare[1]), Pct(wshare[0]),
-                  Pct(wshare[1]), TextTable::Num(r.avg_pkg_w, 1)});
+                  Pct(wshare[1]), TextTable::Num(r.avg_pkg_w.value(), 1)});
       }
     }
     t.Print(std::cout);

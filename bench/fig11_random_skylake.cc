@@ -61,9 +61,9 @@ void Run() {
         ScenarioConfig c{.platform = SkylakeXeon4114()};
         c.apps = RandomSetApps(set);
         c.policy = policy;
-        c.limit_w = limit;
-        c.warmup_s = 30;
-        c.measure_s = 60;
+        c.limit_w = Watts{limit};
+        c.warmup_s = Seconds{30};
+        c.measure_s = Seconds{60};
         configs.push_back(c);
       }
       std::vector<ScenarioResult> results = RunScenarios(configs);
@@ -83,7 +83,7 @@ void Run() {
               r.apps[2 * i].share_of_perf + r.apps[2 * i + 1].share_of_perf;
           row.push_back(Pct(f) + "/" + Pct(p));
         }
-        row.push_back(TextTable::Num(r.avg_pkg_w, 1));
+        row.push_back(TextTable::Num(r.avg_pkg_w.value(), 1));
         t.AddRow(row);
       }
       t.Print(std::cout);

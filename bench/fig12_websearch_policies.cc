@@ -30,9 +30,9 @@ void Run() {
   std::vector<WebsearchConfig> configs;
   for (double limit : limits) {
     WebsearchConfig base{.platform = SkylakeXeon4114()};
-    base.limit_w = limit;
-    base.warmup_s = 20;
-    base.measure_s = 240;
+    base.limit_w = Watts{limit};
+    base.warmup_s = Seconds{20};
+    base.measure_s = Seconds{240};
 
     WebsearchConfig alone = base;
     alone.policy = PolicyKind::kRaplOnly;
@@ -57,7 +57,7 @@ void Run() {
       return results[stride * i + 1 + k].p90_latency / r_alone.p90_latency;
     };
     t.AddRow({TextTable::Num(limits[i], 0) + "W",
-              TextTable::Num(r_alone.p90_latency * 1e3, 1), TextTable::Num(rel(0), 2),
+              TextTable::Num(r_alone.p90_latency.value() * 1e3, 1), TextTable::Num(rel(0), 2),
               TextTable::Num(rel(1), 2), TextTable::Num(rel(2), 2),
               TextTable::Num(rel(3), 2)});
   }

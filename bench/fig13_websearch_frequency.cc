@@ -29,9 +29,9 @@ void Run() {
   std::vector<WebsearchConfig> configs;
   for (double limit : limits) {
     WebsearchConfig base{.platform = SkylakeXeon4114()};
-    base.limit_w = limit;
-    base.warmup_s = 20;
-    base.measure_s = 180;
+    base.limit_w = Watts{limit};
+    base.warmup_s = Seconds{20};
+    base.measure_s = Seconds{180};
 
     WebsearchConfig share = base;
     share.policy = PolicyKind::kFrequencyShares;
@@ -56,11 +56,11 @@ void Run() {
     const WebsearchResult& r_rapl = results[3 * i + 1];
     const WebsearchResult& r_alone = results[3 * i + 2];
 
-    t.AddRow({TextTable::Num(limits[i], 0) + "W", TextTable::Num(r_share.websearch_avg_mhz, 0),
-              TextTable::Num(r_share.cpuburn_avg_mhz, 0),
-              TextTable::Num(r_rapl.websearch_avg_mhz, 0),
-              TextTable::Num(r_rapl.cpuburn_avg_mhz, 0),
-              TextTable::Num(r_alone.websearch_avg_mhz, 0)});
+    t.AddRow({TextTable::Num(limits[i], 0) + "W", TextTable::Num(r_share.websearch_avg_mhz.value(), 0),
+              TextTable::Num(r_share.cpuburn_avg_mhz.value(), 0),
+              TextTable::Num(r_rapl.websearch_avg_mhz.value(), 0),
+              TextTable::Num(r_rapl.cpuburn_avg_mhz.value(), 0),
+              TextTable::Num(r_alone.websearch_avg_mhz.value(), 0)});
   }
   t.Print(std::cout);
   std::cout << "\nPaper shape check: under the policy the cpuburn core sits at/near the\n"

@@ -41,24 +41,24 @@ std::vector<ManagedApp> TenApps() {
                               .cpu = i,
                               .shares = 10.0 + 9.0 * i,
                               .high_priority = i % 2 == 0,
-                              .baseline_ips = 2e9});
+                              .baseline_ips = Ips{2e9}});
   }
   return apps;
 }
 
 TelemetrySample FakeSample(int cores, bool per_core_power) {
   TelemetrySample s;
-  s.t = 1.0;
-  s.dt = 1.0;
-  s.pkg_w = 52.0;
+  s.t = Seconds{1.0};
+  s.dt = Seconds{1.0};
+  s.pkg_w = Watts{52.0};
   for (int i = 0; i < cores; i++) {
     CoreTelemetry ct;
     ct.cpu = i;
-    ct.active_mhz = 1500.0 + 100.0 * i;
-    ct.ips = 1.5e9;
+    ct.active_mhz = Mhz{1500.0 + 100.0 * i};
+    ct.ips = Ips{1.5e9};
     ct.busy = 1.0;
     if (per_core_power) {
-      ct.core_w = 4.0;
+      ct.core_w = Watts{4.0};
     }
     s.cores.push_back(ct);
   }
@@ -81,10 +81,10 @@ PAPD_PERF_BENCH(BM_MinFundingDistribute);
 void BM_FrequencySharesRedistribute(perf::State& state) {
   FrequencyShares policy(Platform());
   const auto apps = TenApps();
-  policy.InitialDistribution(apps, 45.0);
+  policy.InitialDistribution(apps, Watts{45.0});
   const TelemetrySample sample = FakeSample(10, false);
   for (auto _ : state) {
-    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, Watts{45.0}));
   }
 }
 PAPD_PERF_BENCH(BM_FrequencySharesRedistribute);
@@ -92,10 +92,10 @@ PAPD_PERF_BENCH(BM_FrequencySharesRedistribute);
 void BM_PerformanceSharesRedistribute(perf::State& state) {
   PerformanceShares policy(Platform());
   const auto apps = TenApps();
-  policy.InitialDistribution(apps, 45.0);
+  policy.InitialDistribution(apps, Watts{45.0});
   const TelemetrySample sample = FakeSample(10, false);
   for (auto _ : state) {
-    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, Watts{45.0}));
   }
 }
 PAPD_PERF_BENCH(BM_PerformanceSharesRedistribute);
@@ -103,10 +103,10 @@ PAPD_PERF_BENCH(BM_PerformanceSharesRedistribute);
 void BM_PowerSharesRedistribute(perf::State& state) {
   PowerShares policy(Platform());
   const auto apps = TenApps();
-  policy.InitialDistribution(apps, 45.0);
+  policy.InitialDistribution(apps, Watts{45.0});
   const TelemetrySample sample = FakeSample(10, true);
   for (auto _ : state) {
-    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, Watts{45.0}));
   }
 }
 PAPD_PERF_BENCH(BM_PowerSharesRedistribute);
@@ -114,26 +114,26 @@ PAPD_PERF_BENCH(BM_PowerSharesRedistribute);
 void BM_PriorityRedistribute(perf::State& state) {
   PriorityPolicy policy(Platform(), {});
   const auto apps = TenApps();
-  policy.InitialDistribution(apps, 45.0);
+  policy.InitialDistribution(apps, Watts{45.0});
   const TelemetrySample sample = FakeSample(10, false);
   for (auto _ : state) {
-    perf::DoNotOptimize(policy.Redistribute(apps, sample, 45.0));
+    perf::DoNotOptimize(policy.Redistribute(apps, sample, Watts{45.0}));
   }
 }
 PAPD_PERF_BENCH(BM_PriorityRedistribute);
 
 void BM_SelectPStates(perf::State& state) {
-  const std::vector<Mhz> targets = {3400, 3000, 2600, 2200, 1800, 1400, 1000, 800};
+  const std::vector<Mhz> targets = {Mhz{3400}, Mhz{3000}, Mhz{2600}, Mhz{2200}, Mhz{1800}, Mhz{1400}, Mhz{1000}, Mhz{800}};
   for (auto _ : state) {
-    perf::DoNotOptimize(SelectPStates(targets, 3, 25));
+    perf::DoNotOptimize(SelectPStates(targets, 3, Mhz{25}));
   }
 }
 PAPD_PERF_BENCH(BM_SelectPStates);
 
 void BM_SelectPStatesNaive(perf::State& state) {
-  const std::vector<Mhz> targets = {3400, 3000, 2600, 2200, 1800, 1400, 1000, 800};
+  const std::vector<Mhz> targets = {Mhz{3400}, Mhz{3000}, Mhz{2600}, Mhz{2200}, Mhz{1800}, Mhz{1400}, Mhz{1000}, Mhz{800}};
   for (auto _ : state) {
-    perf::DoNotOptimize(SelectPStatesNaive(targets, 3, 25));
+    perf::DoNotOptimize(SelectPStatesNaive(targets, 3, Mhz{25}));
   }
 }
 PAPD_PERF_BENCH(BM_SelectPStatesNaive);
@@ -142,7 +142,7 @@ void BM_SaturationDetectorObserve(perf::State& state) {
   SaturationDetector det(Platform(), 10);
   const auto apps = TenApps();
   const TelemetrySample sample = FakeSample(10, false);
-  const std::vector<Mhz> requested(10, 2600.0);
+  const std::vector<Mhz> requested(10, Mhz{2600.0});
   for (auto _ : state) {
     det.Observe(apps, sample, requested);
   }
@@ -152,18 +152,18 @@ PAPD_PERF_BENCH(BM_SaturationDetectorObserve);
 void BM_SingleCoreSharingStep(perf::State& state) {
   SingleCoreSharing policy(Platform(), {{.name = "hd", .shares = 1.0, .demand = 1.4},
                                         {.name = "ld", .shares = 1.0, .demand = 1.0}});
-  policy.Initial(6.0);
+  policy.Initial(Watts{6.0});
   for (auto _ : state) {
-    perf::DoNotOptimize(policy.Step(6.0, 6.5));
+    perf::DoNotOptimize(policy.Step(Watts{6.0}, Watts{6.5}));
   }
 }
 PAPD_PERF_BENCH(BM_SingleCoreSharingStep);
 
 void BM_ThermalModelUpdate(perf::State& state) {
   ThermalModel model(SkylakeXeon4114().thermal, 10);
-  const std::vector<Watts> power(10, 6.0);
+  const std::vector<Watts> power(10, Watts{6.0});
   for (auto _ : state) {
-    model.Update(power, 8.0, 0.001);
+    model.Update(power, Watts{8.0}, Seconds{0.001});
   }
 }
 PAPD_PERF_BENCH(BM_ThermalModelUpdate);
@@ -173,25 +173,25 @@ void BM_GovernorOndemandDecide(perf::State& state) {
   double util = 0.3;
   for (auto _ : state) {
     util = util < 0.9 ? util + 0.01 : 0.1;
-    perf::DoNotOptimize(gov.Decide(util, 2000.0));
+    perf::DoNotOptimize(gov.Decide(util, Mhz{2000.0}));
   }
 }
 PAPD_PERF_BENCH(BM_GovernorOndemandDecide);
 
 void BM_SpinLockTick(perf::State& state) {
   SpinLockWork work({0, 1, 2, 3}, SpinLockWork::Params{});
-  const std::vector<Mhz> freqs = {3000, 3000, 3000, 800};
+  const std::vector<Mhz> freqs = {Mhz{3000}, Mhz{3000}, Mhz{3000}, Mhz{800}};
   for (auto _ : state) {
-    perf::DoNotOptimize(work.Run(0.001, freqs));
+    perf::DoNotOptimize(work.Run(Seconds{0.001}, freqs));
   }
 }
 PAPD_PERF_BENCH(BM_SpinLockTick);
 
 void BM_WebSearchTick(perf::State& state) {
   WebSearch ws({0, 1, 2, 3, 4, 5, 6, 7, 8}, WebSearch::Params{}, 1);
-  const std::vector<Mhz> freqs(9, 2600.0);
+  const std::vector<Mhz> freqs(9, Mhz{2600.0});
   for (auto _ : state) {
-    perf::DoNotOptimize(ws.Run(0.001, freqs));
+    perf::DoNotOptimize(ws.Run(Seconds{0.001}, freqs));
   }
 }
 PAPD_PERF_BENCH(BM_WebSearchTick);
@@ -204,7 +204,7 @@ void BM_PackageTick(perf::State& state) {
     pkg.AttachWork(i, procs.back().get());
   }
   for (auto _ : state) {
-    pkg.Tick(0.001);
+    pkg.Tick(Seconds{0.001});
   }
 }
 PAPD_PERF_BENCH(BM_PackageTick);
@@ -219,10 +219,10 @@ void BM_DaemonFullStep(perf::State& state) {
     pkg.AttachWork(i, procs.back().get());
   }
   PowerDaemon daemon(&msr, apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{45.0}});
   daemon.Start();
   for (auto _ : state) {
-    pkg.Tick(0.001);  // Advance so each sample covers a nonzero window.
+    pkg.Tick(Seconds{0.001});  // Advance so each sample covers a nonzero window.
     daemon.Step();
   }
 }

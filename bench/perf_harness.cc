@@ -99,8 +99,8 @@ struct MicroResult {
 
 struct ScenarioTiming {
   std::string policy;
-  Seconds wall_s = 0.0;
-  Seconds sim_s = 0.0;
+  Seconds wall_s{0.0};
+  Seconds sim_s{0.0};
 };
 
 // The representative scenario: the paper's middle priority mix, which
@@ -112,15 +112,15 @@ ScenarioConfig RepresentativeConfig(PolicyKind policy, bool quick) {
   ScenarioConfig c{.platform = ryzen ? Ryzen1700X() : SkylakeXeon4114()};
   c.apps = mixes[mixes.size() / 2].apps;
   c.policy = policy;
-  c.limit_w = 50.0;
-  c.warmup_s = quick ? 2.0 : 10.0;
-  c.measure_s = quick ? 4.0 : 30.0;
+  c.limit_w = Watts{50.0};
+  c.warmup_s = quick ? Seconds{2.0} : Seconds{10.0};
+  c.measure_s = quick ? Seconds{4.0} : Seconds{30.0};
   c.seed = 42;
   return c;
 }
 
 std::vector<MicroResult> RunMicro(bool quick) {
-  const double min_time = quick ? 0.05 : 0.3;
+  const Seconds min_time{quick ? 0.05 : 0.3};
   std::vector<MicroResult> out;
 
   {
@@ -130,7 +130,7 @@ std::vector<MicroResult> RunMicro(bool quick) {
       procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + i));
       pkg.AttachWork(i, procs.back().get());
     }
-    const perf::Result r = perf::MeasureLoop([&pkg] { pkg.Tick(0.001); }, min_time);
+    const perf::Result r = perf::MeasureLoop([&pkg] { pkg.Tick(Seconds{0.001}); }, min_time);
     out.push_back({"package_tick_10core_gcc", r.ns_per_iter});
   }
 
@@ -146,14 +146,14 @@ std::vector<MicroResult> RunMicro(bool quick) {
                                 .cpu = i,
                                 .shares = 10.0 + 9.0 * i,
                                 .high_priority = i % 2 == 0,
-                                .baseline_ips = 2e9});
+                                .baseline_ips = Ips{2e9}});
     }
     PowerDaemon daemon(&msr, apps,
-                       {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0});
+                       {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{45.0}});
     daemon.Start();
     const perf::Result r = perf::MeasureLoop(
         [&pkg, &daemon] {
-          pkg.Tick(0.001);
+          pkg.Tick(Seconds{0.001});
           daemon.Step();
         },
         min_time);
@@ -186,7 +186,7 @@ struct ScalingResult {
 };
 
 ScalingResult RunScaling(bool quick) {
-  const double min_time = quick ? 0.05 : 0.3;
+  const Seconds min_time{quick ? 0.05 : 0.3};
   ScalingResult out;
 
   // BM_PackageTick at 8 / 64 / 128 cores, every core running gcc.
@@ -200,7 +200,7 @@ ScalingResult RunScaling(bool quick) {
       procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + static_cast<uint64_t>(i)));
       pkg.AttachWork(i, procs.back().get());
     }
-    const perf::Result r = perf::MeasureLoop([&pkg] { pkg.Tick(0.001); }, min_time);
+    const perf::Result r = perf::MeasureLoop([&pkg] { pkg.Tick(Seconds{0.001}); }, min_time);
     out.package_tick.push_back(
         {spec.num_cores, r.ns_per_iter, r.ns_per_iter / spec.num_cores});
 
@@ -209,7 +209,7 @@ ScalingResult RunScaling(bool quick) {
     if (spec.num_cores == 8) {
       const long before = g_alloc_count.load(std::memory_order_relaxed);
       for (int t = 0; t < 1000; t++) {
-        pkg.Tick(0.001);
+        pkg.Tick(Seconds{0.001});
       }
       out.steady_allocs_per_tick =
           (g_alloc_count.load(std::memory_order_relaxed) - before + 999) / 1000;
@@ -228,15 +228,15 @@ ScalingResult RunScaling(bool quick) {
       socket.use_baseline_ips = false;
       cfg.sockets.push_back(socket);
     }
-    cfg.budget_w = 200.0;
+    cfg.budget_w = Watts{200.0};
     Rack rack(cfg);
     rack.Step();  // Warmup period.
     const int steps = quick ? 3 : 10;
-    const double start = perf::NowS();
+    const Seconds start = perf::NowS();
     for (int s = 0; s < steps; s++) {
       rack.Step();
     }
-    const double wall = perf::NowS() - start;
+    const double wall = (perf::NowS() - start).value();
     out.rack_tick.sockets = 4;
     out.rack_tick.wall_s_per_step = wall / steps;
     const double core_ticks_per_step =
@@ -251,9 +251,9 @@ ScalingResult RunScaling(bool quick) {
 struct FaultRow {
   std::string schedule;
   bool hardened = false;
-  Watts avg_pkg_w = 0.0;
-  Watts max_pkg_w = 0.0;
-  Watts overshoot_w = 0.0;
+  Watts avg_pkg_w{0.0};
+  Watts max_pkg_w{0.0};
+  Watts overshoot_w{0.0};
   int invalid_samples = 0;
   int fallback_periods = 0;
   int failed_programs = 0;
@@ -261,17 +261,17 @@ struct FaultRow {
 };
 
 std::vector<FaultRow> RunFaultTolerance(bool quick) {
-  constexpr Watts kLimitW = 55.0;
+  constexpr Watts kLimitW{55.0};
   ScenarioConfig base{.platform = SkylakeXeon4114()};
   base.apps = SkylakePriorityMixes()[2].apps;
   base.policy = PolicyKind::kFrequencyShares;
   base.limit_w = kLimitW;
-  base.warmup_s = quick ? 5.0 : 20.0;
-  base.measure_s = quick ? 30.0 : 90.0;
+  base.warmup_s = quick ? Seconds{5.0} : Seconds{20.0};
+  base.measure_s = quick ? Seconds{30.0} : Seconds{90.0};
   base.seed = 42;
 
   std::vector<FaultScenario> schedules =
-      FaultSchedules(base.warmup_s + 4.0, base.warmup_s + base.measure_s - 4.0, /*seed=*/1234);
+      FaultSchedules(base.warmup_s + Seconds{4.0}, base.warmup_s + base.measure_s - Seconds{4.0}, /*seed=*/1234);
   // Representative subset: the schedule the naive daemon fails hardest on,
   // the garbage-power storm, and the everything-at-once mix.
   const char* kKeep[] = {"stale-burst", "wrap-storm", "mixed-storm"};
@@ -299,7 +299,7 @@ std::vector<FaultRow> RunFaultTolerance(bool quick) {
     const ScenarioResult& r = results[i];
     rows[i].avg_pkg_w = r.avg_pkg_w;
     rows[i].max_pkg_w = r.max_pkg_w;
-    rows[i].overshoot_w = std::max(0.0, r.max_pkg_w - kLimitW);
+    rows[i].overshoot_w = std::max(Watts{0.0}, r.max_pkg_w - kLimitW);
     rows[i].invalid_samples = r.fault_stats.invalid_samples;
     rows[i].fallback_periods = r.fault_stats.fallback_periods;
     rows[i].failed_programs = r.fault_stats.failed_programs;
@@ -325,7 +325,7 @@ struct ObsResult {
 };
 
 ObsResult RunObs(bool quick) {
-  const double min_time = quick ? 0.05 : 0.3;
+  const Seconds min_time{quick ? 0.05 : 0.3};
   ObsResult out;
 
   auto step_ns = [&](ObsSink* sink, int16_t shard) {
@@ -340,15 +340,15 @@ ObsResult RunObs(bool quick) {
                                 .cpu = i,
                                 .shares = 10.0 + 9.0 * i,
                                 .high_priority = i % 2 == 0,
-                                .baseline_ips = 2e9});
+                                .baseline_ips = Ips{2e9}});
     }
-    DaemonConfig dcfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0};
+    DaemonConfig dcfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{45.0}};
     dcfg.obs = DaemonObs{.sink = sink, .shard = shard};
     PowerDaemon daemon(&msr, apps, dcfg);
     daemon.Start();
     const perf::Result r = perf::MeasureLoop(
         [&pkg, &daemon] {
-          pkg.Tick(0.001);
+          pkg.Tick(Seconds{0.001});
           daemon.Step();
         },
         min_time);
@@ -434,7 +434,7 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
   std::fprintf(f, "  \"scenarios\": [\n");
   for (size_t i = 0; i < scenarios.size(); i++) {
     const ScenarioTiming& s = scenarios[i];
-    const double rate = s.wall_s > 0.0 ? s.sim_s / s.wall_s : 0.0;
+    const double rate = s.wall_s > Seconds{0.0} ? s.sim_s / s.wall_s : 0.0;
     std::fprintf(f,
                  "    {\"policy\": \"%s\", \"wall_s\": %.4f, \"sim_s\": %.1f, "
                  "\"sim_s_per_wall_s\": %.1f}%s\n",
@@ -446,7 +446,7 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
   std::fprintf(f, "    \"count\": %zu,\n", batch_count);
   std::fprintf(f, "    \"serial_wall_s\": %.4f,\n", serial_s);
   std::fprintf(f, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
-  std::fprintf(f, "    \"speedup\": %.2f\n", parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::fprintf(f, "    \"speedup\": %.2f\n", parallel_s > Seconds{0.0} ? serial_s / parallel_s : 0.0);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fault_tolerance\": [\n");
   for (size_t i = 0; i < faults.size(); i++) {
@@ -534,36 +534,36 @@ int Main(int argc, char** argv) {
   std::vector<ScenarioConfig> batch_configs;
   for (PolicyKind policy : kPolicies) {
     const ScenarioConfig config = RepresentativeConfig(policy, opt.quick);
-    const double start = perf::NowS();
+    const Seconds start = perf::NowS();
     const ScenarioResult result = RunScenario(config);
-    const double wall = perf::NowS() - start;
+    const Seconds wall = perf::NowS() - start;
     perf::DoNotOptimize(result);
     scenarios.push_back(
         {PolicyKindName(policy), wall, config.warmup_s + config.measure_s});
-    std::printf("  %-20s %8.3f s wall for %5.1f sim-s\n", PolicyKindName(policy), wall,
-                config.warmup_s + config.measure_s);
+    std::printf("  %-20s %8.3f s wall for %5.1f sim-s\n", PolicyKindName(policy), wall.value(),
+                (config.warmup_s + config.measure_s).value());
     batch_configs.push_back(config);
     batch_configs.push_back(config);  // Two per policy so the batch has depth.
   }
 
   std::printf("perf_harness: batch of %zu scenarios, jobs=%d\n", batch_configs.size(), jobs);
-  Seconds serial_s = 0.0;
+  Seconds serial_s{0.0};
   {
-    const double start = perf::NowS();
+    const Seconds start = perf::NowS();
     for (const ScenarioConfig& config : batch_configs) {
       perf::DoNotOptimize(RunScenario(config));
     }
     serial_s = perf::NowS() - start;
   }
-  Seconds parallel_s = 0.0;
+  Seconds parallel_s{0.0};
   {
     ThreadPool pool(jobs);
-    const double start = perf::NowS();
+    const Seconds start = perf::NowS();
     perf::DoNotOptimize(RunScenarios(batch_configs, &pool));
     parallel_s = perf::NowS() - start;
   }
-  std::printf("  serial %.3f s, parallel %.3f s, speedup %.2fx\n", serial_s, parallel_s,
-              parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::printf("  serial %.3f s, parallel %.3f s, speedup %.2fx\n", serial_s.value(),
+              parallel_s.value(), parallel_s > Seconds{0.0} ? serial_s / parallel_s : 0.0);
 
   std::printf("perf_harness: fault-tolerance schedules\n");
   const std::vector<FaultRow> faults = RunFaultTolerance(opt.quick);

@@ -35,37 +35,38 @@ inline void DoNotOptimize(T&& value) {
 }
 
 inline Seconds NowS() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return Seconds{
+      std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+          .count()};
 }
 
 struct Result {
   double ns_per_iter = 0.0;
   uint64_t iters = 0;
-  Seconds elapsed_s = 0.0;
+  Seconds elapsed_s{0.0};
 };
 
 // Times `body` (one iteration per call).  Runs one small warmup batch, then
 // grows the batch size until a timed batch lasts at least min_time_s.
 template <class F>
-Result MeasureLoop(F&& body, Seconds min_time_s = 0.2) {
+Result MeasureLoop(F&& body, Seconds min_time_s = Seconds{0.2}) {
   // Warmup: touch caches, fault in pages, settle branch predictors.
   for (int i = 0; i < 3; i++) {
     body();
   }
   uint64_t iters = 16;
   for (;;) {
-    const double start = NowS();
+    const Seconds start = NowS();
     for (uint64_t i = 0; i < iters; i++) {
       body();
     }
-    const double elapsed = NowS() - start;
+    const Seconds elapsed = NowS() - start;
     if (elapsed >= min_time_s) {
-      return Result{elapsed * 1e9 / static_cast<double>(iters), iters, elapsed};
+      return Result{elapsed.value() * 1e9 / static_cast<double>(iters), iters, elapsed};
     }
     // Grow towards the target with headroom; cap the growth factor so one
     // noisy fast batch cannot overshoot by orders of magnitude.
-    double factor = elapsed > 0.0 ? 1.4 * min_time_s / elapsed : 10.0;
+    double factor = elapsed > Seconds{0.0} ? 1.4 * (min_time_s / elapsed) : 10.0;
     if (factor > 10.0) {
       factor = 10.0;
     }
@@ -123,8 +124,8 @@ class State {
  private:
   uint64_t iters_;
   uint64_t remaining_;
-  Seconds start_s_ = 0.0;
-  Seconds stop_s_ = 0.0;
+  Seconds start_s_{0.0};
+  Seconds stop_s_{0.0};
 };
 
 using BenchFn = void (*)(State&);
@@ -148,7 +149,7 @@ struct Registrar {
 
 // Runs one registered benchmark with warmup + calibration (same discipline
 // as MeasureLoop, batching whole State runs).
-inline Result RunBench(BenchFn fn, Seconds min_time_s = 0.2) {
+inline Result RunBench(BenchFn fn, Seconds min_time_s = Seconds{0.2}) {
   {
     State warmup(8);
     fn(warmup);
@@ -157,11 +158,11 @@ inline Result RunBench(BenchFn fn, Seconds min_time_s = 0.2) {
   for (;;) {
     State state(iters);
     fn(state);
-    const double elapsed = state.elapsed_s();
+    const Seconds elapsed = state.elapsed_s();
     if (elapsed >= min_time_s) {
-      return Result{elapsed * 1e9 / static_cast<double>(iters), iters, elapsed};
+      return Result{elapsed.value() * 1e9 / static_cast<double>(iters), iters, elapsed};
     }
-    double factor = elapsed > 0.0 ? 1.4 * min_time_s / elapsed : 10.0;
+    double factor = elapsed > Seconds{0.0} ? 1.4 * (min_time_s / elapsed) : 10.0;
     if (factor > 10.0) {
       factor = 10.0;
     }
@@ -173,13 +174,13 @@ inline Result RunBench(BenchFn fn, Seconds min_time_s = 0.2) {
 // Flags: --filter=<substring>  --min_time=<seconds>
 inline int PerfMain(int argc, char** argv) {
   std::string filter;
-  Seconds min_time_s = 0.2;
+  Seconds min_time_s{0.2};
   for (int i = 1; i < argc; i++) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--filter=", 9) == 0) {
       filter = arg + 9;
     } else if (std::strncmp(arg, "--min_time=", 11) == 0) {
-      min_time_s = std::strtod(arg + 11, nullptr);
+      min_time_s = Seconds{std::strtod(arg + 11, nullptr)};
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 2;

@@ -16,25 +16,25 @@ void PrintPlatform(const PlatformSpec& spec) {
   t.SetHeader({"feature", "value"});
   t.AddRow({"cores", std::to_string(spec.num_cores)});
   t.AddRow({"frequency range",
-            TextTable::Num(spec.min_mhz / 1000.0, 1) + "-" +
-                TextTable::Num(spec.base_max_mhz / 1000.0, 1) + " GHz + " +
-                TextTable::Num(spec.turbo_max_mhz / 1000.0, 1) + " GHz boost"});
-  t.AddRow({"DVFS increments", TextTable::Num(spec.step_mhz, 0) + " MHz"});
+            TextTable::Num(spec.min_mhz.value() / 1000.0, 1) + "-" +
+                TextTable::Num(spec.base_max_mhz.value() / 1000.0, 1) + " GHz + " +
+                TextTable::Num(spec.turbo_max_mhz.value() / 1000.0, 1) + " GHz boost"});
+  t.AddRow({"DVFS increments", TextTable::Num(spec.step_mhz.value(), 0) + " MHz"});
   t.AddRow({"per-core DVFS", spec.max_simultaneous_pstates == 0
                                  ? "yes (independent per core)"
                                  : "yes (" + std::to_string(spec.max_simultaneous_pstates) +
                                        " simultaneous P-states)"});
   t.AddRow({"RAPL power capping",
-            spec.has_rapl_limit ? TextTable::Num(spec.rapl_min_w, 0) + "-" +
-                                      TextTable::Num(spec.rapl_max_w, 0) + " W"
+            spec.has_rapl_limit ? TextTable::Num(spec.rapl_min_w.value(), 0) + "-" +
+                                      TextTable::Num(spec.rapl_max_w.value(), 0) + " W"
                                 : "not available"});
   t.AddRow({"platform power measurement", "yes (package energy counter)"});
   t.AddRow({"per-core power measurement", spec.has_per_core_power ? "yes" : "no"});
-  t.AddRow({"TDP", TextTable::Num(spec.tdp_w, 0) + " W"});
+  t.AddRow({"TDP", TextTable::Num(spec.tdp_w.value(), 0) + " W"});
   t.AddRow({"AVX frequency caps",
-            TextTable::Num(spec.avx_max_mhz_light, 0) + " MHz (<=" +
+            TextTable::Num(spec.avx_max_mhz_light.value(), 0) + " MHz (<=" +
                 std::to_string(spec.avx_light_cores) + " AVX cores), " +
-                TextTable::Num(spec.avx_max_mhz_heavy, 0) + " MHz (more)"});
+                TextTable::Num(spec.avx_max_mhz_heavy.value(), 0) + " MHz (more)"});
   t.Print(std::cout);
 }
 

@@ -20,9 +20,9 @@ int main() {
   using namespace papd;
 
   WebsearchConfig base{.platform = SkylakeXeon4114()};
-  base.limit_w = 40.0;
-  base.warmup_s = 20.0;
-  base.measure_s = 120.0;
+  base.limit_w = Watts{40.0};
+  base.warmup_s = Seconds{20.0};
+  base.measure_s = Seconds{120.0};
 
   std::printf("websearch (9 cores, 300 users) + cpuburn, 40 W cap on Skylake\n\n");
   std::printf("%-28s %12s %12s %12s\n", "configuration", "p90 (ms)", "ws MHz", "virus MHz");

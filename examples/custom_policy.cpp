@@ -52,8 +52,8 @@ class EfficiencyShares : public ShareResource {
 
   std::vector<Mhz> Redistribute(const std::vector<ManagedApp>& apps,
                                 const TelemetrySample& sample, Watts limit_w) override {
-    const Watts power_delta = limit_w - sample.pkg_w;
-    if (std::abs(power_delta) <= kPowerToleranceW) {
+    const Watts power_delta{limit_w - sample.pkg_w};
+    if (Abs(power_delta) <= kPowerToleranceW) {
       return targets_;
     }
     // Effective weight: configured share x measured instructions per cycle.
@@ -61,19 +61,23 @@ class EfficiencyShares : public ShareResource {
     for (const ManagedApp& app : apps) {
       const auto& core = sample.cores[static_cast<size_t>(app.cpu)];
       const double ipc =
-          core.active_mhz > 0.0 ? core.ips / (core.active_mhz * kHzPerMhz) : 0.0;
+          core.active_mhz > Mhz{0.0} ? core.ips / IpsAtMhz(core.active_mhz, /*ipc=*/1.0) : 0.0;
       req.push_back(ShareRequest{
           .shares = app.shares * std::max(ipc, 0.05),
-          .minimum = platform_.min_mhz,
-          .maximum = platform_.max_mhz,
+          .minimum = AsResourceUnits(platform_.min_mhz),
+          .maximum = AsResourceUnits(platform_.max_mhz),
       });
     }
     const double alpha = AlphaOf(power_delta, platform_.max_power_w);
-    double total = alpha * platform_.max_mhz * static_cast<double>(apps.size());
+    ResourceUnits total =
+        alpha * AsResourceUnits(platform_.max_mhz) * static_cast<double>(apps.size());
     for (Mhz f : targets_) {
-      total += f;
+      total += AsResourceUnits(f);
     }
-    targets_ = DistributeProportional(total, req);
+    targets_.clear();
+    for (ResourceUnits u : DistributeProportional(total, req)) {
+      targets_.push_back(Mhz{u});
+    }
     return targets_;
   }
 
@@ -99,22 +103,23 @@ int main() {
     apps.push_back(ManagedApp{.name = names[i], .cpu = static_cast<int>(i), .shares = 1.0});
   }
 
-  PowerDaemon daemon(&msr, apps, {.power_limit_w = 30.0},
+  PowerDaemon daemon(&msr, apps, {.power_limit_w = Watts{30.0}},
                      std::make_unique<EfficiencyShares>(MakePolicyPlatform(package.spec())));
   daemon.Start();
 
   Simulator sim(&package);
-  sim.AddPeriodic(1.0, [&daemon](papd::Seconds) { daemon.Step(); });
-  sim.Run(60.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](papd::Seconds) { daemon.Step(); });
+  sim.Run(Seconds{60.0});
 
   const auto& rec = daemon.history().back();
   std::printf("efficiency shares under a 30 W limit (equal configured shares):\n");
-  std::printf("  package power %5.1f W\n", rec.sample.pkg_w);
+  std::printf("  package power %5.1f W\n", rec.sample.pkg_w.value());
   for (const auto& app : apps) {
     const auto& core = rec.sample.cores[static_cast<size_t>(app.cpu)];
+    const Watts core_w = core.core_w.value_or(Watts{0.0});
     std::printf("  %-10s %5.0f MHz  %5.2f Ginstr/s  %4.1f W  %5.2f Ginstr/J\n",
-                app.name.c_str(), core.active_mhz, core.ips / 1e9, core.core_w.value_or(0.0),
-                core.core_w.value_or(0.0) > 0 ? core.ips / *core.core_w / 1e9 : 0.0);
+                app.name.c_str(), core.active_mhz.value(), core.ips.value() / 1e9, core_w.value(),
+                core_w > Watts{0.0} ? core.ips.value() / core_w.value() / 1e9 : 0.0);
   }
   std::printf(
       "\nThe high-IPC apps (exchange2, leela) hold high frequencies while the\n"

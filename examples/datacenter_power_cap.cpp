@@ -51,29 +51,31 @@ int main() {
                               .high_priority = jobs[i].high_priority});
   }
 
-  PowerDaemon daemon(&msr, apps, {.kind = PolicyKind::kPriority, .power_limit_w = 85.0});
+  PowerDaemon daemon(&msr, apps, {.kind = PolicyKind::kPriority, .power_limit_w = Watts{85.0}});
   daemon.Start();
 
   Simulator sim(&package);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
 
   // Cap schedule: (time, cap).
-  const std::vector<std::pair<Seconds, Watts>> schedule = {
-      {0, 85}, {30, 60}, {60, 40}, {90, 85}};
+  const std::vector<std::pair<Seconds, Watts>> schedule = {{Seconds{0}, Watts{85}},
+                                                           {Seconds{30}, Watts{60}},
+                                                           {Seconds{60}, Watts{40}},
+                                                           {Seconds{90}, Watts{85}}};
 
   std::printf("%6s %6s %8s %10s %10s %10s\n", "t(s)", "cap W", "pkg W", "HP MHz", "LP MHz",
               "LP running");
   size_t next_cap = 0;
-  for (Seconds t = 0; t < 120.0; t += 10.0) {
-    while (next_cap < schedule.size() && schedule[next_cap].first <= t + 1e-9) {
+  for (Seconds t{0.0}; t < Seconds{120.0}; t += Seconds{10.0}) {
+    while (next_cap < schedule.size() && schedule[next_cap].first <= t + Seconds{1e-9}) {
       daemon.SetPowerLimit(schedule[next_cap].second);
       next_cap++;
     }
-    sim.Run(10.0);
+    sim.Run(Seconds{10.0});
 
     const auto& rec = daemon.history().back();
-    Mhz hp_mhz = 0.0;
-    Mhz lp_mhz = 0.0;
+    Mhz hp_mhz{0.0};
+    Mhz lp_mhz{0.0};
     int hp_n = 0;
     int lp_running = 0;
     for (size_t i = 0; i < apps.size(); i++) {
@@ -86,9 +88,10 @@ int main() {
         lp_running++;
       }
     }
-    std::printf("%6.0f %6.0f %8.1f %10.0f %10.0f %7d/6\n", sim.now(),
-                daemon.config().power_limit_w, rec.sample.pkg_w, hp_mhz / hp_n,
-                lp_running ? lp_mhz / lp_running : 0.0, lp_running);
+    std::printf("%6.0f %6.0f %8.1f %10.0f %10.0f %7d/6\n", sim.now().value(),
+                daemon.config().power_limit_w.value(), rec.sample.pkg_w.value(),
+                (hp_mhz / hp_n).value(),
+                lp_running ? (lp_mhz / lp_running).value() : 0.0, lp_running);
   }
 
   std::printf(

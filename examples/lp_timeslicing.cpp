@@ -62,17 +62,17 @@ int main() {
 
   DaemonConfig dcfg;
   dcfg.kind = PolicyKind::kPriority;
-  dcfg.power_limit_w = 40.0;
+  dcfg.power_limit_w = Watts{40.0};
   PowerDaemon daemon(&msr, apps, dcfg);
   daemon.Start();
 
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
 
   // --- Phase 1: space sharing --------------------------------------------
-  sim.Run(60.0);
+  sim.Run(Seconds{60.0});
   std::printf("phase 1 (space sharing, 40 W): pkg %.1f W\n",
-              daemon.history().back().sample.pkg_w);
+              daemon.history().back().sample.pkg_w.value());
   std::vector<double> instr_phase1;
   for (int i = 0; i < 4; i++) {
     instr_phase1.push_back(lp[static_cast<size_t>(i)]->instructions_retired());
@@ -108,15 +108,15 @@ int main() {
   PowerDaemon daemon2(&msr, apps2, dcfg2);
   daemon2.Start();
   Simulator sim2(&pkg);
-  sim2.AddPeriodic(1.0, [&daemon2](Seconds) { daemon2.Step(); });
-  sim2.Run(60.0);
+  sim2.AddPeriodic(Seconds{1.0}, [&daemon2](Seconds) { daemon2.Step(); });
+  sim2.Run(Seconds{60.0});
 
   std::printf("\nphase 2 (LP jobs time-sliced on core 3, 40 W): pkg %.1f W\n",
-              daemon2.history().back().sample.pkg_w);
+              daemon2.history().back().sample.pkg_w.value());
   const auto& rec = daemon2.history().back();
   std::printf("  HP cores at %4.0f MHz (was %4.0f at phase 1 end)\n",
-              rec.sample.cores[0].active_mhz,
-              daemon.history().back().sample.cores[0].active_mhz);
+              rec.sample.cores[0].active_mhz.value(),
+              daemon.history().back().sample.cores[0].active_mhz.value());
   for (int i = 0; i < 4; i++) {
     const double delta =
         lp[static_cast<size_t>(i)]->instructions_retired() - instr_phase1[static_cast<size_t>(i)];

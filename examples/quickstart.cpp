@@ -41,14 +41,14 @@ int main() {
       {.name = "cactusBSSN", .cpu = 1, .shares = 20.0},
   };
   PowerDaemon daemon(&msr, apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 22.0});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{22.0}});
   daemon.Start();
 
   // 4. Run: the daemon samples turbostat-style telemetry once per second
   //    and reprograms P-states.
   Simulator sim(&package);
-  sim.AddPeriodic(/*period_s=*/1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(/*duration_s=*/30.0);
+  sim.AddPeriodic(/*period_s=*/Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(/*duration_s=*/Seconds{30.0});
 
   // 5. Inspect the outcome through the daemon's telemetry history.
   const auto& record = daemon.history().back();

@@ -11,14 +11,14 @@ namespace papd {
 namespace {
 
 Watts FloorFor(const RackSocketConfig& cfg) {
-  if (cfg.min_budget_w > 0.0) {
+  if (cfg.min_budget_w > Watts{0.0}) {
     return cfg.min_budget_w;
   }
   return cfg.platform.has_rapl_limit ? cfg.platform.rapl_min_w : cfg.platform.tdp_w / 4.0;
 }
 
 Watts CeilingFor(const RackSocketConfig& cfg) {
-  if (cfg.max_budget_w > 0.0) {
+  if (cfg.max_budget_w > Watts{0.0}) {
     return cfg.max_budget_w;
   }
   return cfg.platform.has_rapl_limit ? cfg.platform.rapl_max_w : cfg.platform.tdp_w;
@@ -48,7 +48,7 @@ struct Rack::Socket {
           .high_priority = setup.high_priority,
           .baseline_ips = cfg.use_baseline_ips
                               ? Standalone(cfg.platform, setup.profile).ips
-                              : 0.0,
+                              : Ips{0.0},
       });
     }
     for (int c = static_cast<int>(cfg.apps.size()); c < pkg.num_cores(); c++) {
@@ -70,7 +70,7 @@ struct Rack::Socket {
 
   // Advances one control period and records the average power drawn in it.
   void AdvancePeriod(Seconds period_s) {
-    const Joules start_j = pkg.package_energy_j();
+    const Joules start_j{pkg.package_energy_j()};
     sim.Run(period_s);
     last_measured_w = (pkg.package_energy_j() - start_j) / period_s;
   }
@@ -81,24 +81,24 @@ struct Rack::Socket {
   std::vector<std::unique_ptr<Process>> procs;
   std::unique_ptr<PowerDaemon> daemon;
   Simulator sim;
-  Watts last_measured_w = 0.0;
+  Watts last_measured_w{0.0};
 };
 
 Rack::Rack(RackConfig config) : config_(std::move(config)) {
   PAPD_CHECK(!config_.sockets.empty());
   const size_t n = config_.sockets.size();
-  budgets_w_.assign(n, 0.0);
-  measured_w_.assign(n, 0.0);
+  budgets_w_.assign(n, Watts{0.0});
+  measured_w_.assign(n, Watts{0.0});
 
   // Initial split: proportional to shares between each socket's floor and
   // ceiling, before anything has been measured.
   std::vector<ShareRequest> req(n);
   for (size_t i = 0; i < n; i++) {
     req[i] = ShareRequest{.shares = config_.sockets[i].shares,
-                          .minimum = FloorFor(config_.sockets[i]),
-                          .maximum = CeilingFor(config_.sockets[i])};
+                          .minimum = AsResourceUnits(FloorFor(config_.sockets[i])),
+                          .maximum = AsResourceUnits(CeilingFor(config_.sockets[i]))};
   }
-  budgets_w_ = DistributeProportional(config_.budget_w, req);
+  AssignBudgets(DistributeProportional(AsResourceUnits(config_.budget_w), req));
 
   sockets_.reserve(n);
   for (size_t i = 0; i < n; i++) {
@@ -113,7 +113,7 @@ Rack::~Rack() = default;
 Seconds Rack::now() const { return sockets_.front()->pkg.now(); }
 
 Watts Rack::budget_sum_w() const {
-  Watts sum = 0.0;
+  Watts sum{0.0};
   for (Watts b : budgets_w_) {
     sum += b;
   }
@@ -121,7 +121,7 @@ Watts Rack::budget_sum_w() const {
 }
 
 Watts Rack::last_rack_power_w() const {
-  Watts sum = 0.0;
+  Watts sum{0.0};
   for (Watts w : measured_w_) {
     sum += w;
   }
@@ -158,17 +158,18 @@ void Rack::Arbitrate() {
   std::vector<ShareRequest> req(n);
   for (size_t i = 0; i < n; i++) {
     const RackSocketConfig& cfg = config_.sockets[i];
-    const Watts floor = FloorFor(cfg);
-    Watts ceiling = CeilingFor(cfg);
+    const Watts floor{FloorFor(cfg)};
+    Watts ceiling{CeilingFor(cfg)};
     if (config_.arbiter == RackArbiterKind::kDemand) {
       // Claim only slightly more than the measured draw, so idle sockets
       // release headroom; min-funding revocation hands it to busy ones.
-      const Watts demand = measured_w_[i] * 1.10 + 2.0;
+      const Watts demand{measured_w_[i] * 1.10 + Watts{2.0}};
       ceiling = std::clamp(demand, floor, ceiling);
     }
-    req[i] = ShareRequest{.shares = cfg.shares, .minimum = floor, .maximum = ceiling};
+    req[i] = ShareRequest{
+        .shares = cfg.shares, .minimum = AsResourceUnits(floor), .maximum = AsResourceUnits(ceiling)};
   }
-  budgets_w_ = DistributeProportional(config_.budget_w, req);
+  AssignBudgets(DistributeProportional(AsResourceUnits(config_.budget_w), req));
   for (size_t i = 0; i < n; i++) {
     sockets_[i]->daemon->SetPowerLimit(budgets_w_[i]);
     if (config_.obs != nullptr) {
@@ -178,8 +179,8 @@ void Rack::Arbitrate() {
       event.shard = static_cast<int16_t>(i);
       event.index = static_cast<int32_t>(i);
       event.code = static_cast<int32_t>(config_.arbiter);
-      event.a = budgets_w_[i];
-      event.b = measured_w_[i];
+      event.a = obs::ToPayload(budgets_w_[i]);
+      event.b = obs::ToPayload(measured_w_[i]);
       config_.obs->OnEvent(event);
     }
   }
@@ -196,9 +197,9 @@ RackResult RunRack(const RackConfig& config, Seconds warmup_s, Seconds measure_s
   }
 
   RackResult result;
-  result.socket_avg_w.assign(static_cast<size_t>(rack.num_sockets()), 0.0);
+  result.socket_avg_w.assign(static_cast<size_t>(rack.num_sockets()), Watts{0.0});
   const int measure_periods = std::max(1, periods(measure_s));
-  const Seconds start_s = rack.now();
+  const Seconds start_s{rack.now()};
   for (int p = 0; p < measure_periods; p++) {
     result.max_budget_sum_w = std::max(result.max_budget_sum_w, rack.budget_sum_w());
     rack.Step(pool);

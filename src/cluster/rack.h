@@ -32,6 +32,7 @@
 #include "src/experiments/harness.h"
 #include "src/msr/msr.h"
 #include "src/policy/daemon.h"
+#include "src/policy/min_funding.h"
 #include "src/specsim/workload.h"
 
 namespace papd {
@@ -57,9 +58,9 @@ struct RackSocketConfig {
   // Budget floor the arbiter guarantees this socket (>= the socket's idle
   // draw, or the daemon would throttle forever); 0 derives a floor from the
   // platform's RAPL minimum (or 1/4 TDP without RAPL).
-  Watts min_budget_w = 0.0;
+  Watts min_budget_w{0.0};
   // Budget ceiling; 0 derives it from rapl_max_w (or TDP without RAPL).
-  Watts max_budget_w = 0.0;
+  Watts max_budget_w{0.0};
   uint64_t seed = 42;
   // Run the per-socket daemon's invariant auditor.
   bool audit = true;
@@ -71,12 +72,12 @@ struct RackSocketConfig {
 struct RackConfig {
   std::vector<RackSocketConfig> sockets;
   // Rack-level power budget split across sockets each period.
-  Watts budget_w = 400.0;
+  Watts budget_w{400.0};
   // Arbiter + per-socket daemon control period.
-  Seconds control_period_s = 1.0;
+  Seconds control_period_s{1.0};
   RackArbiterKind arbiter = RackArbiterKind::kShares;
   // Simulator tick.
-  Seconds tick_s = 0.001;
+  Seconds tick_s{0.001};
   // Trace-event sink shared by every socket daemon and the arbiter.  Events
   // carry the socket index as their shard, so one Perfetto track per
   // socket; the sink must be thread-safe (TraceRecorder is) because shards
@@ -114,7 +115,7 @@ class Rack {
   // One row per completed Step(): the grants in force during the period and
   // the power measured over it.
   struct PeriodRecord {
-    Seconds end_s = 0.0;
+    Seconds end_s{0.0};
     std::vector<Watts> budgets_w;
     std::vector<Watts> measured_w;
   };
@@ -125,6 +126,15 @@ class Rack {
 
   void Arbitrate();
 
+  // Adopts a min-funding split (dimensionless resource units) as the
+  // per-socket power budgets.
+  void AssignBudgets(const std::vector<ResourceUnits>& split) {
+    budgets_w_.clear();
+    for (ResourceUnits u : split) {
+      budgets_w_.push_back(Watts{u});
+    }
+  }
+
   RackConfig config_;
   std::vector<std::unique_ptr<Socket>> sockets_;
   std::vector<Watts> budgets_w_;
@@ -134,11 +144,11 @@ class Rack {
 
 // Summary statistics for a measured window of rack execution.
 struct RackResult {
-  Watts avg_rack_w = 0.0;
+  Watts avg_rack_w{0.0};
   // Largest sum of simultaneous per-socket grants seen in the window.
-  Watts max_budget_sum_w = 0.0;
+  Watts max_budget_sum_w{0.0};
   std::vector<Watts> socket_avg_w;
-  Seconds measured_s = 0.0;
+  Seconds measured_s{0.0};
 };
 
 // Runs warmup + measurement periods and reduces the window to averages.

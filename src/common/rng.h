@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "src/common/units.h"
+
 namespace papd {
 
 // Xoshiro256** by Blackman & Vigna (public domain reference implementation
@@ -32,6 +34,10 @@ class Rng {
 
   // Exponentially distributed with the given mean (> 0).
   double Exponential(double mean);
+
+  // Unit-typed convenience: an exponentially distributed duration.  The
+  // unwrap re-enters the double-based sampler above.
+  Seconds Exponential(Seconds mean_s) { return Seconds{Exponential(mean_s.value())}; }  // papd-lint: allow(value-unwrap)
 
   // Normally distributed (Box-Muller).  Each uniform pair yields two
   // variates; the second is cached and returned by the next call, halving

@@ -6,8 +6,11 @@
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
+
+#include "src/common/units.h"
 
 namespace papd {
 
@@ -37,6 +40,29 @@ class Accumulator {
 // Linear-interpolated percentile of a sample set; p in [0, 100].
 // Returns 0 for an empty sample set.
 double Percentile(std::vector<double> samples, double p);
+
+// Strong-typed overload: identical algorithm over unit-typed samples (the
+// interpolation uses only the Quantity-preserving operators).
+template <class Tag>
+Quantity<Tag> Percentile(std::vector<Quantity<Tag>> samples, double p) {
+  if (samples.empty()) {
+    return Quantity<Tag>{};
+  }
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) {
+    return samples.front();
+  }
+  if (p >= 100.0) {
+    return samples.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) {
+    return samples.back();
+  }
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
 
 // Box-plot summary matching the paper's figures: median, 1st and 3rd
 // quartiles, and 1st/99th percentiles as whiskers.

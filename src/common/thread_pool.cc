@@ -26,17 +26,19 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) {
     t.join();
   }
 }
 
 int ThreadPool::DefaultJobs() {
-  if (const char* env = std::getenv("PAPD_JOBS")) {
+  // Read once during pool construction, before any worker thread exists, so
+  // the mt-unsafe getenv cannot race a setenv from another thread of ours.
+  if (const char* env = std::getenv("PAPD_JOBS")) {  // NOLINT(concurrency-mt-unsafe)
     char* end = nullptr;
     const long jobs = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && jobs > 0) {
@@ -52,8 +54,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // stopping_ and drained.
       }
@@ -77,10 +81,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> result = task->get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push([task] { (*task)(); });
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return result;
 }
 
@@ -104,16 +108,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // remaining == 0 until the last worker has released the mutex.
   struct BatchState {
     std::vector<std::exception_ptr> errors;
-    size_t remaining;  // Guarded by done_mu.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
+    size_t remaining PAPD_GUARDED_BY(done_mu) = 0;
   };
   BatchState state;
   state.errors.resize(n);
-  state.remaining = n;
+  {
+    MutexLock init_lock(state.done_mu);
+    state.remaining = n;
+  }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < n; i++) {
       queue_.push([&state, &fn, i] {
         try {
@@ -121,17 +128,21 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         } catch (...) {
           state.errors[i] = std::current_exception();
         }
-        std::lock_guard<std::mutex> done_lock(state.done_mu);
+        MutexLock done_lock(state.done_mu);
         if (--state.remaining == 0) {
-          state.done_cv.notify_one();
+          state.done_cv.NotifyOne();
         }
       });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
-  std::unique_lock<std::mutex> done_lock(state.done_mu);
-  state.done_cv.wait(done_lock, [&state] { return state.remaining == 0; });
+  {
+    MutexLock done_lock(state.done_mu);
+    while (state.remaining != 0) {
+      state.done_cv.Wait(state.done_mu);
+    }
+  }
 
   for (std::exception_ptr& e : state.errors) {
     if (e) {

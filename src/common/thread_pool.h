@@ -20,14 +20,15 @@
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace papd {
 
@@ -48,7 +49,7 @@ class ThreadPool {
   // Enqueues a task; the future completes when it finishes (exceptions are
   // captured into the future).  Throws std::logic_error when called from a
   // worker of this pool.
-  std::future<void> Submit(std::function<void()> fn);
+  std::future<void> Submit(std::function<void()> fn) PAPD_EXCLUDES(mu_);
 
   // Runs fn(0..n-1) across the pool and blocks until all complete.  The
   // first exception (by lowest index) is rethrown on the caller.  Runs
@@ -56,17 +57,17 @@ class ThreadPool {
   // bit-identical to a plain serial loop either way, provided the body only
   // touches state owned by its index.  Throws std::logic_error when called
   // from a worker of this pool.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) PAPD_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PAPD_EXCLUDES(mu_);
   void CheckNotWorker(const char* what) const;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ PAPD_GUARDED_BY(mu_);
+  bool stopping_ PAPD_GUARDED_BY(mu_) = false;
 };
 
 // Process-wide pool, constructed on first use with DefaultJobs() workers.

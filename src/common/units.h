@@ -1,31 +1,143 @@
-// Unit conventions used throughout the library.
+// Physical units as zero-overhead strong types.
 //
-// All quantities are carried as doubles with the unit encoded in the name
-// (suffix or type alias).  The conventions are:
-//   - frequency:   MHz        (e.g. 2200.0 for 2.2 GHz)
-//   - power:       watts
-//   - energy:      joules
-//   - time:        seconds    (simulated time)
-//   - performance: instructions per second (IPS)
+// Every quantity in the tree carries its unit in the type:
+//   - frequency:   Mhz      (e.g. Mhz{2200.0} for 2.2 GHz)
+//   - power:       Watts
+//   - energy:      Joules
+//   - time:        Seconds  (simulated time)
+//   - performance: Ips      (retired instructions per second)
+//   - voltage:     Volts
 //
-// Keeping plain doubles (rather than strong unit types) matches the style of
-// the hardware-facing code this library models: MSR values are raw integers
-// with documented unit multipliers, and the translation functions in the
-// policy layer deliberately mix units (power deltas into frequency deltas).
+// Each is a Quantity<Tag>: a single double with *explicit* construction and
+// only the dimensionally meaningful operators defined, so the policy
+// layer's deliberate unit mixing (power deltas into frequency deltas) goes
+// through named translation functions instead of silent arithmetic — a
+// transposed argument or a watts-for-megahertz typo is a compile error, not
+// a wrong answer.  The algebra:
+//
+//   same unit:      Q + Q, Q - Q, -Q, Q * scalar, scalar * Q, Q / scalar
+//   ratio:          Q / Q            -> double   (dimensionless)
+//   energy/power:   Joules / Seconds -> Watts,   Watts * Seconds -> Joules,
+//                   Joules / Watts   -> Seconds
+//   work:           Ips * Seconds    -> double   (instructions retired)
+//                   double / Seconds -> Ips      (instruction count / time)
+//   cycles:         Mhz * Seconds    -> double   (mega-cycles; scale by
+//                                                 kHzPerMhz for raw cycles)
+//   V^2:            Volts * Volts    -> double   (the analytic power model's
+//                                                 C_eff coefficient carries
+//                                                 the W / (V^2 * GHz))
+//
+// The escape hatch is .value(): the raw double, for the boundaries where
+// dimensions genuinely end — MSR register encode/decode (raw integers with
+// documented unit multipliers), the analytic power/thermal/RAPL firmware
+// models whose calibrated coefficients erase dimensions, and printf-style
+// formatting.  papd_lint's value-unwrap rule keeps .value() confined to
+// those whitelisted boundary files; everywhere else, convert through the
+// named helpers below or keep the quantity typed.  Everything is constexpr
+// and inline: the wrappers compile to the identical double arithmetic
+// (bit-identity is pinned by the FNV-1a golden checksums in
+// tests/soa_equivalence_test.cc and the perf baseline in CI).
 
 #ifndef SRC_COMMON_UNITS_H_
 #define SRC_COMMON_UNITS_H_
 
 #include <cmath>
+#include <ostream>
 
 namespace papd {
 
-using Mhz = double;
-using Watts = double;
-using Joules = double;
-using Seconds = double;
-using Ips = double;  // Instructions per second.
-using Volts = double;
+// One physical quantity: a double tagged with its dimension.  Tag is an
+// incomplete marker type; see the aliases below.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;  // Zero.
+  explicit constexpr Quantity(double v) : v_(v) {}
+
+  // The raw double.  Boundary files only (see the file comment).
+  constexpr double value() const { return v_; }
+
+  // --- Same-dimension algebra ------------------------------------------------
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity(a.v_ + b.v_); }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity(a.v_ - b.v_); }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.v_); }
+  friend constexpr Quantity operator+(Quantity a) { return a; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity(a.v_ * s); }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity(s * a.v_); }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity(a.v_ / s); }
+  // Dimensionless ratio.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.v_ / b.v_; }
+
+  constexpr Quantity& operator+=(Quantity b) {
+    v_ += b.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity b) {
+    v_ -= b.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.v_ >= b.v_; }
+
+  // Diagnostics (CHECK/assert messages, test failure output): prints the
+  // bare magnitude, matching the pre-strong-type formatting.
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) { return os << q.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+template <class Tag>
+bool IsFinite(Quantity<Tag> q) {
+  return std::isfinite(q.value());
+}
+
+template <class Tag>
+constexpr Quantity<Tag> Abs(Quantity<Tag> q) {
+  return q < Quantity<Tag>{} ? -q : q;
+}
+
+using Mhz = Quantity<struct MhzTag>;
+using Watts = Quantity<struct WattsTag>;
+using Joules = Quantity<struct JoulesTag>;
+using Seconds = Quantity<struct SecondsTag>;
+using Ips = Quantity<struct IpsTag>;  // Retired instructions per second.
+using Volts = Quantity<struct VoltsTag>;
+
+// --- Cross-dimension algebra -------------------------------------------------
+
+constexpr Joules operator*(Watts w, Seconds s) { return Joules(w.value() * s.value()); }
+constexpr Joules operator*(Seconds s, Watts w) { return Joules(s.value() * w.value()); }
+constexpr Watts operator/(Joules j, Seconds s) { return Watts(j.value() / s.value()); }
+constexpr Seconds operator/(Joules j, Watts w) { return Seconds(j.value() / w.value()); }
+
+// Instructions retired over an interval (a dimensionless count), and the
+// inverse: a count over an interval is a rate.
+constexpr double operator*(Ips r, Seconds s) { return r.value() * s.value(); }
+constexpr double operator*(Seconds s, Ips r) { return s.value() * r.value(); }
+constexpr Ips operator/(double count, Seconds s) { return Ips(count / s.value()); }
+constexpr Seconds operator/(double count, Ips r) { return Seconds(count / r.value()); }
+
+// Mega-cycles accumulated over an interval; callers scale by kHzPerMhz when
+// they need raw cycle counts (APERF/MPERF accounting).
+constexpr double operator*(Mhz f, Seconds s) { return f.value() * s.value(); }
+constexpr double operator*(Seconds s, Mhz f) { return s.value() * f.value(); }
+
+// V^2, for the analytic power model (P_dyn ~ C_eff * V^2 * f).
+constexpr double operator*(Volts a, Volts b) { return a.value() * b.value(); }
 
 inline constexpr double kMhzPerGhz = 1000.0;
 inline constexpr double kHzPerMhz = 1.0e6;
@@ -35,8 +147,37 @@ inline constexpr double kNsPerSecond = 1.0e9;
 // value used by Intel when the energy unit field reads 14 (2^-14 J).
 inline constexpr double kRaplEnergyUnitJoules = 6.103515625e-05;
 
-inline constexpr Mhz GhzToMhz(double ghz) { return ghz * kMhzPerGhz; }
-inline constexpr double MhzToGhz(Mhz mhz) { return mhz / kMhzPerGhz; }
+constexpr Mhz GhzToMhz(double ghz) { return Mhz(ghz * kMhzPerGhz); }
+constexpr double MhzToGhz(Mhz mhz) { return mhz.value() / kMhzPerGhz; }
+
+// Service rate of a core at frequency `f` with the given IPC: the named
+// frequency -> performance translation (the only sanctioned Mhz -> Ips
+// crossing outside the boundary files).
+constexpr Ips IpsAtMhz(Mhz f, double ipc) { return Ips(f.value() * kHzPerMhz * ipc); }
+
+// Time to retire `cycles` at frequency `f`.  Cycle counts stay plain
+// doubles (they are dimensionless work, not a physical unit); this is the
+// sanctioned cycles -> Seconds crossing for the workload simulators.
+constexpr Seconds SecondsForCycles(double cycles, Mhz f) {
+  return Seconds(cycles / (f.value() * kHzPerMhz));
+}
+
+// Proportional-controller crossing: a gain in MHz-per-watt applied to a
+// power error.  Keeps the dimension change explicit and greppable instead
+// of scattering .value() through the policy layer.
+constexpr Mhz MhzPerWattGain(double mhz_per_watt, Watts error_w) {
+  return Mhz(mhz_per_watt * error_w.value());
+}
+
+// The min-funding distributor (src/policy/min_funding.h) is unit-agnostic
+// by design: callers split watts, megahertz or normalized performance
+// through the same code.  This is the sanctioned bridge from a typed
+// quantity into that dimensionless resource space (and Mhz{} / Watts{}
+// construction is the bridge back).
+template <class Tag>
+constexpr double AsResourceUnits(Quantity<Tag> q) {
+  return q.value();
+}
 
 // --- Frequency-grid quantization ---------------------------------------------
 //

@@ -28,15 +28,15 @@ struct CoreArray {
         online(static_cast<size_t>(n), 1),
         work(static_cast<size_t>(n), nullptr),
         work_avx(static_cast<size_t>(n), 0),
-        effective_mhz(static_cast<size_t>(n), 0.0),
+        effective_mhz(static_cast<size_t>(n), Mhz{0.0}),
         slice(static_cast<size_t>(n)),
-        power_w(static_cast<size_t>(n), 0.0),
+        power_w(static_cast<size_t>(n), Watts{0.0}),
         aperf_cycles(static_cast<size_t>(n), 0.0),
         mperf_cycles(static_cast<size_t>(n), 0.0),
         instructions_retired(static_cast<size_t>(n), 0.0),
-        energy_j(static_cast<size_t>(n), 0.0),
-        volts_cache_mhz(static_cast<size_t>(n), -1.0),
-        volts_cache_v(static_cast<size_t>(n), 0.0) {}
+        energy_j(static_cast<size_t>(n), Joules{0.0}),
+        volts_cache_mhz(static_cast<size_t>(n), Mhz{-1.0}),
+        volts_cache_v(static_cast<size_t>(n), Volts{0.0}) {}
 
   size_t size() const { return requested_mhz.size(); }
 

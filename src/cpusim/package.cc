@@ -122,19 +122,19 @@ void Package::Tick(Seconds dt) {
     }
   }
 
-  const Mhz turbo_limit = spec_.TurboLimitMhz(active);
-  const Mhz avx_cap = spec_.AvxCapMhz(avx_active);
+  const Mhz turbo_limit{spec_.TurboLimitMhz(active)};
+  const Mhz avx_cap{spec_.AvxCapMhz(avx_active)};
   const bool rapl_on = rapl_.enabled();
-  const Mhz rapl_ceiling = rapl_.ceiling_mhz();
+  const Mhz rapl_ceiling{rapl_.ceiling_mhz()};
 
   // 2. Effective frequencies, written straight into the results array
   // (offline cores report 0).
   for (size_t i = 0; i < n; i++) {
     if (!online[i]) {
-      effective[i] = 0.0;
+      effective[i] = Mhz{0.0};
       continue;
     }
-    Mhz f = std::min(cores_.requested_mhz[i], turbo_limit);
+    Mhz f{std::min(cores_.requested_mhz[i], turbo_limit)};
     if (rapl_on) {
       f = std::min(f, rapl_ceiling);
     }
@@ -163,7 +163,7 @@ void Package::Tick(Seconds dt) {
     for (size_t j = 0; j < m; j++) {
       // An offlined member core contributes no cycles.
       const auto c = static_cast<size_t>(members[j]);
-      scratch_multi_freqs_[j] = online[c] ? effective[c] : 0.0;
+      scratch_multi_freqs_[j] = online[c] ? effective[c] : Mhz{0.0};
     }
     w.work->RunBatch(dt, scratch_multi_freqs_.data(), scratch_multi_slices_.data(), m);
     for (size_t j = 0; j < m; j++) {
@@ -173,15 +173,15 @@ void Package::Tick(Seconds dt) {
 
   // 4. Power, per-tick core results, and hardware counters in one pass over
   // the flat arrays.
-  Watts total = 0.0;
+  Watts total{0.0};
   int busy_cores = 0;
   for (size_t i = 0; i < n; i++) {
     Watts p;
     if (!online[i]) {
-      effective[i] = 0.0;  // Pass 2 already wrote 0; keep the invariant local.
+      effective[i] = Mhz{0.0};  // Pass 2 already wrote 0; keep the invariant local.
       p = power_model_.OfflineCorePowerW();
     } else {
-      const Mhz f = effective[i];
+      const Mhz f{effective[i]};
       if (f != cores_.volts_cache_mhz[i]) {
         cores_.volts_cache_mhz[i] = f;
         cores_.volts_cache_v[i] = power_model_.VoltsAt(f);
@@ -202,7 +202,7 @@ void Package::Tick(Seconds dt) {
     cores_.energy_j[i] += p * dt;
     total += p;
   }
-  const Watts uncore = power_model_.UncorePowerW(busy_cores);
+  const Watts uncore{power_model_.UncorePowerW(busy_cores)};
   total += uncore;
 
   // 5. RAPL and the thermal model observe this tick's power.

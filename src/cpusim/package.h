@@ -103,10 +103,10 @@ class Package {
   // after each call (mutable: the query is logically const).
   mutable std::vector<uint8_t> scratch_pstate_marks_;
 
-  Seconds now_ = 0.0;
-  Watts last_package_power_w_ = 0.0;
-  Watts last_uncore_power_w_ = 0.0;
-  Joules package_energy_j_ = 0.0;
+  Seconds now_{0.0};
+  Watts last_package_power_w_{0.0};
+  Watts last_uncore_power_w_{0.0};
+  Joules package_energy_j_{0.0};
 };
 
 }  // namespace papd

@@ -11,9 +11,9 @@ Watts PowerModel::CorePowerW(Mhz freq_mhz, double busy, double activity) const {
 Watts PowerModel::CorePowerW(Mhz freq_mhz, double busy, double activity, Volts v) const {
   const PowerModelParams& p = spec_->power;
   const double v_ratio = v / p.leak_ref_volts;
-  const Watts leakage = p.leak_ref_w * v_ratio * v_ratio;
-  const Watts dynamic = p.ceff_w_per_v2ghz * activity * v * v * MhzToGhz(freq_mhz) * busy;
-  const Watts gate = p.clock_gate_w * (1.0 - busy);
+  const Watts leakage{p.leak_ref_w * v_ratio * v_ratio};
+  const Watts dynamic{p.ceff_w_per_v2ghz * activity * v * v * MhzToGhz(freq_mhz) * busy};
+  const Watts gate{p.clock_gate_w * (1.0 - busy)};
   return leakage + dynamic + gate;
 }
 
@@ -23,8 +23,8 @@ Watts PowerModel::UncorePowerW(int busy_cores) const {
 
 Mhz PowerModel::FrequencyForCorePowerW(Watts watts, double activity) const {
   // The model is monotone in f (voltage rises with frequency); bisect.
-  Mhz lo = spec_->min_mhz;
-  Mhz hi = spec_->turbo_max_mhz;
+  Mhz lo{spec_->min_mhz};
+  Mhz hi{spec_->turbo_max_mhz};
   if (CorePowerW(lo, 1.0, activity) >= watts) {
     return lo;
   }
@@ -32,7 +32,7 @@ Mhz PowerModel::FrequencyForCorePowerW(Watts watts, double activity) const {
     return hi;
   }
   for (int i = 0; i < 48; i++) {
-    const Mhz mid = 0.5 * (lo + hi);
+    const Mhz mid{0.5 * (lo + hi)};
     if (CorePowerW(mid, 1.0, activity) < watts) {
       lo = mid;
     } else {

@@ -36,8 +36,8 @@ void RaplController::Update(Watts package_w, Seconds dt) {
     }
     avg_w_ += alpha_ * (package_w - avg_w_);
   }
-  const Watts error_w = limit_w_ - avg_w_;
-  ceiling_mhz_ += kGainMhzPerWattSecond * error_w * dt;
+  const Watts error_w{limit_w_ - avg_w_};
+  ceiling_mhz_ += Mhz{kGainMhzPerWattSecond * error_w.value() * dt.value()};
   ceiling_mhz_ = std::clamp(ceiling_mhz_, spec_->min_mhz, spec_->turbo_max_mhz);
 }
 

@@ -45,16 +45,16 @@ class RaplController {
  private:
   const PlatformSpec* spec_;
   bool enabled_ = false;
-  Watts limit_w_ = 0.0;
-  Mhz ceiling_mhz_ = 0.0;
-  Watts avg_w_ = 0.0;
+  Watts limit_w_{0.0};
+  Mhz ceiling_mhz_{0.0};
+  Watts avg_w_{0.0};
   bool have_avg_ = false;
   // Memoized EWMA coefficient for the (fixed) tick length.
-  Seconds alpha_dt_ = -1.0;
+  Seconds alpha_dt_{-1.0};
   double alpha_ = 0.0;
 
   // EWMA time constant (RAPL window) and integral gain.
-  static constexpr Seconds kWindowS = 0.010;
+  static constexpr Seconds kWindowS{0.010};
   static constexpr double kGainMhzPerWattSecond = 4000.0;
 };
 

@@ -8,7 +8,7 @@ void Simulator::AddPeriodic(Seconds period_s, std::function<void(Seconds)> fn,
                             Seconds first_at_s) {
   Periodic p;
   p.period_s = period_s;
-  p.next_due_s = first_at_s >= 0.0 ? first_at_s : package_->now() + period_s;
+  p.next_due_s = first_at_s >= Seconds{0.0} ? first_at_s : package_->now() + period_s;
   p.fn = std::move(fn);
   next_due_s_ = std::min(next_due_s_, p.next_due_s);
   periodics_.push_back(std::move(p));
@@ -16,18 +16,18 @@ void Simulator::AddPeriodic(Seconds period_s, std::function<void(Seconds)> fn,
 
 void Simulator::StepOnce() {
   package_->Tick(tick_s_);
-  const Seconds now = package_->now();
-  if (now + 1e-12 >= next_due_s_) {
+  const Seconds now{package_->now()};
+  if (now + Seconds{1e-12} >= next_due_s_) {
     FirePeriodics(now);
   }
 }
 
 void Simulator::FirePeriodics(Seconds now) {
-  Seconds next = kNeverDue;
+  Seconds next{kNeverDue};
   for (Periodic& p : periodics_) {
     // A long tick may cross several due times; fire once per crossing so
     // period accounting stays exact.
-    while (p.next_due_s <= now + 1e-12) {
+    while (p.next_due_s <= now + Seconds{1e-12}) {
       p.fn(now);
       p.next_due_s += p.period_s;
     }
@@ -37,18 +37,18 @@ void Simulator::FirePeriodics(Seconds now) {
 }
 
 void Simulator::Run(Seconds duration_s) {
-  const Seconds end = package_->now() + duration_s;
-  while (package_->now() + 1e-12 < end) {
+  const Seconds end{package_->now() + duration_s};
+  while (package_->now() + Seconds{1e-12} < end) {
     StepOnce();
   }
 }
 
 bool Simulator::RunUntil(const std::function<bool()>& done, Seconds max_duration_s,
                          Seconds check_period_s) {
-  const Seconds end = package_->now() + max_duration_s;
-  Seconds next_check_s = package_->now();  // Always check before the first tick.
-  while (package_->now() + 1e-12 < end) {
-    if (package_->now() + 1e-12 >= next_check_s) {
+  const Seconds end{package_->now() + max_duration_s};
+  Seconds next_check_s{package_->now()};  // Always check before the first tick.
+  while (package_->now() + Seconds{1e-12} < end) {
+    if (package_->now() + Seconds{1e-12} >= next_check_s) {
       if (done()) {
         return true;
       }

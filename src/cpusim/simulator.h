@@ -25,7 +25,7 @@ namespace papd {
 class Simulator {
  public:
   // The simulator borrows the package; the caller keeps ownership.
-  explicit Simulator(Package* package, Seconds tick_s = 0.001)
+  explicit Simulator(Package* package, Seconds tick_s = Seconds{0.001})
       : package_(package), tick_s_(tick_s) {}
 
   Package& package() { return *package_; }
@@ -36,7 +36,7 @@ class Simulator {
   // (defaults to one period in).  Callbacks run after the tick that crosses
   // their due time, in registration order.
   void AddPeriodic(Seconds period_s, std::function<void(Seconds now)> fn,
-                   Seconds first_at_s = -1.0);
+                   Seconds first_at_s = Seconds{-1.0});
 
   // Runs for `duration_s` of simulated time.
   void Run(Seconds duration_s);
@@ -49,7 +49,7 @@ class Simulator {
   // millisecond.  The predicate is always checked before the first tick
   // and once more at the deadline.
   bool RunUntil(const std::function<bool()>& done, Seconds max_duration_s,
-                Seconds check_period_s = 0.0);
+                Seconds check_period_s = Seconds{0.0});
 
  private:
   struct Periodic {
@@ -58,7 +58,7 @@ class Simulator {
     std::function<void(Seconds)> fn;
   };
 
-  static constexpr Seconds kNeverDue = std::numeric_limits<Seconds>::infinity();
+  static constexpr Seconds kNeverDue{Seconds{std::numeric_limits<double>::infinity()}};
 
   void StepOnce();
   // Fires every periodic whose due time has been crossed and recomputes
@@ -69,7 +69,7 @@ class Simulator {
   Seconds tick_s_;
   std::vector<Periodic> periodics_;
   // Minimum of periodics_[i].next_due_s; kNeverDue when none registered.
-  Seconds next_due_s_ = kNeverDue;
+  Seconds next_due_s_{kNeverDue};
 };
 
 }  // namespace papd

@@ -9,7 +9,7 @@ ThermalModel::ThermalModel(ThermalParams params, int num_cores)
     : params_(params), temps_(static_cast<size_t>(num_cores), params.ambient_c) {}
 
 void ThermalModel::Update(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt) {
-  Watts total = uncore_w;
+  Watts total{uncore_w};
   for (Watts w : core_w) {
     total += w;
   }
@@ -20,9 +20,9 @@ void ThermalModel::Update(const std::vector<Watts>& core_w, Watts uncore_w, Seco
   }
   const double alpha = alpha_;
   for (size_t i = 0; i < temps_.size(); i++) {
-    const Watts own = i < core_w.size() ? core_w[i] : 0.0;
-    const Watts effective = own + params_.spread_fraction * (total - own);
-    const Celsius steady = params_.ambient_c + params_.r_core_c_per_w * effective;
+    const Watts own{i < core_w.size() ? core_w[i] : Watts{0.0}};
+    const Watts effective{own + params_.spread_fraction * (total - own)};
+    const Celsius steady = params_.ambient_c + params_.r_core_c_per_w * effective.value();
     temps_[i] += alpha * (steady - temps_[i]);
   }
 }

@@ -52,7 +52,7 @@ class ThermalModel {
   ThermalParams params_;
   std::vector<Celsius> temps_;
   // Memoized RC coefficient for the (fixed) tick length.
-  Seconds alpha_dt_ = -1.0;
+  Seconds alpha_dt_{-1.0};
   double alpha_ = 0.0;
 };
 

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "src/common/check.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/cpusim/package.h"
 #include "src/cpusim/simulator.h"
 #include "src/msr/msr.h"
@@ -22,8 +23,8 @@ struct CounterWindow {
   std::vector<double> mperf;
   std::vector<double> instructions;
   std::vector<Joules> core_energy;
-  Joules pkg_energy = 0.0;
-  Seconds t = 0.0;
+  Joules pkg_energy{0.0};
+  Seconds t{0.0};
 
   static CounterWindow Take(const Package& pkg) {
     CounterWindow w;
@@ -47,15 +48,16 @@ struct CounterWindow {
 
 }  // namespace
 
-const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::string& profile) {
+StandaloneBaseline Standalone(const PlatformSpec& platform, const std::string& profile) {
   // The cache is shared across scenario threads (RunScenarios fan-out); the
-  // mutex guards lookups and inserts.  std::map's node stability keeps
-  // returned references valid across later inserts.
-  static std::mutex mu;
-  static std::map<std::pair<std::string, std::string>, StandaloneBaseline> cache;
+  // mutex guards lookups and inserts.  Returned by value so no reference to
+  // the guarded map escapes the lock scope.
+  static Mutex mu;
+  static std::map<std::pair<std::string, std::string>, StandaloneBaseline> cache
+      PAPD_GUARDED_BY(mu);
   const auto key = std::make_pair(platform.name, profile);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     auto it = cache.find(key);
     if (it != cache.end()) {
       return it->second;
@@ -74,19 +76,19 @@ const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::st
     pkg.SetRequestedMhz(c, platform.min_mhz);
   }
   Simulator sim(&pkg);
-  sim.Run(5.0);  // Warmup.
+  sim.Run(Seconds{5.0});  // Warmup.
   const CounterWindow start = CounterWindow::Take(pkg);
-  sim.Run(30.0);
+  sim.Run(Seconds{30.0});
   const CounterWindow end = CounterWindow::Take(pkg);
-  const Seconds dt = end.t - start.t;
+  const Seconds dt{end.t - start.t};
 
   StandaloneBaseline b;
   b.ips = (end.instructions[0] - start.instructions[0]) / dt;
   const double dm = end.mperf[0] - start.mperf[0];
-  b.active_mhz = dm > 0.0 ? (end.aperf[0] - start.aperf[0]) / dm * platform.tsc_mhz : 0.0;
+  b.active_mhz = dm > 0.0 ? (end.aperf[0] - start.aperf[0]) / dm * platform.tsc_mhz : Mhz{0.0};
   b.pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
   b.core_w = (end.core_energy[0] - start.core_energy[0]) / dt;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   return cache.emplace(key, b).first->second;
 }
 
@@ -178,12 +180,12 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   }
   // Ground-truth worst-1-second package power, read straight from the
   // package energy counter so corrupted telemetry cannot hide overshoot.
-  Watts max_pkg_w = 0.0;
-  Joules prev_energy_j = 0.0;
-  Seconds prev_energy_t = 0.0;
-  sim.AddPeriodic(1.0, [&](Seconds now) {
-    const Joules e = pkg.package_energy_j();
-    const Watts w = (e - prev_energy_j) / (now - prev_energy_t);
+  Watts max_pkg_w{0.0};
+  Joules prev_energy_j{0.0};
+  Seconds prev_energy_t{0.0};
+  sim.AddPeriodic(Seconds{1.0}, [&](Seconds now) {
+    const Joules e{pkg.package_energy_j()};
+    const Watts w{(e - prev_energy_j) / (now - prev_energy_t)};
     if (now > config.warmup_s) {
       max_pkg_w = std::max(max_pkg_w, w);
     }
@@ -195,7 +197,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   const CounterWindow start = CounterWindow::Take(pkg);
   sim.Run(config.measure_s);
   const CounterWindow end = CounterWindow::Take(pkg);
-  const Seconds dt = end.t - start.t;
+  const Seconds dt{end.t - start.t};
 
   ScenarioResult result;
   result.measured_s = dt;
@@ -223,10 +225,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     r.high_priority = app.high_priority;
     r.shares = app.shares;
     r.avg_ips = (end.instructions[i] - start.instructions[i]) / dt;
-    r.norm_perf = app.baseline_ips > 0.0 ? r.avg_ips / app.baseline_ips : 0.0;
+    r.norm_perf = app.baseline_ips > Ips{0.0} ? r.avg_ips / app.baseline_ips : 0.0;
     const double dm = end.mperf[i] - start.mperf[i];
     r.avg_active_mhz =
-        dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+        dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : Mhz{0.0};
     r.avg_busy = dm / (config.platform.tsc_mhz * kHzPerMhz * dt);
     r.avg_core_w = (end.core_energy[i] - start.core_energy[i]) / dt;
     r.starved = r.avg_busy < 0.01;
@@ -236,18 +238,18 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 }
 
 void AddResourceShares(ScenarioResult* result) {
-  double total_freq = 0.0;
+  Mhz total_freq{0.0};
   double total_perf = 0.0;
-  double total_power = 0.0;
+  Watts total_power{0.0};
   for (const AppResult& app : result->apps) {
     total_freq += app.avg_active_mhz;
     total_perf += app.norm_perf;
     total_power += app.avg_core_w;
   }
   for (AppResult& app : result->apps) {
-    app.share_of_freq = total_freq > 0.0 ? app.avg_active_mhz / total_freq : 0.0;
+    app.share_of_freq = total_freq > Mhz{0.0} ? app.avg_active_mhz / total_freq : 0.0;
     app.share_of_perf = total_perf > 0.0 ? app.norm_perf / total_perf : 0.0;
-    app.share_of_power = total_power > 0.0 ? app.avg_core_w / total_power : 0.0;
+    app.share_of_power = total_power > Watts{0.0} ? app.avg_core_w / total_power : 0.0;
   }
 }
 
@@ -281,7 +283,7 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   // Baseline per-core IPS: websearch is open-ended, so use the per-core
   // service capacity at max frequency as the normalization (only the
   // performance-share policy consumes this).
-  const Ips ws_baseline = config.platform.turbo_max_mhz * kHzPerMhz * params.ipc;
+  const Ips ws_baseline = IpsAtMhz(config.platform.turbo_max_mhz, params.ipc);
   for (int c : ws_cores) {
     managed.push_back(ManagedApp{.name = "websearch",
                                  .cpu = c,
@@ -330,12 +332,12 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
     // evaluated coarsely so it stays off the per-tick fast path.
     sim.RunUntil(
         [&websearch, &config] { return websearch.completed_requests() >= config.target_requests; },
-        config.measure_s, /*check_period_s=*/0.25);
+        config.measure_s, /*check_period_s=*/Seconds{0.25});
   } else {
     sim.Run(config.measure_s);
   }
   const CounterWindow end = CounterWindow::Take(pkg);
-  const Seconds dt = end.t - start.t;
+  const Seconds dt{end.t - start.t};
 
   WebsearchResult result;
   result.p50_latency = websearch.LatencyPercentile(50.0);
@@ -344,18 +346,19 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   result.completed_requests = websearch.completed_requests();
   result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
 
-  Mhz ws_mhz = 0.0;
+  Mhz ws_mhz{0.0};
   for (int c : ws_cores) {
     const auto i = static_cast<size_t>(c);
     const double dm = end.mperf[i] - start.mperf[i];
-    ws_mhz += dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+    ws_mhz += dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz
+                       : Mhz{0.0};
   }
   result.websearch_avg_mhz = ws_mhz / static_cast<double>(ws_cores.size());
   {
     const auto i = static_cast<size_t>(burn_cpu);
     const double dm = end.mperf[i] - start.mperf[i];
     result.cpuburn_avg_mhz =
-        dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : 0.0;
+        dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : Mhz{0.0};
   }
   if (!run.obs.chrome_trace_path.empty() && recorder != nullptr) {
     obs::WriteFile(run.obs.chrome_trace_path, obs::ChromeTraceJson(recorder->Drain()));

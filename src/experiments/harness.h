@@ -69,12 +69,12 @@ struct ScenarioConfig {
   PlatformSpec platform;
   std::vector<AppSetup> apps;
   PolicyKind policy = PolicyKind::kRaplOnly;
-  Watts limit_w = 85.0;
+  Watts limit_w{85.0};
   // Statistics are collected over [warmup_s, warmup_s + measure_s].
-  Seconds warmup_s = 20.0;
-  Seconds measure_s = 120.0;
-  Seconds daemon_period_s = 1.0;
-  Mhz static_mhz = 0.0;  // PolicyKind::kStatic.
+  Seconds warmup_s{20.0};
+  Seconds measure_s{120.0};
+  Seconds daemon_period_s{1.0};
+  Mhz static_mhz{0.0};  // PolicyKind::kStatic.
   PriorityPolicy::Options priority;
   // DEPRECATED: use run.daemon.hwp_hints.  Shimmed for one release;
   // EffectiveRun() folds a non-default value into `run`.
@@ -106,13 +106,13 @@ struct AppResult {
   int cpu = 0;
   bool high_priority = false;
   double shares = 1.0;
-  Ips avg_ips = 0.0;
+  Ips avg_ips{0.0};
   // Performance normalized to the app running alone, unconstrained, at the
   // maximum P-state (the paper's "standalone at 85 W" baseline).
   double norm_perf = 0.0;
-  Mhz avg_active_mhz = 0.0;
+  Mhz avg_active_mhz{0.0};
   double avg_busy = 0.0;
-  Watts avg_core_w = 0.0;
+  Watts avg_core_w{0.0};
   bool starved = false;
   // Fraction of the scenario total each app used; see AddResourceShares.
   double share_of_freq = 0.0;
@@ -122,12 +122,12 @@ struct AppResult {
 
 struct ScenarioResult {
   std::vector<AppResult> apps;
-  Watts avg_pkg_w = 0.0;
+  Watts avg_pkg_w{0.0};
   // Worst 1-second average package power inside the measurement window,
   // computed from ground-truth energy counters (not daemon telemetry) so
   // fault runs report the real overshoot even when samples are corrupted.
-  Watts max_pkg_w = 0.0;
-  Seconds measured_s = 0.0;
+  Watts max_pkg_w{0.0};
+  Seconds measured_s{0.0};
   // Degradation bookkeeping from the daemon and injection counts from the
   // fault plan (all zero for clean runs).
   DaemonFaultStats fault_stats;
@@ -150,27 +150,28 @@ void AddResourceShares(ScenarioResult* result);
 
 // Standalone baseline: the app alone on core 0 of the platform,
 // unconstrained, requesting the maximum P-state.  Cached per
-// (platform, profile).
+// (platform, profile); returned by value so the cache's lock discipline
+// stays internal.
 struct StandaloneBaseline {
-  Ips ips = 0.0;
-  Mhz active_mhz = 0.0;
-  Watts pkg_w = 0.0;
-  Watts core_w = 0.0;
+  Ips ips;
+  Mhz active_mhz;
+  Watts pkg_w;
+  Watts core_w;
 };
-const StandaloneBaseline& Standalone(const PlatformSpec& platform, const std::string& profile);
+StandaloneBaseline Standalone(const PlatformSpec& platform, const std::string& profile);
 
 // --- Latency-sensitive experiments (Figures 5, 12, 13) ----------------------
 
 struct WebsearchConfig {
   PlatformSpec platform;
   PolicyKind policy = PolicyKind::kRaplOnly;
-  Watts limit_w = 85.0;
+  Watts limit_w{85.0};
   bool with_cpuburn = true;
   double websearch_shares = 90.0;
   double cpuburn_shares = 10.0;
   int users = 300;
-  Seconds warmup_s = 30.0;
-  Seconds measure_s = 600.0;  // The paper's 600 s transaction window.
+  Seconds warmup_s{30.0};
+  Seconds measure_s{600.0};  // The paper's 600 s transaction window.
   // When > 0 the measurement window ends as soon as this many requests have
   // completed (checked at a coarse period), with measure_s as the deadline.
   // Lets quick runs stop early without changing per-tick results.
@@ -184,13 +185,13 @@ struct WebsearchConfig {
 };
 
 struct WebsearchResult {
-  Seconds p50_latency = 0.0;
-  Seconds p90_latency = 0.0;
-  Seconds p99_latency = 0.0;
+  Seconds p50_latency{0.0};
+  Seconds p90_latency{0.0};
+  Seconds p99_latency{0.0};
   size_t completed_requests = 0;
-  Mhz websearch_avg_mhz = 0.0;
-  Mhz cpuburn_avg_mhz = 0.0;
-  Watts avg_pkg_w = 0.0;
+  Mhz websearch_avg_mhz{0.0};
+  Mhz cpuburn_avg_mhz{0.0};
+  Watts avg_pkg_w{0.0};
 };
 
 // Websearch on all-but-one core (high priority / high shares), optionally a

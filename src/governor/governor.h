@@ -23,9 +23,9 @@
 namespace papd {
 
 struct GovernorLimits {
-  Mhz min_mhz = 800;
-  Mhz max_mhz = 3000;
-  Mhz step_mhz = 100;
+  Mhz min_mhz{800};
+  Mhz max_mhz{3000};
+  Mhz step_mhz{100};
 };
 
 class FreqGovernor {

@@ -43,7 +43,7 @@ void GovernorDaemon::Step() {
   // Governor ladder has two rungs: nominal (0) and fallback (2).
   const auto ladder = [this] { return in_fallback() ? 2 : 0; };
   Emit(obs::TraceEventType::kPeriodBegin, period, ladder(), sample.pkg_w, 0.0);
-  if (!sample.valid || sample.dt <= 0.0) {
+  if (!sample.valid || sample.dt <= Seconds{0.0}) {
     invalid_streak_++;
     if (invalid_streak_ == kFallbackAfter && msr_->spec().max_simultaneous_pstates == 0) {
       // Telemetry has been dark long enough: a utilization governor flying
@@ -75,7 +75,7 @@ void GovernorDaemon::Step() {
     requests_[i] = governors_[i]->Decide(sample.cores[i].busy, requests_[i]);
     if (audit_) {
       const PlatformSpec& spec = msr_->spec();
-      PAPD_CHECK(std::isfinite(requests_[i]))
+      PAPD_CHECK(IsFinite(requests_[i]))
           << " governor decision for core " << c << " is non-finite";
       PAPD_CHECK_GE(requests_[i], spec.min_mhz) << " governor decision for core " << c;
       PAPD_CHECK_LE(requests_[i], spec.turbo_max_mhz) << " governor decision for core " << c;

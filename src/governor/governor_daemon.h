@@ -59,6 +59,11 @@ class GovernorDaemon {
 
  private:
   void Emit(obs::TraceEventType type, int32_t index, int32_t code, double a, double b) const;
+  // a/b accept any payload obs::ToPayload handles (doubles or quantities).
+  template <class A, class B>
+  void Emit(obs::TraceEventType type, int32_t index, int32_t code, A a, B b) const {
+    Emit(type, index, code, obs::ToPayload(a), obs::ToPayload(b));
+  }
 
   MsrFile* msr_;
   Turbostat turbostat_;
@@ -69,7 +74,7 @@ class GovernorDaemon {
   ObsSink* obs_sink_ = nullptr;
   int16_t obs_shard_ = 0;
   int period_ = 0;
-  Seconds last_sample_t_ = 0.0;
+  Seconds last_sample_t_{0.0};
 };
 
 }  // namespace papd

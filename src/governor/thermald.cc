@@ -9,7 +9,7 @@ ThermalDaemon::ThermalDaemon(MsrFile* msr, Config config)
 
 void ThermalDaemon::Step() {
   const TelemetrySample sample = turbostat_.Sample();
-  if (sample.dt <= 0.0) {
+  if (sample.dt <= Seconds{0.0}) {
     return;
   }
   const PlatformSpec& spec = msr_->spec();
@@ -19,8 +19,8 @@ void ThermalDaemon::Step() {
       if (!core.online) {
         continue;
       }
-      const Mhz current =
-          static_cast<double>((msr_->Read(kMsrIa32PerfCtl, core.cpu) >> 8) & 0xFF) * 100.0;
+      const Mhz current{
+          static_cast<double>((msr_->Read(kMsrIa32PerfCtl, core.cpu) >> 8) & 0xFF) * 100.0};
       if (core.temp_c > config_.limit_c) {
         msr_->WritePerfTargetMhz(core.cpu,
                                  std::max(spec.min_mhz, current - spec.step_mhz));

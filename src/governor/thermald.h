@@ -32,7 +32,7 @@ class ThermalDaemon {
     // the threshold).
     Celsius hysteresis_c = 3.0;
     // kGlobalRapl: watts moved per period.
-    Watts rapl_step_w = 2.0;
+    Watts rapl_step_w{2.0};
   };
 
   ThermalDaemon(MsrFile* msr, Config config);

@@ -29,8 +29,8 @@ struct FaultPlan {
   uint64_t seed = 1;
   // Faults are only injected while the simulated clock is inside
   // [start_s, end_s); outside the window telemetry and writes are clean.
-  Seconds start_s = 0.0;
-  Seconds end_s = std::numeric_limits<Seconds>::infinity();
+  Seconds start_s{0.0};
+  Seconds end_s{Seconds{std::numeric_limits<double>::infinity()}};
 
   // Per-sample probability that the whole snapshot is stale: the reader
   // sees the previous sample again (zero dt, repeated counters).

@@ -11,7 +11,7 @@ namespace {
 
 // 32-bit wrapping energy counter in RAPL units, as turbostat would read it.
 uint64_t EnergyToRaplCounter(Joules j) {
-  const double units = j / kRaplEnergyUnitJoules;
+  const double units = j.value() / kRaplEnergyUnitJoules;
   return static_cast<uint64_t>(std::llround(units)) & 0xFFFFFFFFULL;
 }
 
@@ -45,15 +45,15 @@ uint64_t MsrFile::Read(uint32_t reg, int cpu) const {
       }
       const RaplController& rapl = package_->rapl();
       // Power in 1/8 W units (power-unit field value 3), enable in bit 15.
-      uint64_t v = static_cast<uint64_t>(std::llround(rapl.limit_w() * 8.0)) & 0x7FFF;
+      uint64_t v = static_cast<uint64_t>(std::llround(rapl.limit_w().value() * 8.0)) & 0x7FFF;
       if (rapl.enabled()) {
         v |= 1ULL << 15;
       }
       return v;
     }
     case kMsrIa32PerfCtl: {
-      const Mhz mhz = package_->core(cpu).requested_mhz();
-      return (static_cast<uint64_t>(std::llround(mhz / 100.0)) & 0xFF) << 8;
+      const Mhz mhz{package_->core(cpu).requested_mhz()};
+      return (static_cast<uint64_t>(std::llround(mhz.value() / 100.0)) & 0xFF) << 8;
     }
     case kMsrIa32ThermStatus: {
       // Digital readout in bits [22:16]: degrees below the junction limit.
@@ -80,7 +80,7 @@ uint64_t MsrFile::Read(uint32_t reg, int cpu) const {
         }
         // Frequency in 25 MHz units.
         return static_cast<uint64_t>(
-            std::llround(pstate_def_mhz_[reg - kMsrAmdPstateDef0] / 25.0));
+            std::llround(pstate_def_mhz_[reg - kMsrAmdPstateDef0].value() / 25.0));
       }
       GeneralProtectionFault(reg);
   }
@@ -97,7 +97,7 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
       if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
         return;  // Silently ignored; the register keeps its old value.
       }
-      const Mhz mhz = static_cast<double>((value >> 8) & 0xFF) * 100.0;
+      const Mhz mhz{static_cast<double>((value >> 8) & 0xFF) * 100.0};
       package_->SetRequestedMhz(cpu, mhz);
       return;
     }
@@ -105,7 +105,7 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
       if (!spec().has_rapl_limit) {
         GeneralProtectionFault(reg);
       }
-      const Watts limit = static_cast<double>(value & 0x7FFF) / 8.0;
+      const Watts limit{static_cast<double>(value & 0x7FFF) / 8.0};
       if (value & (1ULL << 15)) {
         package_->SetRaplLimit(limit);
       } else {
@@ -135,7 +135,7 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
           return;
         }
         const size_t slot = reg - kMsrAmdPstateDef0;
-        pstate_def_mhz_[slot] = static_cast<double>(value) * 25.0;
+        pstate_def_mhz_[slot] = Mhz{static_cast<double>(value) * 25.0};
         // Redefining a slot retargets every core currently selecting it,
         // as on real Ryzen where the definition is live.
         for (int c = 0; c < num_cores(); c++) {
@@ -150,13 +150,13 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
 }
 
 void MsrFile::WritePerfTargetMhz(int cpu, Mhz mhz) {
-  Write(kMsrIa32PerfCtl, cpu, (static_cast<uint64_t>(std::llround(mhz / 100.0)) & 0xFF) << 8);
+  Write(kMsrIa32PerfCtl, cpu, (static_cast<uint64_t>(std::llround(mhz.value() / 100.0)) & 0xFF) << 8);
 }
 
 void MsrFile::WritePstateDefMhz(int slot, Mhz mhz) {
   assert(slot >= 0 && slot < 3);
   Write(kMsrAmdPstateDef0 + static_cast<uint32_t>(slot), /*cpu=*/0,
-        static_cast<uint64_t>(std::llround(mhz / 25.0)));
+        static_cast<uint64_t>(std::llround(mhz.value() / 25.0)));
 }
 
 void MsrFile::SelectPstate(int cpu, int slot) {
@@ -164,12 +164,12 @@ void MsrFile::SelectPstate(int cpu, int slot) {
 }
 
 Mhz MsrFile::ReadPstateDefMhz(int slot) const {
-  return static_cast<double>(Read(kMsrAmdPstateDef0 + static_cast<uint32_t>(slot), 0)) * 25.0;
+  return Mhz{static_cast<double>(Read(kMsrAmdPstateDef0 + static_cast<uint32_t>(slot), 0)) * 25.0};
 }
 
 void MsrFile::WriteRaplLimitW(Watts limit_w) {
   Write(kMsrPkgPowerLimit, 0,
-        (static_cast<uint64_t>(std::llround(limit_w * 8.0)) & 0x7FFF) | (1ULL << 15));
+        (static_cast<uint64_t>(std::llround(limit_w.value() * 8.0)) & 0x7FFF) | (1ULL << 15));
 }
 
 void MsrFile::DisableRaplLimit() { Write(kMsrPkgPowerLimit, 0, 0); }

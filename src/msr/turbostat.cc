@@ -15,10 +15,10 @@ Turbostat::Turbostat(MsrFile* msr) : msr_(msr) {
   const PlatformSpec& spec = msr_->spec();
   // Generous physical ceilings: anything beyond them is a measurement
   // fault (wrap storm, reset, garbage read), not a hot package.
-  max_plausible_pkg_w_ = 4.0 * spec.tdp_w + 25.0;
+  max_plausible_pkg_w_ = 4.0 * spec.tdp_w + Watts{25.0};
   max_plausible_core_w_ = 2.0 * spec.tdp_w;
   max_plausible_mhz_ = 1.5 * spec.turbo_max_mhz;
-  max_plausible_ips_ = spec.turbo_max_mhz * kHzPerMhz * 32.0;  // IPC far above any core.
+  max_plausible_ips_ = IpsAtMhz(spec.turbo_max_mhz, 32.0);  // IPC far above any core.
 }
 
 Turbostat::Snapshot Turbostat::Take() const {
@@ -60,29 +60,30 @@ TelemetrySample Turbostat::RawSample(const Snapshot& now) {
   sample.t = now.t;
   sample.dt = now.t - prev_.t;
   sample.cores.resize(now.aperf.size());
-  if (sample.dt <= 0.0) {
+  if (sample.dt <= Seconds{0.0}) {
     prev_ = now;
     return sample;
   }
   sample.pkg_w =
-      static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
-      kRaplEnergyUnitJoules / sample.dt;
-  const Mhz tsc_mhz = msr_->spec().tsc_mhz;
+      Joules{static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
+             kRaplEnergyUnitJoules} / sample.dt;
+  const Mhz tsc_mhz{msr_->spec().tsc_mhz};
   for (size_t i = 0; i < now.aperf.size(); i++) {
     CoreTelemetry& ct = sample.cores[i];
     ct.cpu = static_cast<int>(i);
     ct.online = msr_->CoreOnline(static_cast<int>(i));
     const double da = static_cast<double>(now.aperf[i] - prev_.aperf[i]);
     const double dm = static_cast<double>(now.mperf[i] - prev_.mperf[i]);
-    ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : 0.0;
+    ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : Mhz{0.0};
     ct.busy = dm / (tsc_mhz * kHzPerMhz * sample.dt);
     ct.ips = static_cast<double>(now.instructions[i] - prev_.instructions[i]) / sample.dt;
     const uint64_t readout =
         (msr_->Read(kMsrIa32ThermStatus, static_cast<int>(i)) >> 16) & 0x7F;
     ct.temp_c = msr_->spec().thermal.tj_max_c - static_cast<double>(readout);
     if (!now.core_energy.empty()) {
-      ct.core_w = static_cast<double>(WrappingDelta32(now.core_energy[i], prev_.core_energy[i])) *
-                  kRaplEnergyUnitJoules / sample.dt;
+      ct.core_w = Joules{static_cast<double>(
+                            WrappingDelta32(now.core_energy[i], prev_.core_energy[i])) *
+                        kRaplEnergyUnitJoules} / sample.dt;
     }
   }
   prev_ = now;
@@ -92,7 +93,7 @@ TelemetrySample Turbostat::RawSample(const Snapshot& now) {
 TelemetrySample Turbostat::StaleSample() {
   TelemetrySample sample;
   sample.t = prev_.t;
-  sample.dt = 0.0;
+  sample.dt = Seconds{0.0};
   sample.valid = false;
   sample.fault_flags = kSampleStale;
   invalid_counter_->Increment();
@@ -142,22 +143,22 @@ TelemetrySample Turbostat::Sample() {
   TelemetrySample sample;
   sample.t = now.t;
   sample.dt = now.t - prev_.t;
-  if (sample.dt <= 0.0) {
+  if (sample.dt <= Seconds{0.0}) {
     return StaleSample();
   }
 
   sample.cores.resize(now.aperf.size());
   sample.pkg_w =
-      static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
-      kRaplEnergyUnitJoules / sample.dt;
+      Joules{static_cast<double>(WrappingDelta32(now.pkg_energy, prev_.pkg_energy)) *
+             kRaplEnergyUnitJoules} / sample.dt;
   if (sample.pkg_w > max_plausible_pkg_w_) {
     // Energy counter reset/wrap storm: the 32-bit delta is garbage, and
     // with it the package-power ground the control loops stand on.
     sample.fault_flags |= kSampleEnergyImplausible;
-    sample.pkg_w = has_last_good_ ? last_good_.pkg_w : 0.0;
+    sample.pkg_w = has_last_good_ ? last_good_.pkg_w : Watts{0.0};
   }
 
-  const Mhz tsc_mhz = msr_->spec().tsc_mhz;
+  const Mhz tsc_mhz{msr_->spec().tsc_mhz};
   for (size_t i = 0; i < now.aperf.size(); i++) {
     CoreTelemetry& ct = sample.cores[i];
     ct.cpu = static_cast<int>(i);
@@ -166,15 +167,16 @@ TelemetrySample Turbostat::Sample() {
     const double da = ClampedDelta(now.aperf[i], prev_.aperf[i], &regressed);
     const double dm = ClampedDelta(now.mperf[i], prev_.mperf[i], &regressed);
     const double di = ClampedDelta(now.instructions[i], prev_.instructions[i], &regressed);
-    ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : 0.0;
+    ct.active_mhz = dm > 0.0 ? da / dm * tsc_mhz : Mhz{0.0};
     ct.busy = dm / (tsc_mhz * kHzPerMhz * sample.dt);
     ct.ips = di / sample.dt;
     const uint64_t readout =
         (msr_->Read(kMsrIa32ThermStatus, static_cast<int>(i)) >> 16) & 0x7F;
     ct.temp_c = msr_->spec().thermal.tj_max_c - static_cast<double>(readout);
     if (!now.core_energy.empty()) {
-      ct.core_w = static_cast<double>(WrappingDelta32(now.core_energy[i], prev_.core_energy[i])) *
-                  kRaplEnergyUnitJoules / sample.dt;
+      ct.core_w = Joules{static_cast<double>(
+                            WrappingDelta32(now.core_energy[i], prev_.core_energy[i])) *
+                        kRaplEnergyUnitJoules} / sample.dt;
       if (*ct.core_w > max_plausible_core_w_) {
         // Core-scope fault: flagged as a rate problem, not an energy one —
         // package power (what the budget check runs on) is still sound.
@@ -182,7 +184,7 @@ TelemetrySample Turbostat::Sample() {
         ct.plausible = false;
         ct.core_w = has_last_good_ && i < last_good_.cores.size()
                         ? last_good_.cores[i].core_w
-                        : std::optional<Watts>(0.0);
+                        : std::optional<Watts>(Watts{0.0});
       }
     }
     if (regressed) {

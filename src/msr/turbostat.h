@@ -46,11 +46,11 @@ struct CoreTelemetry {
   // readings, not this period's garbage).
   bool plausible = true;
   // Average frequency while in C0 ("active frequency" in the paper).
-  Mhz active_mhz = 0.0;
+  Mhz active_mhz{0.0};
   // C0 residency fraction.
   double busy = 0.0;
   // Retired instructions per second.
-  Ips ips = 0.0;
+  Ips ips{0.0};
   // Per-core power; present only on platforms with per-core telemetry.
   std::optional<Watts> core_w;
   // Junction temperature from the digital thermometer.
@@ -58,9 +58,9 @@ struct CoreTelemetry {
 };
 
 struct TelemetrySample {
-  Seconds t = 0.0;   // Sample timestamp.
-  Seconds dt = 0.0;  // Interval covered.
-  Watts pkg_w = 0.0;
+  Seconds t{0.0};   // Sample timestamp.
+  Seconds dt{0.0};  // Interval covered.
+  Watts pkg_w{0.0};
   // False when a package-scope validity check failed (stale read, garbage
   // package energy); fault_flags says which.  Control loops must not treat
   // an invalid sample as fresh truth.
@@ -99,7 +99,7 @@ class Turbostat {
 
  private:
   struct Snapshot {
-    Seconds t = 0.0;
+    Seconds t{0.0};
     uint64_t pkg_energy = 0;
     std::vector<uint64_t> aperf;
     std::vector<uint64_t> mperf;
@@ -125,10 +125,10 @@ class Turbostat {
   obs::Counter own_invalid_counter_;
   obs::Counter* invalid_counter_ = &own_invalid_counter_;
   // Plausibility ceilings, derived from the platform spec.
-  Watts max_plausible_pkg_w_ = 0.0;
-  Watts max_plausible_core_w_ = 0.0;
-  Ips max_plausible_ips_ = 0.0;
-  Mhz max_plausible_mhz_ = 0.0;
+  Watts max_plausible_pkg_w_{0.0};
+  Watts max_plausible_core_w_{0.0};
+  Ips max_plausible_ips_{0.0};
+  Mhz max_plausible_mhz_{0.0};
   // Last sample that passed validation, re-served while telemetry is bad.
   TelemetrySample last_good_;
   bool has_last_good_ = false;

@@ -40,7 +40,7 @@ void Appendf(std::string* out, const char* fmt, ...) {
 
 // One trace_event JSON object (no trailing comma).
 void AppendEvent(std::string* out, const TraceEvent& e) {
-  const double ts_us = e.t * 1e6;
+  const double ts_us = e.t.value() * 1e6;
   const int pid = e.shard;
   switch (e.type) {
     case TraceEventType::kPeriodBegin:

@@ -43,6 +43,13 @@ class Counter {
 class Gauge {
  public:
   void Set(double v) { value_ = v; }
+  // Metrics are unit-erased doubles by design (one exporter schema); this
+  // is the sanctioned bridge for typed quantities, mirroring
+  // obs::ToPayload for trace events.
+  template <class Tag>
+  void Set(Quantity<Tag> q) {
+    Set(q.value());
+  }
   double value() const { return value_; }
 
  private:
@@ -55,6 +62,11 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void Observe(double v);
+  // Unit-erasing bridge; see Gauge::Set.
+  template <class Tag>
+  void Observe(Quantity<Tag> q) {
+    Observe(q.value());
+  }
 
   const std::vector<double>& upper_bounds() const { return upper_bounds_; }
   // counts().size() == upper_bounds().size() + 1 (last = overflow).
@@ -105,7 +117,7 @@ class MetricsRegistry {
   void Snapshot(Seconds t);
 
   struct Row {
-    Seconds t = 0.0;
+    Seconds t{0.0};
     std::vector<double> values;  // Parallel to scalar_names() at snapshot time.
   };
   const std::vector<Row>& rows() const { return rows_; }

@@ -75,7 +75,7 @@ TraceRecorder::Ring* TraceRecorder::ThreadRing() {
   auto ring = std::make_unique<Ring>(capacity_);
   Ring* raw = ring.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings_.push_back(std::move(ring));
   }
   cache.entries.emplace_back(id_, raw);
@@ -89,7 +89,7 @@ void TraceRecorder::OnEvent(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceRecorder::Drain() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   for (const auto& ring : rings_) {
     const uint64_t kept = std::min<uint64_t>(ring->head, capacity_);
@@ -104,7 +104,7 @@ std::vector<TraceEvent> TraceRecorder::Drain() const {
 }
 
 uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& ring : rings_) {
     total += ring->head;
@@ -113,7 +113,7 @@ uint64_t TraceRecorder::recorded() const {
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& ring : rings_) {
     if (ring->head > capacity_) {
@@ -124,7 +124,7 @@ uint64_t TraceRecorder::dropped() const {
 }
 
 int TraceRecorder::num_threads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(rings_.size());
 }
 

@@ -35,9 +35,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace papd {
@@ -59,8 +60,17 @@ inline constexpr int kNumTraceEventTypes = 8;
 const char* TraceEventTypeName(TraceEventType type);
 
 // Event-specific payload value: the unit depends on the event type (see the
-// table below) — watts, MHz, microseconds, or a count.
+// table below) — watts, MHz, microseconds, or a count.  Payloads are raw
+// doubles by design (one fixed-size event struct for every event type);
+// ToPayload is the sanctioned unit-erasing bridge, so emission sites can
+// pass typed quantities without unwrapping them locally.
 using TracePayload = double;
+
+constexpr TracePayload ToPayload(double v) { return v; }
+template <class Tag>
+constexpr TracePayload ToPayload(Quantity<Tag> q) {
+  return q.value();
+}
 
 // One fixed-size typed event.  The payload fields are event-specific:
 //
@@ -74,7 +84,7 @@ using TracePayload = double;
 //   kPstateWrite      app count      1 = verified ok      max MHz      min MHz
 //   kRackGrant        socket index   arbiter kind         grant W      measured W
 struct TraceEvent {
-  Seconds t = 0.0;  // Simulated time the event belongs to.
+  Seconds t;  // Simulated time the event belongs to.
   TraceEventType type = TraceEventType::kPeriodBegin;
   int16_t shard = 0;  // Rack socket (0 for single-socket runs).
   int32_t index = -1;
@@ -100,7 +110,7 @@ class ObsSink {
 // which also stamps the current simulated time and shard.
 struct ThreadTraceContext {
   ObsSink* sink = nullptr;
-  Seconds t = 0.0;
+  Seconds t;
   int16_t shard = 0;
 };
 
@@ -135,8 +145,8 @@ class ScopedThreadTrace {
       papd_trace_ev_.shard = papd_trace_ctx_.shard;                                 \
       papd_trace_ev_.index = static_cast<int32_t>(index_);                          \
       papd_trace_ev_.code = static_cast<int32_t>(code_);                            \
-      papd_trace_ev_.a = (a_);                                                      \
-      papd_trace_ev_.b = (b_);                                                      \
+      papd_trace_ev_.a = ::papd::obs::ToPayload(a_);                                \
+      papd_trace_ev_.b = ::papd::obs::ToPayload(b_);                                \
       papd_trace_ctx_.sink->OnEvent(papd_trace_ev_);                                \
     }                                                                               \
   } while (0)
@@ -164,18 +174,18 @@ class TraceRecorder : public ObsSink {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  void OnEvent(const TraceEvent& event) override;
+  void OnEvent(const TraceEvent& event) override PAPD_EXCLUDES(mu_);
 
   // All retained events, merged across threads and sorted by time (stable:
   // same-time events keep per-thread order).
-  std::vector<TraceEvent> Drain() const;
+  std::vector<TraceEvent> Drain() const PAPD_EXCLUDES(mu_);
 
   // Total events accepted / overwritten by ring wrap, across all threads.
-  uint64_t recorded() const;
-  uint64_t dropped() const;
+  uint64_t recorded() const PAPD_EXCLUDES(mu_);
+  uint64_t dropped() const PAPD_EXCLUDES(mu_);
 
   size_t ring_capacity() const { return capacity_; }
-  int num_threads() const;
+  int num_threads() const PAPD_EXCLUDES(mu_);
 
  private:
   struct Ring {
@@ -184,12 +194,15 @@ class TraceRecorder : public ObsSink {
     uint64_t head = 0;  // Total writes; slot = head % capacity.
   };
 
-  Ring* ThreadRing();
+  Ring* ThreadRing() PAPD_EXCLUDES(mu_);
 
   const uint64_t id_;  // Process-unique; keys the thread-local ring cache.
   const size_t capacity_;
-  mutable std::mutex mu_;  // Guards rings_ registration and Drain.
-  std::vector<std::unique_ptr<Ring>> rings_;
+  // Guards the rings_ *vector* (registration and the Drain walk).  The Ring
+  // contents are written lock-free by their owning thread; the quiescence
+  // contract above is what makes Drain's reads safe.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_ PAPD_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -23,39 +23,39 @@ PlatformSpec SkylakeXeon4114() {
   PlatformSpec spec{
       .name = "Skylake (Xeon SP 4114)",
       .num_cores = 10,
-      .min_mhz = 800,
-      .base_max_mhz = 2200,
-      .step_mhz = 100,
-      .turbo_max_mhz = 3000,
+      .min_mhz = Mhz{800},
+      .base_max_mhz = Mhz{2200},
+      .step_mhz = Mhz{100},
+      .turbo_max_mhz = Mhz{3000},
       // Single/dual core turbo 3.0 GHz, stepping down to the 2.6 GHz
       // all-core limit (the paper's Figure 4 observes ~2.5-2.65 GHz with all
       // ten cores active).
-      .turbo_ladder = {{2, 3000}, {4, 2900}, {8, 2800}, {10, 2600}},
-      .avx_max_mhz_light = 1900,
-      .avx_max_mhz_heavy = 1700,
+      .turbo_ladder = {{2, Mhz{3000}}, {4, Mhz{2900}}, {8, Mhz{2800}}, {10, Mhz{2600}}},
+      .avx_max_mhz_light = Mhz{1900},
+      .avx_max_mhz_heavy = Mhz{1700},
       .avx_light_cores = 2,
-      .tdp_w = 85,
-      .rapl_min_w = 20,
-      .rapl_max_w = 85,
+      .tdp_w = Watts{85},
+      .rapl_min_w = Watts{20},
+      .rapl_max_w = Watts{85},
       .has_rapl_limit = true,
       .has_per_core_power = false,
       .max_simultaneous_pstates = 0,
-      .voltage = VoltageCurve({{800, 0.65}, {2200, 1.00}, {3000, 1.15}}),
+      .voltage = VoltageCurve({{Mhz{800}, Volts{0.65}}, {Mhz{2200}, Volts{1.00}}, {Mhz{3000}, Volts{1.15}}}),
       .power =
           {
               .ceff_w_per_v2ghz = 2.2,
-              .leak_ref_w = 1.0,
-              .leak_ref_volts = 1.0,
-              .clock_gate_w = 0.30,
-              .cstate_idle_w = 0.05,
-              .uncore_base_w = 7.0,
-              .uncore_per_active_w = 0.30,
+              .leak_ref_w = Watts{1.0},
+              .leak_ref_volts = Volts{1.0},
+              .clock_gate_w = Watts{0.30},
+              .cstate_idle_w = Watts{0.05},
+              .uncore_base_w = Watts{7.0},
+              .uncore_per_active_w = Watts{0.30},
           },
-      .tsc_mhz = 2200,
+      .tsc_mhz = Mhz{2200},
       .thermal = {.ambient_c = 40.0,
                   .r_core_c_per_w = 2.2,
                   .spread_fraction = 0.08,
-                  .tau_s = 3.0,
+                  .tau_s = Seconds{3.0},
                   .tj_max_c = 95.0},
   };
   return spec;
@@ -65,38 +65,38 @@ PlatformSpec Ryzen1700X() {
   PlatformSpec spec{
       .name = "Ryzen 1700X",
       .num_cores = 8,
-      .min_mhz = 800,
-      .base_max_mhz = 3400,
-      .step_mhz = 25,
-      .turbo_max_mhz = 3800,
+      .min_mhz = Mhz{800},
+      .base_max_mhz = Mhz{3400},
+      .step_mhz = Mhz{25},
+      .turbo_max_mhz = Mhz{3800},
       // Precision Boost to 3.8 GHz (XFR) on up to two cores, 3.5 GHz on
       // four, 3.4 GHz all-core.
-      .turbo_ladder = {{2, 3800}, {4, 3500}, {8, 3400}},
-      .avx_max_mhz_light = 3400,
-      .avx_max_mhz_heavy = 3200,
+      .turbo_ladder = {{2, Mhz{3800}}, {4, Mhz{3500}}, {8, Mhz{3400}}},
+      .avx_max_mhz_light = Mhz{3400},
+      .avx_max_mhz_heavy = Mhz{3200},
       .avx_light_cores = 2,
-      .tdp_w = 95,
-      .rapl_min_w = 0,
-      .rapl_max_w = 0,
+      .tdp_w = Watts{95},
+      .rapl_min_w = Watts{0},
+      .rapl_max_w = Watts{0},
       .has_rapl_limit = false,
       .has_per_core_power = true,
       .max_simultaneous_pstates = 3,
-      .voltage = VoltageCurve({{800, 0.75}, {2200, 1.00}, {3400, 1.35}, {3800, 1.45}}),
+      .voltage = VoltageCurve({{Mhz{800}, Volts{0.75}}, {Mhz{2200}, Volts{1.00}}, {Mhz{3400}, Volts{1.35}}, {Mhz{3800}, Volts{1.45}}}),
       .power =
           {
               .ceff_w_per_v2ghz = 1.5,
-              .leak_ref_w = 1.2,
-              .leak_ref_volts = 1.35,
-              .clock_gate_w = 0.25,
-              .cstate_idle_w = 0.04,
-              .uncore_base_w = 6.0,
-              .uncore_per_active_w = 0.20,
+              .leak_ref_w = Watts{1.2},
+              .leak_ref_volts = Volts{1.35},
+              .clock_gate_w = Watts{0.25},
+              .cstate_idle_w = Watts{0.04},
+              .uncore_base_w = Watts{6.0},
+              .uncore_per_active_w = Watts{0.20},
           },
-      .tsc_mhz = 3400,
+      .tsc_mhz = Mhz{3400},
       .thermal = {.ambient_c = 40.0,
                   .r_core_c_per_w = 2.0,
                   .spread_fraction = 0.10,
-                  .tau_s = 2.5,
+                  .tau_s = Seconds{2.5},
                   .tj_max_c = 95.0},
   };
   return spec;
@@ -106,39 +106,39 @@ PlatformSpec ManyCoreXeon64() {
   PlatformSpec spec{
       .name = "ManyCore Xeon 64",
       .num_cores = 64,
-      .min_mhz = 800,
-      .base_max_mhz = 2600,
-      .step_mhz = 100,
-      .turbo_max_mhz = 3700,
+      .min_mhz = Mhz{800},
+      .base_max_mhz = Mhz{2600},
+      .step_mhz = Mhz{100},
+      .turbo_max_mhz = Mhz{3700},
       // Ladder extrapolated from the Skylake shape: a few hot cores reach
       // 3.7 GHz, the all-core limit settles at 2.7 GHz.
-      .turbo_ladder = {{2, 3700}, {4, 3500}, {8, 3300}, {16, 3100}, {32, 2900}, {64, 2700}},
-      .avx_max_mhz_light = 2400,
-      .avx_max_mhz_heavy = 2000,
+      .turbo_ladder = {{2, Mhz{3700}}, {4, Mhz{3500}}, {8, Mhz{3300}}, {16, Mhz{3100}}, {32, Mhz{2900}}, {64, Mhz{2700}}},
+      .avx_max_mhz_light = Mhz{2400},
+      .avx_max_mhz_heavy = Mhz{2000},
       .avx_light_cores = 8,
-      .tdp_w = 270,
-      .rapl_min_w = 90,
-      .rapl_max_w = 350,
+      .tdp_w = Watts{270},
+      .rapl_min_w = Watts{90},
+      .rapl_max_w = Watts{350},
       .has_rapl_limit = true,
       .has_per_core_power = false,
       .max_simultaneous_pstates = 0,
-      .voltage = VoltageCurve({{800, 0.65}, {2600, 1.00}, {3700, 1.20}}),
+      .voltage = VoltageCurve({{Mhz{800}, Volts{0.65}}, {Mhz{2600}, Volts{1.00}}, {Mhz{3700}, Volts{1.20}}}),
       .power =
           {
               .ceff_w_per_v2ghz = 2.0,
-              .leak_ref_w = 0.9,
-              .leak_ref_volts = 1.0,
-              .clock_gate_w = 0.25,
-              .cstate_idle_w = 0.05,
+              .leak_ref_w = Watts{0.9},
+              .leak_ref_volts = Volts{1.0},
+              .clock_gate_w = Watts{0.25},
+              .cstate_idle_w = Watts{0.05},
               // Mesh + memory controllers; grows noticeably with load.
-              .uncore_base_w = 25.0,
-              .uncore_per_active_w = 0.15,
+              .uncore_base_w = Watts{25.0},
+              .uncore_per_active_w = Watts{0.15},
           },
-      .tsc_mhz = 2600,
+      .tsc_mhz = Mhz{2600},
       .thermal = {.ambient_c = 40.0,
                   .r_core_c_per_w = 1.8,
                   .spread_fraction = 0.04,
-                  .tau_s = 4.0,
+                  .tau_s = Seconds{4.0},
                   .tj_max_c = 95.0},
   };
   return spec;
@@ -148,39 +148,39 @@ PlatformSpec ManyCoreEpyc128() {
   PlatformSpec spec{
       .name = "ManyCore EPYC 128",
       .num_cores = 128,
-      .min_mhz = 800,
-      .base_max_mhz = 2400,
-      .step_mhz = 25,
-      .turbo_max_mhz = 3500,
-      .turbo_ladder = {{8, 3500}, {16, 3300}, {32, 3100}, {64, 2900}, {128, 2600}},
-      .avx_max_mhz_light = 2600,
-      .avx_max_mhz_heavy = 2200,
+      .min_mhz = Mhz{800},
+      .base_max_mhz = Mhz{2400},
+      .step_mhz = Mhz{25},
+      .turbo_max_mhz = Mhz{3500},
+      .turbo_ladder = {{8, Mhz{3500}}, {16, Mhz{3300}}, {32, Mhz{3100}}, {64, Mhz{2900}}, {128, Mhz{2600}}},
+      .avx_max_mhz_light = Mhz{2600},
+      .avx_max_mhz_heavy = Mhz{2200},
       .avx_light_cores = 16,
-      .tdp_w = 360,
-      .rapl_min_w = 120,
-      .rapl_max_w = 450,
+      .tdp_w = Watts{360},
+      .rapl_min_w = Watts{120},
+      .rapl_max_w = Watts{450},
       // Modern AMD parts support package power limiting and per-core energy
       // telemetry, without the Zen-1 three-P-state front-end restriction.
       .has_rapl_limit = true,
       .has_per_core_power = true,
       .max_simultaneous_pstates = 0,
-      .voltage = VoltageCurve({{800, 0.70}, {2400, 0.95}, {3500, 1.30}}),
+      .voltage = VoltageCurve({{Mhz{800}, Volts{0.70}}, {Mhz{2400}, Volts{0.95}}, {Mhz{3500}, Volts{1.30}}}),
       .power =
           {
               .ceff_w_per_v2ghz = 1.2,
-              .leak_ref_w = 0.8,
-              .leak_ref_volts = 1.30,
-              .clock_gate_w = 0.20,
-              .cstate_idle_w = 0.04,
+              .leak_ref_w = Watts{0.8},
+              .leak_ref_volts = Volts{1.30},
+              .clock_gate_w = Watts{0.20},
+              .cstate_idle_w = Watts{0.04},
               // The IO die dominates idle power on chiplet parts.
-              .uncore_base_w = 40.0,
-              .uncore_per_active_w = 0.10,
+              .uncore_base_w = Watts{40.0},
+              .uncore_per_active_w = Watts{0.10},
           },
-      .tsc_mhz = 2400,
+      .tsc_mhz = Mhz{2400},
       .thermal = {.ambient_c = 40.0,
                   .r_core_c_per_w = 1.5,
                   .spread_fraction = 0.03,
-                  .tau_s = 5.0,
+                  .tau_s = Seconds{5.0},
                   .tj_max_c = 95.0},
   };
   return spec;

@@ -53,7 +53,7 @@ struct PlatformThermal {
   double ambient_c = 40.0;
   double r_core_c_per_w = 2.2;
   double spread_fraction = 0.08;
-  Seconds tau_s = 3.0;
+  Seconds tau_s{3.0};
   double tj_max_c = 95.0;
 };
 

@@ -7,8 +7,8 @@
 namespace papd {
 
 PStateTable::PStateTable(Mhz min_mhz, Mhz max_mhz, Mhz step_mhz) : step_mhz_(step_mhz) {
-  assert(step_mhz > 0.0);
-  assert(min_mhz > 0.0);
+  assert(step_mhz > Mhz{0.0});
+  assert(min_mhz > Mhz{0.0});
   assert(max_mhz >= min_mhz);
   // Build descending so index 0 == P0 == fastest.
   const int steps = static_cast<int>(std::round((max_mhz - min_mhz) / step_mhz));
@@ -51,13 +51,13 @@ Mhz PStateTable::QuantizeNearest(Mhz mhz) const {
 }
 
 size_t PStateTable::IndexOf(Mhz mhz) const {
-  const Mhz q = QuantizeNearest(mhz);
+  const Mhz q{QuantizeNearest(mhz)};
   const double from_top = (max_mhz() - q) / step_mhz_;
   return static_cast<size_t>(std::round(from_top));
 }
 
 bool PStateTable::OnGrid(Mhz mhz) const {
-  if (mhz < min_mhz() - 1e-6 || mhz > max_mhz() + 1e-6) {
+  if (mhz < min_mhz() - Mhz{1e-6} || mhz > max_mhz() + Mhz{1e-6}) {
     return false;
   }
   return OnFrequencyGrid(mhz - min_mhz(), step_mhz_);

@@ -25,13 +25,13 @@ struct ManagedApp {
   bool high_priority = false;
   // Standalone performance at maximum frequency, measured offline; the
   // baseline the performance-share policy normalizes IPS against.
-  Ips baseline_ips = 0.0;
+  Ips baseline_ips{0.0};
   // "Highest useful frequency" (paper Section 4.4): above this point the
   // app gains no performance (AVX frequency caps, memory-bound
   // saturation), so policies should not allocate beyond it.  0 = unknown /
   // no cap.  Maintained at runtime by the HWP-style SaturationDetector
   // when DaemonConfig::use_hwp_hints is set.
-  Mhz max_useful_mhz = 0.0;
+  Mhz max_useful_mhz{0.0};
 };
 
 
@@ -39,28 +39,28 @@ struct ManagedApp {
 // public facts appear here — no power-model internals — matching what the
 // paper's daemon knows about real hardware.
 struct PolicyPlatform {
-  Mhz min_mhz = 800;
-  Mhz max_mhz = 3000;
-  Mhz step_mhz = 100;
+  Mhz min_mhz{800};
+  Mhz max_mhz{3000};
+  Mhz step_mhz{100};
   int num_cores = 10;
   // "MaxPower" in the paper's alpha formula; the TDP.
-  Watts max_power_w = 85;
+  Watts max_power_w{85};
   // Rough non-core power floor used when converting a package limit into a
   // per-core budget (power shares).
-  Watts uncore_estimate_w = 8.0;
+  Watts uncore_estimate_w{8.0};
   // Rough per-core power range endpoints for the initial linear
   // power-to-frequency model (power shares).  Deliberately crude: the
   // control loop corrects model error with feedback (paper Section 5.2:
   // "modeling errors do not affect steady state behavior").
-  Watts core_min_w = 1.0;
-  Watts core_max_w = 9.0;
+  Watts core_min_w{1.0};
+  Watts core_max_w{9.0};
 };
 
 // Effective frequency ceiling for an app: the platform maximum, tightened
 // by the app's known highest useful frequency (never below the platform
 // minimum).
 inline Mhz AppMaxMhz(const ManagedApp& app, const PolicyPlatform& platform) {
-  if (app.max_useful_mhz <= 0.0) {
+  if (app.max_useful_mhz <= Mhz{0.0}) {
     return platform.max_mhz;
   }
   const Mhz capped = app.max_useful_mhz < platform.max_mhz ? app.max_useful_mhz

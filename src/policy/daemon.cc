@@ -37,9 +37,9 @@ PolicyPlatform MakePolicyPlatform(const PlatformSpec& spec) {
   p.num_cores = spec.num_cores;
   p.max_power_w = spec.tdp_w;
   // Datasheet-grade estimates; the feedback loops absorb the error.
-  p.uncore_estimate_w = spec.power.uncore_base_w + 1.0;
-  p.core_min_w = 1.0;
-  p.core_max_w = std::max(2.0, (spec.tdp_w - p.uncore_estimate_w) / spec.num_cores * 1.3);
+  p.uncore_estimate_w = spec.power.uncore_base_w + Watts{1.0};
+  p.core_min_w = Watts{1.0};
+  p.core_max_w = std::max(Watts{2.0}, (spec.tdp_w - p.uncore_estimate_w) / spec.num_cores * 1.3);
   return p;
 }
 
@@ -170,7 +170,7 @@ void PowerDaemon::Start() {
     targets_ = share_policy_->InitialDistribution(apps_, config_.power_limit_w);
   } else if (config_.kind == PolicyKind::kStatic) {
     targets_.assign(apps_.size(),
-                    config_.static_mhz > 0.0 ? config_.static_mhz : platform_.max_mhz);
+                    config_.static_mhz > Mhz{0.0} ? config_.static_mhz : platform_.max_mhz);
   } else {
     // kRaplOnly: all cores request the maximum; RAPL alone throttles.
     targets_.assign(apps_.size(), platform_.max_mhz);
@@ -185,7 +185,7 @@ void PowerDaemon::Step() {
   const int period = period_;
   period_++;
   g_pkg_w_->Set(sample.pkg_w);
-  h_overshoot_w_->Observe(std::max(0.0, sample.pkg_w - config_.power_limit_w));
+  h_overshoot_w_->Observe(std::max(Watts{0.0}, sample.pkg_w - config_.power_limit_w));
   Emit(obs::TraceEventType::kPeriodBegin, period, static_cast<int32_t>(state_), sample.pkg_w,
        config_.power_limit_w);
   {
@@ -296,7 +296,7 @@ void PowerDaemon::StepWithSample(TelemetrySample sample) {
     Emit(obs::TraceEventType::kRedistribute, static_cast<int32_t>(apps_.size()), changed,
          sample.pkg_w - config_.power_limit_w, 0.0);
     for (size_t i = 0; i < targets_.size(); i++) {
-      const Mhz before_i = i < before_targets.size() ? before_targets[i] : 0.0;
+      const Mhz before_i{i < before_targets.size() ? before_targets[i] : Mhz{0.0}};
       Emit(obs::TraceEventType::kAppTarget, static_cast<int32_t>(i),
            targets_[i] != before_i ? 1 : 0, before_i, targets_[i]);
     }
@@ -312,7 +312,7 @@ bool PowerDaemon::ActivelyControlling() const { return GetPolicyInfo(config_.kin
 
 std::vector<Mhz> PowerDaemon::FallbackTargets() const {
   const Mhz floor_mhz =
-      config_.degradation.floor_mhz > 0.0 ? config_.degradation.floor_mhz : platform_.min_mhz;
+      config_.degradation.floor_mhz > Mhz{0.0} ? config_.degradation.floor_mhz : platform_.min_mhz;
   std::vector<Mhz> want = targets_;
   for (Mhz& t : want) {
     if (t != PriorityPolicy::kStopped) {
@@ -353,7 +353,7 @@ bool PowerDaemon::VerifyProgrammed(const std::vector<Mhz>& want) const {
       readback_mhz = msr_->ReadPstateDefMhz(slot);
     } else {
       readback_mhz =
-          static_cast<double>((msr_->Read(kMsrIa32PerfCtl, apps_[i].cpu) >> 8) & 0xFF) * 100.0;
+          Mhz{static_cast<double>((msr_->Read(kMsrIa32PerfCtl, apps_[i].cpu) >> 8) & 0xFF) * 100.0};
     }
     if (readback_mhz != last_expected_mhz_[i]) {
       return false;
@@ -413,13 +413,13 @@ void PowerDaemon::EmitPstateWrite(const std::vector<Mhz>& want, bool verified_ok
     return;
   }
   int32_t running = 0;
-  Mhz hi = 0.0;
-  Mhz lo = 0.0;
+  Mhz hi{0.0};
+  Mhz lo{0.0};
   for (size_t i = 0; i < want.size() && i < last_expected_mhz_.size(); i++) {
     if (want[i] == PriorityPolicy::kStopped) {
       continue;
     }
-    const Mhz programmed = last_expected_mhz_[i];
+    const Mhz programmed{last_expected_mhz_[i]};
     hi = running == 0 ? programmed : std::max(hi, programmed);
     lo = running == 0 ? programmed : std::min(lo, programmed);
     running++;
@@ -475,7 +475,7 @@ void PowerDaemon::ProgramTargets(const std::vector<Mhz>& want) {
       if (want[i] == PriorityPolicy::kStopped) {
         continue;
       }
-      const Mhz quantized = grid.QuantizeDown(want[i]);
+      const Mhz quantized{grid.QuantizeDown(want[i])};
       msr_->WritePerfTargetMhz(apps_[i].cpu, quantized);
       programmed.push_back(quantized);
       last_expected_mhz_[i] = quantized;

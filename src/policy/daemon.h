@@ -77,7 +77,7 @@ struct DegradationConfig {
   // retries while writes keep failing.
   int max_backoff_periods = 4;
   // Static floor programmed in fallback; 0 = the platform minimum.
-  Mhz floor_mhz = 0.0;
+  Mhz floor_mhz{0.0};
   // Arm the hardware RAPL limit (platforms that have one) while in
   // fallback or under persistent write failure; disarmed on recovery.
   bool rapl_safety_net = true;
@@ -107,11 +107,11 @@ struct DaemonObs {
 
 struct DaemonConfig {
   PolicyKind kind = PolicyKind::kFrequencyShares;
-  Watts power_limit_w = 85.0;
-  Seconds period_s = 1.0;
+  Watts power_limit_w{85.0};
+  Seconds period_s{1.0};
   PriorityPolicy::Options priority;
   // kStatic: the frequency every managed core is pinned to.
-  Mhz static_mhz = 0.0;
+  Mhz static_mhz{0.0};
   // When true (kRaplOnly or on request), the hardware RAPL limit register
   // is programmed with power_limit_w.
   bool program_rapl = false;
@@ -225,9 +225,14 @@ class PowerDaemon {
   // Registers the fault counters/gauges and binds turbostat's
   // invalid-sample counter into the registry (called from both ctors).
   void InitObs();
-  // Emits through config_.obs.sink when one is installed.
+  // Emits through config_.obs.sink when one is installed.  a/b accept any
+  // payload obs::ToPayload handles (doubles or typed quantities).
   void Emit(obs::TraceEventType type, int32_t index, int32_t code, obs::TracePayload a,
             obs::TracePayload b) const;
+  template <class A, class B>
+  void Emit(obs::TraceEventType type, int32_t index, int32_t code, A a, B b) const {
+    Emit(type, index, code, obs::ToPayload(a), obs::ToPayload(b));
+  }
   // Degradation-ladder move with trace event + gauge update.
   void TransitionLadder(DegradationState to);
 
@@ -260,7 +265,7 @@ class PowerDaemon {
   // Control periods completed (trace-event index) and the simulated time of
   // the last telemetry sample (trace-event timestamp).
   int period_ = 0;
-  Seconds last_sample_t_ = 0.0;
+  Seconds last_sample_t_{0.0};
 
   // --- Degradation-ladder state ----------------------------------------------
   DegradationState state_ = DegradationState::kNominal;

@@ -17,7 +17,7 @@ std::vector<Mhz> FrequencyShares::InitialDistribution(const std::vector<ManagedA
   targets_.clear();
   targets_.reserve(apps.size());
   for (const ManagedApp& app : apps) {
-    const Mhz f = platform_.max_mhz * (max_share > 0.0 ? app.shares / max_share : 1.0);
+    const Mhz f{platform_.max_mhz * (max_share > 0.0 ? app.shares / max_share : 1.0)};
     targets_.push_back(std::clamp(f, platform_.min_mhz, AppMaxMhz(app, platform_)));
   }
   return targets_;
@@ -25,12 +25,12 @@ std::vector<Mhz> FrequencyShares::InitialDistribution(const std::vector<ManagedA
 
 std::vector<Mhz> FrequencyShares::Redistribute(const std::vector<ManagedApp>& apps,
                                                const TelemetrySample& sample, Watts limit_w) {
-  const Watts power_delta = limit_w - sample.pkg_w;
-  if (std::abs(power_delta) <= kPowerToleranceW) {
+  const Watts power_delta{limit_w - sample.pkg_w};
+  if (Abs(power_delta) <= kPowerToleranceW) {
     return targets_;
   }
   const double alpha = AlphaOf(power_delta, platform_.max_power_w);
-  const Mhz freq_delta = alpha * platform_.max_mhz * static_cast<double>(apps.size());
+  const Mhz freq_delta{alpha * platform_.max_mhz * static_cast<double>(apps.size())};
 
   // Redistribution re-runs the (initial-style) proportional split over the
   // adjusted total frequency budget, with min-funding revocation at the
@@ -39,23 +39,27 @@ std::vector<Mhz> FrequencyShares::Redistribute(const std::vector<ManagedApp>& ap
   // the paper chooses (Section 5.2).  Re-solving from the total (rather
   // than accumulating deltas) keeps the ratios exact across periods even
   // when saturation makes individual deltas asymmetric.
-  double total = freq_delta;
+  ResourceUnits total = AsResourceUnits(freq_delta);
   for (Mhz f : targets_) {
-    total += f;
+    total += AsResourceUnits(f);
   }
   std::vector<ShareRequest> req;
   req.reserve(apps.size());
   for (const ManagedApp& app : apps) {
     req.push_back(ShareRequest{
         .shares = app.shares,
-        .minimum = platform_.min_mhz,
+        .minimum = AsResourceUnits(platform_.min_mhz),
         // Never allocate past the app's highest useful frequency (HWP
         // hints, paper Section 4.4); min-funding revocation hands the
         // excess to apps that can still use it.
-        .maximum = AppMaxMhz(app, platform_),
+        .maximum = AsResourceUnits(AppMaxMhz(app, platform_)),
     });
   }
-  targets_ = DistributeProportional(total, req);
+  const std::vector<ResourceUnits> split = DistributeProportional(total, req);
+  targets_.clear();
+  for (ResourceUnits u : split) {
+    targets_.push_back(Mhz{u});
+  }
   return targets_;
 }
 

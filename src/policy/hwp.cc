@@ -17,29 +17,29 @@ int SaturationDetector::BucketOf(Mhz mhz) const {
 
 void SaturationDetector::UpdatePerfCap(AppState* state) {
   // Anchor: the best IPS observed at any frequency.
-  double best_ips = 0.0;
-  Mhz best_mhz = 0.0;
+  Ips best_ips{0.0};
+  Mhz best_mhz{0.0};
   for (const auto& [bucket, ips] : state->ips_by_bucket) {
     if (ips > best_ips) {
       best_ips = ips;
       best_mhz = bucket * params_.bucket_mhz;
     }
   }
-  if (best_ips <= 0.0) {
-    state->perf_cap_mhz = 0.0;
+  if (best_ips <= Ips{0.0}) {
+    state->perf_cap_mhz = Mhz{0.0};
     return;
   }
   // Useful max: the lowest observed frequency keeping (1 - budget) of the
   // anchor IPS.
-  const double floor_ips = (1.0 - params_.perf_loss_budget) * best_ips;
-  Mhz cap = best_mhz;
+  const Ips floor_ips{(1.0 - params_.perf_loss_budget) * best_ips};
+  Mhz cap{best_mhz};
   for (const auto& [bucket, ips] : state->ips_by_bucket) {
-    const Mhz f = bucket * params_.bucket_mhz;
+    const Mhz f{bucket * params_.bucket_mhz};
     if (f < cap && ips >= floor_ips) {
       cap = f;
     }
   }
-  Mhz candidate = 0.0;
+  Mhz candidate{0.0};
   // Only worth declaring if it saves a meaningful slice of frequency.
   if (best_mhz - cap >= params_.min_saving_mhz) {
     candidate = std::max(cap, platform_.min_mhz);
@@ -48,10 +48,9 @@ void SaturationDetector::UpdatePerfCap(AppState* state) {
   // bucket's EWMA refreshes and phase noise can push it just under the
   // floor.  Keep an established cap while its bucket stays within the
   // relaxed floor.
-  if (state->perf_cap_mhz > 0.0 && (candidate == 0.0 || candidate > state->perf_cap_mhz)) {
+  if (state->perf_cap_mhz > Mhz{0.0} && (candidate == Mhz{0.0} || candidate > state->perf_cap_mhz)) {
     const auto it = state->ips_by_bucket.find(BucketOf(state->perf_cap_mhz));
-    const double keep_floor =
-        (1.0 - params_.perf_loss_budget - params_.clear_hysteresis) * best_ips;
+    const Ips keep_floor{(1.0 - params_.perf_loss_budget - params_.clear_hysteresis) * best_ips};
     if (it != state->ips_by_bucket.end() && it->second >= keep_floor) {
       return;  // Keep the existing cap.
     }
@@ -69,7 +68,7 @@ void SaturationDetector::Observe(const std::vector<ManagedApp>& apps,
   double best_ratio = 0.0;
   for (size_t i = 0; i < apps.size(); i++) {
     const auto& core = sample.cores[static_cast<size_t>(apps[i].cpu)];
-    if (i < requested.size() && requested[i] > 0.0 && core.busy > 0.5) {
+    if (i < requested.size() && requested[i] > Mhz{0.0} && core.busy > 0.5) {
       best_ratio = std::max(best_ratio, core.active_mhz / requested[i]);
     }
   }
@@ -77,7 +76,7 @@ void SaturationDetector::Observe(const std::vector<ManagedApp>& apps,
   for (size_t i = 0; i < apps.size(); i++) {
     AppState& state = apps_[i];
     const auto& core = sample.cores[static_cast<size_t>(apps[i].cpu)];
-    if (i >= requested.size() || requested[i] <= 0.0 || core.busy <= 0.5) {
+    if (i >= requested.size() || requested[i] <= Mhz{0.0} || core.busy <= 0.5) {
       state.gap_streak = 0;
       continue;
     }
@@ -102,9 +101,9 @@ void SaturationDetector::Observe(const std::vector<ManagedApp>& apps,
       state.gap_streak = 0;
       // If the app now achieves frequencies above a rule-1 cap, the cap was
       // stale (e.g. the AVX phase ended): clear it.
-      if (state.gap_cap_mhz > 0.0 &&
+      if (state.gap_cap_mhz > Mhz{0.0} &&
           core.active_mhz > state.gap_cap_mhz + platform_.step_mhz) {
-        state.gap_cap_mhz = 0.0;
+        state.gap_cap_mhz = Mhz{0.0};
       }
     }
 
@@ -132,20 +131,20 @@ std::vector<Mhz> SaturationDetector::ApplyProbes(const std::vector<ManagedApp>& 
   const size_t n = apps.size();
   for (size_t k = 0; k < n; k++) {
     const size_t i = (static_cast<size_t>(periods_) / params_.probe_interval + k) % n;
-    if (i >= targets.size() || targets[i] <= 0.0) {
+    if (i >= targets.size() || targets[i] <= Mhz{0.0}) {
       continue;  // Stopped app.
     }
     const AppState& state = apps_[i];
     // Probe below the achieved operating point (the target may be
     // unreachable under package-wide clamps).
-    const Mhz base = state.last_active_mhz > 0.0
+    const Mhz base = state.last_active_mhz > Mhz{0.0}
                          ? std::min(targets[i], state.last_active_mhz)
                          : targets[i];
     Mhz probe;
     if (state.ips_by_bucket.empty()) {
       probe = base - params_.probe_step_mhz;
     } else {
-      double best_ips = 0.0;
+      Ips best_ips{0.0};
       for (const auto& [bucket, ips] : state.ips_by_bucket) {
         best_ips = std::max(best_ips, ips);
       }
@@ -168,7 +167,7 @@ std::vector<Mhz> SaturationDetector::ApplyProbes(const std::vector<ManagedApp>& 
 
 Mhz SaturationDetector::UsefulMaxMhz(size_t app_index) const {
   const AppState& state = apps_[app_index];
-  if (state.gap_cap_mhz > 0.0 && state.perf_cap_mhz > 0.0) {
+  if (state.gap_cap_mhz > Mhz{0.0} && state.perf_cap_mhz > Mhz{0.0}) {
     return std::min(state.gap_cap_mhz, state.perf_cap_mhz);
   }
   return std::max(state.gap_cap_mhz, state.perf_cap_mhz);

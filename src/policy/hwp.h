@@ -59,15 +59,15 @@ class SaturationDetector {
     // (phase noise moves bucket EWMAs by a few percent).
     double clear_hysteresis = 0.04;
     // Rule 2: minimum frequency saving for a cap to be worth declaring.
-    Mhz min_saving_mhz = 400.0;
+    Mhz min_saving_mhz{400.0};
     // IPS EWMA smoothing per bucket.
     double ewma_alpha = 0.30;
     // Frequency bucket width.
-    Mhz bucket_mhz = 200.0;
+    Mhz bucket_mhz{200.0};
     // Probe one app every this many Observe() calls.
     int probe_interval = 4;
     // Probe this far below the app's current operating frequency.
-    Mhz probe_step_mhz = 500.0;
+    Mhz probe_step_mhz{500.0};
   };
 
   SaturationDetector(PolicyPlatform platform, size_t num_apps);
@@ -95,10 +95,10 @@ class SaturationDetector {
  private:
   struct AppState {
     int gap_streak = 0;
-    Mhz gap_cap_mhz = 0.0;     // Rule-1 cap; 0 = none.
-    std::map<int, double> ips_by_bucket;
-    Mhz perf_cap_mhz = 0.0;    // Rule-2 cap; 0 = none.
-    Mhz last_active_mhz = 0.0;  // Most recent achieved frequency.
+    Mhz gap_cap_mhz{0.0};     // Rule-1 cap; 0 = none.
+    std::map<int, Ips> ips_by_bucket;
+    Mhz perf_cap_mhz{0.0};    // Rule-2 cap; 0 = none.
+    Mhz last_active_mhz{0.0};  // Most recent achieved frequency.
   };
 
   int BucketOf(Mhz mhz) const;

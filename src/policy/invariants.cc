@@ -17,12 +17,12 @@ namespace {
 // An app with a detected highest-useful-frequency cap (HWP hints, paper
 // Section 4.4) legitimately breaks pairwise ordering: min-funding
 // revocation hands its excess to apps that can still use it.
-bool HasUsefulMaxCap(const ManagedApp& app) { return app.max_useful_mhz > 0.0; }
+bool HasUsefulMaxCap(const ManagedApp& app) { return app.max_useful_mhz > Mhz{0.0}; }
 
 bool IsStopped(Mhz target) { return target == PriorityPolicy::kStopped; }
 
-double RunningSum(const std::vector<Mhz>& targets) {
-  double sum = 0.0;
+Mhz RunningSum(const std::vector<Mhz>& targets) {
+  Mhz sum{0.0};
   for (Mhz t : targets) {
     if (!IsStopped(t)) {
       sum += t;
@@ -51,16 +51,20 @@ PolicyAuditor::NativeView PolicyAuditor::NativeTargets(const ShareResource* poli
   NativeView view;
   if (const auto* freq = dynamic_cast<const FrequencyShares*>(policy)) {
     view.domain = "frequency";
-    view.values = freq->targets();
-    view.scale = platform_.max_mhz;
+    for (Mhz f : freq->targets()) {
+      view.values.push_back(AsResourceUnits(f));
+    }
+    view.scale = AsResourceUnits(platform_.max_mhz);
   } else if (const auto* perf = dynamic_cast<const PerformanceShares*>(policy)) {
     view.domain = "performance";
     view.values = perf->performance_targets();
     view.scale = 1.0;
   } else if (const auto* power = dynamic_cast<const PowerShares*>(policy)) {
     view.domain = "power";
-    view.values.assign(power->power_targets().begin(), power->power_targets().end());
-    view.scale = platform_.core_max_w;
+    for (Watts w : power->power_targets()) {
+      view.values.push_back(AsResourceUnits(w));
+    }
+    view.scale = AsResourceUnits(platform_.core_max_w);
   }
   return view;
 }
@@ -75,13 +79,13 @@ void PolicyAuditor::CheckTargetsWellFormed(const char* stage,
     Fail(stage, os.str());
     return;
   }
-  const double tol = options_.epsilon * platform_.max_mhz;
+  const Mhz tol = options_.epsilon * platform_.max_mhz;
   for (size_t i = 0; i < targets.size(); i++) {
-    const Mhz t = targets[i];
+    const Mhz t{targets[i]};
     if (allow_stopped && IsStopped(t)) {
       continue;
     }
-    if (!std::isfinite(t)) {
+    if (!IsFinite(t)) {
       std::ostringstream os;
       os << " non-finite target for app " << i << " (" << apps[i].name << ")";
       Fail(stage, os.str());
@@ -93,7 +97,7 @@ void PolicyAuditor::CheckTargetsWellFormed(const char* stage,
          << ") below platform minimum " << platform_.min_mhz << " MHz";
       Fail(stage, os.str());
     }
-    const Mhz ceiling = AppMaxMhz(apps[i], platform_);
+    const Mhz ceiling{AppMaxMhz(apps[i], platform_)};
     if (t > ceiling + tol) {
       std::ostringstream os;
       os << " target " << t << " MHz for app " << i << " (" << apps[i].name
@@ -145,9 +149,9 @@ void PolicyAuditor::CheckInitialDistribution(const ShareResource* policy,
   // explicit budget split, so Σ targets must conserve the core budget:
   // limit minus the uncore estimate, floored at every core's minimum.
   if (view.domain != nullptr && std::string_view(view.domain) == "power") {
-    const Watts budget =
-        std::max(limit_w - platform_.uncore_estimate_w,
-                 platform_.core_min_w * static_cast<double>(apps.size()));
+    const double budget =
+        AsResourceUnits(std::max(limit_w - platform_.uncore_estimate_w,
+                                 platform_.core_min_w * static_cast<double>(apps.size())));
     double sum = 0.0;
     for (double w : view.values) {
       sum += w;
@@ -213,11 +217,11 @@ void PolicyAuditor::CheckPriorityInitialDistribution(const PriorityPolicy::Optio
   if (targets.size() != apps.size()) {
     return;
   }
-  const double tol = options_.epsilon * platform_.max_mhz;
+  const Mhz tol = options_.epsilon * platform_.max_mhz;
   for (size_t i = 0; i < apps.size(); i++) {
     if (apps[i].high_priority) {
-      const Mhz ceiling = AppMaxMhz(apps[i], platform_);
-      if (std::abs(targets[i] - ceiling) > tol) {
+      const Mhz ceiling{AppMaxMhz(apps[i], platform_)};
+      if (Abs(targets[i] - ceiling) > tol) {
         std::ostringstream os;
         os << " HP app " << i << " (" << apps[i].name << ") must start at its ceiling "
            << ceiling << " MHz, got " << targets[i];
@@ -230,7 +234,7 @@ void PolicyAuditor::CheckPriorityInitialDistribution(const PriorityPolicy::Optio
            << ") must start stopped in starvation mode, got " << targets[i] << " MHz";
         Fail("initial", os.str());
       }
-    } else if (std::abs(targets[i] - platform_.min_mhz) > tol) {
+    } else if (Abs(targets[i] - platform_.min_mhz) > tol) {
       std::ostringstream os;
       os << " LP app " << i << " (" << apps[i].name
          << ") must start at the minimum P-state with starvation disabled, got "
@@ -250,7 +254,7 @@ void PolicyAuditor::CheckPriorityRedistribution(const PriorityPolicy::Options& o
   if (targets.size() != apps.size()) {
     return;
   }
-  const double tol = options_.epsilon * platform_.max_mhz;
+  const Mhz tol = options_.epsilon * platform_.max_mhz;
   for (size_t i = 0; i < apps.size(); i++) {
     if (!IsStopped(targets[i])) {
       continue;
@@ -292,9 +296,9 @@ void PolicyAuditor::CheckPriorityRedistribution(const PriorityPolicy::Options& o
   // Directional budget conservation, counting only running apps.
   if (prev_priority_.size() == targets.size() &&
       sample.pkg_w > limit_w + options_.conservation_deadband_w) {
-    const double prev_sum = RunningSum(prev_priority_);
-    const double new_sum = RunningSum(targets);
-    const double stage_tol = tol * static_cast<double>(targets.size());
+    const Mhz prev_sum{RunningSum(prev_priority_)};
+    const Mhz new_sum{RunningSum(targets)};
+    const Mhz stage_tol{tol * static_cast<double>(targets.size())};
     if (new_sum > prev_sum + stage_tol) {
       std::ostringstream os;
       os << " budget conservation broken: package power " << sample.pkg_w
@@ -307,11 +311,11 @@ void PolicyAuditor::CheckPriorityRedistribution(const PriorityPolicy::Options& o
 }
 
 void PolicyAuditor::CheckTranslation(const std::vector<Mhz>& programmed_mhz) {
-  const double tol = options_.epsilon * platform_.max_mhz;
+  const Mhz tol = options_.epsilon * platform_.max_mhz;
   std::vector<long> distinct;
   for (size_t i = 0; i < programmed_mhz.size(); i++) {
-    const Mhz f = programmed_mhz[i];
-    if (!std::isfinite(f)) {
+    const Mhz f{programmed_mhz[i]};
+    if (!IsFinite(f)) {
       std::ostringstream os;
       os << " non-finite programmed frequency for slot " << i;
       Fail("translate", os.str());
@@ -357,7 +361,7 @@ void PolicyAuditor::CheckPowerCeiling(const TelemetrySample& sample, Watts limit
     ceiling_grace_left_--;
     return;
   }
-  const Watts ceiling_w = limit_w + options_.power_ceiling_slack_w;
+  const Watts ceiling_w{limit_w + options_.power_ceiling_slack_w};
   if (sample.pkg_w <= ceiling_w) {
     ceiling_over_streak_ = 0;
     return;
@@ -365,7 +369,7 @@ void PolicyAuditor::CheckPowerCeiling(const TelemetrySample& sample, Watts limit
   // Floor saturation: every running core already at the platform minimum
   // means the limit is unreachable for this workload; frequency scaling has
   // no correction left to apply, so over-limit power is not a policy bug.
-  const double tol = options_.epsilon * platform_.max_mhz;
+  const Mhz tol = options_.epsilon * platform_.max_mhz;
   bool all_at_floor = true;
   for (Mhz t : targets) {
     if (!IsStopped(t) && t > platform_.min_mhz + tol) {

@@ -54,14 +54,14 @@ struct AuditOptions {
   // directional budget-conservation check applies; must exceed the
   // policies' own control deadband (kPowerToleranceW) or legitimate
   // within-deadband no-ops would be flagged.
-  Watts conservation_deadband_w = 1.0;
+  Watts conservation_deadband_w{1.0};
   // Relative slack for floating-point comparisons.
   double epsilon = 1e-6;
   // --- Power ceiling (CheckPowerCeiling) -------------------------------------
   // Package power may exceed the limit by at most this much once converged.
   // Covers RAPL quantization, EWMA smoothing and the sim's power-model
   // transients; fault schedules that defeat degradation blow well past it.
-  Watts power_ceiling_slack_w = 8.0;
+  Watts power_ceiling_slack_w{8.0};
   // Control periods ignored after Start()/SetPowerLimit before the ceiling
   // is enforced — the control loop needs time to converge on a new budget.
   int power_ceiling_grace_periods = 20;
@@ -158,7 +158,7 @@ class PolicyAuditor {
 
   // Power-ceiling state: the limit last seen (a change restarts grace),
   // grace periods left, and the current over-ceiling streak.
-  Watts ceiling_limit_w_ = -1.0;
+  Watts ceiling_limit_w_{-1.0};
   int ceiling_grace_left_ = 0;
   int ceiling_over_streak_ = 0;
 };

@@ -39,9 +39,9 @@ std::vector<Mhz> PerformanceShares::InitialDistribution(const std::vector<Manage
 
 std::vector<Mhz> PerformanceShares::Redistribute(const std::vector<ManagedApp>& apps,
                                                  const TelemetrySample& sample, Watts limit_w) {
-  const Watts power_delta = limit_w - sample.pkg_w;
+  const Watts power_delta{limit_w - sample.pkg_w};
 
-  if (std::abs(power_delta) > kPowerToleranceW) {
+  if (Abs(power_delta) > kPowerToleranceW) {
     // PerformanceDelta = alpha * MaxPerformance * NumAvailableCores; the
     // redistribution re-solves the proportional split over the adjusted
     // total (min-funding revocation at the performance range ends).
@@ -66,7 +66,7 @@ std::vector<Mhz> PerformanceShares::Redistribute(const std::vector<ManagedApp>& 
   // multiplicative update rings.
   for (size_t i = 0; i < apps.size(); i++) {
     const ManagedApp& app = apps[i];
-    if (app.baseline_ips <= 0.0) {
+    if (app.baseline_ips <= Ips{0.0}) {
       continue;
     }
     const auto& ct = sample.cores[static_cast<size_t>(app.cpu)];

@@ -26,11 +26,11 @@ std::vector<Mhz> PowerShares::InitialDistribution(const std::vector<ManagedApp>&
   for (const ManagedApp& app : apps) {
     req.push_back(ShareRequest{
         .shares = app.shares,
-        .minimum = platform_.core_min_w,
-        .maximum = platform_.core_max_w,
+        .minimum = AsResourceUnits(platform_.core_min_w),
+        .maximum = AsResourceUnits(platform_.core_max_w),
     });
   }
-  power_targets_ = DistributeProportional(core_budget, req);
+  AssignTargets(DistributeProportional(AsResourceUnits(core_budget), req));
 
   freq_targets_.clear();
   freq_targets_.reserve(apps.size());
@@ -42,24 +42,24 @@ std::vector<Mhz> PowerShares::InitialDistribution(const std::vector<ManagedApp>&
 
 std::vector<Mhz> PowerShares::Redistribute(const std::vector<ManagedApp>& apps,
                                            const TelemetrySample& sample, Watts limit_w) {
-  const Watts power_delta = limit_w - sample.pkg_w;
-  if (std::abs(power_delta) > kPowerToleranceW) {
+  const Watts power_delta{limit_w - sample.pkg_w};
+  if (Abs(power_delta) > kPowerToleranceW) {
     // Re-solve the proportional split over the adjusted core power budget
     // (min-funding revocation at the per-core power range ends).
-    double total = power_delta;
+    ResourceUnits total = AsResourceUnits(power_delta);
     for (Watts w : power_targets_) {
-      total += w;
+      total += AsResourceUnits(w);
     }
     std::vector<ShareRequest> req;
     req.reserve(apps.size());
     for (const ManagedApp& app : apps) {
       req.push_back(ShareRequest{
           .shares = app.shares,
-          .minimum = platform_.core_min_w,
-          .maximum = platform_.core_max_w,
+          .minimum = AsResourceUnits(platform_.core_min_w),
+          .maximum = AsResourceUnits(platform_.core_max_w),
       });
     }
-    power_targets_ = DistributeProportional(total, req);
+    AssignTargets(DistributeProportional(total, req));
   }
 
   // Translation with feedback: step every core's frequency toward its
@@ -71,8 +71,8 @@ std::vector<Mhz> PowerShares::Redistribute(const std::vector<ManagedApp>& apps,
       PAPD_LOG_WARN("power shares require per-core power telemetry; cpu %d lacks it", app.cpu);
       continue;
     }
-    const Watts error = power_targets_[i] - *ct.core_w;
-    freq_targets_[i] = std::clamp(freq_targets_[i] + kGainMhzPerWatt * error,
+    const Watts error{power_targets_[i] - *ct.core_w};
+    freq_targets_[i] = std::clamp(freq_targets_[i] + MhzPerWattGain(kGainMhzPerWatt, error),
                                   platform_.min_mhz, AppMaxMhz(app, platform_));
   }
   return freq_targets_;

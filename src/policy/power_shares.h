@@ -10,6 +10,7 @@
 #ifndef SRC_POLICY_POWER_SHARES_H_
 #define SRC_POLICY_POWER_SHARES_H_
 
+#include "src/policy/min_funding.h"
 #include "src/policy/share_policy.h"
 
 namespace papd {
@@ -36,6 +37,15 @@ class PowerShares : public ShareResource {
 
  private:
   Mhz LinearPowerToFrequency(Watts w) const;
+
+  // Adopts a min-funding split (dimensionless resource units) as the
+  // per-core power targets.
+  void AssignTargets(const std::vector<ResourceUnits>& split) {
+    power_targets_.clear();
+    for (ResourceUnits u : split) {
+      power_targets_.push_back(Watts{u});
+    }
+  }
 
   PolicyPlatform platform_;
   std::vector<Watts> power_targets_;

@@ -36,7 +36,7 @@ bool PriorityPolicy::AnyRunningAbove(const std::vector<ManagedApp>& apps, bool h
                                      Mhz threshold) const {
   for (size_t i = 0; i < apps.size(); i++) {
     if (apps[i].high_priority == high_priority && targets_[i] != kStopped &&
-        targets_[i] > threshold + 1e-9) {
+        targets_[i] > threshold + Mhz{1e-9}) {
       return true;
     }
   }
@@ -47,7 +47,7 @@ bool PriorityPolicy::AnyRunningBelow(const std::vector<ManagedApp>& apps, bool h
                                      Mhz threshold) const {
   for (size_t i = 0; i < apps.size(); i++) {
     if (apps[i].high_priority == high_priority && targets_[i] != kStopped &&
-        targets_[i] < threshold - 1e-9) {
+        targets_[i] < threshold - Mhz{1e-9}) {
       return true;
     }
   }
@@ -58,7 +58,7 @@ bool PriorityPolicy::AnyBelowCeiling(const std::vector<ManagedApp>& apps,
                                      bool high_priority) const {
   for (size_t i = 0; i < apps.size(); i++) {
     if (apps[i].high_priority == high_priority && targets_[i] != kStopped &&
-        targets_[i] < AppMaxMhz(apps[i], platform_) - 1e-9) {
+        targets_[i] < AppMaxMhz(apps[i], platform_) - Mhz{1e-9}) {
       return true;
     }
   }
@@ -68,32 +68,33 @@ bool PriorityPolicy::AnyBelowCeiling(const std::vector<ManagedApp>& apps,
 void PriorityPolicy::ApplyDeltaToClass(const std::vector<ManagedApp>& apps, bool high_priority,
                                        Mhz freq_delta) {
   std::vector<size_t> members;
-  std::vector<double> current;
+  std::vector<ResourceUnits> current;
   std::vector<ShareRequest> req;
   for (size_t i = 0; i < apps.size(); i++) {
     if (apps[i].high_priority != high_priority || targets_[i] == kStopped) {
       continue;
     }
     members.push_back(i);
-    current.push_back(targets_[i]);
+    current.push_back(AsResourceUnits(targets_[i]));
     req.push_back(ShareRequest{
         .shares = 1.0,  // Equal P-states within a class.
-        .minimum = platform_.min_mhz,
-        .maximum = AppMaxMhz(apps[i], platform_),
+        .minimum = AsResourceUnits(platform_.min_mhz),
+        .maximum = AsResourceUnits(AppMaxMhz(apps[i], platform_)),
     });
   }
   if (members.empty()) {
     return;
   }
-  const std::vector<double> updated = DistributeDelta(freq_delta, current, req);
+  const std::vector<ResourceUnits> updated =
+      DistributeDelta(AsResourceUnits(freq_delta), current, req);
   for (size_t m = 0; m < members.size(); m++) {
-    targets_[members[m]] = updated[m];
+    targets_[members[m]] = Mhz{updated[m]};
   }
 }
 
 std::vector<Mhz> PriorityPolicy::Redistribute(const std::vector<ManagedApp>& apps,
                                               const TelemetrySample& sample, Watts limit_w) {
-  const Watts power_delta = limit_w - sample.pkg_w;
+  const Watts power_delta{limit_w - sample.pkg_w};
   const double alpha = AlphaOf(power_delta, platform_.max_power_w);
 
   if (power_delta < -kToleranceW) {
@@ -106,7 +107,7 @@ std::vector<Mhz> PriorityPolicy::Redistribute(const std::vector<ManagedApp>& app
           lp_running++;
         }
       }
-      const Mhz delta = alpha * platform_.max_mhz * lp_running;  // Negative.
+      const Mhz delta{alpha * platform_.max_mhz * lp_running};  // Negative.
       ApplyDeltaToClass(apps, /*high_priority=*/false, delta);
       return targets_;
     }
@@ -128,7 +129,7 @@ std::vector<Mhz> PriorityPolicy::Redistribute(const std::vector<ManagedApp>& app
       }
     }
     if (hp_running > 0) {
-      const Mhz delta = alpha * platform_.max_mhz * hp_running;  // Negative.
+      const Mhz delta{alpha * platform_.max_mhz * hp_running};  // Negative.
       ApplyDeltaToClass(apps, /*high_priority=*/true, delta);
     }
     return targets_;
@@ -143,7 +144,7 @@ std::vector<Mhz> PriorityPolicy::Redistribute(const std::vector<ManagedApp>& app
           hp_running++;
         }
       }
-      const Mhz delta = alpha * platform_.max_mhz * hp_running;
+      const Mhz delta{alpha * platform_.max_mhz * hp_running};
       ApplyDeltaToClass(apps, /*high_priority=*/true, delta);
       return targets_;
     }
@@ -166,7 +167,7 @@ std::vector<Mhz> PriorityPolicy::Redistribute(const std::vector<ManagedApp>& app
           lp_running++;
         }
       }
-      const Mhz delta = alpha * platform_.max_mhz * lp_running;
+      const Mhz delta{alpha * platform_.max_mhz * lp_running};
       ApplyDeltaToClass(apps, /*high_priority=*/false, delta);
     }
     return targets_;

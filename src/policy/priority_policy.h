@@ -35,7 +35,7 @@ class PriorityPolicy {
   };
 
   // Target value meaning "app not running; core offlined".
-  static constexpr Mhz kStopped = -1.0;
+  static constexpr Mhz kStopped{-1.0};
 
   PriorityPolicy(PolicyPlatform platform, Options options)
       : platform_(platform), options_(options) {}
@@ -74,9 +74,9 @@ class PriorityPolicy {
   // Hysteresis thresholds: starting an LP app costs roughly one
   // minimum-P-state core (~1.5 W), so demand slightly more headroom than
   // that before starting, and a real deficit before stopping.
-  static constexpr Watts kStartHeadroomW = 1.6;
-  static constexpr Watts kStopDeficitW = 1.5;
-  static constexpr Watts kToleranceW = 0.75;
+  static constexpr Watts kStartHeadroomW{1.6};
+  static constexpr Watts kStopDeficitW{1.5};
+  static constexpr Watts kToleranceW{0.75};
 };
 
 }  // namespace papd

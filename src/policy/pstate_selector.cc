@@ -23,7 +23,7 @@ PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_m
             [&targets](size_t a, size_t b) { return targets[a] < targets[b]; });
   std::vector<double> x(n);
   for (size_t i = 0; i < n; i++) {
-    x[i] = targets[order[i]];
+    x[i] = AsResourceUnits(targets[order[i]]);
   }
 
   // Prefix sums for O(1) segment cost: SSE of x[i..j] around its mean.
@@ -92,7 +92,7 @@ PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_m
   for (size_t s = 0; s < segments.size(); s++) {
     const auto [i, jj] = segments[s];
     const double mean = (ps[jj + 1] - ps[i]) / static_cast<double>(jj - i + 1);
-    levels.push_back(QuantizeNearestToGrid(mean, step_mhz));
+    levels.push_back(QuantizeNearestToGrid(Mhz{mean}, step_mhz));
   }
   // Merge duplicate grid-rounded levels.
   std::vector<Mhz> unique_levels;
@@ -109,7 +109,7 @@ PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_m
   std::vector<Mhz> sorted_levels = unique_levels;
   std::sort(sorted_levels.begin(), sorted_levels.end(), std::greater<>());
   auto remap = [&](int old_idx) {
-    const Mhz v = unique_levels[static_cast<size_t>(old_idx)];
+    const Mhz v{unique_levels[static_cast<size_t>(old_idx)]};
     return static_cast<int>(std::find(sorted_levels.begin(), sorted_levels.end(), v) -
                             sorted_levels.begin());
   };
@@ -120,7 +120,7 @@ PStateSelection SelectPStates(const std::vector<Mhz>& targets, int k, Mhz step_m
   for (size_t s = 0; s < segments.size(); s++) {
     const auto [i, jj] = segments[s];
     const int level_idx = remap(seg_level[s]);
-    const Mhz level = sorted_levels[static_cast<size_t>(level_idx)];
+    const double level = AsResourceUnits(sorted_levels[static_cast<size_t>(level_idx)]);
     for (size_t t = i; t <= jj; t++) {
       out.assignment[order[t]] = level_idx;
       sse += (x[t] - level) * (x[t] - level);
@@ -137,9 +137,9 @@ PStateSelection SelectPStatesNaive(const std::vector<Mhz>& targets, int k, Mhz s
     return out;
   }
   const auto [lo_it, hi_it] = std::minmax_element(targets.begin(), targets.end());
-  const Mhz lo = *lo_it;
-  const Mhz hi = *hi_it;
-  const double band = std::max((hi - lo) / k, 1e-9);
+  const Mhz lo{*lo_it};
+  const Mhz hi{*hi_it};
+  const Mhz band = std::max((hi - lo) / k, Mhz{1e-9});
 
   std::vector<Mhz> band_level(static_cast<size_t>(k));
   for (int b = 0; b < k; b++) {
@@ -156,10 +156,11 @@ PStateSelection SelectPStatesNaive(const std::vector<Mhz>& targets, int k, Mhz s
   for (size_t i = 0; i < n; i++) {
     int b = static_cast<int>((targets[i] - lo) / band);
     b = std::clamp(b, 0, k - 1);
-    const Mhz level = band_level[static_cast<size_t>(b)];
+    const Mhz level{band_level[static_cast<size_t>(b)]};
     const auto it = std::find(levels.begin(), levels.end(), level);
     out.assignment[i] = static_cast<int>(it - levels.begin());
-    out.sse += (targets[i] - level) * (targets[i] - level);
+    const double dev = AsResourceUnits(targets[i] - level);
+    out.sse += dev * dev;
   }
   return out;
 }

@@ -52,7 +52,7 @@ inline double AlphaOf(Watts power_delta_w, Watts max_power_w) {
 // Control deadband: redistribution is skipped while package power is within
 // this distance of the limit, which keeps the daemon from dithering between
 // adjacent P-states every period.
-inline constexpr Watts kPowerToleranceW = 0.75;
+inline constexpr Watts kPowerToleranceW{0.75};
 
 }  // namespace papd
 

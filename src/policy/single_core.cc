@@ -130,7 +130,7 @@ SingleCoreSharing::Decision SingleCoreSharing::Initial(Watts core_limit_w) {
 
 SingleCoreSharing::Decision SingleCoreSharing::Step(Watts core_limit_w,
                                                     Watts measured_core_w) {
-  freq_mhz_ = std::clamp(freq_mhz_ + kGainMhzPerWatt * (core_limit_w - measured_core_w),
+  freq_mhz_ = std::clamp(freq_mhz_ + MhzPerWattGain(kGainMhzPerWatt, core_limit_w - measured_core_w),
                          platform_.min_mhz, platform_.max_mhz);
   return Recompute();
 }

@@ -47,7 +47,7 @@ class SingleCoreSharing {
   };
 
   struct Decision {
-    Mhz freq_mhz = 0.0;
+    Mhz freq_mhz{0.0};
     // Residency fraction per member, summing to <= 1.  Zero = evicted.
     std::vector<double> residencies;
   };

@@ -27,7 +27,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.65,
        .avx_fraction = 0.60,
        .phase_amplitude = 0.02,
-       .phase_period_s = 25.0,
+       .phase_period_s = Seconds{25.0},
        .jitter = 0.004,
        .total_ginstr = 250.0});
   add({.name = "cactusBSSN",
@@ -36,7 +36,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.40,
        .avx_fraction = 0.10,
        .phase_amplitude = 0.02,
-       .phase_period_s = 40.0,
+       .phase_period_s = Seconds{40.0},
        .jitter = 0.004,
        .total_ginstr = 300.0});
   add({.name = "povray",
@@ -45,7 +45,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.15,
        .avx_fraction = 0.05,
        .phase_amplitude = 0.01,
-       .phase_period_s = 30.0,
+       .phase_period_s = Seconds{30.0},
        .jitter = 0.003,
        .total_ginstr = 320.0});
   add({.name = "imagick",
@@ -54,7 +54,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.70,
        .avx_fraction = 0.70,
        .phase_amplitude = 0.02,
-       .phase_period_s = 20.0,
+       .phase_period_s = Seconds{20.0},
        .jitter = 0.004,
        .total_ginstr = 350.0});
   add({.name = "cam4",
@@ -63,7 +63,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.60,
        .avx_fraction = 0.60,
        .phase_amplitude = 0.04,
-       .phase_period_s = 35.0,
+       .phase_period_s = Seconds{35.0},
        .jitter = 0.005,
        .total_ginstr = 300.0});
   add({.name = "gcc",
@@ -72,7 +72,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.00,
        .avx_fraction = 0.00,
        .phase_amplitude = 0.10,
-       .phase_period_s = 12.0,
+       .phase_period_s = Seconds{12.0},
        .jitter = 0.010,
        .total_ginstr = 280.0});
   add({.name = "exchange2",
@@ -81,7 +81,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 0.95,
        .avx_fraction = 0.00,
        .phase_amplitude = 0.01,
-       .phase_period_s = 50.0,
+       .phase_period_s = Seconds{50.0},
        .jitter = 0.002,
        .total_ginstr = 380.0});
   add({.name = "deepsjeng",
@@ -90,7 +90,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.05,
        .avx_fraction = 0.00,
        .phase_amplitude = 0.02,
-       .phase_period_s = 30.0,
+       .phase_period_s = Seconds{30.0},
        .jitter = 0.004,
        .total_ginstr = 320.0});
   add({.name = "leela",
@@ -99,7 +99,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 0.90,
        .avx_fraction = 0.00,
        .phase_amplitude = 0.015,
-       .phase_period_s = 45.0,
+       .phase_period_s = Seconds{45.0},
        .jitter = 0.003,
        .total_ginstr = 340.0});
   add({.name = "perlbench",
@@ -108,7 +108,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 1.05,
        .avx_fraction = 0.00,
        .phase_amplitude = 0.08,
-       .phase_period_s = 25.0,
+       .phase_period_s = Seconds{25.0},
        .jitter = 0.008,
        .total_ginstr = 300.0});
   add({.name = "omnetpp",
@@ -117,7 +117,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 0.95,
        .avx_fraction = 0.00,
        .phase_amplitude = 0.05,
-       .phase_period_s = 15.0,
+       .phase_period_s = Seconds{15.0},
        .jitter = 0.006,
        .total_ginstr = 220.0});
 
@@ -131,7 +131,7 @@ std::map<std::string, WorkloadProfile> BuildRegistry() {
        .activity = 3.20,
        .avx_fraction = 0.20,
        .phase_amplitude = 0.00,
-       .phase_period_s = 1.0,
+       .phase_period_s = Seconds{1.0},
        .jitter = 0.000,
        .total_ginstr = 1.0e6});  // Effectively infinite.
 

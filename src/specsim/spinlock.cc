@@ -48,16 +48,16 @@ void SpinLockWork::RunBatch(Seconds dt, const Mhz* freqs_mhz,
   // Event-driven: repeatedly advance to the next phase completion.  A
   // thread in kLocal or kCritical finishes after remaining/f seconds; a
   // waiting thread spins until the lock reaches it.
-  Seconds remaining_s = dt;
-  for (int guard = 0; guard < 100000 && remaining_s > 1e-12; guard++) {
+  Seconds remaining_s{dt};
+  for (int guard = 0; guard < 100000 && remaining_s > Seconds{1e-12}; guard++) {
     // Next completion among running threads.
-    Seconds next = remaining_s;
+    Seconds next{remaining_s};
     for (size_t i = 0; i < n; i++) {
       const Thread& t = threads_[i];
-      if (t.phase == Phase::kWaiting || freqs_mhz[i] <= 0.0) {
+      if (t.phase == Phase::kWaiting || freqs_mhz[i] <= Mhz{0.0}) {
         continue;
       }
-      next = std::min(next, t.remaining_cycles / (freqs_mhz[i] * kHzPerMhz));
+      next = std::min(next, SecondsForCycles(t.remaining_cycles, freqs_mhz[i]));
     }
 
     // Advance all threads by `next` seconds.

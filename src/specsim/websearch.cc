@@ -38,13 +38,13 @@ void WebSearch::RunBatch(Seconds dt, const Mhz* freqs_mhz,
                          WorkSlice* out_slices, size_t n) {
   assert(n == cores_.size());
   (void)n;
-  const Seconds end = now_ + dt;
+  const Seconds end{now_ + dt};
 
   // Admit every request whose think timer expires in this slice.  Arrival
   // times are preserved exactly; service begins at tick granularity, which
   // is fine for dt (1 ms) << mean service time (~15 ms).
   while (!think_expiry_.empty() && think_expiry_.top() <= end) {
-    const Seconds t = think_expiry_.top();
+    const Seconds t{think_expiry_.top()};
     think_expiry_.pop();
     Dispatch(t);
   }
@@ -65,8 +65,8 @@ void WebSearch::RunBatch(Seconds dt, const Mhz* freqs_mhz,
       backlog_cycles_[i] -= consumed;
       if (req.remaining_cycles <= 0.0) {
         // Completion at the exact fractional point of the slice.
-        const Seconds finish = now_ + (budget - available) / (freqs_mhz[i] * kHzPerMhz);
-        const Seconds latency = (finish - req.submit_time) + params_.fixed_latency_s;
+        const Seconds finish{now_ + SecondsForCycles(budget - available, freqs_mhz[i])};
+        const Seconds latency{(finish - req.submit_time) + params_.fixed_latency_s};
         latencies_.push_back(latency);  // PAPD_HOT_ALLOW: amortized stats log.
         completed_++;
         // The user sees the response, then thinks before the next request.

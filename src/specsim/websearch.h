@@ -36,7 +36,7 @@ class WebSearch : public MultiCoreWork {
  public:
   struct Params {
     int users = 300;
-    Seconds think_mean_s = 2.0;
+    Seconds think_mean_s{2.0};
     // Mean service demand per request, in millions of cycles.  Calibrated
     // so the 300-user load runs the 9 worker cores at ~70-75% utilization
     // at full frequency (the paper's websearch draws 44 W on 9 cores at
@@ -44,7 +44,7 @@ class WebSearch : public MultiCoreWork {
     // latency collapse once a power cap throttles the workers.
     double service_mcycles_mean = 120.0;
     // Frequency-independent part of the response time.
-    Seconds fixed_latency_s = 0.003;
+    Seconds fixed_latency_s{0.003};
     // Instructions retired per cycle while serving.
     double ipc = 1.0;
     // Dynamic-power activity factor while serving.
@@ -84,7 +84,7 @@ class WebSearch : public MultiCoreWork {
   std::vector<int> cores_;
   Params params_;
   Rng rng_;
-  Seconds now_ = 0.0;
+  Seconds now_{0.0};
 
   // Min-heap of times at which thinking users submit their next request.
   std::priority_queue<Seconds, std::vector<Seconds>, std::greater<>> think_expiry_;

@@ -6,8 +6,8 @@
 namespace papd {
 
 Ips WorkloadProfile::NominalIps(Mhz freq_mhz) const {
-  const Seconds core_s = cpi / (freq_mhz * kHzPerMhz);
-  const Seconds mem_s = mem_ns_per_instr / kNsPerSecond;
+  const Seconds core_s{SecondsForCycles(cpi, freq_mhz)};
+  const Seconds mem_s{mem_ns_per_instr / kNsPerSecond};
   return 1.0 / (core_s + mem_s);
 }
 
@@ -42,12 +42,14 @@ WorkSlice Process::RunOne(Seconds dt, Mhz freq_mhz) {
   // Phase modulation: CPI swings sinusoidally around its mean, so IPS (and
   // thus measured "performance") drifts even at fixed frequency.
   double phase_mult = 1.0;
-  if (profile_.phase_amplitude > 0.0 && profile_.phase_period_s > 0.0) {
+  if (profile_.phase_amplitude > 0.0 && profile_.phase_period_s > Seconds{0.0}) {
     if (dt != phase_dt_) {
       // (Re)seed the oscillator at the current wall time; dt is the fixed
       // simulator tick in practice so this runs once per process.
       phase_dt_ = dt;
-      const double w = 2.0 * M_PI / profile_.phase_period_s;
+      // Angular frequency in rad/s; Ips doubles as the generic 1/s rate, and
+      // rate * Seconds below yields the dimensionless phase angle.
+      const Ips w = 2.0 * M_PI / profile_.phase_period_s;
       rot_sin_ = std::sin(w * dt);
       rot_cos_ = std::cos(w * dt);
       phase_sin_ = std::sin(w * wall_time_);
@@ -68,10 +70,10 @@ WorkSlice Process::RunOne(Seconds dt, Mhz freq_mhz) {
     ips_cache_mhz_ = freq_mhz;
     ips_cache_ips_ = profile_.NominalIps(freq_mhz);
   }
-  const Ips ips = ips_cache_ips_ / phase_mult * jitter_mult;
+  const Ips ips{ips_cache_ips_ / phase_mult * jitter_mult};
   double instr = ips * dt;
   double busy = 1.0;
-  Seconds used = dt;
+  Seconds used{dt};
 
   if (run_to_completion_) {
     const double remaining = profile_.total_ginstr * 1e9 - instructions_retired_;

@@ -44,7 +44,7 @@ struct WorkloadProfile {
   double avx_fraction = 0.0;
   // Phase behaviour.
   double phase_amplitude = 0.0;  // Fractional CPI modulation (0..~0.2).
-  Seconds phase_period_s = 30.0;
+  Seconds phase_period_s{30.0};
   double jitter = 0.0;  // Per-slice multiplicative IPS noise (stddev).
   // Total instruction count of one complete run (in billions), used when a
   // benchmark is run to completion (DVFS sweep experiments).
@@ -93,12 +93,12 @@ class Process : public CoreWork {
   Rng rng_;
   // NominalIps memo: frequency only changes when a policy daemon acts
   // (every ~1000 ticks), so cache the last translation.
-  Mhz ips_cache_mhz_ = -1.0;
-  Ips ips_cache_ips_ = 0.0;
+  Mhz ips_cache_mhz_{-1.0};
+  Ips ips_cache_ips_{0.0};
   // Phase oscillator: sin(w * wall_time_) advanced by a fixed per-tick
   // rotation instead of a libm call per tick.  Multiplicative drift is
   // ~1 ulp per step, i.e. ~1e-11 relative over a 140 s run.
-  Seconds phase_dt_ = -1.0;
+  Seconds phase_dt_{-1.0};
   double phase_sin_ = 0.0;
   double phase_cos_ = 1.0;
   double rot_sin_ = 0.0;
@@ -106,9 +106,9 @@ class Process : public CoreWork {
   bool run_to_completion_ = false;
   bool finished_ = false;
   double instructions_retired_ = 0.0;
-  Seconds cpu_time_ = 0.0;   // Total busy time.
-  Seconds wall_time_ = 0.0;  // Total time including idle-after-finish.
-  Seconds completion_time_ = 0.0;
+  Seconds cpu_time_{0.0};   // Total busy time.
+  Seconds wall_time_{0.0};  // Total time including idle-after-finish.
+  Seconds completion_time_{0.0};
 };
 
 }  // namespace papd

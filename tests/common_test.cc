@@ -15,8 +15,8 @@ namespace papd {
 namespace {
 
 TEST(Units, Conversions) {
-  EXPECT_DOUBLE_EQ(GhzToMhz(2.2), 2200.0);
-  EXPECT_DOUBLE_EQ(MhzToGhz(800.0), 0.8);
+  EXPECT_DOUBLE_EQ(GhzToMhz(2.2).value(), 2200.0);
+  EXPECT_DOUBLE_EQ(MhzToGhz(Mhz{800.0}), 0.8);
 }
 
 TEST(Rng, DeterministicForSameSeed) {

@@ -1,0 +1,44 @@
+// Positive twin for thread_requires_violation.cc: disciplined locking must
+// compile cleanly under Clang -Wthread-safety -Werror=thread-safety (and
+// everywhere else).  Exercises PAPD_REQUIRES, PAPD_GUARDED_BY, the scoped
+// MutexLock, and a CondVar wait loop — the idioms used across the tree.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int n) PAPD_REQUIRES(mu_) { total_ += n; }
+
+  void AddLocked(int n) {
+    papd::MutexLock lock(mu_);
+    Add(n);
+    ready_ = true;
+    cv_.NotifyAll();
+  }
+
+  int WaitForTotal() {
+    papd::MutexLock lock(mu_);
+    while (!ready_) {
+      cv_.Wait(mu_);
+    }
+    return total_;
+  }
+
+  papd::Mutex mu_;
+
+ private:
+  papd::CondVar cv_;
+  bool ready_ PAPD_GUARDED_BY(mu_) = false;
+  int total_ PAPD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.AddLocked(2);
+  return c.WaitForTotal() == 2 ? 0 : 1;
+}

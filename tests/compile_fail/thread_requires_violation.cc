@@ -1,0 +1,34 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror=thread-safety:
+// calling a PAPD_REQUIRES-annotated method, and touching a PAPD_GUARDED_BY
+// member, without holding the lock.
+//
+// Registered as a WILL_FAIL compile test only when the configured compiler
+// is Clang; GCC expands the annotations to nothing, so there this file
+// (correctly) compiles and the harness skips it.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int n) PAPD_REQUIRES(mu_) { total_ += n; }
+  int TotalLocked() {
+    papd::MutexLock lock(mu_);
+    return total_;
+  }
+
+  papd::Mutex mu_;
+
+ private:
+  int total_ PAPD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);  // -Wthread-safety: calling Add() requires holding c.mu_
+  return c.TotalLocked();
+}

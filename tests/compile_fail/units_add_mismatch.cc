@@ -1,0 +1,16 @@
+// MUST NOT COMPILE: adding quantities of different dimensions.
+//
+// The strong unit types in src/common/units.h only define operator+ for
+// same-dimension operands; Watts + Mhz has no meaning and must be rejected
+// at compile time.  The compile_fail ctest harness runs this file with
+// -fsyntax-only and asserts the compiler errors out (WILL_FAIL).
+
+#include "src/common/units.h"
+
+int main() {
+  papd::Watts w{45.0};
+  papd::Mhz f{2200.0};
+  auto nonsense = w + f;  // dimension mismatch: no such operator
+  (void)nonsense;
+  return 0;
+}

@@ -1,0 +1,17 @@
+// MUST NOT COMPILE: implicit conversion between raw double and a unit type.
+//
+// Quantity's constructor is explicit and there is no implicit conversion
+// back to double, so a bare numeric literal cannot silently become a Watts
+// (and a Watts cannot silently feed a double API).  This is the whole point
+// of the migration off the old `using Watts = double;` aliases.
+
+#include "src/common/units.h"
+
+double Sink(double raw) { return raw * 2.0; }
+
+int main() {
+  papd::Watts limit = 45.0;  // implicit double -> Watts: must be rejected
+  double leaked = Sink(limit);  // implicit Watts -> double: must be rejected
+  (void)leaked;
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Positive twin for the units compile-fail cases: the sanctioned algebra
+// must keep compiling.  If this file breaks, the negative tests prove
+// nothing (a harness that cannot compile anything "fails" everything).
+
+#include "src/common/units.h"
+
+using papd::Ips;
+using papd::Joules;
+using papd::Mhz;
+using papd::Seconds;
+using papd::Volts;
+using papd::Watts;
+
+int main() {
+  // Same-dimension arithmetic and comparisons.
+  const Watts total = Watts{30.0} + Watts{15.0};
+  const Watts head = total - Watts{5.0};
+  const bool over = head > Watts{38.0};
+
+  // Cross-dimension physics: energy/time, power*time, V^2, cycle counts.
+  const Joules e = Watts{10.0} * Seconds{2.0};
+  const Watts p = e / Seconds{2.0};
+  const double v2 = Volts{1.1} * Volts{1.1};
+  const double megacycles = Mhz{2200.0} * Seconds{0.5};
+  const Ips rate = papd::IpsAtMhz(Mhz{3000.0}, /*ipc=*/1.5);
+  const double instructions = rate * Seconds{1.0};
+
+  // Dimensionless ratios and scalar scaling.
+  const double ratio = head / total;
+  const Mhz scaled = Mhz{2000.0} * 1.1;
+
+  // Explicit escape hatch for printf/encode boundaries.
+  const double raw = p.value();
+
+  return (over && ratio > 0.0 && v2 > 0.0 && megacycles > 0.0 &&
+          instructions > 0.0 && scaled > Mhz{0.0} && raw > 0.0)
+             ? 0
+             : 1;
+}

@@ -27,7 +27,7 @@ struct Rig {
                               .cpu = cpu,
                               .shares = shares,
                               .high_priority = hp,
-                              .baseline_ips = GetProfile(profile).NominalIps(3000)});
+                              .baseline_ips = GetProfile(profile).NominalIps(Mhz{3000})});
   }
 
   // Runs the daemon closed-loop for `seconds`.
@@ -48,10 +48,10 @@ TEST(DaemonSkylake, StartProgramsInitialDistribution) {
   rig.AddApp("leela", 100);
   rig.AddApp("cactusBSSN", 50);
   PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
-                                          .power_limit_w = 50});
+                                          .power_limit_w = Watts{50}});
   daemon.Start();
-  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 3000.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1500.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz().value(), 3000.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz().value(), 1500.0);
 }
 
 TEST(DaemonSkylake, ConvergesToPowerLimit) {
@@ -60,29 +60,29 @@ TEST(DaemonSkylake, ConvergesToPowerLimit) {
     rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
   }
   PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
-                                          .power_limit_w = 45});
+                                          .power_limit_w = Watts{45}});
   daemon.Start();
-  rig.Run(&daemon, 60.0);
+  rig.Run(&daemon, Seconds{60.0});
   // Average package power over the last samples near the limit.
-  double avg = 0.0;
+  Watts avg{0.0};
   int n = 0;
   for (size_t i = daemon.history().size() - 10; i < daemon.history().size(); i++) {
     avg += daemon.history()[i].sample.pkg_w;
     n++;
   }
   avg /= n;
-  EXPECT_NEAR(avg, 45.0, 2.0);
+  EXPECT_NEAR(avg.value(), 45.0, 2.0);
 }
 
 TEST(DaemonSkylake, RaplOnlyProgramsLimitRegister) {
   Rig rig(SkylakeXeon4114());
   rig.AddApp("gcc", 1.0);
-  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kRaplOnly, .power_limit_w = 40});
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kRaplOnly, .power_limit_w = Watts{40}});
   daemon.Start();
   EXPECT_TRUE(rig.pkg.rapl().enabled());
-  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 40.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w().value(), 40.0);
   // Cores request maximum; RAPL does the throttling.
-  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 3000.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz().value(), 3000.0);
 }
 
 TEST(DaemonSkylake, StaticPinsFrequencies) {
@@ -90,10 +90,10 @@ TEST(DaemonSkylake, StaticPinsFrequencies) {
   rig.AddApp("gcc", 1.0);
   rig.AddApp("gcc", 1.0);
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kStatic, .static_mhz = 1300});
+                     {.kind = PolicyKind::kStatic, .static_mhz = Mhz{1300}});
   daemon.Start();
-  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 1300.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1300.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz().value(), 1300.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz().value(), 1300.0);
 }
 
 TEST(DaemonSkylake, PriorityStarvationOfflinesCores) {
@@ -104,13 +104,13 @@ TEST(DaemonSkylake, PriorityStarvationOfflinesCores) {
   for (int i = 0; i < 5; i++) {
     rig.AddApp("cactusBSSN", 1.0, /*hp=*/false);
   }
-  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPriority, .power_limit_w = 40});
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPriority, .power_limit_w = Watts{40}});
   daemon.Start();
   // LP cores start offline (starvation mode).
   for (int i = 5; i < 10; i++) {
     EXPECT_FALSE(rig.msr.CoreOnline(i));
   }
-  rig.Run(&daemon, 30.0);
+  rig.Run(&daemon, Seconds{30.0});
   // 5 HD HP apps cannot leave room for all LP apps at 40 W: at least some
   // LP cores remain offline.
   int offline = 0;
@@ -124,12 +124,12 @@ TEST(DaemonSkylake, HistoryRecordsSamplesAndTargets) {
   Rig rig(SkylakeXeon4114());
   rig.AddApp("gcc", 1.0);
   PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
-                                          .power_limit_w = 40});
+                                          .power_limit_w = Watts{40}});
   daemon.Start();
-  rig.Run(&daemon, 5.0);
+  rig.Run(&daemon, Seconds{5.0});
   ASSERT_EQ(daemon.history().size(), 5u);
   for (const auto& rec : daemon.history()) {
-    EXPECT_GT(rec.sample.pkg_w, 0.0);
+    EXPECT_GT(rec.sample.pkg_w, Watts{0.0});
     EXPECT_EQ(rec.targets.size(), 1u);
   }
 }
@@ -142,15 +142,15 @@ TEST(DaemonRyzen, ThreePstateInvariantHolds) {
     rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 10.0 + 12.0 * i);
   }
   PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kFrequencyShares,
-                                          .power_limit_w = 45});
+                                          .power_limit_w = Watts{45}});
   daemon.Start();
   EXPECT_LE(rig.pkg.DistinctRequestedFrequencies(), 3);
   Simulator sim(&rig.pkg);
-  sim.AddPeriodic(1.0, [&daemon, &rig](Seconds) {
+  sim.AddPeriodic(Seconds{1.0}, [&daemon, &rig](Seconds) {
     daemon.Step();
     ASSERT_LE(rig.pkg.DistinctRequestedFrequencies(), 3);
   });
-  sim.Run(40.0);
+  sim.Run(Seconds{40.0});
 }
 
 TEST(DaemonRyzen, PowerSharesConvergesToLimit) {
@@ -159,15 +159,15 @@ TEST(DaemonRyzen, PowerSharesConvergesToLimit) {
     rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
   }
   PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPowerShares,
-                                          .power_limit_w = 40});
+                                          .power_limit_w = Watts{40}});
   daemon.Start();
-  rig.Run(&daemon, 60.0);
-  double avg = 0.0;
+  rig.Run(&daemon, Seconds{60.0});
+  Watts avg{0.0};
   for (size_t i = daemon.history().size() - 10; i < daemon.history().size(); i++) {
     avg += daemon.history()[i].sample.pkg_w;
   }
   avg /= 10.0;
-  EXPECT_NEAR(avg, 40.0, 2.5);
+  EXPECT_NEAR(avg.value(), 40.0, 2.5);
 }
 
 TEST(DaemonRyzen, PowerSharesProportionalCorePower) {
@@ -175,14 +175,14 @@ TEST(DaemonRyzen, PowerSharesProportionalCorePower) {
   rig.AddApp("leela", 75.0);
   rig.AddApp("leela", 25.0);
   PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kPowerShares,
-                                          .power_limit_w = 22});
+                                          .power_limit_w = Watts{22}});
   daemon.Start();
-  rig.Run(&daemon, 90.0);
+  rig.Run(&daemon, Seconds{90.0});
   // Compare measured per-core power over the last sample.
   const auto& rec = daemon.history().back();
   ASSERT_TRUE(rec.sample.cores[0].core_w.has_value());
-  const double w0 = *rec.sample.cores[0].core_w;
-  const double w1 = *rec.sample.cores[1].core_w;
+  const Watts w0 = *rec.sample.cores[0].core_w;
+  const Watts w1 = *rec.sample.cores[1].core_w;
   // 3:1 power split, within the tolerance the frequency floor allows.
   EXPECT_GT(w0 / w1, 1.8);
 }
@@ -193,23 +193,23 @@ TEST(DaemonSkylake, SetPowerLimitTakesEffect) {
     rig.AddApp("cactusBSSN", 1.0);
   }
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 60});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{60}});
   daemon.Start();
-  rig.Run(&daemon, 30.0);
-  EXPECT_NEAR(daemon.history().back().sample.pkg_w, 60.0, 4.0);
-  daemon.SetPowerLimit(40.0);
-  rig.Run(&daemon, 30.0);
-  EXPECT_NEAR(daemon.history().back().sample.pkg_w, 40.0, 3.0);
+  rig.Run(&daemon, Seconds{30.0});
+  EXPECT_NEAR(daemon.history().back().sample.pkg_w.value(), 60.0, 4.0);
+  daemon.SetPowerLimit(Watts{40.0});
+  rig.Run(&daemon, Seconds{30.0});
+  EXPECT_NEAR(daemon.history().back().sample.pkg_w.value(), 40.0, 3.0);
 }
 
 TEST(DaemonSkylake, SetPowerLimitReprogramsRaplRegister) {
   Rig rig(SkylakeXeon4114());
   rig.AddApp("gcc", 1.0);
-  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kRaplOnly, .power_limit_w = 60});
+  PowerDaemon daemon(&rig.msr, rig.apps, {.kind = PolicyKind::kRaplOnly, .power_limit_w = Watts{60}});
   daemon.Start();
-  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 60.0);
-  daemon.SetPowerLimit(45.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 45.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w().value(), 60.0);
+  daemon.SetPowerLimit(Watts{45.0});
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w().value(), 45.0);
 }
 
 TEST(DaemonSkylake, FallbackUsesConfiguredFloor) {
@@ -218,18 +218,18 @@ TEST(DaemonSkylake, FallbackUsesConfiguredFloor) {
   rig.AddApp("leela", 1.0);
   DaemonConfig cfg;
   cfg.kind = PolicyKind::kFrequencyShares;
-  cfg.power_limit_w = 40.0;
-  cfg.degradation.floor_mhz = 1200.0;
+  cfg.power_limit_w = Watts{40.0};
+  cfg.degradation.floor_mhz = Mhz{1200.0};
   PowerDaemon daemon(&rig.msr, rig.apps, cfg);
   daemon.Start();
-  rig.Run(&daemon, 5.0);
+  rig.Run(&daemon, Seconds{5.0});
   FaultPlan storm;
   storm.stale_sample_p = 1.0;
   rig.msr.EnableFaults(storm);
-  rig.Run(&daemon, 5.0);
+  rig.Run(&daemon, Seconds{5.0});
   ASSERT_EQ(daemon.degradation_state(), DegradationState::kFallback);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 1200.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1200.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz().value(), 1200.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz().value(), 1200.0);
 }
 
 TEST(DaemonRyzen, DroppedWriteDetectedByReadBack) {
@@ -241,18 +241,18 @@ TEST(DaemonRyzen, DroppedWriteDetectedByReadBack) {
     rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
   }
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 40});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{40}});
   daemon.Start();
-  rig.Run(&daemon, 10.0);
+  rig.Run(&daemon, Seconds{10.0});
   FaultPlan drops;
   drops.write_fail_p = 1.0;
   rig.msr.EnableFaults(drops);
-  daemon.SetPowerLimit(30.0);
-  rig.Run(&daemon, 10.0);
+  daemon.SetPowerLimit(Watts{30.0});
+  rig.Run(&daemon, Seconds{10.0});
   EXPECT_GE(daemon.fault_stats().failed_programs, 2);
   EXPECT_GE(daemon.write_fail_streak(), 1);
   rig.msr.EnableFaults(FaultPlan{});
-  rig.Run(&daemon, 10.0);
+  rig.Run(&daemon, Seconds{10.0});
   EXPECT_EQ(daemon.write_fail_streak(), 0);
   EXPECT_EQ(daemon.degradation_state(), DegradationState::kNominal);
 }
@@ -279,23 +279,23 @@ TEST(DaemonCustomPolicy, CustomShareResourceDrivesTargets) {
   rig.AddApp("gcc", 1.0);
   rig.AddApp("leela", 1.0);
   DaemonConfig dcfg;
-  dcfg.power_limit_w = 50.0;
-  PowerDaemon daemon(&rig.msr, rig.apps, dcfg, std::make_unique<FixedPolicy>(1500.0));
+  dcfg.power_limit_w = Watts{50.0};
+  PowerDaemon daemon(&rig.msr, rig.apps, dcfg, std::make_unique<FixedPolicy>(Mhz{1500.0}));
   daemon.Start();
-  rig.Run(&daemon, 5.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 1500.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz(), 1500.0);
+  rig.Run(&daemon, Seconds{5.0});
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz().value(), 1500.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.core(1).requested_mhz().value(), 1500.0);
 }
 
 TEST(DaemonCustomPolicy, WorksOnRyzenThroughSelector) {
   Rig rig(Ryzen1700X());
   rig.AddApp("gcc", 1.0);
   DaemonConfig dcfg;
-  dcfg.power_limit_w = 40.0;
-  PowerDaemon daemon(&rig.msr, rig.apps, dcfg, std::make_unique<FixedPolicy>(2000.0));
+  dcfg.power_limit_w = Watts{40.0};
+  PowerDaemon daemon(&rig.msr, rig.apps, dcfg, std::make_unique<FixedPolicy>(Mhz{2000.0}));
   daemon.Start();
-  rig.Run(&daemon, 5.0);
-  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz(), 2000.0);
+  rig.Run(&daemon, Seconds{5.0});
+  EXPECT_DOUBLE_EQ(rig.pkg.core(0).requested_mhz().value(), 2000.0);
   EXPECT_LE(rig.pkg.DistinctRequestedFrequencies(), 3);
 }
 
@@ -310,9 +310,9 @@ TEST(DaemonConfig, PolicyKindNames) {
 
 TEST(MakePolicyPlatformTest, DerivesDatasheetFacts) {
   const PolicyPlatform p = MakePolicyPlatform(SkylakeXeon4114());
-  EXPECT_DOUBLE_EQ(p.min_mhz, 800.0);
-  EXPECT_DOUBLE_EQ(p.max_mhz, 3000.0);
-  EXPECT_DOUBLE_EQ(p.max_power_w, 85.0);
+  EXPECT_DOUBLE_EQ(p.min_mhz.value(), 800.0);
+  EXPECT_DOUBLE_EQ(p.max_mhz.value(), 3000.0);
+  EXPECT_DOUBLE_EQ(p.max_power_w.value(), 85.0);
   EXPECT_EQ(p.num_cores, 10);
   EXPECT_GT(p.core_max_w, p.core_min_w);
 }

@@ -36,7 +36,7 @@ struct Rig {
                               .cpu = cpu,
                               .shares = shares,
                               .high_priority = hp,
-                              .baseline_ips = GetProfile(profile).NominalIps(3000)});
+                              .baseline_ips = GetProfile(profile).NominalIps(Mhz{3000})});
   }
 
   void Run(PowerDaemon* daemon, Seconds seconds) {
@@ -77,12 +77,12 @@ TEST(FaultInjection, ScenarioReplayIsBitIdentical) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {{"cactusBSSN", 2.0}, {"leela", 1.0}, {"gcc", 1.0}, {"omnetpp", 1.0}};
   c.policy = PolicyKind::kFrequencyShares;
-  c.limit_w = 45.0;
-  c.warmup_s = 5.0;
-  c.measure_s = 25.0;
+  c.limit_w = Watts{45.0};
+  c.warmup_s = Seconds{5.0};
+  c.measure_s = Seconds{25.0};
   c.run.daemon.faults.seed = 99;
-  c.run.daemon.faults.start_s = 8.0;
-  c.run.daemon.faults.end_s = 24.0;
+  c.run.daemon.faults.start_s = Seconds{8.0};
+  c.run.daemon.faults.end_s = Seconds{24.0};
   c.run.daemon.faults.stale_sample_p = 0.3;
   c.run.daemon.faults.counter_reset_p = 0.1;
   c.run.daemon.faults.energy_wrap_p = 0.2;
@@ -90,8 +90,8 @@ TEST(FaultInjection, ScenarioReplayIsBitIdentical) {
 
   const ScenarioResult a = RunScenario(c);
   const ScenarioResult b = RunScenario(c);
-  EXPECT_DOUBLE_EQ(a.avg_pkg_w, b.avg_pkg_w);
-  EXPECT_DOUBLE_EQ(a.max_pkg_w, b.max_pkg_w);
+  EXPECT_DOUBLE_EQ(a.avg_pkg_w.value(), b.avg_pkg_w.value());
+  EXPECT_DOUBLE_EQ(a.max_pkg_w.value(), b.max_pkg_w.value());
   EXPECT_EQ(a.fault_counts.stale_samples, b.fault_counts.stale_samples);
   EXPECT_EQ(a.fault_counts.counter_resets, b.fault_counts.counter_resets);
   EXPECT_EQ(a.fault_counts.energy_wraps, b.fault_counts.energy_wraps);
@@ -100,7 +100,7 @@ TEST(FaultInjection, ScenarioReplayIsBitIdentical) {
   EXPECT_EQ(a.fault_stats.fallback_periods, b.fault_stats.fallback_periods);
   ASSERT_EQ(a.apps.size(), b.apps.size());
   for (size_t i = 0; i < a.apps.size(); i++) {
-    EXPECT_DOUBLE_EQ(a.apps[i].avg_ips, b.apps[i].avg_ips);
+    EXPECT_DOUBLE_EQ(a.apps[i].avg_ips.value(), b.apps[i].avg_ips.value());
   }
   // The schedule injected something; otherwise the test is vacuous.
   EXPECT_GT(a.fault_counts.stale_samples, 0);
@@ -115,9 +115,9 @@ TEST(FaultInjection, StaleStormHoldsThenFallsBackThenRecovers) {
     rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
   }
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{45}});
   daemon.Start();
-  rig.Run(&daemon, 20.0);
+  rig.Run(&daemon, Seconds{20.0});
   ASSERT_EQ(daemon.degradation_state(), DegradationState::kNominal);
   const std::vector<Mhz> pre_fault = daemon.targets();
   std::vector<Mhz> pre_requested;
@@ -127,36 +127,36 @@ TEST(FaultInjection, StaleStormHoldsThenFallsBackThenRecovers) {
 
   rig.msr.EnableFaults(StaleStorm());
   // Two invalid periods: hold — targets and hardware untouched.
-  rig.Run(&daemon, 2.0);
+  rig.Run(&daemon, Seconds{2.0});
   EXPECT_EQ(daemon.degradation_state(), DegradationState::kHold);
   EXPECT_EQ(daemon.bad_sample_streak(), 2);
   EXPECT_EQ(daemon.fault_stats().held_periods, 2);
   EXPECT_EQ(daemon.targets(), pre_fault);
   for (int i = 0; i < 6; i++) {
-    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz(), pre_requested[i]);
+    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz().value(), pre_requested[i].value());
   }
 
   // Third consecutive invalid period: fallback — every running core at the
   // platform floor, RAPL safety net armed.
-  rig.Run(&daemon, 3.0);
+  rig.Run(&daemon, Seconds{3.0});
   EXPECT_EQ(daemon.degradation_state(), DegradationState::kFallback);
   EXPECT_GE(daemon.fault_stats().fallback_periods, 1);
   for (int i = 0; i < 6; i++) {
-    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz(), 800.0);
+    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz().value(), 800.0);
   }
   EXPECT_TRUE(rig.pkg.rapl().enabled());
-  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 45.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w().value(), 45.0);
   // The policy's view of the targets is frozen, not floored.
   EXPECT_EQ(daemon.targets(), pre_fault);
 
   // Telemetry returns: nominal targets must be restored within 3 periods,
   // and the safety net (which the daemon armed, not the operator) disarmed.
   rig.msr.EnableFaults(FaultPlan{});
-  rig.Run(&daemon, 3.0);
+  rig.Run(&daemon, Seconds{3.0});
   EXPECT_EQ(daemon.degradation_state(), DegradationState::kNominal);
   EXPECT_EQ(daemon.bad_sample_streak(), 0);
   for (int i = 0; i < 6; i++) {
-    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz(), pre_requested[i]);
+    EXPECT_DOUBLE_EQ(rig.pkg.core(i).requested_mhz().value(), pre_requested[i].value());
   }
   EXPECT_FALSE(rig.pkg.rapl().enabled());
 }
@@ -166,11 +166,11 @@ TEST(FaultInjection, HistoryRecordsLadderStates) {
   rig.AddApp("gcc", 1.0);
   rig.AddApp("leela", 1.0);
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 40});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{40}});
   daemon.Start();
-  rig.Run(&daemon, 5.0);
+  rig.Run(&daemon, Seconds{5.0});
   rig.msr.EnableFaults(StaleStorm());
-  rig.Run(&daemon, 5.0);
+  rig.Run(&daemon, Seconds{5.0});
   const auto& h = daemon.history();
   ASSERT_EQ(h.size(), 10u);
   EXPECT_EQ(h[4].state, DegradationState::kNominal);
@@ -195,32 +195,32 @@ TEST(FaultInjection, NaiveDaemonRampsOnStaleTelemetryHardenedHolds) {
     hard_rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
   }
   PowerDaemon naive(&naive_rig.msr, naive_rig.apps,
-                    NaiveConfig(PolicyKind::kFrequencyShares, 45.0));
+                    NaiveConfig(PolicyKind::kFrequencyShares, Watts{45.0}));
   DaemonConfig hcfg;
   hcfg.kind = PolicyKind::kFrequencyShares;
-  hcfg.power_limit_w = 45.0;
+  hcfg.power_limit_w = Watts{45.0};
   PowerDaemon hardened(&hard_rig.msr, hard_rig.apps, hcfg);
   naive.Start();
   hardened.Start();
-  naive_rig.Run(&naive, 30.0);
-  hard_rig.Run(&hardened, 30.0);
+  naive_rig.Run(&naive, Seconds{30.0});
+  hard_rig.Run(&hardened, Seconds{30.0});
 
   // Converged well below the maximum P-state at 45 W over 10 cores.
-  const Mhz naive_pre = naive_rig.pkg.core(0).requested_mhz();
-  const Mhz hard_pre = hard_rig.pkg.core(0).requested_mhz();
-  ASSERT_LT(naive_pre, 2500.0);
-  ASSERT_LT(hard_pre, 2500.0);
+  const Mhz naive_pre{naive_rig.pkg.core(0).requested_mhz()};
+  const Mhz hard_pre{hard_rig.pkg.core(0).requested_mhz()};
+  ASSERT_LT(naive_pre, Mhz{2500.0});
+  ASSERT_LT(hard_pre, Mhz{2500.0});
 
   naive_rig.msr.EnableFaults(StaleStorm());
   hard_rig.msr.EnableFaults(StaleStorm());
-  naive_rig.Run(&naive, 10.0);
-  hard_rig.Run(&hardened, 10.0);
+  naive_rig.Run(&naive, Seconds{10.0});
+  hard_rig.Run(&hardened, Seconds{10.0});
 
   // Naive: zero-power samples look like headroom; requests climb to max.
-  EXPECT_DOUBLE_EQ(naive_rig.pkg.core(0).requested_mhz(), 3000.0);
+  EXPECT_DOUBLE_EQ(naive_rig.pkg.core(0).requested_mhz().value(), 3000.0);
   // Hardened: requests never rise while blind (hold, then the 800 floor).
   for (int i = 0; i < 10; i++) {
-    EXPECT_LE(hard_rig.pkg.core(i).requested_mhz(), hard_pre + 1.0);
+    EXPECT_LE(hard_rig.pkg.core(i).requested_mhz(), hard_pre + Mhz{1.0});
   }
   EXPECT_EQ(hardened.degradation_state(), DegradationState::kFallback);
 }
@@ -237,9 +237,9 @@ TEST(FaultInjection, PriorityPolicyDoesNotUnstarveOnStaleTelemetry) {
     rig.AddApp("cactusBSSN", 1.0, /*hp=*/false);
   }
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kPriority, .power_limit_w = 40});
+                     {.kind = PolicyKind::kPriority, .power_limit_w = Watts{40}});
   daemon.Start();
-  rig.Run(&daemon, 30.0);
+  rig.Run(&daemon, Seconds{30.0});
   std::vector<bool> pre_online;
   for (int i = 0; i < 10; i++) {
     pre_online.push_back(rig.msr.CoreOnline(i));
@@ -251,7 +251,7 @@ TEST(FaultInjection, PriorityPolicyDoesNotUnstarveOnStaleTelemetry) {
   ASSERT_GT(pre_offline, 0);
 
   rig.msr.EnableFaults(StaleStorm());
-  rig.Run(&daemon, 10.0);
+  rig.Run(&daemon, Seconds{10.0});
   for (int i = 0; i < 10; i++) {
     EXPECT_EQ(rig.msr.CoreOnline(i), pre_online[i]) << "core " << i;
   }
@@ -265,9 +265,9 @@ TEST(FaultInjection, DroppedWritesRetryWithBackoffAndArmSafetyNet) {
     rig.AddApp(i % 2 ? "leela" : "cactusBSSN", 1.0);
   }
   PowerDaemon daemon(&rig.msr, rig.apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 50});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{50}});
   daemon.Start();
-  rig.Run(&daemon, 20.0);
+  rig.Run(&daemon, Seconds{20.0});
   ASSERT_FALSE(rig.pkg.rapl().enabled());
 
   // Every P-state write is now dropped; a limit change forces the daemon to
@@ -276,8 +276,8 @@ TEST(FaultInjection, DroppedWritesRetryWithBackoffAndArmSafetyNet) {
   drops.seed = 3;
   drops.write_fail_p = 1.0;
   rig.msr.EnableFaults(drops);
-  daemon.SetPowerLimit(40.0);
-  rig.Run(&daemon, 15.0);
+  daemon.SetPowerLimit(Watts{40.0});
+  rig.Run(&daemon, Seconds{15.0});
 
   const DaemonFaultStats& stats = daemon.fault_stats();
   EXPECT_GE(stats.failed_programs, 3);
@@ -285,12 +285,12 @@ TEST(FaultInjection, DroppedWritesRetryWithBackoffAndArmSafetyNet) {
   EXPECT_GE(daemon.write_fail_streak(), 3);
   // write_retry_limit consecutive failures: hardware takes over.
   EXPECT_TRUE(rig.pkg.rapl().enabled());
-  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w(), 40.0);
+  EXPECT_DOUBLE_EQ(rig.pkg.rapl().limit_w().value(), 40.0);
 
   // Writes work again: the pending program lands, the streak clears, and
   // the daemon-armed net is disarmed.
   rig.msr.EnableFaults(FaultPlan{});
-  rig.Run(&daemon, 10.0);
+  rig.Run(&daemon, Seconds{10.0});
   EXPECT_EQ(daemon.write_fail_streak(), 0);
   EXPECT_EQ(daemon.degradation_state(), DegradationState::kNominal);
   EXPECT_FALSE(rig.pkg.rapl().enabled());
@@ -305,12 +305,12 @@ TEST(FaultInjection, MonitoringPoliciesStopRewritingUnchangedTargets) {
     rig.AddApp("leela", 1.0);
     DaemonConfig cfg;
     cfg.kind = kind;
-    cfg.power_limit_w = 45.0;
-    cfg.static_mhz = 1800.0;
+    cfg.power_limit_w = Watts{45.0};
+    cfg.static_mhz = Mhz{1800.0};
     PowerDaemon daemon(&rig.msr, rig.apps, cfg);
     daemon.Start();
     const int writes_after_start = rig.msr.write_count();
-    rig.Run(&daemon, 10.0);
+    rig.Run(&daemon, Seconds{10.0});
     EXPECT_EQ(rig.msr.write_count(), writes_after_start)
         << PolicyKindName(kind) << " kept rewriting unchanged targets";
     EXPECT_EQ(daemon.fault_stats().reprogram_skips, 10);
@@ -327,27 +327,27 @@ TEST(FaultInjection, GovernorHoldsThenFallsBackToMinimum) {
   GovernorDaemon daemon(&msr, GovernorKind::kOndemand);
 
   Simulator sim(&pkg);
-  sim.AddPeriodic(0.1, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(2.0);
-  ASSERT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);  // 100% util.
+  sim.AddPeriodic(Seconds{0.1}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{2.0});
+  ASSERT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 3000.0);  // 100% util.
   ASSERT_EQ(daemon.invalid_streak(), 0);
 
   msr.EnableFaults(StaleStorm());
-  sim.Run(0.2);  // Two invalid samples: hold.
+  sim.Run(Seconds{0.2});  // Two invalid samples: hold.
   EXPECT_EQ(daemon.invalid_streak(), 2);
   EXPECT_FALSE(daemon.in_fallback());
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 3000.0);
 
-  sim.Run(0.2);  // Third invalid sample: everything to the platform minimum.
+  sim.Run(Seconds{0.2});  // Third invalid sample: everything to the platform minimum.
   EXPECT_TRUE(daemon.in_fallback());
   for (int i = 0; i < pkg.num_cores(); i++) {
-    EXPECT_DOUBLE_EQ(pkg.core(i).requested_mhz(), 800.0);
+    EXPECT_DOUBLE_EQ(pkg.core(i).requested_mhz().value(), 800.0);
   }
 
   msr.EnableFaults(FaultPlan{});
-  sim.Run(1.0);  // Telemetry back: the busy core ramps again.
+  sim.Run(Seconds{1.0});  // Telemetry back: the busy core ramps again.
   EXPECT_EQ(daemon.invalid_streak(), 0);
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 3000.0);
 }
 
 // --- Acceptance sweep --------------------------------------------------------
@@ -358,20 +358,20 @@ TEST(FaultInjection, GovernorHoldsThenFallsBackToMinimum) {
 // visible violation; max_pkg_w checks the energy-counter truth the daemon
 // cannot see.
 TEST(FaultInjection, HardenedDaemonHoldsCeilingUnderEverySchedule) {
-  for (const FaultScenario& fs : FaultSchedules(20.0, 50.0, /*seed=*/5)) {
+  for (const FaultScenario& fs : FaultSchedules(Seconds{20.0}, Seconds{50.0}, /*seed=*/5)) {
     ScenarioConfig c{.platform = SkylakeXeon4114()};
     c.apps = {{"cactusBSSN", 2.0}, {"leela", 1.0},     {"gcc", 1.0},
               {"deepsjeng", 1.0},  {"exchange2", 1.0}, {"omnetpp", 1.0}};
     c.policy = PolicyKind::kFrequencyShares;
-    c.limit_w = 50.0;
-    c.warmup_s = 10.0;
-    c.measure_s = 60.0;
+    c.limit_w = Watts{50.0};
+    c.warmup_s = Seconds{10.0};
+    c.measure_s = Seconds{60.0};
     c.run.daemon.audit = true;
     c.run.daemon.faults = fs.plan;
     c.run.daemon.degrade = true;
     const ScenarioResult r = RunScenario(c);
-    EXPECT_LE(r.max_pkg_w, c.limit_w + 8.0) << fs.label;
-    EXPECT_GT(r.avg_pkg_w, 0.0) << fs.label;
+    EXPECT_LE(r.max_pkg_w, c.limit_w + Watts{8.0}) << fs.label;
+    EXPECT_GT(r.avg_pkg_w, Watts{0.0}) << fs.label;
   }
 }
 

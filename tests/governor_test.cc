@@ -14,57 +14,57 @@
 namespace papd {
 namespace {
 
-GovernorLimits Limits() { return GovernorLimits{.min_mhz = 800, .max_mhz = 3000, .step_mhz = 100}; }
+GovernorLimits Limits() { return GovernorLimits{.min_mhz = Mhz{800}, .max_mhz = Mhz{3000}, .step_mhz = Mhz{100}}; }
 
 TEST(Governors, PerformanceAlwaysMax) {
   PerformanceGovernor g(Limits());
-  EXPECT_DOUBLE_EQ(g.Decide(0.0, 1500), 3000.0);
-  EXPECT_DOUBLE_EQ(g.Decide(1.0, 800), 3000.0);
+  EXPECT_DOUBLE_EQ(g.Decide(0.0, Mhz{1500}).value(), 3000.0);
+  EXPECT_DOUBLE_EQ(g.Decide(1.0, Mhz{800}).value(), 3000.0);
 }
 
 TEST(Governors, PowersaveAlwaysMin) {
   PowersaveGovernor g(Limits());
-  EXPECT_DOUBLE_EQ(g.Decide(1.0, 3000), 800.0);
+  EXPECT_DOUBLE_EQ(g.Decide(1.0, Mhz{3000}).value(), 800.0);
 }
 
 TEST(Governors, UserspaceHoldsProgrammedValue) {
-  UserspaceGovernor g(Limits(), 2200);
-  EXPECT_DOUBLE_EQ(g.Decide(0.5, 1000), 2200.0);
-  g.set_mhz(1550);  // Off-grid: quantized to nearest step.
-  const Mhz f = g.Decide(0.5, 1000);
-  EXPECT_TRUE(f == 1500.0 || f == 1600.0);
+  UserspaceGovernor g(Limits(), Mhz{2200});
+  EXPECT_DOUBLE_EQ(g.Decide(0.5, Mhz{1000}).value(), 2200.0);
+  g.set_mhz(Mhz{1550});  // Off-grid: quantized to nearest step.
+  const Mhz f{g.Decide(0.5, Mhz{1000})};
+  EXPECT_TRUE(f == Mhz{1500.0} || f == Mhz{1600.0});
 }
 
 TEST(Governors, OndemandJumpsToMaxWhenBusy) {
   OndemandGovernor g(Limits());
-  EXPECT_DOUBLE_EQ(g.Decide(0.95, 800), 3000.0);
+  EXPECT_DOUBLE_EQ(g.Decide(0.95, Mhz{800}).value(), 3000.0);
 }
 
 TEST(Governors, OndemandProportionalWhenIdle) {
   OndemandGovernor g(Limits());
-  const Mhz f = g.Decide(0.40, 3000);
-  EXPECT_LT(f, 3000.0);
-  EXPECT_GE(f, 800.0);
+  const Mhz f{g.Decide(0.40, Mhz{3000})};
+  EXPECT_LT(f, Mhz{3000.0});
+  EXPECT_GE(f, Mhz{800.0});
   // ~ util * max / headroom = 0.4 * 3000 / 0.8 = 1500.
-  EXPECT_NEAR(f, 1500.0, 100.0);
+  EXPECT_NEAR(f.value(), 1500.0, 100.0);
 }
 
 TEST(Governors, ConservativeStepsGradually) {
   ConservativeGovernor g(Limits());
-  const Mhz up = g.Decide(0.95, 1500);
-  EXPECT_GT(up, 1500.0);
-  EXPECT_LT(up, 3000.0);  // One step, not a jump.
-  const Mhz down = g.Decide(0.05, 1500);
-  EXPECT_LT(down, 1500.0);
-  EXPECT_GT(down, 800.0);
-  const Mhz hold = g.Decide(0.50, 1500);
-  EXPECT_DOUBLE_EQ(hold, 1500.0);
+  const Mhz up{g.Decide(0.95, Mhz{1500})};
+  EXPECT_GT(up, Mhz{1500.0});
+  EXPECT_LT(up, Mhz{3000.0});  // One step, not a jump.
+  const Mhz down{g.Decide(0.05, Mhz{1500})};
+  EXPECT_LT(down, Mhz{1500.0});
+  EXPECT_GT(down, Mhz{800.0});
+  const Mhz hold{g.Decide(0.50, Mhz{1500})};
+  EXPECT_DOUBLE_EQ(hold.value(), 1500.0);
 }
 
 TEST(Governors, ConservativeClampsAtRangeEnds) {
   ConservativeGovernor g(Limits());
-  EXPECT_DOUBLE_EQ(g.Decide(0.99, 3000), 3000.0);
-  EXPECT_DOUBLE_EQ(g.Decide(0.01, 800), 800.0);
+  EXPECT_DOUBLE_EQ(g.Decide(0.99, Mhz{3000}).value(), 3000.0);
+  EXPECT_DOUBLE_EQ(g.Decide(0.01, Mhz{800}).value(), 800.0);
 }
 
 TEST(Governors, FactoryProducesAllKinds) {
@@ -85,11 +85,11 @@ TEST(GovernorDaemon, OndemandRampsBusyCoreAndParksIdleCore) {
   GovernorDaemon daemon(&msr, GovernorKind::kOndemand);
 
   Simulator sim(&pkg);
-  sim.AddPeriodic(0.1, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(2.0);
+  sim.AddPeriodic(Seconds{0.1}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{2.0});
 
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3000.0);  // 100% util -> max.
-  EXPECT_DOUBLE_EQ(pkg.core(1).requested_mhz(), 800.0);   // Idle -> min.
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 3000.0);  // 100% util -> max.
+  EXPECT_DOUBLE_EQ(pkg.core(1).requested_mhz().value(), 800.0);   // Idle -> min.
 }
 
 TEST(GovernorDaemon, ConservativeConvergesOverTime) {
@@ -97,17 +97,17 @@ TEST(GovernorDaemon, ConservativeConvergesOverTime) {
   MsrFile msr(&pkg);
   Process proc(GetProfile("gcc"), 1);
   pkg.AttachWork(0, &proc);
-  pkg.SetRequestedMhz(0, 800);
+  pkg.SetRequestedMhz(0, Mhz{800});
   GovernorDaemon daemon(&msr, GovernorKind::kConservative);
 
   Simulator sim(&pkg);
-  sim.AddPeriodic(0.1, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(0.5);
-  const Mhz early = pkg.core(0).requested_mhz();
-  sim.Run(5.0);
-  const Mhz late = pkg.core(0).requested_mhz();
+  sim.AddPeriodic(Seconds{0.1}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{0.5});
+  const Mhz early{pkg.core(0).requested_mhz()};
+  sim.Run(Seconds{5.0});
+  const Mhz late{pkg.core(0).requested_mhz()};
   EXPECT_GT(late, early);       // Ramps up under sustained load...
-  EXPECT_DOUBLE_EQ(late, 3000.0);  // ...eventually reaching max.
+  EXPECT_DOUBLE_EQ(late.value(), 3000.0);  // ...eventually reaching max.
 }
 
 TEST(GovernorDaemon, UtilizationGovernorIgnoresPriorities) {
@@ -123,9 +123,9 @@ TEST(GovernorDaemon, UtilizationGovernorIgnoresPriorities) {
   GovernorDaemon daemon(&msr, GovernorKind::kOndemand);
 
   Simulator sim(&pkg);
-  sim.AddPeriodic(0.1, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(2.0);
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), pkg.core(1).requested_mhz());
+  sim.AddPeriodic(Seconds{0.1}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{2.0});
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), pkg.core(1).requested_mhz().value());
 }
 
 }  // namespace

@@ -14,16 +14,21 @@ namespace {
 
 TEST(Standalone, BaselinesAreSane) {
   const auto& gcc = Standalone(SkylakeXeon4114(), "gcc");
-  EXPECT_GT(gcc.ips, 1e9);
-  EXPECT_GT(gcc.active_mhz, 2500.0);  // Single core turbos.
-  EXPECT_GT(gcc.pkg_w, 10.0);
-  EXPECT_LT(gcc.pkg_w, 85.0);
+  EXPECT_GT(gcc.ips, Ips{1e9});
+  EXPECT_GT(gcc.active_mhz, Mhz{2500.0});  // Single core turbos.
+  EXPECT_GT(gcc.pkg_w, Watts{10.0});
+  EXPECT_LT(gcc.pkg_w, Watts{85.0});
 }
 
 TEST(Standalone, CachedResultsStable) {
-  const auto& a = Standalone(SkylakeXeon4114(), "leela");
-  const auto& b = Standalone(SkylakeXeon4114(), "leela");
-  EXPECT_EQ(&a, &b);  // Same cached object.
+  // Standalone() returns by value so no reference to the lock-guarded cache
+  // escapes; stability means the cache-hit call yields identical bits.
+  const auto a = Standalone(SkylakeXeon4114(), "leela");
+  const auto b = Standalone(SkylakeXeon4114(), "leela");
+  EXPECT_DOUBLE_EQ(a.ips.value(), b.ips.value());
+  EXPECT_DOUBLE_EQ(a.active_mhz.value(), b.active_mhz.value());
+  EXPECT_DOUBLE_EQ(a.pkg_w.value(), b.pkg_w.value());
+  EXPECT_DOUBLE_EQ(a.core_w.value(), b.core_w.value());
 }
 
 // Regression test for the Standalone() cache data race: concurrent callers
@@ -56,33 +61,33 @@ TEST(Standalone, ConcurrentCallsAreSafe) {
 
 TEST(Standalone, AvxAppCappedBelowTurbo) {
   const auto& cam4 = Standalone(SkylakeXeon4114(), "cam4");
-  EXPECT_LE(cam4.active_mhz, SkylakeXeon4114().avx_max_mhz_light + 1.0);
+  EXPECT_LE(cam4.active_mhz, SkylakeXeon4114().avx_max_mhz_light + Mhz{1.0});
 }
 
 TEST(RunScenario, BasicStaticRun) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {{.profile = "gcc"}, {.profile = "leela"}};
   c.policy = PolicyKind::kStatic;
-  c.static_mhz = 2000;
-  c.warmup_s = 2;
-  c.measure_s = 10;
+  c.static_mhz = Mhz{2000};
+  c.warmup_s = Seconds{2};
+  c.measure_s = Seconds{10};
   const ScenarioResult r = RunScenario(c);
   ASSERT_EQ(r.apps.size(), 2u);
-  EXPECT_NEAR(r.apps[0].avg_active_mhz, 2000.0, 5.0);
-  EXPECT_NEAR(r.apps[1].avg_active_mhz, 2000.0, 5.0);
-  EXPECT_GT(r.apps[0].avg_ips, 0.0);
-  EXPECT_GT(r.avg_pkg_w, 10.0);
+  EXPECT_NEAR(r.apps[0].avg_active_mhz.value(), 2000.0, 5.0);
+  EXPECT_NEAR(r.apps[1].avg_active_mhz.value(), 2000.0, 5.0);
+  EXPECT_GT(r.apps[0].avg_ips, Ips{0.0});
+  EXPECT_GT(r.avg_pkg_w, Watts{10.0});
   EXPECT_FALSE(r.apps[0].starved);
-  EXPECT_NEAR(r.measured_s, 10.0, 0.01);  // Tick-quantized window.
+  EXPECT_NEAR(r.measured_s.value(), 10.0, 0.01);  // Tick-quantized window.
 }
 
 TEST(RunScenario, NormalizedPerformanceAgainstStandalone) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {{.profile = "leela"}};
   c.policy = PolicyKind::kStatic;
-  c.static_mhz = 3000;
-  c.warmup_s = 2;
-  c.measure_s = 10;
+  c.static_mhz = Mhz{3000};
+  c.warmup_s = Seconds{2};
+  c.measure_s = Seconds{10};
   const ScenarioResult r = RunScenario(c);
   // Alone at max request == the standalone baseline. Normalized perf ~ 1.
   EXPECT_NEAR(r.apps[0].norm_perf, 1.0, 0.03);
@@ -94,33 +99,33 @@ TEST(RunScenario, RaplLimitEnforced) {
     c.apps.push_back({.profile = "cactusBSSN"});
   }
   c.policy = PolicyKind::kRaplOnly;
-  c.limit_w = 40;
-  c.warmup_s = 5;
-  c.measure_s = 20;
+  c.limit_w = Watts{40};
+  c.warmup_s = Seconds{5};
+  c.measure_s = Seconds{20};
   const ScenarioResult r = RunScenario(c);
-  EXPECT_NEAR(r.avg_pkg_w, 40.0, 1.5);
+  EXPECT_NEAR(r.avg_pkg_w.value(), 40.0, 1.5);
 }
 
 TEST(RunScenario, DeterministicForSameSeed) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {{.profile = "gcc"}, {.profile = "cam4"}};
   c.policy = PolicyKind::kRaplOnly;
-  c.limit_w = 30;
-  c.warmup_s = 2;
-  c.measure_s = 10;
+  c.limit_w = Watts{30};
+  c.warmup_s = Seconds{2};
+  c.measure_s = Seconds{10};
   const ScenarioResult a = RunScenario(c);
   const ScenarioResult b = RunScenario(c);
-  EXPECT_DOUBLE_EQ(a.avg_pkg_w, b.avg_pkg_w);
-  EXPECT_DOUBLE_EQ(a.apps[0].avg_ips, b.apps[0].avg_ips);
+  EXPECT_DOUBLE_EQ(a.avg_pkg_w.value(), b.avg_pkg_w.value());
+  EXPECT_DOUBLE_EQ(a.apps[0].avg_ips.value(), b.apps[0].avg_ips.value());
 }
 
 TEST(AddResourceShares, SharesSumToOne) {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {{.profile = "gcc"}, {.profile = "leela"}, {.profile = "cactusBSSN"}};
   c.policy = PolicyKind::kStatic;
-  c.static_mhz = 1800;
-  c.warmup_s = 2;
-  c.measure_s = 10;
+  c.static_mhz = Mhz{1800};
+  c.warmup_s = Seconds{2};
+  c.measure_s = Seconds{10};
   ScenarioResult r = RunScenario(c);
   AddResourceShares(&r);
   double f = 0.0;
@@ -139,25 +144,25 @@ TEST(AddResourceShares, SharesSumToOne) {
 TEST(RunWebsearch, BaselineRunsCleanly) {
   WebsearchConfig c{.platform = SkylakeXeon4114()};
   c.policy = PolicyKind::kRaplOnly;
-  c.limit_w = 85;
+  c.limit_w = Watts{85};
   c.with_cpuburn = false;
-  c.warmup_s = 10;
-  c.measure_s = 60;
+  c.warmup_s = Seconds{10};
+  c.measure_s = Seconds{60};
   const WebsearchResult r = RunWebsearch(c);
   EXPECT_GT(r.completed_requests, 3000u);
-  EXPECT_GT(r.p90_latency, 0.0);
+  EXPECT_GT(r.p90_latency, Seconds{0.0});
   EXPECT_GE(r.p99_latency, r.p90_latency);
   EXPECT_GE(r.p90_latency, r.p50_latency);
-  EXPECT_GT(r.websearch_avg_mhz, 2000.0);
+  EXPECT_GT(r.websearch_avg_mhz, Mhz{2000.0});
 }
 
 TEST(RunWebsearch, CpuburnUnderRaplHurtsLatency) {
   WebsearchConfig alone{.platform = SkylakeXeon4114()};
   alone.policy = PolicyKind::kRaplOnly;
-  alone.limit_w = 40;
+  alone.limit_w = Watts{40};
   alone.with_cpuburn = false;
-  alone.warmup_s = 10;
-  alone.measure_s = 90;
+  alone.warmup_s = Seconds{10};
+  alone.measure_s = Seconds{90};
   WebsearchConfig burdened = alone;
   burdened.with_cpuburn = true;
   const WebsearchResult a = RunWebsearch(alone);

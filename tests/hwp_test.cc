@@ -18,24 +18,24 @@ namespace {
 
 PolicyPlatform SkylakeLike() {
   PolicyPlatform p;
-  p.min_mhz = 800;
-  p.max_mhz = 3000;
-  p.step_mhz = 100;
+  p.min_mhz = Mhz{800};
+  p.max_mhz = Mhz{3000};
+  p.step_mhz = Mhz{100};
   p.num_cores = 10;
-  p.max_power_w = 85;
+  p.max_power_w = Watts{85};
   return p;
 }
 
 std::vector<ManagedApp> TwoApps() {
-  return {ManagedApp{.name = "a", .cpu = 0, .baseline_ips = 2e9},
-          ManagedApp{.name = "b", .cpu = 1, .baseline_ips = 2e9}};
+  return {ManagedApp{.name = "a", .cpu = 0, .baseline_ips = Ips{2e9}},
+          ManagedApp{.name = "b", .cpu = 1, .baseline_ips = Ips{2e9}}};
 }
 
 TelemetrySample Sample(Mhz mhz0, Ips ips0, Mhz mhz1, Ips ips1) {
   TelemetrySample s;
-  s.t = 1.0;
-  s.dt = 1.0;
-  s.pkg_w = 40.0;
+  s.t = Seconds{1.0};
+  s.dt = Seconds{1.0};
+  s.pkg_w = Watts{40.0};
   CoreTelemetry c0{.cpu = 0, .active_mhz = mhz0, .busy = 1.0, .ips = ips0};
   CoreTelemetry c1{.cpu = 1, .active_mhz = mhz1, .busy = 1.0, .ips = ips1};
   s.cores = {c0, c1};
@@ -45,13 +45,13 @@ TelemetrySample Sample(Mhz mhz0, Ips ips0, Mhz mhz1, Ips ips1) {
 TEST(AppMaxMhzHelper, TightensAndClamps) {
   const PolicyPlatform p = SkylakeLike();
   ManagedApp app;
-  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p), 3000.0);  // No hint.
-  app.max_useful_mhz = 1900;
-  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p), 1900.0);
-  app.max_useful_mhz = 5000;  // Above platform max.
-  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p), 3000.0);
-  app.max_useful_mhz = 100;  // Below platform min.
-  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p), 800.0);
+  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p).value(), 3000.0);  // No hint.
+  app.max_useful_mhz = Mhz{1900};
+  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p).value(), 1900.0);
+  app.max_useful_mhz = Mhz{5000};  // Above platform max.
+  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p).value(), 3000.0);
+  app.max_useful_mhz = Mhz{100};  // Below platform min.
+  EXPECT_DOUBLE_EQ(AppMaxMhz(app, p).value(), 800.0);
 }
 
 TEST(SaturationDetector, DetectsRefusedGrantAfterStreak) {
@@ -60,12 +60,12 @@ TEST(SaturationDetector, DetectsRefusedGrantAfterStreak) {
   // App 0 requests 3000 but achieves 1900 (AVX cap) while app 1 achieves
   // its request — an app-specific refusal.
   for (int i = 0; i < 2; i++) {
-    det.Observe(apps, Sample(1900, 2e9, 2800, 2e9), {3000, 2800});
-    EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0), 0.0);  // Not yet (hysteresis).
+    det.Observe(apps, Sample(Mhz{1900}, Ips{2e9}, Mhz{2800}, Ips{2e9}), {Mhz{3000}, Mhz{2800}});
+    EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0).value(), 0.0);  // Not yet (hysteresis).
   }
-  det.Observe(apps, Sample(1900, 2e9, 2800, 2e9), {3000, 2800});
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0), 1900.0);
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(1), 0.0);
+  det.Observe(apps, Sample(Mhz{1900}, Ips{2e9}, Mhz{2800}, Ips{2e9}), {Mhz{3000}, Mhz{2800}});
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0).value(), 1900.0);
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(1).value(), 0.0);
 }
 
 TEST(SaturationDetector, PackageWideClampIsNotSaturation) {
@@ -74,22 +74,22 @@ TEST(SaturationDetector, PackageWideClampIsNotSaturation) {
   SaturationDetector det(SkylakeLike(), 2);
   const auto apps = TwoApps();
   for (int i = 0; i < 10; i++) {
-    det.Observe(apps, Sample(1500, 2e9, 1500, 2e9), {3000, 3000});
+    det.Observe(apps, Sample(Mhz{1500}, Ips{2e9}, Mhz{1500}, Ips{2e9}), {Mhz{3000}, Mhz{3000}});
   }
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0), 0.0);
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(1), 0.0);
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(1).value(), 0.0);
 }
 
 TEST(SaturationDetector, GrantCapClearsWhenFrequencyRecovers) {
   SaturationDetector det(SkylakeLike(), 2);
   const auto apps = TwoApps();
   for (int i = 0; i < 3; i++) {
-    det.Observe(apps, Sample(1900, 2e9, 2800, 2e9), {3000, 2800});
+    det.Observe(apps, Sample(Mhz{1900}, Ips{2e9}, Mhz{2800}, Ips{2e9}), {Mhz{3000}, Mhz{2800}});
   }
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0), 1900.0);
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0).value(), 1900.0);
   // AVX phase ends; the core reaches its request again.
-  det.Observe(apps, Sample(3000, 3e9, 2800, 2e9), {3000, 2800});
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0), 0.0);
+  det.Observe(apps, Sample(Mhz{3000}, Ips{3e9}, Mhz{2800}, Ips{2e9}), {Mhz{3000}, Mhz{2800}});
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0).value(), 0.0);
 }
 
 TEST(SaturationDetector, DetectsFlatIpsResponse) {
@@ -98,22 +98,22 @@ TEST(SaturationDetector, DetectsFlatIpsResponse) {
   // App 0's IPS is flat between 1400 and 2800 MHz (memory-bound); app 1
   // scales linearly.
   for (int i = 0; i < 5; i++) {
-    det.Observe(apps, Sample(1400, 1.0e9, 1400, 1.0e9), {1400, 1400});
-    det.Observe(apps, Sample(2800, 1.05e9, 2800, 2.0e9), {2800, 2800});
+    det.Observe(apps, Sample(Mhz{1400}, Ips{1.0e9}, Mhz{1400}, Ips{1.0e9}), {Mhz{1400}, Mhz{1400}});
+    det.Observe(apps, Sample(Mhz{2800}, Ips{1.05e9}, Mhz{2800}, Ips{2.0e9}), {Mhz{2800}, Mhz{2800}});
   }
-  EXPECT_NEAR(det.UsefulMaxMhz(0), 1400.0, 200.0);
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(1), 0.0);
+  EXPECT_NEAR(det.UsefulMaxMhz(0).value(), 1400.0, 200.0);
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(1).value(), 0.0);
 }
 
 TEST(SaturationDetector, IdleCoresIgnored) {
   SaturationDetector det(SkylakeLike(), 2);
   auto apps = TwoApps();
-  TelemetrySample s = Sample(1900, 2e9, 2800, 2e9);
+  TelemetrySample s = Sample(Mhz{1900}, Ips{2e9}, Mhz{2800}, Ips{2e9});
   s.cores[0].busy = 0.1;  // Mostly idle: active-frequency data unreliable.
   for (int i = 0; i < 10; i++) {
-    det.Observe(apps, s, {3000, 2800});
+    det.Observe(apps, s, {Mhz{3000}, Mhz{2800}});
   }
-  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0), 0.0);
+  EXPECT_DOUBLE_EQ(det.UsefulMaxMhz(0).value(), 0.0);
 }
 
 // ---- End-to-end through the daemon -----------------------------------
@@ -130,23 +130,23 @@ TEST(HwpHintsEndToEnd, AvxAppCapDetectedAndExcessRedistributed) {
   pkg.AttachWork(0, &cam4);
   pkg.AttachWork(1, &leela);
   std::vector<ManagedApp> apps = {
-      {.name = "cam4", .cpu = 0, .shares = 50.0, .baseline_ips = 2e9},
-      {.name = "leela", .cpu = 1, .shares = 50.0, .baseline_ips = 2e9},
+      {.name = "cam4", .cpu = 0, .shares = 50.0, .baseline_ips = Ips{2e9}},
+      {.name = "leela", .cpu = 1, .shares = 50.0, .baseline_ips = Ips{2e9}},
   };
   PowerDaemon daemon(&msr, apps,
                      {.kind = PolicyKind::kFrequencyShares,
-                      .power_limit_w = 30.0,
+                      .power_limit_w = Watts{30.0},
                       .use_hwp_hints = true});
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(30.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{30.0});
 
   // The daemon's app copy now carries cam4's useful max near the AVX cap.
-  EXPECT_GT(daemon.apps()[0].max_useful_mhz, 0.0);
-  EXPECT_LE(daemon.apps()[0].max_useful_mhz, 2000.0);
+  EXPECT_GT(daemon.apps()[0].max_useful_mhz, Mhz{0.0});
+  EXPECT_LE(daemon.apps()[0].max_useful_mhz, Mhz{2000.0});
   // And the programmed target respects it.
-  EXPECT_LE(daemon.targets()[0], daemon.apps()[0].max_useful_mhz + 1.0);
+  EXPECT_LE(daemon.targets()[0], daemon.apps()[0].max_useful_mhz + Mhz{1.0});
 }
 
 TEST(HwpHintsEndToEnd, HintsOffLeavesUsefulMaxUnset) {
@@ -156,12 +156,12 @@ TEST(HwpHintsEndToEnd, HintsOffLeavesUsefulMaxUnset) {
   pkg.AttachWork(0, &cam4);
   std::vector<ManagedApp> apps = {{.name = "cam4", .cpu = 0, .shares = 1.0}};
   PowerDaemon daemon(&msr, apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 30.0});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{30.0}});
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(10.0);
-  EXPECT_DOUBLE_EQ(daemon.apps()[0].max_useful_mhz, 0.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{10.0});
+  EXPECT_DOUBLE_EQ(daemon.apps()[0].max_useful_mhz.value(), 0.0);
 }
 
 }  // namespace

@@ -22,8 +22,8 @@ namespace {
 
 ScenarioConfig BaseConfig(PlatformSpec platform) {
   ScenarioConfig c{.platform = std::move(platform)};
-  c.warmup_s = 30;
-  c.measure_s = 60;
+  c.warmup_s = Seconds{30};
+  c.measure_s = Seconds{60};
   return c;
 }
 
@@ -36,7 +36,7 @@ TEST_P(PowerLimitRespected, SteadyStatePowerNearLimit) {
   const auto [policy, limit] = GetParam();
   ScenarioConfig c = BaseConfig(SkylakeXeon4114());
   c.policy = policy;
-  c.limit_w = limit;
+  c.limit_w = Watts{limit};
   for (int i = 0; i < 10; i++) {
     c.apps.push_back({.profile = i % 2 ? "cactusBSSN" : "leela",
                       .shares = 10.0 + i * 9.0,
@@ -45,8 +45,8 @@ TEST_P(PowerLimitRespected, SteadyStatePowerNearLimit) {
   const ScenarioResult r = RunScenario(c);
   // Demand far exceeds these limits, so steady state sits near the limit;
   // the daemon's deadband and P-state quantization allow small error.
-  EXPECT_LT(r.avg_pkg_w, limit + 2.5);
-  EXPECT_GT(r.avg_pkg_w, limit - 6.0);
+  EXPECT_LT(r.avg_pkg_w, Watts{limit + 2.5});
+  EXPECT_GT(r.avg_pkg_w, Watts{limit - 6.0});
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -73,15 +73,15 @@ class RyzenPowerLimitRespected : public ::testing::TestWithParam<PolicyKind> {};
 TEST_P(RyzenPowerLimitRespected, SteadyStatePowerNearLimit) {
   ScenarioConfig c = BaseConfig(Ryzen1700X());
   c.policy = GetParam();
-  c.limit_w = 45;
+  c.limit_w = Watts{45};
   for (int i = 0; i < 8; i++) {
     c.apps.push_back({.profile = i % 2 ? "cactusBSSN" : "leela",
                       .shares = 10.0 + i * 12.0,
                       .high_priority = i % 2 == 0});
   }
   const ScenarioResult r = RunScenario(c);
-  EXPECT_LT(r.avg_pkg_w, 45 + 2.5);
-  EXPECT_GT(r.avg_pkg_w, 45 - 6.0);
+  EXPECT_LT(r.avg_pkg_w, Watts{45 + 2.5});
+  EXPECT_GT(r.avg_pkg_w, Watts{45 - 6.0});
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, RyzenPowerLimitRespected,
@@ -104,7 +104,7 @@ INSTANTIATE_TEST_SUITE_P(Policies, RyzenPowerLimitRespected,
 TEST(RaplInterference, LowDemandAppLosesMoreUnderRapl) {
   ScenarioConfig c = BaseConfig(SkylakeXeon4114());
   c.policy = PolicyKind::kRaplOnly;
-  c.limit_w = 40;
+  c.limit_w = Watts{40};
   for (int i = 0; i < 5; i++) {
     c.apps.push_back({.profile = "gcc"});
   }
@@ -123,7 +123,7 @@ TEST(RaplInterference, LowDemandAppLosesMoreUnderRapl) {
 TEST(PriorityVsRapl, HpAppsProtectedAtLowLimit) {
   ScenarioConfig rapl = BaseConfig(SkylakeXeon4114());
   rapl.policy = PolicyKind::kRaplOnly;
-  rapl.limit_w = 40;
+  rapl.limit_w = Watts{40};
   rapl.apps = SkylakePriorityMixes()[2].apps;  // 5H5L.
   ScenarioConfig prio = rapl;
   prio.policy = PolicyKind::kPriority;
@@ -147,7 +147,7 @@ TEST(Priority, StarvationAtLowLimitWithManyHp) {
   // starve.
   ScenarioConfig c = BaseConfig(SkylakeXeon4114());
   c.policy = PolicyKind::kPriority;
-  c.limit_w = 40;
+  c.limit_w = Watts{40};
   c.apps = SkylakePriorityMixes()[1].apps;  // 7H3L.
   const ScenarioResult r = RunScenario(c);
   int starved = 0;
@@ -162,7 +162,7 @@ TEST(Priority, StarvationAtLowLimitWithManyHp) {
 TEST(Priority, NoStarvationAtHighLimit) {
   ScenarioConfig c = BaseConfig(SkylakeXeon4114());
   c.policy = PolicyKind::kPriority;
-  c.limit_w = 85;
+  c.limit_w = Watts{85};
   c.apps = SkylakePriorityMixes()[2].apps;  // 5H5L.
   const ScenarioResult r = RunScenario(c);
   for (const AppResult& app : r.apps) {
@@ -175,10 +175,10 @@ TEST(Priority, OpportunisticBoostWhenLpStarved) {
   // headroom, so HP apps can run *faster* than at 85 W with all cores busy.
   ScenarioConfig low = BaseConfig(SkylakeXeon4114());
   low.policy = PolicyKind::kPriority;
-  low.limit_w = 40;
+  low.limit_w = Watts{40};
   low.apps = SkylakePriorityMixes()[3].apps;  // 3H7L.
   ScenarioConfig high = low;
-  high.limit_w = 85;
+  high.limit_w = Watts{85};
   const std::vector<ScenarioResult> results = RunScenarios({low, high});
   const ScenarioResult& r_low = results[0];
   const ScenarioResult& r_high = results[1];
@@ -188,8 +188,8 @@ TEST(Priority, OpportunisticBoostWhenLpStarved) {
   int hp_n = 0;
   for (size_t i = 0; i < r_low.apps.size(); i++) {
     if (r_low.apps[i].high_priority) {
-      hp_low += r_low.apps[i].avg_active_mhz;
-      hp_high += r_high.apps[i].avg_active_mhz;
+      hp_low += r_low.apps[i].avg_active_mhz.value();
+      hp_high += r_high.apps[i].avg_active_mhz.value();
       hp_n++;
     }
   }
@@ -205,7 +205,7 @@ class ShareOrdering : public ::testing::TestWithParam<PolicyKind> {};
 TEST_P(ShareOrdering, HigherSharesMoreResource) {
   ScenarioConfig c = BaseConfig(SkylakeXeon4114());
   c.policy = GetParam();
-  c.limit_w = 50;
+  c.limit_w = Watts{50};
   c.apps = ShareSplitMix(10, 70, 30).apps;  // leela 70 / cactus 30.
   ScenarioResult r = RunScenario(c);
   AddResourceShares(&r);
@@ -214,7 +214,7 @@ TEST_P(ShareOrdering, HigherSharesMoreResource) {
   double hi = 0.0;
   double lo = 0.0;
   for (const AppResult& app : r.apps) {
-    (app.shares > 50 ? hi : lo) += app.avg_active_mhz / 5.0;
+    (app.shares > 50 ? hi : lo) += app.avg_active_mhz.value() / 5.0;
   }
   EXPECT_GT(hi, lo * 1.3);
 }
@@ -238,7 +238,7 @@ TEST(ShareIsolation, FrequencySharesIsolateFromPowerVirus) {
   // policy, but not under RAPL.
   ScenarioConfig rapl = BaseConfig(SkylakeXeon4114());
   rapl.policy = PolicyKind::kRaplOnly;
-  rapl.limit_w = 40;
+  rapl.limit_w = Watts{40};
   rapl.apps = {{.profile = "leela", .shares = 90.0}, {.profile = "cpuburn", .shares = 10.0}};
   ScenarioConfig share = rapl;
   share.policy = PolicyKind::kFrequencyShares;
@@ -254,7 +254,7 @@ TEST(ShareMinimumFloor, ExtremRatiosCannotBeHonored) {
   // resource because of the minimum frequency.
   ScenarioConfig c = BaseConfig(SkylakeXeon4114());
   c.policy = PolicyKind::kFrequencyShares;
-  c.limit_w = 50;
+  c.limit_w = Watts{50};
   c.apps = ShareSplitMix(10, 90, 10).apps;
   ScenarioResult r = RunScenario(c);
   AddResourceShares(&r);
@@ -275,7 +275,7 @@ TEST(PowerVsFrequencyShares, PowerSharesWorseIsolationOfPerformance) {
   // app gets less done per watt.  Frequency shares with the same 50/50
   // split give more even normalized performance.
   ScenarioConfig c = BaseConfig(Ryzen1700X());
-  c.limit_w = 40;
+  c.limit_w = Watts{40};
   c.apps = ShareSplitMix(8, 50, 50).apps;
 
   c.policy = PolicyKind::kPowerShares;
@@ -300,9 +300,9 @@ TEST(PowerVsFrequencyShares, PowerSharesWorseIsolationOfPerformance) {
 
 TEST(Websearch, PolicyRecoversLatencyLostToRapl) {
   WebsearchConfig base{.platform = SkylakeXeon4114()};
-  base.limit_w = 40;
-  base.warmup_s = 20;
-  base.measure_s = 120;
+  base.limit_w = Watts{40};
+  base.warmup_s = Seconds{20};
+  base.measure_s = Seconds{120};
 
   WebsearchConfig rapl = base;
   rapl.policy = PolicyKind::kRaplOnly;
@@ -337,28 +337,28 @@ TEST(DemandDrop, CompletionRedistributesPowerToRemainingApps) {
   pkg.AttachWork(1, &persistent);
 
   std::vector<ManagedApp> apps = {
-      {.name = "short", .cpu = 0, .shares = 1.0, .baseline_ips = 2e9},
-      {.name = "long", .cpu = 1, .shares = 1.0, .baseline_ips = 2e9},
+      {.name = "short", .cpu = 0, .shares = 1.0, .baseline_ips = Ips{2e9}},
+      {.name = "long", .cpu = 1, .shares = 1.0, .baseline_ips = Ips{2e9}},
   };
   DaemonConfig dcfg;
   dcfg.kind = PolicyKind::kFrequencyShares;
-  dcfg.power_limit_w = 25.0;
+  dcfg.power_limit_w = Watts{25.0};
   PowerDaemon daemon(&msr, apps, dcfg);
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
 
   // Coarse completion checks: evaluating the predicate every 0.1 s keeps it
   // off the per-tick fast path without changing the simulated trajectory.
-  sim.RunUntil([&finishing] { return finishing.finished(); }, 120.0,
-               /*check_period_s=*/0.1);
+  sim.RunUntil([&finishing] { return finishing.finished(); }, Seconds{120.0},
+               /*check_period_s=*/Seconds{0.1});
   ASSERT_TRUE(finishing.finished());
-  const Mhz before = daemon.history().back().sample.cores[1].active_mhz;
-  sim.Run(20.0);  // Let the controller absorb the freed power.
-  const Mhz after = daemon.history().back().sample.cores[1].active_mhz;
-  EXPECT_GT(after, before + 100.0);
+  const Mhz before{daemon.history().back().sample.cores[1].active_mhz};
+  sim.Run(Seconds{20.0});  // Let the controller absorb the freed power.
+  const Mhz after{daemon.history().back().sample.cores[1].active_mhz};
+  EXPECT_GT(after, before + Mhz{100.0});
   // Package power returns to (near) the limit.
-  EXPECT_GT(daemon.history().back().sample.pkg_w, 18.0);
+  EXPECT_GT(daemon.history().back().sample.pkg_w, Watts{18.0});
 }
 
 // ---- Section 5.2 caveat: IPS misleads on lock-contended code.
@@ -383,7 +383,7 @@ TEST(SpinlockVsPolicies, SpinningCoresReportHealthyIpsWhileConvoyed) {
     managed.push_back(ManagedApp{.name = "spinlock",
                                  .cpu = c,
                                  .shares = 50.0,
-                                 .baseline_ips = spec.turbo_max_mhz * kHzPerMhz});
+                                 .baseline_ips = IpsAtMhz(spec.turbo_max_mhz, /*ipc=*/1.0)});
   }
   managed.push_back(ManagedApp{.name = "cpuburn",
                                .cpu = 4,
@@ -392,22 +392,22 @@ TEST(SpinlockVsPolicies, SpinningCoresReportHealthyIpsWhileConvoyed) {
 
   DaemonConfig dcfg;
   dcfg.kind = PolicyKind::kPerformanceShares;
-  dcfg.power_limit_w = 35.0;
+  dcfg.power_limit_w = Watts{35.0};
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(40.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{40.0});
 
   const auto& rec = daemon.history().back();
   // Telemetry on the spinlock cores reports substantial IPS...
-  double min_ips = 1e18;
-  Mhz min_mhz = 1e9;
+  Ips min_ips{1e18};
+  Mhz min_mhz{1e9};
   for (int c = 0; c < 4; c++) {
     min_ips = std::min(min_ips, rec.sample.cores[static_cast<size_t>(c)].ips);
     min_mhz = std::min(min_mhz, rec.sample.cores[static_cast<size_t>(c)].active_mhz);
   }
-  EXPECT_GT(min_ips, 0.8 * min_mhz * kHzPerMhz);
+  EXPECT_GT(min_ips, 0.8 * IpsAtMhz(min_mhz, /*ipc=*/1.0));
   // ...but the useful work per retired instruction is far below 1: most
   // retired instructions are spin loops.
   double retired = 0.0;

@@ -44,7 +44,7 @@ struct Rig {
                               .cpu = cpu,
                               .shares = shares,
                               .high_priority = hp,
-                              .baseline_ips = GetProfile(profile).NominalIps(3000)});
+                              .baseline_ips = GetProfile(profile).NominalIps(Mhz{3000})});
   }
 
   void Run(PowerDaemon* daemon, Seconds seconds) {
@@ -67,25 +67,25 @@ std::vector<ManagedApp> MakeApps(const std::vector<double>& shares,
                               .cpu = static_cast<int>(i),
                               .shares = shares[i],
                               .high_priority = high_priority.empty() ? false : high_priority[i],
-                              .baseline_ips = 2.0e9});
+                              .baseline_ips = Ips{2.0e9}});
   }
   return apps;
 }
 
 TelemetrySample MakeSample(int num_cores, Watts pkg_w, bool per_core_power) {
   TelemetrySample s;
-  s.t = 1.0;
-  s.dt = 1.0;
+  s.t = Seconds{1.0};
+  s.dt = Seconds{1.0};
   s.pkg_w = pkg_w;
   for (int i = 0; i < num_cores; i++) {
     CoreTelemetry ct;
     ct.cpu = i;
     ct.online = true;
-    ct.active_mhz = 2000.0;
+    ct.active_mhz = Mhz{2000.0};
     ct.busy = 1.0;
-    ct.ips = 2.0e9;
+    ct.ips = Ips{2.0e9};
     if (per_core_power) {
-      ct.core_w = 4.0;
+      ct.core_w = Watts{4.0};
     }
     s.cores.push_back(ct);
   }
@@ -130,17 +130,17 @@ TEST_P(AuditedDaemonRun, InvariantsHoldOverRandomizedRuns) {
     std::uniform_real_distribution<double> limit_dist(25.0, 60.0);
     DaemonConfig dcfg;
     dcfg.kind = c.kind;
-    dcfg.power_limit_w = limit_dist(rng);
+    dcfg.power_limit_w = Watts{limit_dist(rng)};
     dcfg.use_hwp_hints = c.hwp_hints;
     PowerDaemon daemon(&rig.msr, rig.apps, dcfg);
     // Auditing is on by default; violations abort, so completing the run is
     // itself the assertion.
     ASSERT_NE(daemon.auditor(), nullptr);
     daemon.Start();
-    rig.Run(&daemon, 60.0);
+    rig.Run(&daemon, Seconds{60.0});
     // A runtime limit change must not break conservation tracking.
-    daemon.SetPowerLimit(limit_dist(rng));
-    rig.Run(&daemon, 40.0);
+    daemon.SetPowerLimit(Watts{limit_dist(rng)});
+    rig.Run(&daemon, Seconds{40.0});
 
     EXPECT_EQ(daemon.auditor()->violation_count(), 0);
     EXPECT_GE(daemon.history().size(), 95u);
@@ -168,7 +168,7 @@ TEST(PolicyAuditorNegative, OverAllocationWhileOverLimitCaught) {
   PolicyAuditor auditor(p, /*max_simultaneous_pstates=*/0, {.fatal = false});
   PowerShares policy(p);
   const std::vector<ManagedApp> apps = MakeApps({10.0, 20.0, 30.0, 40.0});
-  const Watts limit = 40.0;
+  const Watts limit{40.0};
 
   auditor.CheckInitialDistribution(&policy, apps, limit,
                                    policy.InitialDistribution(apps, limit));
@@ -179,8 +179,8 @@ TEST(PolicyAuditorNegative, OverAllocationWhileOverLimitCaught) {
   // over the limit.  Growing the total toward a breached limit is exactly
   // the divergence the conservation invariant forbids.
   const std::vector<Mhz> grown =
-      policy.Redistribute(apps, MakeSample(p.num_cores, limit - 2.0, true), limit);
-  auditor.CheckRedistribution(&policy, apps, MakeSample(p.num_cores, limit + 5.0, true),
+      policy.Redistribute(apps, MakeSample(p.num_cores, limit - Watts{2.0}, true), limit);
+  auditor.CheckRedistribution(&policy, apps, MakeSample(p.num_cores, limit + Watts{5.0}, true),
                               limit, grown);
   ASSERT_GE(auditor.violation_count(), 1);
   EXPECT_NE(auditor.violations()[0].message.find("conservation"), std::string::npos);
@@ -191,12 +191,12 @@ TEST(PolicyAuditorNegative, ShareMonotonicityInversionCaught) {
   PolicyAuditor auditor(p, 0, {.fatal = false});
   FrequencyShares policy(p);
   std::vector<ManagedApp> apps = MakeApps({90.0, 10.0});
-  const std::vector<Mhz> targets = policy.InitialDistribution(apps, 45.0);
+  const std::vector<Mhz> targets = policy.InitialDistribution(apps, Watts{45.0});
 
   // The policy allocated for 90-vs-10 shares; claim the shares were the
   // other way around, so the 90-share app now holds the smaller target.
   std::swap(apps[0].shares, apps[1].shares);
-  auditor.CheckInitialDistribution(&policy, apps, 45.0, targets);
+  auditor.CheckInitialDistribution(&policy, apps, Watts{45.0}, targets);
   ASSERT_GE(auditor.violation_count(), 1);
   EXPECT_NE(auditor.violations()[0].message.find("monotonicity"), std::string::npos);
 }
@@ -208,11 +208,11 @@ class RunawayPolicy : public ShareResource {
   std::string Name() const override { return "runaway"; }
   std::vector<Mhz> InitialDistribution(const std::vector<ManagedApp>& apps,
                                        Watts /*limit_w*/) override {
-    return std::vector<Mhz>(apps.size(), 9999.0);
+    return std::vector<Mhz>(apps.size(), Mhz{9999.0});
   }
   std::vector<Mhz> Redistribute(const std::vector<ManagedApp>& apps,
                                 const TelemetrySample& /*sample*/, Watts /*limit_w*/) override {
-    return std::vector<Mhz>(apps.size(), 9999.0);
+    return std::vector<Mhz>(apps.size(), Mhz{9999.0});
   }
 };
 
@@ -221,14 +221,14 @@ TEST(PolicyAuditorNegative, AuditedPolicyCatchesRunawayTargets) {
   PolicyAuditor auditor(p, 0, {.fatal = false});
   AuditedPolicy audited(std::make_unique<RunawayPolicy>(), &auditor);
   const std::vector<ManagedApp> apps = MakeApps({1.0, 1.0});
-  audited.InitialDistribution(apps, 45.0);
+  audited.InitialDistribution(apps, Watts{45.0});
   EXPECT_GE(auditor.violation_count(), 2);  // One per app above its ceiling.
 }
 
 TEST(PolicyAuditorDeathTest, DaemonAbortsOnBrokenCustomPolicy) {
   Rig rig(SkylakeXeon4114());
   rig.AddApp("gcc", 1.0);
-  PowerDaemon daemon(&rig.msr, rig.apps, {.power_limit_w = 45.0},
+  PowerDaemon daemon(&rig.msr, rig.apps, {.power_limit_w = Watts{45.0}},
                      std::make_unique<RunawayPolicy>());
   EXPECT_DEATH(daemon.Start(), "policy invariant violated");
 }
@@ -238,26 +238,26 @@ TEST(PolicyAuditorDeathTest, DaemonAbortsOnBrokenCustomPolicy) {
 TEST(PolicyAuditorNegative, OffGridTranslationCaught) {
   const PolicyPlatform p;  // 800-3000 MHz, 100 MHz grid.
   PolicyAuditor auditor(p, 0, {.fatal = false});
-  auditor.CheckTranslation({1250.0});  // 450 MHz above the 800 MHz anchor.
+  auditor.CheckTranslation({Mhz{1250.0}});  // 450 MHz above the 800 MHz anchor.
   ASSERT_EQ(auditor.violation_count(), 1);
   EXPECT_NE(auditor.violations()[0].message.find("grid"), std::string::npos);
 
   auditor.ClearViolations();
-  auditor.CheckTranslation({1200.0, 800.0, 3000.0});
+  auditor.CheckTranslation({Mhz{1200.0}, Mhz{800.0}, Mhz{3000.0}});
   EXPECT_EQ(auditor.violation_count(), 0);
 }
 
 TEST(PolicyAuditorNegative, SimultaneousPstateLimitCaught) {
   PolicyPlatform p;
-  p.min_mhz = 800.0;
-  p.max_mhz = 3800.0;
-  p.step_mhz = 25.0;  // Ryzen grid.
+  p.min_mhz = Mhz{800.0};
+  p.max_mhz = Mhz{3800.0};
+  p.step_mhz = Mhz{25.0};  // Ryzen grid.
   PolicyAuditor auditor(p, /*max_simultaneous_pstates=*/3, {.fatal = false});
 
-  auditor.CheckTranslation({1025.0, 1550.0, 2075.0, 2075.0});  // 3 distinct: fine.
+  auditor.CheckTranslation({Mhz{1025.0}, Mhz{1550.0}, Mhz{2075.0}, Mhz{2075.0}});  // 3 distinct: fine.
   EXPECT_EQ(auditor.violation_count(), 0);
 
-  auditor.CheckTranslation({1025.0, 1550.0, 2075.0, 2600.0});  // 4 distinct.
+  auditor.CheckTranslation({Mhz{1025.0}, Mhz{1550.0}, Mhz{2075.0}, Mhz{2600.0}});  // 4 distinct.
   ASSERT_EQ(auditor.violation_count(), 1);
   EXPECT_NE(auditor.violations()[0].message.find("simultaneous"), std::string::npos);
 }
@@ -265,9 +265,9 @@ TEST(PolicyAuditorNegative, SimultaneousPstateLimitCaught) {
 TEST(PolicyAuditorNegative, OutOfRangeTranslationCaught) {
   const PolicyPlatform p;
   PolicyAuditor auditor(p, 0, {.fatal = false});
-  auditor.CheckTranslation({700.0});  // Below the 800 MHz floor.
+  auditor.CheckTranslation({Mhz{700.0}});  // Below the 800 MHz floor.
   EXPECT_EQ(auditor.violation_count(), 1);
-  auditor.CheckTranslation({3100.0});  // Above the 3000 MHz ceiling.
+  auditor.CheckTranslation({Mhz{3100.0}});  // Above the 3000 MHz ceiling.
   EXPECT_EQ(auditor.violation_count(), 2);
 }
 
@@ -278,8 +278,8 @@ TEST(PolicyAuditorNegative, PriorityInversionCaught) {
   PolicyAuditor auditor(p, 0, {.fatal = false});
   const std::vector<ManagedApp> apps = MakeApps({1.0, 1.0}, {true, false});
   const PriorityPolicy::Options options;
-  auditor.CheckPriorityRedistribution(options, apps, MakeSample(p.num_cores, 45.0, false),
-                                      45.0, {1000.0, 2000.0});
+  auditor.CheckPriorityRedistribution(options, apps, MakeSample(p.num_cores, Watts{45.0}, false),
+                                      Watts{45.0}, {Mhz{1000.0}, Mhz{2000.0}});
   ASSERT_GE(auditor.violation_count(), 1);
   EXPECT_NE(auditor.violations()[0].message.find("inversion"), std::string::npos);
 }
@@ -289,8 +289,8 @@ TEST(PolicyAuditorNegative, StoppedHighPriorityAppCaught) {
   PolicyAuditor auditor(p, 0, {.fatal = false});
   const std::vector<ManagedApp> apps = MakeApps({1.0, 1.0}, {true, false});
   const PriorityPolicy::Options options;
-  auditor.CheckPriorityRedistribution(options, apps, MakeSample(p.num_cores, 45.0, false),
-                                      45.0, {PriorityPolicy::kStopped, 1500.0});
+  auditor.CheckPriorityRedistribution(options, apps, MakeSample(p.num_cores, Watts{45.0}, false),
+                                      Watts{45.0}, {PriorityPolicy::kStopped, Mhz{1500.0}});
   EXPECT_GE(auditor.violation_count(), 1);
 }
 
@@ -300,8 +300,8 @@ TEST(PolicyAuditorNegative, StopWithStarvationDisabledCaught) {
   const std::vector<ManagedApp> apps = MakeApps({1.0, 1.0}, {true, false});
   PriorityPolicy::Options options;
   options.starve_lp = false;
-  auditor.CheckPriorityRedistribution(options, apps, MakeSample(p.num_cores, 45.0, false),
-                                      45.0, {2000.0, PriorityPolicy::kStopped});
+  auditor.CheckPriorityRedistribution(options, apps, MakeSample(p.num_cores, Watts{45.0}, false),
+                                      Watts{45.0}, {Mhz{2000.0}, PriorityPolicy::kStopped});
   EXPECT_GE(auditor.violation_count(), 1);
 }
 
@@ -312,13 +312,13 @@ TEST(PolicyAuditorNegative, PriorityInitialDistributionChecked) {
   const PriorityPolicy::Options options;
 
   // Clean: HP at its ceiling, LP stopped (starvation mode).
-  auditor.CheckPriorityInitialDistribution(options, apps, 45.0,
+  auditor.CheckPriorityInitialDistribution(options, apps, Watts{45.0},
                                            {p.max_mhz, PriorityPolicy::kStopped});
   EXPECT_EQ(auditor.violation_count(), 0);
 
   // Broken: HP starting below its ceiling.
-  auditor.CheckPriorityInitialDistribution(options, apps, 45.0,
-                                           {2000.0, PriorityPolicy::kStopped});
+  auditor.CheckPriorityInitialDistribution(options, apps, Watts{45.0},
+                                           {Mhz{2000.0}, PriorityPolicy::kStopped});
   EXPECT_GE(auditor.violation_count(), 1);
 }
 

@@ -16,8 +16,8 @@ namespace {
 TEST(MsrSkylake, PerfCtlRoundTrip) {
   Package pkg(SkylakeXeon4114());
   MsrFile msr(&pkg);
-  msr.WritePerfTargetMhz(3, 1500);
-  EXPECT_DOUBLE_EQ(pkg.core(3).requested_mhz(), 1500.0);
+  msr.WritePerfTargetMhz(3, Mhz{1500});
+  EXPECT_DOUBLE_EQ(pkg.core(3).requested_mhz().value(), 1500.0);
   // Ratio field encodes hundreds of MHz.
   EXPECT_EQ(msr.Read(kMsrIa32PerfCtl, 3), (1500ull / 100) << 8);
 }
@@ -27,16 +27,16 @@ TEST(MsrSkylake, PerfCtlQuantizedByHardwareGrid) {
   MsrFile msr(&pkg);
   // The 100 MHz ratio encoding cannot express 1550; the helper rounds to a
   // ratio first.
-  msr.WritePerfTargetMhz(0, 1550);
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 1600.0);
+  msr.WritePerfTargetMhz(0, Mhz{1550});
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 1600.0);
 }
 
 TEST(MsrSkylake, RaplLimitRegister) {
   Package pkg(SkylakeXeon4114());
   MsrFile msr(&pkg);
-  msr.WriteRaplLimitW(50.0);
+  msr.WriteRaplLimitW(Watts{50.0});
   EXPECT_TRUE(pkg.rapl().enabled());
-  EXPECT_DOUBLE_EQ(pkg.rapl().limit_w(), 50.0);
+  EXPECT_DOUBLE_EQ(pkg.rapl().limit_w().value(), 50.0);
   // Enable bit and 1/8 W units readable back.
   const uint64_t v = msr.Read(kMsrPkgPowerLimit, 0);
   EXPECT_TRUE(v & (1ull << 15));
@@ -52,10 +52,10 @@ TEST(MsrSkylake, EnergyCounterAdvancesInRaplUnits) {
   pkg.AttachWork(0, &proc);
   const uint64_t before = msr.Read(kMsrPkgEnergyStatus, 0);
   Simulator sim(&pkg);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const uint64_t after = msr.Read(kMsrPkgEnergyStatus, 0);
   const double joules = static_cast<double>(after - before) * kRaplEnergyUnitJoules;
-  EXPECT_NEAR(joules, pkg.package_energy_j(), 0.01);
+  EXPECT_NEAR(joules, pkg.package_energy_j().value(), 0.01);
 }
 
 TEST(MsrSkylake, UnsupportedRegistersFault) {
@@ -63,7 +63,7 @@ TEST(MsrSkylake, UnsupportedRegistersFault) {
   MsrFile msr(&pkg);
   EXPECT_DEATH(msr.Read(kMsrAmdCoreEnergy, 0), "GP");
   EXPECT_DEATH(msr.Read(0xDEAD, 0), "GP");
-  EXPECT_DEATH(msr.WritePstateDefMhz(0, 2000), "GP");
+  EXPECT_DEATH(msr.WritePstateDefMhz(0, Mhz{2000}), "GP");
 }
 
 TEST(MsrRyzen, PerCoreEnergyAvailable) {
@@ -72,7 +72,7 @@ TEST(MsrRyzen, PerCoreEnergyAvailable) {
   Process proc(GetProfile("gcc"), 1);
   pkg.AttachWork(0, &proc);
   Simulator sim(&pkg);
-  sim.Run(0.5);
+  sim.Run(Seconds{0.5});
   const uint64_t e0 = msr.Read(kMsrAmdCoreEnergy, 0);
   const uint64_t e7 = msr.Read(kMsrAmdCoreEnergy, 7);
   EXPECT_GT(e0, e7);  // The busy core burned more.
@@ -83,36 +83,36 @@ TEST(MsrRyzen, DirectPerfCtlFaults) {
   // ratios — this is what enforces the 3-simultaneous-P-state restriction.
   Package pkg(Ryzen1700X());
   MsrFile msr(&pkg);
-  EXPECT_DEATH(msr.WritePerfTargetMhz(0, 2000), "GP");
+  EXPECT_DEATH(msr.WritePerfTargetMhz(0, Mhz{2000}), "GP");
 }
 
 TEST(MsrRyzen, PstateDefAndSelect) {
   Package pkg(Ryzen1700X());
   MsrFile msr(&pkg);
-  msr.WritePstateDefMhz(0, 3400);
-  msr.WritePstateDefMhz(1, 2200);
-  msr.WritePstateDefMhz(2, 900);
-  EXPECT_DOUBLE_EQ(msr.ReadPstateDefMhz(0), 3400.0);
-  EXPECT_DOUBLE_EQ(msr.ReadPstateDefMhz(2), 900.0);
+  msr.WritePstateDefMhz(0, Mhz{3400});
+  msr.WritePstateDefMhz(1, Mhz{2200});
+  msr.WritePstateDefMhz(2, Mhz{900});
+  EXPECT_DOUBLE_EQ(msr.ReadPstateDefMhz(0).value(), 3400.0);
+  EXPECT_DOUBLE_EQ(msr.ReadPstateDefMhz(2).value(), 900.0);
   msr.SelectPstate(0, 0);
   msr.SelectPstate(1, 1);
   msr.SelectPstate(2, 2);
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 3400.0);
-  EXPECT_DOUBLE_EQ(pkg.core(1).requested_mhz(), 2200.0);
-  EXPECT_DOUBLE_EQ(pkg.core(2).requested_mhz(), 900.0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 3400.0);
+  EXPECT_DOUBLE_EQ(pkg.core(1).requested_mhz().value(), 2200.0);
+  EXPECT_DOUBLE_EQ(pkg.core(2).requested_mhz().value(), 900.0);
   EXPECT_EQ(msr.Read(kMsrAmdPstateCtl, 2), 2u);
 }
 
 TEST(MsrRyzen, RedefiningSlotRetargetsSelectedCores) {
   Package pkg(Ryzen1700X());
   MsrFile msr(&pkg);
-  msr.WritePstateDefMhz(1, 2200);
+  msr.WritePstateDefMhz(1, Mhz{2200});
   msr.SelectPstate(4, 1);
   msr.SelectPstate(5, 1);
-  EXPECT_DOUBLE_EQ(pkg.core(4).requested_mhz(), 2200.0);
-  msr.WritePstateDefMhz(1, 1500);
-  EXPECT_DOUBLE_EQ(pkg.core(4).requested_mhz(), 1500.0);
-  EXPECT_DOUBLE_EQ(pkg.core(5).requested_mhz(), 1500.0);
+  EXPECT_DOUBLE_EQ(pkg.core(4).requested_mhz().value(), 2200.0);
+  msr.WritePstateDefMhz(1, Mhz{1500});
+  EXPECT_DOUBLE_EQ(pkg.core(4).requested_mhz().value(), 1500.0);
+  EXPECT_DOUBLE_EQ(pkg.core(5).requested_mhz().value(), 1500.0);
 }
 
 TEST(MsrRyzen, ThreeSimultaneousPstatesInvariant) {
@@ -120,9 +120,9 @@ TEST(MsrRyzen, ThreeSimultaneousPstatesInvariant) {
   // three distinct frequencies exist across the cores.
   Package pkg(Ryzen1700X());
   MsrFile msr(&pkg);
-  msr.WritePstateDefMhz(0, 3400);
-  msr.WritePstateDefMhz(1, 2000);
-  msr.WritePstateDefMhz(2, 800);
+  msr.WritePstateDefMhz(0, Mhz{3400});
+  msr.WritePstateDefMhz(1, Mhz{2000});
+  msr.WritePstateDefMhz(2, Mhz{800});
   for (int c = 0; c < 8; c++) {
     msr.SelectPstate(c, c % 3);
   }
@@ -132,14 +132,14 @@ TEST(MsrRyzen, ThreeSimultaneousPstatesInvariant) {
 TEST(MsrRyzen, PstateDefQuantizedTo25Mhz) {
   Package pkg(Ryzen1700X());
   MsrFile msr(&pkg);
-  msr.WritePstateDefMhz(0, 2013);  // Rounds to 2025 in 25 MHz encoding.
-  EXPECT_DOUBLE_EQ(msr.ReadPstateDefMhz(0), 2025.0);
+  msr.WritePstateDefMhz(0, Mhz{2013});  // Rounds to 2025 in 25 MHz encoding.
+  EXPECT_DOUBLE_EQ(msr.ReadPstateDefMhz(0).value(), 2025.0);
 }
 
 TEST(MsrRyzen, RaplLimitRegisterFaults) {
   Package pkg(Ryzen1700X());
   MsrFile msr(&pkg);
-  EXPECT_DEATH(msr.WriteRaplLimitW(50.0), "GP");
+  EXPECT_DEATH(msr.WriteRaplLimitW(Watts{50.0}), "GP");
   EXPECT_DEATH(msr.Read(kMsrPkgPowerLimit, 0), "GP");
 }
 
@@ -158,8 +158,8 @@ TEST(Msr, NowSecondsTracksPackageTime) {
   Package pkg(SkylakeXeon4114());
   MsrFile msr(&pkg);
   Simulator sim(&pkg);
-  sim.Run(0.25);
-  EXPECT_NEAR(msr.NowSeconds(), 0.25, 1e-9);
+  sim.Run(Seconds{0.25});
+  EXPECT_NEAR(msr.NowSeconds().value(), 0.25, 1e-9);
 }
 
 }  // namespace

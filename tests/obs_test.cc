@@ -49,15 +49,15 @@ obs::TraceEvent Event(Seconds t, obs::TraceEventType type, int32_t index = 0, in
 
 TEST(TraceRecorder, RecordsAndDrainsInTimeOrder) {
   obs::TraceRecorder recorder(/*ring_capacity=*/64);
-  recorder.OnEvent(Event(2.0, obs::TraceEventType::kPeriodEnd));
-  recorder.OnEvent(Event(1.0, obs::TraceEventType::kPeriodBegin));
-  recorder.OnEvent(Event(3.0, obs::TraceEventType::kRedistribute));
+  recorder.OnEvent(Event(Seconds{2.0}, obs::TraceEventType::kPeriodEnd));
+  recorder.OnEvent(Event(Seconds{1.0}, obs::TraceEventType::kPeriodBegin));
+  recorder.OnEvent(Event(Seconds{3.0}, obs::TraceEventType::kRedistribute));
 
   const std::vector<obs::TraceEvent> events = recorder.Drain();
   ASSERT_EQ(events.size(), 3u);
-  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
-  EXPECT_DOUBLE_EQ(events[1].t, 2.0);
-  EXPECT_DOUBLE_EQ(events[2].t, 3.0);
+  EXPECT_DOUBLE_EQ(events[0].t.value(), 1.0);
+  EXPECT_DOUBLE_EQ(events[1].t.value(), 2.0);
+  EXPECT_DOUBLE_EQ(events[2].t.value(), 3.0);
   EXPECT_EQ(recorder.recorded(), 3u);
   EXPECT_EQ(recorder.dropped(), 0u);
 }
@@ -97,7 +97,7 @@ TEST(ThreadTrace, MacroArgsNotEvaluatedWhenDisabled) {
 
   obs::TraceRecorder recorder;
   {
-    obs::ScopedThreadTrace scope(&recorder, 1.5, /*shard=*/3);
+    obs::ScopedThreadTrace scope(&recorder, Seconds{1.5}, /*shard=*/3);
     PAPD_TRACE_REVOKE(CountingPayload(&calls), 3.5, true);
   }
   EXPECT_EQ(calls, 1);
@@ -109,7 +109,7 @@ TEST(ThreadTrace, MacroArgsNotEvaluatedWhenDisabled) {
   EXPECT_EQ(events[0].index, 7);
   EXPECT_EQ(events[0].code, 1);  // at_max.
   EXPECT_EQ(events[0].shard, 3);
-  EXPECT_DOUBLE_EQ(events[0].t, 1.5);
+  EXPECT_DOUBLE_EQ(events[0].t.value(), 1.5);
   EXPECT_DOUBLE_EQ(events[0].a, 3.5);
 }
 
@@ -127,11 +127,11 @@ TEST(ThreadTrace, DaemonWithoutSinkEmitsNothing) {
     apps.push_back(ManagedApp{.name = "gcc", .cpu = i, .shares = 1.0 + i});
   }
   PowerDaemon daemon(&msr, apps,
-                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0});
+                     {.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{45.0}});
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(10.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{10.0});
   EXPECT_EQ(recorder.recorded(), 0u);
 }
 
@@ -140,10 +140,10 @@ TEST(ThreadTrace, DaemonWithoutSinkEmitsNothing) {
 TEST(Exporters, ChromeTraceJsonGolden) {
   std::vector<obs::TraceEvent> events;
   events.push_back(
-      Event(1.0, obs::TraceEventType::kPeriodBegin, /*index=*/5, /*code=*/0, 44.25, 45.0));
-  events.push_back(Event(1.0, obs::TraceEventType::kAppTarget, /*index=*/2, /*code=*/1, 2400.0,
+      Event(Seconds{1.0}, obs::TraceEventType::kPeriodBegin, /*index=*/5, /*code=*/0, 44.25, 45.0));
+  events.push_back(Event(Seconds{1.0}, obs::TraceEventType::kAppTarget, /*index=*/2, /*code=*/1, 2400.0,
                          2600.0));
-  events.push_back(Event(1.5, obs::TraceEventType::kPeriodEnd, /*index=*/5, /*code=*/0, 12.5));
+  events.push_back(Event(Seconds{1.5}, obs::TraceEventType::kPeriodEnd, /*index=*/5, /*code=*/0, 12.5));
   const std::string json = obs::ChromeTraceJson(events);
   const std::string want =
       "{\"traceEvents\":[\n"
@@ -163,10 +163,10 @@ TEST(Exporters, MetricsCsvGolden) {
   obs::Counter* bad = registry.GetCounter("telemetry.invalid_samples");
   obs::Gauge* pkg = registry.GetGauge("daemon.pkg_w");
   pkg->Set(43.5);
-  registry.Snapshot(1.0);
+  registry.Snapshot(Seconds{1.0});
   bad->Increment(2);
   pkg->Set(44.0);
-  registry.Snapshot(2.0);
+  registry.Snapshot(Seconds{2.0});
   const std::string want =
       "t_s,telemetry.invalid_samples,daemon.pkg_w\n"
       "1.000,0,43.5\n"
@@ -201,20 +201,20 @@ TEST(DaemonObsTest, PeriodEventsMatchHistory) {
     pkg.AttachWork(i, procs.back().get());
     apps.push_back(ManagedApp{.name = "app", .cpu = i, .shares = 1.0 + i});
   }
-  DaemonConfig cfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = 40.0};
+  DaemonConfig cfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{40.0}};
   cfg.obs = DaemonObs{.sink = &recorder, .shard = 0};
   PowerDaemon daemon(&msr, apps, cfg);
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(20.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{20.0});
 
   const std::vector<obs::TraceEvent> events = recorder.Drain();
   ASSERT_FALSE(events.empty());
   int begins = 0;
   int ends = 0;
   int pstate_writes = 0;
-  Seconds last_t = 0.0;
+  Seconds last_t{0.0};
   for (const obs::TraceEvent& e : events) {
     EXPECT_EQ(e.shard, 0);
     EXPECT_GE(e.t, last_t);  // Drain() returns time order.
@@ -254,7 +254,7 @@ TEST(DaemonObsTest, UnifiedFaultCountersSingleSourceOfTruth) {
   MsrFile msr(&pkg);
   FaultPlan plan;
   plan.seed = 11;
-  plan.start_s = 2.0;
+  plan.start_s = Seconds{2.0};
   plan.stale_sample_p = 0.8;
   msr.EnableFaults(plan);
 
@@ -265,7 +265,7 @@ TEST(DaemonObsTest, UnifiedFaultCountersSingleSourceOfTruth) {
     pkg.AttachWork(i, procs.back().get());
     apps.push_back(ManagedApp{.name = "gcc", .cpu = i, .shares = 1.0});
   }
-  DaemonConfig cfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = 45.0};
+  DaemonConfig cfg{.kind = PolicyKind::kFrequencyShares, .power_limit_w = Watts{45.0}};
   // The old split-counter bug: ladder off, validation on.  The daemon-side
   // counter never advanced on this path.
   cfg.degradation.enabled = false;
@@ -273,8 +273,8 @@ TEST(DaemonObsTest, UnifiedFaultCountersSingleSourceOfTruth) {
   PowerDaemon daemon(&msr, apps, cfg);
   daemon.Start();
   Simulator sim(&pkg);
-  sim.AddPeriodic(1.0, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(20.0);
+  sim.AddPeriodic(Seconds{1.0}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{20.0});
 
   const DaemonFaultStats stats = daemon.fault_stats();
   EXPECT_GT(stats.invalid_samples, 0);
@@ -294,16 +294,16 @@ TEST(GovernorObsTest, TracesPeriodsAndFallbackTransitions) {
   daemon.BindObs(&recorder, /*shard=*/2);
 
   Simulator sim(&pkg);
-  sim.AddPeriodic(0.1, [&daemon](Seconds) { daemon.Step(); });
-  sim.Run(2.0);
+  sim.AddPeriodic(Seconds{0.1}, [&daemon](Seconds) { daemon.Step(); });
+  sim.Run(Seconds{2.0});
   FaultPlan storm;
   storm.seed = 11;
   storm.stale_sample_p = 1.0;
   msr.EnableFaults(storm);
-  sim.Run(0.5);  // Past kFallbackAfter: enters fallback.
+  sim.Run(Seconds{0.5});  // Past kFallbackAfter: enters fallback.
   ASSERT_TRUE(daemon.in_fallback());
   msr.EnableFaults(FaultPlan{});
-  sim.Run(0.5);  // Recovers to nominal.
+  sim.Run(Seconds{0.5});  // Recovers to nominal.
   ASSERT_FALSE(daemon.in_fallback());
 
   int begins = 0;
@@ -344,7 +344,7 @@ TEST(RackObsTest, ConcurrentShardsTraceSafely) {
     socket.use_baseline_ips = false;
     cfg.sockets.push_back(socket);
   }
-  cfg.budget_w = 150.0;
+  cfg.budget_w = Watts{150.0};
   cfg.obs = &recorder;
   Rack rack(cfg);
   ThreadPool pool(3);
@@ -378,9 +378,9 @@ ScenarioConfig ShortScenario() {
   ScenarioConfig c{.platform = SkylakeXeon4114()};
   c.apps = {{"gcc", 2.0}, {"leela", 1.0}};
   c.policy = PolicyKind::kFrequencyShares;
-  c.limit_w = 40.0;
-  c.warmup_s = 2.0;
-  c.measure_s = 6.0;
+  c.limit_w = Watts{40.0};
+  c.warmup_s = Seconds{2.0};
+  c.measure_s = Seconds{6.0};
   return c;
 }
 
@@ -497,13 +497,13 @@ TEST(RunOptionsShim, NestedOptionsWinWhenFlatFieldsAreDefault) {
 TEST(RunOptionsShim, ToDaemonConfigMapsEveryGroupedOption) {
   ScenarioConfig c = ShortScenario();
   c.policy = PolicyKind::kFrequencyShares;
-  c.limit_w = 37.0;
+  c.limit_w = Watts{37.0};
   c.run.daemon.audit = false;
   c.run.daemon.hwp_hints = true;
   c.run.daemon.degrade = false;
   const DaemonConfig dcfg = ToDaemonConfig(c);
   EXPECT_EQ(dcfg.kind, PolicyKind::kFrequencyShares);
-  EXPECT_DOUBLE_EQ(dcfg.power_limit_w, 37.0);
+  EXPECT_DOUBLE_EQ(dcfg.power_limit_w.value(), 37.0);
   EXPECT_FALSE(dcfg.audit);
   EXPECT_TRUE(dcfg.use_hwp_hints);
   EXPECT_FALSE(dcfg.degradation.enabled);

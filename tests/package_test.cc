@@ -21,29 +21,29 @@ std::unique_ptr<Process> MakeProcess(const std::string& profile, uint64_t seed =
 TEST(Package, InitialState) {
   Package pkg(SkylakeXeon4114());
   EXPECT_EQ(pkg.num_cores(), 10);
-  EXPECT_DOUBLE_EQ(pkg.now(), 0.0);
+  EXPECT_DOUBLE_EQ(pkg.now().value(), 0.0);
   for (int i = 0; i < pkg.num_cores(); i++) {
     EXPECT_TRUE(pkg.core(i).online());
-    EXPECT_DOUBLE_EQ(pkg.core(i).requested_mhz(), 2200.0);
+    EXPECT_DOUBLE_EQ(pkg.core(i).requested_mhz().value(), 2200.0);
   }
 }
 
 TEST(Package, SetRequestedMhzQuantizesToGrid) {
   Package pkg(SkylakeXeon4114());
-  pkg.SetRequestedMhz(0, 1234.0);
-  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz(), 1200.0);
+  pkg.SetRequestedMhz(0, Mhz{1234.0});
+  EXPECT_DOUBLE_EQ(pkg.core(0).requested_mhz().value(), 1200.0);
   Package ryzen(Ryzen1700X());
-  ryzen.SetRequestedMhz(0, 1234.0);
-  EXPECT_DOUBLE_EQ(ryzen.core(0).requested_mhz(), 1225.0);
+  ryzen.SetRequestedMhz(0, Mhz{1234.0});
+  EXPECT_DOUBLE_EQ(ryzen.core(0).requested_mhz().value(), 1225.0);
 }
 
 TEST(Package, SingleCoreReachesMaxTurbo) {
   Package pkg(SkylakeXeon4114());
   auto proc = MakeProcess("leela");
   pkg.AttachWork(0, proc.get());
-  pkg.SetRequestedMhz(0, 3000);
-  pkg.Tick(0.001);
-  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), 3000.0);
+  pkg.SetRequestedMhz(0, Mhz{3000});
+  pkg.Tick(Seconds{0.001});
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz().value(), 3000.0);
 }
 
 TEST(Package, AllCoresClampedToAllCoreTurbo) {
@@ -53,11 +53,11 @@ TEST(Package, AllCoresClampedToAllCoreTurbo) {
   for (int i = 0; i < 10; i++) {
     procs.push_back(MakeProcess("leela", 1 + i));
     pkg.AttachWork(i, procs.back().get());
-    pkg.SetRequestedMhz(i, 3000);
+    pkg.SetRequestedMhz(i, Mhz{3000});
   }
-  pkg.Tick(0.001);
+  pkg.Tick(Seconds{0.001});
   for (int i = 0; i < 10; i++) {
-    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz(), spec.TurboLimitMhz(10));
+    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz().value(), spec.TurboLimitMhz(10).value());
   }
 }
 
@@ -68,14 +68,14 @@ TEST(Package, OffliningCoresFreesTurboHeadroom) {
   for (int i = 0; i < 10; i++) {
     procs.push_back(MakeProcess("leela", 1 + i));
     pkg.AttachWork(i, procs.back().get());
-    pkg.SetRequestedMhz(i, 3000);
+    pkg.SetRequestedMhz(i, Mhz{3000});
   }
   for (int i = 2; i < 10; i++) {
     pkg.SetOnline(i, false);
   }
-  pkg.Tick(0.001);
+  pkg.Tick(Seconds{0.001});
   // Two active cores: full turbo.
-  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), 3000.0);
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz().value(), 3000.0);
 }
 
 TEST(Package, AvxWorkloadIsFrequencyCapped) {
@@ -85,11 +85,11 @@ TEST(Package, AvxWorkloadIsFrequencyCapped) {
   auto plain = MakeProcess("gcc");
   pkg.AttachWork(0, avx.get());
   pkg.AttachWork(1, plain.get());
-  pkg.SetRequestedMhz(0, 3000);
-  pkg.SetRequestedMhz(1, 3000);
-  pkg.Tick(0.001);
-  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), spec.avx_max_mhz_light);
-  EXPECT_DOUBLE_EQ(pkg.core(1).effective_mhz(), 3000.0);
+  pkg.SetRequestedMhz(0, Mhz{3000});
+  pkg.SetRequestedMhz(1, Mhz{3000});
+  pkg.Tick(Seconds{0.001});
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz().value(), spec.avx_max_mhz_light.value());
+  EXPECT_DOUBLE_EQ(pkg.core(1).effective_mhz().value(), 3000.0);
 }
 
 TEST(Package, ManyAvxCoresGetHeavierCap) {
@@ -99,10 +99,10 @@ TEST(Package, ManyAvxCoresGetHeavierCap) {
   for (int i = 0; i < 5; i++) {
     procs.push_back(MakeProcess("cam4", 1 + i));
     pkg.AttachWork(i, procs.back().get());
-    pkg.SetRequestedMhz(i, 3000);
+    pkg.SetRequestedMhz(i, Mhz{3000});
   }
-  pkg.Tick(0.001);
-  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), spec.avx_max_mhz_heavy);
+  pkg.Tick(Seconds{0.001});
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz().value(), spec.avx_max_mhz_heavy.value());
 }
 
 TEST(Package, OfflineCoreDrawsIdlePowerAndDoesNotRun) {
@@ -110,10 +110,10 @@ TEST(Package, OfflineCoreDrawsIdlePowerAndDoesNotRun) {
   auto proc = MakeProcess("gcc");
   pkg.AttachWork(0, proc.get());
   pkg.SetOnline(0, false);
-  pkg.Tick(0.001);
-  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz(), 0.0);
+  pkg.Tick(Seconds{0.001});
+  EXPECT_DOUBLE_EQ(pkg.core(0).effective_mhz().value(), 0.0);
   EXPECT_DOUBLE_EQ(pkg.core(0).last_slice().instructions, 0.0);
-  EXPECT_LT(pkg.core(0).power_w(), 0.1);
+  EXPECT_LT(pkg.core(0).power_w(), Watts{0.1});
   EXPECT_DOUBLE_EQ(proc->instructions_retired(), 0.0);
 }
 
@@ -122,18 +122,18 @@ TEST(Package, PowerAccountingConsistent) {
   auto proc = MakeProcess("gcc");
   pkg.AttachWork(0, proc.get());
   Simulator sim(&pkg);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   // Package energy equals the integral of package power: re-derive average
   // power from energy and compare with the last instantaneous value (the
   // workload is steady).
-  const Watts avg = pkg.package_energy_j() / pkg.now();
-  EXPECT_NEAR(avg, pkg.last_package_power_w(), 0.5);
+  const Watts avg{pkg.package_energy_j() / pkg.now()};
+  EXPECT_NEAR(avg.value(), pkg.last_package_power_w().value(), 0.5);
   // Package power strictly exceeds the sum of core powers by the uncore.
-  double core_sum = 0.0;
+  Watts core_sum{0.0};
   for (int i = 0; i < pkg.num_cores(); i++) {
     core_sum += pkg.core(i).power_w();
   }
-  EXPECT_NEAR(pkg.last_package_power_w() - core_sum, pkg.last_uncore_power_w(), 1e-9);
+  EXPECT_NEAR((pkg.last_package_power_w() - core_sum).value(), pkg.last_uncore_power_w().value(), 1e-9);
 }
 
 TEST(Package, CountersMonotone) {
@@ -141,9 +141,9 @@ TEST(Package, CountersMonotone) {
   auto proc = MakeProcess("gcc");
   pkg.AttachWork(0, proc.get());
   double prev_aperf = 0.0;
-  double prev_energy = 0.0;
+  Joules prev_energy{0.0};
   for (int i = 0; i < 100; i++) {
-    pkg.Tick(0.001);
+    pkg.Tick(Seconds{0.001});
     EXPECT_GE(pkg.core(0).aperf_cycles(), prev_aperf);
     EXPECT_GT(pkg.core(0).energy_j(), prev_energy);
     prev_aperf = pkg.core(0).aperf_cycles();
@@ -156,11 +156,11 @@ TEST(Package, AperfMperfRatioRecoversFrequency) {
   Package pkg(spec);
   auto proc = MakeProcess("gcc");
   pkg.AttachWork(0, proc.get());
-  pkg.SetRequestedMhz(0, 1500);
+  pkg.SetRequestedMhz(0, Mhz{1500});
   Simulator sim(&pkg);
-  sim.Run(0.5);
+  sim.Run(Seconds{0.5});
   const Core& c = pkg.core(0);
-  EXPECT_NEAR(c.aperf_cycles() / c.mperf_cycles() * spec.tsc_mhz, 1500.0, 1.0);
+  EXPECT_NEAR((c.aperf_cycles() / c.mperf_cycles() * spec.tsc_mhz).value(), 1500.0, 1.0);
 }
 
 TEST(Package, RaplThrottlesAllCoresUniformly) {
@@ -171,16 +171,16 @@ TEST(Package, RaplThrottlesAllCoresUniformly) {
   for (int i = 0; i < 10; i++) {
     procs.push_back(MakeProcess("gcc", 1 + i));
     pkg.AttachWork(i, procs.back().get());
-    pkg.SetRequestedMhz(i, 3000);
+    pkg.SetRequestedMhz(i, Mhz{3000});
   }
-  pkg.SetRaplLimit(40.0);
+  pkg.SetRaplLimit(Watts{40.0});
   Simulator sim(&pkg);
-  sim.Run(2.0);
-  EXPECT_NEAR(pkg.last_package_power_w(), 40.0, 1.5);
-  const Mhz f0 = pkg.core(0).effective_mhz();
-  EXPECT_LT(f0, 2000.0);
+  sim.Run(Seconds{2.0});
+  EXPECT_NEAR(pkg.last_package_power_w().value(), 40.0, 1.5);
+  const Mhz f0{pkg.core(0).effective_mhz()};
+  EXPECT_LT(f0, Mhz{2000.0});
   for (int i = 1; i < 10; i++) {
-    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz(), f0);
+    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz().value(), f0.value());
   }
 }
 
@@ -192,28 +192,28 @@ TEST(Package, RaplThrottlesFastestCoresFirst) {
   for (int i = 0; i < 10; i++) {
     procs.push_back(MakeProcess("gcc", 1 + i));
     pkg.AttachWork(i, procs.back().get());
-    pkg.SetRequestedMhz(i, i < 5 ? 3000 : 800);
+    pkg.SetRequestedMhz(i, i < 5 ? Mhz{3000} : Mhz{800});
   }
-  pkg.SetRaplLimit(50.0);
+  pkg.SetRaplLimit(Watts{50.0});
   Simulator sim(&pkg);
-  sim.Run(2.0);
+  sim.Run(Seconds{2.0});
   for (int i = 5; i < 10; i++) {
-    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz(), 800.0);
+    EXPECT_DOUBLE_EQ(pkg.core(i).effective_mhz().value(), 800.0);
   }
-  EXPECT_LT(pkg.core(0).effective_mhz(), 3000.0);
-  EXPECT_GT(pkg.core(0).effective_mhz(), 800.0);
+  EXPECT_LT(pkg.core(0).effective_mhz(), Mhz{3000.0});
+  EXPECT_GT(pkg.core(0).effective_mhz(), Mhz{800.0});
 }
 
 TEST(Package, RaplRejectedOnRyzen) {
   Package pkg(Ryzen1700X());
-  pkg.SetRaplLimit(50.0);  // Logged and ignored.
+  pkg.SetRaplLimit(Watts{50.0});  // Logged and ignored.
   EXPECT_FALSE(pkg.rapl().enabled());
 }
 
 TEST(Package, DistinctRequestedFrequenciesCountsOnlineCores) {
   Package pkg(Ryzen1700X());
   for (int i = 0; i < 8; i++) {
-    pkg.SetRequestedMhz(i, 800.0 + 100.0 * i);
+    pkg.SetRequestedMhz(i, Mhz{800.0 + 100.0 * i});
   }
   EXPECT_EQ(pkg.DistinctRequestedFrequencies(), 8);
   for (int i = 4; i < 8; i++) {
@@ -229,10 +229,10 @@ TEST(Package, HigherDemandWorkloadDrawsMorePower) {
   auto cactus = MakeProcess("cactusBSSN");
   lo.AttachWork(0, leela.get());
   hi.AttachWork(0, cactus.get());
-  lo.SetRequestedMhz(0, 2200);
-  hi.SetRequestedMhz(0, 2200);
-  lo.Tick(0.001);
-  hi.Tick(0.001);
+  lo.SetRequestedMhz(0, Mhz{2200});
+  hi.SetRequestedMhz(0, Mhz{2200});
+  lo.Tick(Seconds{0.001});
+  hi.Tick(Seconds{0.001});
   EXPECT_GT(hi.core(0).power_w(), lo.core(0).power_w());
 }
 
@@ -260,10 +260,10 @@ TEST(Package, MultiWorkMembersCountForTurboCensus) {
   auto proc = MakeProcess("gcc");
   pkg.AttachWork(9, proc.get());
   for (int i = 0; i < 10; i++) {
-    pkg.SetRequestedMhz(i, 3000);
+    pkg.SetRequestedMhz(i, Mhz{3000});
   }
-  pkg.Tick(0.001);
-  EXPECT_DOUBLE_EQ(pkg.core(9).effective_mhz(), spec.TurboLimitMhz(10));
+  pkg.Tick(Seconds{0.001});
+  EXPECT_DOUBLE_EQ(pkg.core(9).effective_mhz().value(), spec.TurboLimitMhz(10).value());
 }
 
 }  // namespace

@@ -23,11 +23,11 @@ ScenarioConfig SmallConfig(PolicyKind policy) {
   c.apps = ShareSplitMix(ryzen ? 8 : 10, 70.0, 30.0).apps;
   c.policy = policy;
   if (policy == PolicyKind::kStatic) {
-    c.static_mhz = 2000.0;
+    c.static_mhz = Mhz{2000.0};
   }
-  c.limit_w = 45.0;
-  c.warmup_s = 2.0;
-  c.measure_s = 4.0;
+  c.limit_w = Watts{45.0};
+  c.warmup_s = Seconds{2.0};
+  c.measure_s = Seconds{4.0};
   return c;
 }
 
@@ -94,9 +94,9 @@ TEST(ParallelEquivalence, WebsearchesMatchSerial) {
   for (PolicyKind policy : {PolicyKind::kRaplOnly, PolicyKind::kFrequencyShares}) {
     WebsearchConfig c{.platform = SkylakeXeon4114()};
     c.policy = policy;
-    c.limit_w = 45.0;
-    c.warmup_s = 2.0;
-    c.measure_s = 6.0;
+    c.limit_w = Watts{45.0};
+    c.warmup_s = Seconds{2.0};
+    c.measure_s = Seconds{6.0};
     configs.push_back(c);
   }
 

@@ -11,75 +11,75 @@ namespace papd {
 namespace {
 
 TEST(PStateTable, SizeAndOrdering) {
-  const PStateTable t(800, 2200, 100);
+  const PStateTable t(Mhz{800}, Mhz{2200}, Mhz{100});
   EXPECT_EQ(t.size(), 15u);
-  EXPECT_DOUBLE_EQ(t.FrequencyOf(0), 2200.0);  // P0 fastest.
-  EXPECT_DOUBLE_EQ(t.FrequencyOf(14), 800.0);
-  EXPECT_DOUBLE_EQ(t.min_mhz(), 800.0);
-  EXPECT_DOUBLE_EQ(t.max_mhz(), 2200.0);
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(0).value(), 2200.0);  // P0 fastest.
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(14).value(), 800.0);
+  EXPECT_DOUBLE_EQ(t.min_mhz().value(), 800.0);
+  EXPECT_DOUBLE_EQ(t.max_mhz().value(), 2200.0);
 }
 
 TEST(PStateTable, QuantizeDown) {
-  const PStateTable t(800, 2200, 100);
-  EXPECT_DOUBLE_EQ(t.QuantizeDown(1234), 1200.0);
-  EXPECT_DOUBLE_EQ(t.QuantizeDown(1200), 1200.0);
-  EXPECT_DOUBLE_EQ(t.QuantizeDown(799), 800.0);   // Clamp low.
-  EXPECT_DOUBLE_EQ(t.QuantizeDown(9999), 2200.0);  // Clamp high.
+  const PStateTable t(Mhz{800}, Mhz{2200}, Mhz{100});
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(Mhz{1234}).value(), 1200.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(Mhz{1200}).value(), 1200.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(Mhz{799}).value(), 800.0);   // Clamp low.
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(Mhz{9999}).value(), 2200.0);  // Clamp high.
 }
 
 TEST(PStateTable, QuantizeUp) {
-  const PStateTable t(800, 2200, 100);
-  EXPECT_DOUBLE_EQ(t.QuantizeUp(1201), 1300.0);
-  EXPECT_DOUBLE_EQ(t.QuantizeUp(1300), 1300.0);
-  EXPECT_DOUBLE_EQ(t.QuantizeUp(100), 800.0);
-  EXPECT_DOUBLE_EQ(t.QuantizeUp(5000), 2200.0);
+  const PStateTable t(Mhz{800}, Mhz{2200}, Mhz{100});
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(Mhz{1201}).value(), 1300.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(Mhz{1300}).value(), 1300.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(Mhz{100}).value(), 800.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeUp(Mhz{5000}).value(), 2200.0);
 }
 
 TEST(PStateTable, QuantizeNearest) {
-  const PStateTable t(800, 2200, 100);
-  EXPECT_DOUBLE_EQ(t.QuantizeNearest(1249), 1200.0);
-  EXPECT_DOUBLE_EQ(t.QuantizeNearest(1251), 1300.0);
+  const PStateTable t(Mhz{800}, Mhz{2200}, Mhz{100});
+  EXPECT_DOUBLE_EQ(t.QuantizeNearest(Mhz{1249}).value(), 1200.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeNearest(Mhz{1251}).value(), 1300.0);
 }
 
 TEST(PStateTable, IndexRoundTrip) {
-  const PStateTable t(800, 2200, 100);
+  const PStateTable t(Mhz{800}, Mhz{2200}, Mhz{100});
   for (size_t i = 0; i < t.size(); i++) {
     EXPECT_EQ(t.IndexOf(t.FrequencyOf(i)), i);
   }
 }
 
 TEST(PStateTable, OnGrid) {
-  const PStateTable t(800, 3400, 25);
-  EXPECT_TRUE(t.OnGrid(825));
-  EXPECT_TRUE(t.OnGrid(3400));
-  EXPECT_FALSE(t.OnGrid(812));
-  EXPECT_FALSE(t.OnGrid(3500));
+  const PStateTable t(Mhz{800}, Mhz{3400}, Mhz{25});
+  EXPECT_TRUE(t.OnGrid(Mhz{825}));
+  EXPECT_TRUE(t.OnGrid(Mhz{3400}));
+  EXPECT_FALSE(t.OnGrid(Mhz{812}));
+  EXPECT_FALSE(t.OnGrid(Mhz{3500}));
 }
 
 TEST(PStateTable, Ryzen25MhzGridIsFine) {
-  const PStateTable t(800, 3800, 25);
+  const PStateTable t(Mhz{800}, Mhz{3800}, Mhz{25});
   EXPECT_EQ(t.size(), 121u);
-  EXPECT_DOUBLE_EQ(t.QuantizeDown(3333), 3325.0);
+  EXPECT_DOUBLE_EQ(t.QuantizeDown(Mhz{3333}).value(), 3325.0);
 }
 
 TEST(VoltageCurve, InterpolatesAndClamps) {
-  const VoltageCurve curve({{800, 0.65}, {2200, 1.00}, {3000, 1.15}});
-  EXPECT_DOUBLE_EQ(curve.At(800), 0.65);
-  EXPECT_DOUBLE_EQ(curve.At(2200), 1.00);
-  EXPECT_DOUBLE_EQ(curve.At(3000), 1.15);
-  EXPECT_NEAR(curve.At(1500), 0.65 + 0.35 * 700.0 / 1400.0, 1e-12);
+  const VoltageCurve curve({{Mhz{800}, Volts{0.65}}, {Mhz{2200}, Volts{1.00}}, {Mhz{3000}, Volts{1.15}}});
+  EXPECT_DOUBLE_EQ(curve.At(Mhz{800}).value(), 0.65);
+  EXPECT_DOUBLE_EQ(curve.At(Mhz{2200}).value(), 1.00);
+  EXPECT_DOUBLE_EQ(curve.At(Mhz{3000}).value(), 1.15);
+  EXPECT_NEAR(curve.At(Mhz{1500}).value(), 0.65 + 0.35 * 700.0 / 1400.0, 1e-12);
   // Clamped outside the range.
-  EXPECT_DOUBLE_EQ(curve.At(100), 0.65);
-  EXPECT_DOUBLE_EQ(curve.At(9000), 1.15);
-  EXPECT_DOUBLE_EQ(curve.min_volts(), 0.65);
-  EXPECT_DOUBLE_EQ(curve.max_volts(), 1.15);
+  EXPECT_DOUBLE_EQ(curve.At(Mhz{100}).value(), 0.65);
+  EXPECT_DOUBLE_EQ(curve.At(Mhz{9000}).value(), 1.15);
+  EXPECT_DOUBLE_EQ(curve.min_volts().value(), 0.65);
+  EXPECT_DOUBLE_EQ(curve.max_volts().value(), 1.15);
 }
 
 TEST(VoltageCurve, MonotoneOverRange) {
   const PlatformSpec spec = SkylakeXeon4114();
-  Volts prev = 0.0;
-  for (Mhz f = spec.min_mhz; f <= spec.turbo_max_mhz; f += 50) {
-    const Volts v = spec.voltage.At(f);
+  Volts prev{0.0};
+  for (Mhz f = spec.min_mhz; f <= spec.turbo_max_mhz; f += Mhz{50}) {
+    const Volts v{spec.voltage.At(f)};
     EXPECT_GE(v, prev);
     prev = v;
   }
@@ -88,12 +88,12 @@ TEST(VoltageCurve, MonotoneOverRange) {
 TEST(PlatformSpec, SkylakeMatchesTable1) {
   const PlatformSpec s = SkylakeXeon4114();
   EXPECT_EQ(s.num_cores, 10);
-  EXPECT_DOUBLE_EQ(s.min_mhz, 800.0);
-  EXPECT_DOUBLE_EQ(s.base_max_mhz, 2200.0);
-  EXPECT_DOUBLE_EQ(s.turbo_max_mhz, 3000.0);
-  EXPECT_DOUBLE_EQ(s.step_mhz, 100.0);
-  EXPECT_DOUBLE_EQ(s.rapl_min_w, 20.0);
-  EXPECT_DOUBLE_EQ(s.rapl_max_w, 85.0);
+  EXPECT_DOUBLE_EQ(s.min_mhz.value(), 800.0);
+  EXPECT_DOUBLE_EQ(s.base_max_mhz.value(), 2200.0);
+  EXPECT_DOUBLE_EQ(s.turbo_max_mhz.value(), 3000.0);
+  EXPECT_DOUBLE_EQ(s.step_mhz.value(), 100.0);
+  EXPECT_DOUBLE_EQ(s.rapl_min_w.value(), 20.0);
+  EXPECT_DOUBLE_EQ(s.rapl_max_w.value(), 85.0);
   EXPECT_TRUE(s.has_rapl_limit);
   EXPECT_FALSE(s.has_per_core_power);
   EXPECT_EQ(s.max_simultaneous_pstates, 0);
@@ -102,8 +102,8 @@ TEST(PlatformSpec, SkylakeMatchesTable1) {
 TEST(PlatformSpec, RyzenMatchesTable1) {
   const PlatformSpec r = Ryzen1700X();
   EXPECT_EQ(r.num_cores, 8);
-  EXPECT_DOUBLE_EQ(r.step_mhz, 25.0);
-  EXPECT_DOUBLE_EQ(r.turbo_max_mhz, 3800.0);
+  EXPECT_DOUBLE_EQ(r.step_mhz.value(), 25.0);
+  EXPECT_DOUBLE_EQ(r.turbo_max_mhz.value(), 3800.0);
   EXPECT_FALSE(r.has_rapl_limit);
   EXPECT_TRUE(r.has_per_core_power);
   EXPECT_EQ(r.max_simultaneous_pstates, 3);
@@ -111,31 +111,31 @@ TEST(PlatformSpec, RyzenMatchesTable1) {
 
 TEST(PlatformSpec, TurboLadderMonotone) {
   for (const PlatformSpec& spec : {SkylakeXeon4114(), Ryzen1700X()}) {
-    Mhz prev = spec.turbo_max_mhz + 1;
+    Mhz prev{spec.turbo_max_mhz + Mhz{1}};
     for (int active = 1; active <= spec.num_cores; active++) {
-      const Mhz limit = spec.TurboLimitMhz(active);
+      const Mhz limit{spec.TurboLimitMhz(active)};
       EXPECT_LE(limit, prev) << spec.name << " active=" << active;
       EXPECT_GE(limit, spec.base_max_mhz);
       prev = limit;
     }
     // Few active cores reach max turbo.
-    EXPECT_DOUBLE_EQ(spec.TurboLimitMhz(1), spec.turbo_max_mhz);
+    EXPECT_DOUBLE_EQ(spec.TurboLimitMhz(1).value(), spec.turbo_max_mhz.value());
   }
 }
 
 TEST(PlatformSpec, SkylakeAllCoreTurboAbove2500) {
   // Figure 4 of the paper observes ~2.5-2.65 GHz with all 10 cores active.
   const PlatformSpec s = SkylakeXeon4114();
-  EXPECT_GE(s.TurboLimitMhz(10), 2500.0);
+  EXPECT_GE(s.TurboLimitMhz(10), Mhz{2500.0});
   EXPECT_LT(s.TurboLimitMhz(10), s.turbo_max_mhz);
 }
 
 TEST(PlatformSpec, AvxCaps) {
   const PlatformSpec s = SkylakeXeon4114();
-  EXPECT_DOUBLE_EQ(s.AvxCapMhz(0), s.turbo_max_mhz);  // No AVX work: no cap.
-  EXPECT_DOUBLE_EQ(s.AvxCapMhz(1), s.avx_max_mhz_light);
-  EXPECT_DOUBLE_EQ(s.AvxCapMhz(2), s.avx_max_mhz_light);
-  EXPECT_DOUBLE_EQ(s.AvxCapMhz(5), s.avx_max_mhz_heavy);
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(0).value(), s.turbo_max_mhz.value());  // No AVX work: no cap.
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(1).value(), s.avx_max_mhz_light.value());
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(2).value(), s.avx_max_mhz_light.value());
+  EXPECT_DOUBLE_EQ(s.AvxCapMhz(5).value(), s.avx_max_mhz_heavy.value());
   EXPECT_LT(s.avx_max_mhz_heavy, s.avx_max_mhz_light);
   EXPECT_LT(s.avx_max_mhz_light, s.base_max_mhz);
 }
@@ -143,8 +143,8 @@ TEST(PlatformSpec, AvxCaps) {
 TEST(PlatformSpec, PStatesCoverFullRange) {
   for (const PlatformSpec& spec : {SkylakeXeon4114(), Ryzen1700X()}) {
     const PStateTable t = spec.PStates();
-    EXPECT_DOUBLE_EQ(t.min_mhz(), spec.min_mhz);
-    EXPECT_DOUBLE_EQ(t.max_mhz(), spec.turbo_max_mhz);
+    EXPECT_DOUBLE_EQ(t.min_mhz().value(), spec.min_mhz.value());
+    EXPECT_DOUBLE_EQ(t.max_mhz().value(), spec.turbo_max_mhz.value());
   }
 }
 

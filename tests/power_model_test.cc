@@ -15,9 +15,9 @@ class PowerModelTest : public ::testing::Test {
 };
 
 TEST_F(PowerModelTest, MonotoneInFrequency) {
-  Watts prev = 0.0;
-  for (Mhz f = spec_.min_mhz; f <= spec_.turbo_max_mhz; f += 100) {
-    const Watts p = model_.CorePowerW(f, 1.0, 1.0);
+  Watts prev{0.0};
+  for (Mhz f = spec_.min_mhz; f <= spec_.turbo_max_mhz; f += Mhz{100}) {
+    const Watts p{model_.CorePowerW(f, 1.0, 1.0)};
     EXPECT_GT(p, prev) << f;
     prev = p;
   }
@@ -26,60 +26,60 @@ TEST_F(PowerModelTest, MonotoneInFrequency) {
 TEST_F(PowerModelTest, SuperlinearInFrequency) {
   // V rises with f, so power grows faster than linearly (the cubic-ish DVFS
   // relation the paper leans on).
-  const Watts p1 = model_.CorePowerW(1000, 1.0, 1.0);
-  const Watts p3 = model_.CorePowerW(3000, 1.0, 1.0);
+  const Watts p1{model_.CorePowerW(Mhz{1000}, 1.0, 1.0)};
+  const Watts p3{model_.CorePowerW(Mhz{3000}, 1.0, 1.0)};
   EXPECT_GT(p3, 3.0 * p1);
 }
 
 TEST_F(PowerModelTest, MonotoneInActivity) {
-  EXPECT_LT(model_.CorePowerW(2000, 1.0, 0.9), model_.CorePowerW(2000, 1.0, 1.6));
+  EXPECT_LT(model_.CorePowerW(Mhz{2000}, 1.0, 0.9), model_.CorePowerW(Mhz{2000}, 1.0, 1.6));
 }
 
 TEST_F(PowerModelTest, BusyFractionScalesDynamicPower) {
-  const Watts idle = model_.CorePowerW(2000, 0.0, 1.0);
-  const Watts half = model_.CorePowerW(2000, 0.5, 1.0);
-  const Watts full = model_.CorePowerW(2000, 1.0, 1.0);
+  const Watts idle{model_.CorePowerW(Mhz{2000}, 0.0, 1.0)};
+  const Watts half{model_.CorePowerW(Mhz{2000}, 0.5, 1.0)};
+  const Watts full{model_.CorePowerW(Mhz{2000}, 1.0, 1.0)};
   EXPECT_LT(idle, half);
   EXPECT_LT(half, full);
   // Dynamic component is linear in busy (gate power shifts the intercept).
-  const double dyn_half = half - idle;
-  const double dyn_full = full - idle;
+  const Watts dyn_half = half - idle;
+  const Watts dyn_full = full - idle;
   EXPECT_NEAR(dyn_full / dyn_half, 2.0, 0.1);
 }
 
 TEST_F(PowerModelTest, OfflineCoreIsMilliwatts) {
   // Paper Section 2.1: idle cores consume milliwatt-range power.
-  EXPECT_LT(model_.OfflineCorePowerW(), 0.1);
-  EXPECT_GT(model_.OfflineCorePowerW(), 0.0);
+  EXPECT_LT(model_.OfflineCorePowerW(), Watts{0.1});
+  EXPECT_GT(model_.OfflineCorePowerW(), Watts{0.0});
   // Far below even an online-idle core.
   EXPECT_LT(model_.OfflineCorePowerW(), model_.CorePowerW(spec_.min_mhz, 0.0, 1.0));
 }
 
 TEST_F(PowerModelTest, UncoreGrowsWithActiveCores) {
   EXPECT_GT(model_.UncorePowerW(10), model_.UncorePowerW(0));
-  EXPECT_DOUBLE_EQ(model_.UncorePowerW(0), spec_.power.uncore_base_w);
+  EXPECT_DOUBLE_EQ(model_.UncorePowerW(0).value(), spec_.power.uncore_base_w.value());
 }
 
 TEST_F(PowerModelTest, InverseFrequencyForPowerRoundTrip) {
   for (double activity : {0.9, 1.0, 1.6, 3.2}) {
-    for (Mhz f : {900.0, 1500.0, 2200.0, 2800.0}) {
-      const Watts p = model_.CorePowerW(f, 1.0, activity);
-      const Mhz back = model_.FrequencyForCorePowerW(p, activity);
-      EXPECT_NEAR(back, f, 1.0) << "activity=" << activity << " f=" << f;
+    for (Mhz f : {Mhz{900.0}, Mhz{1500.0}, Mhz{2200.0}, Mhz{2800.0}}) {
+      const Watts p{model_.CorePowerW(f, 1.0, activity)};
+      const Mhz back{model_.FrequencyForCorePowerW(p, activity)};
+      EXPECT_NEAR(back.value(), f.value(), 1.0) << "activity=" << activity << " f=" << f;
     }
   }
 }
 
 TEST_F(PowerModelTest, InverseClampsAtRangeEnds) {
-  EXPECT_DOUBLE_EQ(model_.FrequencyForCorePowerW(0.0, 1.0), spec_.min_mhz);
-  EXPECT_DOUBLE_EQ(model_.FrequencyForCorePowerW(1000.0, 1.0), spec_.turbo_max_mhz);
+  EXPECT_DOUBLE_EQ(model_.FrequencyForCorePowerW(Watts{0.0}, 1.0).value(), spec_.min_mhz.value());
+  EXPECT_DOUBLE_EQ(model_.FrequencyForCorePowerW(Watts{1000.0}, 1.0).value(), spec_.turbo_max_mhz.value());
 }
 
 // Paper Section 5.2: core power varies by a factor of ~12-14 across the
 // frequency/demand range.
 TEST_F(PowerModelTest, CorePowerDynamicRange) {
-  const Watts lo = model_.CorePowerW(spec_.min_mhz, 1.0, 0.9);   // LD at min.
-  const Watts hi = model_.CorePowerW(spec_.turbo_max_mhz, 1.0, 3.2);  // Virus at max.
+  const Watts lo{model_.CorePowerW(spec_.min_mhz, 1.0, 0.9)};   // LD at min.
+  const Watts hi{model_.CorePowerW(spec_.turbo_max_mhz, 1.0, 3.2)};  // Virus at max.
   EXPECT_GE(hi / lo, 10.0);
   EXPECT_LE(hi / lo, 40.0);
 }
@@ -88,21 +88,21 @@ TEST_F(PowerModelTest, CorePowerDynamicRange) {
 TEST_F(PowerModelTest, SkylakeCalibrationAnchors) {
   // A gcc-like core (activity 1.0) at the 2.6 GHz all-core turbo draws
   // ~6-8 W, so ten of them plus uncore land near the 85 W TDP.
-  const Watts core = model_.CorePowerW(2600, 1.0, 1.0);
-  EXPECT_GT(core, 5.5);
-  EXPECT_LT(core, 8.5);
-  const Watts pkg10 = 10 * core + model_.UncorePowerW(10);
-  EXPECT_GT(pkg10, 70.0);
-  EXPECT_LT(pkg10, 95.0);
+  const Watts core{model_.CorePowerW(Mhz{2600}, 1.0, 1.0)};
+  EXPECT_GT(core, Watts{5.5});
+  EXPECT_LT(core, Watts{8.5});
+  const Watts pkg10{10 * core + model_.UncorePowerW(10)};
+  EXPECT_GT(pkg10, Watts{70.0});
+  EXPECT_LT(pkg10, Watts{95.0});
 }
 
 TEST(PowerModelRyzen, CalibrationAnchors) {
   const PlatformSpec spec = Ryzen1700X();
   const PowerModel model(&spec);
   // Eight all-core-turbo cores plus uncore near (below) the 95 W TDP.
-  const Watts pkg8 = 8 * model.CorePowerW(3400, 1.0, 1.0) + model.UncorePowerW(8);
-  EXPECT_GT(pkg8, 60.0);
-  EXPECT_LT(pkg8, 100.0);
+  const Watts pkg8{8 * model.CorePowerW(Mhz{3400}, 1.0, 1.0) + model.UncorePowerW(8)};
+  EXPECT_GT(pkg8, Watts{60.0});
+  EXPECT_LT(pkg8, Watts{100.0});
 }
 
 }  // namespace

@@ -11,11 +11,11 @@ namespace {
 
 PolicyPlatform SkylakeLike() {
   PolicyPlatform p;
-  p.min_mhz = 800;
-  p.max_mhz = 3000;
-  p.step_mhz = 100;
+  p.min_mhz = Mhz{800};
+  p.max_mhz = Mhz{3000};
+  p.step_mhz = Mhz{100};
   p.num_cores = 10;
-  p.max_power_w = 85;
+  p.max_power_w = Watts{85};
   return p;
 }
 
@@ -32,8 +32,8 @@ std::vector<ManagedApp> Apps(int hp, int lp) {
 
 TelemetrySample Sample(Watts pkg_w, size_t cores = 10) {
   TelemetrySample s;
-  s.t = 1.0;
-  s.dt = 1.0;
+  s.t = Seconds{1.0};
+  s.dt = Seconds{1.0};
   s.pkg_w = pkg_w;
   s.cores.resize(cores);
   return s;
@@ -41,9 +41,9 @@ TelemetrySample Sample(Watts pkg_w, size_t cores = 10) {
 
 TEST(PriorityPolicy, InitialHpAtMaxLpStopped) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
-  const auto t = policy.InitialDistribution(Apps(2, 3), 50);
-  EXPECT_DOUBLE_EQ(t[0], 3000.0);
-  EXPECT_DOUBLE_EQ(t[1], 3000.0);
+  const auto t = policy.InitialDistribution(Apps(2, 3), Watts{50});
+  EXPECT_DOUBLE_EQ(t[0].value(), 3000.0);
+  EXPECT_DOUBLE_EQ(t[1].value(), 3000.0);
   EXPECT_EQ(t[2], PriorityPolicy::kStopped);
   EXPECT_EQ(t[3], PriorityPolicy::kStopped);
   EXPECT_EQ(t[4], PriorityPolicy::kStopped);
@@ -51,36 +51,36 @@ TEST(PriorityPolicy, InitialHpAtMaxLpStopped) {
 
 TEST(PriorityPolicy, NoStarveModeStartsLpAtMinimum) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = false});
-  const auto t = policy.InitialDistribution(Apps(2, 3), 50);
-  EXPECT_DOUBLE_EQ(t[2], 800.0);
+  const auto t = policy.InitialDistribution(Apps(2, 3), Watts{50});
+  EXPECT_DOUBLE_EQ(t[2].value(), 800.0);
 }
 
 TEST(PriorityPolicy, HeadroomAdmitsLpOnePerPeriod) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(1, 2);
-  policy.InitialDistribution(apps, 50);
+  policy.InitialDistribution(apps, Watts{50});
   // Plenty of headroom, HP already at max.
-  auto t = policy.Redistribute(apps, Sample(20.0), 50);
+  auto t = policy.Redistribute(apps, Sample(Watts{20.0}), Watts{50});
   EXPECT_NE(t[1], PriorityPolicy::kStopped);  // First LP admitted...
   EXPECT_EQ(t[2], PriorityPolicy::kStopped);  // ...second not yet.
-  t = policy.Redistribute(apps, Sample(25.0), 50);
+  t = policy.Redistribute(apps, Sample(Watts{25.0}), Watts{50});
   EXPECT_NE(t[2], PriorityPolicy::kStopped);
 }
 
 TEST(PriorityPolicy, AdmittedLpStartsAtMinimum) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(1, 1);
-  policy.InitialDistribution(apps, 50);
-  const auto t = policy.Redistribute(apps, Sample(20.0), 50);
-  EXPECT_DOUBLE_EQ(t[1], 800.0);
+  policy.InitialDistribution(apps, Watts{50});
+  const auto t = policy.Redistribute(apps, Sample(Watts{20.0}), Watts{50});
+  EXPECT_DOUBLE_EQ(t[1].value(), 800.0);
 }
 
 TEST(PriorityPolicy, InsufficientHeadroomKeepsLpStarved) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(4, 4);
-  policy.InitialDistribution(apps, 40);
+  policy.InitialDistribution(apps, Watts{40});
   // Just at the limit: no LP admission.
-  const auto t = policy.Redistribute(apps, Sample(39.8), 40);
+  const auto t = policy.Redistribute(apps, Sample(Watts{39.8}), Watts{40});
   for (int i = 4; i < 8; i++) {
     EXPECT_EQ(t[i], PriorityPolicy::kStopped);
   }
@@ -89,85 +89,85 @@ TEST(PriorityPolicy, InsufficientHeadroomKeepsLpStarved) {
 TEST(PriorityPolicy, OverBudgetThrottlesLpBeforeHp) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(1, 1);
-  policy.InitialDistribution(apps, 50);
-  policy.Redistribute(apps, Sample(20.0), 50);  // Admit LP at min.
+  policy.InitialDistribution(apps, Watts{50});
+  policy.Redistribute(apps, Sample(Watts{20.0}), Watts{50});  // Admit LP at min.
   // Raise LP first so it has something to give back.
-  auto t = policy.Redistribute(apps, Sample(30.0), 50);
-  const Mhz lp_raised = t[1];
-  ASSERT_GT(lp_raised, 800.0);
+  auto t = policy.Redistribute(apps, Sample(Watts{30.0}), Watts{50});
+  const Mhz lp_raised{t[1]};
+  ASSERT_GT(lp_raised, Mhz{800.0});
   // Now over budget: LP gives back; HP untouched.
-  t = policy.Redistribute(apps, Sample(60.0), 50);
+  t = policy.Redistribute(apps, Sample(Watts{60.0}), Watts{50});
   EXPECT_LT(t[1], lp_raised);
-  EXPECT_DOUBLE_EQ(t[0], 3000.0);
+  EXPECT_DOUBLE_EQ(t[0].value(), 3000.0);
 }
 
 TEST(PriorityPolicy, PersistentDeficitStopsLpThenThrottlesHp) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(1, 1);
-  policy.InitialDistribution(apps, 40);
-  policy.Redistribute(apps, Sample(20.0), 40);  // Admit LP.
+  policy.InitialDistribution(apps, Watts{40});
+  policy.Redistribute(apps, Sample(Watts{20.0}), Watts{40});  // Admit LP.
   // Sustained heavy overdraft with LP already at the minimum.
-  auto t = policy.Redistribute(apps, Sample(60.0), 40);
+  auto t = policy.Redistribute(apps, Sample(Watts{60.0}), Watts{40});
   // LP was at min, so it is stopped.
   EXPECT_EQ(t[1], PriorityPolicy::kStopped);
   // Still over: now HP throttles.
-  t = policy.Redistribute(apps, Sample(60.0), 40);
-  EXPECT_LT(t[0], 3000.0);
+  t = policy.Redistribute(apps, Sample(Watts{60.0}), Watts{40});
+  EXPECT_LT(t[0], Mhz{3000.0});
 }
 
 TEST(PriorityPolicy, NoStarveModeThrottlesHpInstead) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = false});
   auto apps = Apps(1, 1);
-  policy.InitialDistribution(apps, 40);
+  policy.InitialDistribution(apps, Watts{40});
   // LP at min already; over budget: HP throttles, LP keeps running.
-  auto t = policy.Redistribute(apps, Sample(60.0), 40);
-  t = policy.Redistribute(apps, Sample(55.0), 40);
+  auto t = policy.Redistribute(apps, Sample(Watts{60.0}), Watts{40});
+  t = policy.Redistribute(apps, Sample(Watts{55.0}), Watts{40});
   EXPECT_NE(t[1], PriorityPolicy::kStopped);
-  EXPECT_LT(t[0], 3000.0);
+  EXPECT_LT(t[0], Mhz{3000.0});
 }
 
 TEST(PriorityPolicy, HpClassMovesTogether) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(3, 0);
-  policy.InitialDistribution(apps, 40);
-  const auto t = policy.Redistribute(apps, Sample(70.0), 40);
-  EXPECT_DOUBLE_EQ(t[0], t[1]);
-  EXPECT_DOUBLE_EQ(t[1], t[2]);
-  EXPECT_LT(t[0], 3000.0);
+  policy.InitialDistribution(apps, Watts{40});
+  const auto t = policy.Redistribute(apps, Sample(Watts{70.0}), Watts{40});
+  EXPECT_DOUBLE_EQ(t[0].value(), t[1].value());
+  EXPECT_DOUBLE_EQ(t[1].value(), t[2].value());
+  EXPECT_LT(t[0], Mhz{3000.0});
 }
 
 TEST(PriorityPolicy, RecoveryRaisesHpBackToMax) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(2, 0);
-  policy.InitialDistribution(apps, 40);
-  auto t = policy.Redistribute(apps, Sample(70.0), 40);
-  const Mhz throttled = t[0];
-  ASSERT_LT(throttled, 3000.0);
+  policy.InitialDistribution(apps, Watts{40});
+  auto t = policy.Redistribute(apps, Sample(Watts{70.0}), Watts{40});
+  const Mhz throttled{t[0]};
+  ASSERT_LT(throttled, Mhz{3000.0});
   for (int i = 0; i < 20; i++) {
-    t = policy.Redistribute(apps, Sample(20.0), 40);
+    t = policy.Redistribute(apps, Sample(Watts{20.0}), Watts{40});
   }
-  EXPECT_DOUBLE_EQ(t[0], 3000.0);
+  EXPECT_DOUBLE_EQ(t[0].value(), 3000.0);
 }
 
 TEST(PriorityPolicy, DeadbandHoldsSteady) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(2, 2);
-  const auto before = policy.InitialDistribution(apps, 40);
-  const auto after = policy.Redistribute(apps, Sample(40.2), 40);
+  const auto before = policy.InitialDistribution(apps, Watts{40});
+  const auto after = policy.Redistribute(apps, Sample(Watts{40.2}), Watts{40});
   EXPECT_EQ(before, after);
 }
 
 TEST(PriorityPolicy, TargetsWithinRangeUnderChaoticPower) {
   PriorityPolicy policy(SkylakeLike(), {.starve_lp = true});
   auto apps = Apps(3, 3);
-  policy.InitialDistribution(apps, 45);
+  policy.InitialDistribution(apps, Watts{45});
   for (int i = 0; i < 200; i++) {
-    const Watts pkg = 10.0 + static_cast<double>((i * 37) % 90);
-    const auto t = policy.Redistribute(apps, Sample(pkg), 45);
+    const Watts pkg{10.0 + static_cast<double>((i * 37) % 90)};
+    const auto t = policy.Redistribute(apps, Sample(pkg), Watts{45});
     for (Mhz f : t) {
       if (f != PriorityPolicy::kStopped) {
-        ASSERT_GE(f, 800.0 - 1e-6);
-        ASSERT_LE(f, 3000.0 + 1e-6);
+        ASSERT_GE(f, Mhz{800.0 - 1e-6});
+        ASSERT_LE(f, Mhz{3000.0 + 1e-6});
       }
     }
   }

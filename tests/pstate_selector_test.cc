@@ -33,12 +33,13 @@ double BruteForceSse(std::vector<Mhz> targets, int k, Mhz step) {
     for (size_t b : bounds) {
       double mean = 0.0;
       for (size_t i = start; i < b; i++) {
-        mean += targets[i];
+        mean += targets[i].value();
       }
       mean /= static_cast<double>(b - start);
-      const Mhz level = std::round(mean / step) * step;
+      const Mhz level = QuantizeNearestToGrid(Mhz{mean}, step);
       for (size_t i = start; i < b; i++) {
-        sse += (targets[i] - level) * (targets[i] - level);
+        const double dev = (targets[i] - level).value();
+        sse += dev * dev;
       }
       start = b;
     }
@@ -61,36 +62,36 @@ double BruteForceSse(std::vector<Mhz> targets, int k, Mhz step) {
 }
 
 TEST(SelectPStates, EmptyInput) {
-  const PStateSelection sel = SelectPStates({}, 3, 25);
+  const PStateSelection sel = SelectPStates({}, 3, Mhz{25});
   EXPECT_TRUE(sel.levels.empty());
   EXPECT_TRUE(sel.assignment.empty());
 }
 
 TEST(SelectPStates, FewerTargetsThanLevels) {
-  const PStateSelection sel = SelectPStates({1000, 2000}, 3, 25);
+  const PStateSelection sel = SelectPStates({Mhz{1000}, Mhz{2000}}, 3, Mhz{25});
   EXPECT_LE(sel.levels.size(), 2u);
   EXPECT_NEAR(sel.sse, 0.0, 1e-9);
 }
 
 TEST(SelectPStates, IdenticalTargetsCollapseToOneLevel) {
-  const PStateSelection sel = SelectPStates({1500, 1500, 1500, 1500}, 3, 25);
+  const PStateSelection sel = SelectPStates({Mhz{1500}, Mhz{1500}, Mhz{1500}, Mhz{1500}}, 3, Mhz{25});
   ASSERT_EQ(sel.levels.size(), 1u);
-  EXPECT_DOUBLE_EQ(sel.levels[0], 1500.0);
+  EXPECT_DOUBLE_EQ(sel.levels[0].value(), 1500.0);
   for (int a : sel.assignment) {
     EXPECT_EQ(a, 0);
   }
 }
 
 TEST(SelectPStates, ThreeNaturalClusters) {
-  const std::vector<Mhz> targets = {3400, 3375, 2200, 2225, 800, 825, 800, 850};
-  const PStateSelection sel = SelectPStates(targets, 3, 25);
+  const std::vector<Mhz> targets = {Mhz{3400}, Mhz{3375}, Mhz{2200}, Mhz{2225}, Mhz{800}, Mhz{825}, Mhz{800}, Mhz{850}};
+  const PStateSelection sel = SelectPStates(targets, 3, Mhz{25});
   ASSERT_EQ(sel.levels.size(), 3u);
   // Levels sorted high-to-low like a P-state table.
   EXPECT_GT(sel.levels[0], sel.levels[1]);
   EXPECT_GT(sel.levels[1], sel.levels[2]);
-  EXPECT_NEAR(sel.levels[0], 3400, 50);
-  EXPECT_NEAR(sel.levels[1], 2200, 50);
-  EXPECT_NEAR(sel.levels[2], 825, 50);
+  EXPECT_NEAR(sel.levels[0].value(), 3400, 50);
+  EXPECT_NEAR(sel.levels[1].value(), 2200, 50);
+  EXPECT_NEAR(sel.levels[2].value(), 825, 50);
   // High targets map to the high level.
   EXPECT_EQ(sel.assignment[0], 0);
   EXPECT_EQ(sel.assignment[2], 1);
@@ -102,11 +103,11 @@ TEST(SelectPStates, LevelsOnGrid) {
   for (int iter = 0; iter < 50; iter++) {
     std::vector<Mhz> targets;
     for (int i = 0; i < 8; i++) {
-      targets.push_back(rng.Uniform(800, 3800));
+      targets.push_back(Mhz{rng.Uniform(800, 3800)});
     }
-    const PStateSelection sel = SelectPStates(targets, 3, 25);
+    const PStateSelection sel = SelectPStates(targets, 3, Mhz{25});
     for (Mhz level : sel.levels) {
-      EXPECT_NEAR(std::fmod(level, 25.0), 0.0, 1e-6);
+      EXPECT_NEAR(std::fmod(level.value(), 25.0), 0.0, 1e-6);
     }
   }
 }
@@ -116,9 +117,9 @@ TEST(SelectPStates, AssignmentIndicesValid) {
   for (int iter = 0; iter < 50; iter++) {
     std::vector<Mhz> targets;
     for (int i = 0; i < 8; i++) {
-      targets.push_back(rng.Uniform(800, 3800));
+      targets.push_back(Mhz{rng.Uniform(800, 3800)});
     }
-    const PStateSelection sel = SelectPStates(targets, 3, 25);
+    const PStateSelection sel = SelectPStates(targets, 3, Mhz{25});
     ASSERT_EQ(sel.assignment.size(), targets.size());
     EXPECT_LE(sel.levels.size(), 3u);
     for (int a : sel.assignment) {
@@ -138,10 +139,10 @@ TEST_P(SelectorOptimality, MatchesBruteForce) {
     for (int i = 0; i < n; i++) {
       // Grid-aligned targets keep the rounding interaction out of the
       // optimality comparison.
-      targets.push_back(800.0 + 25.0 * static_cast<double>(rng.NextBelow(121)));
+      targets.push_back(Mhz{800.0 + 25.0 * static_cast<double>(rng.NextBelow(121))});
     }
-    const PStateSelection sel = SelectPStates(targets, 3, 25);
-    const double brute = BruteForceSse(targets, 3, 25);
+    const PStateSelection sel = SelectPStates(targets, 3, Mhz{25});
+    const double brute = BruteForceSse(targets, 3, Mhz{25});
     // The DP partitions optimally; grid rounding of cluster means is applied
     // identically in both, so costs agree.
     EXPECT_NEAR(sel.sse, brute, 1e-6) << "iter " << iter;
@@ -155,16 +156,16 @@ TEST(SelectPStatesNaive, NeverBeatsOptimal) {
   for (int iter = 0; iter < 100; iter++) {
     std::vector<Mhz> targets;
     for (int i = 0; i < 8; i++) {
-      targets.push_back(rng.Uniform(800, 3800));
+      targets.push_back(Mhz{rng.Uniform(800, 3800)});
     }
-    const PStateSelection opt = SelectPStates(targets, 3, 25);
-    const PStateSelection naive = SelectPStatesNaive(targets, 3, 25);
+    const PStateSelection opt = SelectPStates(targets, 3, Mhz{25});
+    const PStateSelection naive = SelectPStatesNaive(targets, 3, Mhz{25});
     EXPECT_LE(opt.sse, naive.sse + 1e-6);
   }
 }
 
 TEST(SelectPStatesNaive, BasicShape) {
-  const PStateSelection sel = SelectPStatesNaive({800, 2000, 3400}, 3, 25);
+  const PStateSelection sel = SelectPStatesNaive({Mhz{800}, Mhz{2000}, Mhz{3400}}, 3, Mhz{25});
   EXPECT_LE(sel.levels.size(), 3u);
   EXPECT_EQ(sel.assignment.size(), 3u);
 }

@@ -44,26 +44,26 @@ RackConfig MakeRack(int sockets, Watts budget_w) {
   return cfg;
 }
 
-double FloorSum(const RackConfig& cfg) {
-  double sum = 0.0;
+Watts FloorSum(const RackConfig& cfg) {
+  Watts sum{0.0};
   for (const RackSocketConfig& s : cfg.sockets) {
-    sum += s.min_budget_w > 0.0 ? s.min_budget_w : s.platform.rapl_min_w;
+    sum += s.min_budget_w > Watts{0.0} ? s.min_budget_w : s.platform.rapl_min_w;
   }
   return sum;
 }
 
 TEST(Rack, BudgetsNeverExceedRackBudget) {
   for (const RackArbiterKind kind : {RackArbiterKind::kShares, RackArbiterKind::kDemand}) {
-    RackConfig cfg = MakeRack(/*sockets=*/4, /*budget_w=*/160.0);
+    RackConfig cfg = MakeRack(/*sockets=*/4, /*budget_w=*/Watts{160.0});
     cfg.arbiter = kind;
     ASSERT_GE(cfg.budget_w, FloorSum(cfg));
     Rack rack(cfg);
     for (int period = 0; period < 12; period++) {
-      EXPECT_LE(rack.budget_sum_w(), cfg.budget_w + 1e-9)
+      EXPECT_LE(rack.budget_sum_w(), cfg.budget_w + Watts{1e-9})
           << "arbiter kind " << static_cast<int>(kind) << " period " << period;
       for (int s = 0; s < rack.num_sockets(); s++) {
         EXPECT_GE(rack.budgets_w()[static_cast<size_t>(s)],
-                  cfg.sockets[static_cast<size_t>(s)].platform.rapl_min_w - 1e-9);
+                  cfg.sockets[static_cast<size_t>(s)].platform.rapl_min_w - Watts{1e-9});
       }
       rack.Step();
     }
@@ -74,10 +74,10 @@ TEST(Rack, BudgetsNeverExceedRackBudget) {
 TEST(Rack, UnconstrainedBudgetSplitsFully) {
   // Between the floor and ceiling sums the proportional split uses the
   // whole budget.
-  RackConfig cfg = MakeRack(/*sockets=*/3, /*budget_w=*/150.0);
+  RackConfig cfg = MakeRack(/*sockets=*/3, /*budget_w=*/Watts{150.0});
   Rack rack(cfg);
   rack.Step();
-  EXPECT_NEAR(rack.budget_sum_w(), cfg.budget_w, 1e-6);
+  EXPECT_NEAR(rack.budget_sum_w().value(), cfg.budget_w.value(), 1e-6);
   // Shares 1:2:3 => socket 2 gets the largest grant.
   EXPECT_GT(rack.budgets_w()[2], rack.budgets_w()[0]);
 }
@@ -89,37 +89,37 @@ TEST(Rack, DemandArbiterMovesSurplusToBusySockets) {
   idle.apps.clear();
   cfg.sockets.push_back(idle);
   cfg.sockets.push_back(MakeSocket(/*shares=*/1.0, /*rotate=*/1, /*seed=*/2));
-  cfg.budget_w = 120.0;
+  cfg.budget_w = Watts{120.0};
   cfg.arbiter = RackArbiterKind::kDemand;
   Rack rack(cfg);
   for (int period = 0; period < 6; period++) {
     rack.Step();
-    EXPECT_LE(rack.budget_sum_w(), cfg.budget_w + 1e-9);
+    EXPECT_LE(rack.budget_sum_w(), cfg.budget_w + Watts{1e-9});
   }
   // The idle socket's claim collapses to just above its draw; the busy
   // socket inherits the surplus.
-  EXPECT_GT(rack.budgets_w()[1], rack.budgets_w()[0] + 10.0);
+  EXPECT_GT(rack.budgets_w()[1], rack.budgets_w()[0] + Watts{10.0});
 }
 
 TEST(Rack, ParallelStepMatchesSerial) {
-  RackResult serial = RunRack(MakeRack(/*sockets=*/3, /*budget_w=*/150.0),
-                              /*warmup_s=*/2.0, /*measure_s=*/3.0, /*pool=*/nullptr);
+  RackResult serial = RunRack(MakeRack(/*sockets=*/3, /*budget_w=*/Watts{150.0}),
+                              /*warmup_s=*/Seconds{2.0}, /*measure_s=*/Seconds{3.0}, /*pool=*/nullptr);
   ThreadPool pool(2);
-  RackResult parallel = RunRack(MakeRack(/*sockets=*/3, /*budget_w=*/150.0),
-                                /*warmup_s=*/2.0, /*measure_s=*/3.0, &pool);
+  RackResult parallel = RunRack(MakeRack(/*sockets=*/3, /*budget_w=*/Watts{150.0}),
+                                /*warmup_s=*/Seconds{2.0}, /*measure_s=*/Seconds{3.0}, &pool);
   ASSERT_EQ(serial.socket_avg_w.size(), parallel.socket_avg_w.size());
   for (size_t s = 0; s < serial.socket_avg_w.size(); s++) {
-    EXPECT_DOUBLE_EQ(serial.socket_avg_w[s], parallel.socket_avg_w[s]);
+    EXPECT_DOUBLE_EQ(serial.socket_avg_w[s].value(), parallel.socket_avg_w[s].value());
   }
-  EXPECT_DOUBLE_EQ(serial.avg_rack_w, parallel.avg_rack_w);
-  EXPECT_DOUBLE_EQ(serial.max_budget_sum_w, parallel.max_budget_sum_w);
+  EXPECT_DOUBLE_EQ(serial.avg_rack_w.value(), parallel.avg_rack_w.value());
+  EXPECT_DOUBLE_EQ(serial.max_budget_sum_w.value(), parallel.max_budget_sum_w.value());
 }
 
 TEST(Rack, MeasuredPowerTracksBudgets) {
-  RackConfig cfg = MakeRack(/*sockets=*/2, /*budget_w=*/90.0);
-  RackResult result = RunRack(cfg, /*warmup_s=*/3.0, /*measure_s=*/5.0);
-  EXPECT_GT(result.avg_rack_w, 0.0);
-  EXPECT_LE(result.max_budget_sum_w, cfg.budget_w + 1e-9);
+  RackConfig cfg = MakeRack(/*sockets=*/2, /*budget_w=*/Watts{90.0});
+  RackResult result = RunRack(cfg, /*warmup_s=*/Seconds{3.0}, /*measure_s=*/Seconds{5.0});
+  EXPECT_GT(result.avg_rack_w, Watts{0.0});
+  EXPECT_LE(result.max_budget_sum_w, cfg.budget_w + Watts{1e-9});
   // Daemons enforce their grants within control tolerance; allow slack for
   // the settling transient after re-arbitration.
   EXPECT_LT(result.avg_rack_w, cfg.budget_w * 1.25);
@@ -153,7 +153,7 @@ TEST(ManyCorePresets, FullyLoaded128CoreTickIsSane) {
     pkg.AttachWork(i, procs.back().get());
   }
   Simulator sim(&pkg);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   // All-core turbo limit respected, real power drawn, counters advanced.
   for (int i = 0; i < spec.num_cores; i++) {
     EXPECT_LE(pkg.core(i).effective_mhz(), spec.TurboLimitMhz(spec.num_cores));

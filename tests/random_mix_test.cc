@@ -52,9 +52,9 @@ TEST_P(RandomMix, InvariantsHold) {
   ScenarioConfig c{.platform = platform};
   c.apps = RandomApps(&rng, platform.num_cores);
   c.policy = policy;
-  c.limit_w = 35.0 + static_cast<double>(rng.NextBelow(4)) * 10.0;  // 35..65.
-  c.warmup_s = 30;
-  c.measure_s = 40;
+  c.limit_w = Watts{35.0} + static_cast<double>(rng.NextBelow(4)) * Watts{10.0};  // 35..65.
+  c.warmup_s = Seconds{30};
+  c.measure_s = Seconds{40};
   c.seed = static_cast<uint64_t>(seed) * 7919;
 
   // Run the same config twice through the batch API: exercises the
@@ -63,13 +63,13 @@ TEST_P(RandomMix, InvariantsHold) {
   const ScenarioResult& r = both[0];
 
   // 1. Limit respected (demand may be below the limit, hence one-sided).
-  EXPECT_LT(r.avg_pkg_w, c.limit_w + 3.0) << "limit " << c.limit_w;
+  EXPECT_LT(r.avg_pkg_w, c.limit_w + Watts{3.0}) << "limit " << c.limit_w;
 
   // 2. Frequencies within range.
   for (const AppResult& app : r.apps) {
-    EXPECT_LE(app.avg_active_mhz, platform.turbo_max_mhz + 1.0) << app.name;
+    EXPECT_LE(app.avg_active_mhz, platform.turbo_max_mhz + Mhz{1.0}) << app.name;
     if (!app.starved) {
-      EXPECT_GE(app.avg_active_mhz, platform.min_mhz - 1.0) << app.name;
+      EXPECT_GE(app.avg_active_mhz, platform.min_mhz - Mhz{1.0}) << app.name;
     }
   }
 
@@ -80,12 +80,12 @@ TEST_P(RandomMix, InvariantsHold) {
       for (size_t j = 0; j < r.apps.size(); j++) {
         const AppResult& a = r.apps[i];
         const AppResult& b = r.apps[j];
-        const bool a_mid = a.avg_active_mhz > platform.min_mhz + 100 &&
-                           a.avg_active_mhz < platform.TurboLimitMhz(platform.num_cores) - 100;
-        const bool b_mid = b.avg_active_mhz > platform.min_mhz + 100 &&
-                           b.avg_active_mhz < platform.TurboLimitMhz(platform.num_cores) - 100;
+        const bool a_mid = a.avg_active_mhz > platform.min_mhz + Mhz{100} &&
+                           a.avg_active_mhz < platform.TurboLimitMhz(platform.num_cores) - Mhz{100};
+        const bool b_mid = b.avg_active_mhz > platform.min_mhz + Mhz{100} &&
+                           b.avg_active_mhz < platform.TurboLimitMhz(platform.num_cores) - Mhz{100};
         if (a_mid && b_mid && a.shares > b.shares * 1.5) {
-          EXPECT_GT(a.avg_active_mhz, b.avg_active_mhz - 150.0)
+          EXPECT_GT(a.avg_active_mhz, b.avg_active_mhz - Mhz{150.0})
               << a.name << "(" << a.shares << ") vs " << b.name << "(" << b.shares << ")";
         }
       }
@@ -93,7 +93,7 @@ TEST_P(RandomMix, InvariantsHold) {
   }
 
   // 4. Determinism: the two batch copies must agree exactly.
-  EXPECT_DOUBLE_EQ(r.avg_pkg_w, both[1].avg_pkg_w);
+  EXPECT_DOUBLE_EQ(r.avg_pkg_w.value(), both[1].avg_pkg_w.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -19,25 +19,25 @@ class RaplTest : public ::testing::Test {
 // ceiling.  Checks the controller settles onto the limit.
 TEST_F(RaplTest, ConvergesToLimit) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(50.0);
-  auto plant = [](Mhz ceiling) { return 10.0 + ceiling * 0.025; };  // 85 W at 3 GHz.
-  Watts power = plant(rapl.ceiling_mhz());
+  rapl.SetLimit(Watts{50.0});
+  auto plant = [](Mhz ceiling) { return Watts{10.0 + ceiling.value() * 0.025}; };  // 85 W at 3 GHz.
+  Watts power{plant(rapl.ceiling_mhz())};
   for (int i = 0; i < 2000; i++) {  // 2 simulated seconds at 1 ms ticks.
-    rapl.Update(power, 0.001);
+    rapl.Update(power, Seconds{0.001});
     power = plant(rapl.ceiling_mhz());
   }
-  EXPECT_NEAR(power, 50.0, 1.0);
-  EXPECT_NEAR(rapl.running_average_w(), 50.0, 1.0);
+  EXPECT_NEAR(power.value(), 50.0, 1.0);
+  EXPECT_NEAR(rapl.running_average_w().value(), 50.0, 1.0);
 }
 
 TEST_F(RaplTest, SettlesWithinTensOfMilliseconds) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(50.0);
-  auto plant = [](Mhz ceiling) { return 10.0 + ceiling * 0.025; };
-  Watts power = plant(rapl.ceiling_mhz());
+  rapl.SetLimit(Watts{50.0});
+  auto plant = [](Mhz ceiling) { return Watts{10.0 + ceiling.value() * 0.025}; };
+  Watts power{plant(rapl.ceiling_mhz())};
   int ticks = 0;
-  while (std::abs(power - 50.0) > 2.0 && ticks < 2000) {
-    rapl.Update(power, 0.001);
+  while (Abs(power - Watts{50.0}) > Watts{2.0} && ticks < 2000) {
+    rapl.Update(power, Seconds{0.001});
     power = plant(rapl.ceiling_mhz());
     ticks++;
   }
@@ -48,69 +48,69 @@ TEST_F(RaplTest, SettlesWithinTensOfMilliseconds) {
 
 TEST_F(RaplTest, CeilingClampedToPlatformRange) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(20.0);
+  rapl.SetLimit(Watts{20.0});
   for (int i = 0; i < 10000; i++) {
-    rapl.Update(200.0, 0.001);  // Persistent massive overload.
+    rapl.Update(Watts{200.0}, Seconds{0.001});  // Persistent massive overload.
   }
   EXPECT_GE(rapl.ceiling_mhz(), spec_.min_mhz);
-  rapl.SetLimit(85.0);
+  rapl.SetLimit(Watts{85.0});
   for (int i = 0; i < 10000; i++) {
-    rapl.Update(1.0, 0.001);  // Persistent underload.
+    rapl.Update(Watts{1.0}, Seconds{0.001});  // Persistent underload.
   }
   EXPECT_LE(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
 }
 
 TEST_F(RaplTest, LimitClampedToPlatformRange) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(5.0);  // Below the 20 W floor.
-  EXPECT_DOUBLE_EQ(rapl.limit_w(), spec_.rapl_min_w);
-  rapl.SetLimit(500.0);
-  EXPECT_DOUBLE_EQ(rapl.limit_w(), spec_.rapl_max_w);
+  rapl.SetLimit(Watts{5.0});  // Below the 20 W floor.
+  EXPECT_DOUBLE_EQ(rapl.limit_w().value(), spec_.rapl_min_w.value());
+  rapl.SetLimit(Watts{500.0});
+  EXPECT_DOUBLE_EQ(rapl.limit_w().value(), spec_.rapl_max_w.value());
 }
 
 TEST_F(RaplTest, DisableRestoresFullCeiling) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(30.0);
+  rapl.SetLimit(Watts{30.0});
   for (int i = 0; i < 1000; i++) {
-    rapl.Update(80.0, 0.001);
+    rapl.Update(Watts{80.0}, Seconds{0.001});
   }
   EXPECT_LT(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
   rapl.Disable();
   EXPECT_FALSE(rapl.enabled());
-  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz().value(), spec_.turbo_max_mhz.value());
 }
 
 TEST_F(RaplTest, DisabledControllerIgnoresUpdates) {
   RaplController rapl(&spec_);
   for (int i = 0; i < 100; i++) {
-    rapl.Update(500.0, 0.001);
+    rapl.Update(Watts{500.0}, Seconds{0.001});
   }
-  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz().value(), spec_.turbo_max_mhz.value());
 }
 
 TEST_F(RaplTest, ReprogrammingResetsCeiling) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(25.0);
+  rapl.SetLimit(Watts{25.0});
   for (int i = 0; i < 2000; i++) {
-    rapl.Update(80.0, 0.001);
+    rapl.Update(Watts{80.0}, Seconds{0.001});
   }
-  const Mhz throttled = rapl.ceiling_mhz();
-  EXPECT_LT(throttled, 2000.0);
-  rapl.SetLimit(85.0);
-  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz(), spec_.turbo_max_mhz);
+  const Mhz throttled{rapl.ceiling_mhz()};
+  EXPECT_LT(throttled, Mhz{2000.0});
+  rapl.SetLimit(Watts{85.0});
+  EXPECT_DOUBLE_EQ(rapl.ceiling_mhz().value(), spec_.turbo_max_mhz.value());
 }
 
 TEST_F(RaplTest, RunningAverageSmoothsSpikes) {
   RaplController rapl(&spec_);
-  rapl.SetLimit(50.0);
-  rapl.Update(50.0, 0.001);
-  const Mhz before = rapl.ceiling_mhz();
-  rapl.Update(300.0, 0.001);  // One-tick spike.
+  rapl.SetLimit(Watts{50.0});
+  rapl.Update(Watts{50.0}, Seconds{0.001});
+  const Mhz before{rapl.ceiling_mhz()};
+  rapl.Update(Watts{300.0}, Seconds{0.001});  // One-tick spike.
   // The EWMA admits only part of the spike; the ceiling moves but far less
   // than a proportional controller on the instantaneous error would.
-  const Mhz drop_one_tick = before - rapl.ceiling_mhz();
-  EXPECT_GT(drop_one_tick, 0.0);
-  EXPECT_LT(drop_one_tick, 0.001 * 4000.0 * 250.0 * 0.2);
+  const Mhz drop_one_tick{before - rapl.ceiling_mhz()};
+  EXPECT_GT(drop_one_tick, Mhz{0.0});
+  EXPECT_LT(drop_one_tick, Mhz{0.001 * 4000.0 * 250.0 * 0.2});
 }
 
 }  // namespace

@@ -19,28 +19,28 @@ namespace {
 
 PolicyPlatform SkylakeLike() {
   PolicyPlatform p;
-  p.min_mhz = 800;
-  p.max_mhz = 3000;
-  p.step_mhz = 100;
+  p.min_mhz = Mhz{800};
+  p.max_mhz = Mhz{3000};
+  p.step_mhz = Mhz{100};
   p.num_cores = 10;
-  p.max_power_w = 85;
-  p.uncore_estimate_w = 8.0;
-  p.core_min_w = 1.0;
-  p.core_max_w = 9.0;
+  p.max_power_w = Watts{85};
+  p.uncore_estimate_w = Watts{8.0};
+  p.core_min_w = Watts{1.0};
+  p.core_max_w = Watts{9.0};
   return p;
 }
 
 std::vector<ManagedApp> TwoApps(double shares_a, double shares_b) {
   return {
-      ManagedApp{.name = "a", .cpu = 0, .shares = shares_a, .baseline_ips = 2e9},
-      ManagedApp{.name = "b", .cpu = 1, .shares = shares_b, .baseline_ips = 2e9},
+      ManagedApp{.name = "a", .cpu = 0, .shares = shares_a, .baseline_ips = Ips{2e9}},
+      ManagedApp{.name = "b", .cpu = 1, .shares = shares_b, .baseline_ips = Ips{2e9}},
   };
 }
 
 TelemetrySample MakeSample(Watts pkg_w, std::vector<CoreTelemetry> cores) {
   TelemetrySample s;
-  s.t = 1.0;
-  s.dt = 1.0;
+  s.t = Seconds{1.0};
+  s.dt = Seconds{1.0};
   s.pkg_w = pkg_w;
   s.cores = std::move(cores);
   return s;
@@ -60,50 +60,50 @@ CoreTelemetry CoreT(int cpu, Mhz mhz, Ips ips, std::optional<Watts> w = std::nul
 
 TEST(FrequencyShares, InitialDistributionProportional) {
   FrequencyShares policy(SkylakeLike());
-  const auto t = policy.InitialDistribution(TwoApps(100, 50), 50);
-  EXPECT_DOUBLE_EQ(t[0], 3000.0);
-  EXPECT_DOUBLE_EQ(t[1], 1500.0);
+  const auto t = policy.InitialDistribution(TwoApps(100, 50), Watts{50});
+  EXPECT_DOUBLE_EQ(t[0].value(), 3000.0);
+  EXPECT_DOUBLE_EQ(t[1].value(), 1500.0);
 }
 
 TEST(FrequencyShares, InitialDistributionClampsToMinimum) {
   FrequencyShares policy(SkylakeLike());
-  const auto t = policy.InitialDistribution(TwoApps(100, 10), 50);
-  EXPECT_DOUBLE_EQ(t[0], 3000.0);
-  EXPECT_DOUBLE_EQ(t[1], 800.0);  // 300 MHz proportional -> clamped.
+  const auto t = policy.InitialDistribution(TwoApps(100, 10), Watts{50});
+  EXPECT_DOUBLE_EQ(t[0].value(), 3000.0);
+  EXPECT_DOUBLE_EQ(t[1].value(), 800.0);  // 300 MHz proportional -> clamped.
 }
 
 TEST(FrequencyShares, OverBudgetLowersTargets) {
   FrequencyShares policy(SkylakeLike());
-  policy.InitialDistribution(TwoApps(1, 1), 40);
+  policy.InitialDistribution(TwoApps(1, 1), Watts{40});
   const auto t =
-      policy.Redistribute(TwoApps(1, 1), MakeSample(60.0, {CoreT(0, 3000, 1e9), CoreT(1, 3000, 1e9)}), 40);
-  EXPECT_LT(t[0], 3000.0);
-  EXPECT_LT(t[1], 3000.0);
-  EXPECT_DOUBLE_EQ(t[0], t[1]);  // Equal shares move together.
+      policy.Redistribute(TwoApps(1, 1), MakeSample(Watts{60.0}, {CoreT(0, Mhz{3000}, Ips{1e9}), CoreT(1, Mhz{3000}, Ips{1e9})}), Watts{40});
+  EXPECT_LT(t[0], Mhz{3000.0});
+  EXPECT_LT(t[1], Mhz{3000.0});
+  EXPECT_DOUBLE_EQ(t[0].value(), t[1].value());  // Equal shares move together.
 }
 
 TEST(FrequencyShares, UnderBudgetRaisesTargets) {
   FrequencyShares policy(SkylakeLike());
   auto apps = TwoApps(1, 1);
-  policy.InitialDistribution(apps, 40);
+  policy.InitialDistribution(apps, Watts{40});
   // Pull down first.
-  auto t = policy.Redistribute(apps, MakeSample(70.0, {CoreT(0, 3000, 1e9), CoreT(1, 3000, 1e9)}), 40);
-  const Mhz lowered = t[0];
-  t = policy.Redistribute(apps, MakeSample(20.0, {CoreT(0, lowered, 1e9), CoreT(1, lowered, 1e9)}), 40);
+  auto t = policy.Redistribute(apps, MakeSample(Watts{70.0}, {CoreT(0, Mhz{3000}, Ips{1e9}), CoreT(1, Mhz{3000}, Ips{1e9})}), Watts{40});
+  const Mhz lowered{t[0]};
+  t = policy.Redistribute(apps, MakeSample(Watts{20.0}, {CoreT(0, lowered, Ips{1e9}), CoreT(1, lowered, Ips{1e9})}), Watts{40});
   EXPECT_GT(t[0], lowered);
 }
 
 TEST(FrequencyShares, RatiosPreservedAcrossRedistribution) {
   FrequencyShares policy(SkylakeLike());
   auto apps = TwoApps(90, 30);
-  policy.InitialDistribution(apps, 40);
-  auto t = policy.Redistribute(apps, MakeSample(55.0, {CoreT(0, 3000, 1e9), CoreT(1, 1000, 1e9)}), 40);
+  policy.InitialDistribution(apps, Watts{40});
+  auto t = policy.Redistribute(apps, MakeSample(Watts{55.0}, {CoreT(0, Mhz{3000}, Ips{1e9}), CoreT(1, Mhz{1000}, Ips{1e9})}), Watts{40});
   // While neither app is clamped, the 3:1 ratio holds.
-  if (t[0] < 3000.0 && t[1] > 800.0) {
+  if (t[0] < Mhz{3000.0} && t[1] > Mhz{800.0}) {
     EXPECT_NEAR(t[0] / t[1], 3.0, 0.05);
   }
-  t = policy.Redistribute(apps, MakeSample(50.0, {CoreT(0, t[0], 1e9), CoreT(1, t[1], 1e9)}), 40);
-  if (t[0] < 3000.0 && t[1] > 800.0) {
+  t = policy.Redistribute(apps, MakeSample(Watts{50.0}, {CoreT(0, t[0], Ips{1e9}), CoreT(1, t[1], Ips{1e9})}), Watts{40});
+  if (t[0] < Mhz{3000.0} && t[1] > Mhz{800.0}) {
     EXPECT_NEAR(t[0] / t[1], 3.0, 0.05);
   }
 }
@@ -111,22 +111,24 @@ TEST(FrequencyShares, RatiosPreservedAcrossRedistribution) {
 TEST(FrequencyShares, DeadbandFreezesTargets) {
   FrequencyShares policy(SkylakeLike());
   auto apps = TwoApps(2, 1);
-  const auto before = policy.InitialDistribution(apps, 40);
+  const auto before = policy.InitialDistribution(apps, Watts{40});
   const auto after = policy.Redistribute(
-      apps, MakeSample(40.3, {CoreT(0, before[0], 1e9), CoreT(1, before[1], 1e9)}), 40);
+      apps, MakeSample(Watts{40.3}, {CoreT(0, before[0], Ips{1e9}), CoreT(1, before[1], Ips{1e9})}), Watts{40});
   EXPECT_EQ(before, after);
 }
 
 TEST(FrequencyShares, TargetsStayInPlatformRange) {
   FrequencyShares policy(SkylakeLike());
   auto apps = TwoApps(100, 1);
-  policy.InitialDistribution(apps, 40);
+  policy.InitialDistribution(apps, Watts{40});
   for (int i = 0; i < 50; i++) {
     const auto t = policy.Redistribute(
-        apps, MakeSample(i % 2 ? 200.0 : 5.0, {CoreT(0, 2000, 1e9), CoreT(1, 900, 1e9)}), 40);
+        apps, MakeSample(i % 2 ? Watts{200.0} : Watts{5.0},
+                         {CoreT(0, Mhz{2000}, Ips{1e9}), CoreT(1, Mhz{900}, Ips{1e9})}),
+        Watts{40});
     for (Mhz f : t) {
-      ASSERT_GE(f, 800.0);
-      ASSERT_LE(f, 3000.0);
+      ASSERT_GE(f, Mhz{800.0});
+      ASSERT_LE(f, Mhz{3000.0});
     }
   }
 }
@@ -135,16 +137,16 @@ TEST(FrequencyShares, TargetsStayInPlatformRange) {
 
 TEST(PerformanceShares, InitialPerfTargetsProportional) {
   PerformanceShares policy(SkylakeLike());
-  const auto t = policy.InitialDistribution(TwoApps(100, 50), 85);
+  const auto t = policy.InitialDistribution(TwoApps(100, 50), Watts{85});
   // alpha = 1 at the TDP: the high-share app gets full performance.
   EXPECT_DOUBLE_EQ(policy.performance_targets()[0], 1.0);
   EXPECT_NEAR(policy.performance_targets()[1], 1.0, 0.35);
-  EXPECT_GT(t[0], t[1] - 1e-9);
+  EXPECT_GT(t[0], t[1] - Mhz{1e-9});
 }
 
 TEST(PerformanceShares, LowLimitScalesTotalPerformance) {
   PerformanceShares policy(SkylakeLike());
-  policy.InitialDistribution(TwoApps(1, 1), 42.5);  // alpha = 0.5.
+  policy.InitialDistribution(TwoApps(1, 1), Watts{42.5});  // alpha = 0.5.
   const auto& perf = policy.performance_targets();
   EXPECT_NEAR(perf[0] + perf[1], 1.0, 0.05);
 }
@@ -152,15 +154,16 @@ TEST(PerformanceShares, LowLimitScalesTotalPerformance) {
 TEST(PerformanceShares, FeedbackRaisesSlowApp) {
   PerformanceShares policy(SkylakeLike());
   auto apps = TwoApps(1, 1);
-  const auto t0 = policy.InitialDistribution(apps, 42.5);
+  const auto t0 = policy.InitialDistribution(apps, Watts{42.5});
   // App 0 measures well below its performance target; app 1 is on target.
   const double target = policy.performance_targets()[0];
   const auto t1 = policy.Redistribute(
       apps,
-      MakeSample(42.5, {CoreT(0, t0[0], 0.5 * target * 2e9), CoreT(1, t0[1], target * 2e9)}),
-      42.5);
+      MakeSample(Watts{42.5},
+                 {CoreT(0, t0[0], Ips{0.5 * target * 2e9}), CoreT(1, t0[1], Ips{target * 2e9})}),
+      Watts{42.5});
   EXPECT_GT(t1[0], t0[0]);
-  EXPECT_NEAR(t1[1], t0[1], 1.0);
+  EXPECT_NEAR(t1[1].value(), t0[1].value(), 1.0);
 }
 
 TEST(PerformanceShares, NoisyIpsPerturbsFrequencies) {
@@ -168,12 +171,13 @@ TEST(PerformanceShares, NoisyIpsPerturbsFrequencies) {
   // rebalance where frequency shares would not.
   PerformanceShares policy(SkylakeLike());
   auto apps = TwoApps(1, 1);
-  const auto t0 = policy.InitialDistribution(apps, 42.5);
+  const auto t0 = policy.InitialDistribution(apps, Watts{42.5});
   const double p = policy.performance_targets()[0];
   const auto t1 = policy.Redistribute(
       apps,
-      MakeSample(42.5, {CoreT(0, t0[0], 0.9 * p * 2e9), CoreT(1, t0[1], 1.1 * p * 2e9)}),
-      42.5);
+      MakeSample(Watts{42.5},
+                 {CoreT(0, t0[0], Ips{0.9 * p * 2e9}), CoreT(1, t0[1], Ips{1.1 * p * 2e9})}),
+      Watts{42.5});
   EXPECT_NE(t1[0], t0[0]);
   EXPECT_NE(t1[1], t0[1]);
 }
@@ -181,10 +185,10 @@ TEST(PerformanceShares, NoisyIpsPerturbsFrequencies) {
 TEST(PerformanceShares, ZeroBaselineSkipsApp) {
   PerformanceShares policy(SkylakeLike());
   auto apps = TwoApps(1, 1);
-  apps[0].baseline_ips = 0.0;
-  const auto t0 = policy.InitialDistribution(apps, 42.5);
+  apps[0].baseline_ips = Ips{0.0};
+  const auto t0 = policy.InitialDistribution(apps, Watts{42.5});
   const auto t1 =
-      policy.Redistribute(apps, MakeSample(30.0, {CoreT(0, t0[0], 1e9), CoreT(1, t0[1], 1e9)}), 42.5);
+      policy.Redistribute(apps, MakeSample(Watts{30.0}, {CoreT(0, t0[0], Ips{1e9}), CoreT(1, t0[1], Ips{1e9})}), Watts{42.5});
   EXPECT_EQ(t1.size(), 2u);  // No crash; app without baseline keeps its target.
 }
 
@@ -192,31 +196,32 @@ TEST(PerformanceShares, ZeroBaselineSkipsApp) {
 
 TEST(PowerShares, InitialPowerTargetsProportional) {
   PowerShares policy(SkylakeLike());
-  policy.InitialDistribution(TwoApps(3, 1), 20.0);
+  policy.InitialDistribution(TwoApps(3, 1), Watts{20.0});
   const auto& w = policy.power_targets();
   // Budget = 20 - 8 = 12 W split 3:1 = 9/3.
-  EXPECT_NEAR(w[0], 9.0, 0.01);
-  EXPECT_NEAR(w[1], 3.0, 0.01);
+  EXPECT_NEAR(w[0].value(), 9.0, 0.01);
+  EXPECT_NEAR(w[1].value(), 3.0, 0.01);
 }
 
 TEST(PowerShares, TranslationMonotoneInPower) {
   PowerShares lo(SkylakeLike());
   PowerShares hi(SkylakeLike());
-  const auto t_lo = lo.InitialDistribution(TwoApps(1, 1), 15.0);
-  const auto t_hi = hi.InitialDistribution(TwoApps(1, 1), 24.0);
+  const auto t_lo = lo.InitialDistribution(TwoApps(1, 1), Watts{15.0});
+  const auto t_hi = hi.InitialDistribution(TwoApps(1, 1), Watts{24.0});
   EXPECT_GT(t_hi[0], t_lo[0]);
 }
 
 TEST(PowerShares, FeedbackStepsTowardTarget) {
   PowerShares policy(SkylakeLike());
   auto apps = TwoApps(1, 1);
-  const auto t0 = policy.InitialDistribution(apps, 20.0);
+  const auto t0 = policy.InitialDistribution(apps, Watts{20.0});
   const auto& w = policy.power_targets();
   // App 0 draws 2 W above target, app 1 2 W below; package is on the limit.
   const auto t1 = policy.Redistribute(
       apps,
-      MakeSample(20.0, {CoreT(0, t0[0], 1e9, w[0] + 2.0), CoreT(1, t0[1], 1e9, w[1] - 2.0)}),
-      20.0);
+      MakeSample(Watts{20.0}, {CoreT(0, t0[0], Ips{1e9}, w[0] + Watts{2.0}),
+                               CoreT(1, t0[1], Ips{1e9}, w[1] - Watts{2.0})}),
+      Watts{20.0});
   EXPECT_LT(t1[0], t0[0]);
   EXPECT_GT(t1[1], t0[1]);
 }
@@ -224,9 +229,9 @@ TEST(PowerShares, FeedbackStepsTowardTarget) {
 TEST(PowerShares, MissingPerCoreTelemetryIsTolerated) {
   PowerShares policy(SkylakeLike());
   auto apps = TwoApps(1, 1);
-  const auto t0 = policy.InitialDistribution(apps, 20.0);
+  const auto t0 = policy.InitialDistribution(apps, Watts{20.0});
   const auto t1 = policy.Redistribute(
-      apps, MakeSample(20.0, {CoreT(0, t0[0], 1e9), CoreT(1, t0[1], 1e9)}), 20.0);
+      apps, MakeSample(Watts{20.0}, {CoreT(0, t0[0], Ips{1e9}), CoreT(1, t0[1], Ips{1e9})}), Watts{20.0});
   EXPECT_EQ(t0, t1);  // Warned and left unchanged.
 }
 
@@ -250,15 +255,18 @@ class AnySharePolicy : public ::testing::TestWithParam<int> {
 TEST_P(AnySharePolicy, TargetsAlwaysWithinPlatformRange) {
   auto policy = Make();
   auto apps = TwoApps(97, 3);
-  auto t = policy->InitialDistribution(apps, 30.0);
+  auto t = policy->InitialDistribution(apps, Watts{30.0});
   for (int i = 0; i < 100; i++) {
-    const Watts pkg = (i % 3 == 0) ? 90.0 : (i % 3 == 1 ? 12.0 : 30.0);
+    const Watts pkg{(i % 3 == 0) ? 90.0 : (i % 3 == 1 ? 12.0 : 30.0)};
     t = policy->Redistribute(
-        apps, MakeSample(pkg, {CoreT(0, t[0], 1.5e9, 4.0), CoreT(1, t[1], 0.7e9, 2.0)}), 30.0);
+        apps,
+        MakeSample(pkg, {CoreT(0, t[0], Ips{1.5e9}, Watts{4.0}),
+                         CoreT(1, t[1], Ips{0.7e9}, Watts{2.0})}),
+        Watts{30.0});
     ASSERT_EQ(t.size(), 2u);
     for (Mhz f : t) {
-      ASSERT_GE(f, 800.0 - 1e-6);
-      ASSERT_LE(f, 3000.0 + 1e-6);
+      ASSERT_GE(f, Mhz{800.0 - 1e-6});
+      ASSERT_LE(f, Mhz{3000.0 + 1e-6});
     }
   }
 }
@@ -266,11 +274,14 @@ TEST_P(AnySharePolicy, TargetsAlwaysWithinPlatformRange) {
 TEST_P(AnySharePolicy, HighShareAppGetsAtLeastAsMuch) {
   auto policy = Make();
   auto apps = TwoApps(80, 20);
-  auto t = policy->InitialDistribution(apps, 40.0);
+  auto t = policy->InitialDistribution(apps, Watts{40.0});
   for (int i = 0; i < 20; i++) {
     t = policy->Redistribute(
-        apps, MakeSample(50.0, {CoreT(0, t[0], 1.2e9, 5.0), CoreT(1, t[1], 1.2e9, 5.0)}), 40.0);
-    ASSERT_GE(t[0], t[1] - 150.0);  // Allow small transient inversions.
+        apps,
+        MakeSample(Watts{50.0}, {CoreT(0, t[0], Ips{1.2e9}, Watts{5.0}),
+                                 CoreT(1, t[1], Ips{1.2e9}, Watts{5.0})}),
+        Watts{40.0});
+    ASSERT_GE(t[0], t[1] - Mhz{150.0});  // Allow small transient inversions.
   }
 }
 

@@ -15,42 +15,42 @@ namespace {
 TEST(Simulator, RunAdvancesTime) {
   Package pkg(SkylakeXeon4114());
   Simulator sim(&pkg);
-  sim.Run(0.5);
-  EXPECT_NEAR(sim.now(), 0.5, 1e-9);
-  sim.Run(0.25);
-  EXPECT_NEAR(sim.now(), 0.75, 1e-9);
+  sim.Run(Seconds{0.5});
+  EXPECT_NEAR(sim.now().value(), 0.5, 1e-9);
+  sim.Run(Seconds{0.25});
+  EXPECT_NEAR(sim.now().value(), 0.75, 1e-9);
 }
 
 TEST(Simulator, PeriodicFiresAtPeriod) {
   Package pkg(SkylakeXeon4114());
   Simulator sim(&pkg);
   std::vector<Seconds> fired;
-  sim.AddPeriodic(0.1, [&fired](Seconds now) { fired.push_back(now); });
-  sim.Run(1.0);
+  sim.AddPeriodic(Seconds{0.1}, [&fired](Seconds now) { fired.push_back(now); });
+  sim.Run(Seconds{1.0});
   ASSERT_EQ(fired.size(), 10u);
-  EXPECT_NEAR(fired[0], 0.1, 1e-6);
-  EXPECT_NEAR(fired[9], 1.0, 1e-6);
+  EXPECT_NEAR(fired[0].value(), 0.1, 1e-6);
+  EXPECT_NEAR(fired[9].value(), 1.0, 1e-6);
 }
 
 TEST(Simulator, PeriodicFirstAtOverride) {
   Package pkg(SkylakeXeon4114());
   Simulator sim(&pkg);
   std::vector<Seconds> fired;
-  sim.AddPeriodic(1.0, [&fired](Seconds now) { fired.push_back(now); },
-                  /*first_at_s=*/0.25);
-  sim.Run(2.5);
+  sim.AddPeriodic(Seconds{1.0}, [&fired](Seconds now) { fired.push_back(now); },
+                  /*first_at_s=*/Seconds{0.25});
+  sim.Run(Seconds{2.5});
   ASSERT_EQ(fired.size(), 3u);
-  EXPECT_NEAR(fired[0], 0.25, 1e-6);
-  EXPECT_NEAR(fired[1], 1.25, 1e-6);
+  EXPECT_NEAR(fired[0].value(), 0.25, 1e-6);
+  EXPECT_NEAR(fired[1].value(), 1.25, 1e-6);
 }
 
 TEST(Simulator, MultiplePeriodicsFireInRegistrationOrder) {
   Package pkg(SkylakeXeon4114());
   Simulator sim(&pkg);
   std::vector<int> order;
-  sim.AddPeriodic(0.5, [&order](Seconds) { order.push_back(1); });
-  sim.AddPeriodic(0.5, [&order](Seconds) { order.push_back(2); });
-  sim.Run(0.5);
+  sim.AddPeriodic(Seconds{0.5}, [&order](Seconds) { order.push_back(1); });
+  sim.AddPeriodic(Seconds{0.5}, [&order](Seconds) { order.push_back(2); });
+  sim.Run(Seconds{0.5});
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 1);
   EXPECT_EQ(order[1], 2);
@@ -62,34 +62,34 @@ TEST(Simulator, RunUntilStopsOnPredicate) {
   pkg.AttachWork(0, &proc);
   Simulator sim(&pkg);
   const bool hit =
-      sim.RunUntil([&proc] { return proc.instructions_retired() > 1e8; }, 10.0);
+      sim.RunUntil([&proc] { return proc.instructions_retired() > 1e8; }, Seconds{10.0});
   EXPECT_TRUE(hit);
-  EXPECT_LT(sim.now(), 1.0);  // ~50 ms of work at >1 GIPS.
+  EXPECT_LT(sim.now(), Seconds{1.0});  // ~50 ms of work at >1 GIPS.
 }
 
 TEST(Simulator, RunUntilTimesOut) {
   Package pkg(SkylakeXeon4114());
   Simulator sim(&pkg);
-  const bool hit = sim.RunUntil([] { return false; }, 0.2);
+  const bool hit = sim.RunUntil([] { return false; }, Seconds{0.2});
   EXPECT_FALSE(hit);
-  EXPECT_NEAR(sim.now(), 0.2, 1e-6);
+  EXPECT_NEAR(sim.now().value(), 0.2, 1e-6);
 }
 
 TEST(Simulator, CustomTickSize) {
   Package pkg(SkylakeXeon4114());
-  Simulator sim(&pkg, /*tick_s=*/0.01);
+  Simulator sim(&pkg, /*tick_s=*/Seconds{0.01});
   std::vector<Seconds> fired;
-  sim.AddPeriodic(0.1, [&fired](Seconds now) { fired.push_back(now); });
-  sim.Run(0.3);
+  sim.AddPeriodic(Seconds{0.1}, [&fired](Seconds now) { fired.push_back(now); });
+  sim.Run(Seconds{0.3});
   EXPECT_EQ(fired.size(), 3u);
 }
 
 TEST(Simulator, LongTickCrossesMultipleDueTimes) {
   Package pkg(SkylakeXeon4114());
-  Simulator sim(&pkg, /*tick_s=*/1.0);  // Tick longer than the period.
+  Simulator sim(&pkg, /*tick_s=*/Seconds{1.0});  // Tick longer than the period.
   int count = 0;
-  sim.AddPeriodic(0.25, [&count](Seconds) { count++; });
-  sim.Run(1.0);
+  sim.AddPeriodic(Seconds{0.25}, [&count](Seconds) { count++; });
+  sim.Run(Seconds{1.0});
   EXPECT_EQ(count, 4);  // Fires once per crossed due time.
 }
 

@@ -18,13 +18,13 @@ namespace {
 
 PolicyPlatform RyzenLike() {
   PolicyPlatform p;
-  p.min_mhz = 800;
-  p.max_mhz = 3400;
-  p.step_mhz = 25;
+  p.min_mhz = Mhz{800};
+  p.max_mhz = Mhz{3400};
+  p.step_mhz = Mhz{25};
   p.num_cores = 8;
-  p.max_power_w = 95;
-  p.core_min_w = 1.0;
-  p.core_max_w = 14.0;
+  p.max_power_w = Watts{95};
+  p.core_min_w = Watts{1.0};
+  p.core_max_w = Watts{14.0};
   return p;
 }
 
@@ -47,7 +47,7 @@ TEST(SingleCoreSharing, EqualDemandResidencyFollowsShares) {
   SingleCoreSharing policy(
       RyzenLike(),
       {{.name = "a", .shares = 3.0, .demand = 1.0}, {.name = "b", .shares = 1.0, .demand = 1.0}});
-  const auto d = policy.Initial(10.0);
+  const auto d = policy.Initial(Watts{10.0});
   ASSERT_EQ(d.residencies.size(), 2u);
   EXPECT_NEAR(d.residencies[0], 0.75, 1e-9);
   EXPECT_NEAR(d.residencies[1], 0.25, 1e-9);
@@ -56,26 +56,26 @@ TEST(SingleCoreSharing, EqualDemandResidencyFollowsShares) {
 
 TEST(SingleCoreSharing, PowerFeedbackMovesFrequency) {
   SingleCoreSharing policy(RyzenLike(), {{.name = "a", .demand = 1.0}});
-  const auto d0 = policy.Initial(8.0);
+  const auto d0 = policy.Initial(Watts{8.0});
   // Measured above budget -> frequency drops.
-  const auto d1 = policy.Step(8.0, 12.0);
+  const auto d1 = policy.Step(Watts{8.0}, Watts{12.0});
   EXPECT_LT(d1.freq_mhz, d0.freq_mhz);
   // Measured below budget -> frequency rises.
-  const auto d2 = policy.Step(8.0, 4.0);
+  const auto d2 = policy.Step(Watts{8.0}, Watts{4.0});
   EXPECT_GT(d2.freq_mhz, d1.freq_mhz);
 }
 
 TEST(SingleCoreSharing, FrequencyClampedToPlatform) {
   SingleCoreSharing policy(RyzenLike(), {{.name = "a", .demand = 1.0}});
-  policy.Initial(8.0);
+  policy.Initial(Watts{8.0});
   for (int i = 0; i < 100; i++) {
-    policy.Step(8.0, 50.0);
+    policy.Step(Watts{8.0}, Watts{50.0});
   }
-  EXPECT_DOUBLE_EQ(policy.decision().freq_mhz, 800.0);
+  EXPECT_DOUBLE_EQ(policy.decision().freq_mhz.value(), 800.0);
   for (int i = 0; i < 100; i++) {
-    policy.Step(8.0, 0.5);
+    policy.Step(Watts{8.0}, Watts{0.5});
   }
-  EXPECT_DOUBLE_EQ(policy.decision().freq_mhz, 3400.0);
+  EXPECT_DOUBLE_EQ(policy.decision().freq_mhz.value(), 3400.0);
 }
 
 TEST(SingleCoreSharing, MixedDemandCompensatesLowDemandApp) {
@@ -84,13 +84,13 @@ TEST(SingleCoreSharing, MixedDemandCompensatesLowDemandApp) {
   SingleCoreSharing policy(
       RyzenLike(),
       {{.name = "hd", .shares = 1.0, .demand = 1.5}, {.name = "ld", .shares = 1.0, .demand = 0.9}});
-  policy.Initial(14.0);
+  policy.Initial(Watts{14.0});
   // Drive the frequency down with an over-budget reading.
   SingleCoreSharing::Decision d;
   for (int i = 0; i < 30; i++) {
-    d = policy.Step(5.0, 12.0);
+    d = policy.Step(Watts{5.0}, Watts{12.0});
   }
-  ASSERT_LT(d.freq_mhz, 2000.0);
+  ASSERT_LT(d.freq_mhz, Mhz{2000.0});
   EXPECT_GT(d.residencies[1], 0.5);   // LD compensated above its 50% share.
   EXPECT_LT(d.residencies[0], 0.5);   // HD pays for it.
   EXPECT_NEAR(Sum(d.residencies), 1.0, 1e-9);
@@ -100,11 +100,11 @@ TEST(SingleCoreSharing, NoCompensationAtFullFrequency) {
   SingleCoreSharing policy(
       RyzenLike(),
       {{.name = "hd", .shares = 1.0, .demand = 1.5}, {.name = "ld", .shares = 1.0, .demand = 0.9}});
-  SingleCoreSharing::Decision d = policy.Initial(14.0);
+  SingleCoreSharing::Decision d = policy.Initial(Watts{14.0});
   for (int i = 0; i < 30; i++) {
-    d = policy.Step(14.0, 2.0);  // Plenty of budget: full frequency.
+    d = policy.Step(Watts{14.0}, Watts{2.0});  // Plenty of budget: full frequency.
   }
-  EXPECT_DOUBLE_EQ(d.freq_mhz, 3400.0);
+  EXPECT_DOUBLE_EQ(d.freq_mhz.value(), 3400.0);
   EXPECT_NEAR(d.residencies[0], 0.5, 1e-6);  // No throttling: no compensation.
 }
 
@@ -116,9 +116,9 @@ TEST(SingleCoreSharing, LdhpEvictsHdlpUnderPressure) {
                                           .shares = 1.0,
                                           .high_priority = true,
                                           .demand = 0.9}});
-  SingleCoreSharing::Decision d = policy.Initial(6.0);
+  SingleCoreSharing::Decision d = policy.Initial(Watts{6.0});
   for (int i = 0; i < 30; i++) {
-    d = policy.Step(6.0, 9.0);  // Over budget.
+    d = policy.Step(Watts{6.0}, Watts{9.0});  // Over budget.
   }
   EXPECT_DOUBLE_EQ(d.residencies[0], 0.0);  // HDLP evicted.
   EXPECT_NEAR(d.residencies[1], 1.0, 1e-9);
@@ -132,9 +132,9 @@ TEST(SingleCoreSharing, HdhpKeepsLdlpRunning) {
                                           .high_priority = true,
                                           .demand = 1.6},
                                          {.name = "ldlp", .shares = 1.0, .demand = 0.9}});
-  SingleCoreSharing::Decision d = policy.Initial(6.0);
+  SingleCoreSharing::Decision d = policy.Initial(Watts{6.0});
   for (int i = 0; i < 30; i++) {
-    d = policy.Step(6.0, 9.0);
+    d = policy.Step(Watts{6.0}, Watts{9.0});
   }
   EXPECT_GT(d.residencies[1], 0.0);  // Not evicted.
 }
@@ -154,22 +154,22 @@ TEST(SingleCoreSharing, ClosedLoopCompensationImprovesLdThroughput) {
     SingleCoreSharing policy(MakePolicyPlatform(Ryzen1700X()),
                              {{.name = "cactusBSSN", .shares = 1.0, .demand = 1.4},
                               {.name = "gcc", .shares = 1.0, .demand = 1.0}});
-    auto d = policy.Initial(5.0);
+    auto d = policy.Initial(Watts{5.0});
     pkg.SetRequestedMhz(0, d.freq_mhz);
 
     Simulator sim(&pkg);
-    Joules last_energy = 0.0;
-    sim.AddPeriodic(1.0, [&](Seconds) {
-      const Watts core_w = pkg.core(0).energy_j() - last_energy;
+    Joules last_energy{0.0};
+    sim.AddPeriodic(Seconds{1.0}, [&](Seconds) {
+      const Watts core_w = (pkg.core(0).energy_j() - last_energy) / Seconds{1.0};
       last_energy = pkg.core(0).energy_j();
-      d = policy.Step(5.0, core_w);
+      d = policy.Step(Watts{5.0}, core_w);
       pkg.SetRequestedMhz(0, d.freq_mhz);
       if (compensate) {
         shared.SetResidency(0, d.residencies[0]);
         shared.SetResidency(1, d.residencies[1]);
       }
     });
-    sim.Run(60.0);
+    sim.Run(Seconds{60.0});
     return shared.member_instructions()[1];  // LD instructions.
   };
 

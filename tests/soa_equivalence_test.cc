@@ -82,13 +82,13 @@ class TickHash {
 };
 
 void HashPackageTick(const Package& pkg, TickHash* hash) {
-  hash->Add(pkg.last_package_power_w());
-  hash->Add(pkg.package_energy_j());
+  hash->Add(pkg.last_package_power_w().value());
+  hash->Add(pkg.package_energy_j().value());
   for (int i = 0; i < pkg.num_cores(); i++) {
     const Core& c = pkg.core(i);
     hash->Add(c.last_slice().instructions);
-    hash->Add(c.effective_mhz());
-    hash->Add(c.energy_j());
+    hash->Add(c.effective_mhz().value());
+    hash->Add(c.energy_j().value());
     hash->Add(pkg.thermal().core_temp_c(i));
   }
 }
@@ -97,7 +97,7 @@ bool PrintGolden() { return std::getenv("PAPD_PRINT_GOLDEN") != nullptr; }
 
 uint64_t EnergyBits(const Package& pkg) {
   uint64_t bits;
-  const double e = pkg.package_energy_j();
+  const double e = pkg.package_energy_j().value();
   std::memcpy(&bits, &e, sizeof(bits));
   return bits;
 }
@@ -124,7 +124,7 @@ constexpr uint64_t kSharesEnergyBits = 0x4071819B4A23399Bull;
 constexpr uint64_t kWebsearchHash = 0x8A71C852B46ACC44ull;
 constexpr uint64_t kWebsearchEnergyBits = 0x40767EFEC99EB284ull;
 
-constexpr Seconds kTick = 0.001;
+constexpr Seconds kTick{0.001};
 constexpr int kDaemonEveryTicks = 1000;  // 1 s daemon period.
 constexpr int kTotalTicks = 6000;        // 6 simulated seconds.
 
@@ -155,12 +155,12 @@ GoldenRun RunPriorityGolden() {
                                  .cpu = i,
                                  .shares = 1.0,
                                  .high_priority = hp,
-                                 .baseline_ips = 2.0e9});
+                                 .baseline_ips = Ips{2.0e9}});
   }
 
   DaemonConfig dcfg;
   dcfg.kind = PolicyKind::kPriority;
-  dcfg.power_limit_w = 50.0;
+  dcfg.power_limit_w = Watts{50.0};
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -198,12 +198,12 @@ GoldenRun RunSharesGolden() {
                                  .cpu = i,
                                  .shares = ld ? 20.0 : 80.0,
                                  .high_priority = false,
-                                 .baseline_ips = 2.0e9});
+                                 .baseline_ips = Ips{2.0e9}});
   }
 
   DaemonConfig dcfg;
   dcfg.kind = PolicyKind::kFrequencyShares;
-  dcfg.power_limit_w = 45.0;
+  dcfg.power_limit_w = Watts{45.0};
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -246,17 +246,17 @@ GoldenRun RunWebsearchGolden() {
                                  .cpu = c,
                                  .shares = 90.0,
                                  .high_priority = true,
-                                 .baseline_ips = 3.0e9});
+                                 .baseline_ips = Ips{3.0e9}});
   }
   managed.push_back(ManagedApp{.name = "cpuburn",
                                .cpu = 9,
                                .shares = 10.0,
                                .high_priority = false,
-                               .baseline_ips = 6.0e9});
+                               .baseline_ips = Ips{6.0e9}});
 
   DaemonConfig dcfg;
   dcfg.kind = PolicyKind::kFrequencyShares;
-  dcfg.power_limit_w = 60.0;
+  dcfg.power_limit_w = Watts{60.0};
   PowerDaemon daemon(&msr, managed, dcfg);
   daemon.Start();
 
@@ -274,7 +274,7 @@ GoldenRun RunWebsearchGolden() {
     HashPackageTick(pkg, &hash);
   }
   hash.Add(static_cast<double>(websearch.completed_requests()));
-  hash.Add(websearch.LatencyPercentile(90.0));
+  hash.Add(websearch.LatencyPercentile(90.0).value());
   run.hash = hash.value();
   run.energy_bits = EnergyBits(pkg);
   return run;

@@ -16,9 +16,9 @@ std::vector<int> FourCores() { return {0, 1, 2, 3}; }
 TEST(SpinLock, SingleThreadUncontended) {
   // One thread never waits: iteration time = (local + critical) / f.
   SpinLockWork work({0}, DefaultParams());
-  const std::vector<Mhz> freqs = {2000.0};
+  const std::vector<Mhz> freqs = {Mhz{2000.0}};
   for (int i = 0; i < 1000; i++) {
-    work.Run(0.001, freqs);
+    work.Run(Seconds{0.001}, freqs);
   }
   const double expected = 1.0 /* s */ * 2000e6 / (40000.0 + 20000.0);
   EXPECT_NEAR(work.total_iterations(), expected, expected * 0.02);
@@ -28,9 +28,9 @@ TEST(SpinLock, ContendedThroughputBoundByLock) {
   // Four threads, equal frequency: with critical_cycles = c and the lock
   // serial, system throughput <= f / c.
   SpinLockWork work(FourCores(), DefaultParams());
-  const std::vector<Mhz> freqs(4, 2000.0);
+  const std::vector<Mhz> freqs(4, Mhz{2000.0});
   for (int i = 0; i < 1000; i++) {
-    work.Run(0.001, freqs);
+    work.Run(Seconds{0.001}, freqs);
   }
   const double lock_bound = 1.0 * 2000e6 / 20000.0;
   EXPECT_LE(work.total_iterations(), lock_bound * 1.02);
@@ -39,9 +39,9 @@ TEST(SpinLock, ContendedThroughputBoundByLock) {
 
 TEST(SpinLock, FairFifoHandoff) {
   SpinLockWork work(FourCores(), DefaultParams());
-  const std::vector<Mhz> freqs(4, 2000.0);
+  const std::vector<Mhz> freqs(4, Mhz{2000.0});
   for (int i = 0; i < 2000; i++) {
-    work.Run(0.001, freqs);
+    work.Run(Seconds{0.001}, freqs);
   }
   const auto& its = work.iterations();
   for (size_t i = 1; i < its.size(); i++) {
@@ -55,12 +55,12 @@ TEST(SpinLock, ConvoyEffect) {
   // the slow core's speed and everyone else queues behind it.
   SpinLockWork uniform(FourCores(), DefaultParams());
   SpinLockWork convoy(FourCores(), DefaultParams());
-  const std::vector<Mhz> fast(4, 3000.0);
-  std::vector<Mhz> skewed(4, 3000.0);
-  skewed[0] = 800.0;
+  const std::vector<Mhz> fast(4, Mhz{3000.0});
+  std::vector<Mhz> skewed(4, Mhz{3000.0});
+  skewed[0] = Mhz{800.0};
   for (int i = 0; i < 2000; i++) {
-    uniform.Run(0.001, fast);
-    convoy.Run(0.001, skewed);
+    uniform.Run(Seconds{0.001}, fast);
+    convoy.Run(Seconds{0.001}, skewed);
   }
   const double uniform_rate = uniform.total_iterations();
   const double convoy_rate = convoy.total_iterations();
@@ -76,11 +76,11 @@ TEST(SpinLock, SpinningInflatesIps) {
   // The paper's warning: the fast cores' retired-instruction rate stays
   // high while their useful progress collapses.
   SpinLockWork work(FourCores(), DefaultParams());
-  std::vector<Mhz> skewed(4, 3000.0);
-  skewed[0] = 800.0;
+  std::vector<Mhz> skewed(4, Mhz{3000.0});
+  skewed[0] = Mhz{800.0};
   double fast_core_instr = 0.0;
   for (int i = 0; i < 2000; i++) {
-    const auto slices = work.Run(0.001, skewed);
+    const auto slices = work.Run(Seconds{0.001}, skewed);
     fast_core_instr += slices[1].instructions;
   }
   const double fast_core_ips = fast_core_instr / 2.0;
@@ -95,12 +95,12 @@ TEST(SpinLock, SpinningInflatesIps) {
 
 TEST(SpinLock, BusyFractionFullWhenSpinning) {
   SpinLockWork work(FourCores(), DefaultParams());
-  std::vector<Mhz> skewed(4, 3000.0);
-  skewed[0] = 800.0;
+  std::vector<Mhz> skewed(4, Mhz{3000.0});
+  skewed[0] = Mhz{800.0};
   for (int i = 0; i < 500; i++) {
-    work.Run(0.001, skewed);
+    work.Run(Seconds{0.001}, skewed);
   }
-  const auto slices = work.Run(0.001, skewed);
+  const auto slices = work.Run(Seconds{0.001}, skewed);
   for (const WorkSlice& s : slices) {
     EXPECT_GT(s.busy_fraction, 0.95);  // Spinners look 100% busy.
   }
@@ -108,9 +108,9 @@ TEST(SpinLock, BusyFractionFullWhenSpinning) {
 
 TEST(SpinLock, ZeroFrequencyCoreStalls) {
   SpinLockWork work({0, 1}, DefaultParams());
-  const std::vector<Mhz> freqs = {2000.0, 0.0};
+  const std::vector<Mhz> freqs = {Mhz{2000.0}, Mhz{0.0}};
   for (int i = 0; i < 500; i++) {
-    work.Run(0.001, freqs);
+    work.Run(Seconds{0.001}, freqs);
   }
   EXPECT_GT(work.iterations()[0], 0.0);
   EXPECT_DOUBLE_EQ(work.iterations()[1], 0.0);

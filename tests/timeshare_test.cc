@@ -30,24 +30,24 @@ Watts SharedCorePower(const std::string& app_a, double res_a, const std::string&
   pkg.AttachWork(0, &shared);
   pkg.SetRequestedMhz(0, freq);
   Simulator sim(&pkg);
-  sim.Run(2.0);
+  sim.Run(Seconds{2.0});
   return pkg.core(0).energy_j() / pkg.now();
 }
 
 TEST(TimeShare, PowerIsResidencyWeightedSum) {
   // Figure 6's central observation: core power under time sharing is the
   // time-weighted sum of the individual applications' power draws.
-  const Watts hd_alone = SharedCorePower("cactusBSSN", 1.0, "gcc", 0.0, 3400);
-  const Watts ld_alone = SharedCorePower("cactusBSSN", 0.0, "gcc", 1.0, 3400);
-  const Watts mixed = SharedCorePower("cactusBSSN", 0.5, "gcc", 0.5, 3400);
+  const Watts hd_alone = SharedCorePower("cactusBSSN", 1.0, "gcc", 0.0, Mhz{3400});
+  const Watts ld_alone = SharedCorePower("cactusBSSN", 0.0, "gcc", 1.0, Mhz{3400});
+  const Watts mixed = SharedCorePower("cactusBSSN", 0.5, "gcc", 0.5, Mhz{3400});
   EXPECT_GT(hd_alone, ld_alone);
-  EXPECT_NEAR(mixed, 0.5 * hd_alone + 0.5 * ld_alone, 0.35);
+  EXPECT_NEAR(mixed.value(), (0.5 * hd_alone + 0.5 * ld_alone).value(), 0.35);
 }
 
 TEST(TimeShare, PowerGrowsWithHdShare) {
-  Watts prev = 0.0;
+  Watts prev{0.0};
   for (double hd_share : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-    const Watts p = SharedCorePower("cactusBSSN", hd_share, "gcc", 0.5, 3400);
+    const Watts p = SharedCorePower("cactusBSSN", hd_share, "gcc", 0.5, Mhz{3400});
     EXPECT_GT(p, prev) << hd_share;
     prev = p;
   }
@@ -58,7 +58,7 @@ TEST(TimeShare, ThroughputProportionalToResidency) {
   Process b(GetProfile("leela"), 2);
   TimeSharedCore shared({{.work = &a, .residency = 0.6}, {.work = &b, .residency = 0.2}});
   for (int i = 0; i < 1000; i++) {
-    shared.Run(0.001, 2000);
+    shared.Run(Seconds{0.001}, Mhz{2000});
   }
   const double ratio = shared.member_instructions()[0] / shared.member_instructions()[1];
   EXPECT_NEAR(ratio, 3.0, 0.1);
@@ -68,10 +68,10 @@ TEST(TimeShare, ResidenciesAboveOneAreNormalized) {
   Process a(GetProfile("leela"), 1);
   Process b(GetProfile("leela"), 2);
   TimeSharedCore shared({{.work = &a, .residency = 1.5}, {.work = &b, .residency = 0.5}});
-  const WorkSlice s = shared.Run(0.001, 2000);
+  const WorkSlice s = shared.Run(Seconds{0.001}, Mhz{2000});
   EXPECT_LE(s.busy_fraction, 1.0 + 1e-9);
   for (int i = 0; i < 999; i++) {
-    shared.Run(0.001, 2000);
+    shared.Run(Seconds{0.001}, Mhz{2000});
   }
   EXPECT_NEAR(shared.member_instructions()[0] / shared.member_instructions()[1], 3.0, 0.1);
 }
@@ -79,7 +79,7 @@ TEST(TimeShare, ResidenciesAboveOneAreNormalized) {
 TEST(TimeShare, IdleRemainderLowersBusyFraction) {
   Process a(GetProfile("leela"), 1);
   TimeSharedCore shared({{.work = &a, .residency = 0.3}});
-  const WorkSlice s = shared.Run(0.001, 2000);
+  const WorkSlice s = shared.Run(Seconds{0.001}, Mhz{2000});
   EXPECT_NEAR(s.busy_fraction, 0.3, 1e-9);
 }
 
@@ -89,7 +89,7 @@ TEST(TimeShare, ActivityIsBusyWeighted) {
   Process hd(GetProfile("cactusBSSN"), 1);
   Process ld(GetProfile("leela"), 2);
   TimeSharedCore shared({{.work = &hd, .residency = 0.5}, {.work = &ld, .residency = 0.5}});
-  const WorkSlice s = shared.Run(0.001, 2000);
+  const WorkSlice s = shared.Run(Seconds{0.001}, Mhz{2000});
   EXPECT_NEAR(s.activity, (hd_activity + ld_activity) / 2.0, 1e-6);
 }
 

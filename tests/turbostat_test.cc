@@ -30,37 +30,37 @@ class TurbostatTest : public ::testing::Test {
 TEST_F(TurbostatTest, PackagePowerMatchesSimTruth) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  const Joules e0 = pkg_.package_energy_j();
-  const Seconds t0 = pkg_.now();
-  sim.Run(1.0);
+  const Joules e0{pkg_.package_energy_j()};
+  const Seconds t0{pkg_.now()};
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
-  const Watts truth = (pkg_.package_energy_j() - e0) / (pkg_.now() - t0);
-  EXPECT_NEAR(s.pkg_w, truth, 0.05);
-  EXPECT_NEAR(s.dt, 1.0, 1e-9);
+  const Watts truth{(pkg_.package_energy_j() - e0) / (pkg_.now() - t0)};
+  EXPECT_NEAR(s.pkg_w.value(), truth.value(), 0.05);
+  EXPECT_NEAR(s.dt.value(), 1.0, 1e-9);
 }
 
 TEST_F(TurbostatTest, ActiveFrequencyMatchesRequested) {
-  pkg_.SetRequestedMhz(0, 1700);
+  pkg_.SetRequestedMhz(0, Mhz{1700});
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
-  EXPECT_NEAR(s.cores[0].active_mhz, 1700.0, 2.0);
+  EXPECT_NEAR(s.cores[0].active_mhz.value(), 1700.0, 2.0);
 }
 
 TEST_F(TurbostatTest, IpsMatchesProcessRate) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
   const double i0 = proc_.instructions_retired();
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
-  EXPECT_NEAR(s.cores[0].ips, proc_.instructions_retired() - i0, 2e6);
+  EXPECT_NEAR(s.cores[0].ips.value(), proc_.instructions_retired() - i0, 2e6);
 }
 
 TEST_F(TurbostatTest, BusyFractionReflectsLoad) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
   EXPECT_NEAR(s.cores[0].busy, 1.0, 0.01);  // Fully-loaded core.
   EXPECT_NEAR(s.cores[1].busy, 0.0, 0.01);  // Idle core.
@@ -69,7 +69,7 @@ TEST_F(TurbostatTest, BusyFractionReflectsLoad) {
 TEST_F(TurbostatTest, NoPerCorePowerOnSkylake) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(0.5);
+  sim.Run(Seconds{0.5});
   const TelemetrySample s = ts.Sample();
   EXPECT_FALSE(s.cores[0].core_w.has_value());
 }
@@ -82,23 +82,23 @@ TEST_F(TurbostatTest, ZeroElapsedIsInvalidNotZeroPower) {
   const TelemetrySample s = ts.Sample();
   EXPECT_FALSE(s.valid);
   EXPECT_EQ(s.fault_flags, kSampleStale);
-  EXPECT_DOUBLE_EQ(s.dt, 0.0);
+  EXPECT_DOUBLE_EQ(s.dt.value(), 0.0);
   EXPECT_EQ(ts.invalid_samples(), 1);
 }
 
 TEST_F(TurbostatTest, ZeroElapsedReservesLastGoodRates) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample good = ts.Sample();
   ASSERT_TRUE(good.valid);
   const TelemetrySample stale = ts.Sample();  // No time elapsed since.
   EXPECT_FALSE(stale.valid);
   // Consumers that ignore `valid` see the last good rates, not zeros.
-  EXPECT_DOUBLE_EQ(stale.pkg_w, good.pkg_w);
+  EXPECT_DOUBLE_EQ(stale.pkg_w.value(), good.pkg_w.value());
   ASSERT_EQ(stale.cores.size(), good.cores.size());
-  EXPECT_DOUBLE_EQ(stale.cores[0].active_mhz, good.cores[0].active_mhz);
-  EXPECT_DOUBLE_EQ(stale.cores[0].ips, good.cores[0].ips);
+  EXPECT_DOUBLE_EQ(stale.cores[0].active_mhz.value(), good.cores[0].active_mhz.value());
+  EXPECT_DOUBLE_EQ(stale.cores[0].ips.value(), good.cores[0].ips.value());
   EXPECT_FALSE(stale.cores[0].plausible);
 }
 
@@ -109,21 +109,21 @@ TEST_F(TurbostatTest, RawModeKeepsPreHardeningZeroSample) {
   ts.set_validation(false);
   const TelemetrySample s = ts.Sample();
   EXPECT_TRUE(s.valid);
-  EXPECT_DOUBLE_EQ(s.pkg_w, 0.0);
-  EXPECT_DOUBLE_EQ(s.dt, 0.0);
+  EXPECT_DOUBLE_EQ(s.pkg_w.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.dt.value(), 0.0);
   EXPECT_EQ(ts.invalid_samples(), 0);
 }
 
 TEST_F(TurbostatTest, SuccessiveSamplesAreWindowed) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s1 = ts.Sample();
-  pkg_.SetRequestedMhz(0, 900);
-  sim.Run(1.0);
+  pkg_.SetRequestedMhz(0, Mhz{900});
+  sim.Run(Seconds{1.0});
   const TelemetrySample s2 = ts.Sample();
   // The second sample must only see the throttled second.
-  EXPECT_NEAR(s2.cores[0].active_mhz, 900.0, 2.0);
+  EXPECT_NEAR(s2.cores[0].active_mhz.value(), 900.0, 2.0);
   EXPECT_LT(s2.pkg_w, s1.pkg_w);
 }
 
@@ -143,19 +143,19 @@ class TurbostatFaultTest : public TurbostatTest {
 TEST_F(TurbostatFaultTest, CounterResetClampedNotWrapped) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample good = ts.Sample();
   ASSERT_TRUE(good.valid);
   msr_.EnableFaults(Certain(&FaultPlan::counter_reset_p));
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
   // Core-scope fault: flagged, core marked implausible, rates substituted
   // from the last good sample — but the sample stays controllable.
   EXPECT_TRUE(s.valid);
   EXPECT_TRUE(s.fault_flags & kSampleCounterReset);
   EXPECT_FALSE(s.cores[0].plausible);
-  EXPECT_DOUBLE_EQ(s.cores[0].ips, good.cores[0].ips);
-  EXPECT_LT(s.cores[0].ips, 1e12);  // Never the ~1.8e19 unsigned wrap.
+  EXPECT_DOUBLE_EQ(s.cores[0].ips.value(), good.cores[0].ips.value());
+  EXPECT_LT(s.cores[0].ips, Ips{1e12});  // Never the ~1.8e19 unsigned wrap.
 }
 
 TEST_F(TurbostatFaultTest, RawModeCounterResetWrapsUnsigned) {
@@ -164,67 +164,67 @@ TEST_F(TurbostatFaultTest, RawModeCounterResetWrapsUnsigned) {
   Turbostat ts(&msr_);
   ts.set_validation(false);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   (void)ts.Sample();
   msr_.EnableFaults(Certain(&FaultPlan::counter_reset_p));
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
   EXPECT_TRUE(s.valid);  // Raw mode does not even notice.
-  EXPECT_GT(s.cores[0].ips, 1e18);
+  EXPECT_GT(s.cores[0].ips, Ips{1e18});
 }
 
 TEST_F(TurbostatFaultTest, EnergyWrapStormInvalidatesSample) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample good = ts.Sample();
   ASSERT_TRUE(good.valid);
   msr_.EnableFaults(Certain(&FaultPlan::energy_wrap_p));
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
   EXPECT_FALSE(s.valid);
   EXPECT_TRUE(s.fault_flags & kSampleEnergyImplausible);
   // Garbage delta replaced by the last good power, not ~2^32 RAPL units.
-  EXPECT_DOUBLE_EQ(s.pkg_w, good.pkg_w);
+  EXPECT_DOUBLE_EQ(s.pkg_w.value(), good.pkg_w.value());
 }
 
 TEST_F(TurbostatFaultTest, ReadSpikeFlaggedThenClampedNextPeriod) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   ASSERT_TRUE(ts.Sample().valid);
   msr_.EnableFaults(Certain(&FaultPlan::read_spike_p));
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample spike = ts.Sample();
   // The spiked instruction counter fails the IPS plausibility ceiling.
   EXPECT_TRUE(spike.fault_flags & kSampleRateImplausible);
   EXPECT_FALSE(spike.cores[0].plausible);
-  EXPECT_LT(spike.cores[0].ips, 1e12);
+  EXPECT_LT(spike.cores[0].ips, Ips{1e12});
   // The spike was transient, so the next (clean) read regresses: the clamp
   // (not an unsigned wrap) must catch it.
   msr_.EnableFaults(FaultPlan{});
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample after = ts.Sample();
   EXPECT_TRUE(after.fault_flags & kSampleCounterReset);
-  EXPECT_LT(after.cores[0].ips, 1e12);
+  EXPECT_LT(after.cores[0].ips, Ips{1e12});
 }
 
 TEST_F(TurbostatFaultTest, InjectedStaleSampleKeepsWindow) {
   Turbostat ts(&msr_);
   Simulator sim(&pkg_);
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   ASSERT_TRUE(ts.Sample().valid);
   msr_.EnableFaults(Certain(&FaultPlan::stale_sample_p));
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample stale = ts.Sample();
   EXPECT_FALSE(stale.valid);
   EXPECT_TRUE(stale.fault_flags & kSampleStale);
   // Clear the faults; the next good sample covers the whole gap.
   msr_.EnableFaults(FaultPlan{});
-  sim.Run(1.0);
+  sim.Run(Seconds{1.0});
   const TelemetrySample good = ts.Sample();
   EXPECT_TRUE(good.valid);
-  EXPECT_NEAR(good.dt, 2.0, 1e-9);
+  EXPECT_NEAR(good.dt.value(), 2.0, 1e-9);
 }
 
 TEST(TurbostatRyzen, PerCorePowerPresent) {
@@ -234,11 +234,11 @@ TEST(TurbostatRyzen, PerCorePowerPresent) {
   pkg.AttachWork(2, &proc);
   Turbostat ts(&msr);
   Simulator sim(&pkg);
-  const Joules e0 = pkg.core(2).energy_j();
-  sim.Run(1.0);
+  const Joules e0{pkg.core(2).energy_j()};
+  sim.Run(Seconds{1.0});
   const TelemetrySample s = ts.Sample();
   ASSERT_TRUE(s.cores[2].core_w.has_value());
-  EXPECT_NEAR(*s.cores[2].core_w, pkg.core(2).energy_j() - e0, 0.05);
+  EXPECT_NEAR(s.cores[2].core_w->value(), (pkg.core(2).energy_j() - e0).value(), 0.05);
   // The busy core draws clearly more than an idle one.
   ASSERT_TRUE(s.cores[0].core_w.has_value());
   EXPECT_GT(*s.cores[2].core_w, *s.cores[0].core_w);
@@ -250,10 +250,10 @@ TEST(TurbostatRyzen, OfflineCoreReported) {
   msr.SetCoreOnline(3, false);
   Turbostat ts(&msr);
   Simulator sim(&pkg);
-  sim.Run(0.5);
+  sim.Run(Seconds{0.5});
   const TelemetrySample s = ts.Sample();
   EXPECT_FALSE(s.cores[3].online);
-  EXPECT_DOUBLE_EQ(s.cores[3].active_mhz, 0.0);
+  EXPECT_DOUBLE_EQ(s.cores[3].active_mhz.value(), 0.0);
 }
 
 }  // namespace

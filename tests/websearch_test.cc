@@ -15,19 +15,19 @@ std::vector<int> NineCores() { return {0, 1, 2, 3, 4, 5, 6, 7, 8}; }
 // over the post-warmup window.
 Seconds RunAt(WebSearch* ws, Mhz freq, Seconds warmup, Seconds seconds) {
   const std::vector<Mhz> freqs(ws->Cores().size(), freq);
-  for (Seconds t = 0; t < warmup; t += 0.001) {
-    ws->Run(0.001, freqs);
+  for (Seconds t{0.0}; t < warmup; t += Seconds{0.001}) {
+    ws->Run(Seconds{0.001}, freqs);
   }
   ws->ResetStats();
-  for (Seconds t = 0; t < seconds; t += 0.001) {
-    ws->Run(0.001, freqs);
+  for (Seconds t{0.0}; t < seconds; t += Seconds{0.001}) {
+    ws->Run(Seconds{0.001}, freqs);
   }
   return ws->LatencyPercentile(90);
 }
 
 TEST(WebSearch, CompletesRequestsAtFullSpeed) {
   WebSearch ws(NineCores(), WebSearch::Params{}, 1);
-  RunAt(&ws, 2600, 10, 60);
+  RunAt(&ws, Mhz{2600}, Seconds{10}, Seconds{60});
   // 300 users with ~2 s think time and sub-second responses complete on the
   // order of 100+ requests per second.
   EXPECT_GT(ws.completed_requests(), 4000u);
@@ -36,15 +36,15 @@ TEST(WebSearch, CompletesRequestsAtFullSpeed) {
 TEST(WebSearch, LatencyPositiveAndAboveFixedFloor) {
   WebSearch::Params params;
   WebSearch ws(NineCores(), params, 1);
-  const Seconds p90 = RunAt(&ws, 2600, 10, 60);
+  const Seconds p90{RunAt(&ws, Mhz{2600}, Seconds{10}, Seconds{60})};
   EXPECT_GT(p90, params.fixed_latency_s);
 }
 
 TEST(WebSearch, ThrottlingInflatesTailLatency) {
   WebSearch fast(NineCores(), WebSearch::Params{}, 1);
   WebSearch slow(NineCores(), WebSearch::Params{}, 1);
-  const Seconds p90_fast = RunAt(&fast, 2600, 20, 120);
-  const Seconds p90_slow = RunAt(&slow, 1300, 20, 120);
+  const Seconds p90_fast{RunAt(&fast, Mhz{2600}, Seconds{20}, Seconds{120})};
+  const Seconds p90_slow{RunAt(&slow, Mhz{1300}, Seconds{20}, Seconds{120})};
   // Figure 5's central effect: halved frequency near capacity blows up p90.
   EXPECT_GT(p90_slow, 2.0 * p90_fast);
 }
@@ -52,7 +52,7 @@ TEST(WebSearch, ThrottlingInflatesTailLatency) {
 TEST(WebSearch, DeterministicForSameSeed) {
   WebSearch a(NineCores(), WebSearch::Params{}, 7);
   WebSearch b(NineCores(), WebSearch::Params{}, 7);
-  EXPECT_DOUBLE_EQ(RunAt(&a, 2000, 5, 30), RunAt(&b, 2000, 5, 30));
+  EXPECT_DOUBLE_EQ(RunAt(&a, Mhz{2000}, Seconds{5}, Seconds{30}).value(), RunAt(&b, Mhz{2000}, Seconds{5}, Seconds{30}).value());
   EXPECT_EQ(a.completed_requests(), b.completed_requests());
 }
 
@@ -62,20 +62,20 @@ TEST(WebSearch, ClosedLoopBoundsOutstandingRequests) {
   WebSearch::Params params;
   params.users = 50;
   WebSearch ws(NineCores(), params, 3);
-  RunAt(&ws, 800, 30, 120);
+  RunAt(&ws, Mhz{800}, Seconds{30}, Seconds{120});
   EXPECT_GT(ws.completed_requests(), 100u);
 }
 
 TEST(WebSearch, UtilizationRisesWhenThrottled) {
   WebSearch fast(NineCores(), WebSearch::Params{}, 1);
   WebSearch slow(NineCores(), WebSearch::Params{}, 1);
-  const std::vector<Mhz> f_fast(9, 2600.0);
-  const std::vector<Mhz> f_slow(9, 1000.0);
+  const std::vector<Mhz> f_fast(9, Mhz{2600.0});
+  const std::vector<Mhz> f_slow(9, Mhz{1000.0});
   double fast_util = 0.0;
   double slow_util = 0.0;
   for (int i = 0; i < 60000; i++) {
-    fast.Run(0.001, f_fast);
-    slow.Run(0.001, f_slow);
+    fast.Run(Seconds{0.001}, f_fast);
+    slow.Run(Seconds{0.001}, f_slow);
     fast_util += fast.last_mean_utilization();
     slow_util += slow.last_mean_utilization();
   }
@@ -85,12 +85,12 @@ TEST(WebSearch, UtilizationRisesWhenThrottled) {
 TEST(WebSearch, SlicesReportWorkCharacteristics) {
   WebSearch::Params params;
   WebSearch ws(NineCores(), params, 1);
-  const std::vector<Mhz> freqs(9, 2600.0);
+  const std::vector<Mhz> freqs(9, Mhz{2600.0});
   // Warm up until requests flow.
   for (int i = 0; i < 5000; i++) {
-    ws.Run(0.001, freqs);
+    ws.Run(Seconds{0.001}, freqs);
   }
-  const std::vector<WorkSlice> slices = ws.Run(0.001, freqs);
+  const std::vector<WorkSlice> slices = ws.Run(Seconds{0.001}, freqs);
   ASSERT_EQ(slices.size(), 9u);
   bool any_busy = false;
   for (const WorkSlice& s : slices) {
@@ -101,7 +101,7 @@ TEST(WebSearch, SlicesReportWorkCharacteristics) {
       any_busy = true;
       EXPECT_DOUBLE_EQ(s.activity, params.activity);
       EXPECT_NEAR(s.instructions,
-                  s.busy_fraction * freqs[0] * 1e6 * 0.001 * params.ipc, 1.0);
+                  s.busy_fraction * freqs[0].value() * 1e6 * 0.001 * params.ipc, 1.0);
     }
   }
   EXPECT_TRUE(any_busy);
@@ -109,10 +109,10 @@ TEST(WebSearch, SlicesReportWorkCharacteristics) {
 
 TEST(WebSearch, ZeroFrequencyCoreServesNothing) {
   WebSearch ws(NineCores(), WebSearch::Params{}, 1);
-  std::vector<Mhz> freqs(9, 2600.0);
-  freqs[4] = 0.0;  // Offlined member.
+  std::vector<Mhz> freqs(9, Mhz{2600.0});
+  freqs[4] = Mhz{0.0};  // Offlined member.
   for (int i = 0; i < 20000; i++) {
-    const auto slices = ws.Run(0.001, freqs);
+    const auto slices = ws.Run(Seconds{0.001}, freqs);
     EXPECT_DOUBLE_EQ(slices[4].instructions, 0.0);
   }
   // The system still completes requests on the other 8 cores.
@@ -121,11 +121,11 @@ TEST(WebSearch, ZeroFrequencyCoreServesNothing) {
 
 TEST(WebSearch, ResetStatsClearsWindow) {
   WebSearch ws(NineCores(), WebSearch::Params{}, 1);
-  RunAt(&ws, 2600, 0, 30);
+  RunAt(&ws, Mhz{2600}, Seconds{0}, Seconds{30});
   EXPECT_GT(ws.completed_requests(), 0u);
   ws.ResetStats();
   EXPECT_EQ(ws.completed_requests(), 0u);
-  EXPECT_DOUBLE_EQ(ws.LatencyPercentile(90), 0.0);
+  EXPECT_DOUBLE_EQ(ws.LatencyPercentile(90).value(), 0.0);
 }
 
 }  // namespace

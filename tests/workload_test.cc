@@ -30,12 +30,12 @@ WorkloadProfile MemoryBound() {
 
 TEST(WorkloadProfile, ComputeBoundScalesLinearly) {
   const WorkloadProfile p = ComputeBound();
-  EXPECT_NEAR(p.NominalIps(2000) / p.NominalIps(1000), 2.0, 1e-9);
+  EXPECT_NEAR(p.NominalIps(Mhz{2000}) / p.NominalIps(Mhz{1000}), 2.0, 1e-9);
 }
 
 TEST(WorkloadProfile, MemoryBoundSaturates) {
   const WorkloadProfile p = MemoryBound();
-  const double speedup = p.NominalIps(3000) / p.NominalIps(1000);
+  const double speedup = p.NominalIps(Mhz{3000}) / p.NominalIps(Mhz{1000});
   EXPECT_LT(speedup, 1.6);  // Far sublinear.
   EXPECT_GT(speedup, 1.0);  // Still monotone.
 }
@@ -43,9 +43,9 @@ TEST(WorkloadProfile, MemoryBoundSaturates) {
 TEST(WorkloadProfile, IpsMonotoneInFrequency) {
   for (const std::string& name : SpecBenchmarkNames()) {
     const WorkloadProfile& p = GetProfile(name);
-    double prev = 0.0;
-    for (Mhz f = 800; f <= 3000; f += 100) {
-      const Ips ips = p.NominalIps(f);
+    Ips prev{0.0};
+    for (Mhz f{800}; f <= Mhz{3000}; f += Mhz{100}) {
+      const Ips ips{p.NominalIps(f)};
       EXPECT_GT(ips, prev) << name << " at " << f;
       prev = ips;
     }
@@ -94,7 +94,7 @@ TEST(Process, RetiresAtNominalRate) {
   p.phase_amplitude = 0.0;
   p.jitter = 0.0;
   Process proc(p, 1);
-  WorkSlice s = proc.Run(1.0, 2000);
+  WorkSlice s = proc.Run(Seconds{1.0}, Mhz{2000});
   EXPECT_NEAR(s.instructions, 2e9, 1e6);
   EXPECT_DOUBLE_EQ(s.busy_fraction, 1.0);
   EXPECT_DOUBLE_EQ(proc.instructions_retired(), s.instructions);
@@ -105,7 +105,7 @@ TEST(Process, SliceCarriesProfileCharacteristics) {
   p.activity = 1.7;
   p.avx_fraction = 0.6;
   Process proc(p, 1);
-  const WorkSlice s = proc.Run(0.001, 1000);
+  const WorkSlice s = proc.Run(Seconds{0.001}, Mhz{1000});
   EXPECT_DOUBLE_EQ(s.activity, 1.7);
   EXPECT_DOUBLE_EQ(s.avx_fraction, 0.6);
   EXPECT_TRUE(proc.UsesAvx());
@@ -121,13 +121,13 @@ TEST(Process, RunToCompletionStops) {
   // At 1000 MHz = 1e9 IPS this takes exactly 1 second.
   double total_instr = 0.0;
   for (int i = 0; i < 2000; i++) {
-    total_instr += proc.Run(0.001, 1000).instructions;
+    total_instr += proc.Run(Seconds{0.001}, Mhz{1000}).instructions;
   }
   EXPECT_TRUE(proc.finished());
   EXPECT_NEAR(total_instr, 1e9, 1.0);
-  EXPECT_NEAR(proc.completion_time(), 1.0, 0.002);
+  EXPECT_NEAR(proc.completion_time().value(), 1.0, 0.002);
   // After finishing the process idles.
-  const WorkSlice s = proc.Run(0.001, 1000);
+  const WorkSlice s = proc.Run(Seconds{0.001}, Mhz{1000});
   EXPECT_DOUBLE_EQ(s.busy_fraction, 0.0);
   EXPECT_DOUBLE_EQ(s.instructions, 0.0);
 }
@@ -140,7 +140,7 @@ TEST(Process, CompletionMidSliceHasPartialBusy) {
   Process proc(p, 1);
   proc.set_run_to_completion(true);
   // 1 ms at 1000 MHz retires 1e6 instructions; the run ends halfway.
-  const WorkSlice s = proc.Run(0.001, 1000);
+  const WorkSlice s = proc.Run(Seconds{0.001}, Mhz{1000});
   EXPECT_NEAR(s.busy_fraction, 0.5, 1e-6);
   EXPECT_NEAR(s.instructions, 0.5e6, 1.0);
 }
@@ -148,13 +148,13 @@ TEST(Process, CompletionMidSliceHasPartialBusy) {
 TEST(Process, PhasesModulateThroughput) {
   WorkloadProfile p = ComputeBound();
   p.phase_amplitude = 0.10;
-  p.phase_period_s = 10.0;
+  p.phase_period_s = Seconds{10.0};
   p.jitter = 0.0;
   Process proc(p, 1);
   double lo = 1e18;
   double hi = 0.0;
   for (int i = 0; i < 10000; i++) {  // 10 s = one full phase period.
-    const WorkSlice s = proc.Run(0.001, 1000);
+    const WorkSlice s = proc.Run(Seconds{0.001}, Mhz{1000});
     lo = std::min(lo, s.instructions);
     hi = std::max(hi, s.instructions);
   }
@@ -168,7 +168,7 @@ TEST(Process, DeterministicForSameSeed) {
   Process a(p, 99);
   Process b(p, 99);
   for (int i = 0; i < 1000; i++) {
-    EXPECT_DOUBLE_EQ(a.Run(0.001, 1500).instructions, b.Run(0.001, 1500).instructions);
+    EXPECT_DOUBLE_EQ(a.Run(Seconds{0.001}, Mhz{1500}).instructions, b.Run(Seconds{0.001}, Mhz{1500}).instructions);
   }
 }
 
@@ -176,9 +176,9 @@ TEST(Process, CpuTimeTracksBusyTime) {
   WorkloadProfile p = ComputeBound();
   Process proc(p, 1);
   for (int i = 0; i < 100; i++) {
-    proc.Run(0.001, 2000);
+    proc.Run(Seconds{0.001}, Mhz{2000});
   }
-  EXPECT_NEAR(proc.cpu_time(), 0.1, 1e-9);
+  EXPECT_NEAR(proc.cpu_time().value(), 0.1, 1e-9);
 }
 
 }  // namespace

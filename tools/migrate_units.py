@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""One-shot mechanical migration helper for the strong-typed units change.
+
+Rewrites the three fully mechanical patterns across the tree:
+  1. declarations   `Watts x = expr;`        -> `Watts x{expr};`
+  2. literal stores `limit_w = 85.0`         -> `limit_w = Watts{85.0}`
+                    `.warmup_s = 1.0,`       -> `.warmup_s = Seconds{1.0},`
+  3. literal cmps   `limit_w > 0.0`          -> `limit_w > Watts{0.0}`
+
+Everything else (returns, ternaries, printf args, physics formulas) is
+fixed by hand from compiler errors.  Not wired into the build; kept for
+the PR record and deleted-after-use is fine too.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+UNIT = {
+    "w": "Watts",
+    "mhz": "Mhz",
+    "s": "Seconds",
+    "j": "Joules",
+    "ips": "Ips",
+    "volts": "Volts",
+}
+TYPES = "|".join(UNIT.values())
+NUM = r"-?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?"
+
+DECL_RE = re.compile(
+    r"^(\s*(?:static\s+|inline\s+|constexpr\s+|const\s+)*)"
+    rf"({TYPES})\s+([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([^;]+);"
+)
+STORE_RE = re.compile(
+    rf"\b([A-Za-z_][A-Za-z0-9_]*?_(?:{'|'.join(UNIT)})_?)\s*=\s*({NUM})(\s*[,;}})])"
+)
+CMP_RE = re.compile(
+    rf"\b([A-Za-z_][A-Za-z0-9_]*?_(?:{'|'.join(UNIT)})_?(?:\(\))?)\s*(==|!=|<=|>=|<|>)\s*({NUM})\b"
+)
+CMP_REV_RE = re.compile(
+    rf"(?<![\w.])({NUM})\s*(==|!=|<=|>=|<|>)\s*([A-Za-z_][A-Za-z0-9_]*?_(?:{'|'.join(UNIT)})_?(?:\(\))?)\b"
+)
+
+
+def suffix_type(name: str) -> str | None:
+    name = name.rstrip("()").rstrip("_")
+    if "_per_" in name:
+        return None
+    parts = name.split("_")
+    if len(parts) < 2:
+        return None
+    return UNIT.get(parts[-1])
+
+
+def code_span(line: str) -> str:
+    """Code part of a line (strips // comments; blanks string contents)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', lambda m: '"' + " " * (len(m.group(0)) - 2) + '"', line)
+    return line.split("//", 1)[0]
+
+
+def migrate(text: str) -> str:
+    out = []
+    for raw in text.split("\n"):
+        code = code_span(raw)
+
+        m = DECL_RE.match(code)
+        if m and code[m.start(): m.end()] == raw[m.start(): m.end()]:
+            qual, typ, name, expr = m.groups()
+            raw = f"{qual}{typ} {name}{{{expr.rstrip()}}};" + raw[m.end():]
+            code = code_span(raw)
+
+        def in_code(m: re.Match) -> bool:
+            return m.end() <= len(code) and code[m.start(): m.end()] == raw[m.start(): m.end()]
+
+        def store(m: re.Match) -> str:
+            typ = suffix_type(m.group(1))
+            if typ is None or not in_code(m):
+                return m.group(0)
+            return f"{m.group(1)} = {typ}{{{m.group(2)}}}{m.group(3)}"
+
+        raw = STORE_RE.sub(store, raw)
+        code = code_span(raw)
+
+        def cmp_fwd(m: re.Match) -> str:
+            typ = suffix_type(m.group(1))
+            if typ is None or not in_code(m):
+                return m.group(0)
+            return f"{m.group(1)} {m.group(2)} {typ}{{{m.group(3)}}}"
+
+        raw = CMP_RE.sub(cmp_fwd, raw)
+        code = code_span(raw)
+
+        def cmp_rev(m: re.Match) -> str:
+            typ = suffix_type(m.group(3))
+            if typ is None or not in_code(m):
+                return m.group(0)
+            return f"{typ}{{{m.group(1)}}} {m.group(2)} {m.group(3)}"
+
+        raw = CMP_REV_RE.sub(cmp_rev, raw)
+        out.append(raw)
+    return "\n".join(out)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    changed = 0
+    for top in ("src", "tests", "bench", "examples", "tools"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            if path.name == "units.h":
+                continue
+            text = path.read_text(encoding="utf-8")
+            new = migrate(text)
+            if new != text:
+                path.write_text(new, encoding="utf-8")
+                changed += 1
+                print(f"migrated {path.relative_to(root)}")
+    print(f"{changed} file(s) changed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,58 +1,110 @@
 #!/usr/bin/env python3
-"""Project lint for the papd tree.
+"""Project lint for the papd tree: a tokenizer-backed rule engine.
 
-Five rules the compiler cannot enforce:
+Every rule is a function registered with @rule(...); it receives a FileContext
+(raw lines, comment-stripped lines, and a C++ token stream) and yields
+Finding objects.  Repo-wide invariants (rules that need to see several files
+at once) register with @repo_rule(...) and receive the whole file list.
 
-  unit-suffix     A double/float declaration whose name carries a unit
-                  suffix must use the matching alias from
-                  src/common/units.h: *_w -> Watts, *_mhz -> Mhz,
-                  *_s -> Seconds.  Rate names (anything with `_per_`)
-                  are compound units with no alias and are exempt.
+Rules:
 
-  include-guard   Header guards follow the full-path style
-                  SRC_<DIR>_<FILE>_H_ (tests/..., bench/... likewise).
+  unit-suffix           A double/float declaration whose name carries a unit
+                        suffix (*_w, *_mhz, *_s) must use the matching strong
+                        type from src/common/units.h.  `_per_` rate names are
+                        compound units with no alias and are exempt.
 
-  naked-double    Public policy headers (src/policy/*.h) must not take
-                  naked `double` parameters: every quantity crossing the
-                  policy API carries its unit in the type (Watts, Mhz,
-                  Ips, ResourceUnits, ...).  Plain `double` is fine for
-                  genuinely dimensionless internals (fields, locals).
+  include-guard         Header guards follow the full-path style
+                        SRC_<DIR>_<FILE>_H_ (tests/..., bench/... likewise).
 
-  hot-alloc       A function marked with a `// PAPD_HOT` comment on the
-                  line above its definition must not allocate: no local
-                  container declarations (std::vector/string/map/...),
-                  no `new`, and no push_back/emplace_back/push except on
-                  members whose names contain `scratch` (pre-sized
-                  buffers).  A line-level `PAPD_HOT_ALLOW` comment exempts
-                  deliberate amortized growth (e.g. stats logs).
+  naked-double          Public policy headers (src/policy/*.h) must not take
+                        naked `double` parameters: every quantity crossing the
+                        policy API carries its unit in the type.
 
-  hot-log         A PAPD_HOT function must not log: Logf / PAPD_LOG_*
-                  format and write on the caller's thread.  Hot code that
-                  needs visibility uses the trace macros (PAPD_TRACE_*,
-                  src/obs/trace.h), which compile to a branch-on-null when
-                  tracing is off.  PAPD_HOT_ALLOW exempts a line (e.g. a
-                  log on an unreachable-in-steady-state error path).
+  hot-alloc             A function marked `// PAPD_HOT` must not allocate: no
+                        local container declarations, no `new`, no growth
+                        calls except on `scratch` members.  PAPD_HOT_ALLOW on
+                        a line exempts deliberate amortized growth.
 
-Usage: papd_lint.py [repo_root]
+  hot-log               A PAPD_HOT function must not log (Logf / PAPD_LOG_*);
+                        hot code uses the PAPD_TRACE_* macros instead.
+
+  raw-mutex             `std::mutex` / lock_guard / unique_lock /
+                        condition_variable may only appear under src/common/
+                        (where the annotated papd::Mutex wrappers live).
+                        Everything else uses the wrappers so Clang
+                        -Wthread-safety sees every acquisition.
+
+  trace-side-effect     PAPD_TRACE_* macro arguments must be pure: when
+                        tracing is disabled the macro may not evaluate its
+                        arguments, so `++`, `--`, and assignments inside the
+                        parens silently change behaviour between builds.
+
+  value-unwrap          `.value()` — the strong-type escape hatch — is
+                        allowed only in whitelisted boundary files under
+                        src/ (MSR encode/decode, physics models, observability
+                        export).  Tests, benches, examples, and tools are
+                        assertion/printf boundaries and are not scanned.
+
+  registry-completeness Every PolicyKind enumerator must have an entry in the
+                        kRegistry table in src/policy/policy_registry.cc.
+
+Suppression: append `// papd-lint: allow(<rule>[, <rule>...])` to a line to
+waive named rules on that line.  The hot rules additionally honour the
+legacy PAPD_HOT_ALLOW marker.
+
+Usage: papd_lint.py [repo_root] [--json[=FILE]] [--list-rules]
 Exits non-zero and prints file:line diagnostics when violations exist;
 registered as the `papd_lint` ctest target.
 """
 
+from __future__ import annotations
+
+import json
 import re
 import sys
+from dataclasses import dataclass
 from pathlib import Path
-
-UNIT_ALIAS = {"w": "Watts", "mhz": "Mhz", "s": "Seconds"}
-
-# `double name` or `float name` where the declaration survives to runtime
-# (not inside a comment or string; crude but effective for this tree).
-DECL_RE = re.compile(r"\b(double|float)\s+(&?\s*)([A-Za-z_][A-Za-z0-9_]*)")
-
-# Parameter lists of function declarations in policy headers; matched
-# per-declaration so struct fields and local variables stay exempt.
-PARAM_DOUBLE_RE = re.compile(r"\bdouble\s+[A-Za-z_]")
+from typing import Callable, Iterable, Iterator
 
 LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+# A minimal C++ lexer: enough fidelity that rules never mistake comment or
+# string contents for code, and can walk balanced parens.
+TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<string>"(?:\\.|[^"\\\n])*"|'(?:\\.|[^'\\\n])*')
+    | (?P<number>\.?\d(?:[\w.]|[eEpP][+-])*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%^&|~!<>=]=|[{}()\[\];,.?:~!<>=&|^%*/+-])
+    | (?P<ws>\s+)
+    | (?P<other>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # comment | string | number | ident | punct | other
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    for m in TOKEN_RE.finditer(text):
+        kind = m.lastgroup or "other"
+        value = m.group()
+        if kind != "ws":
+            tokens.append(Token(kind, value, line))
+        line += value.count("\n")
+    return tokens
 
 
 def strip_comments(line: str) -> str:
@@ -61,9 +113,92 @@ def strip_comments(line: str) -> str:
     return line
 
 
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+SUPPRESS_RE = re.compile(r"papd-lint:\s*allow\(([^)]*)\)")
+
+
+class FileContext:
+    """Everything a per-file rule may inspect, computed once per file."""
+
+    def __init__(self, root: Path, path: Path):
+        self.root = root
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8", errors="replace")
+        self.lines = self.text.splitlines()
+        self.code_lines = [strip_comments(l) for l in self.lines]
+        self._tokens: list[Token] | None = None
+        # line number -> set of rule names waived on that line.
+        self.suppressions: dict[int, set[str]] = {}
+        for lineno, raw in enumerate(self.lines, start=1):
+            m = SUPPRESS_RE.search(raw)
+            if m:
+                names = {n.strip() for n in m.group(1).split(",") if n.strip()}
+                self.suppressions[lineno] = names
+
+    @property
+    def tokens(self) -> list[Token]:
+        if self._tokens is None:
+            self._tokens = tokenize(self.text)
+        return self._tokens
+
+    def code_tokens(self) -> list[Token]:
+        return [t for t in self.tokens if t.kind not in ("comment", "string")]
+
+    def suppressed(self, rule_name: str, lineno: int) -> bool:
+        return rule_name in self.suppressions.get(lineno, set())
+
+
+FileRule = Callable[[FileContext], Iterable[Finding]]
+RepoRule = Callable[[Path, "list[FileContext]"], Iterable[Finding]]
+
+FILE_RULES: dict[str, FileRule] = {}
+REPO_RULES: dict[str, RepoRule] = {}
+RULE_DOCS: dict[str, str] = {}
+
+
+def rule(name: str, doc: str) -> Callable[[FileRule], FileRule]:
+    def register(fn: FileRule) -> FileRule:
+        FILE_RULES[name] = fn
+        RULE_DOCS[name] = doc
+        return fn
+
+    return register
+
+
+def repo_rule(name: str, doc: str) -> Callable[[RepoRule], RepoRule]:
+    def register(fn: RepoRule) -> RepoRule:
+        REPO_RULES[name] = fn
+        RULE_DOCS[name] = doc
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Rules ported from the ad-hoc linter
+# ---------------------------------------------------------------------------
+
+UNIT_ALIAS = {"w": "Watts", "mhz": "Mhz", "s": "Seconds"}
+DECL_RE = re.compile(r"\b(double|float)\s+(&?\s*)([A-Za-z_][A-Za-z0-9_]*)")
+
+
 def unit_suffix(name: str) -> str | None:
-    """The unit component of a name, if it has one: last underscore-separated
-    component (ignoring a trailing member underscore)."""
     name = name.rstrip("_")
     if "_per_" in name:  # Compound rate (e.g. degrees C per watt): no alias.
         return None
@@ -73,29 +208,30 @@ def unit_suffix(name: str) -> str | None:
     return parts[-1] if parts[-1] in UNIT_ALIAS else None
 
 
-def check_unit_suffixes(path: Path, lines: list[str], errors: list[str]) -> None:
-    for lineno, raw in enumerate(lines, start=1):
-        line = strip_comments(raw)
+@rule("unit-suffix", "double/float declarations with unit-suffixed names use strong types")
+def check_unit_suffixes(ctx: FileContext) -> Iterator[Finding]:
+    for lineno, line in enumerate(ctx.code_lines, start=1):
         for match in DECL_RE.finditer(line):
             base_type, _, name = match.groups()
             suffix = unit_suffix(name)
             if suffix is not None:
-                errors.append(
-                    f"{path}:{lineno}: unit-suffix: `{base_type} {name}` should be "
-                    f"`{UNIT_ALIAS[suffix]} {name}` (alias in src/common/units.h)"
+                yield Finding(
+                    "unit-suffix",
+                    ctx.rel,
+                    lineno,
+                    f"`{base_type} {name}` should be `{UNIT_ALIAS[suffix]} {name}` "
+                    f"(strong type in src/common/units.h)",
                 )
 
 
-def expected_guard(path: Path, root: Path) -> str:
-    rel = path.relative_to(root)
-    return re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper() + "_"
-
-
-def check_include_guard(path: Path, root: Path, lines: list[str], errors: list[str]) -> None:
-    want = expected_guard(path, root)
+@rule("include-guard", "header guards follow the SRC_<DIR>_<FILE>_H_ path style")
+def check_include_guard(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.path.suffix != ".h":
+        return
+    want = re.sub(r"[^A-Za-z0-9]", "_", ctx.rel).upper() + "_"
     ifndef = None
     define = None
-    for lineno, raw in enumerate(lines, start=1):
+    for lineno, raw in enumerate(ctx.lines, start=1):
         stripped = raw.strip()
         if ifndef is None:
             m = re.match(r"#ifndef\s+(\S+)", stripped)
@@ -107,119 +243,408 @@ def check_include_guard(path: Path, root: Path, lines: list[str], errors: list[s
             define = (lineno, m.group(1))
         break
     if ifndef is None or define is None:
-        errors.append(f"{path}:1: include-guard: missing #ifndef/#define guard (want {want})")
+        yield Finding(
+            "include-guard", ctx.rel, 1, f"missing #ifndef/#define guard (want {want})"
+        )
         return
     for lineno, got in (ifndef, define):
         if got != want:
-            errors.append(f"{path}:{lineno}: include-guard: `{got}` should be `{want}`")
+            yield Finding("include-guard", ctx.rel, lineno, f"`{got}` should be `{want}`")
 
 
-def check_policy_params(path: Path, text: str, errors: list[str]) -> None:
-    clean_lines = [strip_comments(l) for l in text.splitlines()]
-    clean = "\n".join(clean_lines)
-    # Function parameter lists: an identifier directly before `(...)`,
-    # terminated by `;`, `{` or `=`.  Nested parens don't occur in this
-    # tree's declarations.
+PARAM_DOUBLE_RE = re.compile(r"\bdouble\s+[A-Za-z_]")
+
+
+@rule("naked-double", "policy headers must not take bare double parameters")
+def check_policy_params(ctx: FileContext) -> Iterator[Finding]:
+    if not (ctx.rel.startswith("src/policy/") and ctx.path.suffix == ".h"):
+        return
+    clean = "\n".join(ctx.code_lines)
+    # Function parameter lists: an identifier directly before `(...)`.
+    # Nested parens don't occur in this tree's declarations.
     for m in re.finditer(r"[A-Za-z_][A-Za-z0-9_]*\s*\(([^()]*)\)", clean):
         params = m.group(1)
         if PARAM_DOUBLE_RE.search(params):
             lineno = clean[: m.start()].count("\n") + 1
-            errors.append(
-                f"{path}:{lineno}: naked-double: parameter list `({params.strip()})` uses a "
-                f"bare `double`; use a unit alias (Watts, Mhz, Ips, ResourceUnits, ...)"
+            yield Finding(
+                "naked-double",
+                ctx.rel,
+                lineno,
+                f"parameter list `({params.strip()})` uses a bare `double`; "
+                f"use a unit type (Watts, Mhz, Ips, ResourceUnits, ...)",
             )
 
 
-# Local declarations of allocating standard containers.
 HOT_CONTAINER_RE = re.compile(
     r"\bstd::(vector|deque|map|set|unordered_map|unordered_set|string|list|queue|priority_queue)\s*<"
 )
-# Growth calls; allowed only on *scratch* members (pre-sized) or with an
-# explicit PAPD_HOT_ALLOW.
-HOT_GROW_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_.\->]*)\s*\.\s*(push_back|emplace_back|push)\s*\(")
+HOT_GROW_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_.\->]*)\s*\.\s*(push_back|emplace_back|push)\s*\("
+)
 HOT_NEW_RE = re.compile(r"\bnew\b")
-# Logging calls: formatting + stdio on the hot path; use PAPD_TRACE_*.
 HOT_LOG_RE = re.compile(r"\b(Logf|PAPD_LOG_[A-Z]+)\s*\(")
 
 
-def check_hot_allocations(path: Path, lines: list[str], errors: list[str]) -> None:
-    """Scans the function body following each `// PAPD_HOT` marker."""
-    for idx, raw in enumerate(lines):
+def hot_regions(ctx: FileContext) -> Iterator[tuple[int, str, bool]]:
+    """Yields (lineno, code_line, allowed) for every line inside a PAPD_HOT
+    function body."""
+    for idx, raw in enumerate(ctx.lines):
         if "PAPD_HOT" not in raw or "PAPD_HOT_ALLOW" in raw:
             continue
-        # Find the function body: first `{` at or after the marker, then
-        # brace-match to its close.
         depth = 0
         started = False
-        for lineno in range(idx + 1, len(lines)):
-            line = strip_comments(lines[lineno])
-            allowed = "PAPD_HOT_ALLOW" in lines[lineno]
+        for lineno in range(idx + 1, len(ctx.lines)):
+            line = ctx.code_lines[lineno]
+            allowed = (
+                "PAPD_HOT_ALLOW" in ctx.lines[lineno]
+                or ctx.suppressed("hot-alloc", lineno + 1)
+                or ctx.suppressed("hot-log", lineno + 1)
+            )
             if not started and "{" in line:
                 started = True
-            if started and not allowed:
-                if HOT_NEW_RE.search(line):
-                    errors.append(
-                        f"{path}:{lineno + 1}: hot-alloc: `new` inside a PAPD_HOT function"
-                    )
-                # Container *declarations* allocate; references/pointers to
-                # containers (`std::vector<T>&`) do not.
-                if HOT_CONTAINER_RE.search(line) and not re.search(r">\s*[&*]", line):
-                    errors.append(
-                        f"{path}:{lineno + 1}: hot-alloc: allocating container declared "
-                        f"inside a PAPD_HOT function (hoist to a pre-sized member)"
-                    )
-                for m in HOT_GROW_RE.finditer(line):
-                    target = m.group(1)
-                    if "scratch" not in target:
-                        errors.append(
-                            f"{path}:{lineno + 1}: hot-alloc: `{target}.{m.group(2)}()` grows a "
-                            f"non-scratch container inside a PAPD_HOT function "
-                            f"(add PAPD_HOT_ALLOW if growth is deliberately amortized)"
-                        )
-                for m in HOT_LOG_RE.finditer(line):
-                    errors.append(
-                        f"{path}:{lineno + 1}: hot-log: `{m.group(1)}` inside a PAPD_HOT "
-                        f"function; use PAPD_TRACE_* (src/obs/trace.h) or add "
-                        f"PAPD_HOT_ALLOW for a cold error path"
-                    )
+            if started:
+                yield lineno + 1, line, allowed
             depth += line.count("{") - line.count("}")
             if started and depth <= 0:
                 break
 
 
-def main() -> int:
-    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
-    errors: list[str] = []
-    scanned = 0
+@rule("hot-alloc", "PAPD_HOT functions must not allocate")
+def check_hot_allocations(ctx: FileContext) -> Iterator[Finding]:
+    for lineno, line, allowed in hot_regions(ctx):
+        if allowed:
+            continue
+        if HOT_NEW_RE.search(line):
+            yield Finding(
+                "hot-alloc", ctx.rel, lineno, "`new` inside a PAPD_HOT function"
+            )
+        # Container *declarations* allocate; references/pointers to
+        # containers (`std::vector<T>&`) do not.
+        if HOT_CONTAINER_RE.search(line) and not re.search(r">\s*[&*]", line):
+            yield Finding(
+                "hot-alloc",
+                ctx.rel,
+                lineno,
+                "allocating container declared inside a PAPD_HOT function "
+                "(hoist to a pre-sized member)",
+            )
+        for m in HOT_GROW_RE.finditer(line):
+            target = m.group(1)
+            if "scratch" not in target:
+                yield Finding(
+                    "hot-alloc",
+                    ctx.rel,
+                    lineno,
+                    f"`{target}.{m.group(2)}()` grows a non-scratch container inside "
+                    f"a PAPD_HOT function (add PAPD_HOT_ALLOW if growth is "
+                    f"deliberately amortized)",
+                )
+
+
+@rule("hot-log", "PAPD_HOT functions must not log; use PAPD_TRACE_*")
+def check_hot_logging(ctx: FileContext) -> Iterator[Finding]:
+    for lineno, line, allowed in hot_regions(ctx):
+        if allowed:
+            continue
+        for m in HOT_LOG_RE.finditer(line):
+            yield Finding(
+                "hot-log",
+                ctx.rel,
+                lineno,
+                f"`{m.group(1)}` inside a PAPD_HOT function; use PAPD_TRACE_* "
+                f"(src/obs/trace.h) or add PAPD_HOT_ALLOW for a cold error path",
+            )
+
+
+# ---------------------------------------------------------------------------
+# New rules
+# ---------------------------------------------------------------------------
+
+RAW_SYNC_TYPES = {
+    "mutex",
+    "recursive_mutex",
+    "shared_mutex",
+    "timed_mutex",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+    "shared_lock",
+    "condition_variable",
+    "condition_variable_any",
+}
+
+
+@rule("raw-mutex", "std:: synchronization primitives only under src/common/")
+def check_raw_mutex(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.rel.startswith("src/common/"):
+        return
+    toks = ctx.code_tokens()
+    for i in range(len(toks) - 2):
+        if (
+            toks[i].kind == "ident"
+            and toks[i].text == "std"
+            and toks[i + 1].text == "::"
+            and toks[i + 2].kind == "ident"
+            and toks[i + 2].text in RAW_SYNC_TYPES
+        ):
+            yield Finding(
+                "raw-mutex",
+                ctx.rel,
+                toks[i].line,
+                f"raw `std::{toks[i + 2].text}`; use papd::Mutex / papd::MutexLock / "
+                f"papd::CondVar (src/common/mutex.h) so Clang -Wthread-safety sees "
+                f"the acquisition",
+            )
+
+
+SIDE_EFFECT_OPS = {
+    "++",
+    "--",
+    "=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<=",
+    ">>=",
+}
+
+
+@rule("trace-side-effect", "PAPD_TRACE_* arguments must be side-effect free")
+def check_trace_side_effects(ctx: FileContext) -> Iterator[Finding]:
+    toks = ctx.code_tokens()
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if (
+            t.kind == "ident"
+            and t.text.startswith("PAPD_TRACE_")
+            and i + 1 < len(toks)
+            and toks[i + 1].text == "("
+        ):
+            # The macro definitions themselves (#define PAPD_TRACE_...) may
+            # assign to locals; skip lines that define the macro.
+            defining = "#define" in ctx.lines[t.line - 1]
+            depth = 0
+            j = i + 1
+            while j < len(toks):
+                tj = toks[j]
+                if tj.text == "(":
+                    depth += 1
+                elif tj.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif not defining and depth >= 1 and tj.text in SIDE_EFFECT_OPS:
+                    # `==`-family comparisons are their own tokens, so a bare
+                    # `=` here really is an assignment; lambdas introduce
+                    # `=` only inside `[...]` captures, which this tree's
+                    # trace args never use.
+                    yield Finding(
+                        "trace-side-effect",
+                        ctx.rel,
+                        tj.line,
+                        f"`{tj.text}` inside PAPD_TRACE_* arguments; trace macros "
+                        f"must not evaluate side effects (args vanish when tracing "
+                        f"is compiled out or the recorder is null)",
+                    )
+                j += 1
+            i = j
+        i += 1
+
+
+# Boundary files where `.value()` is legitimate: MSR register encode/decode,
+# the physics models that do raw-double math internally, observability
+# export, and the units header itself.  Tests/bench/examples/tools are
+# assertion and printf boundaries, so src/ is the only scanned subtree.
+VALUE_UNWRAP_WHITELIST = (
+    "src/msr/",
+    "src/obs/",
+    "src/common/units.h",
+    "src/cpusim/rapl.cc",
+    "src/cpusim/thermal.cc",
+    "src/cpusim/power_model.cc",
+    "src/platform/voltage_curve.cc",
+)
+
+
+@rule("value-unwrap", ".value() only in whitelisted boundary files under src/")
+def check_value_unwrap(ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.rel.startswith("src/"):
+        return
+    if any(
+        ctx.rel.startswith(p) if p.endswith("/") else ctx.rel == p
+        for p in VALUE_UNWRAP_WHITELIST
+    ):
+        return
+    toks = ctx.code_tokens()
+    for i in range(len(toks) - 3):
+        # Dot form only: `->value()` is optional/pointer access (e.g. the
+        # obs counters), not the Quantity escape hatch.
+        if (
+            toks[i].text == "."
+            and toks[i + 1].kind == "ident"
+            and toks[i + 1].text == "value"
+            and toks[i + 2].text == "("
+            and toks[i + 3].text == ")"
+        ):
+            yield Finding(
+                "value-unwrap",
+                ctx.rel,
+                toks[i].line,
+                "`.value()` unwraps a strong unit type outside the boundary "
+                "whitelist; keep the computation in unit types or add the file "
+                "to VALUE_UNWRAP_WHITELIST with justification",
+            )
+
+
+ENUM_KIND_RE = re.compile(r"enum\s+class\s+PolicyKind\s*\{([^}]*)\}", re.DOTALL)
+
+
+@repo_rule("registry-completeness", "every PolicyKind has a kRegistry entry")
+def check_registry_completeness(
+    root: Path, contexts: list[FileContext]
+) -> Iterator[Finding]:
+    if not any(ctx.rel.startswith("src/policy/") for ctx in contexts):
+        return  # Tree without a policy layer (e.g. lint-rule fixtures).
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    header = by_rel.get("src/policy/policy_registry.h")
+    impl = by_rel.get("src/policy/policy_registry.cc")
+    if header is None or impl is None:
+        # The registry moved: the rule must fail loudly, not silently pass.
+        missing = [
+            rel
+            for rel, ctx in (
+                ("src/policy/policy_registry.h", header),
+                ("src/policy/policy_registry.cc", impl),
+            )
+            if ctx is None
+        ]
+        yield Finding(
+            "registry-completeness",
+            missing[0],
+            1,
+            "policy registry file not found; update registry-completeness in "
+            "tools/papd_lint.py if the registry moved",
+        )
+        return
+    clean_header = "\n".join(header.code_lines)
+    m = ENUM_KIND_RE.search(clean_header)
+    if m is None:
+        yield Finding(
+            "registry-completeness",
+            header.rel,
+            1,
+            "could not locate `enum class PolicyKind` in the registry header",
+        )
+        return
+    enum_line = clean_header[: m.start()].count("\n") + 1
+    enumerators = re.findall(r"\bk[A-Za-z0-9]+\b", m.group(1))
+    registered = set(
+        re.findall(r"PolicyKind::(k[A-Za-z0-9]+)", "\n".join(impl.code_lines))
+    )
+    for name in enumerators:
+        if name not in registered:
+            yield Finding(
+                "registry-completeness",
+                header.rel,
+                enum_line,
+                f"PolicyKind::{name} has no entry in kRegistry "
+                f"({impl.rel}); papdctl and the harness cannot name it",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(root: Path) -> list[Path]:
+    files: list[Path] = []
     for top in LINT_DIRS:
         base = root / top
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*")):
-            if path.suffix not in (".h", ".cc", ".cpp"):
-                continue
-            scanned += 1
-            text = path.read_text(encoding="utf-8", errors="replace")
-            lines = text.splitlines()
-            check_unit_suffixes(path, lines, errors)
-            check_hot_allocations(path, lines, errors)
-            if path.suffix == ".h":
-                check_include_guard(path, root, lines, errors)
-                if path.parent == root / "src" / "policy":
-                    check_policy_params(path, text, errors)
+            if path.suffix in (".h", ".cc", ".cpp"):
+                files.append(path)
+    return files
+
+
+def run(root: Path) -> tuple[list[Finding], int]:
+    contexts = [FileContext(root, path) for path in collect_files(root)]
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for name, fn in FILE_RULES.items():
+            for finding in fn(ctx):
+                if not ctx.suppressed(name, finding.line):
+                    findings.append(finding)
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    for name, fn in REPO_RULES.items():
+        for finding in fn(root, contexts):
+            ctx = by_rel.get(finding.path)
+            if ctx is None or not ctx.suppressed(name, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, len(contexts)
+
+
+def main(argv: list[str]) -> int:
+    root = Path.cwd()
+    json_out: str | None = None
+    emit_json = False
+    for arg in argv[1:]:
+        if arg == "--list-rules":
+            for name in sorted(RULE_DOCS):
+                print(f"{name:24s} {RULE_DOCS[name]}")
+            return 0
+        if arg == "--json":
+            emit_json = True
+        elif arg.startswith("--json="):
+            emit_json = True
+            json_out = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            print(f"papd_lint: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            root = Path(arg).resolve()
+
+    findings, scanned = run(root)
     if scanned == 0:
         # A lint run that saw no sources is a misconfiguration (typo'd
         # root in CI), not a clean tree.
         print(f"papd_lint: no sources found under {root}")
         return 2
-    for err in errors:
-        print(err)
-    if errors:
-        print(f"papd_lint: {len(errors)} violation(s)")
+
+    if emit_json:
+        report = {
+            "root": str(root),
+            "files_scanned": scanned,
+            "rules": sorted(RULE_DOCS),
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line, "message": f.message}
+                for f in findings
+            ],
+        }
+        payload = json.dumps(report, indent=2)
+        if json_out:
+            Path(json_out).write_text(payload + "\n", encoding="utf-8")
+        else:
+            print(payload)
+            return 1 if findings else 0
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"papd_lint: {len(findings)} violation(s)")
         return 1
     print(f"papd_lint: clean ({scanned} files)")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv))

@@ -48,10 +48,10 @@ struct AppArg {
 struct Options {
   PlatformSpec platform = SkylakeXeon4114();
   PolicyKind policy = PolicyKind::kFrequencyShares;
-  Watts limit_w = 45.0;
-  Seconds duration_s = 60.0;
-  Seconds period_s = 1.0;
-  Mhz static_mhz = 0.0;
+  Watts limit_w{45.0};
+  Seconds duration_s{60.0};
+  Seconds period_s{1.0};
+  Mhz static_mhz{0.0};
   bool hwp = false;
   bool starve_lp = true;
   bool trace = false;
@@ -129,13 +129,13 @@ Options Parse(int argc, char** argv) {
     } else if (arg == "--policy") {
       opt.policy = ParsePolicy(value(), argv[0]);
     } else if (arg == "--limit") {
-      opt.limit_w = std::atof(value().c_str());
+      opt.limit_w = Watts{std::atof(value().c_str())};
     } else if (arg == "--duration") {
-      opt.duration_s = std::atof(value().c_str());
+      opt.duration_s = Seconds{std::atof(value().c_str())};
     } else if (arg == "--period") {
-      opt.period_s = std::atof(value().c_str());
+      opt.period_s = Seconds{std::atof(value().c_str())};
     } else if (arg == "--static-mhz") {
-      opt.static_mhz = std::atof(value().c_str());
+      opt.static_mhz = Mhz{std::atof(value().c_str())};
     } else if (arg == "--hwp") {
       opt.hwp = true;
     } else if (arg == "--no-starve") {
@@ -198,23 +198,23 @@ int Run(const Options& opt) {
   daemon.Start();
 
   std::printf("papdctl: %s, policy %s, limit %.0f W, %zu apps, %.0f s\n",
-              opt.platform.name.c_str(), PolicyKindName(opt.policy), opt.limit_w,
-              opt.apps.size(), opt.duration_s);
+              opt.platform.name.c_str(), PolicyKindName(opt.policy), opt.limit_w.value(),
+              opt.apps.size(), opt.duration_s.value());
 
   Simulator sim(&pkg);
   if (opt.policy != PolicyKind::kStatic) {
     sim.AddPeriodic(opt.period_s, [&daemon](Seconds) { daemon.Step(); });
   }
   if (opt.trace) {
-    sim.AddPeriodic(5.0, [&daemon](Seconds now) {
+    sim.AddPeriodic(Seconds{5.0}, [&daemon](Seconds now) {
       if (daemon.history().empty()) {
         return;
       }
       const auto& rec = daemon.history().back();
-      std::printf("t=%5.0fs pkg=%5.1fW |", now, rec.sample.pkg_w);
+      std::printf("t=%5.0fs pkg=%5.1fW |", now.value(), rec.sample.pkg_w.value());
       for (const ManagedApp& app : daemon.apps()) {
         const auto& core = rec.sample.cores[static_cast<size_t>(app.cpu)];
-        std::printf(" %s=%4.0fMHz", app.name.c_str(), core.active_mhz);
+        std::printf(" %s=%4.0fMHz", app.name.c_str(), core.active_mhz.value());
       }
       std::printf("\n");
     });
@@ -230,12 +230,12 @@ int Run(const Options& opt) {
                            ? CoreTelemetry{}
                            : rec.sample.cores[static_cast<size_t>(app.cpu)];
     t.AddRow({app.name, std::to_string(app.cpu), TextTable::Num(app.shares, 0),
-              app.high_priority ? "HP" : "LP", TextTable::Num(core.active_mhz, 0),
-              TextTable::Num(core.ips / 1e9, 2),
-              TextTable::Num(app.baseline_ips > 0 ? core.ips / app.baseline_ips : 0, 2),
+              app.high_priority ? "HP" : "LP", TextTable::Num(core.active_mhz.value(), 0),
+              TextTable::Num(core.ips.value() / 1e9, 2),
+              TextTable::Num(app.baseline_ips > Ips{0} ? core.ips / app.baseline_ips : 0, 2),
               TextTable::Num(core.temp_c, 1)});
   }
-  std::printf("\nfinal second of telemetry (pkg %.1f W):\n", rec.sample.pkg_w);
+  std::printf("\nfinal second of telemetry (pkg %.1f W):\n", rec.sample.pkg_w.value());
   t.Print(std::cout);
 
   if (!opt.csv_path.empty()) {
