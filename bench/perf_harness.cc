@@ -179,9 +179,23 @@ struct RackTiming {
   double sim_core_ticks_per_s = 0.0;
 };
 
+// One 128-core tick-engine configuration: forced-scalar reference,
+// dispatched SIMD kernels, or SIMD + multi-rate.  Speedups are same-run
+// ratios against the forced-scalar row, so they are host- and
+// build-consistent by construction.
+struct TickEngineRow {
+  std::string name;
+  std::string kernel;  // Kernel table actually driving the run.
+  double ns_per_iter = 0.0;
+  double ns_per_core = 0.0;
+  double speedup_vs_scalar = 0.0;
+};
+
 struct ScalingResult {
   std::vector<ScalingRow> package_tick;
+  std::vector<TickEngineRow> tick_engine;
   RackTiming rack_tick;
+  RackTiming rack_tick_multirate;
   long steady_allocs_per_tick = 0;
 };
 
@@ -216,8 +230,48 @@ ScalingResult RunScaling(bool quick) {
     }
   }
 
-  // BM_RackTick: one arbiter period of a 4-socket Skylake rack.
+  // Tick-engine comparison at 128 cores: the forced-scalar every-tick
+  // reference, the dispatched SIMD kernels, and SIMD + multi-rate ticking.
   {
+    const PlatformSpec spec = ManyCoreEpyc128();
+    const auto measure = [&](const char* kernel, TickPolicy policy,
+                             TickEngineRow* row) {
+      if (!simd::ForceKernelsForTest(kernel)) {
+        return false;  // Requested kernel table unavailable on this host.
+      }
+      Package pkg(spec);
+      pkg.SetTickPolicy(policy);
+      std::vector<std::unique_ptr<Process>> procs;
+      for (int i = 0; i < spec.num_cores; i++) {
+        procs.push_back(
+            std::make_unique<Process>(GetProfile("gcc"), 1 + static_cast<uint64_t>(i)));
+        pkg.AttachWork(i, procs.back().get());
+      }
+      const perf::Result r =
+          perf::MeasureLoop([&pkg] { pkg.Tick(Seconds{0.001}); }, min_time);
+      row->kernel = pkg.tick_kernel_name();
+      row->ns_per_iter = r.ns_per_iter;
+      row->ns_per_core = r.ns_per_iter / spec.num_cores;
+      simd::ForceKernelsForTest(nullptr);
+      return true;
+    };
+    TickEngineRow scalar{.name = "package_tick_128core_scalar"};
+    TickEngineRow simd_row{.name = "package_tick_128core_simd"};
+    TickEngineRow multirate{.name = "package_tick_128core_multirate"};
+    measure("scalar", TickPolicy::kEveryTick, &scalar);
+    measure("auto", TickPolicy::kEveryTick, &simd_row);
+    measure("auto", TickPolicy::kMultiRate, &multirate);
+    scalar.speedup_vs_scalar = 1.0;
+    simd_row.speedup_vs_scalar =
+        simd_row.ns_per_iter > 0.0 ? scalar.ns_per_iter / simd_row.ns_per_iter : 0.0;
+    multirate.speedup_vs_scalar =
+        multirate.ns_per_iter > 0.0 ? scalar.ns_per_iter / multirate.ns_per_iter : 0.0;
+    out.tick_engine = {scalar, simd_row, multirate};
+  }
+
+  // BM_RackTick: one arbiter period of a 4-socket Skylake rack, every-tick
+  // and multi-rate.
+  const auto measure_rack = [&](const TickOptions& tick, RackTiming* timing) {
     RackConfig cfg;
     for (int s = 0; s < 4; s++) {
       RackSocketConfig socket{.platform = SkylakeXeon4114()};
@@ -229,6 +283,7 @@ ScalingResult RunScaling(bool quick) {
       cfg.sockets.push_back(socket);
     }
     cfg.budget_w = Watts{200.0};
+    cfg.tick = tick;
     Rack rack(cfg);
     rack.Step();  // Warmup period.
     const int steps = quick ? 3 : 10;
@@ -237,13 +292,16 @@ ScalingResult RunScaling(bool quick) {
       rack.Step();
     }
     const double wall = (perf::NowS() - start).value();
-    out.rack_tick.sockets = 4;
-    out.rack_tick.wall_s_per_step = wall / steps;
+    timing->sockets = 4;
+    timing->wall_s_per_step = wall / steps;
     const double core_ticks_per_step =
         4.0 * 10.0 * (cfg.control_period_s / cfg.tick_s);
-    out.rack_tick.sim_core_ticks_per_s =
+    timing->sim_core_ticks_per_s =
         wall > 0.0 ? steps * core_ticks_per_step / wall : 0.0;
-  }
+  };
+  measure_rack(TickOptions{}, &out.rack_tick);
+  measure_rack(TickOptions{.policy = TickPolicy::kMultiRate},
+               &out.rack_tick_multirate);
 
   return out;
 }
@@ -424,11 +482,28 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
                  i + 1 < scaling.package_tick.size() ? "," : "");
   }
   std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"tick_engine\": [\n");
+  for (size_t i = 0; i < scaling.tick_engine.size(); i++) {
+    const TickEngineRow& r = scaling.tick_engine[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"kernel\": \"%s\", \"ns_per_iter\": %.1f, "
+                 "\"ns_per_core\": %.2f, \"speedup_vs_scalar\": %.2f}%s\n",
+                 JsonEscape(r.name).c_str(), JsonEscape(r.kernel).c_str(),
+                 r.ns_per_iter, r.ns_per_core, r.speedup_vs_scalar,
+                 i + 1 < scaling.tick_engine.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
   std::fprintf(f,
                "    \"rack_tick\": {\"sockets\": %d, \"wall_s_per_step\": %.4f, "
                "\"sim_core_ticks_per_s\": %.0f},\n",
                scaling.rack_tick.sockets, scaling.rack_tick.wall_s_per_step,
                scaling.rack_tick.sim_core_ticks_per_s);
+  std::fprintf(f,
+               "    \"rack_tick_multirate\": {\"sockets\": %d, \"wall_s_per_step\": %.4f, "
+               "\"sim_core_ticks_per_s\": %.0f},\n",
+               scaling.rack_tick_multirate.sockets,
+               scaling.rack_tick_multirate.wall_s_per_step,
+               scaling.rack_tick_multirate.sim_core_ticks_per_s);
   std::fprintf(f, "    \"steady_allocs_per_tick\": %ld\n", scaling.steady_allocs_per_tick);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"scenarios\": [\n");
@@ -509,9 +584,18 @@ int Main(int argc, char** argv) {
     std::printf("  package_tick %3d cores  %10.1f ns  (%6.2f ns/core)\n", r.cores, r.ns_per_iter,
                 r.ns_per_core);
   }
+  for (const TickEngineRow& r : scaling.tick_engine) {
+    std::printf("  %-32s %10.1f ns  (kernel=%s, %.2fx vs scalar)\n",
+                r.name.c_str(), r.ns_per_iter, r.kernel.c_str(),
+                r.speedup_vs_scalar);
+  }
   std::printf("  rack_tick %d sockets    %8.4f s/step  (%.0f core-ticks/s)\n",
               scaling.rack_tick.sockets, scaling.rack_tick.wall_s_per_step,
               scaling.rack_tick.sim_core_ticks_per_s);
+  std::printf("  rack_tick_multirate %d sockets %8.4f s/step  (%.0f core-ticks/s)\n",
+              scaling.rack_tick_multirate.sockets,
+              scaling.rack_tick_multirate.wall_s_per_step,
+              scaling.rack_tick_multirate.sim_core_ticks_per_s);
   std::printf("  steady_allocs_per_tick %ld\n", scaling.steady_allocs_per_tick);
   if (scaling.steady_allocs_per_tick != 0) {
     std::fprintf(stderr,

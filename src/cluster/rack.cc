@@ -32,9 +32,10 @@ Watts CeilingFor(const RackSocketConfig& cfg) {
 // the rack can advance them on worker threads without synchronization.
 struct Rack::Socket {
   Socket(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s, Watts initial_budget_w,
-         ObsSink* obs_sink, int16_t shard)
+         ObsSink* obs_sink, int16_t shard, const TickOptions& tick)
       : config(cfg), pkg(cfg.platform), msr(&pkg), sim(&pkg, tick_s) {
     PAPD_CHECK_LE(static_cast<int>(cfg.apps.size()), cfg.platform.num_cores);
+    pkg.SetTickPolicy(tick.policy, tick.max_hold_ticks);
     std::vector<ManagedApp> managed;
     for (size_t i = 0; i < cfg.apps.size(); i++) {
       const AppSetup& setup = cfg.apps[i];
@@ -104,7 +105,7 @@ Rack::Rack(RackConfig config) : config_(std::move(config)) {
   for (size_t i = 0; i < n; i++) {
     sockets_.push_back(std::make_unique<Socket>(config_.sockets[i], config_.control_period_s,
                                                 config_.tick_s, budgets_w_[i], config_.obs,
-                                                static_cast<int16_t>(i)));
+                                                static_cast<int16_t>(i), config_.tick));
   }
 }
 

@@ -83,6 +83,8 @@ struct RackConfig {
   // socket; the sink must be thread-safe (TraceRecorder is) because shards
   // record concurrently when Step() is given a pool.
   ObsSink* obs = nullptr;
+  // Tick-engine policy applied to every socket's package (see package.h).
+  TickOptions tick;
 };
 
 class Rack {

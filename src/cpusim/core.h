@@ -27,6 +27,7 @@ struct CoreArray {
       : requested_mhz(static_cast<size_t>(n), initial_mhz),
         online(static_cast<size_t>(n), 1),
         work(static_cast<size_t>(n), nullptr),
+        has_work(static_cast<size_t>(n), 0),
         work_avx(static_cast<size_t>(n), 0),
         effective_mhz(static_cast<size_t>(n), Mhz{0.0}),
         slice(static_cast<size_t>(n)),
@@ -43,9 +44,12 @@ struct CoreArray {
   // Software-visible control state.
   std::vector<Mhz> requested_mhz;
   std::vector<uint8_t> online;  // Online = C0/C1; offline = forced deep C-state.
-  // Work attachment (non-owning); work_avx caches work->UsesAvx() at attach
-  // time so the census pass makes no virtual calls.
+  // Work attachment (non-owning); has_work mirrors `work[i] != nullptr` as a
+  // byte flag and work_avx caches work->UsesAvx(), both maintained at attach
+  // time so the census pass is pure byte-vector arithmetic with no virtual
+  // calls or pointer tests.
   std::vector<CoreWork*> work;
+  std::vector<uint8_t> has_work;
   std::vector<uint8_t> work_avx;
 
   // Per-tick results (written by Package::Tick).

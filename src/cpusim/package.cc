@@ -13,25 +13,37 @@ Package::Package(PlatformSpec spec)
       power_model_(&spec_),
       rapl_(&spec_),
       thermal_(spec_.thermal, spec_.num_cores),
-      cores_(spec_.num_cores, spec_.base_max_mhz) {
+      cores_(spec_.num_cores, spec_.base_max_mhz),
+      kernels_(&simd::ActiveKernels()) {
   const auto n = static_cast<size_t>(spec_.num_cores);
   multi_member_.assign(n, 0);
   scratch_avx_.assign(n, 0);
   scratch_pstate_marks_.assign(pstates_.size(), 0);
+  lane_held_.assign(n, 0);
+  scratch_unsteady_.reserve(n);
 }
 
 void Package::AttachWork(int core, CoreWork* work) {
   const auto i = static_cast<size_t>(core);
   cores_.work[i] = work;
+  cores_.has_work[i] = (work != nullptr) ? 1 : 0;
   // UsesAvx is contractually invariant while attached; cache it so the tick
   // census makes no virtual calls.
   cores_.work_avx[i] = (work != nullptr && work->UsesAvx()) ? 1 : 0;
+  control_epoch_++;
 }
 
 void Package::DetachWork(int core) {
   const auto i = static_cast<size_t>(core);
   cores_.work[i] = nullptr;
+  cores_.has_work[i] = 0;
   cores_.work_avx[i] = 0;
+  // The lane idles from the next tick on; zero the slice here once instead
+  // of rewriting zeros every tick.
+  if (!multi_member_[i]) {
+    cores_.slice[i] = WorkSlice{};
+  }
+  control_epoch_++;
 }
 
 void Package::AttachMultiWork(MultiCoreWork* work) {
@@ -50,14 +62,28 @@ void Package::AttachMultiWork(MultiCoreWork* work) {
     scratch_multi_freqs_.resize(m);
     scratch_multi_slices_.resize(m);
   }
+  control_epoch_++;
 }
 
 void Package::SetRequestedMhz(int core, Mhz mhz) {
   cores_.requested_mhz[static_cast<size_t>(core)] = pstates_.QuantizeDown(mhz);
+  control_epoch_++;
 }
 
 void Package::SetOnline(int core, bool online) {
-  cores_.online[static_cast<size_t>(core)] = online ? 1 : 0;
+  const auto i = static_cast<size_t>(core);
+  cores_.online[i] = online ? 1 : 0;
+  if (!online) {
+    // An offline lane's per-tick results are constant; write them once here
+    // and the tick passes skip the lane entirely (they used to recompute and
+    // rewrite these same values every tick).
+    cores_.effective_mhz[i] = Mhz{0.0};
+    if (!multi_member_[i]) {
+      cores_.slice[i] = WorkSlice{};
+    }
+    cores_.power_w[i] = power_model_.OfflineCorePowerW();
+  }
+  control_epoch_++;
 }
 
 void Package::SetRaplLimit(Watts limit_w) {
@@ -66,9 +92,23 @@ void Package::SetRaplLimit(Watts limit_w) {
     return;
   }
   rapl_.SetLimit(limit_w);
+  control_epoch_++;
 }
 
-void Package::ClearRaplLimit() { rapl_.Disable(); }
+void Package::ClearRaplLimit() {
+  rapl_.Disable();
+  control_epoch_++;
+}
+
+void Package::SetTickPolicy(TickPolicy policy, int max_hold_ticks) {
+  FlushSteadyWork();
+  tick_policy_ = policy;
+  max_hold_ticks_ = std::max(1, max_hold_ticks);
+  plan_valid_ = false;
+  hold_remaining_ = 0;
+  rebuild_cooldown_ = 0;
+  control_epoch_++;
+}
 
 int Package::DistinctRequestedFrequencies() const {
   // Requested frequencies always sit on the P-state grid (SetRequestedMhz
@@ -94,69 +134,31 @@ int Package::DistinctRequestedFrequencies() const {
   return distinct;
 }
 
-// PAPD_HOT
 void Package::Tick(Seconds dt) {
-  const size_t n = cores_.size();
+  if (tick_policy_ == TickPolicy::kMultiRate) {
+    if (CanFastTick(dt)) {
+      TickFast(dt);
+      return;
+    }
+    // Resync: catch held works up, take a full reference tick, then replan
+    // (or run down the cooldown when the last plan found nothing to hold).
+    FlushSteadyWork();
+    TickFull(dt);
+    if (rebuild_cooldown_ > 0 && plan_epoch_ == control_epoch_ && dt == plan_dt_) {
+      rebuild_cooldown_--;
+    } else {
+      RebuildHoldPlan(dt);
+    }
+    return;
+  }
+  TickFull(dt);
+}
+
+// PAPD_HOT
+void Package::RunMultiWorks(Seconds dt) {
   const uint8_t* online = cores_.online.data();
-  CoreWork* const* work = cores_.work.data();
   Mhz* effective = cores_.effective_mhz.data();
   WorkSlice* slices = cores_.slice.data();
-
-  // 1. Census: cores counted "active" (C0) for the turbo ladder, and cores
-  // running AVX-heavy code for the AVX caps.  AVX flags were cached at
-  // attach time, so this pass touches only flat arrays.
-  int active = 0;
-  int avx_active = 0;
-  for (size_t i = 0; i < n; i++) {
-    const bool has_work = work[i] != nullptr;
-    scratch_avx_[i] = (online[i] && has_work) ? cores_.work_avx[i] : 0;
-    if (!online[i] || (!has_work && !multi_member_[i])) {
-      continue;
-    }
-    active++;
-    avx_active += scratch_avx_[i];
-  }
-  for (const MultiWorkEntry& w : multi_works_) {
-    if (w.uses_avx) {
-      avx_active += static_cast<int>(w.cores->size());
-    }
-  }
-
-  const Mhz turbo_limit{spec_.TurboLimitMhz(active)};
-  const Mhz avx_cap{spec_.AvxCapMhz(avx_active)};
-  const bool rapl_on = rapl_.enabled();
-  const Mhz rapl_ceiling{rapl_.ceiling_mhz()};
-
-  // 2. Effective frequencies, written straight into the results array
-  // (offline cores report 0).
-  for (size_t i = 0; i < n; i++) {
-    if (!online[i]) {
-      effective[i] = Mhz{0.0};
-      continue;
-    }
-    Mhz f{std::min(cores_.requested_mhz[i], turbo_limit)};
-    if (rapl_on) {
-      f = std::min(f, rapl_ceiling);
-    }
-    if (scratch_avx_[i]) {
-      f = std::min(f, avx_cap);
-    }
-    if (thermal_.core_temp_c(static_cast<int>(i)) >= spec_.thermal.tj_max_c) {
-      // PROCHOT: the core hard-throttles to the floor until it cools.
-      f = spec_.min_mhz;
-    }
-    effective[i] = std::max(f, spec_.min_mhz);
-  }
-
-  // 3. Run workloads; slices land in place via the span API (no per-tick
-  // vector allocation and no result copies).
-  for (size_t i = 0; i < n; i++) {
-    if (online[i] && work[i] != nullptr) {
-      work[i]->RunBatch(dt, &effective[i], &slices[i], 1);
-    } else if (!multi_member_[i]) {
-      slices[i] = WorkSlice{};
-    }
-  }
   for (const MultiWorkEntry& w : multi_works_) {
     const std::vector<int>& members = *w.cores;
     const size_t m = members.size();
@@ -170,37 +172,68 @@ void Package::Tick(Seconds dt) {
       slices[static_cast<size_t>(members[j])] = scratch_multi_slices_[j];
     }
   }
+}
 
-  // 4. Power, per-tick core results, and hardware counters in one pass over
-  // the flat arrays.
-  Watts total{0.0};
-  int busy_cores = 0;
-  for (size_t i = 0; i < n; i++) {
-    Watts p;
-    if (!online[i]) {
-      effective[i] = Mhz{0.0};  // Pass 2 already wrote 0; keep the invariant local.
-      p = power_model_.OfflineCorePowerW();
-    } else {
-      const Mhz f{effective[i]};
-      if (f != cores_.volts_cache_mhz[i]) {
-        cores_.volts_cache_mhz[i] = f;
-        cores_.volts_cache_v[i] = power_model_.VoltsAt(f);
-      }
-      p = power_model_.CorePowerW(f, slices[i].busy_fraction, slices[i].activity,
-                                  cores_.volts_cache_v[i]);
-      if (slices[i].busy_fraction > 0.05) {
-        busy_cores++;
-      }
+// PAPD_HOT
+void Package::TickFull(Seconds dt) {
+  const size_t n = cores_.size();
+  const uint8_t* online = cores_.online.data();
+  CoreWork* const* work = cores_.work.data();
+  Mhz* effective = cores_.effective_mhz.data();
+  WorkSlice* slices = cores_.slice.data();
+  const simd::TickKernels& k = *kernels_;
+
+  // 1. Census: cores counted "active" (C0) for the turbo ladder, and cores
+  // running AVX-heavy code for the AVX caps.  Flags were cached at attach
+  // time, so this pass is byte-vector arithmetic over flat arrays.
+  int active = 0;
+  int avx_active = 0;
+  k.census(online, cores_.has_work.data(), cores_.work_avx.data(),
+           multi_member_.data(), scratch_avx_.data(), n, &active, &avx_active);
+  for (const MultiWorkEntry& w : multi_works_) {
+    if (w.uses_avx) {
+      avx_active += static_cast<int>(w.cores->size());
     }
-    cores_.power_w[i] = p;
-    // Hardware counters (formerly Core::AdvanceCounters), same expression
-    // order so results stay bit-identical.
-    const double busy = slices[i].busy_fraction;
-    cores_.aperf_cycles[i] += effective[i] * kHzPerMhz * dt * busy;
-    cores_.mperf_cycles[i] += spec_.tsc_mhz * kHzPerMhz * dt * busy;
-    cores_.instructions_retired[i] += slices[i].instructions;
-    cores_.energy_j[i] += p * dt;
-    total += p;
+  }
+
+  // 2. Effective frequencies, written straight into the results array.
+  // Offline lanes were pinned to zero when they went offline and are
+  // skipped here.
+  simd::ClampParams cp;
+  cp.turbo_limit = spec_.TurboLimitMhz(active);
+  cp.avx_cap = spec_.AvxCapMhz(avx_active);
+  cp.rapl_ceiling = rapl_.ceiling_mhz();
+  cp.min_mhz = spec_.min_mhz;
+  cp.tj_max_c = spec_.thermal.tj_max_c;
+  cp.rapl_on = rapl_.enabled();
+  k.clamp(cores_.requested_mhz.data(), online, scratch_avx_.data(),
+          thermal_.temps_c().data(), cp, effective, n);
+
+  // 3. Run workloads; slices land in place via the span API (no per-tick
+  // vector allocation and no result copies).  Idle and offline lanes keep
+  // the zero slice written at detach/offline time.
+  for (size_t i = 0; i < n; i++) {
+    if (online[i] && work[i] != nullptr) {
+      work[i]->RunBatch(dt, &effective[i], &slices[i], 1);
+    }
+  }
+  RunMultiWorks(dt);
+
+  // 4. Voltage memo + per-core power for online lanes, then hardware
+  // counters for all lanes — both as dispatched kernels.
+  const int busy_cores =
+      k.power(effective, slices, online, power_model_,
+              cores_.volts_cache_mhz.data(), cores_.volts_cache_v.data(),
+              cores_.power_w.data(), n);
+  k.counters(effective, slices, cores_.power_w.data(), spec_.tsc_mhz, dt,
+             cores_.aperf_cycles.data(), cores_.mperf_cycles.data(),
+             cores_.instructions_retired.data(), cores_.energy_j.data(), n);
+  // Package power reduces in scalar index order regardless of kernel width:
+  // reassociating this sum would break the bit-identity contract.
+  Watts total{0.0};
+  const Watts* pw = cores_.power_w.data();
+  for (size_t i = 0; i < n; i++) {
+    total += pw[i];
   }
   const Watts uncore{power_model_.UncorePowerW(busy_cores)};
   total += uncore;
@@ -214,6 +247,138 @@ void Package::Tick(Seconds dt) {
   last_uncore_power_w_ = uncore;
   package_energy_j_ += total * dt;
   now_ += dt;
+  tick_stats_.full_ticks++;
+}
+
+bool Package::CanFastTick(Seconds dt) const {
+  return plan_valid_ && hold_remaining_ > 0 && plan_epoch_ == control_epoch_ &&
+         dt == plan_dt_ && !rapl_.enabled() &&
+         thermal_.max_temp_c() < spec_.thermal.tj_max_c - kThermalHoldGuardC;
+}
+
+// PAPD_HOT
+void Package::TickFast(Seconds dt) {
+  const uint8_t* online = cores_.online.data();
+  CoreWork* const* work = cores_.work.data();
+  Mhz* effective = cores_.effective_mhz.data();
+  WorkSlice* slices = cores_.slice.data();
+
+  // Unsteady lanes run their work and are re-priced; held lanes replay the
+  // plan-time slice, effective frequency and power.
+  for (int idx : scratch_unsteady_) {
+    const auto i = static_cast<size_t>(idx);
+    if (online[i] && work[i] != nullptr) {
+      work[i]->RunBatch(dt, &effective[i], &slices[i], 1);
+    }
+  }
+  RunMultiWorks(dt);
+
+  Watts total{held_power_sum_};
+  int busy_cores = held_busy_cores_;
+  for (int idx : scratch_unsteady_) {
+    const auto i = static_cast<size_t>(idx);
+    if (!online[i]) {
+      // Offline members of a multi-core work; constant deep-C-state power.
+      total += cores_.power_w[i];
+      continue;
+    }
+    const Mhz f{effective[i]};
+    if (f != cores_.volts_cache_mhz[i]) {
+      cores_.volts_cache_mhz[i] = f;
+      cores_.volts_cache_v[i] = power_model_.VoltsAt(f);
+    }
+    const Watts p = power_model_.CorePowerW(f, slices[i].busy_fraction,
+                                            slices[i].activity,
+                                            cores_.volts_cache_v[i]);
+    cores_.power_w[i] = p;
+    if (slices[i].busy_fraction > 0.05) {
+      busy_cores++;
+    }
+    total += p;
+  }
+
+  // Hardware counters advance exactly every tick for every lane: multi-rate
+  // defers only workload-internal accounting, never the counters MSR
+  // readers and policy daemons observe.
+  const size_t n = cores_.size();
+  kernels_->counters(effective, slices, cores_.power_w.data(), spec_.tsc_mhz,
+                     dt, cores_.aperf_cycles.data(), cores_.mperf_cycles.data(),
+                     cores_.instructions_retired.data(), cores_.energy_j.data(),
+                     n);
+  const Watts uncore{power_model_.UncorePowerW(busy_cores)};
+  total += uncore;
+
+  // The RAPL controller is disabled on this path (CanFastTick); the thermal
+  // model still integrates every tick so PROCHOT never lags a hold window.
+  thermal_.Update(cores_.power_w, uncore, dt);
+
+  last_package_power_w_ = total;
+  last_uncore_power_w_ = uncore;
+  package_energy_j_ += total * dt;
+  now_ += dt;
+  hold_remaining_--;
+  held_pending_ticks_++;
+  tick_stats_.fast_ticks++;
+}
+
+// PAPD_HOT
+void Package::RebuildHoldPlan(Seconds dt) {
+  plan_epoch_ = control_epoch_;
+  plan_dt_ = dt;
+  held_pending_ticks_ = 0;
+  scratch_unsteady_.clear();
+  held_power_sum_ = Watts{0.0};
+  held_busy_cores_ = 0;
+  const size_t n = cores_.size();
+  int budget = max_hold_ticks_;
+  bool any_held = false;
+  for (size_t i = 0; i < n; i++) {
+    int steady = 0;
+    if (!cores_.online[i]) {
+      // Offline lanes are constant by construction.
+      steady = max_hold_ticks_;
+    } else if (cores_.work[i] != nullptr) {
+      steady = cores_.work[i]->SteadyTicks(dt);
+    } else if (!multi_member_[i]) {
+      // Idle online lane: constant slice and power until the control plane
+      // changes (which invalidates the plan).
+      steady = max_hold_ticks_;
+    }
+    // Multi-core work members stay unsteady: their coupled work runs every
+    // tick and re-prices its lanes.
+    if (steady >= kMinHoldTicks) {
+      lane_held_[i] = 1;
+      any_held = true;
+      budget = std::min(budget, steady);
+      held_power_sum_ += cores_.power_w[i];
+      if (cores_.online[i] && cores_.slice[i].busy_fraction > 0.05) {
+        held_busy_cores_++;
+      }
+    } else {
+      lane_held_[i] = 0;
+      scratch_unsteady_.push_back(static_cast<int>(i));
+    }
+  }
+  plan_valid_ = any_held;
+  hold_remaining_ = any_held ? budget : 0;
+  rebuild_cooldown_ = any_held ? 0 : kMinHoldTicks;
+  tick_stats_.plan_rebuilds++;
+}
+
+void Package::FlushSteadyWork() {
+  if (held_pending_ticks_ == 0) {
+    return;
+  }
+  const int pending = held_pending_ticks_;
+  held_pending_ticks_ = 0;
+  const size_t n = cores_.size();
+  for (size_t i = 0; i < n; i++) {
+    if (lane_held_[i] && cores_.online[i] && cores_.work[i] != nullptr) {
+      cores_.work[i]->RunSteadyBatch(plan_dt_, pending, cores_.effective_mhz[i],
+                                     &cores_.slice[i]);
+      tick_stats_.work_syncs++;
+    }
+  }
 }
 
 }  // namespace papd

@@ -13,7 +13,24 @@
 // Per-core state is structure-of-arrays (CoreArray, core.h): each tick pass
 // streams over contiguous vectors, workload slices are written in place via
 // the RunBatch span API, and the steady-state tick performs no heap
-// allocation.
+// allocation.  The per-core passes themselves are SIMD kernels
+// (src/cpusim/simd/), runtime-dispatched between an AVX2 table and the
+// bit-exact scalar reference.
+//
+// Tick policies:
+//   kEveryTick   every pass runs every tick (the bit-pinned reference mode);
+//   kMultiRate   cores whose workload reports a steady phase (and whose
+//                control plane is quiescent) are *held*: their slice, power
+//                and effective frequency are replayed for up to K ticks
+//                while hardware counters still advance exactly every tick.
+//                Any control-plane event — P-state write, RAPL change,
+//                online toggle, attach/detach, fault-plan arming — bumps the
+//                control epoch and forces a full re-synced tick.  Held
+//                workloads catch their internal accounting up analytically
+//                (CoreWork::RunSteadyBatch) at each resync, so a steady
+//                fleet ticks in O(changed cores).  Multi-rate results are
+//                statistically, not bitwise, equivalent to every-tick
+//                (tests/multirate_test.cc pins the tolerance).
 
 #ifndef SRC_CPUSIM_PACKAGE_H_
 #define SRC_CPUSIM_PACKAGE_H_
@@ -25,11 +42,17 @@
 #include "src/cpusim/core.h"
 #include "src/cpusim/power_model.h"
 #include "src/cpusim/rapl.h"
+#include "src/cpusim/simd/tick_kernels.h"
 #include "src/cpusim/thermal.h"
 #include "src/platform/platform_spec.h"
 #include "src/specsim/core_work.h"
 
 namespace papd {
+
+enum class TickPolicy {
+  kEveryTick,
+  kMultiRate,
+};
 
 class Package {
  public:
@@ -64,6 +87,42 @@ class Package {
   // --- Simulation ------------------------------------------------------------
   void Tick(Seconds dt);
 
+  // Default and minimum hold horizons for multi-rate ticking: a lane is only
+  // held when its steady horizon covers at least kMinHoldTicks (shorter
+  // holds don't amortize the resync), and no hold window exceeds the
+  // configured maximum.
+  static constexpr int kDefaultMaxHoldTicks = 64;
+  static constexpr int kMinHoldTicks = 8;
+  // Fast ticks are suppressed within this margin of the PROCHOT threshold,
+  // so thermal throttling decisions never lag behind a hold window.
+  static constexpr double kThermalHoldGuardC = 5.0;
+
+  struct TickStats {
+    uint64_t full_ticks = 0;
+    uint64_t fast_ticks = 0;
+    uint64_t work_syncs = 0;      // RunSteadyBatch catch-up calls.
+    uint64_t plan_rebuilds = 0;
+  };
+
+  void SetTickPolicy(TickPolicy policy, int max_hold_ticks = kDefaultMaxHoldTicks);
+  TickPolicy tick_policy() const { return tick_policy_; }
+  const TickStats& tick_stats() const { return tick_stats_; }
+  // Kernel table actually driving the tick passes ("scalar" or "avx2").
+  const char* tick_kernel_name() const { return kernels_->name; }
+
+  // Control-plane epoch: bumped by every externally visible control action
+  // (P-state write, RAPL change, online toggle, attach/detach).  The
+  // multi-rate planner re-syncs and replans whenever it changes.
+  uint64_t control_epoch() const { return control_epoch_; }
+  // Control-plane events with no dedicated setter (e.g. MsrFile arming a
+  // fault plan or dropping a P-state write) report themselves here.
+  void NotifyControlPlaneEvent() { control_epoch_++; }
+
+  // Catches held workloads' internal accounting up to now() (multi-rate
+  // defers it between resyncs).  No-op under kEveryTick; call before reading
+  // workload-internal state (Process::instructions_retired etc.) mid-run.
+  void FlushSteadyWork();
+
   Seconds now() const { return now_; }
   Watts last_package_power_w() const { return last_package_power_w_; }
   Watts last_uncore_power_w() const { return last_uncore_power_w_; }
@@ -81,6 +140,18 @@ class Package {
     const std::vector<int>* cores = nullptr;
     uint8_t uses_avx = 0;
   };
+
+  // Full tick: every pass over every lane (the bit-pinned reference path).
+  void TickFull(Seconds dt);
+  // Multi-rate fast tick: runs only unsteady lanes' work and power; held
+  // lanes replay their plan-time slice.  Counters advance exactly.
+  void TickFast(Seconds dt);
+  // Classifies lanes held/unsteady after a full tick and sets the window.
+  void RebuildHoldPlan(Seconds dt);
+  bool CanFastTick(Seconds dt) const;
+  // Shared work pass (single-core works + multi-core gather/scatter) of the
+  // full tick; TickFast runs the same multi-work loop.
+  void RunMultiWorks(Seconds dt);
 
   PlatformSpec spec_;
   PStateTable pstates_;
@@ -103,10 +174,45 @@ class Package {
   // after each call (mutable: the query is logically const).
   mutable std::vector<uint8_t> scratch_pstate_marks_;
 
+  // --- Tick engine state -----------------------------------------------------
+  // Kernel table chosen at construction (simd::ActiveKernels()).
+  const simd::TickKernels* kernels_;
+  TickPolicy tick_policy_ = TickPolicy::kEveryTick;
+  int max_hold_ticks_ = kDefaultMaxHoldTicks;
+  uint64_t control_epoch_ = 0;
+
+  // Multi-rate hold plan, rebuilt after full ticks.  Valid while the control
+  // epoch and tick length are unchanged and hold_remaining_ > 0.
+  bool plan_valid_ = false;
+  uint64_t plan_epoch_ = 0;
+  Seconds plan_dt_{-1.0};
+  int hold_remaining_ = 0;
+  // After a rebuild that found nothing holdable, skip replanning for a few
+  // ticks instead of re-scanning steadiness every tick.
+  int rebuild_cooldown_ = 0;
+  // Fast ticks taken since the held works were last caught up.
+  int held_pending_ticks_ = 0;
+  // Plan-time aggregates over held lanes (index-order power sum).
+  Watts held_power_sum_{0.0};
+  int held_busy_cores_ = 0;
+  std::vector<uint8_t> lane_held_;
+  // Lanes serviced every fast tick; pre-reserved so replanning never
+  // allocates.
+  std::vector<int> scratch_unsteady_;
+  TickStats tick_stats_;
+
   Seconds now_{0.0};
   Watts last_package_power_w_{0.0};
   Watts last_uncore_power_w_{0.0};
   Joules package_energy_j_{0.0};
+};
+
+// Tick-engine knobs plumbed through RunOptions (experiments) and RackConfig
+// (cluster): which tick policy drives Package::Tick and the multi-rate hold
+// horizon.
+struct TickOptions {
+  TickPolicy policy = TickPolicy::kEveryTick;
+  int max_hold_ticks = Package::kDefaultMaxHoldTicks;
 };
 
 }  // namespace papd

@@ -26,6 +26,11 @@ class PowerModel {
   // Operating voltage at the given frequency.
   Volts VoltsAt(Mhz freq_mhz) const { return spec_->voltage.At(freq_mhz); }
 
+  // The calibrated coefficient block (PlatformSpec::power).  The SIMD power
+  // kernel (src/cpusim/simd/) evaluates the same analytic expression
+  // vector-wide and needs the raw coefficients.
+  const PowerModelParams& params() const { return spec_->power; }
+
   // Power of one online core running at freq_mhz with the given activity
   // factor for `busy` fraction of the time.
   Watts CorePowerW(Mhz freq_mhz, double busy, double activity) const;

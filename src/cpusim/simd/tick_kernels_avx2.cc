@@ -1,0 +1,264 @@
+// AVX2 tick kernels: 4 double lanes (32 byte-flag lanes for the census) per
+// iteration over the flat CoreArray vectors, with scalar-kernel tails.
+//
+// Bit-identity with tick_kernels_scalar.cc is a hard contract (the FNV-1a
+// goldens in tests/soa_equivalence_test.cc run under both tables):
+//   - every per-lane floating-point expression uses the same association
+//     order as the scalar reference, with vdivpd where the scalar path
+//     divides (MhzToGhz, the leakage voltage ratio);
+//   - vminpd/vmaxpd are exact and match std::min/std::max on the positive,
+//     NaN-free values that flow here;
+//   - this translation unit is compiled with -mavx2 ONLY — never -mfma —
+//     so no mul+add pair is contracted into a differently rounded fused op;
+//   - cross-lane reductions that would reassociate floating point are not
+//     performed here (Package sums the power vector in scalar index order);
+//     the census reduction is integral and therefore order-free.
+//
+// The byte flags (online, has_work, work_avx, multi_member, scratch_avx)
+// are strictly 0/1, which MaskFromBytes exploits (0/1 -> 0/-1 via integer
+// negate).  The Quantity<Tag> vectors are loaded through double* — the
+// strong types are single-double standard-layout wrappers (static_asserted
+// below), and both sides of every access read/write the underlying double.
+
+#if defined(PAPD_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <type_traits>
+
+#include "src/cpusim/simd/tick_kernels.h"
+
+namespace papd {
+namespace simd {
+
+// Defined below; the extern declaration gives the const table external
+// linkage so the dispatcher in tick_kernels.cc can reference it.
+extern const TickKernels kAvx2Kernels;
+
+namespace {
+
+static_assert(sizeof(Mhz) == sizeof(double) && std::is_standard_layout_v<Mhz>,
+              "SIMD kernels reinterpret Quantity vectors as double arrays");
+static_assert(sizeof(Volts) == sizeof(double) && sizeof(Watts) == sizeof(double) &&
+                  sizeof(Joules) == sizeof(double),
+              "SIMD kernels reinterpret Quantity vectors as double arrays");
+static_assert(sizeof(WorkSlice) == 4 * sizeof(double) &&
+                  std::is_standard_layout_v<WorkSlice>,
+              "WorkSlice field gathers assume a plain 4-double layout");
+
+// 4 flag bytes (each 0 or 1) -> 4 all-zeros/all-ones double lanes.
+inline __m256d MaskFromBytes(const uint8_t* b) {
+  const uint32_t packed = static_cast<uint32_t>(b[0]) |
+                          (static_cast<uint32_t>(b[1]) << 8) |
+                          (static_cast<uint32_t>(b[2]) << 16) |
+                          (static_cast<uint32_t>(b[3]) << 24);
+  const __m128i bytes = _mm_cvtsi32_si128(static_cast<int>(packed));
+  const __m256i lanes = _mm256_cvtepu8_epi64(bytes);
+  return _mm256_castsi256_pd(_mm256_sub_epi64(_mm256_setzero_si256(), lanes));
+}
+
+inline __m256d GatherBusy(const WorkSlice* s) {
+  return _mm256_setr_pd(s[0].busy_fraction, s[1].busy_fraction,
+                        s[2].busy_fraction, s[3].busy_fraction);
+}
+
+inline __m256d GatherActivity(const WorkSlice* s) {
+  return _mm256_setr_pd(s[0].activity, s[1].activity, s[2].activity,
+                        s[3].activity);
+}
+
+inline __m256d GatherInstructions(const WorkSlice* s) {
+  return _mm256_setr_pd(s[0].instructions, s[1].instructions, s[2].instructions,
+                        s[3].instructions);
+}
+
+// PAPD_HOT
+void CensusAvx2(const uint8_t* online, const uint8_t* has_work,
+                const uint8_t* work_avx, const uint8_t* multi_member,
+                uint8_t* scratch_avx, size_t n, int* active, int* avx_active) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i act_acc = zero;
+  __m256i avx_acc = zero;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i on = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(online + i));
+    const __m256i hw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(has_work + i));
+    const __m256i mm = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(multi_member + i));
+    const __m256i wa = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(work_avx + i));
+    // scratch = work_avx where (online && has_work), else 0.
+    const __m256i not_on_hw = _mm256_cmpeq_epi8(_mm256_and_si256(on, hw), zero);
+    const __m256i scratch = _mm256_andnot_si256(not_on_hw, wa);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(scratch_avx + i), scratch);
+    // active = online && (has_work || multi_member); bytes stay 0/1 so the
+    // unsigned byte-sum (vpsadbw) cannot saturate.
+    const __m256i act = _mm256_and_si256(on, _mm256_or_si256(hw, mm));
+    act_acc = _mm256_add_epi64(act_acc, _mm256_sad_epu8(act, zero));
+    avx_acc = _mm256_add_epi64(avx_acc, _mm256_sad_epu8(scratch, zero));
+  }
+  alignas(32) long long lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), act_acc);
+  int act = static_cast<int>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), avx_acc);
+  int avx = static_cast<int>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  if (i < n) {
+    int tail_act = 0;
+    int tail_avx = 0;
+    kScalarKernels.census(online + i, has_work + i, work_avx + i,
+                          multi_member + i, scratch_avx + i, n - i, &tail_act,
+                          &tail_avx);
+    act += tail_act;
+    avx += tail_avx;
+  }
+  *active = act;
+  *avx_active = avx;
+}
+
+// PAPD_HOT
+void ClampAvx2(const Mhz* requested_mhz, const uint8_t* online,
+               const uint8_t* avx_lane, const double* temps_c,
+               const ClampParams& p, Mhz* effective_mhz, size_t n) {
+  const __m256d turbo = _mm256_set1_pd(p.turbo_limit.value());
+  const __m256d avx_cap = _mm256_set1_pd(p.avx_cap.value());
+  const __m256d rapl = _mm256_set1_pd(p.rapl_ceiling.value());
+  const __m256d floor = _mm256_set1_pd(p.min_mhz.value());
+  const __m256d tj = _mm256_set1_pd(p.tj_max_c);
+  const double* req = reinterpret_cast<const double*>(requested_mhz);
+  double* eff = reinterpret_cast<double*>(effective_mhz);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d f = _mm256_min_pd(_mm256_loadu_pd(req + i), turbo);
+    if (p.rapl_on) {
+      f = _mm256_min_pd(f, rapl);
+    }
+    const __m256d avxm = MaskFromBytes(avx_lane + i);
+    f = _mm256_blendv_pd(f, _mm256_min_pd(f, avx_cap), avxm);
+    const __m256d hot =
+        _mm256_cmp_pd(_mm256_loadu_pd(temps_c + i), tj, _CMP_GE_OQ);
+    f = _mm256_blendv_pd(f, floor, hot);
+    f = _mm256_max_pd(f, floor);
+    // Offline lanes keep their pinned zero: blend the old value back.
+    const __m256d onm = MaskFromBytes(online + i);
+    const __m256d old = _mm256_loadu_pd(eff + i);
+    _mm256_storeu_pd(eff + i, _mm256_blendv_pd(old, f, onm));
+  }
+  if (i < n) {
+    kScalarKernels.clamp(requested_mhz + i, online + i, avx_lane + i,
+                         temps_c + i, p, effective_mhz + i, n - i);
+  }
+}
+
+// PAPD_HOT
+int PowerAvx2(const Mhz* effective_mhz, const WorkSlice* slices,
+              const uint8_t* online, const PowerModel& model,
+              Mhz* volts_cache_mhz, Volts* volts_cache_v, Watts* power_w,
+              size_t n) {
+  const PowerModelParams& pm = model.params();
+  const __m256d leak_ref_w = _mm256_set1_pd(pm.leak_ref_w.value());
+  const __m256d leak_ref_v = _mm256_set1_pd(pm.leak_ref_volts.value());
+  const __m256d ceff = _mm256_set1_pd(pm.ceff_w_per_v2ghz);
+  const __m256d gate_w = _mm256_set1_pd(pm.clock_gate_w.value());
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d ghz_div = _mm256_set1_pd(kMhzPerGhz);
+  const __m256d busy_thresh = _mm256_set1_pd(0.05);
+  const double* eff = reinterpret_cast<const double*>(effective_mhz);
+  const double* vc_f = reinterpret_cast<const double*>(volts_cache_mhz);
+  const double* vc_v = reinterpret_cast<const double*>(volts_cache_v);
+  double* pw = reinterpret_cast<double*>(power_w);
+  int busy_cores = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d f = _mm256_loadu_pd(eff + i);
+    const __m256d onm = MaskFromBytes(online + i);
+    // Voltage-memo refresh: online lanes whose effective frequency moved
+    // since the memo was filled re-run the piecewise-linear lookup scalar
+    // side (P-states change every ~1000 ticks, so misses are rare).
+    const __m256d miss = _mm256_and_pd(
+        _mm256_cmp_pd(f, _mm256_loadu_pd(vc_f + i), _CMP_NEQ_UQ), onm);
+    int miss_mask = _mm256_movemask_pd(miss);
+    if (miss_mask != 0) {
+      for (int l = 0; l < 4; ++l) {
+        if (miss_mask & (1 << l)) {
+          volts_cache_mhz[i + l] = effective_mhz[i + l];
+          volts_cache_v[i + l] = model.VoltsAt(effective_mhz[i + l]);
+        }
+      }
+    }
+    const __m256d v = _mm256_loadu_pd(vc_v + i);
+    const __m256d busy = GatherBusy(slices + i);
+    const __m256d act = GatherActivity(slices + i);
+    // leakage = (leak_ref_w * (v / v_ref)) * (v / v_ref)
+    const __m256d vr = _mm256_div_pd(v, leak_ref_v);
+    const __m256d leak = _mm256_mul_pd(_mm256_mul_pd(leak_ref_w, vr), vr);
+    // dynamic = ((((ceff * act) * v) * v) * (f / 1000)) * busy — the scalar
+    // expression's left-to-right association, with a true division for
+    // MhzToGhz.
+    __m256d dyn = _mm256_mul_pd(ceff, act);
+    dyn = _mm256_mul_pd(dyn, v);
+    dyn = _mm256_mul_pd(dyn, v);
+    dyn = _mm256_mul_pd(dyn, _mm256_div_pd(f, ghz_div));
+    dyn = _mm256_mul_pd(dyn, busy);
+    const __m256d gate = _mm256_mul_pd(gate_w, _mm256_sub_pd(one, busy));
+    const __m256d p = _mm256_add_pd(_mm256_add_pd(leak, dyn), gate);
+    // Offline lanes keep their constant deep-C-state power.
+    _mm256_storeu_pd(pw + i, _mm256_blendv_pd(_mm256_loadu_pd(pw + i), p, onm));
+    const __m256d isbusy =
+        _mm256_and_pd(_mm256_cmp_pd(busy, busy_thresh, _CMP_GT_OQ), onm);
+    busy_cores += __builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(isbusy)));
+  }
+  if (i < n) {
+    busy_cores += kScalarKernels.power(effective_mhz + i, slices + i, online + i,
+                                       model, volts_cache_mhz + i,
+                                       volts_cache_v + i, power_w + i, n - i);
+  }
+  return busy_cores;
+}
+
+// PAPD_HOT
+void CountersAvx2(const Mhz* effective_mhz, const WorkSlice* slices,
+                  const Watts* power_w, Mhz tsc_mhz, Seconds dt,
+                  double* aperf_cycles, double* mperf_cycles,
+                  double* instructions_retired, Joules* energy_j, size_t n) {
+  const __m256d khz = _mm256_set1_pd(kHzPerMhz);
+  const __m256d dts = _mm256_set1_pd(dt.value());
+  // The MPERF step is lane-invariant; precompute it with the scalar
+  // reference's association: ((tsc * kHz) * dt).
+  const __m256d mstep = _mm256_set1_pd(tsc_mhz * kHzPerMhz * dt);
+  const double* eff = reinterpret_cast<const double*>(effective_mhz);
+  const double* pw = reinterpret_cast<const double*>(power_w);
+  double* ej = reinterpret_cast<double*>(energy_j);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d busy = GatherBusy(slices + i);
+    // aperf += ((f * kHz) * dt) * busy
+    const __m256d f = _mm256_loadu_pd(eff + i);
+    const __m256d a =
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(f, khz), dts), busy);
+    _mm256_storeu_pd(aperf_cycles + i,
+                     _mm256_add_pd(_mm256_loadu_pd(aperf_cycles + i), a));
+    _mm256_storeu_pd(mperf_cycles + i,
+                     _mm256_add_pd(_mm256_loadu_pd(mperf_cycles + i),
+                                   _mm256_mul_pd(mstep, busy)));
+    _mm256_storeu_pd(instructions_retired + i,
+                     _mm256_add_pd(_mm256_loadu_pd(instructions_retired + i),
+                                   GatherInstructions(slices + i)));
+    _mm256_storeu_pd(ej + i, _mm256_add_pd(_mm256_loadu_pd(ej + i),
+                                           _mm256_mul_pd(_mm256_loadu_pd(pw + i),
+                                                         dts)));
+  }
+  if (i < n) {
+    kScalarKernels.counters(effective_mhz + i, slices + i, power_w + i, tsc_mhz,
+                            dt, aperf_cycles + i, mperf_cycles + i,
+                            instructions_retired + i, energy_j + i, n - i);
+  }
+}
+
+}  // namespace
+
+const TickKernels kAvx2Kernels = {"avx2", &CensusAvx2, &ClampAvx2, &PowerAvx2,
+                                  &CountersAvx2};
+
+}  // namespace simd
+}  // namespace papd
+
+#endif  // PAPD_SIMD_AVX2

@@ -42,6 +42,9 @@ class ThermalModel {
   void Update(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt);
 
   Celsius core_temp_c(int core) const { return temps_[static_cast<size_t>(core)]; }
+  // Flat per-core temperature vector; the tick engine's SIMD clamp kernel
+  // streams it for the PROCHOT comparison.
+  const std::vector<Celsius>& temps_c() const { return temps_; }
   Celsius max_temp_c() const;
   const ThermalParams& params() const { return params_; }
 

@@ -133,6 +133,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   const RunOptions run = EffectiveRun(config);
 
   Package pkg(config.platform);
+  pkg.SetTickPolicy(run.tick.policy, run.tick.max_hold_ticks);
   MsrFile msr(&pkg);
 
   // Instantiate and pin the workloads.
@@ -196,6 +197,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   sim.Run(config.warmup_s);
   const CounterWindow start = CounterWindow::Take(pkg);
   sim.Run(config.measure_s);
+  // Multi-rate runs defer workload-internal accounting; catch it up before
+  // anything below reads Process state.  (Counter windows are exact either
+  // way — hardware counters advance every tick.)
+  pkg.FlushSteadyWork();
   const CounterWindow end = CounterWindow::Take(pkg);
   const Seconds dt{end.t - start.t};
 
@@ -255,6 +260,7 @@ void AddResourceShares(ScenarioResult* result) {
 
 WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   Package pkg(config.platform);
+  pkg.SetTickPolicy(config.run.tick.policy, config.run.tick.max_hold_ticks);
   MsrFile msr(&pkg);
 
   const int n = config.platform.num_cores;
@@ -336,6 +342,7 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   } else {
     sim.Run(config.measure_s);
   }
+  pkg.FlushSteadyWork();
   const CounterWindow end = CounterWindow::Take(pkg);
   const Seconds dt{end.t - start.t};
 

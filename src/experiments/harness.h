@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/cpusim/package.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -63,6 +64,10 @@ struct ObsOptions {
 struct RunOptions {
   DaemonOptions daemon;
   ObsOptions obs;
+  // Tick-engine policy (Package::SetTickPolicy).  kMultiRate trades bitwise
+  // reproducibility for speed on steady fleets; results stay within the
+  // statistical tolerance pinned by tests/multirate_test.cc.
+  TickOptions tick;
 };
 
 struct ScenarioConfig {

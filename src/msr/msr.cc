@@ -95,7 +95,11 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
         GeneralProtectionFault(reg);
       }
       if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
-        return;  // Silently ignored; the register keeps its old value.
+        // Silently ignored; the register keeps its old value.  Still a
+        // control-plane event: the multi-rate planner must not keep holding
+        // through a tick where software believes it reprogrammed a core.
+        package_->NotifyControlPlaneEvent();
+        return;
       }
       const Mhz mhz{static_cast<double>((value >> 8) & 0xFF) * 100.0};
       package_->SetRequestedMhz(cpu, mhz);
@@ -118,6 +122,7 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
         GeneralProtectionFault(reg);
       }
       if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
+        package_->NotifyControlPlaneEvent();
         return;
       }
       const int slot = static_cast<int>(value & 0x7);
@@ -132,6 +137,7 @@ void MsrFile::Write(uint32_t reg, int cpu, uint64_t value) {
           GeneralProtectionFault(reg);
         }
         if (faults_ != nullptr && faults_->DropPstateWrite(NowSeconds())) {
+          package_->NotifyControlPlaneEvent();
           return;
         }
         const size_t slot = reg - kMsrAmdPstateDef0;
@@ -178,6 +184,9 @@ void MsrFile::SetCoreOnline(int cpu, bool online) { package_->SetOnline(cpu, onl
 
 void MsrFile::EnableFaults(const FaultPlan& plan) {
   faults_ = std::make_unique<FaultInjector>(plan);
+  // Arming a fault plan changes what the control plane may observe/do from
+  // now on; force the multi-rate engine to resync.
+  package_->NotifyControlPlaneEvent();
 }
 
 }  // namespace papd

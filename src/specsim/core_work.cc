@@ -21,6 +21,15 @@ void CoreWork::RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
   }
 }
 
+int CoreWork::SteadyTicks(Seconds /*dt*/) const { return 0; }
+
+void CoreWork::RunSteadyBatch(Seconds dt, int k, Mhz freq_mhz,
+                              WorkSlice* last_slice) {
+  for (int step = 0; step < k; ++step) {
+    RunBatch(dt, &freq_mhz, last_slice, 1);
+  }
+}
+
 std::vector<WorkSlice> MultiCoreWork::Run(Seconds dt,
                                           const std::vector<Mhz>& freqs_mhz) {
   std::vector<WorkSlice> slices(freqs_mhz.size());

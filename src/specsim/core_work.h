@@ -64,6 +64,24 @@ class CoreWork {
   // attached to a Package: the tick engine caches the value at attach time.
   virtual bool UsesAvx() const = 0;
 
+  // Multi-rate tick support.  SteadyTicks reports how many upcoming dt-ticks
+  // the work guarantees to produce (statistically) the same slice it produced
+  // on the last Run/RunBatch call, assuming the effective frequency stays
+  // fixed.  0 (the default) means "not steady": the tick engine then runs the
+  // work every tick.  A work returning k > 0 must accept a later
+  // RunSteadyBatch(dt, k', ...) catch-up for any k' <= k.
+  virtual int SteadyTicks(Seconds dt) const;
+
+  // Catches internal accounting up over k held ticks of length dt at a fixed
+  // frequency, without being Run tick-by-tick; *last_slice is the slice the
+  // tick engine replayed during the hold (the work's own last reported slice)
+  // and may be updated to reflect the post-hold state.  The default
+  // implementation replays RunBatch k times — correct for any work, O(k).
+  // Works that report SteadyTicks > 0 should override with an O(1)
+  // closed-form update.
+  virtual void RunSteadyBatch(Seconds dt, int k, Mhz freq_mhz,
+                              WorkSlice* last_slice);
+
   virtual std::string Name() const = 0;
 };
 

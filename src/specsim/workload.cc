@@ -26,6 +26,79 @@ void Process::RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
   }
 }
 
+int Process::SteadyTicks(Seconds dt) const {
+  constexpr int kUnbounded = 1 << 20;  // The engine caps holds far below this.
+  if (dt <= Seconds{0.0}) {
+    return 0;
+  }
+  if (run_to_completion_ && finished_) {
+    // Idle after completion: the slice is exactly constant.
+    return kUnbounded;
+  }
+  double horizon = kUnbounded;
+  if (profile_.phase_amplitude > 0.0 && profile_.phase_period_s > Seconds{0.0}) {
+    // The phase multiplier moves at most amplitude * w * dt per tick; hold
+    // until the worst-case accumulated drift reaches the tolerance.
+    const Ips w = 2.0 * M_PI / profile_.phase_period_s;
+    const double drift_per_tick = profile_.phase_amplitude * (w * dt);
+    if (drift_per_tick > 0.0) {
+      horizon = std::min(horizon, kPhaseSteadyTolerance / drift_per_tick);
+    }
+  }
+  if (run_to_completion_) {
+    if (!(ips_cache_mhz_ > Mhz{0.0})) {
+      return 0;  // Never run yet; no slice to replay.
+    }
+    // Keep well clear of the completion point so the post-hold resync ticks
+    // still see the finish-within-a-slice path.
+    const double remaining = profile_.total_ginstr * 1e9 - instructions_retired_;
+    const double per_tick = ips_cache_ips_ * dt;
+    if (per_tick <= 0.0) {
+      return 0;
+    }
+    horizon = std::min(horizon, remaining / (2.0 * per_tick) - 1.0);
+  }
+  if (horizon < 0.0) {
+    return 0;
+  }
+  return static_cast<int>(std::min(horizon, static_cast<double>(kUnbounded)));
+}
+
+void Process::RunSteadyBatch(Seconds dt, int k, Mhz /*freq_mhz*/,
+                             WorkSlice* last_slice) {
+  if (k <= 0) {
+    return;
+  }
+  if (run_to_completion_ && finished_) {
+    wall_time_ += static_cast<double>(k) * dt;
+    return;
+  }
+  // The tick engine replayed *last_slice for k ticks; fold the same totals
+  // into the internal accounting in closed form.
+  instructions_retired_ += static_cast<double>(k) * last_slice->instructions;
+  cpu_time_ += static_cast<double>(k) * last_slice->busy_fraction * dt;
+  wall_time_ += static_cast<double>(k) * dt;
+  // Advance the phase oscillator by k steps with one memoized rotation, so
+  // the post-hold phase is where tick-by-tick execution would have put it.
+  if (profile_.phase_amplitude > 0.0 && profile_.phase_period_s > Seconds{0.0}) {
+    if (dt == phase_dt_) {
+      if (k != steady_rot_k_) {
+        steady_rot_k_ = k;
+        const Ips w = 2.0 * M_PI / profile_.phase_period_s;
+        const double angle = (w * dt) * static_cast<double>(k);
+        steady_rot_sin_ = std::sin(angle);
+        steady_rot_cos_ = std::cos(angle);
+      }
+      const double s = phase_sin_ * steady_rot_cos_ + phase_cos_ * steady_rot_sin_;
+      const double c = phase_cos_ * steady_rot_cos_ - phase_sin_ * steady_rot_sin_;
+      phase_sin_ = s;
+      phase_cos_ = c;
+    } else {
+      phase_dt_ = Seconds{-1.0};  // Reseed from wall_time_ on the next run.
+    }
+  }
+}
+
 // PAPD_HOT
 WorkSlice Process::RunOne(Seconds dt, Mhz freq_mhz) {
   WorkSlice slice;

@@ -74,8 +74,21 @@ class Process : public CoreWork {
   WorkSlice Run(Seconds dt, Mhz freq_mhz) override;
   void RunBatch(Seconds dt, const Mhz* freqs_mhz, WorkSlice* out_slices,
                 int n) override;
+  // Multi-rate support: the hold horizon is bounded by phase drift (the
+  // replayed slice's phase multiplier must stay within
+  // kPhaseSteadyTolerance of the true oscillator) and, in run-to-completion
+  // mode, by half the remaining instructions.  Jitter is zero-mean noise and
+  // does not bound the horizon (the multi-rate contract is statistical).
+  int SteadyTicks(Seconds dt) const override;
+  // O(1) catch-up: one memoized k-step phase rotation plus closed-form
+  // accounting from the replayed slice; no RNG draws for held ticks.
+  void RunSteadyBatch(Seconds dt, int k, Mhz freq_mhz,
+                      WorkSlice* last_slice) override;
   bool UsesAvx() const override { return profile_.UsesAvx(); }
   std::string Name() const override { return profile_.name; }
+
+  // Maximum tolerated drift of the phase multiplier while a slice is held.
+  static constexpr double kPhaseSteadyTolerance = 0.002;
 
   const WorkloadProfile& profile() const { return profile_; }
   double instructions_retired() const { return instructions_retired_; }
@@ -103,6 +116,11 @@ class Process : public CoreWork {
   double phase_cos_ = 1.0;
   double rot_sin_ = 0.0;
   double rot_cos_ = 1.0;
+  // Memoized k-step rotation for RunSteadyBatch (one sin/cos pair per
+  // distinct hold length).
+  int steady_rot_k_ = -1;
+  double steady_rot_sin_ = 0.0;
+  double steady_rot_cos_ = 1.0;
   bool run_to_completion_ = false;
   bool finished_ = false;
   double instructions_retired_ = 0.0;

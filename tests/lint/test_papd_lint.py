@@ -198,6 +198,36 @@ class RegistryCompletenessTest(unittest.TestCase):
         )
 
 
+class SimdGuardTest(unittest.TestCase):
+    def test_intrinsics_outside_simd_dir_flagged(self):
+        findings = lint_tree({"src/policy/fast.cc": "simd_outside_bad.txt"})
+        msgs = [f for f in findings if f.rule == "simd-guard"]
+        # One for the intrinsic identifier, one for the <immintrin.h> include.
+        self.assertEqual(len(msgs), 2)
+        self.assertTrue(all(f.path == "src/policy/fast.cc" for f in msgs))
+
+    def test_intrinsics_inside_simd_dir_pass(self):
+        findings = lint_tree(
+            {"src/cpusim/simd/k_avx2.cc": "simd_outside_bad.txt"}
+        )
+        self.assertNotIn("simd-guard", rules_hit(findings))
+
+    def test_avx2_kernel_without_scalar_twin_flagged(self):
+        findings = lint_tree(
+            {"src/cpusim/simd/kernels.cc": "simd_kernel_orphan.txt"}
+        )
+        msgs = [f for f in findings if f.rule == "simd-guard"]
+        self.assertEqual(len(msgs), 1)
+        self.assertIn("ClampAvx2", msgs[0].message)
+        self.assertIn("ClampScalar", msgs[0].message)
+
+    def test_real_repo_kernels_all_have_scalar_twins(self):
+        findings, _ = papd_lint.run(REPO_ROOT)
+        self.assertEqual(
+            [f.render() for f in findings if f.rule == "simd-guard"], []
+        )
+
+
 class DriverTest(unittest.TestCase):
     def test_repo_tree_is_lint_clean(self):
         findings, scanned = papd_lint.run(REPO_ROOT)

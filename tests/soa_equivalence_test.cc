@@ -21,6 +21,7 @@
 #include <cstring>
 #include <memory>
 #include <new>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -282,19 +283,101 @@ GoldenRun RunWebsearchGolden() {
 
 // --- Tests --------------------------------------------------------------------
 
-TEST(SoaEquivalence, PriorityScenarioMatchesGolden) {
+// Scoped kernel override: packages constructed inside the scope use the named
+// kernel table; reset to runtime auto-dispatch on exit.
+class ForcedKernels {
+ public:
+  explicit ForcedKernels(const char* name) : ok_(simd::ForceKernelsForTest(name)) {}
+  ~ForcedKernels() { simd::ForceKernelsForTest(nullptr); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+// Every golden scenario must reproduce the recorded pre-refactor checksum
+// under BOTH kernel tables: the scalar reference is the literal port of the
+// original loops, and the AVX2 kernels promise lane-exact identical
+// arithmetic (no FMA contraction, scalar-order reductions).
+class SoaEquivalenceKernels : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (!simd::ForceKernelsForTest(GetParam())) {
+      GTEST_SKIP() << "kernel table '" << GetParam()
+                   << "' not available on this host/build";
+    }
+  }
+  void TearDown() override { simd::ForceKernelsForTest(nullptr); }
+};
+
+TEST_P(SoaEquivalenceKernels, PriorityScenarioMatchesGolden) {
   const GoldenRun run = RunPriorityGolden();
   CheckGolden("priority", run.hash, run.energy_bits, kPriorityHash, kPriorityEnergyBits);
 }
 
-TEST(SoaEquivalence, ShareScenarioMatchesGolden) {
+TEST_P(SoaEquivalenceKernels, ShareScenarioMatchesGolden) {
   const GoldenRun run = RunSharesGolden();
   CheckGolden("shares", run.hash, run.energy_bits, kSharesHash, kSharesEnergyBits);
 }
 
-TEST(SoaEquivalence, WebsearchScenarioMatchesGolden) {
+TEST_P(SoaEquivalenceKernels, WebsearchScenarioMatchesGolden) {
   const GoldenRun run = RunWebsearchGolden();
   CheckGolden("websearch", run.hash, run.energy_bits, kWebsearchHash, kWebsearchEnergyBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SoaEquivalenceKernels,
+                         ::testing::Values("scalar", "avx2"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// Offline lanes are pinned once by SetOnline(false) and skipped by every tick
+// pass: the result vectors must stay byte-for-byte untouched while the lane's
+// counters advance only by the constant C-state energy draw.
+TEST(SoaEquivalence, OfflineLaneResultsStayUntouched) {
+  Package pkg(SkylakeXeon4114());
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 6; i++) {
+    procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 11 + i));
+    pkg.AttachWork(i, procs.back().get());
+  }
+  for (int t = 0; t < 100; t++) {
+    pkg.Tick(kTick);
+  }
+  const int off = 3;
+  pkg.SetOnline(off, false);
+  const Core pinned = pkg.core(off);
+  EXPECT_EQ(pinned.effective_mhz().value(), 0.0);
+  EXPECT_EQ(pinned.last_slice().busy_fraction, 0.0);
+  EXPECT_EQ(pinned.last_slice().instructions, 0.0);
+  const Watts offline_w = pkg.power_model().OfflineCorePowerW();
+  EXPECT_EQ(pinned.power_w().value(), offline_w.value());
+
+  const double aperf0 = pinned.aperf_cycles();
+  const double mperf0 = pinned.mperf_cycles();
+  const double instr0 = pinned.instructions_retired();
+  Joules energy = pinned.energy_j();
+  for (int t = 0; t < 500; t++) {
+    pkg.Tick(kTick);
+    const Core c = pkg.core(off);
+    // Results pinned at offline time, bit-identical ever after.
+    ASSERT_EQ(c.effective_mhz().value(), 0.0);
+    ASSERT_EQ(c.power_w().value(), offline_w.value());
+    // busy = 0 means zero APERF/MPERF/instruction deltas; energy advances by
+    // exactly the offline draw.
+    ASSERT_EQ(c.aperf_cycles(), aperf0);
+    ASSERT_EQ(c.mperf_cycles(), mperf0);
+    ASSERT_EQ(c.instructions_retired(), instr0);
+    const Joules want{energy + offline_w * kTick};
+    ASSERT_EQ(c.energy_j().value(), want.value());
+    energy = c.energy_j();
+  }
+
+  // Back online: the lane resumes normal ticking.
+  pkg.SetOnline(off, true);
+  pkg.Tick(kTick);
+  EXPECT_GT(pkg.core(off).effective_mhz().value(), 0.0);
+  EXPECT_GT(pkg.core(off).last_slice().instructions, 0.0);
 }
 
 // Steady-state ticks must never touch the heap: the single-core work path
@@ -343,6 +426,32 @@ TEST(SoaEquivalence, SteadyStateTickIsAllocationFree) {
     const long after = g_alloc_count.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0) << "spinlock batch tick path allocated";
   }
+}
+
+// Multi-rate ticking must also stay off the heap: fast ticks, resyncs and
+// plan rebuilds all reuse pre-reserved scratch.
+TEST(SoaEquivalence, MultiRateTickIsAllocationFree) {
+  if (PrintGolden()) {
+    GTEST_SKIP() << "printing golden constants from the pre-refactor engine";
+  }
+  Package pkg(SkylakeXeon4114());
+  pkg.SetTickPolicy(TickPolicy::kMultiRate);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < 10; i++) {
+    procs.push_back(std::make_unique<Process>(GetProfile("gcc"), 1 + i));
+    pkg.AttachWork(i, procs.back().get());
+  }
+  for (int t = 0; t < 1000; t++) {
+    pkg.Tick(kTick);
+  }
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int t = 0; t < 1000; t++) {
+    pkg.Tick(kTick);
+  }
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "multi-rate tick path allocated";
+  EXPECT_GT(pkg.tick_stats().fast_ticks, 0u)
+      << "multi-rate never took the fast path for a steady gcc fleet";
 }
 
 }  // namespace

@@ -7,14 +7,17 @@ basic sanity (positive timings, non-empty sections).  It deliberately does
 NOT assert timing thresholds — CI runners are too noisy for that; regression
 triage reads the uploaded artifact instead.
 
-The one numeric assertion is opt-in: --baseline FILE compares the fresh
-micro `package_tick_10core_gcc` ns_per_iter against the baseline file's and
-fails on a regression beyond --max-regress-pct (default 3%).  The tracing
-macros compile to branch-on-null when disabled, so the hot tick must not
-move; this is the CI tripwire for that.
+The numeric assertions are opt-in via --baseline FILE:
+  * the fresh micro `package_tick_10core_gcc` ns_per_iter is compared
+    against the baseline file's and fails on a regression beyond
+    --max-regress-pct (default 3%) — the tracing macros compile to
+    branch-on-null when disabled, so the hot tick must not move;
+  * `package_tick_128core_multirate` must report speedup_vs_scalar of at
+    least --min-tick-speedup (default 5.0x) — the SIMD + multi-rate tick
+    engine's headline perf contract, self-relative so it holds on any host.
 
 Usage: check_bench_json.py BENCH_scenarios.json [--baseline FILE]
-                           [--max-regress-pct PCT]
+                           [--max-regress-pct PCT] [--min-tick-speedup X]
 Exits non-zero with file:field diagnostics when the schema is violated.
 """
 
@@ -90,15 +93,33 @@ def check(doc):
             for expected in (8, 64, 128):
                 if expected not in cores_seen:
                     fail("$.scaling.package_tick", f"missing entry for {expected} cores")
-        rack = require(scaling, "$.scaling", "rack_tick", dict)
-        if rack is not None:
-            sockets = require(rack, "$.scaling.rack_tick", "sockets", int)
+        engine = require(scaling, "$.scaling", "tick_engine", list)
+        if engine is not None:
+            names_seen = set()
+            for i, t in enumerate(engine):
+                path = f"$.scaling.tick_engine[{i}]"
+                name = require(t, path, "name", str)
+                if name is not None:
+                    names_seen.add(name)
+                require(t, path, "kernel", str)
+                for key in ("ns_per_iter", "ns_per_core", "speedup_vs_scalar"):
+                    v = require(t, path, key, float)
+                    if v is not None and v <= 0:
+                        fail(f"{path}.{key}", f"expected > 0, got {v}")
+            for expected in TICK_ENGINE_NAMES:
+                if expected not in names_seen:
+                    fail("$.scaling.tick_engine", f"missing entry '{expected}'")
+        for rack_key in ("rack_tick", "rack_tick_multirate"):
+            rack = require(scaling, "$.scaling", rack_key, dict)
+            if rack is None:
+                continue
+            sockets = require(rack, f"$.scaling.{rack_key}", "sockets", int)
             if sockets is not None and sockets < 2:
-                fail("$.scaling.rack_tick.sockets", f"expected >= 2, got {sockets}")
+                fail(f"$.scaling.{rack_key}.sockets", f"expected >= 2, got {sockets}")
             for key in ("wall_s_per_step", "sim_core_ticks_per_s"):
-                v = require(rack, "$.scaling.rack_tick", key, float)
+                v = require(rack, f"$.scaling.{rack_key}", key, float)
                 if v is not None and v <= 0:
-                    fail(f"$.scaling.rack_tick.{key}", f"expected > 0, got {v}")
+                    fail(f"$.scaling.{rack_key}.{key}", f"expected > 0, got {v}")
         allocs = require(scaling, "$.scaling", "steady_allocs_per_tick", int)
         if allocs is not None and allocs != 0:
             fail("$.scaling.steady_allocs_per_tick",
@@ -181,6 +202,23 @@ def check(doc):
 
 MICRO_BASELINE_NAME = "package_tick_10core_gcc"
 
+TICK_ENGINE_NAMES = (
+    "package_tick_128core_scalar",
+    "package_tick_128core_simd",
+    "package_tick_128core_multirate",
+)
+
+TICK_SPEEDUP_NAME = "package_tick_128core_multirate"
+
+
+def tick_engine_speedup(doc, name):
+    for entry in doc.get("scaling", {}).get("tick_engine", []):
+        if isinstance(entry, dict) and entry.get("name") == name:
+            value = entry.get("speedup_vs_scalar")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+    return None
+
 
 def micro_ns(doc, name):
     for entry in doc.get("micro", []):
@@ -217,6 +255,22 @@ def check_baseline(doc, baseline_path, max_regress_pct):
               f"({regress_pct:+.1f}%, limit {max_regress_pct:.1f}%)")
 
 
+def check_tick_speedup(doc, min_speedup):
+    """Enforces the tick-engine perf contract: SIMD + multi-rate ticking must
+    beat the forced-scalar every-tick reference by at least min_speedup on
+    the 128-core package."""
+    speedup = tick_engine_speedup(doc, TICK_SPEEDUP_NAME)
+    if speedup is None:
+        fail(f"$.scaling.tick_engine.{TICK_SPEEDUP_NAME}", "missing from fresh run")
+        return
+    if speedup < min_speedup:
+        fail(f"$.scaling.tick_engine.{TICK_SPEEDUP_NAME}",
+             f"speedup_vs_scalar {speedup:.2f}x below required {min_speedup:.2f}x")
+    else:
+        print(f"{TICK_SPEEDUP_NAME}: {speedup:.2f}x vs scalar "
+              f"(required {min_speedup:.2f}x)")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
@@ -224,6 +278,9 @@ def main(argv):
                         help="prior BENCH_scenarios.json to compare the hot-tick micro against")
     parser.add_argument("--max-regress-pct", type=float, default=3.0,
                         help="maximum allowed ns_per_iter regression (default 3%%)")
+    parser.add_argument("--min-tick-speedup", type=float, default=5.0,
+                        help="required 128-core multi-rate speedup vs forced "
+                             "scalar, enforced with --baseline (default 5.0)")
     args = parser.parse_args(argv[1:])
     try:
         with open(args.json_path) as f:
@@ -235,6 +292,7 @@ def main(argv):
     check(doc)
     if args.baseline:
         check_baseline(doc, args.baseline, args.max_regress_pct)
+        check_tick_speedup(doc, args.min_tick_speedup)
     for err in ERRORS:
         print(err, file=sys.stderr)
     if ERRORS:

@@ -468,6 +468,9 @@ VALUE_UNWRAP_WHITELIST = (
     "src/cpusim/rapl.cc",
     "src/cpusim/thermal.cc",
     "src/cpusim/power_model.cc",
+    # SIMD kernels reinterpret unit-typed vectors as raw doubles at the lane
+    # boundary; everything outside the kernel bodies stays in unit types.
+    "src/cpusim/simd/",
     "src/platform/voltage_curve.cc",
 )
 
@@ -555,6 +558,66 @@ def check_registry_completeness(
                 enum_line,
                 f"PolicyKind::{name} has no entry in kRegistry "
                 f"({impl.rel}); papdctl and the harness cannot name it",
+            )
+
+
+SIMD_DIR = "src/cpusim/simd/"
+# x86 vector intrinsics and types: _mm_*/_mm256_*/... calls, __m128/__m256/
+# __m512 (and integer/double variants) types, and the umbrella header.
+INTRINSIC_IDENT_RE = re.compile(r"^(_mm\w*|__m\d+\w*)$")
+SIMD_KERNEL_DEF_RE = re.compile(r"\b(?:void|int)\s+([A-Za-z0-9_]+)(Avx2|Scalar)\s*\(")
+
+
+@repo_rule(
+    "simd-guard",
+    "intrinsics only under src/cpusim/simd/; every Avx2 kernel has a Scalar twin",
+)
+def check_simd_guard(root: Path, contexts: list[FileContext]) -> Iterator[Finding]:
+    # (a) Vector intrinsics are quarantined in the SIMD module, where the
+    # scalar reference path and the bit-identity test fixture live.  Code
+    # elsewhere stays portable and goes through the dispatched kernel table.
+    for ctx in contexts:
+        if ctx.rel.startswith(SIMD_DIR):
+            continue
+        for tok in ctx.code_tokens():
+            if tok.kind == "ident" and INTRINSIC_IDENT_RE.match(tok.text):
+                yield Finding(
+                    "simd-guard",
+                    ctx.rel,
+                    tok.line,
+                    f"`{tok.text}` outside {SIMD_DIR}; vector intrinsics live in "
+                    "the SIMD module behind the TickKernels dispatch table",
+                )
+                break  # One finding per file is enough to fail the build.
+        for lineno, line in enumerate(ctx.code_lines, start=1):
+            if "immintrin.h" in line and "#include" in line:
+                yield Finding(
+                    "simd-guard",
+                    ctx.rel,
+                    lineno,
+                    f"<immintrin.h> included outside {SIMD_DIR}",
+                )
+
+    # (b) Every AVX2 kernel must keep its scalar reference implementation:
+    # the scalar path is both the no-AVX2 fallback and the bit-identity
+    # oracle the equivalence test compares against.
+    kernels: dict[str, dict[str, tuple[str, int]]] = {}
+    for ctx in contexts:
+        if not ctx.rel.startswith(SIMD_DIR):
+            continue
+        for lineno, line in enumerate(ctx.code_lines, start=1):
+            for m in SIMD_KERNEL_DEF_RE.finditer(line):
+                base, variant = m.groups()
+                kernels.setdefault(base, {})[variant] = (ctx.rel, lineno)
+    for base, variants in sorted(kernels.items()):
+        if "Avx2" in variants and "Scalar" not in variants:
+            rel, lineno = variants["Avx2"]
+            yield Finding(
+                "simd-guard",
+                rel,
+                lineno,
+                f"SIMD kernel `{base}Avx2` has no `{base}Scalar` reference "
+                "implementation (required as fallback and bit-identity oracle)",
             )
 
 
