@@ -14,6 +14,12 @@
 //   - batch:           the same scenario list run serially (loop over
 //                      RunScenario) and through RunScenarios on a thread
 //                      pool; reports the speedup;
+//   - cluster:         one BudgetTree control period at datacenter scale
+//                      (rows x racks x many-core sockets, >= 2048 simulated
+//                      cores), reporting sim-core-ticks/s, the hierarchical
+//                      arbiter's per-period overhead, and the worst
+//                      cap-invariant slack — the harness exits non-zero if
+//                      any grant sum ever exceeds its parent grant;
 //   - fault_tolerance: representative fault schedules (telemetry faults,
 //                      dropped writes) run naive vs hardened — ground-truth
 //                      power overshoot and degradation counters, so CI
@@ -48,6 +54,7 @@
 #include <new>
 
 #include "bench/perf_util.h"
+#include "src/cluster/budget_tree.h"
 #include "src/cluster/rack.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -306,6 +313,85 @@ ScalingResult RunScaling(bool quick) {
   return out;
 }
 
+// --- Cluster section ---------------------------------------------------------
+
+// One BudgetTree control period at datacenter scale.
+struct ClusterTiming {
+  int rows = 0;
+  int racks_per_row = 0;
+  int sockets_per_rack = 0;
+  int cores = 0;   // Total simulated cores across all leaves.
+  int levels = 0;  // Tree depth (dc -> row -> rack -> socket = 4).
+  int nodes = 0;
+  std::string tick_policy;
+  double wall_s_per_step = 0.0;
+  double sim_core_ticks_per_s = 0.0;
+  // Control-plane cost: the aggregate+ladder+arbitrate pass per period.
+  double arbiter_us_per_period = 0.0;
+  double arbiter_overhead_pct = 0.0;
+  // Worst (sum of child grants) - (parent grant) over the run; must be ~0.
+  Watts max_grant_overrun_w{0.0};
+};
+
+ClusterTiming RunCluster(bool quick, int jobs) {
+  ClusterTiming out;
+  out.rows = 2;
+  out.racks_per_row = quick ? 4 : 8;
+  out.sockets_per_rack = 4;
+
+  RackSocketConfig proto{.platform = ManyCoreXeon64()};
+  proto.apps = ManyCoreSpreadMix(proto.platform.num_cores, /*rotate=*/0).apps;
+  proto.policy = PolicyKind::kFrequencyShares;
+  proto.seed = 42;
+  proto.use_baseline_ips = false;
+
+  const int leaves = out.rows * out.racks_per_row * out.sockets_per_rack;
+  // Budget at 60% of the way between the cluster floor and ceiling: tight
+  // enough that the arbiter genuinely revokes, loose enough to stay above
+  // the floors.
+  const Watts socket_floor = SocketFloorW(proto);
+  const Watts socket_ceiling = SocketCeilingW(proto);
+  const Watts budget_w{(socket_floor + (socket_ceiling - socket_floor) * 0.6) *
+                       static_cast<double>(leaves)};
+
+  BudgetTreeConfig cfg =
+      MakeUniformCluster(out.rows, out.racks_per_row, out.sockets_per_rack, proto, budget_w);
+  cfg.arbiter = RackArbiterKind::kDemand;
+  // Every-tick simulation of thousands of cores is wasteful; the multi-rate
+  // engine is how the roadmap reaches cluster scale.
+  cfg.tick.policy = TickPolicy::kMultiRate;
+
+  BudgetTree tree(cfg);
+  out.cores = leaves * proto.platform.num_cores;
+  out.levels = tree.num_levels();
+  out.nodes = tree.num_nodes();
+  out.tick_policy = "multirate";
+
+  ThreadPool pool(jobs);
+  tree.Step(&pool);  // Warmup period (caches, memo tables, daemon spin-up).
+  out.max_grant_overrun_w = tree.max_grant_overrun_w();
+
+  const int steps = quick ? 2 : 5;
+  Seconds arbiter_wall_s{0.0};
+  const Seconds start = perf::NowS();
+  for (int s = 0; s < steps; s++) {
+    tree.Step(&pool);
+    arbiter_wall_s += tree.last_arbitrate_wall_s();
+    out.max_grant_overrun_w =
+        std::max(out.max_grant_overrun_w, tree.max_grant_overrun_w());
+  }
+  const double wall = (perf::NowS() - start).value();
+  out.wall_s_per_step = wall / steps;
+  const double core_ticks_per_step =
+      static_cast<double>(out.cores) * (cfg.control_period_s / cfg.tick_s);
+  out.sim_core_ticks_per_s = wall > 0.0 ? steps * core_ticks_per_step / wall : 0.0;
+  out.arbiter_us_per_period = arbiter_wall_s.value() / steps * 1e6;
+  out.arbiter_overhead_pct =
+      out.wall_s_per_step > 0.0 ? arbiter_wall_s.value() / steps / out.wall_s_per_step * 100.0
+                                : 0.0;
+  return out;
+}
+
 struct FaultRow {
   std::string schedule;
   bool hardened = false;
@@ -452,7 +538,8 @@ std::string JsonEscape(const std::string& s) {
 int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micro,
               const ScalingResult& scaling, const std::vector<ScenarioTiming>& scenarios,
               size_t batch_count, Seconds serial_s, Seconds parallel_s,
-              const std::vector<FaultRow>& faults, const ObsResult& obs) {
+              const ClusterTiming& cluster, const std::vector<FaultRow>& faults,
+              const ObsResult& obs) {
   FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -522,6 +609,20 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
   std::fprintf(f, "    \"serial_wall_s\": %.4f,\n", serial_s);
   std::fprintf(f, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
   std::fprintf(f, "    \"speedup\": %.2f\n", parallel_s > Seconds{0.0} ? serial_s / parallel_s : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cluster\": {\n");
+  std::fprintf(f, "    \"rows\": %d,\n", cluster.rows);
+  std::fprintf(f, "    \"racks_per_row\": %d,\n", cluster.racks_per_row);
+  std::fprintf(f, "    \"sockets_per_rack\": %d,\n", cluster.sockets_per_rack);
+  std::fprintf(f, "    \"cores\": %d,\n", cluster.cores);
+  std::fprintf(f, "    \"levels\": %d,\n", cluster.levels);
+  std::fprintf(f, "    \"nodes\": %d,\n", cluster.nodes);
+  std::fprintf(f, "    \"tick_policy\": \"%s\",\n", JsonEscape(cluster.tick_policy).c_str());
+  std::fprintf(f, "    \"wall_s_per_step\": %.4f,\n", cluster.wall_s_per_step);
+  std::fprintf(f, "    \"sim_core_ticks_per_s\": %.0f,\n", cluster.sim_core_ticks_per_s);
+  std::fprintf(f, "    \"arbiter_us_per_period\": %.1f,\n", cluster.arbiter_us_per_period);
+  std::fprintf(f, "    \"arbiter_overhead_pct\": %.4f,\n", cluster.arbiter_overhead_pct);
+  std::fprintf(f, "    \"max_grant_overrun_w\": %.9f\n", cluster.max_grant_overrun_w.value());
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fault_tolerance\": [\n");
   for (size_t i = 0; i < faults.size(); i++) {
@@ -649,6 +750,23 @@ int Main(int argc, char** argv) {
   std::printf("  serial %.3f s, parallel %.3f s, speedup %.2fx\n", serial_s.value(),
               parallel_s.value(), parallel_s > Seconds{0.0} ? serial_s / parallel_s : 0.0);
 
+  std::printf("perf_harness: cluster budget tree\n");
+  const ClusterTiming cluster = RunCluster(opt.quick, jobs);
+  std::printf(
+      "  %dx%dx%d topology, %d cores, %d nodes  %8.4f s/step  (%.0f core-ticks/s)\n",
+      cluster.rows, cluster.racks_per_row, cluster.sockets_per_rack, cluster.cores,
+      cluster.nodes, cluster.wall_s_per_step, cluster.sim_core_ticks_per_s);
+  std::printf("  arbiter %8.1f us/period (%.4f%% of step), max_grant_overrun %.9f W\n",
+              cluster.arbiter_us_per_period, cluster.arbiter_overhead_pct,
+              cluster.max_grant_overrun_w.value());
+  if (cluster.max_grant_overrun_w > Watts{1e-6}) {
+    std::fprintf(stderr,
+                 "perf_harness: FAIL — cluster grant sums exceeded a parent grant by %.9f W "
+                 "(cap invariant violated)\n",
+                 cluster.max_grant_overrun_w.value());
+    return 1;
+  }
+
   std::printf("perf_harness: fault-tolerance schedules\n");
   const std::vector<FaultRow> faults = RunFaultTolerance(opt.quick);
   for (const FaultRow& r : faults) {
@@ -672,7 +790,7 @@ int Main(int argc, char** argv) {
   }
 
   return WriteJson(opt, jobs, micro, scaling, scenarios, batch_configs.size(), serial_s,
-                   parallel_s, faults, obs);
+                   parallel_s, cluster, faults, obs);
 }
 
 }  // namespace

@@ -1,0 +1,454 @@
+#include "src/cluster/budget_tree.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/policy/min_funding.h"
+
+namespace papd {
+
+namespace {
+
+// Handler table for ClusterFaultKind — the registry the papd_lint
+// registry-completeness rule checks against the enum: every enumerator in
+// budget_tree.h must have a row here.
+struct ClusterFaultHandler {
+  ClusterFaultKind kind;
+  const char* name;
+};
+
+constexpr ClusterFaultHandler kClusterFaultHandlers[] = {
+    {ClusterFaultKind::kTelemetryStale, "telemetry-stale"},
+    {ClusterFaultKind::kBreakerTrip, "breaker-trip"},
+};
+
+static_assert(std::size(kClusterFaultHandlers) == kNumClusterFaultKinds,
+              "every ClusterFaultKind needs a handler row");
+
+bool FaultActive(const ClusterFault& fault, int64_t period) {
+  return period >= fault.start_period && period < fault.start_period + fault.periods;
+}
+
+}  // namespace
+
+const char* ClusterFaultKindName(ClusterFaultKind kind) {
+  for (const ClusterFaultHandler& handler : kClusterFaultHandlers) {
+    if (handler.kind == kind) {
+      return handler.name;
+    }
+  }
+  return "?";
+}
+
+struct BudgetTree::Node {
+  std::string path;
+  int parent = -1;
+  int level = 0;
+  std::vector<int> children;
+  double shares = 1.0;
+  int leaf_count = 0;  // Leaves in this node's subtree (1 for a leaf).
+
+  // Effective bounds (bubbled up at construction; see DeriveBounds).
+  Watts floor_w{0.0};
+  Watts ceiling_w{0.0};
+
+  std::unique_ptr<SocketStack> stack;  // Leaves only.
+  const RackSocketConfig* socket_cfg = nullptr;
+  const BudgetNodeConfig* cfg = nullptr;
+
+  Watts grant_w{0.0};
+  Watts measured_w{0.0};
+  Watts reported_w{0.0};
+  Watts last_good_w{0.0};
+  int stale_streak = 0;
+  bool stale = false;
+  bool breaker = false;
+};
+
+void BudgetTree::Flatten(const BudgetNodeConfig& cfg, int parent, int level) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.path = parent < 0 ? cfg.name : nodes_[static_cast<size_t>(parent)].path + "/" + cfg.name;
+  node.parent = parent;
+  node.level = level;
+  node.shares = cfg.shares;
+  node.cfg = &cfg;
+  num_levels_ = std::max(num_levels_, level + 1);
+  if (parent >= 0) {
+    nodes_[static_cast<size_t>(parent)].children.push_back(index);
+  }
+  if (cfg.children.empty()) {
+    PAPD_CHECK(cfg.socket.has_value()) << " leaf node " << node.path << " has no socket config";
+    node.socket_cfg = &*cfg.socket;
+    leaves_.push_back(index);
+  } else {
+    for (const BudgetNodeConfig& child : cfg.children) {
+      // Recursion may reallocate nodes_; `node` is not used past here.
+      Flatten(child, index, level + 1);
+    }
+  }
+}
+
+void BudgetTree::DeriveBounds() {
+  // Pre-order flattening puts every child after its parent, so one reverse
+  // pass sees all children before the node they roll up into.
+  for (size_t k = nodes_.size(); k-- > 0;) {
+    Node& node = nodes_[k];
+    Watts floor{0.0};
+    Watts ceiling{0.0};
+    if (node.children.empty()) {
+      ValidateSocketBudgetBounds(*node.socket_cfg);
+      floor = SocketFloorW(*node.socket_cfg);
+      ceiling = SocketCeilingW(*node.socket_cfg);
+      node.leaf_count = 1;
+    } else {
+      for (int c : node.children) {
+        floor += nodes_[static_cast<size_t>(c)].floor_w;
+        ceiling += nodes_[static_cast<size_t>(c)].ceiling_w;
+        node.leaf_count += nodes_[static_cast<size_t>(c)].leaf_count;
+      }
+    }
+    // Configured bounds tighten the derived ones: floors only rise (so a
+    // node's grant always covers its children's minimums — the structural
+    // basis of the cap invariant), ceilings only drop.
+    node.floor_w = std::max(node.cfg->min_budget_w, floor);
+    node.ceiling_w =
+        node.cfg->max_budget_w > Watts{0.0} ? std::min(node.cfg->max_budget_w, ceiling) : ceiling;
+    PAPD_CHECK_LE(node.floor_w, node.ceiling_w)
+        << " budget bounds inverted at tree node " << node.path
+        << "; raise max_budget_w or lower min_budget_w";
+  }
+}
+
+BudgetTree::BudgetTree(BudgetTreeConfig config) : config_(std::move(config)) {
+  Flatten(config_.root, /*parent=*/-1, /*level=*/0);
+  PAPD_CHECK(!leaves_.empty());
+  PAPD_CHECK_LT(nodes_.size(), size_t{1} << 15);  // Shards are int16_t.
+  DeriveBounds();
+
+  for (const ClusterFault& fault : config_.faults) {
+    const int node = FindNode(fault.node_path);
+    PAPD_CHECK_GE(node, 0) << " cluster fault targets unknown node " << fault.node_path;
+    PAPD_CHECK_GE(fault.start_period, 0);
+    PAPD_CHECK_GE(fault.periods, 1);
+    fault_nodes_.push_back(node);
+  }
+
+  // Initial top-down split — pure shares between floors and ceilings, no
+  // measurements yet — so every leaf daemon starts under its real grant.
+  Arbitrate(/*initial=*/true);
+  for (int leaf : leaves_) {
+    Node& node = nodes_[static_cast<size_t>(leaf)];
+    node.stack = std::make_unique<SocketStack>(*node.socket_cfg, config_.control_period_s,
+                                               config_.tick_s, node.grant_w, config_.obs,
+                                               static_cast<int16_t>(leaf), config_.tick);
+  }
+}
+
+BudgetTree::~BudgetTree() = default;
+
+int BudgetTree::num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+const std::string& BudgetTree::node_path(int node) const {
+  return nodes_[static_cast<size_t>(node)].path;
+}
+int BudgetTree::parent(int node) const { return nodes_[static_cast<size_t>(node)].parent; }
+int BudgetTree::level(int node) const { return nodes_[static_cast<size_t>(node)].level; }
+const std::vector<int>& BudgetTree::children(int node) const {
+  return nodes_[static_cast<size_t>(node)].children;
+}
+bool BudgetTree::is_leaf(int node) const {
+  return nodes_[static_cast<size_t>(node)].children.empty();
+}
+
+int BudgetTree::FindNode(const std::string& path) const {
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (nodes_[i].path == path) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Watts BudgetTree::grant_w(int node) const { return nodes_[static_cast<size_t>(node)].grant_w; }
+Watts BudgetTree::measured_w(int node) const {
+  return nodes_[static_cast<size_t>(node)].measured_w;
+}
+Watts BudgetTree::reported_w(int node) const {
+  return nodes_[static_cast<size_t>(node)].reported_w;
+}
+Watts BudgetTree::floor_w(int node) const { return nodes_[static_cast<size_t>(node)].floor_w; }
+Watts BudgetTree::ceiling_w(int node) const {
+  return nodes_[static_cast<size_t>(node)].ceiling_w;
+}
+int BudgetTree::stale_streak(int node) const {
+  return nodes_[static_cast<size_t>(node)].stale_streak;
+}
+bool BudgetTree::breaker_tripped(int node) const {
+  return nodes_[static_cast<size_t>(node)].breaker;
+}
+
+Watts BudgetTree::grant_sum_w(int node) const {
+  Watts sum{0.0};
+  for (int c : nodes_[static_cast<size_t>(node)].children) {
+    sum += nodes_[static_cast<size_t>(c)].grant_w;
+  }
+  return sum;
+}
+
+Watts BudgetTree::max_grant_overrun_w() const {
+  Watts worst{0.0};
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (nodes_[i].children.empty()) {
+      continue;
+    }
+    const Watts slack{grant_sum_w(static_cast<int>(i)) - nodes_[i].grant_w};
+    worst = std::max(worst, slack);
+  }
+  return worst;
+}
+
+Package& BudgetTree::package(int node) {
+  Node& n = nodes_[static_cast<size_t>(node)];
+  PAPD_CHECK(n.stack != nullptr) << " node " << n.path << " is not a leaf";
+  return n.stack->pkg;
+}
+
+const PowerDaemon& BudgetTree::daemon(int node) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  PAPD_CHECK(n.stack != nullptr) << " node " << n.path << " is not a leaf";
+  return *n.stack->daemon;
+}
+
+Seconds BudgetTree::now() const {
+  return nodes_[static_cast<size_t>(leaves_.front())].stack->pkg.now();
+}
+
+Watts BudgetTree::EffectiveCeiling(int node, bool use_demand) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.breaker) {
+    // Breaker tripped: everything above the guaranteed minimums is revoked.
+    // Feasible by construction — the floor covers the subtree's floors.
+    return n.floor_w;
+  }
+  Watts ceiling = n.ceiling_w;
+  if (use_demand && config_.arbiter == RackArbiterKind::kDemand) {
+    // Claim only slightly more than the (ladder-filtered) subtree draw, so
+    // idle subtrees release headroom; the +2 W/socket matches what a flat
+    // per-rack demand arbiter would claim for the same sockets.
+    const Watts demand{n.reported_w * 1.10 + Watts{2.0} * static_cast<double>(n.leaf_count)};
+    ceiling = std::clamp(demand, n.floor_w, ceiling);
+  }
+  return ceiling;
+}
+
+void BudgetTree::Arbitrate(bool initial) {
+  // Root: clamp the cluster budget into the root's effective range.  (A
+  // budget below the root floor grants the floor — minimums are honored
+  // over the cap, exactly like DistributeProportional's min_sum clamp.)
+  const bool use_demand = !initial;
+  Node& root = nodes_.front();
+  root.grant_w = std::clamp(config_.budget_w, root.floor_w, EffectiveCeiling(0, use_demand));
+
+  // Pre-order: every parent's grant is final before its children split it.
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    Node& node = nodes_[i];
+    if (!node.children.empty()) {
+      std::vector<ShareRequest> req(node.children.size());
+      for (size_t k = 0; k < node.children.size(); k++) {
+        const Node& child = nodes_[static_cast<size_t>(node.children[k])];
+        req[k] = ShareRequest{
+            .shares = child.shares,
+            .minimum = AsResourceUnits(child.floor_w),
+            .maximum = AsResourceUnits(EffectiveCeiling(node.children[k], use_demand))};
+      }
+      const std::vector<ResourceUnits> split =
+          DistributeProportional(AsResourceUnits(node.grant_w), req);
+      for (size_t k = 0; k < node.children.size(); k++) {
+        nodes_[static_cast<size_t>(node.children[k])].grant_w = Watts{split[k]};
+      }
+      // The cap invariant, enforced at every level of every arbitration:
+      // the split can undershoot the grant (ceilings bind) but never
+      // overshoot it (the grant covers the floors, so min_sum can't bind).
+      PAPD_CHECK_LE(grant_sum_w(static_cast<int>(i)), node.grant_w + Watts{1e-6})
+          << " child grants exceed parent grant at " << node.path;
+    }
+    if (!initial) {
+      if (node.stack != nullptr) {
+        node.stack->daemon->SetPowerLimit(node.grant_w);
+      }
+      if (config_.obs != nullptr) {
+        obs::TraceEvent event;
+        event.t = now();
+        event.type = obs::TraceEventType::kClusterGrant;
+        event.shard = static_cast<int16_t>(i);
+        event.index = static_cast<int32_t>(i);
+        event.code = node.level;
+        event.a = obs::ToPayload(node.grant_w);
+        event.b = obs::ToPayload(node.reported_w);
+        config_.obs->OnEvent(event);
+      }
+    }
+  }
+}
+
+void BudgetTree::RunFaultLadder() {
+  // Which nodes are directly faulted this period?
+  std::vector<uint8_t> stale_here(nodes_.size(), 0);
+  std::vector<uint8_t> breaker_here(nodes_.size(), 0);
+  for (size_t f = 0; f < config_.faults.size(); f++) {
+    if (!FaultActive(config_.faults[f], period_)) {
+      continue;
+    }
+    const size_t node = static_cast<size_t>(fault_nodes_[f]);
+    switch (config_.faults[f].kind) {
+      case ClusterFaultKind::kTelemetryStale:
+        stale_here[node] = 1;
+        break;
+      case ClusterFaultKind::kBreakerTrip:
+        breaker_here[node] = 1;
+        break;
+    }
+  }
+
+  // Forward pass (parents first): staleness covers the whole subtree — a
+  // dead rack aggregator blinds the arbiter to every socket beneath it.
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    Node& node = nodes_[i];
+    node.breaker = breaker_here[i] != 0;
+    node.stale = stale_here[i] != 0 ||
+                 (node.parent >= 0 && nodes_[static_cast<size_t>(node.parent)].stale);
+    if (!node.stale) {
+      node.stale_streak = 0;
+      node.last_good_w = node.measured_w;
+      node.reported_w = node.measured_w;
+      continue;
+    }
+    // The daemon's ladder, mirrored: kHold (trust the last-good value for a
+    // bounded number of periods), then kFallback (decay geometrically
+    // toward the floor, so a frozen sensor cannot hold a high claim).
+    node.stale_streak++;
+    if (node.stale_streak <= config_.stale_hold_periods) {
+      node.reported_w = node.last_good_w;
+    } else {
+      const double decay =
+          std::pow(config_.stale_decay, node.stale_streak - config_.stale_hold_periods);
+      node.reported_w = std::max(node.floor_w, node.last_good_w * decay);
+    }
+  }
+}
+
+void BudgetTree::Step(ThreadPool* pool) {
+  const size_t num_leaves = leaves_.size();
+  if (pool != nullptr) {
+    pool->ParallelFor(num_leaves, [this](size_t k) {
+      nodes_[static_cast<size_t>(leaves_[k])].stack->AdvancePeriod(config_.control_period_s);
+    });
+  } else {
+    for (size_t k = 0; k < num_leaves; k++) {
+      nodes_[static_cast<size_t>(leaves_[k])].stack->AdvancePeriod(config_.control_period_s);
+    }
+  }
+
+  // Everything below is the tree's control plane; time it separately from
+  // the (dominant) leaf simulation cost.
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Measured power aggregates bottom-up (children flattened after parents,
+  // so the reverse pass sees leaves first).
+  for (size_t k = nodes_.size(); k-- > 0;) {
+    Node& node = nodes_[k];
+    if (node.children.empty()) {
+      node.measured_w = node.stack->last_measured_w;
+    } else {
+      node.measured_w = Watts{0.0};
+      for (int c : node.children) {
+        node.measured_w += nodes_[static_cast<size_t>(c)].measured_w;
+      }
+    }
+  }
+
+  RunFaultLadder();
+
+  PeriodRecord record;
+  record.end_s = now();
+  record.grants_w.reserve(nodes_.size());
+  record.measured_w.reserve(nodes_.size());
+  record.reported_w.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    record.grants_w.push_back(node.grant_w);
+    record.measured_w.push_back(node.measured_w);
+    record.reported_w.push_back(node.reported_w);
+  }
+  history_.push_back(std::move(record));
+
+  Arbitrate(/*initial=*/false);
+  last_arbitrate_wall_s_ = Seconds{
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count()};
+  period_++;
+}
+
+BudgetTreeResult RunBudgetTree(const BudgetTreeConfig& config, Seconds warmup_s,
+                               Seconds measure_s, ThreadPool* pool) {
+  BudgetTree tree(config);
+  const auto periods = [&](Seconds span) {
+    return static_cast<int>(span / config.control_period_s + 0.5);
+  };
+  for (int p = 0; p < periods(warmup_s); p++) {
+    tree.Step(pool);
+  }
+
+  BudgetTreeResult result;
+  const int measure_periods = std::max(1, periods(measure_s));
+  const Seconds start_s{tree.now()};
+  // Grants in force when the window opens, and after every arbitration
+  // inside it — including the one closing the final period.
+  result.max_grant_overrun_w = tree.max_grant_overrun_w();
+  for (int p = 0; p < measure_periods; p++) {
+    tree.Step(pool);
+    result.max_grant_overrun_w = std::max(result.max_grant_overrun_w, tree.max_grant_overrun_w());
+    result.avg_root_w += tree.measured_w(0);
+    result.avg_arbiter_wall_s += tree.last_arbitrate_wall_s();
+  }
+  result.avg_root_w /= measure_periods;
+  result.avg_arbiter_wall_s /= measure_periods;
+  result.measured_s = tree.now() - start_s;
+  return result;
+}
+
+BudgetTreeConfig MakeUniformCluster(int rows, int racks_per_row, int sockets_per_rack,
+                                    const RackSocketConfig& socket_proto, Watts budget_w) {
+  PAPD_CHECK_GE(rows, 1);
+  PAPD_CHECK_GE(racks_per_row, 1);
+  PAPD_CHECK_GE(sockets_per_rack, 1);
+  BudgetTreeConfig config;
+  config.budget_w = budget_w;
+  config.root.name = "dc";
+  int leaf = 0;
+  for (int r = 0; r < rows; r++) {
+    BudgetNodeConfig row;
+    row.name = "row" + std::to_string(r);
+    for (int k = 0; k < racks_per_row; k++) {
+      BudgetNodeConfig rack;
+      rack.name = "rack" + std::to_string(k);
+      for (int s = 0; s < sockets_per_rack; s++) {
+        BudgetNodeConfig socket;
+        socket.name = "socket" + std::to_string(s);
+        socket.socket = socket_proto;
+        // Decorrelate the cloned workloads: same mix, different phase.
+        socket.socket->seed = socket_proto.seed + 7919ULL * static_cast<uint64_t>(leaf++);
+        rack.children.push_back(std::move(socket));
+      }
+      row.children.push_back(std::move(rack));
+    }
+    config.root.children.push_back(std::move(row));
+  }
+  return config;
+}
+
+}  // namespace papd

@@ -4,86 +4,8 @@
 
 #include "src/common/check.h"
 #include "src/policy/min_funding.h"
-#include "src/specsim/spec2017.h"
 
 namespace papd {
-
-namespace {
-
-Watts FloorFor(const RackSocketConfig& cfg) {
-  if (cfg.min_budget_w > Watts{0.0}) {
-    return cfg.min_budget_w;
-  }
-  return cfg.platform.has_rapl_limit ? cfg.platform.rapl_min_w : cfg.platform.tdp_w / 4.0;
-}
-
-Watts CeilingFor(const RackSocketConfig& cfg) {
-  if (cfg.max_budget_w > Watts{0.0}) {
-    return cfg.max_budget_w;
-  }
-  return cfg.platform.has_rapl_limit ? cfg.platform.rapl_max_w : cfg.platform.tdp_w;
-}
-
-}  // namespace
-
-// The per-socket pipeline, mirroring RunScenario's stack: the package, its
-// MSR surface, the pinned processes, the policy daemon, and a simulator
-// driving ticks + periodic daemon steps.  Sockets share nothing mutable, so
-// the rack can advance them on worker threads without synchronization.
-struct Rack::Socket {
-  Socket(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s, Watts initial_budget_w,
-         ObsSink* obs_sink, int16_t shard, const TickOptions& tick)
-      : config(cfg), pkg(cfg.platform), msr(&pkg), sim(&pkg, tick_s) {
-    PAPD_CHECK_LE(static_cast<int>(cfg.apps.size()), cfg.platform.num_cores);
-    pkg.SetTickPolicy(tick.policy, tick.max_hold_ticks);
-    std::vector<ManagedApp> managed;
-    for (size_t i = 0; i < cfg.apps.size(); i++) {
-      const AppSetup& setup = cfg.apps[i];
-      procs.push_back(
-          std::make_unique<Process>(GetProfile(setup.profile), cfg.seed + 1000 * i));
-      pkg.AttachWork(static_cast<int>(i), procs.back().get());
-      managed.push_back(ManagedApp{
-          .name = setup.profile,
-          .cpu = static_cast<int>(i),
-          .shares = setup.shares,
-          .high_priority = setup.high_priority,
-          .baseline_ips = cfg.use_baseline_ips
-                              ? Standalone(cfg.platform, setup.profile).ips
-                              : Ips{0.0},
-      });
-    }
-    for (int c = static_cast<int>(cfg.apps.size()); c < pkg.num_cores(); c++) {
-      pkg.SetRequestedMhz(c, cfg.platform.min_mhz);
-    }
-
-    DaemonConfig dcfg;
-    dcfg.kind = cfg.policy;
-    dcfg.power_limit_w = initial_budget_w;
-    dcfg.period_s = period_s;
-    dcfg.audit = cfg.audit;
-    // Shard-tagged events: each socket daemon stamps its own index, so a
-    // shared recorder can split the rack back into per-socket tracks.
-    dcfg.obs = DaemonObs{.sink = obs_sink, .shard = shard};
-    daemon = std::make_unique<PowerDaemon>(&msr, std::move(managed), dcfg);
-    daemon->Start();
-    sim.AddPeriodic(period_s, [this](Seconds) { daemon->Step(); });
-  }
-
-  // Advances one control period and records the average power drawn in it.
-  void AdvancePeriod(Seconds period_s) {
-    const Joules start_j{pkg.package_energy_j()};
-    sim.Run(period_s);
-    last_measured_w = (pkg.package_energy_j() - start_j) / period_s;
-  }
-
-  RackSocketConfig config;
-  Package pkg;
-  MsrFile msr;
-  std::vector<std::unique_ptr<Process>> procs;
-  std::unique_ptr<PowerDaemon> daemon;
-  Simulator sim;
-  Watts last_measured_w{0.0};
-};
 
 Rack::Rack(RackConfig config) : config_(std::move(config)) {
   PAPD_CHECK(!config_.sockets.empty());
@@ -91,21 +13,28 @@ Rack::Rack(RackConfig config) : config_(std::move(config)) {
   budgets_w_.assign(n, Watts{0.0});
   measured_w_.assign(n, Watts{0.0});
 
+  // Validate every socket's budget bounds before the initial split: the
+  // split (and later Arbitrate) clamps into [floor, ceiling], which is UB
+  // when the configured floor exceeds the ceiling.
+  for (const RackSocketConfig& cfg : config_.sockets) {
+    ValidateSocketBudgetBounds(cfg);
+  }
+
   // Initial split: proportional to shares between each socket's floor and
   // ceiling, before anything has been measured.
   std::vector<ShareRequest> req(n);
   for (size_t i = 0; i < n; i++) {
     req[i] = ShareRequest{.shares = config_.sockets[i].shares,
-                          .minimum = AsResourceUnits(FloorFor(config_.sockets[i])),
-                          .maximum = AsResourceUnits(CeilingFor(config_.sockets[i]))};
+                          .minimum = AsResourceUnits(SocketFloorW(config_.sockets[i])),
+                          .maximum = AsResourceUnits(SocketCeilingW(config_.sockets[i]))};
   }
   AssignBudgets(DistributeProportional(AsResourceUnits(config_.budget_w), req));
 
   sockets_.reserve(n);
   for (size_t i = 0; i < n; i++) {
-    sockets_.push_back(std::make_unique<Socket>(config_.sockets[i], config_.control_period_s,
-                                                config_.tick_s, budgets_w_[i], config_.obs,
-                                                static_cast<int16_t>(i), config_.tick));
+    sockets_.push_back(std::make_unique<SocketStack>(config_.sockets[i], config_.control_period_s,
+                                                     config_.tick_s, budgets_w_[i], config_.obs,
+                                                     static_cast<int16_t>(i), config_.tick));
   }
 }
 
@@ -159,8 +88,8 @@ void Rack::Arbitrate() {
   std::vector<ShareRequest> req(n);
   for (size_t i = 0; i < n; i++) {
     const RackSocketConfig& cfg = config_.sockets[i];
-    const Watts floor{FloorFor(cfg)};
-    Watts ceiling{CeilingFor(cfg)};
+    const Watts floor{SocketFloorW(cfg)};
+    Watts ceiling{SocketCeilingW(cfg)};
     if (config_.arbiter == RackArbiterKind::kDemand) {
       // Claim only slightly more than the measured draw, so idle sockets
       // release headroom; min-funding revocation hands it to busy ones.
@@ -201,9 +130,14 @@ RackResult RunRack(const RackConfig& config, Seconds warmup_s, Seconds measure_s
   result.socket_avg_w.assign(static_cast<size_t>(rack.num_sockets()), Watts{0.0});
   const int measure_periods = std::max(1, periods(measure_s));
   const Seconds start_s{rack.now()};
+  // Grants in force when the window opens...
+  result.max_budget_sum_w = rack.budget_sum_w();
   for (int p = 0; p < measure_periods; p++) {
-    result.max_budget_sum_w = std::max(result.max_budget_sum_w, rack.budget_sum_w());
     rack.Step(pool);
+    // ...and after every arbitration inside it, including the one that
+    // closes the final period — sampling before Step() instead would let
+    // the last re-split exceed the rack budget unnoticed.
+    result.max_budget_sum_w = std::max(result.max_budget_sum_w, rack.budget_sum_w());
     for (int s = 0; s < rack.num_sockets(); s++) {
       result.socket_avg_w[static_cast<size_t>(s)] += rack.measured_w()[static_cast<size_t>(s)];
     }

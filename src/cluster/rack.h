@@ -1,9 +1,9 @@
 // Rack-scale sharded simulation: N packages, one budget.
 //
-// A Rack runs N independent sockets — each a full Package + MsrFile +
-// PowerDaemon + Simulator stack, exactly the per-socket pipeline the
-// experiment harness builds — and layers a rack-level power arbiter on top.
-// Each control period:
+// A Rack runs N independent sockets — each a full SocketStack (Package +
+// MsrFile + PowerDaemon + Simulator, exactly the per-socket pipeline the
+// experiment harness builds; see src/cluster/socket_stack.h) — and layers a
+// rack-level power arbiter on top.  Each control period:
 //
 //   1. every socket advances one period of simulated time (fanned out on
 //      the ThreadPool; sockets share no mutable state, so results are
@@ -18,6 +18,9 @@
 // The arbiter guarantees sum(per-socket budgets) <= rack budget whenever
 // the budget covers the per-socket floors (see Arbitrate()); rack_test.cc
 // asserts this invariant over every period of every run.
+//
+// The recursive generalization — racks under rows under a datacenter cap,
+// the same arbiter at every level — lives in src/cluster/budget_tree.h.
 
 #ifndef SRC_CLUSTER_RACK_H_
 #define SRC_CLUSTER_RACK_H_
@@ -25,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/cluster/socket_stack.h"
 #include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/cpusim/package.h"
@@ -36,38 +40,6 @@
 #include "src/specsim/workload.h"
 
 namespace papd {
-
-// How the arbiter sizes each socket's claim before distributing.
-enum class RackArbiterKind {
-  // Pure share-proportional split between each socket's floor and ceiling.
-  kShares,
-  // Demand-following: a socket's claim is capped just above its measured
-  // draw, so surplus from lightly loaded sockets flows to busy ones
-  // (min-funding revocation does the redistribution).
-  kDemand,
-};
-
-// One socket of the rack: a platform running a fixed app mix under its own
-// PowerDaemon.
-struct RackSocketConfig {
-  PlatformSpec platform;
-  std::vector<AppSetup> apps;
-  PolicyKind policy = PolicyKind::kFrequencyShares;
-  // Arbiter share weight for budget splits.
-  double shares = 1.0;
-  // Budget floor the arbiter guarantees this socket (>= the socket's idle
-  // draw, or the daemon would throttle forever); 0 derives a floor from the
-  // platform's RAPL minimum (or 1/4 TDP without RAPL).
-  Watts min_budget_w{0.0};
-  // Budget ceiling; 0 derives it from rapl_max_w (or TDP without RAPL).
-  Watts max_budget_w{0.0};
-  uint64_t seed = 42;
-  // Run the per-socket daemon's invariant auditor.
-  bool audit = true;
-  // Use measured standalone baselines (kPerformanceShares needs them; costs
-  // one cached standalone simulation per distinct profile).
-  bool use_baseline_ips = true;
-};
 
 struct RackConfig {
   std::vector<RackSocketConfig> sockets;
@@ -124,8 +96,6 @@ class Rack {
   const std::vector<PeriodRecord>& history() const { return history_; }
 
  private:
-  struct Socket;
-
   void Arbitrate();
 
   // Adopts a min-funding split (dimensionless resource units) as the
@@ -138,7 +108,7 @@ class Rack {
   }
 
   RackConfig config_;
-  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::vector<std::unique_ptr<SocketStack>> sockets_;
   std::vector<Watts> budgets_w_;
   std::vector<Watts> measured_w_;
   std::vector<PeriodRecord> history_;
@@ -147,7 +117,9 @@ class Rack {
 // Summary statistics for a measured window of rack execution.
 struct RackResult {
   Watts avg_rack_w{0.0};
-  // Largest sum of simultaneous per-socket grants seen in the window.
+  // Largest sum of simultaneous per-socket grants seen at any arbitration
+  // touching the window — including the arbitration that closes the final
+  // period, so the last re-split is checked against the budget too.
   Watts max_budget_sum_w{0.0};
   std::vector<Watts> socket_avg_w;
   Seconds measured_s{0.0};

@@ -1,0 +1,82 @@
+#include "src/cluster/socket_stack.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/specsim/spec2017.h"
+
+namespace papd {
+
+Watts SocketFloorW(const RackSocketConfig& cfg) {
+  if (cfg.min_budget_w > Watts{0.0}) {
+    return cfg.min_budget_w;
+  }
+  return cfg.platform.has_rapl_limit ? cfg.platform.rapl_min_w : cfg.platform.tdp_w / 4.0;
+}
+
+Watts SocketCeilingW(const RackSocketConfig& cfg) {
+  if (cfg.max_budget_w > Watts{0.0}) {
+    return cfg.max_budget_w;
+  }
+  return cfg.platform.has_rapl_limit ? cfg.platform.rapl_max_w : cfg.platform.tdp_w;
+}
+
+void ValidateSocketBudgetBounds(const RackSocketConfig& cfg) {
+  PAPD_CHECK_LE(SocketFloorW(cfg), SocketCeilingW(cfg))
+      << " socket budget floor above ceiling (platform " << cfg.platform.name
+      << "); fix min_budget_w/max_budget_w";
+}
+
+SocketStack::SocketStack(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s,
+                         Watts initial_budget_w, ObsSink* obs_sink, int16_t shard,
+                         const TickOptions& tick)
+    : config(cfg), pkg(cfg.platform), msr(&pkg), sim(&pkg, tick_s) {
+  PAPD_CHECK_LE(static_cast<int>(cfg.apps.size()), cfg.platform.num_cores);
+  ValidateSocketBudgetBounds(cfg);
+  pkg.SetTickPolicy(tick.policy, tick.max_hold_ticks);
+  std::vector<ManagedApp> managed;
+  for (size_t i = 0; i < cfg.apps.size(); i++) {
+    const AppSetup& setup = cfg.apps[i];
+    procs.push_back(
+        std::make_unique<Process>(GetProfile(setup.profile), cfg.seed + 1000 * i));
+    pkg.AttachWork(static_cast<int>(i), procs.back().get());
+    managed.push_back(ManagedApp{
+        .name = setup.profile,
+        .cpu = static_cast<int>(i),
+        .shares = setup.shares,
+        .high_priority = setup.high_priority,
+        .baseline_ips = cfg.use_baseline_ips
+                            ? Standalone(cfg.platform, setup.profile).ips
+                            : Ips{0.0},
+    });
+  }
+  for (int c = static_cast<int>(cfg.apps.size()); c < pkg.num_cores(); c++) {
+    pkg.SetRequestedMhz(c, cfg.platform.min_mhz);
+  }
+
+  DaemonConfig dcfg;
+  dcfg.kind = cfg.policy;
+  dcfg.power_limit_w = initial_budget_w;
+  dcfg.period_s = period_s;
+  dcfg.audit = cfg.audit;
+  // Shard-tagged events: each socket daemon stamps its own index, so a
+  // shared recorder can split the rack/cluster back into per-socket tracks.
+  dcfg.obs = DaemonObs{.sink = obs_sink, .shard = shard};
+  daemon = std::make_unique<PowerDaemon>(&msr, std::move(managed), dcfg);
+  daemon->Start();
+  sim.AddPeriodic(period_s, [this](Seconds) { daemon->Step(); });
+}
+
+void SocketStack::AdvancePeriod(Seconds period_s) {
+  const Joules start_j{pkg.package_energy_j()};
+  const Seconds start_s{pkg.now()};
+  sim.Run(period_s);
+  // Divide the energy delta by the time the simulator *actually* advanced:
+  // when period_s is not an integer multiple of the tick, Run() overshoots
+  // by a fraction of a tick, and dividing by the nominal period would bias
+  // every measurement high (feeding a too-hot demand claim to the arbiter).
+  const Seconds elapsed_s{pkg.now() - start_s};
+  last_measured_w = (pkg.package_energy_j() - start_j) / elapsed_s;
+}
+
+}  // namespace papd

@@ -1,0 +1,94 @@
+// The per-socket simulation stack shared by the rack arbiter and the
+// cluster budget tree.
+//
+// A SocketStack is one full per-socket pipeline, mirroring RunScenario's
+// stack: the package, its MSR surface, the pinned processes, the policy
+// daemon, and a simulator driving ticks + periodic daemon steps.  Stacks
+// share nothing mutable, so a rack (or a budget tree's leaf set) can
+// advance them on worker threads without synchronization and stay
+// bit-identical to a serial run.
+
+#ifndef SRC_CLUSTER_SOCKET_STACK_H_
+#define SRC_CLUSTER_SOCKET_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/cpusim/package.h"
+#include "src/cpusim/simulator.h"
+#include "src/experiments/harness.h"
+#include "src/msr/msr.h"
+#include "src/policy/daemon.h"
+#include "src/specsim/workload.h"
+
+namespace papd {
+
+// How a budget arbiter (rack or tree node) sizes each child's claim before
+// distributing.
+enum class RackArbiterKind {
+  // Pure share-proportional split between each child's floor and ceiling.
+  kShares,
+  // Demand-following: a child's claim is capped just above its measured
+  // draw, so surplus from lightly loaded children flows to busy ones
+  // (min-funding revocation does the redistribution).
+  kDemand,
+};
+
+// One socket of a rack or budget tree: a platform running a fixed app mix
+// under its own PowerDaemon.
+struct RackSocketConfig {
+  PlatformSpec platform;
+  std::vector<AppSetup> apps;
+  PolicyKind policy = PolicyKind::kFrequencyShares;
+  // Arbiter share weight for budget splits.
+  double shares = 1.0;
+  // Budget floor the arbiter guarantees this socket (>= the socket's idle
+  // draw, or the daemon would throttle forever); 0 derives a floor from the
+  // platform's RAPL minimum (or 1/4 TDP without RAPL).
+  Watts min_budget_w{0.0};
+  // Budget ceiling; 0 derives it from rapl_max_w (or TDP without RAPL).
+  Watts max_budget_w{0.0};
+  uint64_t seed = 42;
+  // Run the per-socket daemon's invariant auditor.
+  bool audit = true;
+  // Use measured standalone baselines (kPerformanceShares needs them; costs
+  // one cached standalone simulation per distinct profile).
+  bool use_baseline_ips = true;
+};
+
+// Budget floor / ceiling an arbiter uses for this socket (explicit config
+// value, or derived from the platform).
+Watts SocketFloorW(const RackSocketConfig& cfg);
+Watts SocketCeilingW(const RackSocketConfig& cfg);
+
+// Aborts when the configured floor exceeds the ceiling.  Arbiters clamp
+// demand claims with std::clamp(demand, floor, ceiling), which is UB on an
+// inverted range — every arbiter validates its sockets up front instead of
+// trusting the config.
+void ValidateSocketBudgetBounds(const RackSocketConfig& cfg);
+
+struct SocketStack {
+  SocketStack(const RackSocketConfig& cfg, Seconds period_s, Seconds tick_s,
+              Watts initial_budget_w, ObsSink* obs_sink, int16_t shard,
+              const TickOptions& tick);
+
+  SocketStack(const SocketStack&) = delete;
+  SocketStack& operator=(const SocketStack&) = delete;
+
+  // Advances one control period and records the average power drawn in it.
+  void AdvancePeriod(Seconds period_s);
+
+  RackSocketConfig config;
+  Package pkg;
+  MsrFile msr;
+  std::vector<std::unique_ptr<Process>> procs;
+  std::unique_ptr<PowerDaemon> daemon;
+  Simulator sim;
+  Watts last_measured_w{0.0};
+};
+
+}  // namespace papd
+
+#endif  // SRC_CLUSTER_SOCKET_STACK_H_

@@ -97,6 +97,12 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
               "\"pid\":%d,\"args\":{\"grant_w\":%.3f,\"measured_w\":%.3f}}",
               e.index, ts_us, pid, e.a, e.b);
       break;
+    case TraceEventType::kClusterGrant:
+      Appendf(out,
+              "{\"name\":\"node%d level%d grant_w\",\"cat\":\"cluster\",\"ph\":\"C\",\"ts\":%.3f,"
+              "\"pid\":%d,\"args\":{\"grant_w\":%.3f,\"reported_w\":%.3f}}",
+              e.index, e.code, ts_us, pid, e.a, e.b);
+      break;
   }
 }
 

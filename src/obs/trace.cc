@@ -26,6 +26,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "pstate-write";
     case TraceEventType::kRackGrant:
       return "rack-grant";
+    case TraceEventType::kClusterGrant:
+      return "cluster-grant";
   }
   return "?";
 }

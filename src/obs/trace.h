@@ -14,6 +14,7 @@
 //   kLadderTransition         degradation-ladder state change
 //   kPstateWrite              P-state program + read-back verification
 //   kRackGrant                rack arbiter budget grant to one socket
+//   kClusterGrant             budget-tree arbiter grant to one tree node
 //
 // Emission has two paths:
 //   - components holding an ObsSink* (PowerDaemon, GovernorDaemon, Rack)
@@ -53,9 +54,10 @@ enum class TraceEventType : uint8_t {
   kLadderTransition,
   kPstateWrite,
   kRackGrant,
+  kClusterGrant,
 };
 
-inline constexpr int kNumTraceEventTypes = 8;
+inline constexpr int kNumTraceEventTypes = 9;
 
 const char* TraceEventTypeName(TraceEventType type);
 
@@ -83,6 +85,7 @@ constexpr TracePayload ToPayload(Quantity<Tag> q) {
 //   kLadderTransition old state      new state            bad streak   -
 //   kPstateWrite      app count      1 = verified ok      max MHz      min MHz
 //   kRackGrant        socket index   arbiter kind         grant W      measured W
+//   kClusterGrant     node index     tree level           grant W      reported W
 struct TraceEvent {
   Seconds t;  // Simulated time the event belongs to.
   TraceEventType type = TraceEventType::kPeriodBegin;

@@ -191,6 +191,60 @@ class RegistryCompletenessTest(unittest.TestCase):
         )
         self.assertNotIn("registry-completeness", rules_hit(findings))
 
+    def test_missing_cluster_fault_handler_flagged(self):
+        # ClusterFaultKind has an enum base (`: uint8_t`); the enum regex
+        # must still find it.
+        findings = lint_tree(
+            {
+                "src/cluster/budget_tree.h": "cluster_fault_header.txt",
+                "src/cluster/budget_tree.cc": "cluster_fault_impl_incomplete.txt",
+            }
+        )
+        msgs = [f for f in findings if f.rule == "registry-completeness"]
+        self.assertEqual(len(msgs), 1)
+        self.assertIn("ClusterFaultKind::kExperimental", msgs[0].message)
+        self.assertIn("kClusterFaultHandlers", msgs[0].message)
+
+    def test_complete_fault_handler_table_passes(self):
+        impl = (FIXTURES / "cluster_fault_impl_incomplete.txt").read_text().replace(
+            '    {ClusterFaultKind::kBreakerTrip, "breaker-trip"},',
+            '    {ClusterFaultKind::kBreakerTrip, "breaker-trip"},\n'
+            '    {ClusterFaultKind::kExperimental, "experimental"},',
+        )
+        findings = lint_tree(
+            {
+                "src/cluster/budget_tree.h": "cluster_fault_header.txt",
+                "src/cluster/budget_tree.cc": impl,
+            }
+        )
+        self.assertNotIn("registry-completeness", rules_hit(findings))
+
+    def test_specs_are_independent(self):
+        # A tree with only the policy subsystem must not be flagged for the
+        # missing cluster registry (and vice versa): the gate prefix skips
+        # specs whose subsystem is absent.
+        findings = lint_tree(
+            {
+                "src/policy/policy_registry.h": "registry_header.txt",
+                "src/policy/policy_registry.cc": "registry_impl_incomplete.txt",
+            }
+        )
+        msgs = [f for f in findings if f.rule == "registry-completeness"]
+        self.assertEqual(len(msgs), 1)
+        self.assertIn("PolicyKind::kExperimental", msgs[0].message)
+
+    def test_moved_registry_fails_loudly(self):
+        findings = lint_tree(
+            {
+                "src/cluster/budget_tree.h": "cluster_fault_header.txt",
+                # Impl renamed out from under the spec.
+                "src/cluster/faults.cc": "cluster_fault_impl_incomplete.txt",
+            }
+        )
+        msgs = [f for f in findings if f.rule == "registry-completeness"]
+        self.assertEqual(len(msgs), 1)
+        self.assertIn("REGISTRY_SPECS", msgs[0].message)
+
     def test_real_repo_registry_is_complete(self):
         findings, _ = papd_lint.run(REPO_ROOT)
         self.assertEqual(

@@ -74,6 +74,66 @@ TEST(DistributeProportional, MinimumFloorBreaksPureProportionality) {
   EXPECT_GT(alloc[1] / Sum(alloc), 0.01);  // Far above 1%.
 }
 
+// --- Degenerate inputs the budget tree feeds the distributor ----------------
+
+TEST(DistributeProportional, AllZeroSharesWithMinimumsGetMinimums) {
+  // A subtree whose children all carry zero shares (e.g. drained racks)
+  // still gets its guaranteed floors — nothing proportional to hand out.
+  const std::vector<ShareRequest> req = {
+      {.shares = 0.0, .minimum = 12.0, .maximum = 50.0},
+      {.shares = 0.0, .minimum = 8.0, .maximum = 40.0},
+      {.shares = 0.0, .minimum = 0.0, .maximum = 30.0},
+  };
+  const auto alloc = DistributeProportional(100.0, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 12.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 8.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 0.0);
+}
+
+TEST(DistributeProportional, SingleEntryClampsToOwnBounds) {
+  // Single-child interior nodes are common in degenerate trees; the split
+  // reduces to a clamp.
+  const std::vector<ShareRequest> req = {{.shares = 2.0, .minimum = 10.0, .maximum = 35.0}};
+  EXPECT_DOUBLE_EQ(DistributeProportional(5.0, req)[0], 10.0);   // Below the floor.
+  EXPECT_DOUBLE_EQ(DistributeProportional(20.0, req)[0], 20.0);  // In range.
+  EXPECT_DOUBLE_EQ(DistributeProportional(90.0, req)[0], 35.0);  // Above the ceiling.
+}
+
+TEST(DistributeProportional, TotalExactlyAtMinSumPinsEveryEntry) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 5.0, .minimum = 4.0, .maximum = 20.0},
+      {.shares = 1.0, .minimum = 6.0, .maximum = 20.0},
+  };
+  const auto alloc = DistributeProportional(10.0, req);  // == min_sum.
+  EXPECT_DOUBLE_EQ(alloc[0], 4.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 6.0);
+}
+
+TEST(DistributeProportional, TotalExactlyAtMaxSumSaturatesEveryEntry) {
+  const std::vector<ShareRequest> req = {
+      {.shares = 1.0, .minimum = 0.0, .maximum = 15.0},
+      {.shares = 7.0, .minimum = 2.0, .maximum = 25.0},
+  };
+  const auto alloc = DistributeProportional(40.0, req);  // == max_sum.
+  EXPECT_DOUBLE_EQ(alloc[0], 15.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 25.0);
+}
+
+TEST(DistributeProportional, ZeroSharesMixedWithPositiveSharesHoldMinimums) {
+  // Zero-share entries are pinned at their floor; the shared remainder goes
+  // to the positive-share entries only.
+  const std::vector<ShareRequest> req = {
+      {.shares = 0.0, .minimum = 5.0, .maximum = 50.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 50.0},
+      {.shares = 1.0, .minimum = 0.0, .maximum = 50.0},
+  };
+  const auto alloc = DistributeProportional(25.0, req);
+  EXPECT_DOUBLE_EQ(alloc[0], 5.0);
+  EXPECT_NEAR(alloc[1], 10.0, 1e-9);
+  EXPECT_NEAR(alloc[2], 10.0, 1e-9);
+  EXPECT_NEAR(Sum(alloc), 25.0, 1e-9);
+}
+
 TEST(DistributeDelta, PositiveDeltaProportional) {
   const std::vector<ShareRequest> req = {
       {.shares = 3.0, .minimum = 0.0, .maximum = 100.0},

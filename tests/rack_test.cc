@@ -125,6 +125,85 @@ TEST(Rack, MeasuredPowerTracksBudgets) {
   EXPECT_LT(result.avg_rack_w, cfg.budget_w * 1.25);
 }
 
+TEST(Rack, MeasuredPowerUsesActualElapsedTime) {
+  // With period/tick aligned (0.25 s / 0.001 s = 250 ticks) and misaligned
+  // (0.25 s / 0.004 s = 62.5 ticks, so Run() overshoots to 63 ticks), the
+  // measurement must be energy over the span the simulator ACTUALLY
+  // advanced.  Dividing by the nominal period would bias the misaligned
+  // case high and feed the demand arbiter an inflated claim.
+  for (const Seconds tick_s : {Seconds{0.001}, Seconds{0.004}}) {
+    RackConfig cfg = MakeRack(/*sockets=*/2, /*budget_w=*/Watts{90.0});
+    cfg.control_period_s = Seconds{0.25};
+    cfg.tick_s = tick_s;
+    Rack rack(cfg);
+    std::vector<Joules> start_j;
+    std::vector<Seconds> start_s;
+    for (int s = 0; s < rack.num_sockets(); s++) {
+      start_j.push_back(rack.package(s).package_energy_j());
+      start_s.push_back(rack.package(s).now());
+    }
+    rack.Step();
+    for (int s = 0; s < rack.num_sockets(); s++) {
+      const Seconds elapsed = rack.package(s).now() - start_s[static_cast<size_t>(s)];
+      const Joules delta{rack.package(s).package_energy_j() - start_j[static_cast<size_t>(s)]};
+      if (tick_s == Seconds{0.004}) {
+        // The misaligned pair really does overshoot the nominal period.
+        EXPECT_GT(elapsed, Seconds{0.2505});
+      } else {
+        EXPECT_NEAR(elapsed.value(), 0.25, 1e-9);
+      }
+      EXPECT_DOUBLE_EQ(rack.measured_w()[static_cast<size_t>(s)].value(),
+                       (delta / elapsed).value());
+    }
+  }
+}
+
+TEST(Rack, RunRackChecksFinalArbitrationAgainstBudget) {
+  // Regression for window accounting: max_budget_sum_w must cover the
+  // arbitration closing the FINAL measurement period, not just the grants
+  // in force when each period opens.  Replay a replica rack to find a
+  // period k where the budget sum rises across the arbitration (the demand
+  // arbiter's claims track fluctuating draw, so one exists), then measure
+  // exactly that period: the correct max is max(S_k, S_{k+1}); sampling
+  // before Step() would report only S_k.
+  const auto make = [] {
+    RackConfig cfg = MakeRack(/*sockets=*/2, /*budget_w=*/Watts{400.0});
+    cfg.arbiter = RackArbiterKind::kDemand;
+    return cfg;
+  };
+  std::vector<Watts> sums;  // sums[i] = budget sum after i Steps.
+  Rack replica(make());
+  sums.push_back(replica.budget_sum_w());
+  for (int p = 0; p < 12; p++) {
+    replica.Step();
+    sums.push_back(replica.budget_sum_w());
+  }
+  int rising = -1;
+  for (size_t k = 0; k + 1 < sums.size(); k++) {
+    if (sums[k + 1] > sums[k] + Watts{1e-9}) {
+      rising = static_cast<int>(k);
+      break;
+    }
+  }
+  ASSERT_GE(rising, 0) << "deterministic demand run never raised the budget sum";
+
+  const RackResult result = RunRack(make(), /*warmup_s=*/Seconds{1.0 * rising},
+                                    /*measure_s=*/Seconds{1.0});
+  EXPECT_DOUBLE_EQ(result.max_budget_sum_w.value(),
+                   std::max(sums[static_cast<size_t>(rising)],
+                            sums[static_cast<size_t>(rising) + 1]).value());
+}
+
+TEST(RackDeathTest, InvertedSocketBudgetBoundsAbort) {
+  // min_budget_w above max_budget_w would make the arbiter's
+  // std::clamp(demand, floor, ceiling) undefined behavior; construction
+  // must refuse the config instead.
+  RackConfig cfg = MakeRack(/*sockets=*/2, /*budget_w=*/Watts{160.0});
+  cfg.sockets[0].min_budget_w = Watts{80.0};
+  cfg.sockets[0].max_budget_w = Watts{40.0};
+  EXPECT_DEATH({ Rack rack(cfg); }, "floor above ceiling");
+}
+
 // --- Many-core presets -------------------------------------------------------
 
 TEST(ManyCorePresets, LaddersAreMonotoneAndCoverAllCores) {

@@ -14,10 +14,19 @@ The numeric assertions are opt-in via --baseline FILE:
     branch-on-null when disabled, so the hot tick must not move;
   * `package_tick_128core_multirate` must report speedup_vs_scalar of at
     least --min-tick-speedup (default 5.0x) — the SIMD + multi-rate tick
-    engine's headline perf contract, self-relative so it holds on any host.
+    engine's headline perf contract, self-relative so it holds on any host;
+  * the cluster section's sim_core_ticks_per_s must stay within
+    --max-cluster-regress-pct (default 30%) of the baseline's — wall-clock
+    throughput at >= 2048 simulated cores is the roadmap's scale headline,
+    and the loose limit absorbs runner noise on a multi-second measurement.
+
+The cluster section additionally carries its own structural contract
+regardless of --baseline: >= 2048 simulated cores, >= 3 tree levels, and a
+max_grant_overrun_w of ~0 (the hierarchical arbiter's cap invariant).
 
 Usage: check_bench_json.py BENCH_scenarios.json [--baseline FILE]
                            [--max-regress-pct PCT] [--min-tick-speedup X]
+                           [--max-cluster-regress-pct PCT]
 Exits non-zero with file:field diagnostics when the schema is violated.
 """
 
@@ -146,6 +155,36 @@ def check(doc):
             if v is not None and v <= 0:
                 fail(f"$.batch.{key}", f"expected > 0, got {v}")
 
+    cluster = require(doc, "$", "cluster", dict)
+    if cluster is not None:
+        for key in ("rows", "racks_per_row", "sockets_per_rack"):
+            v = require(cluster, "$.cluster", key, int)
+            if v is not None and v < 1:
+                fail(f"$.cluster.{key}", f"expected >= 1, got {v}")
+        cores = require(cluster, "$.cluster", "cores", int)
+        if cores is not None and cores < 2048:
+            fail("$.cluster.cores",
+                 f"expected >= 2048 simulated cores (cluster-scale contract), got {cores}")
+        levels = require(cluster, "$.cluster", "levels", int)
+        if levels is not None and levels < 3:
+            fail("$.cluster.levels", f"expected >= 3 tree levels, got {levels}")
+        nodes = require(cluster, "$.cluster", "nodes", int)
+        if nodes is not None and nodes < 3:
+            fail("$.cluster.nodes", f"expected >= 3, got {nodes}")
+        require(cluster, "$.cluster", "tick_policy", str)
+        for key in ("wall_s_per_step", "sim_core_ticks_per_s", "arbiter_us_per_period"):
+            v = require(cluster, "$.cluster", key, float)
+            if v is not None and v <= 0:
+                fail(f"$.cluster.{key}", f"expected > 0, got {v}")
+        pct = require(cluster, "$.cluster", "arbiter_overhead_pct", float)
+        if pct is not None and not 0 <= pct <= 100:
+            fail("$.cluster.arbiter_overhead_pct", f"expected in [0, 100], got {pct}")
+        overrun = require(cluster, "$.cluster", "max_grant_overrun_w", float)
+        if overrun is not None and not 0 <= overrun <= 1e-6:
+            fail("$.cluster.max_grant_overrun_w",
+                 f"cap invariant violated: child grants exceeded a parent grant "
+                 f"by {overrun} W (expected ~0)")
+
     faults = require(doc, "$", "fault_tolerance", list)
     if faults is not None:
         if not faults:
@@ -271,6 +310,39 @@ def check_tick_speedup(doc, min_speedup):
               f"(required {min_speedup:.2f}x)")
 
 
+def cluster_ticks_per_s(doc):
+    value = doc.get("cluster", {}).get("sim_core_ticks_per_s")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def check_cluster_throughput(doc, baseline_path, max_regress_pct):
+    """Gates cluster-scale simulation throughput against the baseline run."""
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(baseline_path, str(e))
+        return
+    fresh = cluster_ticks_per_s(doc)
+    ref = cluster_ticks_per_s(baseline)
+    if fresh is None:
+        fail("$.cluster.sim_core_ticks_per_s", "missing from fresh run")
+        return
+    if ref is None or ref <= 0:
+        fail(f"{baseline_path}: cluster.sim_core_ticks_per_s", "missing or non-positive")
+        return
+    regress_pct = 100.0 * (ref - fresh) / ref
+    if regress_pct > max_regress_pct:
+        fail("$.cluster.sim_core_ticks_per_s",
+             f"regressed {regress_pct:.1f}% vs baseline "
+             f"({fresh:.0f} vs {ref:.0f} core-ticks/s, limit {max_regress_pct:.1f}%)")
+    else:
+        print(f"cluster.sim_core_ticks_per_s: {fresh:.0f} vs baseline {ref:.0f} "
+              f"({-regress_pct:+.1f}%, limit -{max_regress_pct:.1f}%)")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
@@ -281,6 +353,9 @@ def main(argv):
     parser.add_argument("--min-tick-speedup", type=float, default=5.0,
                         help="required 128-core multi-rate speedup vs forced "
                              "scalar, enforced with --baseline (default 5.0)")
+    parser.add_argument("--max-cluster-regress-pct", type=float, default=30.0,
+                        help="maximum allowed cluster sim_core_ticks_per_s drop vs "
+                             "the baseline (default 30%%)")
     args = parser.parse_args(argv[1:])
     try:
         with open(args.json_path) as f:
@@ -293,6 +368,7 @@ def main(argv):
     if args.baseline:
         check_baseline(doc, args.baseline, args.max_regress_pct)
         check_tick_speedup(doc, args.min_tick_speedup)
+        check_cluster_throughput(doc, args.baseline, args.max_cluster_regress_pct)
     for err in ERRORS:
         print(err, file=sys.stderr)
     if ERRORS:
@@ -303,6 +379,7 @@ def main(argv):
           f"{len(doc['scenarios'])} scenarios, "
           f"{len(doc['fault_tolerance'])} fault entries, "
           f"{len(doc['obs']['metrics'])} obs metrics, "
+          f"cluster {doc['cluster']['cores']} cores, "
           f"batch speedup {doc['batch']['speedup']:.2f}x)")
     return 0
 

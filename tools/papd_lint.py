@@ -45,8 +45,11 @@ Rules:
                         export).  Tests, benches, examples, and tools are
                         assertion/printf boundaries and are not scanned.
 
-  registry-completeness Every PolicyKind enumerator must have an entry in the
-                        kRegistry table in src/policy/policy_registry.cc.
+  registry-completeness Every enumerator of a registered enum must appear in
+                        its handler table: PolicyKind vs kRegistry in
+                        src/policy/policy_registry.cc, and ClusterFaultKind vs
+                        kClusterFaultHandlers in src/cluster/budget_tree.cc
+                        (see REGISTRY_SPECS).
 
 Suppression: append `// papd-lint: allow(<rule>[, <rule>...])` to a line to
 waive named rules on that line.  The hot rules additionally honour the
@@ -505,60 +508,96 @@ def check_value_unwrap(ctx: FileContext) -> Iterator[Finding]:
             )
 
 
-ENUM_KIND_RE = re.compile(r"enum\s+class\s+PolicyKind\s*\{([^}]*)\}", re.DOTALL)
+@dataclass(frozen=True)
+class RegistrySpec:
+    """One enum whose implementation file must reference every enumerator."""
+
+    enum: str  # e.g. "PolicyKind"
+    header_rel: str  # file declaring `enum class <enum>`
+    impl_rel: str  # file holding the handler/registry table
+    gate_prefix: str  # subsystem prefix; spec is skipped if absent
+    table: str  # table name, for the diagnostic message
 
 
-@repo_rule("registry-completeness", "every PolicyKind has a kRegistry entry")
+REGISTRY_SPECS = (
+    RegistrySpec(
+        enum="PolicyKind",
+        header_rel="src/policy/policy_registry.h",
+        impl_rel="src/policy/policy_registry.cc",
+        gate_prefix="src/policy/",
+        table="kRegistry",
+    ),
+    RegistrySpec(
+        enum="ClusterFaultKind",
+        header_rel="src/cluster/budget_tree.h",
+        impl_rel="src/cluster/budget_tree.cc",
+        gate_prefix="src/cluster/",
+        table="kClusterFaultHandlers",
+    ),
+)
+
+
+def _enum_body_re(enum: str) -> re.Pattern[str]:
+    # Optional `: uint8_t`-style base before the brace.
+    return re.compile(
+        r"enum\s+class\s+" + enum + r"(?:\s*:\s*\w+)?\s*\{([^}]*)\}", re.DOTALL
+    )
+
+
+@repo_rule(
+    "registry-completeness",
+    "every registered enum's enumerators appear in its handler table",
+)
 def check_registry_completeness(
     root: Path, contexts: list[FileContext]
 ) -> Iterator[Finding]:
-    if not any(ctx.rel.startswith("src/policy/") for ctx in contexts):
-        return  # Tree without a policy layer (e.g. lint-rule fixtures).
     by_rel = {ctx.rel: ctx for ctx in contexts}
-    header = by_rel.get("src/policy/policy_registry.h")
-    impl = by_rel.get("src/policy/policy_registry.cc")
-    if header is None or impl is None:
-        # The registry moved: the rule must fail loudly, not silently pass.
-        missing = [
-            rel
-            for rel, ctx in (
-                ("src/policy/policy_registry.h", header),
-                ("src/policy/policy_registry.cc", impl),
+    for spec in REGISTRY_SPECS:
+        if not any(ctx.rel.startswith(spec.gate_prefix) for ctx in contexts):
+            continue  # Tree without this subsystem (e.g. lint-rule fixtures).
+        header = by_rel.get(spec.header_rel)
+        impl = by_rel.get(spec.impl_rel)
+        if header is None or impl is None:
+            # The registry moved: the rule must fail loudly, not silently pass.
+            missing = next(
+                rel
+                for rel, ctx in ((spec.header_rel, header), (spec.impl_rel, impl))
+                if ctx is None
             )
-            if ctx is None
-        ]
-        yield Finding(
-            "registry-completeness",
-            missing[0],
-            1,
-            "policy registry file not found; update registry-completeness in "
-            "tools/papd_lint.py if the registry moved",
-        )
-        return
-    clean_header = "\n".join(header.code_lines)
-    m = ENUM_KIND_RE.search(clean_header)
-    if m is None:
-        yield Finding(
-            "registry-completeness",
-            header.rel,
-            1,
-            "could not locate `enum class PolicyKind` in the registry header",
-        )
-        return
-    enum_line = clean_header[: m.start()].count("\n") + 1
-    enumerators = re.findall(r"\bk[A-Za-z0-9]+\b", m.group(1))
-    registered = set(
-        re.findall(r"PolicyKind::(k[A-Za-z0-9]+)", "\n".join(impl.code_lines))
-    )
-    for name in enumerators:
-        if name not in registered:
+            yield Finding(
+                "registry-completeness",
+                missing,
+                1,
+                f"{spec.enum} registry file not found; update REGISTRY_SPECS in "
+                "tools/papd_lint.py if the registry moved",
+            )
+            continue
+        clean_header = "\n".join(header.code_lines)
+        m = _enum_body_re(spec.enum).search(clean_header)
+        if m is None:
             yield Finding(
                 "registry-completeness",
                 header.rel,
-                enum_line,
-                f"PolicyKind::{name} has no entry in kRegistry "
-                f"({impl.rel}); papdctl and the harness cannot name it",
+                1,
+                f"could not locate `enum class {spec.enum}` in {header.rel}",
             )
+            continue
+        enum_line = clean_header[: m.start()].count("\n") + 1
+        enumerators = re.findall(r"\bk[A-Za-z0-9]+\b", m.group(1))
+        registered = set(
+            re.findall(
+                spec.enum + r"::(k[A-Za-z0-9]+)", "\n".join(impl.code_lines)
+            )
+        )
+        for name in enumerators:
+            if name not in registered:
+                yield Finding(
+                    "registry-completeness",
+                    header.rel,
+                    enum_line,
+                    f"{spec.enum}::{name} has no entry in {spec.table} "
+                    f"({impl.rel}); papdctl and the harness cannot name it",
+                )
 
 
 SIMD_DIR = "src/cpusim/simd/"
