@@ -20,6 +20,13 @@
 //                      arbiter's per-period overhead, and the worst
 //                      cap-invariant slack — the harness exits non-zero if
 //                      any grant sum ever exceeds its parent grant;
+//   - cluster_100k:    one >= 128k-core homogeneous BudgetTree stepped with
+//                      multi-rate ticking, socket-level steady-state hold
+//                      and replica memoization — reports sim-core-ticks/s
+//                      (must be >= 1e9), the replica-class hit rate, peak
+//                      RSS, and the steady-state allocations per step,
+//                      which must be zero — the harness exits non-zero
+//                      otherwise;
 //   - fault_tolerance: representative fault schedules (telemetry faults,
 //                      dropped writes) run naive vs hardened — ground-truth
 //                      power overshoot and degradation counters, so CI
@@ -52,6 +59,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+
+#include <sys/resource.h>
 
 #include "bench/perf_util.h"
 #include "src/cluster/budget_tree.h"
@@ -392,6 +401,99 @@ ClusterTiming RunCluster(bool quick, int jobs) {
   return out;
 }
 
+// --- 100k-core cluster section -----------------------------------------------
+
+// The tentpole scale point: a >= 128k-core homogeneous fleet stepped through
+// full control periods with every fast path engaged at once — multi-rate
+// ticking, socket-level steady-state hold, replica memoization, and the
+// hoisted-scratch control plane — so one leaf simulation (the class
+// representative) serves the whole cluster and the steady-state step
+// touches no heap at all.
+struct Cluster100kTiming {
+  int rows = 0;
+  int racks_per_row = 0;
+  int sockets_per_rack = 0;
+  int cores = 0;
+  int nodes = 0;
+  int replica_classes = 0;
+  int live_leaves = 0;
+  double replica_hit_rate = 0.0;
+  int measured_steps = 0;
+  double wall_s_per_step = 0.0;
+  double sim_core_ticks_per_s = 0.0;
+  long allocs_per_step = 0;
+  double peak_rss_mb = 0.0;
+  Watts max_grant_overrun_w{0.0};
+};
+
+Cluster100kTiming RunCluster100k(bool quick) {
+  Cluster100kTiming out;
+  out.rows = 4;
+  out.racks_per_row = 16;
+  out.sockets_per_rack = 16;  // 1024 sockets x 128 cores = 131072 cores.
+
+  RackSocketConfig proto{.platform = ManyCoreEpyc128()};
+  proto.apps = ManyCoreSpreadMix(proto.platform.num_cores, /*rotate=*/0).apps;
+  proto.policy = PolicyKind::kFrequencyShares;
+  proto.seed = 42;
+  proto.use_baseline_ips = false;
+
+  const int leaves = out.rows * out.racks_per_row * out.sockets_per_rack;
+  const Watts socket_floor = SocketFloorW(proto);
+  const Watts socket_ceiling = SocketCeilingW(proto);
+  const Watts budget_w{(socket_floor + (socket_ceiling - socket_floor) * 0.6) *
+                       static_cast<double>(leaves)};
+
+  // Identical seeds + the shares arbiter: grants are measurement-
+  // independent and bitwise-stable, so the whole fleet collapses into one
+  // replica class and every socket daemon reaches steady-state hold.
+  BudgetTreeConfig cfg = MakeUniformCluster(out.rows, out.racks_per_row, out.sockets_per_rack,
+                                            proto, budget_w, /*decorrelate_seeds=*/false);
+  cfg.arbiter = RackArbiterKind::kShares;
+  cfg.tick.policy = TickPolicy::kMultiRate;
+  cfg.tick.socket_hold = true;
+  cfg.tick.memoize_replicas = true;
+  cfg.record_history = false;
+
+  BudgetTree tree(cfg);
+  out.cores = leaves * proto.platform.num_cores;
+  out.nodes = tree.num_nodes();
+  out.replica_classes = tree.num_replica_classes();
+
+  // Warmup: the daemon takes ~6 periods to converge its P-state targets
+  // (epoch movements stop), then the hold predicate needs
+  // kQuietPeriodsToHold consecutive quiet periods before skipping steps.
+  const int warmup = 12;
+  for (int s = 0; s < warmup; s++) {
+    tree.Step();
+  }
+  out.max_grant_overrun_w = tree.max_grant_overrun_w();
+
+  const int steps = quick ? 4 : 16;
+  out.measured_steps = steps;
+  const long allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const Seconds start = perf::NowS();
+  for (int s = 0; s < steps; s++) {
+    tree.Step();
+    out.max_grant_overrun_w = std::max(out.max_grant_overrun_w, tree.max_grant_overrun_w());
+  }
+  const double wall = (perf::NowS() - start).value();
+  const long allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.allocs_per_step = (allocs + steps - 1) / steps;
+  out.live_leaves = tree.num_live_leaves();
+  out.replica_hit_rate = tree.replica_hit_rate();
+  out.wall_s_per_step = wall / steps;
+  const double core_ticks_per_step =
+      static_cast<double>(out.cores) * (cfg.control_period_s / cfg.tick_s);
+  out.sim_core_ticks_per_s = wall > 0.0 ? steps * core_ticks_per_step / wall : 0.0;
+
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    out.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB.
+  }
+  return out;
+}
+
 struct FaultRow {
   std::string schedule;
   bool hardened = false;
@@ -538,8 +640,8 @@ std::string JsonEscape(const std::string& s) {
 int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micro,
               const ScalingResult& scaling, const std::vector<ScenarioTiming>& scenarios,
               size_t batch_count, Seconds serial_s, Seconds parallel_s,
-              const ClusterTiming& cluster, const std::vector<FaultRow>& faults,
-              const ObsResult& obs) {
+              const ClusterTiming& cluster, const Cluster100kTiming& cluster_100k,
+              const std::vector<FaultRow>& faults, const ObsResult& obs) {
   FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -623,6 +725,23 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
   std::fprintf(f, "    \"arbiter_us_per_period\": %.1f,\n", cluster.arbiter_us_per_period);
   std::fprintf(f, "    \"arbiter_overhead_pct\": %.4f,\n", cluster.arbiter_overhead_pct);
   std::fprintf(f, "    \"max_grant_overrun_w\": %.9f\n", cluster.max_grant_overrun_w.value());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cluster_100k\": {\n");
+  std::fprintf(f, "    \"rows\": %d,\n", cluster_100k.rows);
+  std::fprintf(f, "    \"racks_per_row\": %d,\n", cluster_100k.racks_per_row);
+  std::fprintf(f, "    \"sockets_per_rack\": %d,\n", cluster_100k.sockets_per_rack);
+  std::fprintf(f, "    \"cores\": %d,\n", cluster_100k.cores);
+  std::fprintf(f, "    \"nodes\": %d,\n", cluster_100k.nodes);
+  std::fprintf(f, "    \"replica_classes\": %d,\n", cluster_100k.replica_classes);
+  std::fprintf(f, "    \"live_leaves\": %d,\n", cluster_100k.live_leaves);
+  std::fprintf(f, "    \"replica_hit_rate\": %.6f,\n", cluster_100k.replica_hit_rate);
+  std::fprintf(f, "    \"measured_steps\": %d,\n", cluster_100k.measured_steps);
+  std::fprintf(f, "    \"wall_s_per_step\": %.6f,\n", cluster_100k.wall_s_per_step);
+  std::fprintf(f, "    \"sim_core_ticks_per_s\": %.0f,\n", cluster_100k.sim_core_ticks_per_s);
+  std::fprintf(f, "    \"allocs_per_step\": %ld,\n", cluster_100k.allocs_per_step);
+  std::fprintf(f, "    \"peak_rss_mb\": %.1f,\n", cluster_100k.peak_rss_mb);
+  std::fprintf(f, "    \"max_grant_overrun_w\": %.9f\n",
+               cluster_100k.max_grant_overrun_w.value());
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fault_tolerance\": [\n");
   for (size_t i = 0; i < faults.size(); i++) {
@@ -767,6 +886,38 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  std::printf("perf_harness: 100k-core cluster (hold + memoization + sharding)\n");
+  const Cluster100kTiming cluster_100k = RunCluster100k(opt.quick);
+  std::printf(
+      "  %dx%dx%d topology, %d cores, %d replica classes, %d live leaves\n",
+      cluster_100k.rows, cluster_100k.racks_per_row, cluster_100k.sockets_per_rack,
+      cluster_100k.cores, cluster_100k.replica_classes, cluster_100k.live_leaves);
+  std::printf("  %8.6f s/step  %.3g core-ticks/s  hit_rate %.4f  rss %.1f MB  allocs/step %ld\n",
+              cluster_100k.wall_s_per_step, cluster_100k.sim_core_ticks_per_s,
+              cluster_100k.replica_hit_rate, cluster_100k.peak_rss_mb,
+              cluster_100k.allocs_per_step);
+  if (cluster_100k.allocs_per_step != 0) {
+    std::fprintf(stderr,
+                 "perf_harness: FAIL — 100k-core steady-state Step performed %ld allocations "
+                 "per step (expected 0)\n",
+                 cluster_100k.allocs_per_step);
+    return 1;
+  }
+  if (cluster_100k.sim_core_ticks_per_s < 1e9) {
+    std::fprintf(stderr,
+                 "perf_harness: FAIL — 100k-core cluster stepped at %.3g sim-core-ticks/s "
+                 "(floor 1e9)\n",
+                 cluster_100k.sim_core_ticks_per_s);
+    return 1;
+  }
+  if (cluster_100k.max_grant_overrun_w > Watts{1e-6}) {
+    std::fprintf(stderr,
+                 "perf_harness: FAIL — 100k-core cluster grant sums exceeded a parent grant "
+                 "by %.9f W (cap invariant violated)\n",
+                 cluster_100k.max_grant_overrun_w.value());
+    return 1;
+  }
+
   std::printf("perf_harness: fault-tolerance schedules\n");
   const std::vector<FaultRow> faults = RunFaultTolerance(opt.quick);
   for (const FaultRow& r : faults) {
@@ -790,7 +941,7 @@ int Main(int argc, char** argv) {
   }
 
   return WriteJson(opt, jobs, micro, scaling, scenarios, batch_configs.size(), serial_s,
-                   parallel_s, cluster, faults, obs);
+                   parallel_s, cluster, cluster_100k, faults, obs);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <iterator>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/check.h"
@@ -32,6 +34,11 @@ static_assert(std::size(kClusterFaultHandlers) == kNumClusterFaultKinds,
 bool FaultActive(const ClusterFault& fault, int64_t period) {
   return period >= fault.start_period && period < fault.start_period + fault.periods;
 }
+
+// Bitwise grant comparison for replica divergence checks: memoization must
+// resync on *any* representational change, so this is memcmp, not ==, and
+// is immune to -0.0 and NaN surprises.
+bool SameBits(Watts a, Watts b) { return std::memcmp(&a, &b, sizeof a) == 0; }
 
 }  // namespace
 
@@ -142,11 +149,65 @@ BudgetTree::BudgetTree(BudgetTreeConfig config) : config_(std::move(config)) {
   // Initial top-down split — pure shares between floors and ceilings, no
   // measurements yet — so every leaf daemon starts under its real grant.
   Arbitrate(/*initial=*/true);
+  BuildReplicaClasses();
   for (int leaf : leaves_) {
     Node& node = nodes_[static_cast<size_t>(leaf)];
+    const int cls = node_class_[static_cast<size_t>(leaf)];
+    if (cls >= 0 && classes_[static_cast<size_t>(cls)].rep != leaf) {
+      continue;  // Memoized replica: no stack until its grant diverges.
+    }
     node.stack = std::make_unique<SocketStack>(*node.socket_cfg, config_.control_period_s,
                                                config_.tick_s, node.grant_w, config_.obs,
                                                static_cast<int16_t>(leaf), config_.tick);
+  }
+  // now() and measurement fan-out rely on the first leaf being live; the
+  // first leaf in pre-order is the representative of its own class.
+  PAPD_CHECK(nodes_[static_cast<size_t>(leaves_.front())].stack != nullptr);
+
+  leaf_live_.assign(leaves_.size(), 0);
+  for (size_t k = 0; k < leaves_.size(); k++) {
+    leaf_live_[k] = nodes_[static_cast<size_t>(leaves_[k])].stack != nullptr ? 1 : 0;
+  }
+
+  // Pre-size the hoisted arbitration scratch so even the first Step's
+  // control plane never touches the heap.
+  size_t max_children = 0;
+  for (const Node& node : nodes_) {
+    max_children = std::max(max_children, node.children.size());
+  }
+  scratch_req_.reserve(max_children);
+  scratch_split_.alloc.reserve(max_children);
+  scratch_split_.pinned.reserve(max_children);
+  scratch_stale_here_.reserve(nodes_.size());
+  scratch_breaker_here_.reserve(nodes_.size());
+}
+
+void BudgetTree::BuildReplicaClasses() {
+  node_class_.assign(nodes_.size(), -1);
+  if (!config_.tick.memoize_replicas) {
+    return;
+  }
+  // Key: the full socket-configuration hash plus the initial grant bits.
+  // Two leaves with equal keys run bit-identical simulations for as long as
+  // their grants stay bitwise equal, so one representative (the lowest
+  // pre-order member) can stand in for the whole class each period.
+  std::unordered_map<uint64_t, int> by_key;
+  for (int leaf : leaves_) {
+    const Node& node = nodes_[static_cast<size_t>(leaf)];
+    uint64_t key = HashSocketConfig(*node.socket_cfg);
+    const double grant = AsResourceUnits(node.grant_w);
+    uint64_t grant_bits = 0;
+    static_assert(sizeof grant_bits == sizeof grant);
+    std::memcpy(&grant_bits, &grant, sizeof grant_bits);
+    key = (key ^ grant_bits) * 1099511628211ULL;  // FNV-1a fold.
+    const auto [it, fresh] = by_key.emplace(key, static_cast<int>(classes_.size()));
+    if (fresh) {
+      classes_.emplace_back();
+      classes_.back().rep = leaf;
+      classes_.back().grant_log.reserve(4);
+    }
+    classes_[static_cast<size_t>(it->second)].members.push_back(leaf);
+    node_class_[static_cast<size_t>(leaf)] = it->second;
   }
 }
 
@@ -215,18 +276,148 @@ Watts BudgetTree::max_grant_overrun_w() const {
 
 Package& BudgetTree::package(int node) {
   Node& n = nodes_[static_cast<size_t>(node)];
-  PAPD_CHECK(n.stack != nullptr) << " node " << n.path << " is not a leaf";
+  PAPD_CHECK(n.children.empty()) << " node " << n.path << " is not a leaf";
+  MaterializeLeaf(node);  // No-op when already live.
   return n.stack->pkg;
 }
 
 const PowerDaemon& BudgetTree::daemon(int node) const {
   const Node& n = nodes_[static_cast<size_t>(node)];
-  PAPD_CHECK(n.stack != nullptr) << " node " << n.path << " is not a leaf";
+  PAPD_CHECK(n.children.empty()) << " node " << n.path << " is not a leaf";
+  // Materializing is a cache fill — replaying the representative's history
+  // yields the exact state a live stack would hold — not an observable
+  // state change, so the const_cast is sound.
+  const_cast<BudgetTree*>(this)->MaterializeLeaf(node);
   return *n.stack->daemon;
 }
 
 Seconds BudgetTree::now() const {
+  // The first leaf is always live (checked at construction).
   return nodes_[static_cast<size_t>(leaves_.front())].stack->pkg.now();
+}
+
+int BudgetTree::num_live_leaves() const {
+  int live = 0;
+  for (int leaf : leaves_) {
+    live += nodes_[static_cast<size_t>(leaf)].stack != nullptr ? 1 : 0;
+  }
+  return live;
+}
+
+double BudgetTree::replica_hit_rate() const {
+  if (total_leaf_periods_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(memo_leaf_periods_) / static_cast<double>(total_leaf_periods_);
+}
+
+void BudgetTree::MaterializeLeaf(int node) {
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.stack != nullptr) {
+    return;
+  }
+  const int cls_index = node_class_[static_cast<size_t>(node)];
+  PAPD_CHECK_GE(cls_index, 0) << " stackless leaf " << n.path << " has no replica class";
+  const ReplicaClass& cls = classes_[static_cast<size_t>(cls_index)];
+  // Reconstruct the replica by replaying the representative's grant
+  // history.  Every completed period of this member ran under a grant that
+  // matched the representative's bitwise (else it would have materialized
+  // earlier), so a fresh stack constructed under the first logged grant and
+  // stepped through the log is bit-identical to one that had been live from
+  // construction.
+  const Watts initial = cls.grant_log.empty() ? n.grant_w : cls.grant_log.front().grant_w;
+  n.stack = std::make_unique<SocketStack>(*n.socket_cfg, config_.control_period_s, config_.tick_s,
+                                          initial, config_.obs, static_cast<int16_t>(node),
+                                          config_.tick);
+  int64_t replayed = 0;
+  for (const GrantRun& run : cls.grant_log) {
+    for (int64_t p = 0; p < run.periods; p++, replayed++) {
+      if (replayed > 0) {
+        // Arbitrate() calls SetPowerLimit on every live leaf after every
+        // period (even when unchanged); mirror that exactly so RAPL
+        // reprogramming and its control-epoch bumps line up.
+        n.stack->daemon->SetPowerLimit(run.grant_w);
+      }
+      n.stack->AdvancePeriod(config_.control_period_s);
+    }
+  }
+  if (replayed > 0) {
+    // The grant the last arbitration put in force for the upcoming period.
+    n.stack->daemon->SetPowerLimit(n.grant_w);
+  }
+  for (size_t k = 0; k < leaves_.size(); k++) {
+    if (leaves_[k] == node) {
+      leaf_live_[k] = 1;
+      break;
+    }
+  }
+}
+
+// PAPD_HOT — per period; the log append is amortized O(1) with no heap
+// touch while grants hold (the run-length tail just extends).
+void BudgetTree::PrepareMemoPeriod() {
+  for (ReplicaClass& cls : classes_) {
+    const Node& rep = nodes_[static_cast<size_t>(cls.rep)];
+    // A member whose grant no longer matches the representative's bitwise
+    // stops being a replica: replay the shared history into a live stack
+    // before this period advances.
+    for (size_t m = 1; m < cls.members.size(); m++) {
+      Node& member = nodes_[static_cast<size_t>(cls.members[m])];
+      if (member.stack == nullptr && !SameBits(member.grant_w, rep.grant_w)) {
+        MaterializeLeaf(cls.members[m]);
+      }
+    }
+    // Record the grant in force for the period about to run.
+    if (!cls.grant_log.empty() && SameBits(cls.grant_log.back().grant_w, rep.grant_w)) {
+      cls.grant_log.back().periods++;
+    } else {
+      cls.grant_log.push_back(GrantRun{rep.grant_w, 1});  // PAPD_HOT_ALLOW grant change (resync)
+    }
+  }
+}
+
+void BudgetTree::EnsureShardTeam(int threads) {
+  const int want = std::max(1, std::min(threads, static_cast<int>(leaves_.size())));
+  if (team_ != nullptr && team_->shards() == want) {
+    return;
+  }
+  team_.reset();
+  shards_.assign(static_cast<size_t>(want), ShardArena{});
+  const size_t n = leaves_.size();
+  for (int s = 0; s < want; s++) {
+    // Static contiguous partition: leaves_ is in pre-order, so each shard
+    // covers a topology-contiguous run of sockets (subtree locality).
+    shards_[static_cast<size_t>(s)].begin = static_cast<int>(n * static_cast<size_t>(s) /
+                                                             static_cast<size_t>(want));
+    shards_[static_cast<size_t>(s)].end = static_cast<int>(n * (static_cast<size_t>(s) + 1) /
+                                                           static_cast<size_t>(want));
+  }
+  team_ = std::make_unique<ShardTeam>(want, [this](int shard) {
+    ShardArena& arena = shards_[static_cast<size_t>(shard)];
+    for (int k = arena.begin; k < arena.end; k++) {
+      if (leaf_live_[static_cast<size_t>(k)] != 0) {
+        nodes_[static_cast<size_t>(leaves_[static_cast<size_t>(k)])].stack->AdvancePeriod(
+            config_.control_period_s);
+        arena.periods_advanced++;
+      }
+    }
+  });
+}
+
+// PAPD_HOT — the steady-state fan-out reuses the persistent team; no tasks
+// are enqueued and nothing is allocated.
+void BudgetTree::AdvanceLiveLeaves(ThreadPool* pool) {
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  if (threads <= 1 || leaves_.size() <= 1) {
+    for (size_t k = 0; k < leaves_.size(); k++) {
+      if (leaf_live_[k] != 0) {
+        nodes_[static_cast<size_t>(leaves_[k])].stack->AdvancePeriod(config_.control_period_s);
+      }
+    }
+    return;
+  }
+  EnsureShardTeam(threads);
+  team_->RunOnce();
 }
 
 Watts BudgetTree::EffectiveCeiling(int node, bool use_demand) const {
@@ -247,6 +438,8 @@ Watts BudgetTree::EffectiveCeiling(int node, bool use_demand) const {
   return ceiling;
 }
 
+// PAPD_HOT — runs at every node of every period; the request and split
+// buffers are hoisted members so steady-state arbitration is heap-free.
 void BudgetTree::Arbitrate(bool initial) {
   // Root: clamp the cluster budget into the root's effective range.  (A
   // budget below the root floor grants the floor — minimums are honored
@@ -259,16 +452,16 @@ void BudgetTree::Arbitrate(bool initial) {
   for (size_t i = 0; i < nodes_.size(); i++) {
     Node& node = nodes_[i];
     if (!node.children.empty()) {
-      std::vector<ShareRequest> req(node.children.size());
+      scratch_req_.assign(node.children.size(), ShareRequest{});
       for (size_t k = 0; k < node.children.size(); k++) {
         const Node& child = nodes_[static_cast<size_t>(node.children[k])];
-        req[k] = ShareRequest{
+        scratch_req_[k] = ShareRequest{
             .shares = child.shares,
             .minimum = AsResourceUnits(child.floor_w),
             .maximum = AsResourceUnits(EffectiveCeiling(node.children[k], use_demand))};
       }
-      const std::vector<ResourceUnits> split =
-          DistributeProportional(AsResourceUnits(node.grant_w), req);
+      const std::vector<ResourceUnits>& split =
+          DistributeProportional(AsResourceUnits(node.grant_w), scratch_req_, &scratch_split_);
       for (size_t k = 0; k < node.children.size(); k++) {
         nodes_[static_cast<size_t>(node.children[k])].grant_w = Watts{split[k]};
       }
@@ -297,10 +490,12 @@ void BudgetTree::Arbitrate(bool initial) {
   }
 }
 
+// PAPD_HOT — per period; the fault masks live in hoisted member scratch
+// (assign() keeps capacity, pre-reserved at construction).
 void BudgetTree::RunFaultLadder() {
   // Which nodes are directly faulted this period?
-  std::vector<uint8_t> stale_here(nodes_.size(), 0);
-  std::vector<uint8_t> breaker_here(nodes_.size(), 0);
+  scratch_stale_here_.assign(nodes_.size(), 0);
+  scratch_breaker_here_.assign(nodes_.size(), 0);
   for (size_t f = 0; f < config_.faults.size(); f++) {
     if (!FaultActive(config_.faults[f], period_)) {
       continue;
@@ -308,10 +503,10 @@ void BudgetTree::RunFaultLadder() {
     const size_t node = static_cast<size_t>(fault_nodes_[f]);
     switch (config_.faults[f].kind) {
       case ClusterFaultKind::kTelemetryStale:
-        stale_here[node] = 1;
+        scratch_stale_here_[node] = 1;
         break;
       case ClusterFaultKind::kBreakerTrip:
-        breaker_here[node] = 1;
+        scratch_breaker_here_[node] = 1;
         break;
     }
   }
@@ -320,8 +515,8 @@ void BudgetTree::RunFaultLadder() {
   // dead rack aggregator blinds the arbiter to every socket beneath it.
   for (size_t i = 0; i < nodes_.size(); i++) {
     Node& node = nodes_[i];
-    node.breaker = breaker_here[i] != 0;
-    node.stale = stale_here[i] != 0 ||
+    node.breaker = scratch_breaker_here_[i] != 0;
+    node.stale = scratch_stale_here_[i] != 0 ||
                  (node.parent >= 0 && nodes_[static_cast<size_t>(node.parent)].stale);
     if (!node.stale) {
       node.stale_streak = 0;
@@ -343,38 +538,7 @@ void BudgetTree::RunFaultLadder() {
   }
 }
 
-void BudgetTree::Step(ThreadPool* pool) {
-  const size_t num_leaves = leaves_.size();
-  if (pool != nullptr) {
-    pool->ParallelFor(num_leaves, [this](size_t k) {
-      nodes_[static_cast<size_t>(leaves_[k])].stack->AdvancePeriod(config_.control_period_s);
-    });
-  } else {
-    for (size_t k = 0; k < num_leaves; k++) {
-      nodes_[static_cast<size_t>(leaves_[k])].stack->AdvancePeriod(config_.control_period_s);
-    }
-  }
-
-  // Everything below is the tree's control plane; time it separately from
-  // the (dominant) leaf simulation cost.
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  // Measured power aggregates bottom-up (children flattened after parents,
-  // so the reverse pass sees leaves first).
-  for (size_t k = nodes_.size(); k-- > 0;) {
-    Node& node = nodes_[k];
-    if (node.children.empty()) {
-      node.measured_w = node.stack->last_measured_w;
-    } else {
-      node.measured_w = Watts{0.0};
-      for (int c : node.children) {
-        node.measured_w += nodes_[static_cast<size_t>(c)].measured_w;
-      }
-    }
-  }
-
-  RunFaultLadder();
-
+void BudgetTree::RecordHistory() {
   PeriodRecord record;
   record.end_s = now();
   record.grants_w.reserve(nodes_.size());
@@ -386,6 +550,49 @@ void BudgetTree::Step(ThreadPool* pool) {
     record.reported_w.push_back(node.reported_w);
   }
   history_.push_back(std::move(record));
+}
+
+// PAPD_HOT — the 128k-core steady-state step must not touch the heap:
+// replicas are served by fan-out, live leaves run on the persistent shard
+// team, and the control plane below uses hoisted scratch throughout.
+void BudgetTree::Step(ThreadPool* pool) {
+  if (!classes_.empty()) {
+    PrepareMemoPeriod();
+  }
+  AdvanceLiveLeaves(pool);
+  total_leaf_periods_ += leaves_.size();
+
+  // Everything below is the tree's control plane; time it separately from
+  // the (dominant) leaf simulation cost.
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Measured power aggregates bottom-up (children flattened after parents,
+  // so the reverse pass sees leaves first).  A memoized replica reports its
+  // representative's measurement — that stack already advanced this period,
+  // so last_measured_w is current regardless of traversal order.
+  for (size_t k = nodes_.size(); k-- > 0;) {
+    Node& node = nodes_[k];
+    if (node.children.empty()) {
+      if (node.stack != nullptr) {
+        node.measured_w = node.stack->last_measured_w;
+      } else {
+        const ReplicaClass& cls = classes_[static_cast<size_t>(node_class_[k])];
+        node.measured_w = nodes_[static_cast<size_t>(cls.rep)].stack->last_measured_w;
+        memo_leaf_periods_++;
+      }
+    } else {
+      node.measured_w = Watts{0.0};
+      for (int c : node.children) {
+        node.measured_w += nodes_[static_cast<size_t>(c)].measured_w;
+      }
+    }
+  }
+
+  RunFaultLadder();
+
+  if (config_.record_history) {
+    RecordHistory();
+  }
 
   Arbitrate(/*initial=*/false);
   last_arbitrate_wall_s_ = Seconds{
@@ -422,7 +629,8 @@ BudgetTreeResult RunBudgetTree(const BudgetTreeConfig& config, Seconds warmup_s,
 }
 
 BudgetTreeConfig MakeUniformCluster(int rows, int racks_per_row, int sockets_per_rack,
-                                    const RackSocketConfig& socket_proto, Watts budget_w) {
+                                    const RackSocketConfig& socket_proto, Watts budget_w,
+                                    bool decorrelate_seeds) {
   PAPD_CHECK_GE(rows, 1);
   PAPD_CHECK_GE(racks_per_row, 1);
   PAPD_CHECK_GE(sockets_per_rack, 1);
@@ -440,8 +648,11 @@ BudgetTreeConfig MakeUniformCluster(int rows, int racks_per_row, int sockets_per
         BudgetNodeConfig socket;
         socket.name = "socket" + std::to_string(s);
         socket.socket = socket_proto;
-        // Decorrelate the cloned workloads: same mix, different phase.
-        socket.socket->seed = socket_proto.seed + 7919ULL * static_cast<uint64_t>(leaf++);
+        if (decorrelate_seeds) {
+          // Decorrelate the cloned workloads: same mix, different phase.
+          socket.socket->seed = socket_proto.seed + 7919ULL * static_cast<uint64_t>(leaf);
+        }
+        leaf++;
         rack.children.push_back(std::move(socket));
       }
       row.children.push_back(std::move(rack));

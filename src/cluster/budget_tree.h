@@ -51,6 +51,7 @@
 #include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/obs/trace.h"
+#include "src/policy/min_funding.h"
 
 namespace papd {
 
@@ -111,6 +112,9 @@ struct BudgetTreeConfig {
   // periods, then decay it by stale_decay per period toward the floor.
   int stale_hold_periods = 3;
   double stale_decay = 0.5;
+  // Record a PeriodRecord per Step.  Off for the 100k-core bench: at 10^3+
+  // nodes the per-period snapshot dominates the step's allocations.
+  bool record_history = true;
 };
 
 class BudgetTree {
@@ -121,9 +125,14 @@ class BudgetTree {
   BudgetTree(const BudgetTree&) = delete;
   BudgetTree& operator=(const BudgetTree&) = delete;
 
-  // Advances every leaf one control period (on `pool` when given, else
-  // serially — results bit-identical either way), aggregates measurements
-  // up, runs the fault ladder, and re-arbitrates grants down.
+  // Advances every leaf one control period (in parallel when `pool` is
+  // given, else serially — results bit-identical either way), aggregates
+  // measurements up, runs the fault ladder, and re-arbitrates grants down.
+  // A non-null pool only contributes its thread *count*: leaves run on a
+  // persistent ShardTeam with static, topology-contiguous leaf->thread
+  // partitions (built on first parallel Step; rebuilt only when the count
+  // changes), so the steady-state step enqueues nothing and allocates
+  // nothing.
   void Step(ThreadPool* pool = nullptr);
 
   // --- Topology (flat pre-order indexing; parent index < child index) ---
@@ -153,9 +162,26 @@ class BudgetTree {
   // floored at zero — the cap-invariant slack; ~0 always.
   Watts max_grant_overrun_w() const;
 
-  // Leaf internals (aborts on interior nodes).
+  // Leaf internals (aborts on interior nodes).  Under replica memoization a
+  // memoized leaf is materialized first (its representative's grant history
+  // is replayed into a fresh stack), so external mutation through these
+  // accessors always touches a live, self-consistent socket.
   Package& package(int node);
   const PowerDaemon& daemon(int node) const;
+
+  // --- Replica memoization (config_.tick.memoize_replicas) --------------
+  // Leaves are grouped into equivalence classes by HashSocketConfig plus
+  // the initial grant bits; only one representative per class is simulated
+  // each period, and its measurement fans out to the class.  A member whose
+  // grant diverges from its representative's (bitwise) is materialized by
+  // replaying the representative's recorded grant run-lengths, then steps
+  // independently from that period on.
+  int num_replica_classes() const { return static_cast<int>(classes_.size()); }
+  // Leaves currently simulated for real (representatives + materialized).
+  int num_live_leaves() const;
+  // Fraction of leaf-periods so far that were served by fan-out instead of
+  // simulation; 0 when memoization is off.
+  double replica_hit_rate() const;
 
   Seconds now() const;
   int64_t periods() const { return period_; }
@@ -177,11 +203,30 @@ class BudgetTree {
  private:
   struct Node;
 
+  // One class of identical leaves: the representative is simulated, the
+  // rest replay its results until their grants diverge.
+  struct GrantRun {
+    Watts grant_w{0.0};
+    int64_t periods = 0;
+  };
+  struct ReplicaClass {
+    int rep = -1;                     // Flat node index (lowest in class).
+    std::vector<int> members;         // Flat node indices, rep first.
+    std::vector<GrantRun> grant_log;  // RLE of the rep's per-period grants.
+  };
+
   void Flatten(const BudgetNodeConfig& cfg, int parent, int level);
   void DeriveBounds();
   Watts EffectiveCeiling(int node, bool use_demand) const;
   void Arbitrate(bool initial);
   void RunFaultLadder();
+  void BuildReplicaClasses();
+  // Divergence checks + grant-log append for the period about to run.
+  void PrepareMemoPeriod();
+  void MaterializeLeaf(int node);
+  void EnsureShardTeam(int threads);
+  void AdvanceLiveLeaves(ThreadPool* pool);
+  void RecordHistory();
 
   BudgetTreeConfig config_;
   std::vector<Node> nodes_;
@@ -191,6 +236,31 @@ class BudgetTree {
   int64_t period_ = 0;
   Seconds last_arbitrate_wall_s_{0.0};
   std::vector<PeriodRecord> history_;
+
+  // Replica memoization state (empty when memoize_replicas is off).
+  std::vector<ReplicaClass> classes_;
+  std::vector<int> node_class_;  // Per flat node: class index, or -1.
+  uint64_t memo_leaf_periods_ = 0;
+  uint64_t total_leaf_periods_ = 0;
+
+  // Persistent leaf sharding: static contiguous partitions of leaves_
+  // (pre-order contiguity keeps each shard inside one subtree) plus a
+  // per-shard arena the shard alone touches while the team runs.
+  struct ShardArena {
+    int begin = 0;  // leaves_ index range [begin, end).
+    int end = 0;
+    uint64_t periods_advanced = 0;
+  };
+  std::vector<ShardArena> shards_;
+  std::unique_ptr<ShardTeam> team_;
+  std::vector<uint8_t> leaf_live_;  // Per leaves_ index: step this period?
+
+  // Hoisted arbitration scratch: the control plane runs every period at
+  // every node and must not allocate (PAPD_HOT).
+  std::vector<ShareRequest> scratch_req_;
+  MinFundingScratch scratch_split_;
+  std::vector<uint8_t> scratch_stale_here_;
+  std::vector<uint8_t> scratch_breaker_here_;
 };
 
 // Summary of a measured window of tree execution.
@@ -209,10 +279,14 @@ BudgetTreeResult RunBudgetTree(const BudgetTreeConfig& config, Seconds warmup_s,
                                Seconds measure_s, ThreadPool* pool = nullptr);
 
 // A uniform rows x racks x sockets topology ("dc/row{r}/rack{k}/socket{s}")
-// with every socket cloned from `socket_proto` (seeds perturbed per leaf so
-// workloads decorrelate).
+// with every socket cloned from `socket_proto`.  By default seeds are
+// perturbed per leaf so the cloned workloads decorrelate; pass
+// decorrelate_seeds = false for a truly homogeneous fleet (every leaf
+// bit-identical), the configuration replica memoization collapses to a
+// single equivalence class.
 BudgetTreeConfig MakeUniformCluster(int rows, int racks_per_row, int sockets_per_rack,
-                                    const RackSocketConfig& socket_proto, Watts budget_w);
+                                    const RackSocketConfig& socket_proto, Watts budget_w,
+                                    bool decorrelate_seeds = true);
 
 }  // namespace papd
 

@@ -36,6 +36,34 @@ Rack::Rack(RackConfig config) : config_(std::move(config)) {
                                                      config_.tick_s, budgets_w_[i], config_.obs,
                                                      static_cast<int16_t>(i), config_.tick));
   }
+
+  // Pre-size the hoisted arbitration scratch so the first Step's split is
+  // already heap-free.
+  scratch_req_.reserve(n);
+  scratch_split_.alloc.reserve(n);
+  scratch_split_.pinned.reserve(n);
+}
+
+void Rack::EnsureShardTeam(int threads) {
+  const int want = std::max(1, std::min(threads, static_cast<int>(sockets_.size())));
+  if (team_ != nullptr && team_->shards() == want) {
+    return;
+  }
+  team_.reset();
+  shards_.assign(static_cast<size_t>(want), Shard{});
+  const size_t n = sockets_.size();
+  for (int s = 0; s < want; s++) {
+    shards_[static_cast<size_t>(s)].begin =
+        static_cast<int>(n * static_cast<size_t>(s) / static_cast<size_t>(want));
+    shards_[static_cast<size_t>(s)].end =
+        static_cast<int>(n * (static_cast<size_t>(s) + 1) / static_cast<size_t>(want));
+  }
+  team_ = std::make_unique<ShardTeam>(want, [this](int shard) {
+    const Shard& range = shards_[static_cast<size_t>(shard)];
+    for (int i = range.begin; i < range.end; i++) {
+      sockets_[static_cast<size_t>(i)]->AdvancePeriod(config_.control_period_s);
+    }
+  });
 }
 
 Rack::~Rack() = default;
@@ -66,10 +94,12 @@ const PowerDaemon& Rack::daemon(int socket) const {
 
 void Rack::Step(ThreadPool* pool) {
   const size_t n = sockets_.size();
-  // Fan the sockets out; the barrier at the end of ParallelFor means the
-  // arbiter below always sees a consistent rack state.
-  if (pool != nullptr) {
-    pool->ParallelFor(n, [this](size_t i) { sockets_[i]->AdvancePeriod(config_.control_period_s); });
+  // Fan the sockets out; the barrier at the end of ShardTeam::RunOnce means
+  // the arbiter below always sees a consistent rack state.
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  if (threads > 1 && n > 1) {
+    EnsureShardTeam(threads);
+    team_->RunOnce();
   } else {
     for (size_t i = 0; i < n; i++) {
       sockets_[i]->AdvancePeriod(config_.control_period_s);
@@ -83,9 +113,10 @@ void Rack::Step(ThreadPool* pool) {
   Arbitrate();
 }
 
+// PAPD_HOT — per period; request and split buffers are hoisted members.
 void Rack::Arbitrate() {
   const size_t n = sockets_.size();
-  std::vector<ShareRequest> req(n);
+  scratch_req_.assign(n, ShareRequest{});
   for (size_t i = 0; i < n; i++) {
     const RackSocketConfig& cfg = config_.sockets[i];
     const Watts floor{SocketFloorW(cfg)};
@@ -96,10 +127,11 @@ void Rack::Arbitrate() {
       const Watts demand{measured_w_[i] * 1.10 + Watts{2.0}};
       ceiling = std::clamp(demand, floor, ceiling);
     }
-    req[i] = ShareRequest{
+    scratch_req_[i] = ShareRequest{
         .shares = cfg.shares, .minimum = AsResourceUnits(floor), .maximum = AsResourceUnits(ceiling)};
   }
-  AssignBudgets(DistributeProportional(AsResourceUnits(config_.budget_w), req));
+  AssignBudgets(DistributeProportional(AsResourceUnits(config_.budget_w), scratch_req_,
+                                       &scratch_split_));
   for (size_t i = 0; i < n; i++) {
     sockets_[i]->daemon->SetPowerLimit(budgets_w_[i]);
     if (config_.obs != nullptr) {

@@ -70,9 +70,12 @@ class Rack {
   int num_sockets() const { return static_cast<int>(sockets_.size()); }
   Seconds now() const;
 
-  // Advances every socket one control period — on `pool` when given, else
-  // serially — then re-arbitrates the budget split.  Results are identical
-  // either way; the pool only changes wall-clock time.
+  // Advances every socket one control period — in parallel when `pool` is
+  // given, else serially — then re-arbitrates the budget split.  Results
+  // are identical either way; the pool only changes wall-clock time.  A
+  // non-null pool contributes only its thread count: sockets run on a
+  // persistent ShardTeam with static contiguous partitions (rebuilt only
+  // when the count changes), so steady-state steps allocate nothing.
   void Step(ThreadPool* pool = nullptr);
 
   // Current per-socket budget grants (set by the last arbitration).
@@ -97,9 +100,11 @@ class Rack {
 
  private:
   void Arbitrate();
+  void EnsureShardTeam(int threads);
 
   // Adopts a min-funding split (dimensionless resource units) as the
-  // per-socket power budgets.
+  // per-socket power budgets.  budgets_w_ keeps its capacity, so repeated
+  // assignment at a fixed socket count is heap-free.
   void AssignBudgets(const std::vector<ResourceUnits>& split) {
     budgets_w_.clear();
     for (ResourceUnits u : split) {
@@ -112,6 +117,20 @@ class Rack {
   std::vector<Watts> budgets_w_;
   std::vector<Watts> measured_w_;
   std::vector<PeriodRecord> history_;
+
+  // Persistent socket sharding (see BudgetTree: same static-partition
+  // scheme, one contiguous socket range per team worker).
+  struct Shard {
+    int begin = 0;
+    int end = 0;
+  };
+  std::vector<Shard> shards_;
+  std::unique_ptr<ShardTeam> team_;
+
+  // Hoisted arbitration scratch (PAPD_HOT: the per-period split must not
+  // allocate).
+  std::vector<ShareRequest> scratch_req_;
+  MinFundingScratch scratch_split_;
 };
 
 // Summary statistics for a measured window of rack execution.

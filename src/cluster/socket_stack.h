@@ -63,6 +63,13 @@ struct RackSocketConfig {
 Watts SocketFloorW(const RackSocketConfig& cfg);
 Watts SocketCeilingW(const RackSocketConfig& cfg);
 
+// FNV-1a hash over every simulation-relevant field of the config (platform
+// spec, app mix, policy, shares, bounds, seed, flags).  Two sockets with
+// equal hashes evolve identically under equal grant histories — the replica
+// memoization key (BudgetTree groups leaves by this plus the initial grant
+// bits).
+uint64_t HashSocketConfig(const RackSocketConfig& cfg);
+
 // Aborts when the configured floor exceeds the ceiling.  Arbiters clamp
 // demand claims with std::clamp(demand, floor, ceiling), which is UB on an
 // inverted range — every arbiter validates its sockets up front instead of
@@ -78,7 +85,15 @@ struct SocketStack {
   SocketStack& operator=(const SocketStack&) = delete;
 
   // Advances one control period and records the average power drawn in it.
+  // Under TickOptions::socket_hold the period advances through
+  // AdvanceSteady segments and the daemon step is *skipped* once the daemon
+  // has been quiescent for kQuietPeriodsToHold periods; any grant change,
+  // control-epoch bump, ladder departure, fault arming, or out-of-band
+  // power drift resyncs back to live daemon stepping.
   void AdvancePeriod(Seconds period_s);
+
+  // Consecutive quiescent daemon periods before daemon stepping is held.
+  static constexpr int kQuietPeriodsToHold = 3;
 
   RackSocketConfig config;
   Package pkg;
@@ -87,6 +102,25 @@ struct SocketStack {
   std::unique_ptr<PowerDaemon> daemon;
   Simulator sim;
   Watts last_measured_w{0.0};
+
+  // --- Socket-hold state (only used when hold_mode) ------------------------
+  bool hold_mode = false;     // socket_hold requested && policy is kMultiRate.
+  bool daemon_held = false;   // Daemon steps currently skipped.
+  uint64_t daemon_steps_skipped = 0;
+  uint64_t hold_resyncs = 0;  // Hold exits forced by a predicate failure.
+
+ private:
+  // Runs (or skips) the daemon for the period that just finished and
+  // updates the hold state machine.
+  void StepDaemonHeld();
+
+  TickOptions tick_opts_;
+  int quiet_streak_ = 0;
+  // Snapshot when the hold engaged / after the last live step.
+  uint64_t held_epoch_ = 0;
+  Watts last_limit_w_{0.0};
+  Watts held_power_w_{0.0};
+  int held_periods_since_recheck_ = 0;
 };
 
 }  // namespace papd

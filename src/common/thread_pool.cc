@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/common/check.h"
+
 namespace papd {
 namespace {
 
@@ -154,6 +156,61 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 ThreadPool& GlobalThreadPool() {
   static ThreadPool pool(ThreadPool::DefaultJobs());
   return pool;
+}
+
+ShardTeam::ShardTeam(int shards, std::function<void(int shard)> body)
+    : body_(std::move(body)) {
+  PAPD_CHECK_GE(shards, 1);
+  workers_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; s++) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardTeam::~ShardTeam() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.NotifyAll();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+// PAPD_HOT
+void ShardTeam::RunOnce() {
+  {
+    MutexLock lock(mu_);
+    generation_++;
+    running_ = shards();
+  }
+  start_cv_.NotifyAll();
+  MutexLock lock(mu_);
+  while (running_ != 0) {
+    done_cv_.Wait(mu_);
+  }
+}
+
+void ShardTeam::WorkerLoop(int shard) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      while (!stopping_ && generation_ == seen) {
+        start_cv_.Wait(mu_);
+      }
+      if (stopping_) {
+        return;
+      }
+      seen = generation_;
+    }
+    body_(shard);
+    MutexLock lock(mu_);
+    if (--running_ == 0) {
+      done_cv_.NotifyOne();
+    }
+  }
 }
 
 }  // namespace papd

@@ -74,6 +74,45 @@ class ThreadPool {
 // Intended for the batch experiment APIs; tests build their own pools.
 ThreadPool& GlobalThreadPool();
 
+// Persistent fork/join team for repeated identical fan-outs.
+//
+// ThreadPool::ParallelFor allocates per call (queue nodes, std::function
+// closures, a shared batch block) — fine for scenario batches, fatal for a
+// steady-state cluster step that must be allocation-free.  A ShardTeam
+// fixes the body and the shard count at construction: RunOnce() bumps a
+// generation counter, wakes the persistent workers, and blocks until every
+// shard reports done, touching no heap at all.  The body runs as
+// body(shard) for shard in [0, shards); it must not throw (a PAPD_CHECK
+// abort is the only supported failure) and must only touch state owned by
+// its shard.  RunOnce() is not reentrant and must always be called from the
+// same single controlling thread.
+class ShardTeam {
+ public:
+  ShardTeam(int shards, std::function<void(int shard)> body);
+  ~ShardTeam();
+
+  ShardTeam(const ShardTeam&) = delete;
+  ShardTeam& operator=(const ShardTeam&) = delete;
+
+  int shards() const { return static_cast<int>(workers_.size()); }
+
+  // Runs body(0..shards-1) once across the persistent workers and blocks
+  // until all complete.  Performs no heap allocation.
+  void RunOnce() PAPD_EXCLUDES(mu_);
+
+ private:
+  void WorkerLoop(int shard) PAPD_EXCLUDES(mu_);
+
+  std::function<void(int)> body_;
+  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  uint64_t generation_ PAPD_GUARDED_BY(mu_) = 0;
+  int running_ PAPD_GUARDED_BY(mu_) = 0;
+  bool stopping_ PAPD_GUARDED_BY(mu_) = false;
+};
+
 }  // namespace papd
 
 #endif  // SRC_COMMON_THREAD_POOL_H_

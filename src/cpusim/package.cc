@@ -155,6 +155,87 @@ void Package::Tick(Seconds dt) {
 }
 
 // PAPD_HOT
+int Package::AdvanceSteady(Seconds dt, int max_ticks) {
+  if (tick_policy_ != TickPolicy::kMultiRate || max_ticks < 2 || !CanFastTick(dt) ||
+      !scratch_unsteady_.empty() || !multi_works_.empty()) {
+    return 0;
+  }
+  const size_t n = cores_.size();
+  const int k = std::min(max_ticks - 1, hold_remaining_);
+
+  // --- k held ticks in closed form ----------------------------------------
+  // Every lane is held, so each of the k ticks would replay exactly the
+  // frozen plan: same slices, effective frequencies, per-core power, and
+  // the same package total.  Counters take the per-tick kernel increments
+  // (CountersScalar) multiplied out; package energy and time accumulate in
+  // the per-tick order so the trajectory stays bit-identical to the
+  // equivalent TickFast sequence.
+  const double kd = static_cast<double>(k);
+  const Mhz* effective = cores_.effective_mhz.data();
+  const WorkSlice* slices = cores_.slice.data();
+  for (size_t i = 0; i < n; i++) {
+    const double busy = slices[i].busy_fraction;
+    cores_.aperf_cycles[i] += effective[i] * kHzPerMhz * dt * busy * kd;
+    cores_.mperf_cycles[i] += spec_.tsc_mhz * kHzPerMhz * dt * busy * kd;
+    cores_.instructions_retired[i] += slices[i].instructions * kd;
+    cores_.energy_j[i] += cores_.power_w[i] * dt * kd;
+  }
+  const Watts uncore_held{power_model_.UncorePowerW(held_busy_cores_)};
+  const Watts total_held{held_power_sum_ + uncore_held};
+  for (int t = 0; t < k; t++) {
+    package_energy_j_ += total_held * dt;
+    now_ += dt;
+  }
+  thermal_.UpdateSteady(cores_.power_w, uncore_held, dt, k);
+  last_package_power_w_ = total_held;
+  last_uncore_power_w_ = uncore_held;
+  hold_remaining_ -= k;
+  held_pending_ticks_ += k;
+  tick_stats_.batched_ticks += static_cast<uint64_t>(k);
+  tick_stats_.hold_segments++;
+
+  // --- catch-up + one refresh tick -----------------------------------------
+  // Held works absorb the whole deferred window analytically, then run one
+  // real tick so the next plan is built from fresh slices.  The census and
+  // clamp passes are safely skipped: their inputs (online/attach flags,
+  // requested frequencies, RAPL, PROCHOT within the guard) are all
+  // epoch-stable, so the effective frequencies are unchanged.
+  FlushSteadyWork();
+  const uint8_t* online = cores_.online.data();
+  CoreWork* const* work = cores_.work.data();
+  Mhz* effective_mut = cores_.effective_mhz.data();
+  WorkSlice* slices_mut = cores_.slice.data();
+  for (size_t i = 0; i < n; i++) {
+    if (online[i] && work[i] != nullptr) {
+      work[i]->RunBatch(dt, &effective_mut[i], &slices_mut[i], 1);
+    }
+  }
+  const simd::TickKernels& kern = *kernels_;
+  const int busy_cores =
+      kern.power(effective_mut, slices_mut, online, power_model_,
+                 cores_.volts_cache_mhz.data(), cores_.volts_cache_v.data(),
+                 cores_.power_w.data(), n);
+  kern.counters(effective_mut, slices_mut, cores_.power_w.data(), spec_.tsc_mhz, dt,
+                cores_.aperf_cycles.data(), cores_.mperf_cycles.data(),
+                cores_.instructions_retired.data(), cores_.energy_j.data(), n);
+  Watts total{0.0};
+  const Watts* pw = cores_.power_w.data();
+  for (size_t i = 0; i < n; i++) {
+    total += pw[i];
+  }
+  const Watts uncore{power_model_.UncorePowerW(busy_cores)};
+  total += uncore;
+  thermal_.Update(cores_.power_w, uncore, dt);
+  last_package_power_w_ = total;
+  last_uncore_power_w_ = uncore;
+  package_energy_j_ += total * dt;
+  now_ += dt;
+  tick_stats_.fast_ticks++;
+  RebuildHoldPlan(dt);
+  return k + 1;
+}
+
+// PAPD_HOT
 void Package::RunMultiWorks(Seconds dt) {
   const uint8_t* online = cores_.online.data();
   Mhz* effective = cores_.effective_mhz.data();

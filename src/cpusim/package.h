@@ -87,6 +87,24 @@ class Package {
   // --- Simulation ------------------------------------------------------------
   void Tick(Seconds dt);
 
+  // Socket-level steady-state hold: advances up to `max_ticks` ticks of
+  // length `dt` in one closed-form segment when *every* lane is held under a
+  // valid multi-rate plan (quiescent control plane, RAPL off, thermals
+  // clear of the PROCHOT guard, no multi-core works, no unsteady lanes).
+  // The segment replays the frozen plan for k = min(max_ticks - 1,
+  // hold_remaining_) ticks — package energy and simulated time accumulate
+  // per tick, bit-identical to the equivalent TickFast sequence; hardware
+  // counters advance by the multiplied-out per-tick increments (ulp-level
+  // difference only, every per-tick input is frozen) — then catches held
+  // works up via RunSteadyBatch and takes one refresh tick that re-runs the
+  // works and re-prices power before replanning.  Returns the number of
+  // ticks advanced (k + 1), or 0 when the predicate fails and the caller
+  // must fall back to Tick().  The thermal guard is evaluated per segment
+  // rather than per tick: temperatures advance in closed form, so a segment
+  // may overrun the guard by at most max_ticks - 1 ticks before the next
+  // predicate check catches it (covered by kThermalHoldGuardC).
+  int AdvanceSteady(Seconds dt, int max_ticks);
+
   // Default and minimum hold horizons for multi-rate ticking: a lane is only
   // held when its steady horizon covers at least kMinHoldTicks (shorter
   // holds don't amortize the resync), and no hold window exceeds the
@@ -102,6 +120,8 @@ class Package {
     uint64_t fast_ticks = 0;
     uint64_t work_syncs = 0;      // RunSteadyBatch catch-up calls.
     uint64_t plan_rebuilds = 0;
+    uint64_t hold_segments = 0;   // AdvanceSteady segments taken.
+    uint64_t batched_ticks = 0;   // Ticks advanced in closed form (excl. refresh).
   };
 
   void SetTickPolicy(TickPolicy policy, int max_hold_ticks = kDefaultMaxHoldTicks);
@@ -209,10 +229,36 @@ class Package {
 
 // Tick-engine knobs plumbed through RunOptions (experiments) and RackConfig
 // (cluster): which tick policy drives Package::Tick and the multi-rate hold
-// horizon.
+// horizon, plus the socket/cluster-granularity extensions (kMultiRate only;
+// both are ignored under kEveryTick).
 struct TickOptions {
   TickPolicy policy = TickPolicy::kEveryTick;
   int max_hold_ticks = Package::kDefaultMaxHoldTicks;
+
+  // Socket-level steady-state hold: SocketStack advances whole control
+  // periods through Package::AdvanceSteady segments, and skips the daemon
+  // step entirely once the daemon has been quiescent (no grant change, no
+  // control-plane writes, ladder nominal, no fault plan armed) for
+  // SocketStack::kQuietPeriodsToHold consecutive periods.  A skipped-daemon
+  // period resyncs — falls back to a live daemon step — on any grant
+  // change, control-epoch bump, ladder departure, fault arming, or measured
+  // power drifting out of hold_power_band.
+  bool socket_hold = false;
+  // Relative band around the power measured when the daemon hold engaged;
+  // leaving it forces a resync (the workload mix changed enough that the
+  // daemon must re-observe).
+  double hold_power_band = 0.03;
+  // > 0: additionally force a live daemon step every this many held
+  // periods. 0 (default) trusts the band + epoch predicates alone, which
+  // keeps held periods allocation-free.
+  int hold_recheck_periods = 0;
+
+  // Replica memoization (BudgetTree): simulate one representative socket
+  // per equivalence class (identical RackSocketConfig hash + identical
+  // grant history) and fan its measurements out to the replicas.  Replicas
+  // are materialized on demand — by grant divergence or a leaf-internals
+  // accessor — by replaying the representative's recorded grant run-lengths.
+  bool memoize_replicas = false;
 };
 
 }  // namespace papd

@@ -43,6 +43,34 @@ void Simulator::Run(Seconds duration_s) {
   }
 }
 
+// PAPD_HOT
+void Simulator::RunCoarse(Seconds duration_s) {
+  const Seconds end{package_->now() + duration_s};
+  while (package_->now() + Seconds{1e-12} < end) {
+    // A segment may run at most to the window end or the next periodic due
+    // time, whichever is sooner; like StepOnce it may overshoot the bound
+    // by a fraction of one tick when the bound is tick-misaligned.
+    const Seconds bound{std::min(end, next_due_s_)};
+    const double remaining_ticks = (bound - package_->now()) / tick_s_;
+    const int max_ticks =
+        remaining_ticks >= 2.0
+            ? static_cast<int>(std::min(remaining_ticks + 0.5,
+                                        static_cast<double>(std::numeric_limits<int>::max())))
+            : 0;
+    int advanced = 0;
+    if (max_ticks >= 2) {
+      advanced = package_->AdvanceSteady(tick_s_, max_ticks);
+    }
+    if (advanced == 0) {
+      package_->Tick(tick_s_);
+    }
+    const Seconds now{package_->now()};
+    if (now + Seconds{1e-12} >= next_due_s_) {
+      FirePeriodics(now);
+    }
+  }
+}
+
 bool Simulator::RunUntil(const std::function<bool()>& done, Seconds max_duration_s,
                          Seconds check_period_s) {
   const Seconds end{package_->now() + max_duration_s};

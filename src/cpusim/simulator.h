@@ -41,6 +41,15 @@ class Simulator {
   // Runs for `duration_s` of simulated time.
   void Run(Seconds duration_s);
 
+  // Like Run(), but advances through Package::AdvanceSteady segments when
+  // the package can hold the whole socket, falling back to single ticks
+  // otherwise.  Segments never cross a periodic-callback due time, so
+  // callbacks fire exactly as they would under Run().  Time/energy advance
+  // bit-identically to Run() only while every tick in a segment would have
+  // been a fast tick (see AdvanceSteady); callers gate this behind
+  // TickOptions::socket_hold.
+  void RunCoarse(Seconds duration_s);
+
   // Runs until the predicate returns true or until `max_duration_s`
   // elapses.  Returns true if the predicate fired.  By default the
   // predicate is evaluated once per tick; a positive `check_period_s`

@@ -27,6 +27,27 @@ void ThermalModel::Update(const std::vector<Watts>& core_w, Watts uncore_w, Seco
   }
 }
 
+void ThermalModel::UpdateSteady(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt,
+                                int ticks) {
+  Watts total{uncore_w};
+  for (Watts w : core_w) {
+    total += w;
+  }
+  if (dt != alpha_dt_) {
+    alpha_dt_ = dt;
+    alpha_ = 1.0 - std::exp(-dt / params_.tau_s);
+  }
+  // k ticks of T += alpha * (steady - T) with constant power compound to
+  // T = steady + (T - steady) * (1 - alpha)^k.
+  const double decay = std::pow(1.0 - alpha_, static_cast<double>(ticks));
+  for (size_t i = 0; i < temps_.size(); i++) {
+    const Watts own{i < core_w.size() ? core_w[i] : Watts{0.0}};
+    const Watts effective{own + params_.spread_fraction * (total - own)};
+    const Celsius steady = params_.ambient_c + params_.r_core_c_per_w * effective.value();
+    temps_[i] = steady + (temps_[i] - steady) * decay;
+  }
+}
+
 Celsius ThermalModel::max_temp_c() const {
   Celsius max = params_.ambient_c;
   for (Celsius t : temps_) {

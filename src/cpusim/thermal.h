@@ -41,6 +41,14 @@ class ThermalModel {
   // Advances the model one tick given per-core power and uncore power.
   void Update(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt);
 
+  // Advances `ticks` ticks of length `dt` under *constant* power in closed
+  // form: each core relaxes toward its steady temperature with the per-tick
+  // factor (1 - alpha) compounded, so the cost is one pass instead of
+  // `ticks` passes.  Equivalent to calling Update() `ticks` times up to
+  // floating-point ulps (pow vs repeated multiply); callers that need
+  // bit-pinned temperatures must keep ticking per step.
+  void UpdateSteady(const std::vector<Watts>& core_w, Watts uncore_w, Seconds dt, int ticks);
+
   Celsius core_temp_c(int core) const { return temps_[static_cast<size_t>(core)]; }
   // Flat per-core temperature vector; the tick engine's SIMD clamp kernel
   // streams it for the PROCHOT comparison.

@@ -17,8 +17,13 @@ constexpr double kEps = 1e-9;
 std::vector<double> DistributeDeltaImpl(double delta, const std::vector<double>& current,
                                         const std::vector<ShareRequest>& req);
 
-std::vector<double> DistributeProportionalImpl(double total,
-                                               const std::vector<ShareRequest>& req) {
+// Core of DistributeProportional, writing into caller-owned buffers so hot
+// arbitration paths can reuse them (assign() keeps capacity, so repeated
+// calls at a stable request count never touch the heap).
+// PAPD_HOT
+void DistributeProportionalInto(double total, const std::vector<ShareRequest>& req,
+                                std::vector<double>* alloc_out,
+                                std::vector<int>* pinned_scratch) {
   // Pure proportionality with clamping: the target is alloc_i proportional
   // to shares_i (paper Section 4.2: 3 shares next to 1 share means 3/4ths
   // of the resource).  Entries whose proportional grant violates a bound
@@ -26,9 +31,10 @@ std::vector<double> DistributeProportionalImpl(double total,
   // across the rest — min-funding revocation.  Terminates in <= n rounds
   // because each round pins at least one entry.
   const size_t n = req.size();
-  std::vector<double> alloc(n, 0.0);
+  std::vector<double>& alloc = *alloc_out;
+  alloc.assign(n, 0.0);
   if (n == 0) {
-    return alloc;
+    return;
   }
   double min_sum = 0.0;
   double max_sum = 0.0;
@@ -39,7 +45,8 @@ std::vector<double> DistributeProportionalImpl(double total,
   }
   total = std::clamp(total, min_sum, max_sum);
 
-  std::vector<int> pinned(n, 0);  // 0 = active, 1 = pinned at a bound.
+  std::vector<int>& pinned = *pinned_scratch;  // 0 = active, 1 = pinned at a bound.
+  pinned.assign(n, 0);
   double remaining = total;
   for (size_t round = 0; round < n + 1; round++) {
     double active_shares = 0.0;
@@ -78,20 +85,21 @@ std::vector<double> DistributeProportionalImpl(double total,
           alloc[i] = remaining * req[i].shares / active_shares;
         }
       }
-      return alloc;
+      return;
     }
   }
   // Every entry pinned.  Pin decisions within one round share a stale
   // `remaining`, so the pinned sum may miss `total`; repair by spreading
-  // the leftover across entries with headroom.
+  // the leftover across entries with headroom.  This path allocates (the
+  // delta distributor builds its own result) but only fires when every
+  // entry saturated in the same round — never in steady-state arbitration.
   double leftover = total;
   for (double a : alloc) {
     leftover -= a;
   }
   if (std::abs(leftover) > kEps) {
-    alloc = DistributeDeltaImpl(leftover, alloc, req);
+    alloc = DistributeDeltaImpl(leftover, alloc, req);  // PAPD_HOT_ALLOW rare repair
   }
-  return alloc;
 }
 
 std::vector<double> DistributeDeltaImpl(double delta, const std::vector<double>& current,
@@ -155,11 +163,25 @@ std::vector<double> DistributeDeltaImpl(double delta, const std::vector<double>&
 
 std::vector<ResourceUnits> DistributeProportional(ResourceUnits total,
                                                   const std::vector<ShareRequest>& req) {
-  std::vector<ResourceUnits> alloc = DistributeProportionalImpl(total, req);
+  std::vector<ResourceUnits> alloc;
+  std::vector<int> pinned;
+  DistributeProportionalInto(total, req, &alloc, &pinned);
   const std::vector<std::string> audit = AuditProportionalSplit(total, req, alloc);
   PAPD_CHECK(audit.empty()) << "min-funding proportional-split postcondition: "
                             << audit.front();
   return alloc;
+}
+
+// PAPD_HOT
+const std::vector<ResourceUnits>& DistributeProportional(ResourceUnits total,
+                                                         const std::vector<ShareRequest>& req,
+                                                         MinFundingScratch* scratch) {
+  DistributeProportionalInto(total, req, &scratch->alloc, &scratch->pinned);
+  const std::vector<std::string> audit =  // PAPD_HOT_ALLOW empty (heap-free) when clean
+      AuditProportionalSplit(total, req, scratch->alloc);
+  PAPD_CHECK(audit.empty()) << "min-funding proportional-split postcondition: "
+                            << audit.front();
+  return scratch->alloc;
 }
 
 std::vector<ResourceUnits> DistributeDelta(ResourceUnits delta,

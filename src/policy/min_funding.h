@@ -33,6 +33,23 @@ struct ShareRequest {
 std::vector<ResourceUnits> DistributeProportional(ResourceUnits total,
                                                   const std::vector<ShareRequest>& req);
 
+// Reusable working memory for the allocation-free DistributeProportional
+// overload.  Buffers grow to the largest request count seen and are then
+// reused; a scratch owned by a hot caller makes repeated splits heap-free.
+struct MinFundingScratch {
+  std::vector<ResourceUnits> alloc;
+  std::vector<int> pinned;
+};
+
+// Allocation-free variant for hot arbitration paths: identical results to
+// the vector-returning overload, with the split written into
+// scratch->alloc.  Heap-free once the scratch has grown to the largest
+// request count (the rare all-pinned repair path may still allocate; see
+// the implementation note).  Returns scratch->alloc for convenience.
+const std::vector<ResourceUnits>& DistributeProportional(ResourceUnits total,
+                                                         const std::vector<ShareRequest>& req,
+                                                         MinFundingScratch* scratch);
+
 // Applies a (possibly negative) delta to existing allocations,
 // proportionally to shares, respecting bounds.  Entries that saturate are
 // pinned and the leftover delta is re-distributed across the rest

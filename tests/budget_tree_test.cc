@@ -245,6 +245,69 @@ TEST(BudgetTree, SingleLeafDegenerateTree) {
   }
 }
 
+// A pure chain — every interior node has exactly one child — is the
+// degenerate split: each arbitration hands the whole (clamped) grant down,
+// so grants are equal along the chain and the cap invariant is tight.
+TEST(BudgetTree, OneChildInteriorChain) {
+  BudgetTreeConfig cfg;
+  cfg.root.name = "dc";
+  cfg.root.children.emplace_back();
+  cfg.root.children[0].name = "row0";
+  cfg.root.children[0].children.emplace_back();
+  cfg.root.children[0].children[0].name = "rack0";
+  cfg.root.children[0].children[0].children.emplace_back();
+  BudgetNodeConfig& leaf = cfg.root.children[0].children[0].children[0];
+  leaf.name = "socket0";
+  leaf.socket = MakeSocket(/*rotate=*/0, /*seed=*/11);
+  cfg.budget_w = Watts{120.0};
+  BudgetTree tree(cfg);
+  EXPECT_EQ(tree.num_nodes(), 4);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_EQ(tree.num_levels(), 4);
+  // Bounds bubble unchanged through single-child interiors.
+  for (int n = 0; n + 1 < tree.num_nodes(); n++) {
+    EXPECT_DOUBLE_EQ(tree.floor_w(n).value(), tree.floor_w(n + 1).value());
+    EXPECT_DOUBLE_EQ(tree.ceiling_w(n).value(), tree.ceiling_w(n + 1).value());
+  }
+  for (int period = 0; period < 4; period++) {
+    tree.Step();
+    ExpectCapInvariant(tree, cfg.budget_w, "chain");
+    for (int n = 0; n + 1 < tree.num_nodes(); n++) {
+      EXPECT_DOUBLE_EQ(tree.grant_w(n).value(), tree.grant_w(n + 1).value())
+          << "grant changed between " << tree.node_path(n) << " and its only child";
+    }
+    EXPECT_DOUBLE_EQ(tree.measured_w(0).value(), tree.measured_w(3).value());
+  }
+}
+
+// Every socket its own rack: interior fan-out of one at the rack level,
+// with the row doing the real 8-way split.
+TEST(BudgetTree, EverySocketItsOwnRack) {
+  for (const RackArbiterKind kind : {RackArbiterKind::kShares, RackArbiterKind::kDemand}) {
+    BudgetTreeConfig cfg =
+        MakeUniformCluster(/*rows=*/1, /*racks_per_row=*/8, /*sockets_per_rack=*/1,
+                           MakeSocket(/*rotate=*/0, /*seed=*/42), Watts{320.0});
+    cfg.arbiter = kind;
+    BudgetTree tree(cfg);
+    EXPECT_EQ(tree.num_nodes(), 18);  // dc + row0 + 8 racks + 8 sockets.
+    EXPECT_EQ(tree.num_leaves(), 8);
+    EXPECT_EQ(tree.num_levels(), 4);
+    for (int period = 0; period < 5; period++) {
+      tree.Step();
+      ExpectCapInvariant(tree, cfg.budget_w,
+                         kind == RackArbiterKind::kShares ? "1-socket racks shares"
+                                                          : "1-socket racks demand");
+      // Each single-socket rack passes its grant straight through.
+      for (int n = 0; n < tree.num_nodes(); n++) {
+        if (tree.is_leaf(n)) {
+          EXPECT_DOUBLE_EQ(tree.grant_w(tree.parent(n)).value(), tree.grant_w(n).value())
+              << tree.node_path(n);
+        }
+      }
+    }
+  }
+}
+
 TEST(BudgetTree, DerivedBoundsBubbleUp) {
   BudgetTreeConfig cfg = MakeCluster(Watts{400.0});
   BudgetTree tree(cfg);

@@ -18,15 +18,24 @@ The numeric assertions are opt-in via --baseline FILE:
   * the cluster section's sim_core_ticks_per_s must stay within
     --max-cluster-regress-pct (default 30%) of the baseline's — wall-clock
     throughput at >= 2048 simulated cores is the roadmap's scale headline,
-    and the loose limit absorbs runner noise on a multi-second measurement.
+    and the loose limit absorbs runner noise on a multi-second measurement;
+  * the cluster_100k section's sim_core_ticks_per_s must meet
+    --min-100k-ticks-per-s (default 1e9) — an absolute floor rather than a
+    baseline delta, because the hold + memoization fast path skips work
+    outright and its headline (>= 1B sim-core-ticks/s on a 128k-core tree)
+    holds on any host or collapses by orders of magnitude when broken.
 
 The cluster section additionally carries its own structural contract
 regardless of --baseline: >= 2048 simulated cores, >= 3 tree levels, and a
 max_grant_overrun_w of ~0 (the hierarchical arbiter's cap invariant).
+Likewise cluster_100k: >= 131072 simulated cores, a replica hit rate in
+[0, 1], allocs_per_step == 0 (the steady-state step must be heap-free),
+and the same cap-invariant bound on max_grant_overrun_w.
 
 Usage: check_bench_json.py BENCH_scenarios.json [--baseline FILE]
                            [--max-regress-pct PCT] [--min-tick-speedup X]
                            [--max-cluster-regress-pct PCT]
+                           [--min-100k-ticks-per-s X]
 Exits non-zero with file:field diagnostics when the schema is violated.
 """
 
@@ -182,6 +191,46 @@ def check(doc):
         overrun = require(cluster, "$.cluster", "max_grant_overrun_w", float)
         if overrun is not None and not 0 <= overrun <= 1e-6:
             fail("$.cluster.max_grant_overrun_w",
+                 f"cap invariant violated: child grants exceeded a parent grant "
+                 f"by {overrun} W (expected ~0)")
+
+    cluster_100k = require(doc, "$", "cluster_100k", dict)
+    if cluster_100k is not None:
+        path = "$.cluster_100k"
+        for key in ("rows", "racks_per_row", "sockets_per_rack"):
+            v = require(cluster_100k, path, key, int)
+            if v is not None and v < 1:
+                fail(f"{path}.{key}", f"expected >= 1, got {v}")
+        cores = require(cluster_100k, path, "cores", int)
+        if cores is not None and cores < 131072:
+            fail(f"{path}.cores",
+                 f"expected >= 131072 simulated cores (100k-scale contract), got {cores}")
+        nodes = require(cluster_100k, path, "nodes", int)
+        if nodes is not None and nodes < 3:
+            fail(f"{path}.nodes", f"expected >= 3, got {nodes}")
+        classes = require(cluster_100k, path, "replica_classes", int)
+        if classes is not None and classes < 1:
+            fail(f"{path}.replica_classes", f"expected >= 1, got {classes}")
+        live = require(cluster_100k, path, "live_leaves", int)
+        if live is not None and live < 1:
+            fail(f"{path}.live_leaves", f"expected >= 1, got {live}")
+        hit_rate = require(cluster_100k, path, "replica_hit_rate", float)
+        if hit_rate is not None and not 0 <= hit_rate <= 1:
+            fail(f"{path}.replica_hit_rate", f"expected in [0, 1], got {hit_rate}")
+        steps = require(cluster_100k, path, "measured_steps", int)
+        if steps is not None and steps < 1:
+            fail(f"{path}.measured_steps", f"expected >= 1, got {steps}")
+        for key in ("wall_s_per_step", "sim_core_ticks_per_s", "peak_rss_mb"):
+            v = require(cluster_100k, path, key, float)
+            if v is not None and v <= 0:
+                fail(f"{path}.{key}", f"expected > 0, got {v}")
+        allocs = require(cluster_100k, path, "allocs_per_step", int)
+        if allocs is not None and allocs != 0:
+            fail(f"{path}.allocs_per_step",
+                 f"steady-state 128k-core step must be allocation-free, got {allocs}")
+        overrun = require(cluster_100k, path, "max_grant_overrun_w", float)
+        if overrun is not None and not 0 <= overrun <= 1e-6:
+            fail(f"{path}.max_grant_overrun_w",
                  f"cap invariant violated: child grants exceeded a parent grant "
                  f"by {overrun} W (expected ~0)")
 
@@ -343,6 +392,25 @@ def check_cluster_throughput(doc, baseline_path, max_regress_pct):
               f"({-regress_pct:+.1f}%, limit -{max_regress_pct:.1f}%)")
 
 
+def check_cluster100k_throughput(doc, min_ticks_per_s):
+    """Enforces the 100k-core fast-path contract: with socket hold,
+    replica memoization, and persistent sharding engaged, the 128k-core
+    tree must step at >= min_ticks_per_s simulated core-ticks per second.
+    Absolute rather than baseline-relative — the fast path's margin over
+    the floor is ~10x, so any host passes unless the machinery breaks."""
+    value = doc.get("cluster_100k", {}).get("sim_core_ticks_per_s")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail("$.cluster_100k.sim_core_ticks_per_s", "missing from fresh run")
+        return
+    if float(value) < min_ticks_per_s:
+        fail("$.cluster_100k.sim_core_ticks_per_s",
+             f"{float(value):.3g} below required {min_ticks_per_s:.3g} "
+             f"(hold/memoization fast path not engaging?)")
+    else:
+        print(f"cluster_100k.sim_core_ticks_per_s: {float(value):.3g} "
+              f"(required {min_ticks_per_s:.3g})")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
@@ -356,6 +424,9 @@ def main(argv):
     parser.add_argument("--max-cluster-regress-pct", type=float, default=30.0,
                         help="maximum allowed cluster sim_core_ticks_per_s drop vs "
                              "the baseline (default 30%%)")
+    parser.add_argument("--min-100k-ticks-per-s", type=float, default=1e9,
+                        help="required cluster_100k sim_core_ticks_per_s, enforced "
+                             "with --baseline (default 1e9)")
     args = parser.parse_args(argv[1:])
     try:
         with open(args.json_path) as f:
@@ -369,18 +440,39 @@ def main(argv):
         check_baseline(doc, args.baseline, args.max_regress_pct)
         check_tick_speedup(doc, args.min_tick_speedup)
         check_cluster_throughput(doc, args.baseline, args.max_cluster_regress_pct)
+        check_cluster100k_throughput(doc, args.min_100k_ticks_per_s)
     for err in ERRORS:
         print(err, file=sys.stderr)
     if ERRORS:
         return 1
+    # The summary reads sections defensively: check() records per-section
+    # errors for anything missing, but a section that failed its `require`
+    # is simply absent here and must not turn the success path into a
+    # KeyError traceback.
+    sections = {
+        "micro": doc.get("micro"),
+        "scaling.package_tick": doc.get("scaling", {}).get("package_tick"),
+        "scenarios": doc.get("scenarios"),
+        "fault_tolerance": doc.get("fault_tolerance"),
+        "obs.metrics": doc.get("obs", {}).get("metrics"),
+        "cluster": doc.get("cluster"),
+        "cluster_100k": doc.get("cluster_100k"),
+        "batch": doc.get("batch"),
+    }
+    missing = [name for name, value in sections.items() if value is None]
+    if missing:
+        for name in missing:
+            print(f"missing section: {name}", file=sys.stderr)
+        return 1
     print(f"{args.json_path}: schema OK "
-          f"({len(doc['micro'])} micro, "
-          f"{len(doc['scaling']['package_tick'])} scaling points, "
-          f"{len(doc['scenarios'])} scenarios, "
-          f"{len(doc['fault_tolerance'])} fault entries, "
-          f"{len(doc['obs']['metrics'])} obs metrics, "
-          f"cluster {doc['cluster']['cores']} cores, "
-          f"batch speedup {doc['batch']['speedup']:.2f}x)")
+          f"({len(sections['micro'])} micro, "
+          f"{len(sections['scaling.package_tick'])} scaling points, "
+          f"{len(sections['scenarios'])} scenarios, "
+          f"{len(sections['fault_tolerance'])} fault entries, "
+          f"{len(sections['obs.metrics'])} obs metrics, "
+          f"cluster {sections['cluster'].get('cores', '?')} cores, "
+          f"cluster_100k {sections['cluster_100k'].get('cores', '?')} cores, "
+          f"batch speedup {sections['batch'].get('speedup', 0.0):.2f}x)")
     return 0
 
 

@@ -475,6 +475,11 @@ VALUE_UNWRAP_WHITELIST = (
     # boundary; everything outside the kernel bodies stays in unit types.
     "src/cpusim/simd/",
     "src/platform/voltage_curve.cc",
+    # Replica-memoization config hashing (HashSocketConfig) folds the raw
+    # bit patterns of unit-typed fields into an FNV-1a digest, and the
+    # steady-state hold band compares magnitudes — both serialization-style
+    # boundaries, like the MSR register file.
+    "src/cluster/socket_stack.cc",
 )
 
 
