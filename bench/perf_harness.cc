@@ -27,6 +27,14 @@
 //                      RSS, and the steady-state allocations per step,
 //                      which must be zero — the harness exits non-zero
 //                      otherwise;
+//   - fleet:           the SLO-aware serving fleet: >= 256 open-loop
+//                      websearch sockets under one BudgetTree at >= 1M
+//                      simulated users, the policy axis (static shares vs
+//                      priority vs SLO feedback) expanded through the
+//                      declarative SweepSpec API — reports per-policy SLO
+//                      violations, p90s, and sockets-stepped/s; the harness
+//                      exits non-zero unless SLO feedback beats static
+//                      shares on violations at the same cap;
 //   - fault_tolerance: representative fault schedules (telemetry faults,
 //                      dropped writes) run naive vs hardened — ground-truth
 //                      power overshoot and degradation counters, so CI
@@ -64,6 +72,7 @@
 
 #include "bench/perf_util.h"
 #include "src/cluster/budget_tree.h"
+#include "src/cluster/fleet.h"
 #include "src/cluster/rack.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -72,6 +81,7 @@
 #include "src/experiments/batch.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/scenarios.h"
+#include "src/experiments/sweep.h"
 #include "src/msr/msr.h"
 #include "src/policy/daemon.h"
 #include "src/specsim/spec2017.h"
@@ -494,6 +504,86 @@ Cluster100kTiming RunCluster100k(bool quick) {
   return out;
 }
 
+// --- Serving-fleet section ---------------------------------------------------
+
+// The flagship serving demonstration (ROADMAP item 2): 256 open-loop
+// websearch sockets under one BudgetTree, 1e8 simulated users (2e9
+// requests/day) with a hot-shard skew, compared across the fleet policy
+// axis at the same cluster cap.  The policy axis is expanded through the
+// declarative SweepSpec API — this section is also the sweep machinery's
+// integration bench.
+struct FleetBenchRow {
+  std::string policy;
+  size_t slo_violations = 0;
+  size_t measured_periods = 0;  // Socket-periods with enough samples.
+  size_t completed = 0;
+  Watts avg_pkg_w{0.0};
+  Seconds fleet_p90{0.0};
+  Seconds hot_p90{0.0};  // Worst per-socket cumulative p90 among hot shards.
+  Watts max_grant_overrun_w{0.0};
+  double wall_s_per_step = 0.0;
+  double sockets_stepped_per_s = 0.0;
+};
+
+struct FleetBenchResult {
+  int sockets = 0;
+  double simulated_users = 0.0;
+  double requests_per_day = 0.0;
+  Seconds slo_p90{0.0};
+  std::vector<FleetBenchRow> rows;
+};
+
+FleetBenchResult RunFleetBench(bool quick, int jobs) {
+  FleetBenchResult out;
+
+  FleetConfig base;  // 4 x 8 x 8 = 256 sockets; defaults are the calibrated
+                     // hot-shard regime (see FleetConfig).
+  base.seed = 42;
+
+  SweepSpec spec;
+  spec.name = "fleet-bench";
+  spec.target = SweepTarget::kFleet;
+  spec.fleet_base = base;
+  spec.axes.fleet_policies = {FleetPolicyStatic(), FleetPolicyPriority(),
+                              FleetPolicySloFeedback()};
+  spec.fleet_warmup_s = Seconds{quick ? 6.0 : 10.0};
+  spec.fleet_measure_s = Seconds{quick ? 14.0 : 40.0};
+
+  out.sockets = FleetSockets(base);
+  out.simulated_users = base.users;
+  out.requests_per_day = base.users * base.requests_per_user_per_day;
+  out.slo_p90 = base.slo.slo_p90;
+
+  const int total_periods =
+      static_cast<int>((spec.fleet_warmup_s + spec.fleet_measure_s) / base.control_period_s);
+  ThreadPool pool(jobs);
+  for (const SweepPoint& p : ExpandSweep(spec)) {
+    const Seconds start = perf::NowS();
+    const FleetResult r =
+        RunFleet(p.fleet, spec.fleet_warmup_s, spec.fleet_measure_s, &pool);
+    const double wall = (perf::NowS() - start).value();
+
+    FleetBenchRow row;
+    row.policy = p.plotkey;
+    row.slo_violations = r.total_slo_violations;
+    row.measured_periods = r.total_measured_periods;
+    row.completed = r.summary.completed_requests;
+    row.avg_pkg_w = r.summary.avg_pkg_w;
+    row.fleet_p90 = r.summary.p90_latency;
+    for (const FleetSocketResult& s : r.sockets) {
+      if (s.hot) {
+        row.hot_p90 = std::max(row.hot_p90, s.p90);
+      }
+    }
+    row.max_grant_overrun_w = r.max_grant_overrun_w;
+    row.wall_s_per_step = total_periods > 0 ? wall / total_periods : 0.0;
+    row.sockets_stepped_per_s =
+        wall > 0.0 ? static_cast<double>(out.sockets) * total_periods / wall : 0.0;
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
 struct FaultRow {
   std::string schedule;
   bool hardened = false;
@@ -641,7 +731,8 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
               const ScalingResult& scaling, const std::vector<ScenarioTiming>& scenarios,
               size_t batch_count, Seconds serial_s, Seconds parallel_s,
               const ClusterTiming& cluster, const Cluster100kTiming& cluster_100k,
-              const std::vector<FaultRow>& faults, const ObsResult& obs) {
+              const FleetBenchResult& fleet, const std::vector<FaultRow>& faults,
+              const ObsResult& obs) {
   FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -742,6 +833,27 @@ int WriteJson(const Options& opt, int jobs, const std::vector<MicroResult>& micr
   std::fprintf(f, "    \"peak_rss_mb\": %.1f,\n", cluster_100k.peak_rss_mb);
   std::fprintf(f, "    \"max_grant_overrun_w\": %.9f\n",
                cluster_100k.max_grant_overrun_w.value());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet\": {\n");
+  std::fprintf(f, "    \"sockets\": %d,\n", fleet.sockets);
+  std::fprintf(f, "    \"simulated_users\": %g,\n", fleet.simulated_users);
+  std::fprintf(f, "    \"requests_per_day\": %g,\n", fleet.requests_per_day);
+  std::fprintf(f, "    \"slo_p90_s\": %.6f,\n", fleet.slo_p90.value());
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < fleet.rows.size(); i++) {
+    const FleetBenchRow& r = fleet.rows[i];
+    std::fprintf(f,
+                 "      {\"policy\": \"%s\", \"slo_violations\": %zu, "
+                 "\"measured_periods\": %zu, \"completed\": %zu, \"avg_pkg_w\": %.2f, "
+                 "\"fleet_p90_s\": %.6f, \"hot_p90_s\": %.6f, "
+                 "\"max_grant_overrun_w\": %.9f, \"wall_s_per_step\": %.4f, "
+                 "\"sockets_stepped_per_s\": %.0f}%s\n",
+                 JsonEscape(r.policy).c_str(), r.slo_violations, r.measured_periods,
+                 r.completed, r.avg_pkg_w.value(), r.fleet_p90.value(), r.hot_p90.value(),
+                 r.max_grant_overrun_w.value(), r.wall_s_per_step,
+                 r.sockets_stepped_per_s, i + 1 < fleet.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fault_tolerance\": [\n");
   for (size_t i = 0; i < faults.size(); i++) {
@@ -918,6 +1030,56 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  std::printf("perf_harness: serving fleet (open-loop websearch, SLO feedback)\n");
+  const FleetBenchResult fleet = RunFleetBench(opt.quick, jobs);
+  std::printf("  %d sockets, %.3g simulated users (%.3g requests/day), SLO p90 %.0f ms\n",
+              fleet.sockets, fleet.simulated_users, fleet.requests_per_day,
+              fleet.slo_p90.value() * 1e3);
+  for (const FleetBenchRow& r : fleet.rows) {
+    std::printf(
+        "  %-14s violations %5zu/%5zu  fleet_p90 %7.1f ms  hot_p90 %7.1f ms  "
+        "avg %7.0f W  %6.0f sockets-stepped/s\n",
+        r.policy.c_str(), r.slo_violations, r.measured_periods,
+        r.fleet_p90.value() * 1e3, r.hot_p90.value() * 1e3, r.avg_pkg_w.value(),
+        r.sockets_stepped_per_s);
+  }
+  {
+    const FleetBenchRow* st = nullptr;
+    const FleetBenchRow* fb = nullptr;
+    for (const FleetBenchRow& r : fleet.rows) {
+      if (r.policy == "static") {
+        st = &r;
+      } else if (r.policy == "slo-feedback") {
+        fb = &r;
+      }
+      if (r.max_grant_overrun_w > Watts{1e-6}) {
+        std::fprintf(stderr,
+                     "perf_harness: FAIL — fleet policy %s violated the cap invariant "
+                     "by %.9f W\n",
+                     r.policy.c_str(), r.max_grant_overrun_w.value());
+        return 1;
+      }
+    }
+    if (st == nullptr || fb == nullptr) {
+      std::fprintf(stderr, "perf_harness: FAIL — fleet sweep missing a policy row\n");
+      return 1;
+    }
+    if (fleet.sockets < 256 || fleet.simulated_users < 1e6) {
+      std::fprintf(stderr,
+                   "perf_harness: FAIL — fleet below the flagship scale "
+                   "(%d sockets, %.3g users)\n",
+                   fleet.sockets, fleet.simulated_users);
+      return 1;
+    }
+    if (fb->slo_violations >= st->slo_violations) {
+      std::fprintf(stderr,
+                   "perf_harness: FAIL — SLO feedback recorded %zu violations vs %zu "
+                   "for static shares (expected strictly fewer at the same cap)\n",
+                   fb->slo_violations, st->slo_violations);
+      return 1;
+    }
+  }
+
   std::printf("perf_harness: fault-tolerance schedules\n");
   const std::vector<FaultRow> faults = RunFaultTolerance(opt.quick);
   for (const FaultRow& r : faults) {
@@ -941,7 +1103,7 @@ int Main(int argc, char** argv) {
   }
 
   return WriteJson(opt, jobs, micro, scaling, scenarios, batch_configs.size(), serial_s,
-                   parallel_s, cluster, cluster_100k, faults, obs);
+                   parallel_s, cluster, cluster_100k, fleet, faults, obs);
 }
 
 }  // namespace

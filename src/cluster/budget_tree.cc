@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/policy/invariants.h"
 #include "src/policy/min_funding.h"
 
 namespace papd {
@@ -137,6 +138,7 @@ BudgetTree::BudgetTree(BudgetTreeConfig config) : config_(std::move(config)) {
   PAPD_CHECK(!leaves_.empty());
   PAPD_CHECK_LT(nodes_.size(), size_t{1} << 15);  // Shards are int16_t.
   DeriveBounds();
+  share_bias_.assign(nodes_.size(), 1.0);
 
   for (const ClusterFault& fault : config_.faults) {
     const int node = FindNode(fault.node_path);
@@ -279,6 +281,21 @@ Package& BudgetTree::package(int node) {
   PAPD_CHECK(n.children.empty()) << " node " << n.path << " is not a leaf";
   MaterializeLeaf(node);  // No-op when already live.
   return n.stack->pkg;
+}
+
+SocketStack& BudgetTree::stack(int node) {
+  Node& n = nodes_[static_cast<size_t>(node)];
+  PAPD_CHECK(n.children.empty()) << " node " << n.path << " is not a leaf";
+  MaterializeLeaf(node);  // No-op when already live.
+  return *n.stack;
+}
+
+void BudgetTree::SetShareBias(const std::vector<double>& bias) {
+  PAPD_CHECK_EQ(bias.size(), nodes_.size());
+  for (const double b : bias) {
+    PAPD_CHECK_GT(b, 0.0);
+  }
+  share_bias_ = bias;
 }
 
 const PowerDaemon& BudgetTree::daemon(int node) const {
@@ -448,15 +465,20 @@ void BudgetTree::Arbitrate(bool initial) {
   Node& root = nodes_.front();
   root.grant_w = std::clamp(config_.budget_w, root.floor_w, EffectiveCeiling(0, use_demand));
 
+  // SLO feedback biases proportions only; bounds stay configured, which is
+  // why any bias vector preserves the cap invariant below.
+  const bool biased = config_.arbiter == RackArbiterKind::kSloFeedback;
+
   // Pre-order: every parent's grant is final before its children split it.
   for (size_t i = 0; i < nodes_.size(); i++) {
     Node& node = nodes_[i];
     if (!node.children.empty()) {
       scratch_req_.assign(node.children.size(), ShareRequest{});
       for (size_t k = 0; k < node.children.size(); k++) {
-        const Node& child = nodes_[static_cast<size_t>(node.children[k])];
+        const size_t c = static_cast<size_t>(node.children[k]);
+        const Node& child = nodes_[c];
         scratch_req_[k] = ShareRequest{
-            .shares = child.shares,
+            .shares = biased ? child.shares * share_bias_[c] : child.shares,
             .minimum = AsResourceUnits(child.floor_w),
             .maximum = AsResourceUnits(EffectiveCeiling(node.children[k], use_demand))};
       }
@@ -464,6 +486,15 @@ void BudgetTree::Arbitrate(bool initial) {
           DistributeProportional(AsResourceUnits(node.grant_w), scratch_req_, &scratch_split_);
       for (size_t k = 0; k < node.children.size(); k++) {
         nodes_[static_cast<size_t>(node.children[k])].grant_w = Watts{split[k]};
+      }
+      if (biased && config_.audit_biased_splits) {
+        // PolicyAuditor's split post-conditions (termination + bounds) on
+        // the biased split; allocation only on the abort path.
+        const auto violations =  // PAPD_HOT_ALLOW: audit-only, empty when clean.
+            AuditProportionalSplit(AsResourceUnits(node.grant_w), scratch_req_, split);
+        PAPD_CHECK(violations.empty())
+            << " biased split violates min-funding invariants at " << node.path << ": "
+            << violations.front();
       }
       // The cap invariant, enforced at every level of every arbitration:
       // the split can undershoot the grant (ceilings bind) but never

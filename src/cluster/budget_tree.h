@@ -115,6 +115,11 @@ struct BudgetTreeConfig {
   // Record a PeriodRecord per Step.  Off for the 100k-core bench: at 10^3+
   // nodes the per-period snapshot dominates the step's allocations.
   bool record_history = true;
+  // Under kSloFeedback: post-audit every biased proportional split with
+  // AuditProportionalSplit (the PolicyAuditor split checks), aborting on a
+  // violation — the structural proof that biasing shares cannot break the
+  // cap invariant.
+  bool audit_biased_splits = true;
 };
 
 class BudgetTree {
@@ -168,6 +173,18 @@ class BudgetTree {
   // accessors always touches a live, self-consistent socket.
   Package& package(int node);
   const PowerDaemon& daemon(int node) const;
+  // The whole per-socket pipeline (Fleet reads the websearch service and
+  // its latency samples through this).
+  SocketStack& stack(int node);
+
+  // --- SLO-feedback share biasing (RackArbiterKind::kSloFeedback) -------
+  // Per-node multiplicative share bias applied in every proportional split
+  // (effective shares = configured shares * bias).  Only proportions move;
+  // [floor, ceiling] bounds are untouched, so the cap invariant holds for
+  // any bias vector.  Ignored unless the arbiter is kSloFeedback.  The
+  // vector is indexed by flat node id and must have num_nodes() entries.
+  void SetShareBias(const std::vector<double>& bias);
+  double share_bias(int node) const { return share_bias_[static_cast<size_t>(node)]; }
 
   // --- Replica memoization (config_.tick.memoize_replicas) --------------
   // Leaves are grouped into equivalence classes by HashSocketConfig plus
@@ -234,6 +251,7 @@ class BudgetTree {
   std::vector<int> fault_nodes_;  // Resolved config_.faults[i].node_path.
   int num_levels_ = 0;
   int64_t period_ = 0;
+  std::vector<double> share_bias_;  // Per flat node; all 1.0 until set.
   Seconds last_arbitrate_wall_s_{0.0};
   std::vector<PeriodRecord> history_;
 

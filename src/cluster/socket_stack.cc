@@ -30,6 +30,18 @@ void HashString(uint64_t* h, const std::string& s) {
 
 }  // namespace
 
+const char* RackArbiterKindName(RackArbiterKind kind) {
+  switch (kind) {
+    case RackArbiterKind::kShares:
+      return "shares";
+    case RackArbiterKind::kDemand:
+      return "demand";
+    case RackArbiterKind::kSloFeedback:
+      return "slo-feedback";
+  }
+  return "?";
+}
+
 uint64_t HashSocketConfig(const RackSocketConfig& cfg) {
   uint64_t h = kFnvOffset;
   const PlatformSpec& p = cfg.platform;
@@ -83,6 +95,34 @@ uint64_t HashSocketConfig(const RackSocketConfig& cfg) {
   HashU64(&h, cfg.seed);
   HashU64(&h, cfg.audit ? 1 : 0);
   HashU64(&h, cfg.use_baseline_ips ? 1 : 0);
+  // Serving-socket fields: two sockets differing only in their arrival
+  // process must never share a replica class.
+  HashU64(&h, cfg.websearch ? 1 : 0);
+  if (cfg.websearch) {
+    const WebSearch::Params& wp = cfg.websearch_params;
+    HashU64(&h, static_cast<uint64_t>(wp.users));
+    HashDouble(&h, wp.think_mean_s.value());
+    HashDouble(&h, wp.service_mcycles_mean);
+    HashDouble(&h, wp.fixed_latency_s.value());
+    HashDouble(&h, wp.ipc);
+    HashDouble(&h, wp.activity);
+    const WebSearch::OpenLoop& ol = wp.open_loop;
+    HashU64(&h, ol.enabled ? 1 : 0);
+    HashDouble(&h, ol.users);
+    HashDouble(&h, ol.requests_per_user_per_day);
+    HashU64(&h, static_cast<uint64_t>(ol.shape));
+    HashDouble(&h, ol.diurnal_amplitude);
+    HashDouble(&h, ol.diurnal_period_s.value());
+    HashDouble(&h, ol.shape_phase_s.value());
+    HashU64(&h, ol.trace.size());
+    for (const double m : ol.trace) {
+      HashDouble(&h, m);
+    }
+    HashDouble(&h, ol.trace_step_s.value());
+    HashU64(&h, cfg.with_cpuburn ? 1 : 0);
+    HashDouble(&h, cfg.websearch_shares);
+    HashDouble(&h, cfg.cpuburn_shares);
+  }
   return h;
 }
 
@@ -114,23 +154,58 @@ SocketStack::SocketStack(const RackSocketConfig& cfg, Seconds period_s, Seconds 
   ValidateSocketBudgetBounds(cfg);
   pkg.SetTickPolicy(tick.policy, tick.max_hold_ticks);
   std::vector<ManagedApp> managed;
-  for (size_t i = 0; i < cfg.apps.size(); i++) {
-    const AppSetup& setup = cfg.apps[i];
-    procs.push_back(
-        std::make_unique<Process>(GetProfile(setup.profile), cfg.seed + 1000 * i));
-    pkg.AttachWork(static_cast<int>(i), procs.back().get());
-    managed.push_back(ManagedApp{
-        .name = setup.profile,
-        .cpu = static_cast<int>(i),
-        .shares = setup.shares,
-        .high_priority = setup.high_priority,
-        .baseline_ips = cfg.use_baseline_ips
-                            ? Standalone(cfg.platform, setup.profile).ips
-                            : Ips{0.0},
-    });
-  }
-  for (int c = static_cast<int>(cfg.apps.size()); c < pkg.num_cores(); c++) {
-    pkg.SetRequestedMhz(c, cfg.platform.min_mhz);
+  if (cfg.websearch) {
+    // Serving socket: open-loop websearch on all-but-one core, mirroring
+    // RunWebsearch's layout (optionally a cpuburn virus on the last core).
+    PAPD_CHECK(cfg.apps.empty()) << " websearch sockets take no app mix";
+    const int burn_cpu = cfg.platform.num_cores - 1;
+    std::vector<int> ws_cores;
+    for (int c = 0; c < burn_cpu; c++) {
+      ws_cores.push_back(c);
+    }
+    websearch = std::make_unique<WebSearch>(ws_cores, cfg.websearch_params, cfg.seed);
+    pkg.AttachMultiWork(websearch.get());
+    const Ips ws_baseline = IpsAtMhz(cfg.platform.turbo_max_mhz, cfg.websearch_params.ipc);
+    for (int c : ws_cores) {
+      managed.push_back(ManagedApp{.name = "websearch",
+                                   .cpu = c,
+                                   .shares = cfg.websearch_shares,
+                                   .high_priority = true,
+                                   .baseline_ips = ws_baseline});
+    }
+    if (cfg.with_cpuburn) {
+      procs.push_back(std::make_unique<Process>(GetProfile("cpuburn"), cfg.seed + 7));
+      pkg.AttachWork(burn_cpu, procs.back().get());
+      managed.push_back(ManagedApp{
+          .name = "cpuburn",
+          .cpu = burn_cpu,
+          .shares = cfg.cpuburn_shares,
+          .high_priority = false,
+          .baseline_ips = cfg.use_baseline_ips ? Standalone(cfg.platform, "cpuburn").ips
+                                               : ws_baseline,
+      });
+    } else {
+      pkg.SetRequestedMhz(burn_cpu, cfg.platform.min_mhz);
+    }
+  } else {
+    for (size_t i = 0; i < cfg.apps.size(); i++) {
+      const AppSetup& setup = cfg.apps[i];
+      procs.push_back(
+          std::make_unique<Process>(GetProfile(setup.profile), cfg.seed + 1000 * i));
+      pkg.AttachWork(static_cast<int>(i), procs.back().get());
+      managed.push_back(ManagedApp{
+          .name = setup.profile,
+          .cpu = static_cast<int>(i),
+          .shares = setup.shares,
+          .high_priority = setup.high_priority,
+          .baseline_ips = cfg.use_baseline_ips
+                              ? Standalone(cfg.platform, setup.profile).ips
+                              : Ips{0.0},
+      });
+    }
+    for (int c = static_cast<int>(cfg.apps.size()); c < pkg.num_cores(); c++) {
+      pkg.SetRequestedMhz(c, cfg.platform.min_mhz);
+    }
   }
 
   DaemonConfig dcfg;

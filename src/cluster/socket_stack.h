@@ -21,6 +21,7 @@
 #include "src/experiments/harness.h"
 #include "src/msr/msr.h"
 #include "src/policy/daemon.h"
+#include "src/specsim/websearch.h"
 #include "src/specsim/workload.h"
 
 namespace papd {
@@ -34,7 +35,19 @@ enum class RackArbiterKind {
   // draw, so surplus from lightly loaded children flows to busy ones
   // (min-funding revocation does the redistribution).
   kDemand,
+  // Share-proportional like kShares, but each node's shares are multiplied
+  // by a per-node bias maintained by an SloFeedbackArbiter
+  // (src/policy/slo_feedback.h): watts drift toward latency-violating
+  // subtrees, bounded-step with hysteresis.  Bounds are untouched, so the
+  // structural cap invariant is unaffected.
+  kSloFeedback,
 };
+
+inline constexpr int kNumRackArbiterKinds = 3;
+
+// Stable name for bench JSON / sweep plot keys; covered by the papd_lint
+// registry-completeness rule like the other registered enums.
+const char* RackArbiterKindName(RackArbiterKind kind);
 
 // One socket of a rack or budget tree: a platform running a fixed app mix
 // under its own PowerDaemon.
@@ -56,6 +69,18 @@ struct RackSocketConfig {
   // Use measured standalone baselines (kPerformanceShares needs them; costs
   // one cached standalone simulation per distinct profile).
   bool use_baseline_ips = true;
+
+  // --- Serving-socket mode ---------------------------------------------------
+  // When set, the socket runs an open-loop websearch service on cores
+  // 0..n-2 (optionally a cpuburn power virus on the last core) instead of
+  // the `apps` process mix; `apps` must then be empty.  This is how Fleet
+  // builds latency-sensitive leaves on top of the same SocketStack the
+  // rack and budget tree already drive.
+  bool websearch = false;
+  WebSearch::Params websearch_params;
+  bool with_cpuburn = false;
+  double websearch_shares = 90.0;
+  double cpuburn_shares = 10.0;
 };
 
 // Budget floor / ceiling an arbiter uses for this socket (explicit config
@@ -99,6 +124,8 @@ struct SocketStack {
   Package pkg;
   MsrFile msr;
   std::vector<std::unique_ptr<Process>> procs;
+  // The open-loop service when config.websearch is set; nullptr otherwise.
+  std::unique_ptr<WebSearch> websearch;
   std::unique_ptr<PowerDaemon> daemon;
   Simulator sim;
   Watts last_measured_w{0.0};

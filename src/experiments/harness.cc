@@ -92,27 +92,8 @@ StandaloneBaseline Standalone(const PlatformSpec& platform, const std::string& p
   return cache.emplace(key, b).first->second;
 }
 
-RunOptions EffectiveRun(const ScenarioConfig& config) {
-  RunOptions run = config.run;
-  // Fold in deprecated flat fields still set to a non-default value, so old
-  // callers keep their behavior during the shim release.
-  if (!config.audit) {
-    run.daemon.audit = false;
-  }
-  if (config.hwp_hints) {
-    run.daemon.hwp_hints = true;
-  }
-  if (!config.degrade) {
-    run.daemon.degrade = false;
-  }
-  if (config.faults.Any()) {
-    run.daemon.faults = config.faults;
-  }
-  return run;
-}
-
 DaemonConfig ToDaemonConfig(const ScenarioConfig& config) {
-  const RunOptions run = EffectiveRun(config);
+  const RunOptions& run = config.run;
   DaemonConfig dcfg;
   dcfg.kind = config.policy;
   dcfg.power_limit_w = config.limit_w;
@@ -130,7 +111,7 @@ DaemonConfig ToDaemonConfig(const ScenarioConfig& config) {
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
   PAPD_CHECK_LE(static_cast<int>(config.apps.size()), config.platform.num_cores);
-  const RunOptions run = EffectiveRun(config);
+  const RunOptions& run = config.run;
 
   Package pkg(config.platform);
   pkg.SetTickPolicy(run.tick.policy, run.tick.max_hold_ticks);
@@ -206,7 +187,8 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
   ScenarioResult result;
   result.measured_s = dt;
-  result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
+  result.energy_j = end.pkg_energy - start.pkg_energy;
+  result.avg_pkg_w = result.energy_j / dt;
   result.max_pkg_w = max_pkg_w;
   result.fault_stats = daemon.fault_stats();
   if (msr.faults() != nullptr) {
@@ -272,6 +254,7 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
 
   WebSearch::Params params;
   params.users = config.users;
+  params.open_loop = config.open_loop;
   WebSearch websearch(ws_cores, params, config.seed);
   pkg.AttachMultiWork(&websearch);
 
@@ -305,10 +288,7 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
                                  .baseline_ips = Standalone(config.platform, "cpuburn").ips});
   }
 
-  RunOptions run = config.run;
-  if (!config.audit) {  // Deprecated flat field, shimmed like ScenarioConfig's.
-    run.daemon.audit = false;
-  }
+  const RunOptions& run = config.run;
   std::unique_ptr<obs::TraceRecorder> recorder;
   ObsSink* sink = run.obs.sink;
   if (run.obs.trace && sink == nullptr) {
@@ -351,7 +331,11 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
   result.p90_latency = websearch.LatencyPercentile(90.0);
   result.p99_latency = websearch.LatencyPercentile(99.0);
   result.completed_requests = websearch.completed_requests();
-  result.avg_pkg_w = (end.pkg_energy - start.pkg_energy) / dt;
+  result.measured_s = dt;
+  result.energy_j = end.pkg_energy - start.pkg_energy;
+  result.avg_pkg_w = result.energy_j / dt;
+  result.fault_stats = daemon.fault_stats();
+  result.metrics = daemon.metrics().Export();
 
   Mhz ws_mhz{0.0};
   for (int c : ws_cores) {
@@ -367,8 +351,11 @@ WebsearchResult RunWebsearch(const WebsearchConfig& config) {
     result.cpuburn_avg_mhz =
         dm > 0.0 ? (end.aperf[i] - start.aperf[i]) / dm * config.platform.tsc_mhz : Mhz{0.0};
   }
+  if (recorder != nullptr) {
+    result.trace_events = recorder->Drain();
+  }
   if (!run.obs.chrome_trace_path.empty() && recorder != nullptr) {
-    obs::WriteFile(run.obs.chrome_trace_path, obs::ChromeTraceJson(recorder->Drain()));
+    obs::WriteFile(run.obs.chrome_trace_path, obs::ChromeTraceJson(result.trace_events));
   }
   if (!run.obs.metrics_csv_path.empty()) {
     obs::WriteFile(run.obs.metrics_csv_path, obs::MetricsCsv(daemon.metrics()));

@@ -19,6 +19,7 @@
 #include "src/obs/trace.h"
 #include "src/platform/platform_spec.h"
 #include "src/policy/daemon.h"
+#include "src/specsim/websearch.h"
 
 namespace papd {
 
@@ -81,25 +82,12 @@ struct ScenarioConfig {
   Seconds daemon_period_s{1.0};
   Mhz static_mhz{0.0};  // PolicyKind::kStatic.
   PriorityPolicy::Options priority;
-  // DEPRECATED: use run.daemon.hwp_hints.  Shimmed for one release;
-  // EffectiveRun() folds a non-default value into `run`.
-  bool hwp_hints = false;
-  // DEPRECATED: use run.daemon.audit.
-  bool audit = true;
   uint64_t seed = 42;
-  // DEPRECATED: use run.daemon.faults.
-  FaultPlan faults;
-  // DEPRECATED: use run.daemon.degrade.
-  bool degrade = true;
-  // Grouped daemon + observability options (appended last so existing
-  // designated initializers keep working).
+  // Grouped daemon + observability options.  (The flat hwp_hints / audit /
+  // faults / degrade fields and their EffectiveRun() shim are gone; set
+  // run.daemon.* directly.)
   RunOptions run;
 };
-
-// The options a scenario actually runs with: `config.run`, with any
-// non-default value still set through the deprecated flat fields folded in.
-// Remove together with the flat fields after one release.
-RunOptions EffectiveRun(const ScenarioConfig& config);
 
 // The one place ScenarioConfig maps onto the daemon's configuration
 // (callers that build their own PowerDaemon use this instead of copying
@@ -125,25 +113,41 @@ struct AppResult {
   double share_of_power = 0.0;
 };
 
-struct ScenarioResult {
-  std::vector<AppResult> apps;
+// The reporting surface every experiment kind shares: scenario runs,
+// websearch runs, and fleet runs all reduce to one RunSummary, so sweep
+// serialization (sweep.cc) is written once.  Concrete result types derive
+// from this and add only their kind-specific fields.
+struct RunSummary {
   Watts avg_pkg_w{0.0};
   // Worst 1-second average package power inside the measurement window,
   // computed from ground-truth energy counters (not daemon telemetry) so
   // fault runs report the real overshoot even when samples are corrupted.
   Watts max_pkg_w{0.0};
   Seconds measured_s{0.0};
+  // Package energy over the measurement window (avg_pkg_w * measured_s).
+  Joules energy_j{0.0};
+  // Per-app performance breakdown; empty for runs without per-app counters.
+  std::vector<AppResult> apps;
+  // Response-latency percentiles; zero for runs with no latency-sensitive
+  // work.
+  Seconds p50_latency{0.0};
+  Seconds p90_latency{0.0};
+  Seconds p99_latency{0.0};
+  size_t completed_requests = 0;
   // Degradation bookkeeping from the daemon and injection counts from the
   // fault plan (all zero for clean runs).
   DaemonFaultStats fault_stats;
   FaultCounts fault_counts;
-  // End-of-run snapshot of the daemon's metrics registry (counters, gauges,
-  // histograms; always filled).
+  // End-of-run snapshot of the run's metrics registry (counters, gauges,
+  // histograms).
   obs::MetricsSnapshot metrics;
   // Every trace event recorded, time-sorted.  Filled only when
   // run.obs.trace is set without an external sink.
   std::vector<obs::TraceEvent> trace_events;
 };
+
+// Thin typed wrapper: everything a scenario reports is the shared summary.
+struct ScenarioResult : RunSummary {};
 
 // Runs a scenario to steady state and reports per-app averages over the
 // measurement window.
@@ -181,22 +185,19 @@ struct WebsearchConfig {
   // completed (checked at a coarse period), with measure_s as the deadline.
   // Lets quick runs stop early without changing per-tick results.
   size_t target_requests = 0;
-  // DEPRECATED: use run.daemon.audit.
-  bool audit = true;
   uint64_t seed = 42;
-  // Grouped daemon + observability options (appended last; the flat audit
-  // field above is shimmed for one release).
+  // Open-loop arrival process forwarded to WebSearch::Params; the default
+  // (disabled) keeps the paper's closed-loop 300-user client population.
+  WebSearch::OpenLoop open_loop;
+  // Grouped daemon + observability options.
   RunOptions run;
 };
 
-struct WebsearchResult {
-  Seconds p50_latency{0.0};
-  Seconds p90_latency{0.0};
-  Seconds p99_latency{0.0};
-  size_t completed_requests = 0;
+// Thin typed wrapper over the shared summary (latency percentiles and
+// completed_requests live in RunSummary).
+struct WebsearchResult : RunSummary {
   Mhz websearch_avg_mhz{0.0};
   Mhz cpuburn_avg_mhz{0.0};
-  Watts avg_pkg_w{0.0};
 };
 
 // Websearch on all-but-one core (high priority / high shares), optionally a

@@ -103,6 +103,12 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
               "\"pid\":%d,\"args\":{\"grant_w\":%.3f,\"reported_w\":%.3f}}",
               e.index, e.code, ts_us, pid, e.a, e.b);
       break;
+    case TraceEventType::kSloShift:
+      Appendf(out,
+              "{\"name\":\"node%d level%d slo_bias\",\"cat\":\"cluster\",\"ph\":\"C\",\"ts\":%.3f,"
+              "\"pid\":%d,\"args\":{\"bias\":%.4f,\"p90_s\":%.6f}}",
+              e.index, e.code, ts_us, pid, e.a, e.b);
+      break;
   }
 }
 

@@ -28,6 +28,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "rack-grant";
     case TraceEventType::kClusterGrant:
       return "cluster-grant";
+    case TraceEventType::kSloShift:
+      return "slo-shift";
   }
   return "?";
 }

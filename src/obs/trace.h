@@ -15,6 +15,7 @@
 //   kPstateWrite              P-state program + read-back verification
 //   kRackGrant                rack arbiter budget grant to one socket
 //   kClusterGrant             budget-tree arbiter grant to one tree node
+//   kSloShift                 SLO-feedback arbiter moved a node's share bias
 //
 // Emission has two paths:
 //   - components holding an ObsSink* (PowerDaemon, GovernorDaemon, Rack)
@@ -55,9 +56,10 @@ enum class TraceEventType : uint8_t {
   kPstateWrite,
   kRackGrant,
   kClusterGrant,
+  kSloShift,
 };
 
-inline constexpr int kNumTraceEventTypes = 9;
+inline constexpr int kNumTraceEventTypes = 10;
 
 const char* TraceEventTypeName(TraceEventType type);
 
@@ -86,6 +88,7 @@ constexpr TracePayload ToPayload(Quantity<Tag> q) {
 //   kPstateWrite      app count      1 = verified ok      max MHz      min MHz
 //   kRackGrant        socket index   arbiter kind         grant W      measured W
 //   kClusterGrant     node index     tree level           grant W      reported W
+//   kSloShift         node index     tree level           bias after   p90 seconds
 struct TraceEvent {
   Seconds t;  // Simulated time the event belongs to.
   TraceEventType type = TraceEventType::kPeriodBegin;

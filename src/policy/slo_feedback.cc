@@ -1,0 +1,47 @@
+#include "src/policy/slo_feedback.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace papd {
+
+SloFeedbackArbiter::SloFeedbackArbiter(SloFeedbackOptions options) : options_(options) {
+  PAPD_CHECK_GT(options_.step, 0.0);
+  PAPD_CHECK_GT(options_.decay, 0.0);
+  PAPD_CHECK_GT(options_.min_bias, 0.0);
+  PAPD_CHECK_LE(options_.min_bias, 1.0);
+  PAPD_CHECK_GE(options_.max_bias, 1.0);
+  PAPD_CHECK_GE(options_.enter_fraction, options_.exit_fraction);
+}
+
+void SloFeedbackArbiter::Resize(size_t nodes) { bias_.assign(nodes, 1.0); }
+
+int SloFeedbackArbiter::Update(const std::vector<double>& violation_fraction) {
+  PAPD_CHECK_EQ(violation_fraction.size(), bias_.size());
+  const double up = 1.0 + options_.step;
+  const double down = 1.0 + options_.decay;
+  int moved = 0;
+  for (size_t i = 0; i < bias_.size(); i++) {
+    const double frac = violation_fraction[i];
+    const double before = bias_[i];
+    if (frac >= options_.enter_fraction) {
+      bias_[i] = std::min(before * up, options_.max_bias);
+    } else if (frac <= options_.exit_fraction) {
+      // Decay toward neutral from either side; land exactly on 1.0 so a
+      // recovered shard's shares return to their configured value.
+      if (before > 1.0) {
+        bias_[i] = std::max(before / down, 1.0);
+      } else if (before < 1.0) {
+        bias_[i] = std::min(before * down, 1.0);
+      }
+    }
+    // Inside (exit_fraction, enter_fraction): hold — the hysteresis band.
+    if (bias_[i] != before) {
+      moved++;
+    }
+  }
+  return moved;
+}
+
+}  // namespace papd

@@ -2,19 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "src/common/stats.h"
 
 namespace papd {
+
+const char* ArrivalShapeName(ArrivalShape shape) {
+  switch (shape) {
+    case ArrivalShape::kConstant:
+      return "constant";
+    case ArrivalShape::kDiurnal:
+      return "diurnal";
+    case ArrivalShape::kTrace:
+      return "trace";
+  }
+  return "?";
+}
 
 WebSearch::WebSearch(std::vector<int> cores, Params params, uint64_t seed)
     : cores_(std::move(cores)), params_(params), rng_(seed) {
   assert(!cores_.empty());
   queues_.resize(cores_.size());
   backlog_cycles_.assign(cores_.size(), 0.0);
-  // Users start thinking with independent phases so load ramps smoothly.
-  for (int u = 0; u < params_.users; u++) {
-    think_expiry_.push(rng_.Exponential(params_.think_mean_s));
+  if (params_.open_loop.enabled) {
+    // First exogenous arrival; later gaps are sampled as each arrival is
+    // admitted, so the sequence depends only on the seed and the shape.
+    const double rate = ArrivalRateAt(Seconds{0.0});
+    next_arrival_ = rng_.Exponential(Seconds{1.0 / rate});
+  } else {
+    // Users start thinking with independent phases so load ramps smoothly.
+    for (int u = 0; u < params_.users; u++) {
+      think_expiry_.push(rng_.Exponential(params_.think_mean_s));
+    }
   }
 }
 
@@ -30,6 +50,51 @@ void WebSearch::Dispatch(Seconds t) {
   const double demand = rng_.Exponential(params_.service_mcycles_mean) * 1e6;
   queues_[best].push_back(Request{.submit_time = t, .remaining_cycles = demand});
   backlog_cycles_[best] += demand;
+  arrivals_++;
+  outstanding_++;
+  peak_queue_depth_ = std::max(peak_queue_depth_, outstanding_);
+}
+
+double WebSearch::ArrivalRateAt(Seconds t) const {
+  const OpenLoop& ol = params_.open_loop;
+  if (!ol.enabled) {
+    return 0.0;
+  }
+  const double mean = ol.users * ol.requests_per_user_per_day / 86400.0;
+  double multiplier = 1.0;
+  switch (ol.shape) {
+    case ArrivalShape::kConstant:
+      break;
+    case ArrivalShape::kDiurnal: {
+      const double phase = (t + ol.shape_phase_s) / ol.diurnal_period_s;
+      multiplier = 1.0 + ol.diurnal_amplitude * std::sin(2.0 * M_PI * phase);
+      break;
+    }
+    case ArrivalShape::kTrace: {
+      if (!ol.trace.empty()) {
+        const auto step = static_cast<size_t>((t + ol.shape_phase_s) / ol.trace_step_s);
+        multiplier = ol.trace[step % ol.trace.size()];
+      }
+      break;
+    }
+  }
+  // Floor keeps the Poisson gap sampler finite through rate troughs
+  // (amplitude >= 1, zero trace multipliers).
+  return std::max(mean * multiplier, 1e-9);
+}
+
+void WebSearch::AdmitOpenLoopArrivals(Seconds end) {
+  while (next_arrival_ <= end) {
+    const Seconds t{next_arrival_};
+    Dispatch(t);
+    if (params_.open_loop.record_arrivals) {
+      arrival_log_.push_back(t);  // PAPD_HOT_ALLOW: test-only arrival log.
+    }
+    // The rate is evaluated at the arrival being extended; the shape varies
+    // over hours while gaps are milliseconds, so piecewise-exponential gaps
+    // track the modulated rate closely.
+    next_arrival_ = t + rng_.Exponential(Seconds{1.0 / ArrivalRateAt(t)});
+  }
 }
 
 // PAPD_HOT — request bookkeeping (latency samples, think timers) grows
@@ -40,13 +105,17 @@ void WebSearch::RunBatch(Seconds dt, const Mhz* freqs_mhz,
   (void)n;
   const Seconds end{now_ + dt};
 
-  // Admit every request whose think timer expires in this slice.  Arrival
-  // times are preserved exactly; service begins at tick granularity, which
-  // is fine for dt (1 ms) << mean service time (~15 ms).
-  while (!think_expiry_.empty() && think_expiry_.top() <= end) {
-    const Seconds t{think_expiry_.top()};
-    think_expiry_.pop();
-    Dispatch(t);
+  // Admit every request arriving in this slice.  Arrival times are
+  // preserved exactly; service begins at tick granularity, which is fine
+  // for dt (1 ms) << mean service time (~15 ms).
+  if (params_.open_loop.enabled) {
+    AdmitOpenLoopArrivals(end);
+  } else {
+    while (!think_expiry_.empty() && think_expiry_.top() <= end) {
+      const Seconds t{think_expiry_.top()};
+      think_expiry_.pop();
+      Dispatch(t);
+    }
   }
 
   double util_sum = 0.0;
@@ -69,9 +138,14 @@ void WebSearch::RunBatch(Seconds dt, const Mhz* freqs_mhz,
         const Seconds latency{(finish - req.submit_time) + params_.fixed_latency_s};
         latencies_.push_back(latency);  // PAPD_HOT_ALLOW: amortized stats log.
         completed_++;
-        // The user sees the response, then thinks before the next request.
-        think_expiry_.push(finish + params_.fixed_latency_s +  // PAPD_HOT_ALLOW
-                           rng_.Exponential(params_.think_mean_s));
+        if (outstanding_ > 0) {
+          outstanding_--;
+        }
+        if (!params_.open_loop.enabled) {
+          // The user sees the response, then thinks before the next request.
+          think_expiry_.push(finish + params_.fixed_latency_s +  // PAPD_HOT_ALLOW
+                             rng_.Exponential(params_.think_mean_s));
+        }
         queue.pop_front();
       }
     }
@@ -86,12 +160,24 @@ void WebSearch::RunBatch(Seconds dt, const Mhz* freqs_mhz,
     };
   }
   last_mean_util_ = util_sum / static_cast<double>(cores_.size());
+  // Queue depth sampled at slice end, weighted by slice length: the
+  // time-weighted mean over any window of uniform slices.
+  depth_integral_s_ += dt * static_cast<double>(outstanding_);
+  depth_window_ += dt;
   now_ = end;
 }
 
 void WebSearch::ResetStats() {
   latencies_.clear();
+  arrival_log_.clear();
   completed_ = 0;
+  peak_queue_depth_ = outstanding_;
+  depth_integral_s_ = Seconds{0.0};
+  depth_window_ = Seconds{0.0};
+}
+
+double WebSearch::mean_queue_depth() const {
+  return depth_window_ > Seconds{0.0} ? depth_integral_s_ / depth_window_ : 0.0;
 }
 
 Seconds WebSearch::LatencyPercentile(double p) const { return Percentile(latencies_, p); }

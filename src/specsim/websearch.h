@@ -32,8 +32,40 @@
 
 namespace papd {
 
+// Shape of the open-loop arrival-rate modulation over simulated time.
+enum class ArrivalShape : uint8_t {
+  kConstant = 0,  // Flat Poisson rate.
+  kDiurnal,       // Sinusoidal day/night swing around the mean rate.
+  kTrace,         // Piecewise-constant multipliers replayed from a trace.
+};
+
+const char* ArrivalShapeName(ArrivalShape shape);
+
 class WebSearch : public MultiCoreWork {
  public:
+  // Exogenous (open-loop) arrival process.  When enabled, users no longer
+  // wait for responses before issuing the next request: requests arrive
+  // from a Poisson process at `users * requests_per_user_per_day / 86400`
+  // requests/s, modulated by `shape`.  The closed-loop think-time cycle is
+  // disabled, so queue depth is unbounded when arrivals outrun service —
+  // exactly the overload behaviour a fleet under a power cap must surface.
+  struct OpenLoop {
+    bool enabled = false;
+    double users = 1e6;
+    double requests_per_user_per_day = 20.0;
+    ArrivalShape shape = ArrivalShape::kConstant;
+    // kDiurnal: rate = mean * (1 + amplitude * sin(2*pi*(t + phase)/period)).
+    double diurnal_amplitude = 0.5;
+    Seconds diurnal_period_s{86400.0};
+    Seconds shape_phase_s{0.0};
+    // kTrace: rate multipliers, one per `trace_step_s`, replayed cyclically.
+    std::vector<double> trace;
+    Seconds trace_step_s{3600.0};
+    // Keep the exact arrival timestamps (tests assert bit-identical
+    // sequences across thread counts); off by default — fleets run long.
+    bool record_arrivals = false;
+  };
+
   struct Params {
     int users = 300;
     Seconds think_mean_s{2.0};
@@ -49,6 +81,7 @@ class WebSearch : public MultiCoreWork {
     double ipc = 1.0;
     // Dynamic-power activity factor while serving.
     double activity = 0.65;
+    OpenLoop open_loop;
   };
 
   WebSearch(std::vector<int> cores, Params params, uint64_t seed);
@@ -72,6 +105,23 @@ class WebSearch : public MultiCoreWork {
   // Mean per-core busy fraction over the last Run() call.
   double last_mean_utilization() const { return last_mean_util_; }
 
+  // --- Open-loop telemetry ---------------------------------------------------
+  // Requests admitted since construction (open loop) or think-timer
+  // expiries (closed loop).
+  uint64_t arrivals() const { return arrivals_; }
+  // Requests currently queued or in service across all worker cores.
+  size_t queue_depth() const { return outstanding_; }
+  size_t peak_queue_depth() const { return peak_queue_depth_; }
+  // Time-weighted mean queue depth over the recorded window.
+  double mean_queue_depth() const;
+  // Exact arrival timestamps; only populated with open_loop.record_arrivals.
+  const std::vector<Seconds>& arrival_log() const { return arrival_log_; }
+
+  // Instantaneous open-loop arrival rate at simulated time `t` (requests/s,
+  // after shape modulation); 0 in closed-loop mode.  Exposed so sweeps can
+  // report the offered load they actually generated.
+  double ArrivalRateAt(Seconds t) const;
+
  private:
   struct Request {
     Seconds submit_time;
@@ -80,6 +130,9 @@ class WebSearch : public MultiCoreWork {
 
   // Dispatches a request submitted at `t` to the least-backlogged core.
   void Dispatch(Seconds t);
+
+  // Admits every open-loop arrival with timestamp <= `end`.
+  void AdmitOpenLoopArrivals(Seconds end);
 
   std::vector<int> cores_;
   Params params_;
@@ -91,8 +144,19 @@ class WebSearch : public MultiCoreWork {
   std::vector<std::deque<Request>> queues_;  // Per core, FCFS.
   std::vector<double> backlog_cycles_;       // Per core.
 
+  // Next exogenous arrival time (open loop only).
+  Seconds next_arrival_{0.0};
+
   std::vector<Seconds> latencies_;
+  std::vector<Seconds> arrival_log_;
   size_t completed_ = 0;
+  uint64_t arrivals_ = 0;
+  size_t outstanding_ = 0;
+  size_t peak_queue_depth_ = 0;
+  // Integral of (dimensionless) queue depth over time, and the window it
+  // covers, for the time-weighted mean (reset with the other stats).
+  Seconds depth_integral_s_{0.0};
+  Seconds depth_window_{0.0};
   double last_mean_util_ = 0.0;
 };
 

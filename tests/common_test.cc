@@ -1,4 +1,4 @@
-// Unit tests for src/common: RNG, statistics, tables.
+// Unit tests for src/common: RNG, statistics, tables, JSON reader.
 
 #include <gtest/gtest.h>
 
@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -233,6 +234,64 @@ TEST(TextTable, ShortRowsTolerated) {
   std::ostringstream os;
   t.Print(os);
   EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+// --- JSON reader -------------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::Parse("null").value.is_null());
+  EXPECT_TRUE(json::Parse("true").value.AsBool());
+  EXPECT_FALSE(json::Parse("false").value.AsBool());
+  EXPECT_DOUBLE_EQ(json::Parse("-12.5e2").value.AsNumber(), -1250.0);
+  EXPECT_DOUBLE_EQ(json::Parse("0").value.AsNumber(), 0.0);
+  EXPECT_EQ(json::Parse("\"hi\"").value.AsString(), "hi");
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const json::ParseResult r = json::Parse(
+      R"({"a": [1, 2.5, {"b": "x"}], "c": {"d": true}, "empty": [], "eo": {}})");
+  ASSERT_TRUE(r.ok) << r.error;
+  const json::Value* a = r.value.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[1].AsNumber(), 2.5);
+  EXPECT_EQ(a->AsArray()[2].StringOr("b", ""), "x");
+  const json::Value* c = r.value.Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->Find("d")->AsBool());
+  EXPECT_TRUE(r.value.Find("empty")->AsArray().empty());
+  EXPECT_TRUE(r.value.Find("eo")->AsObject().empty());
+}
+
+TEST(Json, DecodesStringEscapes) {
+  const json::ParseResult r = json::Parse(R"("q\"s\\n\n tab\t u\u00e9")");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.AsString(), "q\"s\\n\n tab\t u\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::Parse("").ok);
+  EXPECT_FALSE(json::Parse("{").ok);
+  EXPECT_FALSE(json::Parse("[1,]").ok);
+  EXPECT_FALSE(json::Parse("{\"a\" 1}").ok);
+  EXPECT_FALSE(json::Parse("nan").ok);
+  EXPECT_FALSE(json::Parse("+1").ok);
+  EXPECT_FALSE(json::Parse("\"open").ok);
+  EXPECT_FALSE(json::Parse("1 trailing").ok);
+  // Errors carry a position.
+  EXPECT_NE(json::Parse("{\n  \"a\": oops\n}").error.find("line 2"), std::string::npos);
+}
+
+TEST(Json, LookupHelpersDefaultOnMissingOrWrongType) {
+  const json::Value doc = json::Parse(R"({"n": 4, "s": "v"})").value;
+  EXPECT_DOUBLE_EQ(doc.NumberOr("n", -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("s", -1.0), -1.0);
+  EXPECT_EQ(doc.StringOr("s", "d"), "v");
+  EXPECT_EQ(doc.StringOr("n", "d"), "d");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  // Non-objects have no members.
+  EXPECT_EQ(json::Parse("[1]").value.Find("k"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,325 @@
+// Serving-fleet tests: open-loop arrival determinism across thread counts,
+// SloFeedbackArbiter convergence/hysteresis, and the cap invariant as a
+// property over a full feedback run.
+//
+// The fleets here are miniatures (4-16 sockets, seconds of simulated time)
+// of the 256-socket bench regime; the knobs scale the offered load so the
+// per-socket physics match the calibrated defaults (see FleetConfig).
+
+#include "src/cluster/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/policy/slo_feedback.h"
+
+namespace papd {
+namespace {
+
+// 16 sockets with the same per-socket offered load as the 256-socket bench
+// default (users scale linearly with the weighted socket count).
+FleetConfig MiniatureFleet() {
+  FleetConfig cfg;
+  cfg.rows = 2;
+  cfg.racks_per_row = 2;
+  cfg.sockets_per_rack = 4;
+  cfg.users = 6.13e6;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// --- Open-loop arrival determinism -------------------------------------------
+
+// The sticky population shard keeps sockets share-nothing, so the arrival
+// process on every socket must be bit-identical no matter how leaf stepping
+// is scheduled: serial, or racing across any number of pool threads.
+TEST(FleetDeterminism, ArrivalsIdenticalAcrossThreadCounts) {
+  constexpr int kSteps = 6;
+
+  auto run = [](ThreadPool* pool) {
+    FleetConfig cfg = MiniatureFleet();
+    cfg.record_arrivals = true;
+    Fleet fleet(cfg);
+    for (int i = 0; i < kSteps; i++) {
+      fleet.Step(pool);
+    }
+    std::vector<std::vector<Seconds>> arrivals;
+    std::vector<std::vector<Seconds>> latencies;
+    for (int node : fleet.leaf_nodes()) {
+      SocketStack& stack = fleet.tree().stack(node);
+      EXPECT_NE(stack.websearch, nullptr);
+      arrivals.push_back(stack.websearch->arrival_log());
+      latencies.push_back(stack.websearch->latencies());
+    }
+    return std::make_pair(arrivals, latencies);
+  };
+
+  const auto serial = run(nullptr);
+  ThreadPool pool2(2);
+  const auto threaded2 = run(&pool2);
+  ThreadPool pool8(8);
+  const auto threaded8 = run(&pool8);
+
+  ASSERT_EQ(serial.first.size(), threaded2.first.size());
+  for (size_t s = 0; s < serial.first.size(); s++) {
+    // Bitwise equality, not approximate: the RNG stream is per-socket and
+    // the simulation must not depend on scheduling.
+    EXPECT_EQ(serial.first[s], threaded2.first[s]) << "socket " << s;
+    EXPECT_EQ(serial.first[s], threaded8.first[s]) << "socket " << s;
+    EXPECT_EQ(serial.second[s], threaded2.second[s]) << "socket " << s;
+    EXPECT_EQ(serial.second[s], threaded8.second[s]) << "socket " << s;
+  }
+}
+
+TEST(FleetDeterminism, SeedChangesArrivals) {
+  FleetConfig cfg = MiniatureFleet();
+  cfg.record_arrivals = true;
+  Fleet a(cfg);
+  cfg.seed = cfg.seed + 1;
+  Fleet b(cfg);
+  for (int i = 0; i < 3; i++) {
+    a.Step();
+    b.Step();
+  }
+  SocketStack& sa = a.tree().stack(a.leaf_nodes()[0]);
+  SocketStack& sb = b.tree().stack(b.leaf_nodes()[0]);
+  EXPECT_NE(sa.websearch->arrival_log(), sb.websearch->arrival_log());
+}
+
+// The open-loop process must deliver the configured rate: users *
+// requests_per_user_per_day / 86400, within Poisson noise.
+TEST(FleetOpenLoop, ArrivalRateMatchesConfiguredLoad) {
+  FleetConfig cfg = MiniatureFleet();
+  cfg.hot_fraction = 0.0;  // Uniform: every socket offers the same rate.
+  Fleet fleet(cfg);
+  constexpr int kSteps = 20;
+  for (int i = 0; i < kSteps; i++) {
+    fleet.Step();
+  }
+  const double per_socket_rps =
+      cfg.users / 16.0 * cfg.requests_per_user_per_day / 86400.0;
+  uint64_t total = 0;
+  for (int node : fleet.leaf_nodes()) {
+    total += fleet.tree().stack(node).websearch->arrivals();
+  }
+  const double expected = per_socket_rps * 16.0 * kSteps;
+  // 16 sockets x 20 s of Poisson arrivals: 5 sigma is well under 2%.
+  EXPECT_NEAR(static_cast<double>(total), expected, 0.02 * expected);
+}
+
+TEST(FleetOpenLoop, DiurnalShapeModulatesArrivals) {
+  FleetConfig cfg = MiniatureFleet();
+  cfg.rows = 1;
+  cfg.racks_per_row = 1;
+  cfg.sockets_per_rack = 2;
+  cfg.users = 6.13e6 / 8.0;
+  cfg.hot_fraction = 0.0;
+  cfg.shape = ArrivalShape::kDiurnal;
+  cfg.diurnal_amplitude = 0.9;
+  cfg.diurnal_period_s = Seconds{20.0};  // Compressed day: peak at t=5, trough at t=15.
+  Fleet fleet(cfg);
+
+  uint64_t before = 0;
+  auto arrivals_now = [&fleet]() {
+    uint64_t total = 0;
+    for (int node : fleet.leaf_nodes()) {
+      total += fleet.tree().stack(node).websearch->arrivals();
+    }
+    return total;
+  };
+  uint64_t peak_half = 0;
+  uint64_t trough_half = 0;
+  for (int i = 0; i < 20; i++) {
+    fleet.Step();
+    const uint64_t now = arrivals_now();
+    if (i < 10) {
+      peak_half += now - before;
+    } else {
+      trough_half += now - before;
+    }
+    before = now;
+  }
+  // With amplitude 0.9 the first half-period carries several times the
+  // arrivals of the second.
+  EXPECT_GT(static_cast<double>(peak_half), 1.5 * static_cast<double>(trough_half));
+}
+
+// --- SloFeedbackArbiter dynamics ---------------------------------------------
+
+TEST(SloFeedbackArbiter, ConvergesToMaxBiasUnderPersistentViolation) {
+  SloFeedbackOptions opt;
+  opt.step = 0.25;
+  opt.max_bias = 4.0;
+  SloFeedbackArbiter arbiter(opt);
+  arbiter.Resize(1);
+
+  // log(4) / log(1.25) = 6.2: the bias must saturate on the 7th update.
+  const int expected_periods =
+      static_cast<int>(std::ceil(std::log(opt.max_bias) / std::log(1.0 + opt.step)));
+  std::vector<double> violating{1.0};
+  for (int i = 0; i < expected_periods; i++) {
+    EXPECT_LT(arbiter.bias(0), opt.max_bias);
+    arbiter.Update(violating);
+  }
+  EXPECT_DOUBLE_EQ(arbiter.bias(0), opt.max_bias);
+  // Saturated: further violation reports are no-ops.
+  EXPECT_EQ(arbiter.Update(violating), 0);
+  EXPECT_DOUBLE_EQ(arbiter.bias(0), opt.max_bias);
+}
+
+TEST(SloFeedbackArbiter, DecaysToExactlyOneAfterRecovery) {
+  SloFeedbackArbiter arbiter;
+  arbiter.Resize(1);
+  std::vector<double> violating{1.0};
+  std::vector<double> recovered{0.0};
+  for (int i = 0; i < 10; i++) {
+    arbiter.Update(violating);
+  }
+  EXPECT_GT(arbiter.bias(0), 1.0);
+  for (int i = 0; i < 200; i++) {
+    arbiter.Update(recovered);
+  }
+  // Lands exactly on 1.0 (not asymptotically close): recovered shards get
+  // their configured shares back verbatim.
+  EXPECT_EQ(arbiter.bias(0), 1.0);
+  EXPECT_EQ(arbiter.Update(recovered), 0);
+}
+
+TEST(SloFeedbackArbiter, ReleaseIsSlowerThanAttack) {
+  SloFeedbackArbiter arbiter;  // Defaults: step 0.25, decay 0.0625.
+  arbiter.Resize(1);
+  std::vector<double> violating{1.0};
+  std::vector<double> recovered{0.0};
+  int up_periods = 0;
+  while (arbiter.Update(violating) > 0) {
+    up_periods++;
+  }
+  int down_periods = 0;
+  while (arbiter.Update(recovered) > 0) {
+    down_periods++;
+  }
+  EXPECT_GT(down_periods, 2 * up_periods);
+}
+
+TEST(SloFeedbackArbiter, HysteresisBandHolds) {
+  SloFeedbackOptions opt;
+  opt.enter_fraction = 0.5;
+  opt.exit_fraction = 0.25;
+  SloFeedbackArbiter arbiter(opt);
+  arbiter.Resize(1);
+  arbiter.Update({1.0});
+  const double boosted = arbiter.bias(0);
+  EXPECT_GT(boosted, 1.0);
+  // Fractions inside (exit, enter) neither boost nor decay, however long
+  // they persist — this is what keeps interior tree nodes from flapping.
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(arbiter.Update({0.4}), 0);
+  }
+  EXPECT_DOUBLE_EQ(arbiter.bias(0), boosted);
+}
+
+TEST(SloFeedbackArbiter, BiasesStayWithinConfiguredBounds) {
+  SloFeedbackOptions opt;
+  opt.min_bias = 0.5;
+  opt.max_bias = 3.0;
+  SloFeedbackArbiter arbiter(opt);
+  arbiter.Resize(3);
+  // Deterministic pseudo-random violation fractions.
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / static_cast<double>(1 << 24);
+  };
+  for (int i = 0; i < 500; i++) {
+    arbiter.Update({next(), next(), next()});
+    for (size_t n = 0; n < arbiter.size(); n++) {
+      EXPECT_GE(arbiter.bias(n), opt.min_bias);
+      EXPECT_LE(arbiter.bias(n), opt.max_bias);
+    }
+  }
+}
+
+// --- Feedback fleet properties -----------------------------------------------
+
+// The cap invariant must hold *structurally* under feedback: however the
+// biases move the proportions, no arbitration may hand children more than
+// their parent's grant.  Checked per step, not just at collection.
+TEST(FleetSloFeedback, CapInvariantHoldsUnderBiasedSplits) {
+  FleetConfig cfg = MiniatureFleet();
+  cfg.arbiter = RackArbiterKind::kSloFeedback;
+  Fleet fleet(cfg);
+  for (int i = 0; i < 12; i++) {
+    fleet.Step();
+    EXPECT_LE(fleet.tree().max_grant_overrun_w().value(), 1e-6) << "step " << i;
+    for (int n = 0; n < fleet.tree().num_nodes(); n++) {
+      EXPECT_GE(fleet.share_bias(n), cfg.slo.min_bias);
+      EXPECT_LE(fleet.share_bias(n), cfg.slo.max_bias);
+    }
+  }
+  const FleetResult result = fleet.Collect();
+  EXPECT_LE(result.max_grant_overrun_w.value(), 1e-6);
+}
+
+// Hot shards violate, so their biases must rise above neutral while a
+// fully-satisfied cold subtree stays at 1.0.
+TEST(FleetSloFeedback, BiasMovesTowardViolatingShards) {
+  FleetConfig cfg = MiniatureFleet();
+  cfg.arbiter = RackArbiterKind::kSloFeedback;
+  Fleet fleet(cfg);
+  for (int i = 0; i < 8; i++) {
+    fleet.Step();
+  }
+  double hot_max_bias = 1.0;
+  double cold_max_bias = 1.0;
+  for (int s = 0; s < fleet.num_sockets(); s++) {
+    const double b = fleet.share_bias(fleet.leaf_nodes()[static_cast<size_t>(s)]);
+    if (fleet.socket_hot(s)) {
+      hot_max_bias = std::max(hot_max_bias, b);
+    } else {
+      cold_max_bias = std::max(cold_max_bias, b);
+    }
+  }
+  EXPECT_GT(hot_max_bias, 1.0);
+  EXPECT_GE(hot_max_bias, cold_max_bias);
+}
+
+// The headline, in miniature: at the same cluster cap, closing the loop
+// strictly reduces violating socket-periods vs static shares.  Seeded
+// simulation, so this is exact, not statistical.
+TEST(FleetSloFeedback, BeatsStaticSharesAtSameCap) {
+  auto violations = [](RackArbiterKind arbiter) {
+    FleetConfig cfg = MiniatureFleet();
+    cfg.arbiter = arbiter;
+    const FleetResult r = RunFleet(cfg, Seconds{4.0}, Seconds{10.0});
+    return r.total_slo_violations;
+  };
+  const size_t with_static = violations(RackArbiterKind::kShares);
+  const size_t with_feedback = violations(RackArbiterKind::kSloFeedback);
+  EXPECT_LT(with_feedback, with_static);
+  EXPECT_GT(with_static, 0u);  // The regime must actually stress the cap.
+}
+
+TEST(FleetResultReporting, CollectsPerSocketDetail) {
+  FleetConfig cfg = MiniatureFleet();
+  const FleetResult r = RunFleet(cfg, Seconds{2.0}, Seconds{4.0});
+  ASSERT_EQ(r.sockets.size(), 16u);
+  EXPECT_EQ(r.simulated_users, cfg.users);
+  EXPECT_GT(r.summary.completed_requests, 0u);
+  EXPECT_GT(r.summary.avg_pkg_w.value(), 0.0);
+  EXPECT_GT(r.summary.p90_latency, Seconds{0.0});
+  size_t hot_seen = 0;
+  for (const FleetSocketResult& s : r.sockets) {
+    EXPECT_FALSE(s.path.empty());
+    EXPECT_GT(s.grant_w.value(), 0.0);
+    EXPECT_GT(s.completed, 0u);
+    hot_seen += s.hot ? 1u : 0u;
+  }
+  EXPECT_EQ(hot_seen, 2u);  // round(0.125 * 16).
+}
+
+}  // namespace
+}  // namespace papd

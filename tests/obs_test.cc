@@ -2,7 +2,7 @@
 // disabled-tracer zero-cost guarantee, exporter golden output, daemon and
 // rack trace wiring (the rack test records from concurrent shards and is
 // the TSan proof for the lock-free-per-thread rings), the unified fault
-// counters, the PolicyRegistry, and the deprecated ScenarioConfig shim.
+// counters, the PolicyRegistry, and the grouped RunOptions mapping.
 
 #include <gtest/gtest.h>
 
@@ -144,6 +144,8 @@ TEST(Exporters, ChromeTraceJsonGolden) {
   events.push_back(Event(Seconds{1.0}, obs::TraceEventType::kAppTarget, /*index=*/2, /*code=*/1, 2400.0,
                          2600.0));
   events.push_back(Event(Seconds{1.5}, obs::TraceEventType::kPeriodEnd, /*index=*/5, /*code=*/0, 12.5));
+  events.push_back(Event(Seconds{2.0}, obs::TraceEventType::kSloShift, /*index=*/3, /*code=*/1,
+                         1.25, 0.0421));
   const std::string json = obs::ChromeTraceJson(events);
   const std::string want =
       "{\"traceEvents\":[\n"
@@ -153,9 +155,15 @@ TEST(Exporters, ChromeTraceJsonGolden) {
       "{\"name\":\"app2 target_mhz\",\"cat\":\"policy\",\"ph\":\"C\",\"ts\":1000000.000,"
       "\"pid\":0,\"args\":{\"mhz\":2600.0}},\n"
       "{\"name\":\"daemon period\",\"cat\":\"daemon\",\"ph\":\"E\",\"ts\":1500000.000,"
-      "\"pid\":0,\"tid\":0,\"args\":{\"state\":\"nominal\",\"latency_us\":12.500}}\n"
+      "\"pid\":0,\"tid\":0,\"args\":{\"state\":\"nominal\",\"latency_us\":12.500}},\n"
+      "{\"name\":\"node3 level1 slo_bias\",\"cat\":\"cluster\",\"ph\":\"C\",\"ts\":2000000.000,"
+      "\"pid\":0,\"args\":{\"bias\":1.2500,\"p90_s\":0.042100}}\n"
       "],\"displayTimeUnit\":\"ms\"}\n";
   EXPECT_EQ(json, want);
+}
+
+TEST(Exporters, SloShiftEventNameRegistered) {
+  EXPECT_STREQ(obs::TraceEventTypeName(obs::TraceEventType::kSloShift), "slo-shift");
 }
 
 TEST(Exporters, MetricsCsvGolden) {
@@ -470,31 +478,11 @@ TEST(PolicyRegistryTest, MakePolicyBuildsSharePoliciesOnly) {
   EXPECT_TRUE(GetPolicyInfo(PolicyKind::kFrequencyShares).controls);
 }
 
-// --- Deprecated ScenarioConfig shim ------------------------------------------
+// --- Grouped RunOptions mapping ----------------------------------------------
+// (The deprecated flat-field shim and EffectiveRun() are gone; nested
+// RunOptions are the only source of daemon behavior.)
 
-TEST(RunOptionsShim, EffectiveRunFoldsDeprecatedFlatFields) {
-  ScenarioConfig c = ShortScenario();
-  c.audit = false;
-  c.hwp_hints = true;
-  c.degrade = false;
-  c.faults.stale_sample_p = 0.5;
-  const RunOptions run = EffectiveRun(c);
-  EXPECT_FALSE(run.daemon.audit);
-  EXPECT_TRUE(run.daemon.hwp_hints);
-  EXPECT_FALSE(run.daemon.degrade);
-  EXPECT_DOUBLE_EQ(run.daemon.faults.stale_sample_p, 0.5);
-}
-
-TEST(RunOptionsShim, NestedOptionsWinWhenFlatFieldsAreDefault) {
-  ScenarioConfig c = ShortScenario();
-  c.run.daemon.audit = false;
-  c.run.daemon.hwp_hints = true;
-  const RunOptions run = EffectiveRun(c);
-  EXPECT_FALSE(run.daemon.audit);
-  EXPECT_TRUE(run.daemon.hwp_hints);
-}
-
-TEST(RunOptionsShim, ToDaemonConfigMapsEveryGroupedOption) {
+TEST(RunOptionsTest, ToDaemonConfigMapsEveryGroupedOption) {
   ScenarioConfig c = ShortScenario();
   c.policy = PolicyKind::kFrequencyShares;
   c.limit_w = Watts{37.0};

@@ -23,7 +23,16 @@ The numeric assertions are opt-in via --baseline FILE:
     --min-100k-ticks-per-s (default 1e9) — an absolute floor rather than a
     baseline delta, because the hold + memoization fast path skips work
     outright and its headline (>= 1B sim-core-ticks/s on a 128k-core tree)
-    holds on any host or collapses by orders of magnitude when broken.
+    holds on any host or collapses by orders of magnitude when broken;
+  * the fleet section's slo-feedback row must record strictly fewer SLO
+    violations than the static-shares row — the serving fleet's headline
+    claim, deterministic (seeded simulation) so it holds exactly on any
+    host or the feedback loop is broken.
+
+The fleet section's structural contract (regardless of --baseline):
+>= 256 serving sockets, >= 1e6 simulated users, rows for the 'static' and
+'slo-feedback' policies at minimum, and the cap-invariant bound on every
+row's max_grant_overrun_w.
 
 The cluster section additionally carries its own structural contract
 regardless of --baseline: >= 2048 simulated cores, >= 3 tree levels, and a
@@ -234,6 +243,55 @@ def check(doc):
                  f"cap invariant violated: child grants exceeded a parent grant "
                  f"by {overrun} W (expected ~0)")
 
+    fleet = require(doc, "$", "fleet", dict)
+    if fleet is not None:
+        path = "$.fleet"
+        sockets = require(fleet, path, "sockets", int)
+        if sockets is not None and sockets < 256:
+            fail(f"{path}.sockets",
+                 f"expected >= 256 serving sockets (fleet-scale contract), got {sockets}")
+        users = require(fleet, path, "simulated_users", float)
+        if users is not None and users < 1e6:
+            fail(f"{path}.simulated_users",
+                 f"expected >= 1e6 simulated users, got {users}")
+        rpd = require(fleet, path, "requests_per_day", float)
+        if rpd is not None and rpd <= 0:
+            fail(f"{path}.requests_per_day", f"expected > 0, got {rpd}")
+        slo = require(fleet, path, "slo_p90_s", float)
+        if slo is not None and slo <= 0:
+            fail(f"{path}.slo_p90_s", f"expected > 0, got {slo}")
+        rows = require(fleet, path, "rows", list)
+        if rows is not None:
+            policies_seen = set()
+            for i, r in enumerate(rows):
+                rpath = f"{path}.rows[{i}]"
+                policy = require(r, rpath, "policy", str)
+                if policy is not None:
+                    policies_seen.add(policy)
+                for key in ("slo_violations", "measured_periods", "completed"):
+                    v = require(r, rpath, key, int)
+                    if v is not None and v < 0:
+                        fail(f"{rpath}.{key}", f"expected >= 0, got {v}")
+                periods = r.get("measured_periods") if isinstance(r, dict) else None
+                viol = r.get("slo_violations") if isinstance(r, dict) else None
+                if (isinstance(periods, int) and isinstance(viol, int)
+                        and viol > periods):
+                    fail(f"{rpath}.slo_violations",
+                         f"{viol} violations exceed {periods} measured periods")
+                for key in ("avg_pkg_w", "fleet_p90_s", "hot_p90_s",
+                            "wall_s_per_step", "sockets_stepped_per_s"):
+                    v = require(r, rpath, key, float)
+                    if v is not None and v <= 0:
+                        fail(f"{rpath}.{key}", f"expected > 0, got {v}")
+                overrun = require(r, rpath, "max_grant_overrun_w", float)
+                if overrun is not None and not 0 <= overrun <= 1e-6:
+                    fail(f"{rpath}.max_grant_overrun_w",
+                         f"cap invariant violated under this policy: child grants "
+                         f"exceeded a parent grant by {overrun} W (expected ~0)")
+            for expected in ("static", "slo-feedback"):
+                if expected not in policies_seen:
+                    fail(f"{path}.rows", f"missing policy row '{expected}'")
+
     faults = require(doc, "$", "fault_tolerance", list)
     if faults is not None:
         if not faults:
@@ -411,6 +469,37 @@ def check_cluster100k_throughput(doc, min_ticks_per_s):
               f"(required {min_ticks_per_s:.3g})")
 
 
+def fleet_violations(doc, policy):
+    for row in doc.get("fleet", {}).get("rows", []):
+        if isinstance(row, dict) and row.get("policy") == policy:
+            value = row.get("slo_violations")
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+    return None
+
+
+def check_fleet_feedback(doc):
+    """Enforces the serving fleet's headline: at the same cluster cap, the
+    SLO-feedback arbiter must end the run with strictly fewer violating
+    socket-periods than static shares.  The simulation is seeded, so this
+    comparison is exact — no noise margin needed."""
+    static = fleet_violations(doc, "static")
+    feedback = fleet_violations(doc, "slo-feedback")
+    if static is None:
+        fail("$.fleet.rows", "missing 'static' row for the feedback comparison")
+        return
+    if feedback is None:
+        fail("$.fleet.rows", "missing 'slo-feedback' row for the feedback comparison")
+        return
+    if feedback >= static:
+        fail("$.fleet.rows",
+             f"slo-feedback recorded {feedback} violations vs {static} for "
+             f"static shares (expected strictly fewer at the same cap)")
+    else:
+        print(f"fleet: slo-feedback {feedback} violations vs static {static} "
+              f"(strictly fewer, as required)")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
@@ -441,6 +530,7 @@ def main(argv):
         check_tick_speedup(doc, args.min_tick_speedup)
         check_cluster_throughput(doc, args.baseline, args.max_cluster_regress_pct)
         check_cluster100k_throughput(doc, args.min_100k_ticks_per_s)
+        check_fleet_feedback(doc)
     for err in ERRORS:
         print(err, file=sys.stderr)
     if ERRORS:
@@ -457,6 +547,7 @@ def main(argv):
         "obs.metrics": doc.get("obs", {}).get("metrics"),
         "cluster": doc.get("cluster"),
         "cluster_100k": doc.get("cluster_100k"),
+        "fleet": doc.get("fleet"),
         "batch": doc.get("batch"),
     }
     missing = [name for name, value in sections.items() if value is None]
@@ -472,6 +563,7 @@ def main(argv):
           f"{len(sections['obs.metrics'])} obs metrics, "
           f"cluster {sections['cluster'].get('cores', '?')} cores, "
           f"cluster_100k {sections['cluster_100k'].get('cores', '?')} cores, "
+          f"fleet {sections['fleet'].get('sockets', '?')} sockets, "
           f"batch speedup {sections['batch'].get('speedup', 0.0):.2f}x)")
     return 0
 

@@ -47,9 +47,10 @@ Rules:
 
   registry-completeness Every enumerator of a registered enum must appear in
                         its handler table: PolicyKind vs kRegistry in
-                        src/policy/policy_registry.cc, and ClusterFaultKind vs
-                        kClusterFaultHandlers in src/cluster/budget_tree.cc
-                        (see REGISTRY_SPECS).
+                        src/policy/policy_registry.cc, ClusterFaultKind vs
+                        kClusterFaultHandlers in src/cluster/budget_tree.cc,
+                        and RackArbiterKind vs RackArbiterKindName in
+                        src/cluster/socket_stack.cc (see REGISTRY_SPECS).
 
 Suppression: append `// papd-lint: allow(<rule>[, <rule>...])` to a line to
 waive named rules on that line.  The hot rules additionally honour the
@@ -480,6 +481,9 @@ VALUE_UNWRAP_WHITELIST = (
     # steady-state hold band compares magnitudes — both serialization-style
     # boundaries, like the MSR register file.
     "src/cluster/socket_stack.cc",
+    # Sweep expansion/serialization: axis labels ("cap=270w") and the JSON
+    # artifact are printf boundaries, the same class as src/obs/ exporters.
+    "src/experiments/sweep.cc",
 )
 
 
@@ -538,6 +542,15 @@ REGISTRY_SPECS = (
         impl_rel="src/cluster/budget_tree.cc",
         gate_prefix="src/cluster/",
         table="kClusterFaultHandlers",
+    ),
+    RegistrySpec(
+        enum="RackArbiterKind",
+        header_rel="src/cluster/socket_stack.h",
+        impl_rel="src/cluster/socket_stack.cc",
+        # Gate on the declaring file, not the whole subsystem: fixture trees
+        # carry budget_tree without the socket layer.
+        gate_prefix="src/cluster/socket_stack",
+        table="RackArbiterKindName",
     ),
 )
 

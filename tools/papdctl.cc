@@ -10,23 +10,34 @@
 //           [--duration S] [--period S] [--static-mhz MHZ] [--hwp]
 //           [--no-starve] [--trace] [--csv FILE]
 //           --app NAME[:shares=X][:hp|:lp] [--app ...]
+//   papdctl fleet --sweep FILE [--point NAME]
 //
 // Policies: rapl, static, priority, freq-shares, perf-shares, power-shares.
+//
+// The `fleet` subcommand reads a sweep JSON artifact (WriteSweepJson — see
+// src/experiments/sweep.h and `perf_harness`'s fleet section): without
+// --point it tabulates every sweep point's fleet-level outcome; with
+// --point NAME it drills into one point's per-socket grants, tail
+// latencies, and SLO violations.
 //
 // Examples:
 //   papdctl --policy freq-shares --limit 45
 //       --app leela:shares=90 --app cpuburn:shares=10
 //   papdctl --platform ryzen --policy priority --limit 40
 //       --app cactusBSSN:hp --app cactusBSSN:hp --app leela:lp --app leela:lp
+//   papdctl fleet --sweep fleet_sweep.json
+//   papdctl fleet --sweep fleet_sweep.json --point "fleet-bench/policy=slo-feedback"
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/table.h"
 #include "src/cpusim/package.h"
 #include "src/cpusim/simulator.h"
@@ -165,6 +176,148 @@ Options Parse(int argc, char** argv) {
   return opt;
 }
 
+// --- `papdctl fleet`: inspect sweep JSON artifacts ---------------------------
+
+[[noreturn]] void FleetUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s fleet --sweep FILE [--point NAME]\n"
+               "reads a sweep artifact written by WriteSweepJson / the\n"
+               "perf_harness fleet section; --point drills into one sweep\n"
+               "point's per-socket detail\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string FormatMs(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return "-";
+  }
+  return TextTable::Num(v->AsNumber() * 1e3, 1);
+}
+
+int FleetListPoints(const json::Value& doc) {
+  const json::Value* points = doc.Find("points");
+  if (points == nullptr || !points->is_array()) {
+    std::fprintf(stderr, "sweep artifact has no points array\n");
+    return 1;
+  }
+  std::printf("sweep %s (%s target, %zu points)\n",
+              doc.StringOr("sweep", "?").c_str(), doc.StringOr("target", "?").c_str(),
+              points->AsArray().size());
+  TextTable t;
+  t.SetHeader({"point", "policy", "avg W", "p50 ms", "p90 ms", "p99 ms", "completed",
+               "SLO viol", "periods"});
+  for (const json::Value& p : points->AsArray()) {
+    const json::Value* summary = p.Find("summary");
+    const json::Value empty;
+    const json::Value& s = summary != nullptr ? *summary : empty;
+    t.AddRow({p.StringOr("name", "?"), p.StringOr("policy", "-"),
+              TextTable::Num(s.NumberOr("avg_pkg_w", 0.0), 1),
+              FormatMs(s, "p50_latency_s"), FormatMs(s, "p90_latency_s"),
+              FormatMs(s, "p99_latency_s"),
+              TextTable::Num(s.NumberOr("completed_requests", 0.0), 0),
+              TextTable::Num(p.NumberOr("total_slo_violations", 0.0), 0),
+              TextTable::Num(p.NumberOr("total_measured_periods", 0.0), 0)});
+  }
+  t.Print(std::cout);
+  return 0;
+}
+
+int FleetShowPoint(const json::Value& doc, const std::string& name) {
+  const json::Value* points = doc.Find("points");
+  if (points == nullptr || !points->is_array()) {
+    std::fprintf(stderr, "sweep artifact has no points array\n");
+    return 1;
+  }
+  const json::Value* point = nullptr;
+  for (const json::Value& p : points->AsArray()) {
+    if (p.StringOr("name", "") == name) {
+      point = &p;
+      break;
+    }
+  }
+  if (point == nullptr) {
+    std::fprintf(stderr, "no point named '%s'; available:\n", name.c_str());
+    for (const json::Value& p : points->AsArray()) {
+      std::fprintf(stderr, "  %s\n", p.StringOr("name", "?").c_str());
+    }
+    return 1;
+  }
+  const json::Value* sockets = point->Find("sockets");
+  if (sockets == nullptr || !sockets->is_array()) {
+    std::fprintf(stderr,
+                 "point '%s' carries no per-socket detail (scenario target?)\n",
+                 name.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu sockets, %.0f violations / %.0f socket-periods, "
+              "max grant overrun %.2e W\n",
+              name.c_str(), sockets->AsArray().size(),
+              point->NumberOr("total_slo_violations", 0.0),
+              point->NumberOr("total_measured_periods", 0.0),
+              point->NumberOr("max_grant_overrun_w", 0.0));
+  TextTable t;
+  t.SetHeader({"socket", "hot", "grant W", "p50 ms", "p90 ms", "p99 ms", "completed",
+               "SLO viol", "mean q", "peak q"});
+  for (const json::Value& s : sockets->AsArray()) {
+    const json::Value* hot = s.Find("hot");
+    t.AddRow({s.StringOr("path", "?"), hot != nullptr && hot->AsBool() ? "HOT" : "",
+              TextTable::Num(s.NumberOr("grant_w", 0.0), 1), FormatMs(s, "p50_s"),
+              FormatMs(s, "p90_s"), FormatMs(s, "p99_s"),
+              TextTable::Num(s.NumberOr("completed", 0.0), 0),
+              TextTable::Num(s.NumberOr("slo_violation_periods", 0.0), 0),
+              TextTable::Num(s.NumberOr("mean_queue_depth", 0.0), 2),
+              TextTable::Num(s.NumberOr("peak_queue_depth", 0.0), 0)});
+  }
+  t.Print(std::cout);
+  return 0;
+}
+
+int RunFleetCommand(int argc, char** argv) {
+  std::string sweep_path;
+  std::string point_name;
+  for (int i = 2; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        FleetUsage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sweep") {
+      sweep_path = value();
+    } else if (arg == "--point") {
+      point_name = value();
+    } else if (arg == "--help" || arg == "-h") {
+      FleetUsage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      FleetUsage(argv[0]);
+    }
+  }
+  if (sweep_path.empty()) {
+    std::fprintf(stderr, "--sweep FILE is required\n");
+    FleetUsage(argv[0]);
+  }
+  std::ifstream in(sweep_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", sweep_path.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const json::ParseResult parsed = json::Parse(text);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", sweep_path.c_str(), parsed.error.c_str());
+    return 1;
+  }
+  if (point_name.empty()) {
+    return FleetListPoints(parsed.value);
+  }
+  return FleetShowPoint(parsed.value, point_name);
+}
+
 int Run(const Options& opt) {
   Package pkg(opt.platform);
   MsrFile msr(&pkg);
@@ -266,5 +419,10 @@ int Run(const Options& opt) {
 }  // namespace papd
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch first: flag-style invocations keep their historical
+  // behavior (`papdctl --policy ...` runs the single-socket daemon loop).
+  if (argc > 1 && std::string(argv[1]) == "fleet") {
+    return papd::RunFleetCommand(argc, argv);
+  }
   return papd::Run(papd::Parse(argc, argv));
 }
